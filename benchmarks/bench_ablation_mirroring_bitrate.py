@@ -1,0 +1,76 @@
+"""Ablation — scrcpy encoder bitrate cap.
+
+The paper pins the scrcpy H.264 bitrate to 1 Mbps, which bounds the mirror
+stream at roughly 50 MB per 7-minute test before noVNC compression.  This
+ablation sweeps the cap and reports how the device-side mirroring overhead
+(extra median current) and the controller's upload traffic respond: the
+upload scales with the cap while the energy overhead saturates, which is why
+1 Mbps is a sensible operating point.
+"""
+
+from conftest import report, run_once
+
+from repro.core.platform import build_default_platform
+from repro.core.session import MeasurementSession
+from repro.workloads.video import VIDEO_PLAYER_PACKAGE
+
+BITRATES_MBPS = (0.5, 1.0, 2.0, 4.0)
+DURATION_S = 60.0
+
+
+def sweep_bitrates():
+    rows = []
+    for bitrate in BITRATES_MBPS:
+        platform = build_default_platform(seed=7, browsers=())
+        handle = platform.vantage_point()
+        controller = handle.controller
+        device = handle.device()
+        handle.monitor.set_sample_rate(200.0)
+        controller.execute_adb(
+            device.serial,
+            "shell am start -a android.intent.action.VIEW "
+            f"-d file:///sdcard/Movies/test.mp4 -n {VIDEO_PLAYER_PACKAGE}/.Player",
+        )
+        platform.run_for(2.0)
+        baseline = MeasurementSession(controller, device.serial, label="baseline").measure(DURATION_S)
+        measurement = _measure_with_bitrate(platform, controller, device, bitrate)
+        rows.append(
+            {
+                "bitrate_mbps": bitrate,
+                "median_ma_plain": round(baseline.median_current_ma(), 1),
+                "median_ma_mirroring": round(measurement.median_current_ma(), 1),
+                "overhead_ma": round(
+                    measurement.median_current_ma() - baseline.median_current_ma(), 1
+                ),
+                "upload_mb_per_min": round(
+                    measurement.mirroring_upload_bytes / 1e6 / (DURATION_S / 60.0), 2
+                ),
+            }
+        )
+    return rows
+
+
+def _measure_with_bitrate(platform, controller, device, bitrate):
+    from repro.mirroring.session import MirroringSession
+
+    session = MirroringSession(platform.context, device, bitrate_mbps=bitrate)
+    session.start()
+    session.connect_viewer("experimenter")
+    measurement = MeasurementSession(
+        controller, device.serial, mirroring=False, label=f"mirroring-{bitrate}mbps"
+    ).measure(DURATION_S)
+    measurement.mirroring_active = True
+    measurement.mirroring_upload_bytes = session.upload_bytes()
+    session.stop()
+    return measurement
+
+
+def test_ablation_mirroring_bitrate(benchmark):
+    rows = run_once(benchmark, sweep_bitrates)
+    report(benchmark, "Ablation — scrcpy bitrate cap vs mirroring cost", rows)
+
+    overheads = [row["overhead_ma"] for row in rows]
+    uploads = [row["upload_mb_per_min"] for row in rows]
+    # Upload traffic grows with the cap; energy overhead is present at every cap.
+    assert uploads == sorted(uploads)
+    assert all(overhead > 20.0 for overhead in overheads)

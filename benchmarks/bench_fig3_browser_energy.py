@@ -1,0 +1,37 @@
+"""Figure 3 — per-browser battery discharge, with and without device mirroring.
+
+Paper result: Brave consumes the least energy and Firefox the most,
+regardless of whether device mirroring is active; mirroring adds a roughly
+constant overhead (~20 mAh in the paper's full-length runs) to every browser.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments.browser_study import run_browser_study
+
+#: Reduced workload: 2 repetitions and 10 scrolls per page (the paper uses 5
+#: repetitions of a ~7-minute run); the ordering and the constant mirroring
+#: gap are already stable at this scale.
+REPETITIONS = 2
+SCROLLS_PER_PAGE = 10
+
+
+def test_fig3_browser_energy(benchmark):
+    study = run_once(
+        benchmark,
+        run_browser_study,
+        browsers=("brave", "chrome", "edge", "firefox"),
+        repetitions=REPETITIONS,
+        scrolls_per_page=SCROLLS_PER_PAGE,
+        scroll_interval_s=1.5,
+        sample_rate_hz=50.0,
+        seed=7,
+    )
+    report(benchmark, "Figure 3 — mean battery discharge per browser (mAh)", study.discharge_rows())
+
+    # Shape assertions: ordering and the browser-independent mirroring gap.
+    assert study.discharge_ranking(mirroring=False) == ["brave", "chrome", "edge", "firefox"]
+    assert study.discharge_ranking(mirroring=True) == ["brave", "chrome", "edge", "firefox"]
+    overheads = [study.mirroring_overhead_mah(browser) for browser in study.browsers()]
+    assert all(overhead > 0 for overhead in overheads)
+    assert (max(overheads) - min(overheads)) / max(overheads) < 0.3

@@ -1,0 +1,29 @@
+"""Figure 5 — CDF of CPU utilisation at the controller (Raspberry Pi 3B+).
+
+Paper result: without mirroring the controller sits at a constant ~25% CPU
+(polling the Monsoon at full rate); with mirroring the median rises to about
+75% and roughly 10% of the samples exceed 95%.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments.controller_load import run_controller_load_experiment
+
+
+def test_fig5_controller_cpu_cdfs(benchmark):
+    result = run_once(
+        benchmark,
+        run_controller_load_experiment,
+        browser="chrome",
+        repetitions=1,
+        scrolls_per_page=12,
+        scroll_interval_s=1.5,
+        sample_rate_hz=100.0,
+        seed=7,
+    )
+    report(benchmark, "Figure 5 — controller CPU utilisation (Chrome run)", result.rows())
+
+    assert 20.0 < result.median(mirroring=False) < 30.0
+    assert result.fraction_above(50.0, mirroring=False) < 0.05
+    assert 55.0 < result.median(mirroring=True) < 90.0
+    assert 0.02 < result.fraction_above(95.0, mirroring=True) < 0.30

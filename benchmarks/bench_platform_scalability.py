@@ -1,0 +1,74 @@
+"""Platform scalability microbenchmark.
+
+Not a paper figure, but in the spirit of its "system benchmarking": the
+access server must keep working as the platform grows to many vantage
+points and many queued jobs (the PlanetLab-style vision of Section 1).
+This benchmark builds a platform with several vantage points, queues a batch
+of jobs with mixed constraints, runs them to completion and reports the
+scheduling throughput; it guards against accidental quadratic behaviour in
+the scheduler as the repository evolves.
+"""
+
+from conftest import report, run_once
+
+from repro.accessserver.jobs import JobConstraints, JobSpec
+from repro.core.platform import add_vantage_point, build_default_platform
+
+VANTAGE_POINTS = 4
+JOBS = 40
+
+
+def schedule_and_run_fleet():
+    platform = build_default_platform(seed=7, browsers=("chrome",))
+    for index in range(2, VANTAGE_POINTS + 1):
+        add_vantage_point(
+            platform, f"node{index}", f"Institution {index}", browsers=("chrome",)
+        )
+    server = platform.access_server
+
+    def tiny_measurement(ctx):
+        ctx.api.power_monitor()
+        ctx.api.set_voltage(3.85)
+        trace = ctx.api.measure(ctx.api.list_devices()[0], duration=5.0)
+        ctx.api.power_monitor()
+        return round(trace.median_current_ma(), 1)
+
+    jobs = []
+    for index in range(JOBS):
+        constraints = JobConstraints()
+        if index % 3 == 0:
+            constraints = JobConstraints(vantage_point=f"node{(index % VANTAGE_POINTS) + 1}")
+        jobs.append(
+            server.submit_job(
+                platform.experimenter,
+                JobSpec(
+                    name=f"fleet-job-{index}",
+                    owner="experimenter",
+                    run=tiny_measurement,
+                    constraints=constraints,
+                ),
+            )
+        )
+    executed = []
+    while True:
+        batch = server.run_pending_jobs(max_jobs=JOBS)
+        if not batch:
+            break
+        executed.extend(batch)
+    completed = [job for job in executed if job.status.value == "completed"]
+    return {
+        "vantage_points": VANTAGE_POINTS,
+        "jobs_submitted": JOBS,
+        "jobs_completed": len(completed),
+        "simulated_seconds": round(platform.context.now, 1),
+        "events_dispatched": platform.context.scheduler.dispatched,
+    }
+
+
+def test_platform_scalability(benchmark):
+    result = run_once(benchmark, schedule_and_run_fleet)
+    report(benchmark, "Scalability — fleet of vantage points executing a job batch", [result])
+
+    assert result["jobs_completed"] == JOBS
+    # Every job ran a real measurement on some device somewhere.
+    assert result["events_dispatched"] > JOBS * 50

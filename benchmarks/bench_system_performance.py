@@ -1,0 +1,35 @@
+"""Section 4.2 "System Performance" — controller CPU/memory/network and latency.
+
+Paper results for a mirrored ~7-minute Chrome test: mirroring costs roughly
+an extra 50% of controller CPU on average, about +6% memory (total staying
+under 20% of the Pi's 1 GB), about 32 MB of upload traffic per test, and a
+click-to-pixel mirroring latency of 1.44 (±0.12) s over 40 annotated trials.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments.system_perf import run_system_performance
+
+
+def test_system_performance(benchmark):
+    result = run_once(
+        benchmark,
+        run_system_performance,
+        browser="chrome",
+        scrolls_per_page=16,
+        scroll_interval_s=1.5,
+        sample_rate_hz=100.0,
+        latency_trials=40,
+        network_rtt_ms=1.0,
+        seed=7,
+    )
+    report(benchmark, "System performance (Section 4.2)", result.rows())
+
+    assert 20.0 < result.controller_cpu_mean_plain < 30.0
+    assert 30.0 < result.cpu_extra_percent < 65.0
+    assert 4.0 < result.memory_extra_percent < 9.0
+    assert result.memory_percent_mirroring < 25.0
+    upload_per_seven_minutes = result.upload_mb * (420.0 / result.test_duration_s)
+    assert 15.0 < upload_per_seven_minutes < 60.0
+    assert 1.2 < result.latency.mean_s < 1.7
+    assert 0.03 < result.latency.std_s < 0.3

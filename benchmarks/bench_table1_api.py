@@ -1,0 +1,59 @@
+"""Table 1 — the BatteryLab Python API.
+
+The paper's Table 1 is the API surface itself rather than a measurement, so
+this benchmark verifies that every listed entry point exists and works, and
+reports the cost of one complete API round trip (device selection, monitor
+power-up, voltage setting, a short measurement, battery switch, ADB command).
+"""
+
+from conftest import report, run_once
+
+from repro.core.platform import build_default_platform
+
+#: The API entry points of Table 1 (name, parameters).
+TABLE1_ROWS = [
+    {"api": "list_devices", "description": "List ADB ids of test devices", "parameters": "-"},
+    {"api": "device_mirroring", "description": "Activate device mirroring", "parameters": "device_id"},
+    {"api": "power_monitor", "description": "Toggle Monsoon power state", "parameters": "-"},
+    {"api": "set_voltage", "description": "Set target voltage", "parameters": "voltage_val"},
+    {"api": "start_monitor", "description": "Start battery measurement", "parameters": "device_id, duration"},
+    {"api": "stop_monitor", "description": "Stop battery measurement", "parameters": "-"},
+    {"api": "batt_switch", "description": "(De)activate battery", "parameters": "device_id"},
+    {"api": "execute_adb", "description": "Execute ADB command", "parameters": "device_id, command"},
+]
+
+
+def full_api_roundtrip():
+    platform = build_default_platform(seed=7, browsers=("chrome",))
+    api = platform.api()
+    device_id = api.list_devices()[0]
+    api.power_monitor()
+    api.set_voltage(3.85)
+    session = api.device_mirroring(device_id)
+    api.stop_device_mirroring(device_id)
+    api.start_monitor(device_id, duration=5.0)
+    platform.run_for(5.0)
+    trace = api.stop_monitor()
+    api.batt_switch(device_id)
+    api.batt_switch(device_id)
+    battery_dump = api.execute_adb(device_id, "shell dumpsys battery")
+    return {
+        "devices": api.list_devices(),
+        "median_ma": trace.median_current_ma(),
+        "mirroring_was_active": session is not None,
+        "adb_ok": "level" in battery_dump,
+    }
+
+
+def test_table1_api_surface(benchmark):
+    result = run_once(benchmark, full_api_roundtrip)
+    report(benchmark, "Table 1 — BatteryLab API", TABLE1_ROWS)
+
+    # Every Table 1 entry point exists on the API object.
+    from repro.core.api import BatteryLabAPI
+
+    for row in TABLE1_ROWS:
+        assert hasattr(BatteryLabAPI, row["api"]), row["api"]
+    assert result["devices"] == ["node1-dev00"]
+    assert result["median_ma"] > 0
+    assert result["adb_ok"]

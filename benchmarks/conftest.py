@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper's
+evaluation section.  The benchmarks run each experiment exactly once
+(``rounds=1``) — the interesting output is the reproduced rows/series, which
+are printed and attached to the benchmark's ``extra_info`` so they are
+visible in the saved benchmark JSON as well as with ``pytest -s``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.analysis.tables import format_table
+
+
+def run_once(benchmark, func: Callable, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(benchmark, title: str, rows: List[Dict[str, object]]) -> None:
+    """Print a reproduced table and attach it to the benchmark record."""
+    table = format_table(rows, title=title)
+    print()
+    print(table)
+    benchmark.extra_info["title"] = title
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The paper's demonstration study: which Android browser is most energy efficient?
+
+Reproduces Section 4.2 at a reduced scale: Brave, Chrome, Edge and Firefox
+each load the ten-site news corpus over ADB-over-WiFi automation, with and
+without device mirroring, and the script reports the mean battery discharge
+(Figure 3) and the device CPU medians (Figure 4).
+
+Run it with ``python examples/browser_energy_study.py``.  Increase
+``REPETITIONS`` / ``SCROLLS_PER_PAGE`` for a closer match to the paper's
+full-length runs.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.browser_study import run_browser_study
+
+REPETITIONS = 2
+SCROLLS_PER_PAGE = 10
+
+
+def main() -> None:
+    study = run_browser_study(
+        browsers=("brave", "chrome", "edge", "firefox"),
+        repetitions=REPETITIONS,
+        scrolls_per_page=SCROLLS_PER_PAGE,
+        scroll_interval_s=1.5,
+        sample_rate_hz=50.0,
+        seed=7,
+    )
+
+    print(format_table(study.discharge_rows(), title="Figure 3 — battery discharge per browser"))
+    print()
+    print(format_table(study.device_cpu_rows(), title="Figure 4 — device CPU utilisation"))
+    print()
+
+    ranking = study.discharge_ranking(mirroring=False)
+    print(f"energy-efficiency ranking (best first): {', '.join(ranking)}")
+    print(
+        "mirroring overhead per run: "
+        + ", ".join(
+            f"{browser}: {study.mirroring_overhead_mah(browser):.1f} mAh"
+            for browser in study.browsers()
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

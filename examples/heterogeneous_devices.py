@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Beyond phones: iOS, laptop and IoT devices on one vantage point.
+
+The paper focuses on Android but argues there is "no fundamental constraint
+which would not allow BatteryLab to support laptops or IoT devices", and
+describes how iOS devices would be mirrored (AirPlay) and automated
+(Bluetooth keyboard).  This example exercises all of that on a single
+vantage point:
+
+* an iPhone mirrored over AirPlay and driven with the Bluetooth keyboard,
+* a ThinkPad running a transcode service, measured at its battery pack,
+* a mains-powered Raspberry Pi Zero sensor node measured at its 5 V supply,
+* plus a BattOr-style portable logger capture for a walking-around scenario.
+
+Run it with ``python examples/heterogeneous_devices.py``.
+"""
+
+from repro import build_default_platform
+from repro.core.session import MeasurementSession
+from repro.device.ios import IOSDevice
+from repro.device.linux import RASPBERRY_PI_ZERO_W, THINKPAD_X250, LinuxDevice
+from repro.device.apps import InstalledApp
+from repro.powermonitor.battor import BattOrMonitor
+
+
+def main() -> None:
+    platform = build_default_platform(seed=7, browsers=("chrome",))
+    handle = platform.vantage_point()
+    controller = handle.controller
+    context = platform.context
+
+    # -- iPhone: AirPlay mirroring + Bluetooth keyboard automation -------------------
+    iphone = IOSDevice(context, udid="node1-ios00")
+    controller.add_device(iphone, wire_relay=True)
+    iphone.install_app(InstalledApp(package="com.apple.mobilesafari", label="Safari"))
+    iphone.packages.launch("com.apple.mobilesafari").set_activity(cpu_percent=14.0, screen_fps=20.0)
+
+    session = controller.start_mirroring("node1-ios00")
+    session.connect_viewer("experimenter")
+    controller.keyboard.connect("node1-ios00")
+    controller.keyboard.scroll_down(3)
+
+    handle.monitor.set_sample_rate(200.0)
+    controller.set_power_monitor(True)
+    controller.set_voltage(iphone.profile.battery_voltage_v)
+    ios_result = MeasurementSession(controller, "node1-ios00", label="iphone-safari").measure(45.0)
+    controller.stop_mirroring("node1-ios00")
+    controller.keyboard.disconnect()
+    print(f"iPhone 8 / Safari with AirPlay mirroring: {ios_result.median_current_ma():.0f} mA median, "
+          f"{ios_result.discharge_mah():.2f} mAh over {ios_result.duration_s():.0f} s")
+
+    # -- Laptop: measured at its 11.4 V battery pack ----------------------------------
+    laptop = LinuxDevice(context, serial="node1-laptop00", profile=THINKPAD_X250)
+    controller.add_device(laptop, pair_bluetooth=False)
+    laptop.install_service("transcode")
+    laptop.run_command("display on")
+    laptop.run_command("systemctl start transcode 60 2.0")
+    controller.set_voltage(THINKPAD_X250.supply_voltage_v)
+    laptop_result = MeasurementSession(controller, "node1-laptop00", label="laptop-transcode").measure(30.0)
+    laptop.run_command("systemctl stop transcode")
+    print(f"ThinkPad X250 transcoding:               {laptop_result.median_current_ma():.0f} mA median "
+          f"at {THINKPAD_X250.supply_voltage_v} V")
+
+    # -- IoT node: battery-less, measured at its 5 V supply ---------------------------
+    node = LinuxDevice(context, serial="node1-iot00", profile=RASPBERRY_PI_ZERO_W)
+    controller.add_device(node, pair_bluetooth=False)
+    node.install_service("sensor-upload")
+    node.run_command("systemctl start sensor-upload 25 0.3")
+    controller.set_voltage(5.0)
+    iot_result = MeasurementSession(controller, "node1-iot00", label="iot-sensor").measure(30.0)
+    print(f"Raspberry Pi Zero W sensor node:         {iot_result.median_current_ma():.0f} mA median at 5 V")
+
+    # -- Mobility: BattOr-style portable capture on the phone -------------------------
+    phone = handle.device()
+    phone.packages.launch("com.android.chrome")
+    # Walking around: the phone leaves the bench, so no USB power and the
+    # cellular radio carries its traffic.
+    controller.set_device_usb_power(phone.serial, False)
+    phone.connect_cellular()
+    battor = BattOrMonitor(context, serial="node1-battor00")
+    battor.attach_to_device(phone, label="walking-phone")
+    battor.start_capture(label="commute")
+    platform.run_for(60.0)
+    trace = battor.stop_capture()
+    print(f"BattOr capture on the walking phone:     {trace.median_current_ma():.0f} mA median, "
+          f"{len(trace)} samples at {battor.spec.sample_rate_hz:.0f} Hz, "
+          f"logger battery at {battor.status()['logger_battery_percent']}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""How to join BatteryLab: provisioning a new vantage point (Section 3.4).
+
+A member institution assembles the recommended hardware (Raspberry Pi
+controller, Monsoon power monitor, relay circuit, a phone), opens the
+required ports (2222/8080/6081), and registers with the access server.  The
+access server runs the join procedure: DNS registration under
+``batterylab.dev``, controller image flashing, SSH public-key authorisation
+with IP white-listing, wildcard-certificate deployment, and a check that at
+least one Android device is connected.
+
+This example adds a second vantage point ("node2", hosted by an example
+university with a Pixel 3a behind a slower uplink) to the default platform
+and then schedules a job on it through the shared access server.
+
+Run it with ``python examples/join_vantage_point.py``.
+"""
+
+from repro import build_default_platform
+from repro.accessserver.jobs import JobConstraints, JobSpec
+from repro.core.platform import add_vantage_point
+from repro.device.profiles import PIXEL_3A
+from repro.network.link import NetworkLink
+
+
+def main() -> None:
+    platform = build_default_platform(seed=7)
+    server = platform.access_server
+
+    print("Registered vantage points before joining:", [r.name for r in server.vantage_points()])
+
+    handle = add_vantage_point(
+        platform,
+        node_identifier="node2",
+        institution="Example University",
+        device_profiles=[PIXEL_3A],
+        browsers=("brave", "chrome"),
+        uplink=NetworkLink(name="node2-uplink", downlink_mbps=25.0, uplink_mbps=8.0, latency_ms=18.0),
+        home_region="US",
+    )
+
+    report = handle.record.report
+    print(f"\nJoin procedure for {report.dns_name} (image {report.image_version}):")
+    for step in report.steps:
+        status = "ok" if step.passed else "FAILED"
+        print(f"  [{status:6}] {step.name}: {step.detail}")
+
+    print("\nRegistered vantage points after joining:", [r.name for r in server.vantage_points()])
+    print("DNS record:", server.dns.resolve("node2"))
+
+    # The new node is immediately schedulable: run a device-inventory job on it.
+    def inventory(ctx):
+        return {serial: ctx.api.controller.device(serial).summary() for serial in ctx.api.list_devices()}
+
+    job = server.submit_job(
+        platform.experimenter,
+        JobSpec(
+            name="node2-inventory",
+            owner="experimenter",
+            run=inventory,
+            constraints=JobConstraints(vantage_point="node2"),
+        ),
+    )
+    server.run_pending_jobs()
+    print("\nInventory job result:")
+    for serial, summary in job.result.items():
+        print(f"  {serial}: {summary['model']} ({summary['os']}), battery {summary['battery_percent']}%")
+
+
+if __name__ == "__main__":
+    main()

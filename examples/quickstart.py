@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble BatteryLab and take a first power measurement.
+
+This example builds the paper's deployment (access server + the Imperial
+College vantage point: Samsung J7 Duo, Monsoon HVPM, Raspberry Pi 3B+ and a
+Meross power socket), then walks the Table 1 API end to end:
+
+1. list the test devices at the vantage point,
+2. power the Monsoon through the WiFi socket and set its output voltage,
+3. play the pre-loaded mp4 on the device (the Section 4.1 workload),
+4. measure the current drawn for one minute and print the statistics,
+5. repeat with device mirroring active to see its overhead.
+
+Run it with ``python examples/quickstart.py``.
+"""
+
+from repro import build_default_platform
+from repro.analysis.tables import format_table
+from repro.core.session import MeasurementSession
+from repro.workloads.video import VIDEO_PLAYER_PACKAGE
+
+
+def main() -> None:
+    platform = build_default_platform(seed=7)
+    api = platform.api()
+
+    # 1. Device selection.
+    device_id = api.list_devices()[0]
+    print(f"test devices at node1: {api.list_devices()}")
+
+    # 2. Power up the Monsoon and set the Samsung J7 Duo's nominal voltage.
+    api.power_monitor()
+    api.set_voltage(3.85)
+
+    # 3. Start the local video playback over ADB (screen stays busy).
+    api.execute_adb(
+        device_id,
+        "shell am start -a android.intent.action.VIEW "
+        f"-d file:///sdcard/Movies/test.mp4 -n {VIDEO_PLAYER_PACKAGE}/.Player",
+    )
+    platform.run_for(2.0)
+
+    # 4. Measure one minute of playback without mirroring.
+    controller = platform.vantage_point().controller
+    plain = MeasurementSession(controller, device_id, mirroring=False, label="playback").measure(60.0)
+
+    # 5. And one minute with device mirroring (scrcpy -> VNC -> noVNC) active.
+    mirrored = MeasurementSession(
+        controller, device_id, mirroring=True, label="playback+mirroring"
+    ).measure(60.0)
+
+    api.execute_adb(device_id, f"shell am force-stop {VIDEO_PLAYER_PACKAGE}")
+
+    rows = [plain.summary_row(), mirrored.summary_row()]
+    print()
+    print(format_table(rows, title="One-minute mp4 playback, with and without mirroring"))
+    print()
+    overhead = mirrored.median_current_ma() - plain.median_current_ma()
+    print(f"device mirroring adds about {overhead:.0f} mA of median current draw")
+    print(f"battery level after the runs: {platform.vantage_point().device().battery.level_percent:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

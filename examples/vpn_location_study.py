@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Network-location study: battery measurements through emulated vantage points.
+
+Reproduces Section 4.3: the controller tunnels its traffic through the five
+ProtonVPN exits of Table 2 (Johannesburg, Hong Kong, Bunkyo, Sao Paulo,
+Santa Clara), measures the achievable bandwidth/latency through each tunnel
+(Table 2), and then runs the Brave and Chrome browser workloads behind each
+tunnel to see how network location affects the energy readings (Figure 6).
+
+Expected shape: location barely matters — except Chrome through the Japanese
+exit, which downloads ~20% fewer ad bytes and therefore consumes less.
+
+Run it with ``python examples/vpn_location_study.py``.
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.vpn_study import run_vpn_energy_study, run_vpn_speedtests
+
+
+def main() -> None:
+    print("Measuring each ProtonVPN tunnel with a speedtest probe ...")
+    table2 = run_vpn_speedtests(probes_per_location=3, seed=7)
+    print(format_table(table2, title="Table 2 — ProtonVPN statistics"))
+    print()
+
+    print("Running Brave and Chrome behind each tunnel (reduced workload) ...")
+    study = run_vpn_energy_study(repetitions=1, scrolls_per_page=8, sample_rate_hz=50.0, seed=7)
+    print(format_table(study.rows(), title="Figure 6 — discharge per VPN location"))
+    print()
+
+    drop = study.chrome_bandwidth_drop_japan()
+    if drop is not None:
+        print(f"Chrome transfers {drop:.0%} fewer bytes through the Japanese exit (smaller ads).")
+    chrome = {loc: study.discharge_summary(loc, "chrome").mean for loc in study.locations()}
+    cheapest = min(chrome, key=chrome.get)
+    print(f"Chrome's energy consumption is minimised at the {cheapest!r} exit, as in the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the wheel package.
+
+The project is fully described by pyproject.toml; this file only exists so
+that ``pip install -e . --no-use-pep517`` works offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""Access server substrate.
+
+BatteryLab's access server (Section 3.1) manages the vantage points and
+schedules experiments on them.  The paper builds it on Jenkins in AWS; this
+package reproduces the behaviours the platform depends on rather than
+Jenkins itself:
+
+* :mod:`~repro.accessserver.auth` — users, roles and the role-based
+  authorization matrix guarding job creation/edit/run;
+* :mod:`~repro.accessserver.jobs` — job specifications, job state, logs and
+  per-job workspaces with retention;
+* :mod:`~repro.accessserver.scheduler` — the queue that dispatches jobs
+  subject to experimenter constraints (target device, connectivity) and
+  platform constraints (one job at a time per device, low controller CPU);
+* :mod:`~repro.accessserver.dns` — the Route53-style ``batterylab.dev`` zone;
+* :mod:`~repro.accessserver.certificates` — wildcard Let's Encrypt-style
+  certificates and their renewal;
+* :mod:`~repro.accessserver.maintenance` — the built-in management jobs
+  (certificate deployment, power-monitor safety, factory reset);
+* :mod:`~repro.accessserver.testers` — recruitment of human testers and
+  shared mirroring sessions;
+* :class:`~repro.accessserver.server.AccessServer` — the piece that ties it
+  all together.
+"""
+
+from repro.accessserver.auth import (
+    AuthenticationError,
+    AuthorizationError,
+    Permission,
+    Role,
+    User,
+    UserRegistry,
+)
+from repro.accessserver.certificates import CertificateAuthority, WildcardCertificate
+from repro.accessserver.dns import DnsRecord, DnsZone
+from repro.accessserver.jobs import Job, JobContext, JobSpec, JobStatus
+from repro.accessserver.credits import (
+    CreditAccount,
+    CreditError,
+    CreditLedger,
+    CreditPolicy,
+    CreditTransaction,
+)
+from repro.accessserver.maintenance import (
+    build_certificate_renewal_job,
+    build_factory_reset_job,
+    build_power_safety_job,
+    build_workspace_cleanup_job,
+)
+from repro.accessserver.scheduler import JobScheduler, SessionReservation
+from repro.accessserver.server import AccessServer, VantagePointRecord
+from repro.accessserver.testers import Tester, TesterPool, TesterSession
+
+__all__ = [
+    "AuthenticationError",
+    "AuthorizationError",
+    "Permission",
+    "Role",
+    "User",
+    "UserRegistry",
+    "CertificateAuthority",
+    "WildcardCertificate",
+    "DnsRecord",
+    "DnsZone",
+    "Job",
+    "JobContext",
+    "JobSpec",
+    "JobStatus",
+    "CreditAccount",
+    "CreditError",
+    "CreditLedger",
+    "CreditPolicy",
+    "CreditTransaction",
+    "build_certificate_renewal_job",
+    "build_factory_reset_job",
+    "build_power_safety_job",
+    "build_workspace_cleanup_job",
+    "JobScheduler",
+    "SessionReservation",
+    "AccessServer",
+    "VantagePointRecord",
+    "Tester",
+    "TesterPool",
+    "TesterSession",
+]

@@ -1,0 +1,156 @@
+"""Users, roles and the authorization matrix.
+
+Section 3.1: experimenters must authenticate and be authorized before they
+can reach the access server's web console (HTTPS only); only authorized
+experimenters may create, edit or run jobs; and every pipeline change needs
+an administrator's approval, enforced through "a role-based authorization
+matrix".  This module implements that matrix.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+
+class AuthenticationError(RuntimeError):
+    """Raised when credentials are missing or wrong."""
+
+
+class AuthorizationError(RuntimeError):
+    """Raised when an authenticated user lacks a required permission."""
+
+
+class Role(str, enum.Enum):
+    ADMIN = "admin"
+    EXPERIMENTER = "experimenter"
+    TESTER = "tester"
+
+
+class Permission(str, enum.Enum):
+    CREATE_JOB = "create_job"
+    EDIT_JOB = "edit_job"
+    RUN_JOB = "run_job"
+    APPROVE_PIPELINE = "approve_pipeline"
+    MANAGE_VANTAGE_POINTS = "manage_vantage_points"
+    VIEW_RESULTS = "view_results"
+    REMOTE_CONTROL = "remote_control"
+
+
+#: The role-based authorization matrix.  Testers only ever get remote control
+#: of a device mirror shared with them; experimenters run experiments; admins
+#: additionally approve pipeline changes and manage vantage points.
+ROLE_PERMISSIONS: Dict[Role, FrozenSet[Permission]] = {
+    Role.ADMIN: frozenset(Permission),
+    Role.EXPERIMENTER: frozenset(
+        {
+            Permission.CREATE_JOB,
+            Permission.EDIT_JOB,
+            Permission.RUN_JOB,
+            Permission.VIEW_RESULTS,
+            Permission.REMOTE_CONTROL,
+        }
+    ),
+    Role.TESTER: frozenset({Permission.REMOTE_CONTROL}),
+}
+
+
+def _hash_token(token: str) -> str:
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class User:
+    """One account on the access server."""
+
+    username: str
+    role: Role
+    token_hash: str
+    email: str = ""
+    enabled: bool = True
+    extra_permissions: FrozenSet[Permission] = field(default_factory=frozenset)
+
+    def permissions(self) -> FrozenSet[Permission]:
+        return ROLE_PERMISSIONS[self.role] | self.extra_permissions
+
+    def has_permission(self, permission: Permission) -> bool:
+        return permission in self.permissions()
+
+
+class UserRegistry:
+    """Account store plus authentication/authorization entry points."""
+
+    def __init__(self, https_only: bool = True) -> None:
+        self._users: Dict[str, User] = {}
+        self._https_only = bool(https_only)
+
+    @property
+    def https_only(self) -> bool:
+        """The web console is only reachable over HTTPS (Section 3.1)."""
+        return self._https_only
+
+    def add_user(
+        self,
+        username: str,
+        role: Role,
+        token: str,
+        email: str = "",
+        extra_permissions: Optional[FrozenSet[Permission]] = None,
+    ) -> User:
+        if not username:
+            raise ValueError("username must be non-empty")
+        if username in self._users:
+            raise ValueError(f"user {username!r} already exists")
+        if not token:
+            raise ValueError("token must be non-empty")
+        user = User(
+            username=username,
+            role=Role(role),
+            token_hash=_hash_token(token),
+            email=email,
+            extra_permissions=extra_permissions or frozenset(),
+        )
+        self._users[username] = user
+        return user
+
+    def remove_user(self, username: str) -> None:
+        self._users.pop(username, None)
+
+    def disable_user(self, username: str) -> None:
+        self.get(username).enabled = False
+
+    def get(self, username: str) -> User:
+        try:
+            return self._users[username]
+        except KeyError:
+            raise AuthenticationError(f"unknown user {username!r}") from None
+
+    def usernames(self) -> List[str]:
+        return sorted(self._users)
+
+    def users_with_role(self, role: Role) -> List[User]:
+        return [user for user in self._users.values() if user.role is role]
+
+    # -- authn / authz -------------------------------------------------------------
+    def authenticate(self, username: str, token: str, over_https: bool = True) -> User:
+        """Validate credentials; HTTP access is rejected when HTTPS-only is set."""
+        if self._https_only and not over_https:
+            raise AuthenticationError("the web console is only available over HTTPS")
+        user = self.get(username)
+        if not user.enabled:
+            raise AuthenticationError(f"user {username!r} is disabled")
+        if user.token_hash != _hash_token(token):
+            raise AuthenticationError("invalid credentials")
+        return user
+
+    def authorize(self, user: User, permission: Permission) -> None:
+        """Raise :class:`AuthorizationError` unless ``user`` holds ``permission``."""
+        if not user.enabled:
+            raise AuthorizationError(f"user {user.username!r} is disabled")
+        if not user.has_permission(permission):
+            raise AuthorizationError(
+                f"user {user.username!r} (role {user.role.value}) lacks permission "
+                f"{Permission(permission).value!r}"
+            )

@@ -1,0 +1,120 @@
+"""Wildcard certificates and their renewal.
+
+BatteryLab serves its GUI over HTTPS with a wildcard Let's Encrypt
+certificate for ``*.batterylab.dev``; the access server owns the certificate,
+renews it before expiry, and automatically deploys the renewed certificate
+to every vantage point (Sections 3.1 and 3.4).  The model captures issuance,
+expiry, the renewal window, and deployment over SSH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class CertificateError(RuntimeError):
+    """Raised for operations on expired or missing certificates."""
+
+
+@dataclass(frozen=True)
+class WildcardCertificate:
+    """A (very) simplified X.509 wildcard certificate."""
+
+    common_name: str
+    serial_number: int
+    issued_at: float
+    lifetime_s: float
+    issuer: str = "letsencrypt"
+
+    @property
+    def expires_at(self) -> float:
+        return self.issued_at + self.lifetime_s
+
+    def is_valid(self, now: float) -> bool:
+        return self.issued_at <= now < self.expires_at
+
+    def remaining_s(self, now: float) -> float:
+        return max(0.0, self.expires_at - now)
+
+    @property
+    def pem(self) -> bytes:
+        """A stand-in PEM blob deployed to controllers."""
+        return (
+            f"-----BEGIN CERTIFICATE-----\n"
+            f"CN={self.common_name};serial={self.serial_number};"
+            f"notBefore={self.issued_at};notAfter={self.expires_at}\n"
+            f"-----END CERTIFICATE-----\n"
+        ).encode("utf-8")
+
+
+#: Let's Encrypt certificates last 90 days and are typically renewed with 30
+#: days to spare.
+DEFAULT_LIFETIME_S = 90 * 24 * 3600.0
+DEFAULT_RENEWAL_WINDOW_S = 30 * 24 * 3600.0
+
+
+class CertificateAuthority:
+    """A Let's Encrypt-style CA issuing wildcard certificates for the platform."""
+
+    def __init__(
+        self,
+        domain: str = "batterylab.dev",
+        lifetime_s: float = DEFAULT_LIFETIME_S,
+        renewal_window_s: float = DEFAULT_RENEWAL_WINDOW_S,
+    ) -> None:
+        if lifetime_s <= 0:
+            raise ValueError("certificate lifetime must be positive")
+        if not 0 < renewal_window_s < lifetime_s:
+            raise ValueError("renewal window must be positive and shorter than the lifetime")
+        self._domain = domain
+        self._lifetime_s = float(lifetime_s)
+        self._renewal_window_s = float(renewal_window_s)
+        self._next_serial = 1
+        self._issued: List[WildcardCertificate] = []
+
+    @property
+    def domain(self) -> str:
+        return self._domain
+
+    @property
+    def issued(self) -> List[WildcardCertificate]:
+        return list(self._issued)
+
+    def issue(self, now: float) -> WildcardCertificate:
+        """Issue a fresh wildcard certificate valid from ``now``."""
+        certificate = WildcardCertificate(
+            common_name=f"*.{self._domain}",
+            serial_number=self._next_serial,
+            issued_at=now,
+            lifetime_s=self._lifetime_s,
+        )
+        self._next_serial += 1
+        self._issued.append(certificate)
+        return certificate
+
+    def needs_renewal(self, certificate: Optional[WildcardCertificate], now: float) -> bool:
+        """True when no certificate exists, it expired, or it is inside the renewal window."""
+        if certificate is None:
+            return True
+        return certificate.remaining_s(now) <= self._renewal_window_s
+
+    def renew_if_needed(
+        self, certificate: Optional[WildcardCertificate], now: float
+    ) -> Optional[WildcardCertificate]:
+        """Return a new certificate when renewal is due, otherwise ``None``."""
+        if self.needs_renewal(certificate, now):
+            return self.issue(now)
+        return None
+
+
+def deploy_certificate(channel, certificate: WildcardCertificate) -> str:
+    """Copy a certificate to a controller over an open SSH channel.
+
+    Returns the remote path the certificate was written to.  This is the
+    operation the certificate-renewal maintenance job performs against every
+    vantage point.
+    """
+    remote_path = "/etc/batterylab/wildcard.pem"
+    channel.copy_file(remote_path, certificate.pem)
+    return remote_path

@@ -1,0 +1,76 @@
+"""The ``batterylab.dev`` DNS zone.
+
+Joining members get a human-readable identifier that becomes an A record in
+BatteryLab's zone (``node1.batterylab.dev``), hosted on Amazon Route53 in
+the real deployment.  The model is a plain authoritative zone with add /
+remove / resolve plus a change log, which is enough for the join procedure
+and the tests that exercise it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class DnsError(RuntimeError):
+    """Raised for lookups of names that do not exist in the zone."""
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    name: str
+    address: str
+    record_type: str = "A"
+    ttl_s: int = 300
+
+
+class DnsZone:
+    """An authoritative zone (``batterylab.dev`` by default)."""
+
+    def __init__(self, origin: str = "batterylab.dev") -> None:
+        if not origin:
+            raise ValueError("zone origin must be non-empty")
+        self._origin = origin
+        self._records: Dict[str, DnsRecord] = {}
+        self._change_log: List[str] = []
+
+    @property
+    def origin(self) -> str:
+        return self._origin
+
+    def _qualify(self, name: str) -> str:
+        if name.endswith(self._origin):
+            return name
+        return f"{name}.{self._origin}"
+
+    def register(self, name: str, address: str, ttl_s: int = 300) -> DnsRecord:
+        """Create or update an A record for ``name`` (relative names are qualified)."""
+        fqdn = self._qualify(name)
+        record = DnsRecord(name=fqdn, address=address, ttl_s=ttl_s)
+        action = "UPSERT" if fqdn in self._records else "CREATE"
+        self._records[fqdn] = record
+        self._change_log.append(f"{action} {fqdn} -> {address}")
+        return record
+
+    def deregister(self, name: str) -> None:
+        fqdn = self._qualify(name)
+        if fqdn in self._records:
+            del self._records[fqdn]
+            self._change_log.append(f"DELETE {fqdn}")
+
+    def resolve(self, name: str) -> str:
+        fqdn = self._qualify(name)
+        record = self._records.get(fqdn)
+        if record is None:
+            raise DnsError(f"{fqdn} does not resolve in zone {self._origin}")
+        return record.address
+
+    def contains(self, name: str) -> bool:
+        return self._qualify(name) in self._records
+
+    def records(self) -> List[DnsRecord]:
+        return [self._records[name] for name in sorted(self._records)]
+
+    def change_log(self) -> List[str]:
+        return list(self._change_log)

@@ -1,0 +1,204 @@
+"""Jobs, job workspaces and job execution context.
+
+Experimenters "create jobs to be deployed in their favorite programming
+language" (Section 3.1); in this reproduction a job's payload is a Python
+callable receiving a :class:`JobContext`.  The access server enforces the
+paper's rules around jobs: only authorized experimenters create/edit/run
+them, pipeline changes need administrator approval, power-meter logs are
+kept in the job's workspace for several days, and Android logs are available
+on request through the ``execute_adb`` API.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+class JobError(RuntimeError):
+    """Raised for invalid job state transitions or workspace access."""
+
+
+class JobStatus(str, enum.Enum):
+    PENDING_APPROVAL = "pending_approval"
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class JobConstraints:
+    """Experimenter and platform constraints considered at dispatch time.
+
+    Attributes
+    ----------
+    vantage_point:
+        Name of the vantage point the job must run at (``None`` = any).
+    device_serial:
+        Specific test device required (``None`` = any device at the vantage point).
+    connectivity:
+        Required connectivity for the test device (``"wifi"`` or ``"cellular"``).
+    require_low_controller_cpu:
+        Optional constraint: only dispatch while the controller CPU is low.
+    max_controller_cpu_percent:
+        Threshold used when ``require_low_controller_cpu`` is set.
+    """
+
+    vantage_point: Optional[str] = None
+    device_serial: Optional[str] = None
+    connectivity: Optional[str] = None
+    require_low_controller_cpu: bool = False
+    max_controller_cpu_percent: float = 50.0
+
+
+@dataclass
+class JobSpec:
+    """Everything needed to run one experiment job."""
+
+    name: str
+    owner: str
+    run: Callable[["JobContext"], object]
+    description: str = ""
+    constraints: JobConstraints = field(default_factory=JobConstraints)
+    timeout_s: float = 3600.0
+    is_pipeline_change: bool = False
+    log_retention_days: float = 7.0
+
+
+@dataclass
+class Workspace:
+    """Per-job artefact store (power-meter logs, ADB output, results)."""
+
+    artifacts: Dict[str, object] = field(default_factory=dict)
+    created_at: float = 0.0
+    retention_days: float = 7.0
+
+    def store(self, name: str, value: object) -> None:
+        if not name:
+            raise JobError("artifact name must be non-empty")
+        self.artifacts[name] = value
+
+    def fetch(self, name: str) -> object:
+        try:
+            return self.artifacts[name]
+        except KeyError:
+            raise JobError(f"no artifact named {name!r} in the workspace") from None
+
+    def names(self) -> List[str]:
+        return sorted(self.artifacts)
+
+    def expired(self, now: float) -> bool:
+        return now > self.created_at + self.retention_days * 24 * 3600.0
+
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """A job instance tracked by the scheduler."""
+
+    spec: JobSpec
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    status: JobStatus = JobStatus.QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    assigned_vantage_point: Optional[str] = None
+    assigned_device: Optional[str] = None
+    result: object = None
+    error: Optional[str] = None
+    log_lines: List[str] = field(default_factory=list)
+    workspace: Workspace = field(default_factory=Workspace)
+
+    def log(self, message: str) -> None:
+        self.log_lines.append(message)
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def mark_running(self, now: float, vantage_point: str, device: Optional[str]) -> None:
+        if self.status not in (JobStatus.QUEUED,):
+            raise JobError(f"cannot start job {self.job_id} from status {self.status.value}")
+        self.status = JobStatus.RUNNING
+        self.started_at = now
+        self.assigned_vantage_point = vantage_point
+        self.assigned_device = device
+
+    def mark_completed(self, now: float, result: object) -> None:
+        if self.status is not JobStatus.RUNNING:
+            raise JobError(f"cannot complete job {self.job_id} from status {self.status.value}")
+        self.status = JobStatus.COMPLETED
+        self.finished_at = now
+        self.result = result
+
+    def mark_failed(self, now: float, error: str) -> None:
+        if self.status is not JobStatus.RUNNING:
+            raise JobError(f"cannot fail job {self.job_id} from status {self.status.value}")
+        self.status = JobStatus.FAILED
+        self.finished_at = now
+        self.error = error
+
+    def mark_cancelled(self) -> None:
+        if self.status in (JobStatus.COMPLETED, JobStatus.FAILED):
+            raise JobError(f"cannot cancel finished job {self.job_id}")
+        self.status = JobStatus.CANCELLED
+
+
+class JobContext:
+    """What a running job sees: its device, the platform API, logging and storage.
+
+    Parameters
+    ----------
+    job:
+        The job being executed.
+    api:
+        A :class:`repro.core.api.BatteryLabAPI` bound to the job's vantage point.
+    device_serial:
+        The test device reserved for this job.
+    clock:
+        Callable returning the current simulated time.
+    """
+
+    def __init__(
+        self,
+        job: Job,
+        api,
+        device_serial: Optional[str],
+        clock: Callable[[], float],
+    ) -> None:
+        self._job = job
+        self._api = api
+        self._device_serial = device_serial
+        self._clock = clock
+
+    @property
+    def job(self) -> Job:
+        return self._job
+
+    @property
+    def api(self):
+        """The BatteryLab Python API (Table 1) bound to this job's vantage point."""
+        return self._api
+
+    @property
+    def device_serial(self) -> Optional[str]:
+        return self._device_serial
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def log(self, message: str) -> None:
+        self._job.log(f"[{self.now:10.1f}] {message}")
+
+    def store_artifact(self, name: str, value: object) -> None:
+        """Persist an artefact (trace, table, ADB dump) in the job workspace."""
+        self._job.workspace.store(name, value)

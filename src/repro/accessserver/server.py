@@ -1,0 +1,338 @@
+"""The BatteryLab access server.
+
+The access server (Section 3.1) is the single entry point for
+experimenters: it authenticates them, lets authorized users create and run
+jobs, schedules those jobs onto vantage points subject to the platform's
+constraints, keeps job logs/workspaces for several days, runs the built-in
+maintenance jobs, and owns the platform-wide assets (the ``batterylab.dev``
+DNS zone, the wildcard certificate, the SSH identity trusted by every
+controller).  The real deployment builds this on Jenkins in AWS; the model
+keeps the behaviour and drops the Java.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.accessserver.auth import Permission, Role, User, UserRegistry
+from repro.accessserver.certificates import CertificateAuthority, WildcardCertificate
+from repro.accessserver.credits import CreditLedger, CreditPolicy
+from repro.accessserver.dns import DnsZone
+from repro.accessserver.jobs import Job, JobContext, JobSpec, JobStatus
+from repro.accessserver.scheduler import JobScheduler, SessionReservation
+from repro.accessserver.testers import TesterPool
+from repro.network.ssh import SshChannel, SshKeyPair
+from repro.simulation.entity import Entity, SimulationContext
+from repro.vantagepoint.controller import VantagePointController
+from repro.vantagepoint.provisioning import JoinRequest, ProvisioningReport, provision_vantage_point
+
+
+class AccessServerError(RuntimeError):
+    """Raised for platform-level errors (unknown vantage point, failed join, ...)."""
+
+
+@dataclass
+class VantagePointRecord:
+    """A registered vantage point as seen by the access server."""
+
+    name: str
+    controller: VantagePointController
+    institution: str
+    dns_name: str
+    report: ProvisioningReport
+    approved: bool = True
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class AccessServer(Entity):
+    """Central coordinator of the BatteryLab platform.
+
+    Parameters
+    ----------
+    context:
+        Simulation context.
+    public_address:
+        The cloud address vantage points white-list for SSH access.
+    domain:
+        Platform DNS domain (``batterylab.dev``).
+    """
+
+    def __init__(
+        self,
+        context: SimulationContext,
+        public_address: str = "52.16.0.10",
+        domain: str = "batterylab.dev",
+    ) -> None:
+        super().__init__(context, "access-server")
+        self._public_address = public_address
+        self.users = UserRegistry(https_only=True)
+        self.dns = DnsZone(origin=domain)
+        self.certificate_authority = CertificateAuthority(domain=domain)
+        self._wildcard_certificate: Optional[WildcardCertificate] = (
+            self.certificate_authority.issue(context.now)
+        )
+        self.scheduler = JobScheduler()
+        self.testers = TesterPool()
+        self.ssh_key = SshKeyPair.generate("batterylab-access-server", self.random)
+        self._vantage_points: Dict[str, VantagePointRecord] = {}
+        self._pending_approval: List[Job] = []
+        self._credit_policy: Optional[CreditPolicy] = None
+
+    # -- platform assets -------------------------------------------------------------
+    @property
+    def public_address(self) -> str:
+        return self._public_address
+
+    @property
+    def wildcard_certificate(self) -> Optional[WildcardCertificate]:
+        return self._wildcard_certificate
+
+    def set_wildcard_certificate(self, certificate: WildcardCertificate) -> None:
+        self._wildcard_certificate = certificate
+
+    # -- credit system -----------------------------------------------------------------
+    @property
+    def credit_policy(self) -> Optional[CreditPolicy]:
+        return self._credit_policy
+
+    def enable_credit_system(
+        self,
+        contribution_multiplier: float = 1.5,
+        initial_grant_device_hours: float = 5.0,
+        minimum_reservation_hours: float = 0.25,
+    ) -> CreditLedger:
+        """Turn on the access-by-credit model sketched in the paper's conclusion.
+
+        Once enabled, experimenters without a credit balance cannot submit
+        jobs; institutions that contribute vantage points earn credits for
+        the device time they make available (see
+        :mod:`repro.accessserver.credits`).  Returns the ledger so callers
+        can open contributor accounts and award contributions.
+        """
+        ledger = CreditLedger(
+            contribution_multiplier=contribution_multiplier,
+            initial_grant_device_hours=initial_grant_device_hours,
+        )
+        self._credit_policy = CreditPolicy(
+            ledger, minimum_reservation_hours=minimum_reservation_hours
+        )
+        self.log("credit system enabled")
+        return ledger
+
+    def _credit_account_for(self, owner: str):
+        assert self._credit_policy is not None
+        ledger = self._credit_policy.ledger
+        try:
+            return ledger.account(owner)
+        except Exception:
+            return ledger.open_account(owner, now=self.context.now)
+
+    # -- membership --------------------------------------------------------------------
+    def register_vantage_point(
+        self,
+        controller: VantagePointController,
+        request: JoinRequest,
+    ) -> VantagePointRecord:
+        """Run the join procedure for a new member and register its vantage point."""
+        if request.node_identifier in self._vantage_points:
+            raise AccessServerError(
+                f"a vantage point named {request.node_identifier!r} is already registered"
+            )
+        report = provision_vantage_point(
+            controller,
+            request,
+            access_server_key=self.ssh_key,
+            access_server_address=self._public_address,
+            dns_registry=self.dns,
+            certificate=self._wildcard_certificate,
+        )
+        if not report.succeeded:
+            failed = ", ".join(step.name for step in report.failed_steps())
+            raise AccessServerError(
+                f"vantage point {request.node_identifier!r} failed provisioning: {failed}"
+            )
+        record = VantagePointRecord(
+            name=request.node_identifier,
+            controller=controller,
+            institution=request.institution,
+            dns_name=report.dns_name,
+            report=report,
+        )
+        self._vantage_points[record.name] = record
+        for serial in controller.list_devices():
+            self.scheduler.register_device(record.name, serial)
+        self.log("vantage point registered", name=record.name, devices=controller.list_devices())
+        return record
+
+    def vantage_point(self, name: str) -> VantagePointRecord:
+        try:
+            return self._vantage_points[name]
+        except KeyError:
+            raise AccessServerError(f"unknown vantage point {name!r}") from None
+
+    def vantage_points(self) -> List[VantagePointRecord]:
+        return [self._vantage_points[name] for name in sorted(self._vantage_points)]
+
+    def open_ssh_channel(self, vantage_point_name: str) -> SshChannel:
+        """Open an authenticated SSH channel to a vantage point controller."""
+        record = self.vantage_point(vantage_point_name)
+        return record.controller.ssh_server.open_channel(self.ssh_key, self._public_address)
+
+    # -- job lifecycle ---------------------------------------------------------------------
+    def submit_job(self, user: User, spec: JobSpec) -> Job:
+        """Create a job on behalf of an authenticated user.
+
+        Pipeline changes are parked until an administrator approves them;
+        ordinary jobs go straight into the queue.  When the credit system is
+        enabled, non-admin owners must be able to afford the job's estimated
+        device time (its timeout) before it is accepted.
+        """
+        self.users.authorize(user, Permission.CREATE_JOB)
+        if self._credit_policy is not None and user.role is not Role.ADMIN:
+            self._credit_account_for(user.username)
+            self._credit_policy.authorize(
+                user.username, estimated_device_hours=spec.timeout_s / 3600.0
+            )
+        job = Job(spec=spec)
+        if spec.is_pipeline_change:
+            job.status = JobStatus.PENDING_APPROVAL
+            self._pending_approval.append(job)
+            self.scheduler.submit(job, self.context.now)
+            self.log("job pending approval", job=spec.name, owner=user.username)
+        else:
+            self.scheduler.submit(job, self.context.now)
+            self.log("job queued", job=spec.name, owner=user.username)
+        return job
+
+    def approve_job(self, admin: User, job: Job) -> None:
+        """Administrator approval of a pipeline change (Section 3.1)."""
+        self.users.authorize(admin, Permission.APPROVE_PIPELINE)
+        if job not in self._pending_approval:
+            raise AccessServerError(f"job {job.job_id} is not awaiting approval")
+        self._pending_approval.remove(job)
+        self.scheduler.enqueue_approved(job)
+        self.log("job approved", job=job.spec.name, approver=admin.username)
+
+    def pending_approval(self) -> List[Job]:
+        return list(self._pending_approval)
+
+    def _controller_cpu(self, vantage_point_name: str) -> float:
+        record = self.vantage_point(vantage_point_name)
+        samples = record.controller.cpu_samples
+        if not samples:
+            return 0.0
+        return samples[-1].total_percent
+
+    def run_pending_jobs(self, max_jobs: int = 10) -> List[Job]:
+        """Dispatch and synchronously execute queued jobs, honouring all constraints.
+
+        Jobs run one after another (one job at a time per device); each job's
+        power-meter logs and artefacts end up in its workspace.  Returns the
+        jobs that were executed by this call.
+        """
+        from repro.core.api import BatteryLabAPI
+
+        executed: List[Job] = []
+        for _ in range(max_jobs):
+            dispatch = self.scheduler.next_dispatchable(
+                self.context.now, controller_cpu=self._controller_cpu
+            )
+            if dispatch is None:
+                break
+            job, vantage_point_name, device_serial = dispatch
+            record = self.vantage_point(vantage_point_name)
+            self.scheduler.assign(job, vantage_point_name, device_serial, self.context.now)
+            api = BatteryLabAPI(record.controller)
+            ctx = JobContext(job, api, device_serial, clock=lambda: self.context.now)
+            try:
+                result = job.spec.run(ctx)
+            except Exception as exc:
+                job.mark_failed(self.context.now, str(exc))
+                self.log("job failed", job=job.spec.name, error=str(exc))
+            else:
+                job.mark_completed(self.context.now, result)
+                self.log("job completed", job=job.spec.name)
+            finally:
+                self.scheduler.release(job)
+                # Power-meter logs are collected by default and retained in
+                # the workspace for several days (Section 3.1).
+                monitor = record.controller.monitor
+                if monitor is not None and monitor.last_trace() is not None:
+                    job.workspace.store("power_meter_trace", monitor.last_trace())
+                # Settle consumed device time against the owner's credits.
+                if self._credit_policy is not None:
+                    owner = job.spec.owner
+                    owner_is_admin = (
+                        owner in self.users.usernames()
+                        and self.users.get(owner).role is Role.ADMIN
+                    )
+                    if not owner_is_admin:
+                        account = self._credit_account_for(owner)
+                        consumed_hours = (job.duration_s or 0.0) / 3600.0
+                        consumed_hours = min(consumed_hours, account.balance_device_hours)
+                        self._credit_policy.settle(
+                            owner, consumed_hours, self.context.now, note=f"job {job.job_id}"
+                        )
+            executed.append(job)
+        return executed
+
+    # -- interactive sessions ------------------------------------------------------------------
+    def reserve_session(
+        self,
+        user: User,
+        vantage_point_name: str,
+        device_serial: str,
+        start_s: float,
+        duration_s: float,
+    ) -> SessionReservation:
+        """Reserve a timed interactive slot on one device."""
+        self.users.authorize(user, Permission.REMOTE_CONTROL)
+        self.vantage_point(vantage_point_name)
+        return self.scheduler.reserve_session(
+            user.username, vantage_point_name, device_serial, start_s, duration_s
+        )
+
+    def share_with_tester(
+        self,
+        experimenter: User,
+        tester_id: int,
+        vantage_point_name: str,
+        device_serial: str,
+        duration_s: float,
+        show_toolbar: bool = False,
+    ):
+        """Share a mirrored device with a recruited tester for manual interaction."""
+        self.users.authorize(experimenter, Permission.REMOTE_CONTROL)
+        record = self.vantage_point(vantage_point_name)
+        session = record.controller.start_mirroring(device_serial)
+        if not show_toolbar:
+            session.novnc.toolbar.hide()
+        else:
+            session.novnc.toolbar.show()
+        tester_session = self.testers.open_session(
+            tester_id,
+            vantage_point_name,
+            device_serial,
+            now=self.context.now,
+            duration_s=duration_s,
+            toolbar_visible=show_toolbar,
+        )
+        session.connect_viewer(tester_session.tester.name, role="tester")
+        return tester_session
+
+    # -- bootstrap helpers --------------------------------------------------------------------
+    def bootstrap_admin(self, username: str = "admin", token: str = "admin-token") -> User:
+        """Create the initial administrator account."""
+        return self.users.add_user(username, Role.ADMIN, token)
+
+    def status(self) -> dict:
+        return {
+            "vantage_points": [record.name for record in self.vantage_points()],
+            "users": self.users.usernames(),
+            "queued_jobs": self.scheduler.queue_length(),
+            "pending_approval": len(self._pending_approval),
+            "certificate_serial": self._wildcard_certificate.serial_number
+            if self._wildcard_certificate
+            else None,
+        }

@@ -1,0 +1,156 @@
+"""Human testers and shared remote-control sessions.
+
+BatteryLab distinguishes *experimenters* (who design and deploy tests) from
+*testers*, "whose task is to manually interact with a device"; testers are
+"either volunteers, recruited via email or social media, or paid, recruited
+via crowdsourcing websites like Mechanical Turk and Figure Eight"
+(Section 3).  The GUI toolbar can be hidden from the page shared with a test
+participant (Section 3.2).  This module models recruitment, session sharing
+and the tester-facing URL.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class RecruitmentChannel(str, enum.Enum):
+    VOLUNTEER_EMAIL = "volunteer-email"
+    VOLUNTEER_SOCIAL = "volunteer-social"
+    MECHANICAL_TURK = "mechanical-turk"
+    FIGURE_EIGHT = "figure-eight"
+
+
+#: Channels whose participants are paid per task.
+PAID_CHANNELS = frozenset({RecruitmentChannel.MECHANICAL_TURK, RecruitmentChannel.FIGURE_EIGHT})
+
+
+class TesterError(RuntimeError):
+    """Raised for unknown testers or invalid session operations."""
+
+
+@dataclass
+class Tester:
+    """One recruited test participant."""
+
+    tester_id: int
+    name: str
+    channel: RecruitmentChannel
+    hourly_rate_usd: float = 0.0
+
+    @property
+    def paid(self) -> bool:
+        return self.channel in PAID_CHANNELS
+
+
+@dataclass
+class TesterSession:
+    """A device-mirroring session shared with one tester."""
+
+    session_id: int
+    tester: Tester
+    vantage_point: str
+    device_serial: str
+    share_url: str
+    toolbar_visible: bool
+    started_at: float
+    duration_s: float
+    actions: List[str] = field(default_factory=list)
+    closed: bool = False
+
+    def record_action(self, action: str) -> None:
+        if self.closed:
+            raise TesterError(f"session {self.session_id} is closed")
+        self.actions.append(action)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def cost_usd(self) -> float:
+        """What the session costs (zero for volunteers)."""
+        if not self.tester.paid:
+            return 0.0
+        return self.tester.hourly_rate_usd * self.duration_s / 3600.0
+
+
+class TesterPool:
+    """Recruits testers and hands out shared sessions."""
+
+    def __init__(self) -> None:
+        self._testers: Dict[int, Tester] = {}
+        self._sessions: Dict[int, TesterSession] = {}
+        self._tester_ids = itertools.count(1)
+        self._session_ids = itertools.count(1)
+
+    # -- recruitment ------------------------------------------------------------
+    def recruit(
+        self,
+        name: str,
+        channel: RecruitmentChannel,
+        hourly_rate_usd: float = 0.0,
+    ) -> Tester:
+        channel = RecruitmentChannel(channel)
+        if channel in PAID_CHANNELS and hourly_rate_usd <= 0:
+            raise TesterError(f"paid channel {channel.value!r} requires a positive hourly rate")
+        tester = Tester(
+            tester_id=next(self._tester_ids),
+            name=name,
+            channel=channel,
+            hourly_rate_usd=hourly_rate_usd,
+        )
+        self._testers[tester.tester_id] = tester
+        return tester
+
+    def tester(self, tester_id: int) -> Tester:
+        try:
+            return self._testers[tester_id]
+        except KeyError:
+            raise TesterError(f"unknown tester {tester_id}") from None
+
+    def testers(self, channel: Optional[RecruitmentChannel] = None) -> List[Tester]:
+        testers = sorted(self._testers.values(), key=lambda t: t.tester_id)
+        if channel is None:
+            return testers
+        return [t for t in testers if t.channel is RecruitmentChannel(channel)]
+
+    # -- sessions ------------------------------------------------------------------
+    def open_session(
+        self,
+        tester_id: int,
+        vantage_point: str,
+        device_serial: str,
+        now: float,
+        duration_s: float,
+        toolbar_visible: bool = False,
+    ) -> TesterSession:
+        """Share a device mirror with a tester for a bounded amount of time."""
+        if duration_s <= 0:
+            raise TesterError("session duration must be positive")
+        tester = self.tester(tester_id)
+        session = TesterSession(
+            session_id=next(self._session_ids),
+            tester=tester,
+            vantage_point=vantage_point,
+            device_serial=device_serial,
+            share_url=f"https://{vantage_point}.batterylab.dev/?session={next(self._session_ids)}",
+            toolbar_visible=toolbar_visible,
+            started_at=now,
+            duration_s=duration_s,
+        )
+        self._sessions[session.session_id] = session
+        return session
+
+    def session(self, session_id: int) -> TesterSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise TesterError(f"unknown tester session {session_id}") from None
+
+    def sessions(self) -> List[TesterSession]:
+        return sorted(self._sessions.values(), key=lambda s: s.session_id)
+
+    def total_cost_usd(self) -> float:
+        return sum(session.cost_usd() for session in self._sessions.values())

@@ -1,0 +1,73 @@
+"""Empirical cumulative distribution functions.
+
+Three of the paper's figures are CDFs (current drawn, device CPU,
+controller CPU).  :class:`EmpiricalCdf` wraps a sample set with the queries
+those figures need: evaluation at a point, quantiles, and the fraction of
+samples above a threshold (used for statements like "in 10% of the
+measurements the load is over 95%").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An immutable empirical CDF over a one-dimensional sample."""
+
+    values: np.ndarray
+    probabilities: np.ndarray
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x) under the empirical distribution."""
+        if len(self.values) == 0:
+            return 0.0
+        return float(np.searchsorted(self.values, x, side="right") / len(self.values))
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the sample (``q`` in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if len(self.values) == 0:
+            raise ValueError("cannot take a quantile of an empty CDF")
+        return float(np.quantile(self.values, q))
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly greater than ``threshold``."""
+        if len(self.values) == 0:
+            return 0.0
+        return float(np.mean(self.values > threshold))
+
+    def as_points(self, points: int = 100) -> List[Tuple[float, float]]:
+        """Down-sampled (value, probability) pairs for plotting or reporting."""
+        if len(self.values) == 0:
+            return []
+        if points >= len(self.values):
+            return list(zip(self.values.tolist(), self.probabilities.tolist()))
+        indices = np.linspace(0, len(self.values) - 1, points).astype(int)
+        return list(
+            zip(self.values[indices].tolist(), self.probabilities[indices].tolist())
+        )
+
+
+def empirical_cdf(samples: Sequence[float], label: str = "") -> EmpiricalCdf:
+    """Build an :class:`EmpiricalCdf` from raw samples."""
+    array = np.asarray(list(samples), dtype=float)
+    if array.ndim != 1:
+        raise ValueError("samples must be one-dimensional")
+    order = np.sort(array)
+    if len(order) == 0:
+        return EmpiricalCdf(values=order, probabilities=order.copy(), label=label)
+    probabilities = np.arange(1, len(order) + 1) / len(order)
+    return EmpiricalCdf(values=order, probabilities=probabilities, label=label)

@@ -1,0 +1,65 @@
+"""Summary statistics for measurement series.
+
+Figures 3 and 6 of the paper report "average battery discharge (standard
+deviation as errorbars)"; the system-performance text reports means with
+plus/minus deviations.  :func:`summarize` produces exactly those fields from
+a series of repetition-level measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Mean/median/std/extremes of one measurement series."""
+
+    label: str
+    count: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "label": self.label,
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def errorbar(self) -> str:
+        """Render as ``mean ± std`` the way the paper's text reports it."""
+        return f"{self.mean:.2f} ± {self.std:.2f}"
+
+
+def summarize(samples: Sequence[float], label: str = "") -> SeriesSummary:
+    """Compute the :class:`SeriesSummary` of a non-empty sample sequence."""
+    array = np.asarray(list(samples), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty series")
+    return SeriesSummary(
+        label=label,
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        median=float(np.median(array)),
+        std=float(np.std(array, ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(np.min(array)),
+        maximum=float(np.max(array)),
+    )
+
+
+def relative_difference(value: float, reference: float) -> float:
+    """``(value - reference) / reference`` guarded against a zero reference."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return (value - reference) / reference

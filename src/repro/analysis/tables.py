@@ -1,0 +1,62 @@
+"""Plain-text and Markdown table rendering.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers turn lists of row dictionaries into aligned
+plain-text tables (for the bench output) and Markdown tables (for
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    ``columns`` fixes the column order; by default the keys of the first row
+    are used.  Missing values render as empty cells.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    keys = list(columns) if columns is not None else list(rows[0].keys())
+    header = [str(key) for key in keys]
+    body = [[_stringify(row.get(key, "")) for key in keys] for row in rows]
+    widths = [
+        max(len(header[i]), max(len(line[i]) for line in body)) for i in range(len(keys))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(keys))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(keys))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(keys))))
+    return "\n".join(lines)
+
+
+def rows_to_markdown(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no rows)"
+    keys = list(columns) if columns is not None else list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(str(key) for key in keys) + " |",
+        "|" + "|".join("---" for _ in keys) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(row.get(key, "")) for key in keys) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Test automation channels and scripts.
+
+Section 3.3 of the paper describes three mechanisms for automating a test
+device, each with its own trade-offs:
+
+* **ADB** (:class:`~repro.automation.channels.AdbAutomation`) — powerful and
+  scriptable, over USB (interferes with the power measurement), WiFi
+  (precludes cellular experiments) or Bluetooth (requires root);
+* **UI testing** (:class:`~repro.automation.ui_testing.UiTestBundle`) — an
+  instrumented build of the app with pre-programmed actions, needing no
+  channel to the controller during the measurement but requiring app source
+  access;
+* **Bluetooth keyboard**
+  (:class:`~repro.automation.channels.BluetoothKeyboardAutomation`) — a
+  virtual HID keyboard that works on Android and iOS, needs no root, and
+  leaves both WiFi and cellular free, at the cost of a coarser input
+  vocabulary (and no scrcpy mirroring, since that needs ADB).
+
+:mod:`repro.automation.scripts` implements the browser workload of
+Section 4.2 on top of whichever channel the experimenter picks.
+"""
+
+from repro.automation.channels import (
+    AdbAutomation,
+    AutomationChannel,
+    AutomationError,
+    BluetoothKeyboardAutomation,
+    UnsupportedOperation,
+)
+from repro.automation.scripts import BrowserAutomationScript, BrowserRunStats
+from repro.automation.ui_testing import UiTestBundle, UiTestStep
+
+__all__ = [
+    "AdbAutomation",
+    "AutomationChannel",
+    "AutomationError",
+    "BluetoothKeyboardAutomation",
+    "UnsupportedOperation",
+    "BrowserAutomationScript",
+    "BrowserRunStats",
+    "UiTestBundle",
+    "UiTestStep",
+]

@@ -1,0 +1,197 @@
+"""Automation channels.
+
+An :class:`AutomationChannel` is what an experiment script uses to drive a
+test device: launch and stop apps, open URLs, scroll, press keys and clear
+app state.  Two concrete channels are provided — ADB (over a selectable
+transport) and the Bluetooth HID keyboard — matching the mechanisms the
+paper supports.  Operations that a channel cannot express raise
+:class:`UnsupportedOperation`, which is how the paper's "the level of
+automation depends both on the OS and app support for keyboard commands"
+caveat shows up in code.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.device.adb import AdbTransport
+from repro.vantagepoint.bluetooth import BluetoothHidKeyboard
+from repro.vantagepoint.controller import VantagePointController
+
+
+class AutomationError(RuntimeError):
+    """Raised when an automation action fails."""
+
+
+class UnsupportedOperation(AutomationError):
+    """The selected automation channel cannot express this operation."""
+
+
+class AutomationChannel(abc.ABC):
+    """Common interface of all automation channels."""
+
+    #: Whether using the channel during a measurement perturbs the reading
+    #: (true for ADB-over-USB because of the charge current).
+    perturbs_measurement: bool = False
+
+    #: Whether the channel leaves the cellular interface usable for the test.
+    supports_cellular: bool = False
+
+    @abc.abstractmethod
+    def launch_app(self, package: str) -> None:
+        """Bring an app to the foreground, starting it if necessary."""
+
+    @abc.abstractmethod
+    def stop_app(self, package: str) -> None:
+        """Force-stop an app."""
+
+    @abc.abstractmethod
+    def open_url(self, package: str, url: str) -> None:
+        """Open a URL in the given browser app."""
+
+    @abc.abstractmethod
+    def scroll_down(self) -> None:
+        """Scroll the foreground app down by one step."""
+
+    @abc.abstractmethod
+    def scroll_up(self) -> None:
+        """Scroll the foreground app up by one step."""
+
+    @abc.abstractmethod
+    def clear_app_data(self, package: str) -> None:
+        """Reset an app to a clean state."""
+
+
+class AdbAutomation(AutomationChannel):
+    """ADB-based automation over a chosen transport.
+
+    The transport decides the trade-offs: USB perturbs the measurement, WiFi
+    precludes cellular experiments, Bluetooth requires a rooted device (the
+    ADB server enforces that).
+    """
+
+    def __init__(
+        self,
+        controller: VantagePointController,
+        serial: str,
+        transport: AdbTransport = AdbTransport.WIFI,
+    ) -> None:
+        self._controller = controller
+        self._serial = serial
+        self._transport = AdbTransport(transport)
+        self.perturbs_measurement = self._transport is AdbTransport.USB
+        self.supports_cellular = self._transport is AdbTransport.BLUETOOTH
+
+    @property
+    def serial(self) -> str:
+        return self._serial
+
+    @property
+    def transport(self) -> AdbTransport:
+        return self._transport
+
+    def set_transport(self, transport: AdbTransport) -> None:
+        """Dynamically switch transports (Section 3.3)."""
+        self._transport = AdbTransport(transport)
+        self.perturbs_measurement = self._transport is AdbTransport.USB
+        self.supports_cellular = self._transport is AdbTransport.BLUETOOTH
+
+    def _adb(self, command: str) -> str:
+        try:
+            return self._controller.execute_adb(self._serial, command, self._transport)
+        except Exception as exc:
+            raise AutomationError(f"adb command {command!r} failed: {exc}") from exc
+
+    # -- channel operations -------------------------------------------------------
+    def launch_app(self, package: str) -> None:
+        self._adb(f"shell am start -n {package}/.Main")
+
+    def stop_app(self, package: str) -> None:
+        self._adb(f"shell am force-stop {package}")
+
+    def open_url(self, package: str, url: str) -> None:
+        self._adb(f"shell am start -a android.intent.action.VIEW -d {url} -n {package}/.Main")
+
+    def scroll_down(self) -> None:
+        self._adb("shell input swipe 500 1500 500 300 400")
+
+    def scroll_up(self) -> None:
+        self._adb("shell input swipe 500 300 500 1500 400")
+
+    def clear_app_data(self, package: str) -> None:
+        self._adb(f"shell pm clear {package}")
+
+    # -- extras only ADB offers -------------------------------------------------------
+    def dumpsys(self, service: str) -> str:
+        return self._adb(f"shell dumpsys {service}")
+
+    def logcat(self) -> str:
+        return self._adb("logcat -d")
+
+    def keyevent(self, keycode: str) -> None:
+        self._adb(f"shell input keyevent {keycode}")
+
+
+class BluetoothKeyboardAutomation(AutomationChannel):
+    """Virtual Bluetooth keyboard automation.
+
+    Works across OSes and connectivity (the test can use the cellular
+    network), but cannot clear app data or pull logs — those operations must
+    happen over ADB *outside* the measurement window, exactly as Section 3.3
+    recommends.
+    """
+
+    perturbs_measurement = False
+    supports_cellular = True
+
+    def __init__(self, keyboard: BluetoothHidKeyboard, serial: str) -> None:
+        self._keyboard = keyboard
+        self._serial = serial
+
+    def connect(self) -> None:
+        self._keyboard.connect(self._serial)
+
+    def disconnect(self) -> None:
+        if self._keyboard.connected_serial == self._serial:
+            self._keyboard.disconnect()
+
+    def _require_connected(self) -> None:
+        if self._keyboard.connected_serial != self._serial:
+            raise AutomationError(
+                f"keyboard is not connected to device {self._serial!r}; call connect() first"
+            )
+
+    def launch_app(self, package: str) -> None:
+        # The keyboard cannot address packages directly; it navigates via the
+        # launcher search, which we compress into a search + enter sequence.
+        self._require_connected()
+        self._keyboard.send_key("KEYCODE_HOME")
+        self._keyboard.send_key("KEYCODE_SEARCH")
+        self._keyboard.type_text(package.rsplit(".", 1)[-1])
+        self._keyboard.send_key("KEYCODE_ENTER")
+
+    def stop_app(self, package: str) -> None:
+        self._require_connected()
+        self._keyboard.send_key("KEYCODE_APP_SWITCH")
+        self._keyboard.send_key("KEYCODE_DPAD_UP")
+        self._keyboard.send_key("KEYCODE_ENTER")
+
+    def open_url(self, package: str, url: str) -> None:
+        self._require_connected()
+        self._keyboard.type_text(url)
+        self._keyboard.send_key("KEYCODE_ENTER")
+
+    def scroll_down(self) -> None:
+        self._require_connected()
+        self._keyboard.scroll_down()
+
+    def scroll_up(self) -> None:
+        self._require_connected()
+        self._keyboard.scroll_up()
+
+    def clear_app_data(self, package: str) -> None:
+        raise UnsupportedOperation(
+            "the Bluetooth keyboard cannot clear app data; use ADB over USB before the "
+            "measurement starts (Section 3.3)"
+        )

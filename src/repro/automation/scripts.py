@@ -1,0 +1,157 @@
+"""Browser automation script (the Section 4.2 workload).
+
+"We build browser automation using bash and BatteryLab's ADB over WiFi
+automation procedure. [...] Each browser is instrumented to sequentially
+load 10 popular news websites.  After a URL is entered, the automation
+script waits 6 seconds — emulating a typical page load time — and then
+interacts with the page by executing multiple scroll up and scroll down
+operations.  Before the beginning of a workload, the browser state is
+cleaned and the required setup is done."
+
+:class:`BrowserAutomationScript` reproduces that script against any
+:class:`~repro.automation.channels.AutomationChannel` and advances simulated
+time between the actions, exactly as the real script sleeps between ADB
+calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.automation.channels import AutomationChannel, UnsupportedOperation
+from repro.network.web import NEWS_SITES
+from repro.simulation.entity import SimulationContext
+from repro.workloads.browsers import BrowserProfile
+
+
+@dataclass
+class BrowserRunStats:
+    """What one scripted browser run did (useful for sanity checks and tests)."""
+
+    browser: str
+    pages_loaded: int = 0
+    scrolls: int = 0
+    duration_s: float = 0.0
+    cleaned_before_run: bool = False
+    urls: List[str] = field(default_factory=list)
+
+
+class BrowserAutomationScript:
+    """The per-browser workload: clean state, then iterate over the site list.
+
+    Parameters
+    ----------
+    channel:
+        Automation channel used to drive the device.
+    profile:
+        The browser under test.
+    context:
+        Simulation context; the script advances simulated time between actions.
+    urls:
+        Pages to load (defaults to the ten-site news corpus).
+    dwell_s:
+        Wait after entering a URL (6 s in the paper).
+    scrolls_per_page:
+        Number of scroll operations per page (alternating down/up).
+    scroll_interval_s:
+        Gap between consecutive scroll operations.
+    """
+
+    def __init__(
+        self,
+        channel: AutomationChannel,
+        profile: BrowserProfile,
+        context: SimulationContext,
+        urls: Optional[Sequence[str]] = None,
+        dwell_s: float = 6.0,
+        scrolls_per_page: int = 8,
+        scroll_interval_s: float = 1.5,
+        between_pages_s: float = 1.0,
+    ) -> None:
+        if dwell_s < 0 or scroll_interval_s < 0 or between_pages_s < 0:
+            raise ValueError("wait durations must be non-negative")
+        if scrolls_per_page < 0:
+            raise ValueError("scrolls_per_page must be non-negative")
+        self._channel = channel
+        self._profile = profile
+        self._context = context
+        self._urls = list(urls) if urls is not None else [page.url for page in NEWS_SITES]
+        self._dwell_s = float(dwell_s)
+        self._scrolls_per_page = int(scrolls_per_page)
+        self._scroll_interval_s = float(scroll_interval_s)
+        self._between_pages_s = float(between_pages_s)
+
+    @property
+    def urls(self) -> List[str]:
+        return list(self._urls)
+
+    @property
+    def profile(self) -> BrowserProfile:
+        return self._profile
+
+    def estimated_duration_s(self) -> float:
+        """Rough wall-clock length of one iteration (used for slot reservations)."""
+        per_page = (
+            self._dwell_s
+            + self._scrolls_per_page * self._scroll_interval_s
+            + self._between_pages_s
+        )
+        return self._profile.first_launch_setup_s + len(self._urls) * per_page
+
+    # -- phases ------------------------------------------------------------------------
+    def prepare(self) -> bool:
+        """Clean the browser state and perform the first-launch setup.
+
+        Returns ``True`` when the state was actually cleaned; channels that
+        cannot clear app data (the Bluetooth keyboard) just launch the app,
+        which is the paper's recommended "use ADB outside the measurement"
+        workaround left to the caller.
+        """
+        cleaned = True
+        try:
+            self._channel.clear_app_data(self._profile.package)
+        except UnsupportedOperation:
+            cleaned = False
+        self._channel.launch_app(self._profile.package)
+        # First-launch dialogs: accept conditions, skip sign-in, etc.
+        self._context.run_for(self._profile.first_launch_setup_s)
+        return cleaned
+
+    def run_iteration(self) -> BrowserRunStats:
+        """Load every URL once, with dwell and scroll interactions."""
+        stats = BrowserRunStats(browser=self._profile.name, urls=list(self._urls))
+        start = self._context.now
+        for url in self._urls:
+            self._channel.open_url(self._profile.package, url)
+            stats.pages_loaded += 1
+            self._context.run_for(self._dwell_s)
+            for index in range(self._scrolls_per_page):
+                if index % 3 == 2:
+                    self._channel.scroll_up()
+                else:
+                    self._channel.scroll_down()
+                stats.scrolls += 1
+                self._context.run_for(self._scroll_interval_s)
+            self._context.run_for(self._between_pages_s)
+        stats.duration_s = self._context.now - start
+        return stats
+
+    def run(self, iterations: int = 1, clean_between_iterations: bool = False) -> BrowserRunStats:
+        """Prepare once, then run ``iterations`` passes over the site list."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        cleaned = self.prepare()
+        total = BrowserRunStats(browser=self._profile.name, cleaned_before_run=cleaned)
+        start = self._context.now
+        for index in range(iterations):
+            if index > 0 and clean_between_iterations:
+                self.prepare()
+            stats = self.run_iteration()
+            total.pages_loaded += stats.pages_loaded
+            total.scrolls += stats.scrolls
+            total.urls = stats.urls
+        self._channel.stop_app(self._profile.package)
+        self._context.run_for(1.0)
+        total.duration_s = self._context.now - start
+        return total

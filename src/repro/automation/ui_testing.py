@@ -1,0 +1,140 @@
+"""UI-testing automation (instrumented app builds).
+
+The second automation mechanism of Section 3.3: build a separate version of
+the app under test with the actions pre-programmed (Android UI tests or
+Apple's XCTest).  Its advantage is that no communication channel with the
+Raspberry Pi is needed during the measurement; its drawback is that it only
+works for apps whose source is available.
+
+:class:`UiTestBundle` models such an instrumented build: a list of timed
+steps that, once started, replay themselves on the device through the
+simulation scheduler with no further external input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.device.android import AndroidDevice
+from repro.simulation.entity import SimulationContext
+
+
+class UiTestError(RuntimeError):
+    """Raised when a bundle cannot run (missing source access, unknown app)."""
+
+
+@dataclass(frozen=True)
+class UiTestStep:
+    """One scripted action inside an instrumented test.
+
+    ``action`` is one of ``launch``, ``open_url``, ``scroll_down``,
+    ``scroll_up``, ``wait`` or ``stop``; ``delay_s`` is how long to wait
+    *after* the action before the next step fires.
+    """
+
+    action: str
+    argument: str = ""
+    delay_s: float = 1.0
+
+
+class UiTestBundle:
+    """An instrumented build of an app plus its scripted actions."""
+
+    def __init__(
+        self,
+        package: str,
+        steps: List[UiTestStep],
+        requires_source_access: bool = True,
+    ) -> None:
+        if not steps:
+            raise ValueError("a UI test bundle needs at least one step")
+        self._package = package
+        self._steps = list(steps)
+        self._requires_source_access = requires_source_access
+        self._completed_steps = 0
+        self._running = False
+
+    @property
+    def package(self) -> str:
+        return self._package
+
+    @property
+    def steps(self) -> List[UiTestStep]:
+        return list(self._steps)
+
+    @property
+    def completed_steps(self) -> int:
+        return self._completed_steps
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def total_duration_s(self) -> float:
+        return sum(step.delay_s for step in self._steps)
+
+    def install_and_run(
+        self,
+        device: AndroidDevice,
+        context: SimulationContext,
+        source_available: bool = True,
+    ) -> None:
+        """Schedule the bundle's steps on the simulation clock.
+
+        The caller is responsible for advancing simulated time; the bundle
+        needs no further interaction once started (that is its selling point).
+        """
+        if self._requires_source_access and not source_available:
+            raise UiTestError(
+                f"cannot build an instrumented version of {self._package!r} without source access"
+            )
+        if not device.packages.is_installed(self._package):
+            raise UiTestError(f"app {self._package!r} is not installed on {device.serial!r}")
+        self._running = True
+        self._completed_steps = 0
+        delay = 0.0
+        for step in self._steps:
+            context.scheduler.schedule_in(
+                delay, self._make_step_runner(device, step), label=f"uitest:{step.action}"
+            )
+            delay += step.delay_s
+        context.scheduler.schedule_in(delay, self._finish, label="uitest:finish")
+
+    def _make_step_runner(self, device: AndroidDevice, step: UiTestStep):
+        def run() -> None:
+            if step.action == "launch":
+                device.packages.launch(self._package)
+            elif step.action == "open_url":
+                device.packages.deliver_intent(
+                    self._package, "android.intent.action.VIEW", step.argument
+                )
+            elif step.action == "scroll_down":
+                device.packages.deliver_input("keyevent KEYCODE_PAGE_DOWN")
+            elif step.action == "scroll_up":
+                device.packages.deliver_input("keyevent KEYCODE_PAGE_UP")
+            elif step.action == "stop":
+                device.packages.stop(self._package, ignore_missing=True)
+            elif step.action == "wait":
+                pass
+            else:
+                raise UiTestError(f"unknown UI test action {step.action!r}")
+            self._completed_steps += 1
+
+        return run
+
+    def _finish(self) -> None:
+        self._running = False
+
+
+def build_browser_ui_test(
+    package: str, urls: List[str], scrolls_per_page: int = 6, dwell_s: float = 6.0
+) -> UiTestBundle:
+    """Construct an instrumented-test equivalent of the browser workload."""
+    steps: List[UiTestStep] = [UiTestStep("launch", delay_s=3.0)]
+    for url in urls:
+        steps.append(UiTestStep("open_url", argument=url, delay_s=dwell_s))
+        for _ in range(scrolls_per_page):
+            steps.append(UiTestStep("scroll_down", delay_s=1.5))
+    steps.append(UiTestStep("stop", delay_s=1.0))
+    return UiTestBundle(package=package, steps=steps)

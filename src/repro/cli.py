@@ -1,0 +1,164 @@
+"""Command-line interface for the BatteryLab reproduction.
+
+A thin wrapper around the experiment drivers so a downstream user can
+regenerate any of the paper's tables and figures without writing Python::
+
+    batterylab-repro quickstart
+    batterylab-repro figure2 --duration 120
+    batterylab-repro figure3 --repetitions 3
+    batterylab-repro figure5
+    batterylab-repro table2
+    batterylab-repro figure6
+    batterylab-repro sysperf
+    batterylab-repro locations
+
+Each command prints the reproduced rows as an aligned table.  ``--seed``
+controls the simulation seed so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.core.platform import build_default_platform
+from repro.experiments.accuracy import run_accuracy_experiment
+from repro.experiments.browser_study import run_browser_study
+from repro.experiments.controller_load import run_controller_load_experiment
+from repro.experiments.system_perf import run_system_performance
+from repro.experiments.vpn_study import run_vpn_energy_study, run_vpn_speedtests
+from repro.network.vpn import PROTONVPN_LOCATIONS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="batterylab-repro",
+        description="Regenerate the BatteryLab paper's evaluation on the emulated platform.",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="simulation seed (default: 7)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickstart", help="build the platform and take a 30 s idle measurement")
+    sub.add_parser("locations", help="list the built-in ProtonVPN locations (Table 2 profiles)")
+
+    figure2 = sub.add_parser("figure2", help="accuracy experiment (current CDFs)")
+    figure2.add_argument("--duration", type=float, default=120.0, help="measurement length in seconds")
+    figure2.add_argument("--sample-rate", type=float, default=500.0, help="monitor sampling rate in Hz")
+
+    figure3 = sub.add_parser("figure3", help="per-browser battery discharge")
+    figure3.add_argument("--repetitions", type=int, default=2)
+    figure3.add_argument("--scrolls", type=int, default=10, help="scroll operations per page")
+
+    figure5 = sub.add_parser("figure5", help="controller CPU utilisation")
+    figure5.add_argument("--repetitions", type=int, default=1)
+
+    sub.add_parser("table2", help="ProtonVPN speedtest statistics")
+
+    figure6 = sub.add_parser("figure6", help="Brave/Chrome energy through VPN tunnels")
+    figure6.add_argument("--repetitions", type=int, default=1)
+
+    sub.add_parser("sysperf", help="controller CPU/memory/network and mirroring latency")
+    return parser
+
+
+def _cmd_quickstart(args) -> str:
+    platform = build_default_platform(seed=args.seed, browsers=("chrome",))
+    api = platform.api()
+    device_id = api.list_devices()[0]
+    api.power_monitor()
+    api.set_voltage(3.85)
+    trace = api.measure(device_id, duration=30.0, label="idle")
+    rows = [
+        {
+            "device": device_id,
+            "duration_s": round(trace.duration_s, 1),
+            "median_ma": round(trace.median_current_ma(), 1),
+            "discharge_mah": round(trace.discharge_mah(), 3),
+        }
+    ]
+    return format_table(rows, title="Quickstart — 30 s idle measurement")
+
+
+def _cmd_locations(args) -> str:
+    rows = [
+        {
+            "key": location.key,
+            "exit": f"{location.country} / {location.city}",
+            "download_mbps": location.download_mbps,
+            "upload_mbps": location.upload_mbps,
+            "latency_ms": location.latency_ms,
+        }
+        for location in PROTONVPN_LOCATIONS.values()
+    ]
+    return format_table(rows, title="Built-in ProtonVPN locations (Table 2 profiles)")
+
+
+def _cmd_figure2(args) -> str:
+    study = run_accuracy_experiment(
+        duration_s=args.duration, sample_rate_hz=args.sample_rate, seed=args.seed
+    )
+    return format_table(study.rows(), title="Figure 2 — current drawn per scenario")
+
+
+def _cmd_figure3(args) -> str:
+    study = run_browser_study(
+        repetitions=args.repetitions,
+        scrolls_per_page=args.scrolls,
+        scroll_interval_s=1.5,
+        sample_rate_hz=50.0,
+        seed=args.seed,
+    )
+    table = format_table(study.discharge_rows(), title="Figure 3 — battery discharge per browser")
+    cpu = format_table(study.device_cpu_rows(), title="Figure 4 — device CPU utilisation")
+    return table + "\n\n" + cpu
+
+
+def _cmd_figure5(args) -> str:
+    result = run_controller_load_experiment(
+        repetitions=args.repetitions, scrolls_per_page=12, sample_rate_hz=100.0, seed=args.seed
+    )
+    return format_table(result.rows(), title="Figure 5 — controller CPU utilisation")
+
+
+def _cmd_table2(args) -> str:
+    rows = run_vpn_speedtests(probes_per_location=3, seed=args.seed)
+    return format_table(rows, title="Table 2 — ProtonVPN statistics")
+
+
+def _cmd_figure6(args) -> str:
+    study = run_vpn_energy_study(
+        repetitions=args.repetitions, scrolls_per_page=8, sample_rate_hz=50.0, seed=args.seed
+    )
+    return format_table(study.rows(), title="Figure 6 — discharge per VPN location")
+
+
+def _cmd_sysperf(args) -> str:
+    result = run_system_performance(scrolls_per_page=12, sample_rate_hz=100.0, seed=args.seed)
+    return format_table(result.rows(), title="System performance (Section 4.2)")
+
+
+_COMMANDS = {
+    "quickstart": _cmd_quickstart,
+    "locations": _cmd_locations,
+    "figure2": _cmd_figure2,
+    "figure3": _cmd_figure3,
+    "figure5": _cmd_figure5,
+    "table2": _cmd_table2,
+    "figure6": _cmd_figure6,
+    "sysperf": _cmd_sysperf,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    print(handler(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

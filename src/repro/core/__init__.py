@@ -1,0 +1,33 @@
+"""BatteryLab core: the public platform API and its assembly.
+
+This package is the paper's primary contribution viewed as a library:
+
+* :class:`~repro.core.api.BatteryLabAPI` — the experimenter-facing Python
+  API of Table 1 (``list_devices``, ``device_mirroring``, ``power_monitor``,
+  ``set_voltage``, ``start_monitor``, ``stop_monitor``, ``batt_switch``,
+  ``execute_adb``), bound to one vantage point controller;
+* :class:`~repro.core.session.MeasurementSession` — a higher-level wrapper
+  that prepares a device for measurement (USB power off, battery bypass,
+  optional mirroring), runs it for a duration and collects every signal the
+  evaluation needs;
+* :class:`~repro.core.results.MeasurementResult` — the container those
+  signals land in;
+* :class:`~repro.core.platform.BatteryLabPlatform` and
+  :func:`~repro.core.platform.build_default_platform` — one-call assembly of
+  the paper's deployment (access server plus the Imperial College vantage
+  point with a Samsung J7 Duo, a Monsoon HVPM, a Raspberry Pi 3B+ and a
+  Meross power socket).
+"""
+
+from repro.core.api import BatteryLabAPI
+from repro.core.platform import BatteryLabPlatform, build_default_platform
+from repro.core.results import MeasurementResult
+from repro.core.session import MeasurementSession
+
+__all__ = [
+    "BatteryLabAPI",
+    "BatteryLabPlatform",
+    "build_default_platform",
+    "MeasurementResult",
+    "MeasurementSession",
+]

@@ -1,0 +1,166 @@
+"""The BatteryLab Python API (Table 1 of the paper).
+
+"BatteryLab's Python API is available to provide user-friendly device
+selection, interaction with the power meter, etc." (Section 3.1).  Table 1
+lists its entry points; :class:`BatteryLabAPI` implements them one-for-one
+against a vantage point controller:
+
+==================  =====================================  =====================
+API                 Description                            Parameters
+==================  =====================================  =====================
+``list_devices``    List ADB ids of test devices           —
+``device_mirroring``Activate device mirroring              ``device_id``
+``power_monitor``   Toggle Monsoon power state             —
+``set_voltage``     Set target voltage                     ``voltage_val``
+``start_monitor``   Start battery measurement              ``device_id, duration``
+``stop_monitor``    Stop battery measurement               —
+``batt_switch``     (De)activate battery                   ``device_id``
+``execute_adb``     Execute ADB command                    ``device_id, command``
+==================  =====================================  =====================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.device.adb import AdbTransport
+from repro.mirroring.session import MirroringSession
+from repro.powermonitor.traces import CurrentTrace
+from repro.vantagepoint.controller import VantagePointController
+
+
+class BatteryLabAPIError(RuntimeError):
+    """Raised for invalid API usage (no monitor attached, no active measurement, ...)."""
+
+
+class BatteryLabAPI:
+    """Table 1 API bound to one vantage point.
+
+    Parameters
+    ----------
+    controller:
+        The vantage point controller the API operates on.
+    default_voltage_v:
+        Voltage used by :meth:`start_monitor` when :meth:`set_voltage` was
+        not called first; defaults to the test device's nominal battery voltage.
+    """
+
+    def __init__(
+        self, controller: VantagePointController, default_voltage_v: Optional[float] = None
+    ) -> None:
+        self._controller = controller
+        self._default_voltage_v = default_voltage_v
+        self._active_measurement_device: Optional[str] = None
+        self._active_measurement_duration: Optional[float] = None
+
+    @property
+    def controller(self) -> VantagePointController:
+        return self._controller
+
+    @property
+    def measuring(self) -> bool:
+        return self._active_measurement_device is not None
+
+    @property
+    def active_measurement_device(self) -> Optional[str]:
+        return self._active_measurement_device
+
+    # -- Table 1 entry points -------------------------------------------------------
+    def list_devices(self) -> List[str]:
+        """List ADB ids of the test devices at this vantage point."""
+        return self._controller.list_devices()
+
+    def device_mirroring(self, device_id: str, bitrate_mbps: float = 1.0) -> MirroringSession:
+        """Activate device mirroring for ``device_id`` and return the session."""
+        return self._controller.start_mirroring(device_id, bitrate_mbps=bitrate_mbps)
+
+    def stop_device_mirroring(self, device_id: str) -> None:
+        """Deactivate device mirroring (companion of :meth:`device_mirroring`)."""
+        self._controller.stop_mirroring(device_id)
+
+    def power_monitor(self) -> bool:
+        """Toggle the Monsoon's mains power state; returns the new state."""
+        socket = self._controller.power_socket
+        if socket is None:
+            raise BatteryLabAPIError("this vantage point has no WiFi power socket")
+        return socket.toggle()
+
+    def set_voltage(self, voltage_val: float) -> None:
+        """Set the power monitor's target output voltage."""
+        self._controller.set_voltage(voltage_val)
+        self._default_voltage_v = voltage_val
+
+    def start_monitor(self, device_id: str, duration: Optional[float] = None) -> None:
+        """Start a battery measurement on ``device_id``.
+
+        The device is switched to battery bypass (through the relay circuit),
+        USB power to it is cut so the charge current cannot perturb the
+        reading, and the Monsoon starts sampling.  ``duration`` is recorded
+        so callers can later advance the simulation and call :meth:`stop_monitor`;
+        use :meth:`measure` for the common run-for-a-duration case.
+        """
+        monitor = self._require_monitor()
+        if self.measuring:
+            raise BatteryLabAPIError(
+                f"a measurement on {self._active_measurement_device!r} is already running"
+            )
+        device = self._controller.device(device_id)
+        if not monitor.mains_on:
+            raise BatteryLabAPIError(
+                "the power monitor has no mains power; call power_monitor() first"
+            )
+        if not monitor.vout_enabled:
+            voltage = self._default_voltage_v or device.profile.battery_voltage_v
+            monitor.set_vout(voltage)
+        self._controller.set_device_usb_power(device_id, False)
+        self._controller.batt_switch(device_id, bypass=True)
+        monitor.start_sampling(label=f"measurement:{device_id}")
+        self._active_measurement_device = device_id
+        self._active_measurement_duration = duration
+
+    def stop_monitor(self) -> CurrentTrace:
+        """Stop the active battery measurement and return its trace.
+
+        The device is returned to its own battery and USB power is restored.
+        """
+        monitor = self._require_monitor()
+        if not self.measuring:
+            raise BatteryLabAPIError("no battery measurement is running")
+        device_id = self._active_measurement_device
+        trace = monitor.stop_sampling()
+        self._controller.batt_switch(device_id, bypass=False)
+        self._controller.set_device_usb_power(device_id, True)
+        self._active_measurement_device = None
+        self._active_measurement_duration = None
+        return trace
+
+    def batt_switch(self, device_id: str) -> bool:
+        """Toggle a device between its own battery and the monitor ("battery bypass").
+
+        Returns ``True`` when the device ends up in bypass.
+        """
+        bypassed = self._controller.relay.is_bypassed(device_id)
+        self._controller.batt_switch(device_id, bypass=not bypassed)
+        return not bypassed
+
+    def execute_adb(
+        self, device_id: str, command: str, transport: AdbTransport = AdbTransport.WIFI
+    ) -> str:
+        """Execute an ADB command on a device (logcat/dumpsys collection, setup, ...)."""
+        return self._controller.execute_adb(device_id, command, transport)
+
+    # -- convenience built on the Table 1 surface ----------------------------------------
+    def measure(self, device_id: str, duration: float, label: str = "") -> CurrentTrace:
+        """Run a complete measurement of ``duration`` simulated seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.start_monitor(device_id, duration)
+        self._controller.context.run_for(duration)
+        trace = self.stop_monitor()
+        return trace.with_label(label) if label else trace
+
+    def _require_monitor(self):
+        monitor = self._controller.monitor
+        if monitor is None:
+            raise BatteryLabAPIError("this vantage point has no power monitor attached")
+        return monitor

@@ -1,0 +1,203 @@
+"""Platform assembly.
+
+:func:`build_default_platform` recreates the deployment the paper evaluates:
+an access server in the cloud plus a first vantage point at Imperial College
+London consisting of "a Monsoon power meter, a Samsung J7 Duo (Android 8.0),
+a Raspberry Pi 3B+, and a Meross power socket" (Section 4).  The returned
+:class:`BatteryLabPlatform` is the convenient entry point the examples,
+tests and experiment drivers build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.accessserver.auth import Role, User
+from repro.accessserver.server import AccessServer, VantagePointRecord
+from repro.core.api import BatteryLabAPI
+from repro.device.android import AndroidDevice
+from repro.device.profiles import SAMSUNG_J7_DUO, DeviceHardwareProfile
+from repro.network.link import NetworkLink
+from repro.powermonitor.monsoon import MonsoonHVPM
+from repro.simulation.entity import SimulationContext
+from repro.vantagepoint.controller import VantagePointController
+from repro.vantagepoint.power_socket import MerossPowerSocket
+from repro.vantagepoint.provisioning import JoinRequest
+from repro.workloads.browsers import BROWSER_PROFILES, BrowserApp, install_browser
+from repro.workloads.video import VideoPlayerApp, install_video_player
+
+
+@dataclass
+class VantagePointHandle:
+    """Everything an experimenter needs to drive one vantage point."""
+
+    record: VantagePointRecord
+    controller: VantagePointController
+    monitor: MonsoonHVPM
+    power_socket: MerossPowerSocket
+    devices: List[AndroidDevice]
+    browsers: Dict[str, Dict[str, BrowserApp]] = field(default_factory=dict)
+    video_players: Dict[str, VideoPlayerApp] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.record.name
+
+    def device(self, serial: Optional[str] = None) -> AndroidDevice:
+        if serial is None:
+            return self.devices[0]
+        for device in self.devices:
+            if device.serial == serial:
+                return device
+        raise KeyError(f"no device with serial {serial!r} at vantage point {self.name!r}")
+
+    def browser(self, serial: str, name: str) -> BrowserApp:
+        return self.browsers[serial][name.lower()]
+
+
+@dataclass
+class BatteryLabPlatform:
+    """A fully assembled BatteryLab deployment (access server + vantage points)."""
+
+    context: SimulationContext
+    access_server: AccessServer
+    admin: User
+    experimenter: User
+    vantage_points: Dict[str, VantagePointHandle] = field(default_factory=dict)
+
+    def vantage_point(self, name: Optional[str] = None) -> VantagePointHandle:
+        if name is None:
+            name = sorted(self.vantage_points)[0]
+        try:
+            return self.vantage_points[name]
+        except KeyError:
+            raise KeyError(f"unknown vantage point {name!r}") from None
+
+    def api(self, vantage_point: Optional[str] = None) -> BatteryLabAPI:
+        """A Table 1 API bound to one vantage point (the first one by default)."""
+        return BatteryLabAPI(self.vantage_point(vantage_point).controller)
+
+    def run_for(self, duration_s: float) -> None:
+        self.context.run_for(duration_s)
+
+
+def _default_uplink(hostname: str) -> NetworkLink:
+    """The Imperial College vantage point's (fast) campus uplink."""
+    return NetworkLink(
+        name=f"{hostname}-uplink", downlink_mbps=95.0, uplink_mbps=40.0, latency_ms=6.0
+    )
+
+
+def add_vantage_point(
+    platform: BatteryLabPlatform,
+    node_identifier: str,
+    institution: str,
+    device_profiles: Sequence[DeviceHardwareProfile] = (SAMSUNG_J7_DUO,),
+    browsers: Sequence[str] = ("brave", "chrome", "edge", "firefox"),
+    install_video: bool = True,
+    uplink: Optional[NetworkLink] = None,
+    home_region: str = "GB",
+) -> VantagePointHandle:
+    """Assemble, provision and register one additional vantage point."""
+    if node_identifier in platform.vantage_points:
+        from repro.accessserver.server import AccessServerError
+
+        raise AccessServerError(
+            f"a vantage point named {node_identifier!r} is already registered"
+        )
+    context = platform.context
+    hostname = f"{node_identifier}.batterylab.dev"
+    controller = VantagePointController(
+        context,
+        hostname=hostname,
+        uplink=uplink or _default_uplink(node_identifier),
+        home_region=home_region,
+    )
+    monitor = MonsoonHVPM(context, serial=f"HVPM-{node_identifier}")
+    socket = MerossPowerSocket(context, name=f"{node_identifier}-socket", appliance=monitor)
+    controller.attach_monitor(monitor, power_socket=socket)
+
+    devices: List[AndroidDevice] = []
+    browser_map: Dict[str, Dict[str, BrowserApp]] = {}
+    video_map: Dict[str, VideoPlayerApp] = {}
+    for index, profile in enumerate(device_profiles):
+        serial = f"{node_identifier}-dev{index:02d}"
+        device = AndroidDevice(context, serial=serial, profile=profile)
+        controller.add_device(device)
+        devices.append(device)
+        browser_map[serial] = {}
+        for browser_name in browsers:
+            browser_map[serial][browser_name.lower()] = install_browser(
+                device, browser_name, context, controller.network_path
+            )
+        if install_video:
+            video_map[serial] = install_video_player(device, context)
+            controller.adb_server(serial).write_file(
+                "/sdcard/Movies/test.mp4", b"\x00" * 1024
+            )
+
+    request = JoinRequest(
+        institution=institution,
+        node_identifier=node_identifier,
+        contact_email=f"ops@{institution.lower().replace(' ', '-')}.example",
+        public_address=f"198.51.100.{len(platform.vantage_points) + 10}",
+    )
+    record = platform.access_server.register_vantage_point(controller, request)
+    handle = VantagePointHandle(
+        record=record,
+        controller=controller,
+        monitor=monitor,
+        power_socket=socket,
+        devices=devices,
+        browsers=browser_map,
+        video_players=video_map,
+    )
+    platform.vantage_points[node_identifier] = handle
+    return handle
+
+
+def build_default_platform(
+    seed: int = 7,
+    node_identifier: str = "node1",
+    browsers: Sequence[str] = ("brave", "chrome", "edge", "firefox"),
+    device_count: int = 1,
+) -> BatteryLabPlatform:
+    """Build the paper's deployment: access server + the Imperial College vantage point.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for every random stream (repetitions use different seeds).
+    node_identifier:
+        Name of the first vantage point (``node1`` -> ``node1.batterylab.dev``).
+    browsers:
+        Browsers to pre-install on every test device.
+    device_count:
+        Number of Samsung J7 Duo test devices at the vantage point.
+    """
+    if device_count < 1:
+        raise ValueError("device_count must be at least 1")
+    context = SimulationContext(seed=seed)
+    access_server = AccessServer(context)
+    admin = access_server.bootstrap_admin()
+    experimenter = access_server.users.add_user(
+        "experimenter", Role.EXPERIMENTER, token="experimenter-token"
+    )
+    platform = BatteryLabPlatform(
+        context=context,
+        access_server=access_server,
+        admin=admin,
+        experimenter=experimenter,
+    )
+    add_vantage_point(
+        platform,
+        node_identifier=node_identifier,
+        institution="Imperial College London",
+        device_profiles=[SAMSUNG_J7_DUO] * device_count,
+        browsers=browsers,
+    )
+    assert all(name in BROWSER_PROFILES for name in (b.lower() for b in browsers)), (
+        "unknown browser requested"
+    )
+    return platform

@@ -1,0 +1,107 @@
+"""Measurement result containers.
+
+A :class:`MeasurementResult` bundles everything one BatteryLab measurement
+produces: the power-monitor trace, the device and controller CPU series
+recorded alongside it, and the mirroring/network byte counters the
+system-performance analysis reports.  Experiment drivers aggregate several
+results into the figure-specific structures under :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.cdf import EmpiricalCdf, empirical_cdf
+from repro.analysis.stats import SeriesSummary, summarize
+from repro.powermonitor.traces import CurrentTrace
+
+
+@dataclass
+class MeasurementResult:
+    """Everything collected during one monitored run.
+
+    Attributes
+    ----------
+    label:
+        Scenario label (``"direct"``, ``"chrome/mirroring"``, ...).
+    trace:
+        The power-monitor current trace.
+    device_cpu_percent:
+        Device CPU utilisation samples taken during the run (1 Hz).
+    controller_cpu_percent:
+        Controller CPU utilisation samples taken during the run (1 Hz).
+    mirroring_active:
+        Whether device mirroring was active during the run.
+    mirroring_upload_bytes:
+        Bytes the controller uploaded to remote viewers during the run.
+    controller_memory_percent:
+        Controller memory utilisation observed during the run.
+    device_rx_bytes / device_tx_bytes:
+        Radio traffic of the test device during the run.
+    metadata:
+        Free-form extras (browser name, VPN location, repetition index, ...).
+    """
+
+    label: str
+    trace: CurrentTrace
+    device_cpu_percent: List[float] = field(default_factory=list)
+    controller_cpu_percent: List[float] = field(default_factory=list)
+    mirroring_active: bool = False
+    mirroring_upload_bytes: int = 0
+    controller_memory_percent: float = 0.0
+    device_rx_bytes: int = 0
+    device_tx_bytes: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- headline numbers --------------------------------------------------------------
+    def discharge_mah(self) -> float:
+        """Battery discharge over the run, integrated from the trace."""
+        return self.trace.discharge_mah()
+
+    def median_current_ma(self) -> float:
+        return self.trace.median_current_ma()
+
+    def mean_current_ma(self) -> float:
+        return self.trace.mean_current_ma()
+
+    def duration_s(self) -> float:
+        return self.trace.duration_s
+
+    # -- distributions -----------------------------------------------------------------
+    def current_cdf(self) -> EmpiricalCdf:
+        return empirical_cdf(self.trace.current_ma, label=self.label)
+
+    def device_cpu_cdf(self) -> EmpiricalCdf:
+        return empirical_cdf(self.device_cpu_percent, label=f"{self.label}/device-cpu")
+
+    def controller_cpu_cdf(self) -> EmpiricalCdf:
+        return empirical_cdf(self.controller_cpu_percent, label=f"{self.label}/controller-cpu")
+
+    def device_cpu_summary(self) -> Optional[SeriesSummary]:
+        if not self.device_cpu_percent:
+            return None
+        return summarize(self.device_cpu_percent, label=f"{self.label}/device-cpu")
+
+    def controller_cpu_summary(self) -> Optional[SeriesSummary]:
+        if not self.controller_cpu_percent:
+            return None
+        return summarize(self.controller_cpu_percent, label=f"{self.label}/controller-cpu")
+
+    def summary_row(self) -> Dict[str, object]:
+        """A flat row used by the benchmark harness tables."""
+        row: Dict[str, object] = {
+            "label": self.label,
+            "duration_s": round(self.duration_s(), 1),
+            "median_ma": round(self.median_current_ma(), 1),
+            "mean_ma": round(self.mean_current_ma(), 1),
+            "discharge_mah": round(self.discharge_mah(), 2),
+            "mirroring": self.mirroring_active,
+        }
+        device_cpu = self.device_cpu_summary()
+        if device_cpu is not None:
+            row["device_cpu_median"] = round(device_cpu.median, 1)
+        controller_cpu = self.controller_cpu_summary()
+        if controller_cpu is not None:
+            row["controller_cpu_median"] = round(controller_cpu.median, 1)
+        return row

@@ -1,0 +1,405 @@
+"""Android Debug Bridge (ADB) emulation.
+
+BatteryLab instruments Android devices through ADB over three transports
+(Section 3.3): USB (reliable, but its charge current corrupts power
+measurements), WiFi (``adb tcpip``, the default during measurements) and
+Bluetooth (requires a rooted device).  This module reproduces the command
+surface the platform and its automation scripts rely on:
+
+* ``shell dumpsys battery`` / ``shell dumpsys cpuinfo``
+* ``shell pm list packages`` / ``pm clear`` / ``am start`` / ``am force-stop``
+* ``shell input keyevent|swipe|text`` (the scroll automation of §4.2)
+* ``shell settings put`` / ``getprop``
+* ``logcat -d``, ``push`` / ``pull``, ``get-state``, ``reboot``
+
+The goal is not byte-level protocol fidelity but behavioural fidelity: every
+command the paper's workflow needs exists, enforces the transport rules, and
+acts on the simulated device state.
+"""
+
+from __future__ import annotations
+
+import enum
+import shlex
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.device.android import AndroidDevice
+from repro.device.apps import PackageError
+
+
+class AdbTransport(str, enum.Enum):
+    """Transport an ADB connection rides on."""
+
+    USB = "usb"
+    WIFI = "wifi"
+    BLUETOOTH = "bluetooth"
+
+
+class AdbError(RuntimeError):
+    """Base class for ADB failures."""
+
+
+class AdbTransportUnavailable(AdbError):
+    """The requested transport is not currently usable for this device."""
+
+
+class AdbCommandError(AdbError):
+    """The command is malformed, unsupported, or failed on the device."""
+
+
+@dataclass
+class AdbCommandRecord:
+    """Audit record of one executed ADB command (exposed to job logs)."""
+
+    timestamp: float
+    transport: AdbTransport
+    command: str
+    output: str
+
+
+@dataclass
+class _DeviceSideState:
+    """Mutable ADB-visible state that is not part of the power model."""
+
+    properties: Dict[str, str] = field(default_factory=dict)
+    settings: Dict[str, str] = field(default_factory=dict)
+    files: Dict[str, bytes] = field(default_factory=dict)
+    logcat: List[str] = field(default_factory=list)
+    tcpip_enabled: bool = True
+    adb_root: bool = False
+
+
+class AdbServer:
+    """The adbd daemon of one Android device plus the host-side command parser."""
+
+    def __init__(self, device: AndroidDevice) -> None:
+        self._device = device
+        self._state = _DeviceSideState(
+            properties={
+                "ro.product.model": device.profile.model,
+                "ro.build.version.release": device.profile.os_version,
+                "ro.build.version.sdk": str(device.profile.api_level),
+                "ro.serialno": device.serial,
+            }
+        )
+        self._history: List[AdbCommandRecord] = []
+
+    @property
+    def device(self) -> AndroidDevice:
+        return self._device
+
+    @property
+    def history(self) -> List[AdbCommandRecord]:
+        return list(self._history)
+
+    @property
+    def logcat_buffer(self) -> List[str]:
+        return list(self._state.logcat)
+
+    def log_to_logcat(self, line: str) -> None:
+        self._state.logcat.append(f"{self._device.context.now:10.3f} {line}")
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Place a file on the device (e.g. pre-loading the test mp4 on the sdcard)."""
+        self._state.files[path] = bytes(data)
+
+    def read_file(self, path: str) -> bytes:
+        try:
+            return self._state.files[path]
+        except KeyError:
+            raise AdbCommandError(f"remote object {path!r} does not exist") from None
+
+    def set_tcpip_enabled(self, enabled: bool) -> None:
+        """Toggle ``adb tcpip`` mode (WiFi transport availability)."""
+        self._state.tcpip_enabled = bool(enabled)
+
+    # -- transport availability -----------------------------------------------
+    def transport_available(self, transport: AdbTransport) -> bool:
+        transport = AdbTransport(transport)
+        if transport is AdbTransport.USB:
+            return self._device.usb_connected and self._device.usb_powered
+        if transport is AdbTransport.WIFI:
+            from repro.device.radio import RadioTechnology
+
+            return (
+                self._state.tcpip_enabled
+                and self._device.radio.is_enabled(RadioTechnology.WIFI)
+            )
+        # ADB-over-Bluetooth needs a rooted device and an active BT link (§3.3).
+        return self._device.rooted and self._device.bluetooth_links > 0
+
+    def connect(self, transport: AdbTransport) -> "AdbConnection":
+        transport = AdbTransport(transport)
+        if not self.transport_available(transport):
+            raise AdbTransportUnavailable(
+                f"ADB transport {transport.value!r} is not available for device "
+                f"{self._device.serial!r}"
+            )
+        return AdbConnection(self, transport)
+
+    # -- command execution ----------------------------------------------------
+    def execute(self, command: str, transport: AdbTransport) -> str:
+        """Run one ADB command string and return its stdout."""
+        if not self.transport_available(transport):
+            raise AdbTransportUnavailable(
+                f"ADB transport {transport.value!r} dropped for device {self._device.serial!r}"
+            )
+        tokens = shlex.split(command)
+        if not tokens:
+            raise AdbCommandError("empty ADB command")
+        output = self._dispatch(tokens)
+        record = AdbCommandRecord(
+            timestamp=self._device.context.now,
+            transport=AdbTransport(transport),
+            command=command,
+            output=output,
+        )
+        self._history.append(record)
+        return output
+
+    # -- dispatch -------------------------------------------------------------
+    def _dispatch(self, tokens: List[str]) -> str:
+        head = tokens[0]
+        if head == "shell":
+            if len(tokens) < 2:
+                raise AdbCommandError("shell requires a command")
+            return self._shell(tokens[1:])
+        if head == "logcat":
+            return "\n".join(self._state.logcat)
+        if head == "get-state":
+            return "device"
+        if head == "reboot":
+            self.log_to_logcat("system rebooting")
+            return ""
+        if head == "root":
+            if not self._device.rooted:
+                raise AdbCommandError("adbd cannot run as root in production builds")
+            self._state.adb_root = True
+            return "restarting adbd as root"
+        if head == "push":
+            if len(tokens) != 3:
+                raise AdbCommandError("push requires <local> <remote>")
+            self._state.files[tokens[2]] = f"<pushed from {tokens[1]}>".encode("utf-8")
+            return f"{tokens[1]}: 1 file pushed"
+        if head == "pull":
+            if len(tokens) < 2:
+                raise AdbCommandError("pull requires <remote>")
+            data = self.read_file(tokens[1])
+            return f"{tokens[1]}: 1 file pulled ({len(data)} bytes)"
+        raise AdbCommandError(f"unsupported adb command {head!r}")
+
+    def _shell(self, tokens: List[str]) -> str:
+        head = tokens[0]
+        handlers = {
+            "dumpsys": self._shell_dumpsys,
+            "pm": self._shell_pm,
+            "am": self._shell_am,
+            "input": self._shell_input,
+            "settings": self._shell_settings,
+            "getprop": self._shell_getprop,
+            "setprop": self._shell_setprop,
+            "ls": self._shell_ls,
+            "rm": self._shell_rm,
+            "screencap": self._shell_screencap,
+            "svc": self._shell_svc,
+            "echo": lambda args: " ".join(args),
+        }
+        handler = handlers.get(head)
+        if handler is None:
+            raise AdbCommandError(f"unsupported shell command {head!r}")
+        return handler(tokens[1:])
+
+    def _shell_dumpsys(self, args: List[str]) -> str:
+        if not args:
+            raise AdbCommandError("dumpsys requires a service name")
+        service = args[0]
+        if service == "battery":
+            status = self._device.dumpsys_battery()
+            return "\n".join(f"  {key}: {value}" for key, value in sorted(status.items()))
+        if service == "cpuinfo":
+            info = self._device.dumpsys_cpuinfo()
+            lines = [f"  TOTAL: {info['total_percent']}%"]
+            for process, percent in sorted(info["per_process"].items()):
+                lines.append(f"  {percent:.1f}% {process}")
+            return "\n".join(lines)
+        if service == "netstats":
+            stats = self._device.netstats()
+            return "\n".join(f"  {key}: {value}" for key, value in sorted(stats.items()))
+        raise AdbCommandError(f"unknown dumpsys service {service!r}")
+
+    def _shell_pm(self, args: List[str]) -> str:
+        if not args:
+            raise AdbCommandError("pm requires a sub-command")
+        sub = args[0]
+        if sub == "list" and len(args) >= 2 and args[1] == "packages":
+            return "\n".join(f"package:{p}" for p in self._device.packages.installed_packages())
+        if sub == "clear":
+            if len(args) != 2:
+                raise AdbCommandError("pm clear requires a package name")
+            try:
+                self._device.packages.clear_data(args[1])
+            except PackageError as exc:
+                raise AdbCommandError(str(exc)) from exc
+            self.log_to_logcat(f"pm cleared data for {args[1]}")
+            return "Success"
+        raise AdbCommandError(f"unsupported pm sub-command {sub!r}")
+
+    def _shell_am(self, args: List[str]) -> str:
+        if not args:
+            raise AdbCommandError("am requires a sub-command")
+        sub = args[0]
+        if sub == "start":
+            return self._am_start(args[1:])
+        if sub == "force-stop":
+            if len(args) != 2:
+                raise AdbCommandError("am force-stop requires a package name")
+            self._device.packages.stop(args[1], ignore_missing=True)
+            self.log_to_logcat(f"force-stopped {args[1]}")
+            return ""
+        raise AdbCommandError(f"unsupported am sub-command {sub!r}")
+
+    def _am_start(self, args: List[str]) -> str:
+        action: Optional[str] = None
+        data: Optional[str] = None
+        component: Optional[str] = None
+        index = 0
+        while index < len(args):
+            flag = args[index]
+            if flag == "-a":
+                action = args[index + 1]
+                index += 2
+            elif flag == "-d":
+                data = args[index + 1]
+                index += 2
+            elif flag == "-n":
+                component = args[index + 1]
+                index += 2
+            else:
+                raise AdbCommandError(f"unsupported am start flag {flag!r}")
+        if component is None:
+            raise AdbCommandError("am start requires -n <package/activity>")
+        package = component.split("/", 1)[0]
+        try:
+            if action is not None and data is not None:
+                self._device.packages.deliver_intent(package, action, data)
+            else:
+                self._device.packages.launch(package)
+        except PackageError as exc:
+            raise AdbCommandError(str(exc)) from exc
+        self.log_to_logcat(f"am start {component} action={action} data={data}")
+        return f"Starting: Intent {{ cmp={component} }}"
+
+    def _shell_input(self, args: List[str]) -> str:
+        if not args:
+            raise AdbCommandError("input requires an event type")
+        event = " ".join(args)
+        process = self._device.packages.deliver_input(event)
+        target = process.package if process is not None else "<no foreground app>"
+        self.log_to_logcat(f"input {event} -> {target}")
+        return ""
+
+    def _shell_settings(self, args: List[str]) -> str:
+        if len(args) >= 4 and args[0] == "put":
+            self._state.settings[f"{args[1]}.{args[2]}"] = args[3]
+            return ""
+        if len(args) >= 3 and args[0] == "get":
+            return self._state.settings.get(f"{args[1]}.{args[2]}", "null")
+        raise AdbCommandError("settings supports 'put <ns> <key> <value>' and 'get <ns> <key>'")
+
+    def _shell_getprop(self, args: List[str]) -> str:
+        if not args:
+            return "\n".join(
+                f"[{key}]: [{value}]" for key, value in sorted(self._state.properties.items())
+            )
+        return self._state.properties.get(args[0], "")
+
+    def _shell_setprop(self, args: List[str]) -> str:
+        if len(args) != 2:
+            raise AdbCommandError("setprop requires <key> <value>")
+        self._state.properties[args[0]] = args[1]
+        return ""
+
+    def _shell_ls(self, args: List[str]) -> str:
+        prefix = args[0] if args else "/"
+        matches = sorted(path for path in self._state.files if path.startswith(prefix))
+        return "\n".join(matches)
+
+    def _shell_rm(self, args: List[str]) -> str:
+        if not args:
+            raise AdbCommandError("rm requires a path")
+        removed = self._state.files.pop(args[-1], None)
+        if removed is None:
+            raise AdbCommandError(f"rm: {args[-1]}: No such file or directory")
+        return ""
+
+    def _shell_screencap(self, args: List[str]) -> str:
+        path = args[-1] if args else "/sdcard/screen.png"
+        self._state.files[path] = b"<png>"
+        return ""
+
+    def _shell_svc(self, args: List[str]) -> str:
+        if len(args) >= 2 and args[0] == "wifi":
+            if args[1] == "enable":
+                self._device.connect_wifi(self._device.radio.wifi_ssid or "batterylab")
+                return ""
+            if args[1] == "disable":
+                self._device.disconnect_wifi()
+                return ""
+        if len(args) >= 2 and args[0] == "data":
+            if args[1] == "enable":
+                self._device.connect_cellular()
+                return ""
+            if args[1] == "disable":
+                self._device.disconnect_cellular()
+                return ""
+        raise AdbCommandError(f"unsupported svc command {' '.join(args)!r}")
+
+
+class AdbConnection:
+    """A live ADB session pinned to one transport.
+
+    Connections account for the power cost of the transport: a USB session
+    keeps the port powered (charging the device and spoiling measurements),
+    while a Bluetooth session holds a BT link open.
+    """
+
+    def __init__(self, server: AdbServer, transport: AdbTransport) -> None:
+        self._server = server
+        self._transport = AdbTransport(transport)
+        self._open = True
+        if self._transport is AdbTransport.BLUETOOTH:
+            server.device.attach_bluetooth_link()
+
+    @property
+    def transport(self) -> AdbTransport:
+        return self._transport
+
+    @property
+    def open(self) -> bool:
+        return self._open
+
+    @property
+    def device_serial(self) -> str:
+        return self._server.device.serial
+
+    def execute(self, command: str) -> str:
+        if not self._open:
+            raise AdbError("connection is closed")
+        return self._server.execute(command, self._transport)
+
+    def shell(self, command: str) -> str:
+        return self.execute(f"shell {command}")
+
+    def close(self) -> None:
+        if not self._open:
+            return
+        self._open = False
+        if self._transport is AdbTransport.BLUETOOTH:
+            self._server.device.detach_bluetooth_link()
+
+    def __enter__(self) -> "AdbConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

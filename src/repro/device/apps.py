@@ -1,0 +1,213 @@
+"""Installed applications and running app processes.
+
+BatteryLab's demonstration study drives real browser apps through ADB
+(``am start``, ``input swipe`` and friends).  This module provides the
+device-side half of that interaction:
+
+* :class:`InstalledApp` — an entry in the package manager, optionally with a
+  *behaviour* object (e.g. a browser model from :mod:`repro.workloads`) that
+  reacts to launches, intents and input events;
+* :class:`AppProcess` — the resource footprint of a running app: CPU demand,
+  network throughput and screen update rate, which the device turns into
+  current draw;
+* :class:`PackageManager` — install / uninstall / clear-data / list, the
+  operations exercised by the automation scripts and maintenance jobs
+  (e.g. factory reset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+
+class AppBehaviour(Protocol):
+    """Hooks a workload model can implement to react to device events."""
+
+    def on_launch(self, process: "AppProcess") -> None:  # pragma: no cover - protocol
+        ...
+
+    def on_stop(self, process: "AppProcess") -> None:  # pragma: no cover - protocol
+        ...
+
+    def on_intent(self, process: "AppProcess", action: str, data: str) -> None:  # pragma: no cover
+        ...
+
+    def on_input(self, process: "AppProcess", event: str) -> None:  # pragma: no cover
+        ...
+
+
+class PackageError(RuntimeError):
+    """Raised for unknown packages or invalid package-manager operations."""
+
+
+@dataclass
+class InstalledApp:
+    """One entry in the device's package manager."""
+
+    package: str
+    label: str
+    version: str = "1.0"
+    category: str = "app"
+    behaviour: Optional[AppBehaviour] = None
+    data_bytes: int = 0
+
+    def clear_data(self) -> None:
+        self.data_bytes = 0
+
+
+@dataclass
+class AppProcess:
+    """Resource footprint of a running application process.
+
+    The numbers here are *demands*; the device model converts them into
+    current draw and feeds CPU demand into :class:`repro.device.cpu.CpuModel`.
+    """
+
+    package: str
+    pid: int
+    foreground: bool = False
+    cpu_percent: float = 0.0
+    network_mbps: float = 0.0
+    screen_fps: float = 0.0
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def set_activity(
+        self,
+        cpu_percent: Optional[float] = None,
+        network_mbps: Optional[float] = None,
+        screen_fps: Optional[float] = None,
+    ) -> None:
+        """Update the process's instantaneous resource demands."""
+        if cpu_percent is not None:
+            if cpu_percent < 0:
+                raise ValueError(f"cpu_percent must be non-negative, got {cpu_percent!r}")
+            self.cpu_percent = float(cpu_percent)
+        if network_mbps is not None:
+            if network_mbps < 0:
+                raise ValueError(f"network_mbps must be non-negative, got {network_mbps!r}")
+            self.network_mbps = float(network_mbps)
+        if screen_fps is not None:
+            if screen_fps < 0:
+                raise ValueError(f"screen_fps must be non-negative, got {screen_fps!r}")
+            self.screen_fps = float(screen_fps)
+
+    def account_traffic(self, rx_bytes: int = 0, tx_bytes: int = 0) -> None:
+        if rx_bytes < 0 or tx_bytes < 0:
+            raise ValueError("traffic byte counts must be non-negative")
+        self.rx_bytes += int(rx_bytes)
+        self.tx_bytes += int(tx_bytes)
+
+    def idle(self) -> None:
+        """Drop all demands to zero (app backgrounded / finished its work)."""
+        self.cpu_percent = 0.0
+        self.network_mbps = 0.0
+        self.screen_fps = 0.0
+
+
+class PackageManager:
+    """Android-style package manager: installed apps plus running processes."""
+
+    def __init__(self) -> None:
+        self._installed: Dict[str, InstalledApp] = {}
+        self._running: Dict[str, AppProcess] = {}
+        self._next_pid = 1000
+
+    # -- installation ---------------------------------------------------------
+    def install(self, app: InstalledApp) -> None:
+        if app.package in self._installed:
+            raise PackageError(f"package {app.package!r} is already installed")
+        self._installed[app.package] = app
+
+    def uninstall(self, package: str) -> None:
+        self._require_installed(package)
+        self.stop(package, ignore_missing=True)
+        del self._installed[package]
+
+    def is_installed(self, package: str) -> bool:
+        return package in self._installed
+
+    def installed_packages(self) -> List[str]:
+        return sorted(self._installed)
+
+    def app(self, package: str) -> InstalledApp:
+        self._require_installed(package)
+        return self._installed[package]
+
+    def clear_data(self, package: str) -> None:
+        """``pm clear`` — wipe app data and stop the app if it is running."""
+        self._require_installed(package)
+        self.stop(package, ignore_missing=True)
+        self._installed[package].clear_data()
+
+    # -- processes ------------------------------------------------------------
+    def launch(self, package: str) -> AppProcess:
+        """Start (or foreground) an app and return its process."""
+        app = self.app(package)
+        if package in self._running:
+            process = self._running[package]
+        else:
+            process = AppProcess(package=package, pid=self._next_pid)
+            self._next_pid += 1
+            self._running[package] = process
+            if app.behaviour is not None:
+                app.behaviour.on_launch(process)
+        for other in self._running.values():
+            other.foreground = False
+        process.foreground = True
+        return process
+
+    def stop(self, package: str, ignore_missing: bool = False) -> None:
+        """``am force-stop`` — kill the app's process."""
+        process = self._running.pop(package, None)
+        if process is None:
+            if ignore_missing:
+                return
+            raise PackageError(f"package {package!r} has no running process")
+        app = self._installed.get(package)
+        if app is not None and app.behaviour is not None:
+            app.behaviour.on_stop(process)
+
+    def is_running(self, package: str) -> bool:
+        return package in self._running
+
+    def process(self, package: str) -> AppProcess:
+        try:
+            return self._running[package]
+        except KeyError:
+            raise PackageError(f"package {package!r} has no running process") from None
+
+    def running_processes(self) -> List[AppProcess]:
+        return list(self._running.values())
+
+    def foreground_process(self) -> Optional[AppProcess]:
+        for process in self._running.values():
+            if process.foreground:
+                return process
+        return None
+
+    # -- events ---------------------------------------------------------------
+    def deliver_intent(self, package: str, action: str, data: str) -> AppProcess:
+        """Deliver an intent (``am start -a <action> -d <data>``), launching if needed."""
+        process = self.launch(package)
+        app = self.app(package)
+        if app.behaviour is not None:
+            app.behaviour.on_intent(process, action, data)
+        return process
+
+    def deliver_input(self, event: str) -> Optional[AppProcess]:
+        """Deliver an input event (scroll, key, text) to the foreground app."""
+        process = self.foreground_process()
+        if process is None:
+            return None
+        app = self._installed.get(process.package)
+        if app is not None and app.behaviour is not None:
+            app.behaviour.on_input(process, event)
+        return process
+
+    # -- helpers --------------------------------------------------------------
+    def _require_installed(self, package: str) -> None:
+        if package not in self._installed:
+            raise PackageError(f"package {package!r} is not installed")

@@ -1,0 +1,156 @@
+"""Battery and battery-bypass model.
+
+In BatteryLab each phone's voltage terminal is wired through a relay that
+switches between the phone's own battery and the Monsoon's ``Vout``
+connector ("battery bypass", Section 3.2).  The :class:`Battery` here tracks
+state of charge and exposes the same connection states the relay toggles
+between, so the relay circuit and the power monitor can be exercised without
+hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BatteryConnection(str, enum.Enum):
+    """How the device's power terminals are currently wired."""
+
+    INTERNAL = "internal"
+    """Direct connection between the phone and its own battery."""
+
+    BYPASS = "bypass"
+    """Battery disconnected; the power monitor's Vout supplies the device."""
+
+    DISCONNECTED = "disconnected"
+    """Neither the battery nor a monitor is connected (device is off)."""
+
+
+class BatteryError(RuntimeError):
+    """Raised for invalid battery operations (e.g. draining a bypassed battery)."""
+
+
+@dataclass
+class BatteryStatus:
+    """Snapshot returned by ``dumpsys battery``-style queries."""
+
+    connection: BatteryConnection
+    level_percent: float
+    charge_mah: float
+    capacity_mah: float
+    voltage_v: float
+    charging: bool
+
+
+class Battery:
+    """State-of-charge tracking for a (possibly removable) phone battery.
+
+    Parameters
+    ----------
+    capacity_mah:
+        Nominal capacity.
+    voltage_v:
+        Nominal voltage.
+    initial_level:
+        Initial state of charge as a fraction in ``(0, 1]``.
+    """
+
+    def __init__(self, capacity_mah: float, voltage_v: float, initial_level: float = 1.0) -> None:
+        if capacity_mah <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_mah!r}")
+        if voltage_v <= 0:
+            raise ValueError(f"voltage must be positive, got {voltage_v!r}")
+        if not 0.0 < initial_level <= 1.0:
+            raise ValueError(f"initial_level must be in (0, 1], got {initial_level!r}")
+        self._capacity_mah = float(capacity_mah)
+        self._voltage_v = float(voltage_v)
+        self._charge_mah = float(capacity_mah) * float(initial_level)
+        self._connection = BatteryConnection.INTERNAL
+        self._charging = False
+        self._total_discharged_mah = 0.0
+
+    # -- wiring ---------------------------------------------------------------
+    @property
+    def connection(self) -> BatteryConnection:
+        return self._connection
+
+    def set_connection(self, connection: BatteryConnection) -> None:
+        self._connection = BatteryConnection(connection)
+
+    # -- electrical properties ------------------------------------------------
+    @property
+    def capacity_mah(self) -> float:
+        return self._capacity_mah
+
+    @property
+    def voltage_v(self) -> float:
+        return self._voltage_v
+
+    @property
+    def charge_mah(self) -> float:
+        return self._charge_mah
+
+    @property
+    def level(self) -> float:
+        """State of charge as a fraction in ``[0, 1]``."""
+        return self._charge_mah / self._capacity_mah
+
+    @property
+    def level_percent(self) -> float:
+        return 100.0 * self.level
+
+    @property
+    def total_discharged_mah(self) -> float:
+        """Cumulative charge drawn from this battery (not from a bypass supply)."""
+        return self._total_discharged_mah
+
+    @property
+    def charging(self) -> bool:
+        return self._charging
+
+    def set_charging(self, charging: bool) -> None:
+        self._charging = bool(charging)
+
+    # -- charge accounting ----------------------------------------------------
+    def drain(self, current_ma: float, duration_s: float) -> float:
+        """Remove charge corresponding to ``current_ma`` flowing for ``duration_s``.
+
+        Returns the charge removed in mAh.  Draining is only legal when the
+        battery is actually wired to the device (``INTERNAL``); in bypass the
+        monitor supplies the device and the battery holds its charge.
+        """
+        if current_ma < 0:
+            raise ValueError(f"current must be non-negative, got {current_ma!r}")
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s!r}")
+        if self._connection is not BatteryConnection.INTERNAL:
+            raise BatteryError(
+                f"cannot drain battery while connection is {self._connection.value!r}"
+            )
+        removed = current_ma * duration_s / 3600.0
+        removed = min(removed, self._charge_mah)
+        self._charge_mah -= removed
+        self._total_discharged_mah += removed
+        return removed
+
+    def charge(self, current_ma: float, duration_s: float) -> float:
+        """Add charge (USB power).  Returns the charge added in mAh."""
+        if current_ma < 0:
+            raise ValueError(f"current must be non-negative, got {current_ma!r}")
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s!r}")
+        added = current_ma * duration_s / 3600.0
+        added = min(added, self._capacity_mah - self._charge_mah)
+        self._charge_mah += added
+        return added
+
+    def status(self) -> BatteryStatus:
+        return BatteryStatus(
+            connection=self._connection,
+            level_percent=self.level_percent,
+            charge_mah=self._charge_mah,
+            capacity_mah=self._capacity_mah,
+            voltage_v=self._voltage_v,
+            charging=self._charging,
+        )

@@ -1,0 +1,296 @@
+"""Laptop and IoT device models.
+
+The paper's conclusion notes that "while we focus on mobile devices there is
+no fundamental constraint which would not allow BatteryLab to support
+laptops or IoT devices".  This module adds those device classes so a vantage
+point can host them alongside phones:
+
+* :class:`LinuxDevice` — a generic Linux machine (laptop or single-board IoT
+  node) with a battery (optional for mains-assisted IoT nodes), CPU, WiFi
+  radio, an optional display panel and a set of *services* standing in for
+  the app processes of a phone;
+* automation happens over SSH-style service control rather than ADB — the
+  :meth:`LinuxDevice.run_command` surface covers the handful of operations
+  an experiment script needs (start/stop services, read sensors, power
+  settings).
+
+Power accounting mirrors the Android model: every component contributes a
+current at the device's supply voltage, the monitor (or relay) samples the
+total, and a one-hertz tick drains the battery or counts bypass charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.device.apps import InstalledApp, PackageManager
+from repro.device.battery import Battery, BatteryConnection
+from repro.device.cpu import CpuModel
+from repro.device.radio import NetworkInterfaceModel, RadioTechnology
+from repro.device.screen import Screen
+from repro.simulation.entity import Entity, SimulationContext
+from repro.simulation.process import PeriodicProcess
+
+
+@dataclass(frozen=True)
+class LinuxDeviceProfile:
+    """Hardware/power description of a Linux test device.
+
+    ``battery_capacity_mah`` of zero means the device has no battery at all
+    (a mains-powered IoT node): it can still be measured through the monitor
+    but never runs from stored charge.
+    """
+
+    model: str
+    kind: str  # "laptop" or "iot"
+    cpu_cores: int
+    battery_capacity_mah: float
+    supply_voltage_v: float
+    idle_current_ma: float
+    cpu_current_ma_per_percent: float
+    display_current_ma: float
+    wifi_idle_current_ma: float
+    wifi_active_current_ma_per_mbps: float
+    usb_charge_current_ma: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def has_battery(self) -> bool:
+        return self.battery_capacity_mah > 0
+
+    @property
+    def has_display(self) -> bool:
+        return self.display_current_ma > 0
+
+
+THINKPAD_X250 = LinuxDeviceProfile(
+    model="ThinkPad X250",
+    kind="laptop",
+    cpu_cores=4,
+    battery_capacity_mah=6200.0,
+    supply_voltage_v=11.4,
+    idle_current_ma=380.0,
+    cpu_current_ma_per_percent=14.0,
+    display_current_ma=260.0,
+    wifi_idle_current_ma=12.0,
+    wifi_active_current_ma_per_mbps=9.0,
+    usb_charge_current_ma=0.0,
+)
+"""A laptop-class profile (battery measured at the pack's 11.4 V)."""
+
+
+RASPBERRY_PI_ZERO_W = LinuxDeviceProfile(
+    model="Raspberry Pi Zero W",
+    kind="iot",
+    cpu_cores=1,
+    battery_capacity_mah=0.0,
+    supply_voltage_v=5.0,
+    idle_current_ma=120.0,
+    cpu_current_ma_per_percent=1.6,
+    display_current_ma=0.0,
+    wifi_idle_current_ma=8.0,
+    wifi_active_current_ma_per_mbps=20.0,
+    usb_charge_current_ma=0.0,
+)
+"""A battery-less IoT node powered (and measured) through its 5 V supply."""
+
+
+class LinuxDeviceError(RuntimeError):
+    """Raised for unsupported operations (e.g. draining a battery-less node)."""
+
+
+class LinuxDevice(Entity):
+    """A laptop or IoT node attached to a BatteryLab vantage point.
+
+    The device deliberately mirrors the attachment surface of
+    :class:`~repro.device.android.AndroidDevice` (``serial``,
+    ``instantaneous_current_ma``, USB/WiFi hooks, a ``battery`` when one
+    exists) so the relay circuit, USB hub and measurement sessions work
+    unchanged; what differs is the automation surface (:meth:`run_command`,
+    services) and the absence of ADB, scrcpy and Bluetooth input.
+    """
+
+    def __init__(
+        self,
+        context: SimulationContext,
+        serial: str,
+        profile: LinuxDeviceProfile = THINKPAD_X250,
+        accounting_period: float = 1.0,
+    ) -> None:
+        super().__init__(context, f"device:{serial}")
+        self._serial = serial
+        self._profile = profile
+        self.cpu = CpuModel(profile.cpu_cores, self.random.child("cpu"))
+        self.radio = NetworkInterfaceModel()
+        self.services = PackageManager()
+        self.battery: Optional[Battery] = (
+            Battery(profile.battery_capacity_mah, profile.supply_voltage_v)
+            if profile.has_battery
+            else None
+        )
+        self.display: Optional[Screen] = Screen() if profile.has_display else None
+        self._usb_connected = False
+        self._usb_powered = False
+        self._mains_powered = not profile.has_battery
+        self._bypass_supply_mah = 0.0
+        self._accounting = PeriodicProcess(
+            context.scheduler,
+            accounting_period,
+            self._accounting_tick,
+            label=f"{self.name}:accounting",
+        )
+        self._accounting.start(initial_delay=accounting_period)
+
+    # -- identity --------------------------------------------------------------------
+    @property
+    def serial(self) -> str:
+        return self._serial
+
+    @property
+    def profile(self) -> LinuxDeviceProfile:
+        return self._profile
+
+    @property
+    def kind(self) -> str:
+        return self._profile.kind
+
+    # -- attachment hooks (same surface the hub/relay/session expect) ------------------
+    def connect_usb(self, powered: bool = True) -> None:
+        self._usb_connected = True
+        self._usb_powered = bool(powered)
+
+    def disconnect_usb(self) -> None:
+        self._usb_connected = False
+        self._usb_powered = False
+
+    def set_usb_power(self, powered: bool) -> None:
+        if not self._usb_connected and powered:
+            raise RuntimeError("cannot power a USB port with no device attached")
+        self._usb_powered = bool(powered)
+
+    @property
+    def usb_connected(self) -> bool:
+        return self._usb_connected
+
+    @property
+    def usb_powered(self) -> bool:
+        return self._usb_powered
+
+    def connect_wifi(self, ssid: str) -> None:
+        self.radio.enable(RadioTechnology.WIFI, ssid=ssid)
+
+    def disconnect_wifi(self) -> None:
+        self.radio.disable(RadioTechnology.WIFI)
+
+    @property
+    def mains_powered(self) -> bool:
+        return self._mains_powered
+
+    def set_mains_powered(self, powered: bool) -> None:
+        """Plug/unplug a laptop's charger (IoT nodes are always mains powered)."""
+        if not self._profile.has_battery and not powered:
+            raise LinuxDeviceError(
+                f"{self._profile.model} has no battery and cannot run unplugged"
+            )
+        self._mains_powered = bool(powered)
+
+    # -- services (the Linux analogue of app processes) ----------------------------------
+    def install_service(self, name: str, description: str = "") -> None:
+        self.services.install(InstalledApp(package=name, label=description or name, category="service"))
+
+    def start_service(self, name: str, cpu_percent: float = 0.0, network_mbps: float = 0.0):
+        process = self.services.launch(name)
+        process.set_activity(cpu_percent=cpu_percent, network_mbps=network_mbps)
+        return process
+
+    def stop_service(self, name: str) -> None:
+        self.services.stop(name, ignore_missing=True)
+
+    def run_command(self, command: str) -> str:
+        """Tiny SSH-style command surface used by automation scripts.
+
+        Supported commands: ``uptime``, ``sensors``, ``systemctl list``,
+        ``systemctl start <svc> [cpu] [mbps]``, ``systemctl stop <svc>``,
+        ``display on|off``.
+        """
+        tokens = command.split()
+        if not tokens:
+            raise LinuxDeviceError("empty command")
+        if tokens[0] == "uptime":
+            return f"up {self.now:.0f} seconds, load {self.cpu.total_demand() / 100:.2f}"
+        if tokens[0] == "sensors":
+            return f"current: {self.instantaneous_current_ma(with_noise=False):.1f} mA"
+        if tokens[0] == "display" and self.display is not None and len(tokens) == 2:
+            if tokens[1] == "on":
+                self.display.turn_on()
+            elif tokens[1] == "off":
+                self.display.turn_off()
+            else:
+                raise LinuxDeviceError("usage: display <on|off>")
+            return ""
+        if tokens[0] == "systemctl":
+            if len(tokens) >= 2 and tokens[1] == "list":
+                return "\n".join(self.services.installed_packages())
+            if len(tokens) >= 3 and tokens[1] == "start":
+                cpu = float(tokens[3]) if len(tokens) > 3 else 5.0
+                mbps = float(tokens[4]) if len(tokens) > 4 else 0.0
+                self.start_service(tokens[2], cpu_percent=cpu, network_mbps=mbps)
+                return f"started {tokens[2]}"
+            if len(tokens) >= 3 and tokens[1] == "stop":
+                self.stop_service(tokens[2])
+                return f"stopped {tokens[2]}"
+        raise LinuxDeviceError(f"unsupported command {command!r}")
+
+    # -- power model ------------------------------------------------------------------------
+    def refresh_demands(self) -> None:
+        for process in self.services.running_processes():
+            self.cpu.set_demand(process.package, process.cpu_percent)
+        for name in list(self.cpu.process_names):
+            if not self.services.is_running(name):
+                self.cpu.clear_demand(name)
+        total_mbps = sum(p.network_mbps for p in self.services.running_processes())
+        if self.radio.is_enabled(RadioTechnology.WIFI):
+            self.radio.set_throughput(RadioTechnology.WIFI, total_mbps)
+
+    def instantaneous_current_ma(self, with_noise: bool = True) -> float:
+        """Current drawn from the measured supply (battery, monitor or mains)."""
+        self.refresh_demands()
+        profile = self._profile
+        total = profile.idle_current_ma
+        total += self.cpu.total_demand() * profile.cpu_current_ma_per_percent
+        if self.display is not None and self.display.on:
+            total += profile.display_current_ma
+        if self.radio.is_enabled(RadioTechnology.WIFI):
+            total += (
+                profile.wifi_idle_current_ma
+                + profile.wifi_active_current_ma_per_mbps
+                * self.radio.throughput(RadioTechnology.WIFI)
+            )
+        if with_noise and total > 0:
+            total *= self.random.clipped_normal(1.0, 0.02, low=0.85, high=1.15)
+        return total
+
+    def _accounting_tick(self, timestamp: float) -> None:
+        period = self._accounting.period
+        current = self.instantaneous_current_ma(with_noise=True)
+        if self.battery is not None and self.battery.connection is BatteryConnection.INTERNAL:
+            if not self._mains_powered:
+                self.battery.drain(current, period)
+        elif self.battery is not None and self.battery.connection is BatteryConnection.BYPASS:
+            self._bypass_supply_mah += current * period / 3600.0
+        self.cpu.sample(timestamp)
+
+    @property
+    def bypass_supply_mah(self) -> float:
+        return self._bypass_supply_mah
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "serial": self._serial,
+            "model": self._profile.model,
+            "kind": self._profile.kind,
+            "battery_percent": round(self.battery.level_percent, 1) if self.battery else None,
+            "mains_powered": self._mains_powered,
+            "services": self.services.installed_packages(),
+        }

@@ -1,0 +1,122 @@
+"""Radio / network interface model.
+
+A device has a WiFi interface (associated with the vantage point
+controller's access point) and a cellular interface.  Only one is the
+default route at a time — the paper notes that running over WiFi precludes
+mobile-network experiments, which is why the Bluetooth keyboard automation
+channel exists.  Power draw scales with the instantaneous throughput the
+active workload reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class RadioTechnology(str, enum.Enum):
+    WIFI = "wifi"
+    CELLULAR = "cellular"
+
+
+class RadioError(RuntimeError):
+    """Raised for invalid radio operations (e.g. traffic on a disabled interface)."""
+
+
+@dataclass
+class InterfaceCounters:
+    """Cumulative traffic counters, as read from ``/proc/net/dev`` on a real phone."""
+
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+
+    def total_bytes(self) -> int:
+        return self.rx_bytes + self.tx_bytes
+
+
+class NetworkInterfaceModel:
+    """Tracks per-technology association state, throughput and traffic counters."""
+
+    def __init__(self) -> None:
+        self._enabled: Dict[RadioTechnology, bool] = {
+            RadioTechnology.WIFI: False,
+            RadioTechnology.CELLULAR: False,
+        }
+        self._counters: Dict[RadioTechnology, InterfaceCounters] = {
+            RadioTechnology.WIFI: InterfaceCounters(),
+            RadioTechnology.CELLULAR: InterfaceCounters(),
+        }
+        self._throughput_mbps: Dict[RadioTechnology, float] = {
+            RadioTechnology.WIFI: 0.0,
+            RadioTechnology.CELLULAR: 0.0,
+        }
+        self._default_route: Optional[RadioTechnology] = None
+        self._wifi_ssid: Optional[str] = None
+
+    # -- association ----------------------------------------------------------
+    def enable(self, technology: RadioTechnology, ssid: Optional[str] = None) -> None:
+        technology = RadioTechnology(technology)
+        self._enabled[technology] = True
+        if technology is RadioTechnology.WIFI:
+            self._wifi_ssid = ssid
+        if self._default_route is None:
+            self._default_route = technology
+
+    def disable(self, technology: RadioTechnology) -> None:
+        technology = RadioTechnology(technology)
+        self._enabled[technology] = False
+        self._throughput_mbps[technology] = 0.0
+        if technology is RadioTechnology.WIFI:
+            self._wifi_ssid = None
+        if self._default_route is technology:
+            self._default_route = next(
+                (tech for tech, on in self._enabled.items() if on), None
+            )
+
+    def is_enabled(self, technology: RadioTechnology) -> bool:
+        return self._enabled[RadioTechnology(technology)]
+
+    @property
+    def wifi_ssid(self) -> Optional[str]:
+        return self._wifi_ssid
+
+    @property
+    def default_route(self) -> Optional[RadioTechnology]:
+        return self._default_route
+
+    def set_default_route(self, technology: RadioTechnology) -> None:
+        technology = RadioTechnology(technology)
+        if not self._enabled[technology]:
+            raise RadioError(f"cannot route over disabled interface {technology.value!r}")
+        self._default_route = technology
+
+    # -- traffic --------------------------------------------------------------
+    def set_throughput(self, technology: RadioTechnology, mbps: float) -> None:
+        """Set the instantaneous throughput seen on an interface."""
+        technology = RadioTechnology(technology)
+        if mbps < 0:
+            raise ValueError(f"throughput must be non-negative, got {mbps!r}")
+        if mbps > 0 and not self._enabled[technology]:
+            raise RadioError(f"traffic on disabled interface {technology.value!r}")
+        self._throughput_mbps[technology] = float(mbps)
+
+    def throughput(self, technology: RadioTechnology) -> float:
+        return self._throughput_mbps[RadioTechnology(technology)]
+
+    def total_throughput_mbps(self) -> float:
+        return sum(self._throughput_mbps.values())
+
+    def account_traffic(
+        self, technology: RadioTechnology, rx_bytes: int = 0, tx_bytes: int = 0
+    ) -> None:
+        """Add transferred bytes to the cumulative counters."""
+        technology = RadioTechnology(technology)
+        if rx_bytes < 0 or tx_bytes < 0:
+            raise ValueError("traffic byte counts must be non-negative")
+        counters = self._counters[technology]
+        counters.rx_bytes += int(rx_bytes)
+        counters.tx_bytes += int(tx_bytes)
+
+    def counters(self, technology: RadioTechnology) -> InterfaceCounters:
+        return self._counters[RadioTechnology(technology)]

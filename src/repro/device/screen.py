@@ -1,0 +1,93 @@
+"""Screen model.
+
+The screen matters to BatteryLab in two ways: it is one of the largest
+power consumers during the browser and video workloads, and its *update
+rate* drives the cost of scrcpy mirroring (the encoder works harder "when
+the screen content changes quickly versus, for example, the fixed phone's
+home screen", Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ScreenState:
+    on: bool
+    brightness: float
+    update_rate_fps: float
+
+
+class Screen:
+    """Display panel with brightness and an activity (update-rate) signal.
+
+    Parameters
+    ----------
+    reference_brightness:
+        Brightness the hardware profile's ``screen_on_current_ma`` was measured
+        at; deviations scale with ``screen_brightness_coeff_ma``.
+    max_fps:
+        Maximum refresh/update rate the panel can present.
+    """
+
+    def __init__(self, reference_brightness: float = 0.5, max_fps: float = 60.0) -> None:
+        if not 0.0 < reference_brightness <= 1.0:
+            raise ValueError(
+                f"reference_brightness must be in (0, 1], got {reference_brightness!r}"
+            )
+        self._reference_brightness = float(reference_brightness)
+        self._max_fps = float(max_fps)
+        self._on = False
+        self._brightness = reference_brightness
+        self._update_rate_fps = 0.0
+
+    @property
+    def on(self) -> bool:
+        return self._on
+
+    @property
+    def brightness(self) -> float:
+        return self._brightness
+
+    @property
+    def reference_brightness(self) -> float:
+        return self._reference_brightness
+
+    @property
+    def max_fps(self) -> float:
+        return self._max_fps
+
+    @property
+    def update_rate_fps(self) -> float:
+        """Rate at which the displayed content is currently changing."""
+        return self._update_rate_fps if self._on else 0.0
+
+    def turn_on(self) -> None:
+        self._on = True
+
+    def turn_off(self) -> None:
+        self._on = False
+        self._update_rate_fps = 0.0
+
+    def set_brightness(self, brightness: float) -> None:
+        if not 0.0 <= brightness <= 1.0:
+            raise ValueError(f"brightness must be in [0, 1], got {brightness!r}")
+        self._brightness = float(brightness)
+
+    def set_update_rate(self, fps: float) -> None:
+        """Set how fast the on-screen content is changing (clamped to panel max)."""
+        if fps < 0:
+            raise ValueError(f"fps must be non-negative, got {fps!r}")
+        self._update_rate_fps = min(float(fps), self._max_fps)
+
+    def activity_fraction(self) -> float:
+        """Screen activity normalised to ``[0, 1]`` (drives the mirroring encoder)."""
+        if not self._on or self._max_fps == 0:
+            return 0.0
+        return self._update_rate_fps / self._max_fps
+
+    def state(self) -> ScreenState:
+        return ScreenState(
+            on=self._on, brightness=self._brightness, update_rate_fps=self.update_rate_fps
+        )

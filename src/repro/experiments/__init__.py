@@ -1,0 +1,53 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+==============  ======================================================  ==========================================
+Paper item      Content                                                 Driver
+==============  ======================================================  ==========================================
+Figure 2        CDF of current drawn (direct / relay, +/- mirroring)    :func:`repro.experiments.accuracy.run_accuracy_experiment`
+Figure 3        Per-browser battery discharge, +/- mirroring            :func:`repro.experiments.browser_study.run_browser_study`
+Figure 4        CDF of device CPU (Brave vs Chrome, +/- mirroring)      :func:`repro.experiments.browser_study.run_browser_study`
+Figure 5        CDF of controller CPU (+/- mirroring)                   :func:`repro.experiments.controller_load.run_controller_load_experiment`
+Table 1         BatteryLab API                                          :class:`repro.core.api.BatteryLabAPI`
+Table 2         ProtonVPN statistics per location                       :func:`repro.experiments.vpn_study.run_vpn_speedtests`
+Figure 6        Brave/Chrome discharge through VPN tunnels              :func:`repro.experiments.vpn_study.run_vpn_energy_study`
+Section 4.2     System performance (CPU/memory/network/latency)         :func:`repro.experiments.system_perf.run_system_performance`
+==============  ======================================================  ==========================================
+
+Every driver builds its own platform(s) from a seed, runs entirely on the
+simulation clock, and returns a result object with ``rows()`` suitable for
+the benchmark harness and EXPERIMENTS.md.
+"""
+
+from repro.experiments.accuracy import AccuracyStudyResult, run_accuracy_experiment
+from repro.experiments.browser_study import (
+    BrowserRunRecord,
+    BrowserStudyResult,
+    run_browser_measurement,
+    run_browser_study,
+)
+from repro.experiments.controller_load import (
+    ControllerLoadResult,
+    run_controller_load_experiment,
+)
+from repro.experiments.system_perf import SystemPerformanceResult, run_system_performance
+from repro.experiments.vpn_study import (
+    VpnEnergyStudyResult,
+    run_vpn_energy_study,
+    run_vpn_speedtests,
+)
+
+__all__ = [
+    "AccuracyStudyResult",
+    "run_accuracy_experiment",
+    "BrowserRunRecord",
+    "BrowserStudyResult",
+    "run_browser_measurement",
+    "run_browser_study",
+    "ControllerLoadResult",
+    "run_controller_load_experiment",
+    "SystemPerformanceResult",
+    "run_system_performance",
+    "VpnEnergyStudyResult",
+    "run_vpn_energy_study",
+    "run_vpn_speedtests",
+]

@@ -1,0 +1,93 @@
+"""Controller load experiment (Figure 5).
+
+Section 4.2 digs into the Raspberry Pi's CPU utilisation during the Chrome
+browser runs: "When device mirroring is inactive, the controller is mostly
+underloaded, i.e., constant CPU utilization at 25% [caused by] the
+communication with the Monsoon to pull battery readings at highest
+frequency.  When device mirroring is enabled, the median load instead
+increases to about 75%.  Further, in 10% of the measurements the load is
+quite high and over 95%."
+
+:func:`run_controller_load_experiment` regenerates the two controller-CPU
+CDFs (mirroring inactive/active) from a monitored Chrome run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.cdf import EmpiricalCdf, empirical_cdf
+from repro.core.platform import build_default_platform
+from repro.experiments.browser_study import run_browser_measurement
+
+
+@dataclass
+class ControllerLoadResult:
+    """Controller CPU series with and without device mirroring."""
+
+    browser: str
+    cpu_samples: Dict[bool, List[float]] = field(default_factory=dict)
+
+    def cdf(self, mirroring: bool) -> EmpiricalCdf:
+        return empirical_cdf(
+            self.cpu_samples[mirroring],
+            label=f"controller{'+mirroring' if mirroring else ''}",
+        )
+
+    def median(self, mirroring: bool) -> float:
+        return self.cdf(mirroring).median()
+
+    def fraction_above(self, threshold: float, mirroring: bool) -> float:
+        return self.cdf(mirroring).fraction_above(threshold)
+
+    def rows(self) -> List[dict]:
+        rows = []
+        for mirroring in (False, True):
+            if mirroring not in self.cpu_samples:
+                continue
+            cdf = self.cdf(mirroring)
+            rows.append(
+                {
+                    "mirroring": mirroring,
+                    "median_cpu_percent": round(cdf.median(), 1),
+                    "p90_cpu_percent": round(cdf.quantile(0.9), 1),
+                    "fraction_above_95": round(cdf.fraction_above(95.0), 3),
+                    "samples": len(cdf),
+                }
+            )
+        return rows
+
+
+def run_controller_load_experiment(
+    browser: str = "chrome",
+    repetitions: int = 2,
+    dwell_s: float = 6.0,
+    scrolls_per_page: int = 20,
+    scroll_interval_s: float = 1.5,
+    sample_rate_hz: float = 100.0,
+    seed: int = 7,
+) -> ControllerLoadResult:
+    """Reproduce Figure 5 for one browser (Chrome in the paper)."""
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    result = ControllerLoadResult(browser=browser)
+    for mirroring in (False, True):
+        platform = build_default_platform(seed=seed, browsers=(browser,))
+        handle = platform.vantage_point()
+        samples: List[float] = []
+        for repetition in range(repetitions):
+            measurement, _, _ = run_browser_measurement(
+                platform,
+                handle,
+                browser,
+                mirroring,
+                dwell_s=dwell_s,
+                scrolls_per_page=scrolls_per_page,
+                scroll_interval_s=scroll_interval_s,
+                sample_rate_hz=sample_rate_hz,
+                label=f"controller-load-{browser}-rep{repetition}",
+            )
+            samples.extend(measurement.controller_cpu_percent)
+        result.cpu_samples[mirroring] = samples
+    return result

@@ -1,0 +1,48 @@
+"""Network substrate.
+
+BatteryLab's vantage points sit behind ordinary institutional uplinks, and
+Section 4.3 of the paper additionally emulates five network locations by
+tunnelling the vantage point's traffic through ProtonVPN.  This package
+models that environment:
+
+* :class:`~repro.network.link.NetworkLink` — a bandwidth/latency/loss pipe;
+* :class:`~repro.network.path.NetworkPath` — the composition of the vantage
+  point uplink with an optional VPN tunnel, yielding the effective
+  conditions a page load experiences;
+* :class:`~repro.network.vpn.VpnClient` and the Table 2 location profiles;
+* :func:`~repro.network.speedtest.run_speedtest` — the SpeedTest-style probe
+  used to produce Table 2;
+* :class:`~repro.network.ssh.SshServer` / :class:`~repro.network.ssh.SshChannel`
+  — the access-server-to-controller control channel (port 2222, pubkey auth);
+* :class:`~repro.network.web.WebPage` and the news-site corpus the browser
+  workload loads.
+"""
+
+from repro.network.link import NetworkLink
+from repro.network.path import NetworkPath
+from repro.network.speedtest import SpeedtestResult, run_speedtest
+from repro.network.ssh import SshAuthenticationError, SshChannel, SshServer
+from repro.network.vpn import (
+    PROTONVPN_LOCATIONS,
+    VpnClient,
+    VpnError,
+    VpnLocation,
+)
+from repro.network.web import NEWS_SITES, WebPage, page_by_url
+
+__all__ = [
+    "NetworkLink",
+    "NetworkPath",
+    "SpeedtestResult",
+    "run_speedtest",
+    "SshAuthenticationError",
+    "SshChannel",
+    "SshServer",
+    "PROTONVPN_LOCATIONS",
+    "VpnClient",
+    "VpnError",
+    "VpnLocation",
+    "NEWS_SITES",
+    "WebPage",
+    "page_by_url",
+]

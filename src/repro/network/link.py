@@ -1,0 +1,75 @@
+"""Point-to-point network link model.
+
+A :class:`NetworkLink` is a simple fluid pipe: it has a downstream and an
+upstream capacity, a one-way latency, and an optional loss rate that
+effectively reduces goodput.  Transfers are modelled analytically (transfer
+time = RTT + bytes / goodput), which is all the browser-workload and
+speedtest models need; packet-level detail would not change any of the
+paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A bidirectional link with asymmetric capacity.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (``"imperial-uplink"``, ``"protonvpn-jp"``).
+    downlink_mbps / uplink_mbps:
+        Capacity towards / away from the vantage point, in megabits per second.
+    latency_ms:
+        One-way propagation latency in milliseconds.
+    loss_rate:
+        Fraction of packets lost; goodput is scaled by ``(1 - loss_rate)``.
+    """
+
+    name: str
+    downlink_mbps: float
+    uplink_mbps: float
+    latency_ms: float
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.downlink_mbps <= 0 or self.uplink_mbps <= 0:
+            raise ValueError("link capacities must be positive")
+        if self.latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+    @property
+    def rtt_ms(self) -> float:
+        return 2.0 * self.latency_ms
+
+    def goodput_down_mbps(self) -> float:
+        return self.downlink_mbps * (1.0 - self.loss_rate)
+
+    def goodput_up_mbps(self) -> float:
+        return self.uplink_mbps * (1.0 - self.loss_rate)
+
+    def download_time_s(self, size_bytes: float, connections: int = 1) -> float:
+        """Time to download ``size_bytes`` including one connection-setup RTT."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        if connections < 1:
+            raise ValueError("connections must be >= 1")
+        setup_s = self.rtt_ms / 1000.0
+        if size_bytes == 0:
+            return setup_s
+        throughput_bps = self.goodput_down_mbps() * 1e6
+        return setup_s + (size_bytes * 8.0) / throughput_bps
+
+    def upload_time_s(self, size_bytes: float) -> float:
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        setup_s = self.rtt_ms / 1000.0
+        if size_bytes == 0:
+            return setup_s
+        throughput_bps = self.goodput_up_mbps() * 1e6
+        return setup_s + (size_bytes * 8.0) / throughput_bps

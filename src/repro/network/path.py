@@ -1,0 +1,98 @@
+"""Composite network path seen by a test device.
+
+Traffic from a test device traverses the controller's WiFi AP, the vantage
+point's uplink, and — when Section 4.3's location emulation is active — a
+VPN tunnel to a remote exit node.  :class:`NetworkPath` composes those hops
+into the effective bandwidth/latency the browser workload experiences, and
+exposes the exit *region* so the content model can localise pages (smaller
+ads in Japan, lite pages, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.network.link import NetworkLink
+from repro.network.vpn import VpnClient
+
+
+@dataclass(frozen=True)
+class PathConditions:
+    """Effective end-to-end conditions for one transfer."""
+
+    downlink_mbps: float
+    uplink_mbps: float
+    rtt_ms: float
+    region: str
+    via_vpn: bool
+
+
+class NetworkPath:
+    """The end-to-end path from a test device to the wider Internet.
+
+    Parameters
+    ----------
+    uplink:
+        The vantage point's native uplink.
+    vpn:
+        Optional VPN client at the controller; when connected, its tunnel
+        characteristics bound the path and its exit location defines the
+        content region.
+    home_region:
+        Region code used when no VPN tunnel is active (``"GB"`` for the
+        paper's Imperial College vantage point).
+    wifi_hop_mbps / wifi_hop_latency_ms:
+        Capacity and latency of the device-to-controller WiFi hop.
+    """
+
+    def __init__(
+        self,
+        uplink: NetworkLink,
+        vpn: Optional[VpnClient] = None,
+        home_region: str = "GB",
+        wifi_hop_mbps: float = 150.0,
+        wifi_hop_latency_ms: float = 2.0,
+    ) -> None:
+        self._uplink = uplink
+        self._vpn = vpn
+        self._home_region = home_region
+        self._wifi_hop_mbps = float(wifi_hop_mbps)
+        self._wifi_hop_latency_ms = float(wifi_hop_latency_ms)
+
+    @property
+    def uplink(self) -> NetworkLink:
+        return self._uplink
+
+    @property
+    def vpn(self) -> Optional[VpnClient]:
+        return self._vpn
+
+    def conditions(self) -> PathConditions:
+        """Compute the current effective path conditions."""
+        down = min(self._wifi_hop_mbps, self._uplink.goodput_down_mbps())
+        up = min(self._wifi_hop_mbps, self._uplink.goodput_up_mbps())
+        rtt = self._uplink.rtt_ms + 2.0 * self._wifi_hop_latency_ms
+        region = self._home_region
+        via_vpn = False
+        if self._vpn is not None and self._vpn.connected:
+            tunnel = self._vpn.tunnel_link()
+            down = min(down, tunnel.goodput_down_mbps())
+            up = min(up, tunnel.goodput_up_mbps())
+            rtt += tunnel.rtt_ms
+            region = self._vpn.active_location.region
+            via_vpn = True
+        return PathConditions(
+            downlink_mbps=down, uplink_mbps=up, rtt_ms=rtt, region=region, via_vpn=via_vpn
+        )
+
+    def download_time_s(self, size_bytes: float) -> float:
+        """Analytic transfer time for a download of ``size_bytes`` over this path."""
+        conditions = self.conditions()
+        setup_s = conditions.rtt_ms / 1000.0
+        if size_bytes <= 0:
+            return setup_s
+        return setup_s + (size_bytes * 8.0) / (conditions.downlink_mbps * 1e6)
+
+    def region(self) -> str:
+        return self.conditions().region

@@ -1,0 +1,214 @@
+"""SSH control channel between the access server and vantage points.
+
+Section 3.1/3.4: the access server reaches each controller over SSH on a
+configurable port (2222 by default), authenticated by public key, with the
+server's source addresses white-listed.  This module models exactly that
+trust path — key authorisation, IP allow-listing, command execution against
+a handler, and file copy (used to deploy renewed wildcard certificates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+class SshAuthenticationError(RuntimeError):
+    """Raised when key or source-address checks fail."""
+
+
+class SshExecutionError(RuntimeError):
+    """Raised when a remote command fails."""
+
+
+@dataclass
+class SshKeyPair:
+    """A toy key pair: the fingerprint is all the emulation needs."""
+
+    comment: str
+    fingerprint: str
+
+    @classmethod
+    def generate(cls, comment: str, random) -> "SshKeyPair":
+        fingerprint = "SHA256:" + "".join(
+            random.choice("0123456789abcdef") for _ in range(32)
+        )
+        return cls(comment=comment, fingerprint=fingerprint)
+
+
+@dataclass
+class SshExecRecord:
+    timestamp: float
+    source_address: str
+    command: str
+    exit_code: int
+    output: str
+
+
+CommandHandler = Callable[[str], str]
+
+
+class SshServer:
+    """The sshd running on a vantage point controller.
+
+    Parameters
+    ----------
+    host:
+        DNS name or address of the controller (``node1.batterylab.dev``).
+    port:
+        Listening port; BatteryLab uses 2222.
+    command_handler:
+        Callable that executes a command line and returns its output; the
+        controller installs its management interface here.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int = 2222,
+        command_handler: Optional[CommandHandler] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if not 0 < port < 65536:
+            raise ValueError(f"invalid port {port!r}")
+        self._host = host
+        self._port = port
+        self._authorized_keys: Dict[str, SshKeyPair] = {}
+        self._allowed_sources: List[str] = []
+        self._command_handler = command_handler
+        self._clock = clock or (lambda: 0.0)
+        self._exec_log: List[SshExecRecord] = []
+        self._files: Dict[str, bytes] = {}
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def files(self) -> Dict[str, bytes]:
+        return dict(self._files)
+
+    @property
+    def exec_log(self) -> List[SshExecRecord]:
+        return list(self._exec_log)
+
+    def set_command_handler(self, handler: CommandHandler) -> None:
+        self._command_handler = handler
+
+    # -- trust management ------------------------------------------------------------
+    def authorize_key(self, key: SshKeyPair) -> None:
+        """Append a public key to ``authorized_keys`` (the join-procedure step)."""
+        self._authorized_keys[key.fingerprint] = key
+
+    def revoke_key(self, fingerprint: str) -> None:
+        self._authorized_keys.pop(fingerprint, None)
+
+    def authorized_fingerprints(self) -> List[str]:
+        return sorted(self._authorized_keys)
+
+    def allow_source(self, address: str) -> None:
+        """IP white-listing: only the access server's addresses may connect."""
+        if address not in self._allowed_sources:
+            self._allowed_sources.append(address)
+
+    def allowed_sources(self) -> List[str]:
+        return list(self._allowed_sources)
+
+    # -- connections -----------------------------------------------------------------
+    def open_channel(self, key: SshKeyPair, source_address: str) -> "SshChannel":
+        if self._allowed_sources and source_address not in self._allowed_sources:
+            raise SshAuthenticationError(
+                f"connection from {source_address!r} rejected by IP white-list"
+            )
+        if key.fingerprint not in self._authorized_keys:
+            raise SshAuthenticationError(
+                f"public key {key.fingerprint!r} is not authorized on {self._host}"
+            )
+        return SshChannel(self, key, source_address)
+
+    # -- server-side operations (invoked by channels) ----------------------------------
+    def _execute(self, command: str, source_address: str) -> str:
+        if self._command_handler is None:
+            raise SshExecutionError(f"no command handler installed on {self._host}")
+        try:
+            output = self._command_handler(command)
+            exit_code = 0
+        except Exception as exc:
+            self._exec_log.append(
+                SshExecRecord(
+                    timestamp=self._clock(),
+                    source_address=source_address,
+                    command=command,
+                    exit_code=1,
+                    output=str(exc),
+                )
+            )
+            raise SshExecutionError(f"remote command {command!r} failed: {exc}") from exc
+        self._exec_log.append(
+            SshExecRecord(
+                timestamp=self._clock(),
+                source_address=source_address,
+                command=command,
+                exit_code=exit_code,
+                output=output,
+            )
+        )
+        return output
+
+    def _write_file(self, path: str, data: bytes) -> None:
+        self._files[path] = bytes(data)
+
+    def _read_file(self, path: str) -> bytes:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise SshExecutionError(f"remote file {path!r} does not exist") from None
+
+
+class SshChannel:
+    """An authenticated SSH session from the access server to one controller."""
+
+    def __init__(self, server: SshServer, key: SshKeyPair, source_address: str) -> None:
+        self._server = server
+        self._key = key
+        self._source_address = source_address
+        self._open = True
+
+    @property
+    def open(self) -> bool:
+        return self._open
+
+    @property
+    def remote_host(self) -> str:
+        return self._server.host
+
+    def execute(self, command: str) -> str:
+        """Run a command on the controller and return its stdout."""
+        self._require_open()
+        return self._server._execute(command, self._source_address)
+
+    def copy_file(self, path: str, data: bytes) -> None:
+        """``scp`` a file onto the controller (certificate deployment)."""
+        self._require_open()
+        self._server._write_file(path, data)
+
+    def fetch_file(self, path: str) -> bytes:
+        self._require_open()
+        return self._server._read_file(path)
+
+    def close(self) -> None:
+        self._open = False
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise SshExecutionError("SSH channel is closed")
+
+    def __enter__(self) -> "SshChannel":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,171 @@
+"""ProtonVPN location emulation.
+
+Section 4.3 emulates multiple vantage-point locations by tunnelling the
+controller's traffic through a ProtonVPN subscription.  Table 2 lists the
+five exit locations and the bandwidth/latency measured through each one;
+those numbers seed the built-in :data:`PROTONVPN_LOCATIONS` profiles so the
+reproduction's Table 2 and Figure 6 use the same vantage points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.network.link import NetworkLink
+
+
+class VpnError(RuntimeError):
+    """Raised for connection attempts to unknown locations or protocol misuse."""
+
+
+@dataclass(frozen=True)
+class VpnLocation:
+    """One VPN exit node.
+
+    The bandwidth/latency figures are the paper's Table 2 measurements
+    (download, upload in Mbps; RTT in milliseconds measured to a SpeedTest
+    server within 10 km of the exit node).
+    """
+
+    key: str
+    country: str
+    city: str
+    region: str
+    speedtest_server: str
+    speedtest_distance_km: float
+    download_mbps: float
+    upload_mbps: float
+    latency_ms: float
+
+    def tunnel_link(self) -> NetworkLink:
+        """The tunnel modelled as a network link (latency split per direction)."""
+        return NetworkLink(
+            name=f"protonvpn-{self.key}",
+            downlink_mbps=self.download_mbps,
+            uplink_mbps=self.upload_mbps,
+            latency_ms=self.latency_ms / 2.0,
+        )
+
+
+PROTONVPN_LOCATIONS: Dict[str, VpnLocation] = {
+    "south-africa": VpnLocation(
+        key="south-africa",
+        country="South Africa",
+        city="Johannesburg",
+        region="ZA",
+        speedtest_server="Johannesburg",
+        speedtest_distance_km=3.21,
+        download_mbps=6.26,
+        upload_mbps=9.77,
+        latency_ms=222.04,
+    ),
+    "china": VpnLocation(
+        key="china",
+        country="China",
+        city="Hong Kong",
+        region="HK",
+        speedtest_server="Hong Kong",
+        speedtest_distance_km=4.86,
+        download_mbps=7.64,
+        upload_mbps=7.77,
+        latency_ms=286.32,
+    ),
+    "japan": VpnLocation(
+        key="japan",
+        country="Japan",
+        city="Bunkyo",
+        region="JP",
+        speedtest_server="Bunkyo",
+        speedtest_distance_km=2.21,
+        download_mbps=9.68,
+        upload_mbps=7.76,
+        latency_ms=239.38,
+    ),
+    "brazil": VpnLocation(
+        key="brazil",
+        country="Brazil",
+        city="Sao Paulo",
+        region="BR",
+        speedtest_server="Sao Paulo",
+        speedtest_distance_km=8.84,
+        download_mbps=9.75,
+        upload_mbps=8.82,
+        latency_ms=235.05,
+    ),
+    "california": VpnLocation(
+        key="california",
+        country="CA, USA",
+        city="Santa Clara",
+        region="US",
+        speedtest_server="Santa Clara",
+        speedtest_distance_km=7.99,
+        download_mbps=10.63,
+        upload_mbps=14.87,
+        latency_ms=215.16,
+    ),
+}
+"""The paper's five ProtonVPN vantage points (Table 2), sorted here by key."""
+
+
+def locations_by_download_speed() -> List[VpnLocation]:
+    """Locations ordered slowest-first, as Table 2 presents them."""
+    return sorted(PROTONVPN_LOCATIONS.values(), key=lambda loc: loc.download_mbps)
+
+
+class VpnClient:
+    """A ProtonVPN-style client running on the vantage point controller.
+
+    Only one tunnel can be active at a time; connecting to a new location
+    implicitly tears the previous tunnel down (which is how the automation
+    script of Section 4.3 iterates over locations).
+    """
+
+    def __init__(self, locations: Optional[Dict[str, VpnLocation]] = None) -> None:
+        self._locations = dict(locations) if locations is not None else dict(PROTONVPN_LOCATIONS)
+        self._active: Optional[VpnLocation] = None
+        self._connection_log: List[str] = []
+
+    @property
+    def available_locations(self) -> List[str]:
+        return sorted(self._locations)
+
+    @property
+    def connected(self) -> bool:
+        return self._active is not None
+
+    @property
+    def active_location(self) -> VpnLocation:
+        if self._active is None:
+            raise VpnError("no VPN tunnel is active")
+        return self._active
+
+    @property
+    def connection_log(self) -> List[str]:
+        return list(self._connection_log)
+
+    def location(self, key: str) -> VpnLocation:
+        try:
+            return self._locations[key]
+        except KeyError:
+            known = ", ".join(sorted(self._locations))
+            raise VpnError(f"unknown VPN location {key!r}; known locations: {known}") from None
+
+    def connect(self, key: str) -> VpnLocation:
+        location = self.location(key)
+        if self._active is not None:
+            self._connection_log.append(f"disconnect {self._active.key}")
+        self._active = location
+        self._connection_log.append(f"connect {key}")
+        return location
+
+    def disconnect(self) -> None:
+        if self._active is None:
+            return
+        self._connection_log.append(f"disconnect {self._active.key}")
+        self._active = None
+
+    def tunnel_link(self) -> NetworkLink:
+        if self._active is None:
+            raise VpnError("no VPN tunnel is active")
+        return self._active.tunnel_link()

@@ -1,0 +1,123 @@
+"""Web page / content model.
+
+The demonstration workload (Section 4.2) loads "10 popular news websites"
+in each browser.  What matters to the reproduction is how many bytes a load
+transfers and how much script work it triggers, and how both vary with:
+
+* the browser — Brave blocks ads, so it downloads the ad payload of none of
+  these pages;
+* the region — the paper observes a systematic ~20% reduction in Chrome's
+  bandwidth usage through the Japanese VPN node because the ads served
+  there are smaller, and notes Google's "lite pages" being auto-enabled in
+  South Africa and Japan (though none of the tested pages supported them).
+
+:data:`NEWS_SITES` encodes a ten-site corpus with per-page base and ad
+payloads; :data:`REGION_AD_FACTORS` captures the regional ad-size effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Relative size of the ad payload served in each region (1.0 = the size the
+#: paper's UK vantage point would see).  Japan's markedly smaller ads are the
+#: mechanism behind Chrome's bandwidth/energy drop in Figure 6.
+REGION_AD_FACTORS: Dict[str, float] = {
+    "GB": 1.00,
+    "US": 1.05,
+    "ZA": 0.95,
+    "HK": 0.90,
+    "JP": 0.40,
+    "BR": 0.98,
+}
+
+#: Regions where Chrome auto-enabled its "lite pages" feature during the
+#: paper's measurements (driven by low bandwidth according to Google).
+LITE_PAGE_REGIONS = frozenset({"ZA", "JP"})
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """One page of the workload corpus.
+
+    Attributes
+    ----------
+    url:
+        Canonical URL loaded by the automation script.
+    base_bytes:
+        Payload excluding advertising (HTML, CSS, JS, images).
+    ad_bytes:
+        Advertising payload at the reference region (factor 1.0).
+    script_complexity:
+        Relative CPU weight of the page's scripts (1.0 = corpus average);
+        drives the per-page CPU demand in the browser model.
+    supports_lite_pages:
+        Whether the server offers a lite-page variant.  The paper notes none
+        of the tested pages did, so the corpus defaults to ``False``.
+    scroll_depth:
+        How many screenfuls of content the page offers to the scroll loop.
+    """
+
+    url: str
+    base_bytes: int
+    ad_bytes: int
+    script_complexity: float = 1.0
+    supports_lite_pages: bool = False
+    scroll_depth: int = 12
+
+    def payload_bytes(
+        self,
+        region: str = "GB",
+        ads_blocked: bool = False,
+        lite_pages_enabled: bool = False,
+    ) -> int:
+        """Bytes transferred for one load under the given conditions."""
+        total = float(self.base_bytes)
+        if not ads_blocked:
+            factor = REGION_AD_FACTORS.get(region, 1.0)
+            total += self.ad_bytes * factor
+        if lite_pages_enabled and self.supports_lite_pages and region in LITE_PAGE_REGIONS:
+            total *= 0.55
+        return int(round(total))
+
+    def ad_fraction(self, region: str = "GB") -> float:
+        """Fraction of the full payload attributable to ads in ``region``."""
+        full = self.payload_bytes(region=region, ads_blocked=False)
+        if full == 0:
+            return 0.0
+        ads = full - self.payload_bytes(region=region, ads_blocked=True)
+        return ads / full
+
+
+def _mb(value: float) -> int:
+    return int(value * 1_000_000)
+
+
+NEWS_SITES: List[WebPage] = [
+    WebPage("https://news.example-times.com", _mb(1.9), _mb(1.1), script_complexity=1.2),
+    WebPage("https://www.example-guardian.com", _mb(1.6), _mb(0.8), script_complexity=1.0),
+    WebPage("https://www.example-post.com", _mb(2.2), _mb(1.3), script_complexity=1.3),
+    WebPage("https://www.example-bbc.co.uk", _mb(1.2), _mb(0.5), script_complexity=0.8),
+    WebPage("https://www.example-cnn.com", _mb(2.5), _mb(1.5), script_complexity=1.4),
+    WebPage("https://www.example-reuters.com", _mb(1.1), _mb(0.6), script_complexity=0.7),
+    WebPage("https://www.example-nikkei.jp", _mb(1.4), _mb(0.9), script_complexity=0.9),
+    WebPage("https://www.example-globo.br", _mb(1.8), _mb(1.2), script_complexity=1.1),
+    WebPage("https://www.example-scmp.hk", _mb(1.7), _mb(1.0), script_complexity=1.0),
+    WebPage("https://www.example-mercurynews.com", _mb(2.0), _mb(1.4), script_complexity=1.2),
+]
+"""The ten-site news corpus the browser workload iterates over."""
+
+
+def page_by_url(url: str, corpus: Optional[List[WebPage]] = None) -> WebPage:
+    """Find a corpus page by URL."""
+    pages = corpus if corpus is not None else NEWS_SITES
+    for page in pages:
+        if page.url == url:
+            return page
+    raise KeyError(f"no page with url {url!r} in the corpus")
+
+
+def corpus_total_bytes(region: str = "GB", ads_blocked: bool = False) -> int:
+    """Total payload of the whole corpus under the given conditions."""
+    return sum(page.payload_bytes(region=region, ads_blocked=ads_blocked) for page in NEWS_SITES)

@@ -1,0 +1,48 @@
+"""Power monitor substrate.
+
+The paper's vantage points use a Monsoon High Voltage Power Monitor (HVPM):
+0.8–13.5 V output, up to 6 A continuous current, 5 kHz sampling, controlled
+through Monsoon's Python API.  No hardware is available here, so this
+package provides:
+
+* :class:`~repro.powermonitor.traces.CurrentTrace` — the measurement record
+  (timestamps, current, voltage) with the statistics the paper reports
+  (medians, CDFs, discharge in mAh);
+* :class:`~repro.powermonitor.sampling.SamplingEngine` — a high-rate sampler
+  that runs on the simulation clock but generates the full 5 kHz worth of
+  samples per tick;
+* :class:`~repro.powermonitor.monsoon.MonsoonHVPM` — the emulated monitor
+  with voltage control, a safety interlock and main/USB channel semantics;
+* :class:`~repro.powermonitor.pymonsoon.HVPM` — a thin compatibility shim
+  mimicking the naming of Monsoon's own ``Monsoon.HVPM`` Python API;
+* :mod:`~repro.powermonitor.calibration` — reference-resistor calibration.
+"""
+
+from repro.powermonitor.battor import BattOrMonitor, BattOrSpec
+from repro.powermonitor.calibration import CalibrationRecord, calibrate_against_reference
+from repro.powermonitor.monsoon import (
+    MonsoonError,
+    MonsoonHVPM,
+    MonsoonSafetyError,
+    MonsoonSpec,
+    MONSOON_HV_SPEC,
+)
+from repro.powermonitor.pymonsoon import HVPM
+from repro.powermonitor.sampling import SamplingEngine
+from repro.powermonitor.traces import CurrentTrace, TraceSummary
+
+__all__ = [
+    "BattOrMonitor",
+    "BattOrSpec",
+    "CalibrationRecord",
+    "calibrate_against_reference",
+    "MonsoonError",
+    "MonsoonHVPM",
+    "MonsoonSafetyError",
+    "MonsoonSpec",
+    "MONSOON_HV_SPEC",
+    "HVPM",
+    "SamplingEngine",
+    "CurrentTrace",
+    "TraceSummary",
+]

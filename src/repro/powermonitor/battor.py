@@ -1,0 +1,180 @@
+"""BattOr-style portable power monitor.
+
+The paper's related-work section points at BattOr (Schulman et al.) as the
+way to "potentially enhance BatteryLab with mobility support": unlike the
+bench-top Monsoon, BattOr is a small battery-powered logger that rides along
+with the phone, trading sampling rate and capacity limits for portability.
+
+:class:`BattOrMonitor` models that trade-off so mobility experiments can be
+scripted against the same interfaces as the Monsoon:
+
+* much lower sampling rate (1 kHz vs 5 kHz) and a bounded on-board buffer —
+  once the buffer fills, older samples are dropped and flagged;
+* it is powered by its own small battery, so long captures are limited by
+  the logger's own energy;
+* it does not supply the device (no ``Vout``): the phone keeps running from
+  its own battery and the logger only *observes* the current, which is what
+  makes walking-around experiments possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.powermonitor.traces import CurrentTrace, TraceBuilder
+from repro.simulation.entity import Entity, SimulationContext
+from repro.simulation.process import PeriodicProcess
+
+
+class BattOrError(RuntimeError):
+    """Raised for invalid logger operations (no target, empty battery, ...)."""
+
+
+@dataclass(frozen=True)
+class BattOrSpec:
+    """Characteristics of the portable logger."""
+
+    model: str = "BattOr v2"
+    sample_rate_hz: float = 1000.0
+    buffer_samples: int = 600_000
+    logger_battery_mah: float = 400.0
+    logger_draw_ma: float = 35.0
+
+
+class BattOrMonitor(Entity):
+    """A portable, buffer-limited power logger attached to one device.
+
+    Parameters
+    ----------
+    context:
+        Simulation context.
+    serial:
+        Logger serial number.
+    spec:
+        Logger characteristics.
+    tick_rate_hz:
+        Simulation tick rate; samples are synthesised at ``spec.sample_rate_hz``.
+    """
+
+    def __init__(
+        self,
+        context: SimulationContext,
+        serial: str = "BATTOR-0001",
+        spec: BattOrSpec = BattOrSpec(),
+        tick_rate_hz: float = 10.0,
+    ) -> None:
+        super().__init__(context, f"battor:{serial}")
+        self._serial = serial
+        self._spec = spec
+        self._target: Optional[Callable[[], float]] = None
+        self._target_label = ""
+        self._builder: Optional[TraceBuilder] = None
+        self._dropped_samples = 0
+        self._logger_charge_mah = spec.logger_battery_mah
+        self._last_tick: Optional[float] = None
+        self._process = PeriodicProcess(
+            context.scheduler, 1.0 / tick_rate_hz, self._tick, label=f"{self.name}:sampling"
+        )
+
+    # -- attachment -------------------------------------------------------------
+    @property
+    def serial(self) -> str:
+        return self._serial
+
+    @property
+    def spec(self) -> BattOrSpec:
+        return self._spec
+
+    @property
+    def dropped_samples(self) -> int:
+        """Samples discarded because the on-board buffer was full."""
+        return self._dropped_samples
+
+    @property
+    def logger_battery_fraction(self) -> float:
+        return self._logger_charge_mah / self._spec.logger_battery_mah
+
+    def attach_to_device(self, device, label: str = "") -> None:
+        """Clip the logger onto a device's battery leads (observation only)."""
+        self._target = device.instantaneous_current_ma
+        self._target_label = label or getattr(device, "serial", "device")
+
+    def detach(self) -> None:
+        if self._process.running:
+            raise BattOrError("stop the capture before detaching the logger")
+        self._target = None
+        self._target_label = ""
+
+    # -- capture ------------------------------------------------------------------
+    @property
+    def capturing(self) -> bool:
+        return self._process.running
+
+    def start_capture(self, label: str = "") -> None:
+        if self._target is None:
+            raise BattOrError("the logger is not attached to any device")
+        if self._process.running:
+            raise BattOrError("a capture is already running")
+        if self._logger_charge_mah <= 0:
+            raise BattOrError("the logger's own battery is empty; recharge it first")
+        self._builder = TraceBuilder(label=label or self._target_label)
+        self._dropped_samples = 0
+        self._last_tick = self.now
+        self._process.start(initial_delay=self._process.period)
+        self.log("capture started", target=self._target_label)
+
+    def stop_capture(self) -> CurrentTrace:
+        if not self._process.running:
+            raise BattOrError("no capture is running")
+        self._process.stop()
+        assert self._builder is not None
+        trace = self._builder.build()
+        self._builder = None
+        self.log("capture stopped", samples=len(trace), dropped=self._dropped_samples)
+        return trace
+
+    def recharge(self) -> None:
+        """Recharge the logger's own battery between mobile experiments."""
+        if self._process.running:
+            raise BattOrError("cannot recharge while a capture is running")
+        self._logger_charge_mah = self._spec.logger_battery_mah
+
+    # -- internals --------------------------------------------------------------------
+    def _tick(self, timestamp: float) -> None:
+        if self._builder is None or self._last_tick is None or self._target is None:
+            return
+        interval = timestamp - self._last_tick
+        self._last_tick = timestamp
+        if interval <= 0:
+            return
+        # The logger drains its own battery while capturing; when it dies the
+        # capture simply stops short (as it would in the field).
+        self._logger_charge_mah -= self._spec.logger_draw_ma * interval / 3600.0
+        if self._logger_charge_mah <= 0:
+            self._logger_charge_mah = 0.0
+            self._process.stop()
+            self.log("logger battery exhausted; capture halted")
+            return
+        level = max(float(self._target()), 0.0)
+        count = max(1, int(round(interval * self._spec.sample_rate_hz)))
+        available = self._spec.buffer_samples - len(self._builder)
+        if available <= 0:
+            self._dropped_samples += count
+            return
+        kept = min(count, available)
+        self._dropped_samples += count - kept
+        offsets = [(i + 1) / count * interval for i in range(kept)]
+        noise = self.random.generator.normal(1.0, 0.02, size=kept)
+        currents = [level * max(0.7, min(1.3, float(n))) for n in noise]
+        self._builder.extend([self._last_tick - interval + o for o in offsets], currents, 0.0)
+
+    def status(self) -> dict:
+        return {
+            "serial": self._serial,
+            "model": self._spec.model,
+            "attached_to": self._target_label or None,
+            "capturing": self.capturing,
+            "logger_battery_percent": round(100.0 * self.logger_battery_fraction, 1),
+            "dropped_samples": self._dropped_samples,
+        }

@@ -1,0 +1,72 @@
+"""PyMonsoon-style compatibility shim.
+
+The paper drives the Monsoon HV through Monsoon's own Python library
+(``Monsoon.HVPM`` / ``Monsoon.sampleEngine``).  Existing automation scripts
+written against that API use ``setup_usb``, ``setVout``, ``startSampling``
+and ``stopSampling`` spellings; this shim maps those onto the emulator so
+such scripts can run unmodified against the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.powermonitor.monsoon import MonsoonHVPM
+from repro.powermonitor.traces import CurrentTrace
+
+
+class HVPM:
+    """Drop-in stand-in for ``Monsoon.HVPM.Monsoon`` objects.
+
+    Wraps a :class:`~repro.powermonitor.monsoon.MonsoonHVPM` emulator and
+    exposes the camelCase entry points Monsoon's library uses.
+    """
+
+    def __init__(self, emulator: MonsoonHVPM) -> None:
+        self._emulator = emulator
+        self._connected = False
+
+    # -- connection -----------------------------------------------------------
+    def setup_usb(self) -> None:
+        """Open the (virtual) USB control channel to the monitor."""
+        if not self._emulator.mains_on:
+            raise RuntimeError("Monsoon not found: is the unit powered on?")
+        self._connected = True
+
+    def closeDevice(self) -> None:  # noqa: N802 - external API spelling
+        self._connected = False
+
+    @property
+    def connected(self) -> bool:
+        return self._connected
+
+    def _require_connection(self) -> None:
+        if not self._connected:
+            raise RuntimeError("call setup_usb() before using the monitor")
+
+    # -- voltage --------------------------------------------------------------
+    def setVout(self, voltage_v: float) -> None:  # noqa: N802 - external API spelling
+        self._require_connection()
+        self._emulator.set_vout(voltage_v)
+
+    def getVout(self) -> float:  # noqa: N802 - external API spelling
+        self._require_connection()
+        return self._emulator.vout_v
+
+    # -- sampling ---------------------------------------------------------------
+    def startSampling(self, label: str = "") -> None:  # noqa: N802
+        self._require_connection()
+        self._emulator.start_sampling(label=label)
+
+    def stopSampling(self) -> CurrentTrace:  # noqa: N802
+        self._require_connection()
+        return self._emulator.stop_sampling()
+
+    def getSamples(self) -> List[List[float]]:  # noqa: N802
+        """Return samples accumulated so far as ``[timestamps, currents]`` lists."""
+        self._require_connection()
+        trace = self._emulator.peek_trace()
+        return [list(trace.timestamps), list(trace.current_ma)]
+
+    def lastTrace(self) -> Optional[CurrentTrace]:  # noqa: N802
+        return self._emulator.last_trace()

@@ -1,0 +1,262 @@
+"""Current traces and their statistics.
+
+Everything the paper's evaluation reports about power comes from the
+Monsoon's sample stream: median currents and CDFs (Figure 2), integrated
+discharge in mAh (Figures 3 and 6).  :class:`CurrentTrace` is the container
+for that stream plus the derived statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: ``numpy.trapz`` was renamed to ``numpy.trapezoid`` in NumPy 2.0.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+class TraceError(ValueError):
+    """Raised for malformed traces (mismatched lengths, negative rates, ...)."""
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Headline statistics of one trace, as reported in the paper's figures."""
+
+    samples: int
+    duration_s: float
+    mean_current_ma: float
+    median_current_ma: float
+    p95_current_ma: float
+    max_current_ma: float
+    discharge_mah: float
+    mean_power_mw: float
+    energy_mwh: float
+
+
+class CurrentTrace:
+    """A time series of current (and voltage) samples from a power monitor.
+
+    Parameters
+    ----------
+    timestamps_s:
+        Monotonically non-decreasing sample timestamps in seconds.
+    current_ma:
+        Instantaneous current in milliamps, one per timestamp.
+    voltage_v:
+        Either a scalar supply voltage or one voltage sample per timestamp.
+    label:
+        Human-readable label (scenario name, browser name, ...).
+    """
+
+    def __init__(
+        self,
+        timestamps_s: Sequence[float],
+        current_ma: Sequence[float],
+        voltage_v: float | Sequence[float] = 3.85,
+        label: str = "",
+    ) -> None:
+        self._t = np.asarray(timestamps_s, dtype=float)
+        self._i = np.asarray(current_ma, dtype=float)
+        if self._t.ndim != 1 or self._i.ndim != 1:
+            raise TraceError("timestamps and currents must be one-dimensional")
+        if len(self._t) != len(self._i):
+            raise TraceError(
+                f"length mismatch: {len(self._t)} timestamps vs {len(self._i)} currents"
+            )
+        if len(self._t) > 1 and np.any(np.diff(self._t) < 0):
+            raise TraceError("timestamps must be non-decreasing")
+        if np.any(self._i < 0):
+            raise TraceError("current samples must be non-negative")
+        if np.isscalar(voltage_v):
+            self._v = np.full(len(self._t), float(voltage_v))
+        else:
+            self._v = np.asarray(voltage_v, dtype=float)
+            if len(self._v) != len(self._t):
+                raise TraceError("voltage series length must match timestamps")
+        self.label = label
+
+    # -- construction helpers --------------------------------------------------
+    @classmethod
+    def empty(cls, label: str = "") -> "CurrentTrace":
+        return cls([], [], 3.85, label=label)
+
+    @classmethod
+    def concat(cls, traces: Iterable["CurrentTrace"], label: str = "") -> "CurrentTrace":
+        traces = list(traces)
+        if not traces:
+            return cls.empty(label=label)
+        t = np.concatenate([trace._t for trace in traces])
+        i = np.concatenate([trace._i for trace in traces])
+        v = np.concatenate([trace._v for trace in traces])
+        return cls(t, i, v, label=label or traces[0].label)
+
+    # -- basic accessors --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self._t.copy()
+
+    @property
+    def current_ma(self) -> np.ndarray:
+        return self._i.copy()
+
+    @property
+    def voltage_v(self) -> np.ndarray:
+        return self._v.copy()
+
+    @property
+    def duration_s(self) -> float:
+        if len(self._t) < 2:
+            return 0.0
+        return float(self._t[-1] - self._t[0])
+
+    @property
+    def sample_rate_hz(self) -> float:
+        if len(self._t) < 2 or self.duration_s == 0:
+            return 0.0
+        return (len(self._t) - 1) / self.duration_s
+
+    # -- statistics --------------------------------------------------------------
+    def mean_current_ma(self) -> float:
+        return float(np.mean(self._i)) if len(self._i) else 0.0
+
+    def median_current_ma(self) -> float:
+        return float(np.median(self._i)) if len(self._i) else 0.0
+
+    def percentile_current_ma(self, percentile: float) -> float:
+        if not 0 <= percentile <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {percentile!r}")
+        return float(np.percentile(self._i, percentile)) if len(self._i) else 0.0
+
+    def max_current_ma(self) -> float:
+        return float(np.max(self._i)) if len(self._i) else 0.0
+
+    def discharge_mah(self) -> float:
+        """Charge delivered over the trace, by trapezoidal integration (mAh)."""
+        if len(self._t) < 2:
+            return 0.0
+        return float(_trapezoid(self._i, self._t) / 3600.0)
+
+    def mean_power_mw(self) -> float:
+        if not len(self._i):
+            return 0.0
+        return float(np.mean(self._i * self._v))
+
+    def energy_mwh(self) -> float:
+        """Energy delivered over the trace (mWh)."""
+        if len(self._t) < 2:
+            return 0.0
+        return float(_trapezoid(self._i * self._v, self._t) / 3600.0)
+
+    def cdf(self, points: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF of the current samples.
+
+        Returns ``(values_ma, cumulative_probability)`` suitable for plotting
+        the paper's Figure 2 style curves.
+        """
+        if not len(self._i):
+            return np.array([]), np.array([])
+        values = np.sort(self._i)
+        probabilities = np.arange(1, len(values) + 1) / len(values)
+        if points and len(values) > points:
+            indices = np.linspace(0, len(values) - 1, points).astype(int)
+            values = values[indices]
+            probabilities = probabilities[indices]
+        return values, probabilities
+
+    def summary(self) -> TraceSummary:
+        return TraceSummary(
+            samples=len(self),
+            duration_s=self.duration_s,
+            mean_current_ma=self.mean_current_ma(),
+            median_current_ma=self.median_current_ma(),
+            p95_current_ma=self.percentile_current_ma(95),
+            max_current_ma=self.max_current_ma(),
+            discharge_mah=self.discharge_mah(),
+            mean_power_mw=self.mean_power_mw(),
+            energy_mwh=self.energy_mwh(),
+        )
+
+    # -- transformations ----------------------------------------------------------
+    def slice(self, start_s: float, end_s: float) -> "CurrentTrace":
+        """Return the sub-trace with timestamps in ``[start_s, end_s]``."""
+        if end_s < start_s:
+            raise ValueError("end_s must be >= start_s")
+        mask = (self._t >= start_s) & (self._t <= end_s)
+        return CurrentTrace(self._t[mask], self._i[mask], self._v[mask], label=self.label)
+
+    def downsample(self, factor: int) -> "CurrentTrace":
+        """Keep every ``factor``-th sample (used by the sampling-rate ablation)."""
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor!r}")
+        return CurrentTrace(
+            self._t[::factor], self._i[::factor], self._v[::factor], label=self.label
+        )
+
+    def with_label(self, label: str) -> "CurrentTrace":
+        return CurrentTrace(self._t, self._i, self._v, label=label)
+
+    def to_rows(self) -> List[Tuple[float, float, float]]:
+        """Export as ``(timestamp_s, current_ma, voltage_v)`` rows (job log format)."""
+        return [
+            (float(t), float(i), float(v)) for t, i, v in zip(self._t, self._i, self._v)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CurrentTrace(label={self.label!r}, samples={len(self)}, "
+            f"duration={self.duration_s:.1f}s, median={self.median_current_ma():.1f}mA)"
+        )
+
+
+class TraceBuilder:
+    """Incrementally accumulates samples, then freezes them into a :class:`CurrentTrace`."""
+
+    def __init__(self, label: str = "") -> None:
+        self._t: List[float] = []
+        self._i: List[float] = []
+        self._v: List[float] = []
+        self.label = label
+
+    def add(self, timestamp_s: float, current_ma: float, voltage_v: float) -> None:
+        if self._t and timestamp_s < self._t[-1]:
+            raise TraceError(
+                f"sample timestamp {timestamp_s} precedes last timestamp {self._t[-1]}"
+            )
+        if current_ma < 0:
+            raise TraceError("current samples must be non-negative")
+        self._t.append(float(timestamp_s))
+        self._i.append(float(current_ma))
+        self._v.append(float(voltage_v))
+
+    def extend(self, timestamps: Sequence[float], currents: Sequence[float], voltage_v: float) -> None:
+        """Bulk-append a batch of samples sharing one supply voltage.
+
+        The batch is validated against the previous sample only at its first
+        element (the sampling engine generates internally ordered batches),
+        which keeps high-rate sampling cheap.
+        """
+        timestamps = list(timestamps)
+        currents = list(currents)
+        if len(timestamps) != len(currents):
+            raise TraceError("timestamps and currents batches must have the same length")
+        if not timestamps:
+            return
+        if self._t and timestamps[0] < self._t[-1]:
+            raise TraceError(
+                f"sample timestamp {timestamps[0]} precedes last timestamp {self._t[-1]}"
+            )
+        self._t.extend(float(t) for t in timestamps)
+        self._i.extend(float(i) for i in currents)
+        self._v.extend([float(voltage_v)] * len(timestamps))
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def build(self, label: Optional[str] = None) -> CurrentTrace:
+        return CurrentTrace(self._t, self._i, self._v, label=label or self.label)

@@ -1,0 +1,65 @@
+"""Simulated clock.
+
+The clock is the single source of time for the whole platform.  It only
+moves forward, and only when the owning :class:`EventScheduler` (or a test)
+advances it.  Times are expressed in seconds as floats; helpers are provided
+for formatting and for converting to the millisecond timestamps used by the
+Monsoon emulator's sample records.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised when the clock would be moved backwards."""
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds.  Defaults to ``0.0``.  A non-zero
+        start is occasionally useful in tests that want to assert absolute
+        timestamps.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by negative delta {delta!r}")
+        self._now += float(delta)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute ``timestamp``.
+
+        Advancing to the current time is a no-op; moving backwards raises
+        :class:`ClockError`.
+        """
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now:.6f} to {timestamp:.6f}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def millis(self) -> int:
+        """Current time in integer milliseconds (Monsoon sample timestamps)."""
+        return int(round(self._now * 1000.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

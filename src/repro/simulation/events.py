@@ -1,0 +1,135 @@
+"""Discrete event scheduler.
+
+The scheduler owns the :class:`~repro.simulation.clock.SimClock` and runs
+callbacks in timestamp order.  Ties are broken by insertion order so the
+simulation is fully deterministic.  The scheduler intentionally stays small:
+the heavy lifting (power integration, CPU accounting, sampling) is done by
+the components themselves through :class:`~repro.simulation.process.PeriodicProcess`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.simulation.clock import SimClock
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    timestamp: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    timestamp:
+        Absolute simulated time at which the callback fires.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Human-readable label used in tracing and error messages.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    timestamp: float
+    callback: Callable[[], None]
+    label: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Orders and dispatches :class:`Event` objects against a shared clock."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self._clock = clock if clock is not None else SimClock()
+        self._heap: List[_QueueEntry] = []
+        self._counter = itertools.count()
+        self._dispatched = 0
+
+    @property
+    def clock(self) -> SimClock:
+        return self._clock
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def dispatched(self) -> int:
+        """Number of events executed so far."""
+        return self._dispatched
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at an absolute simulated ``timestamp``."""
+        if timestamp < self._clock.now:
+            raise ValueError(
+                f"cannot schedule event {label!r} in the past "
+                f"({timestamp:.6f} < {self._clock.now:.6f})"
+            )
+        event = Event(timestamp=timestamp, callback=callback, label=label)
+        heapq.heappush(self._heap, _QueueEntry(timestamp, next(self._counter), event))
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule_at(self._clock.now + delay, callback, label)
+
+    def run_until(self, timestamp: float) -> int:
+        """Run all events up to and including ``timestamp``.
+
+        The clock ends exactly at ``timestamp`` even if the last event fired
+        earlier.  Returns the number of events dispatched by this call.
+        """
+        if timestamp < self._clock.now:
+            raise ValueError(
+                f"run_until target {timestamp:.6f} is before current time {self._clock.now:.6f}"
+            )
+        dispatched_before = self._dispatched
+        while self._heap and self._heap[0].timestamp <= timestamp:
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            self._clock.advance_to(entry.timestamp)
+            self._dispatched += 1
+            entry.event.callback()
+        self._clock.advance_to(timestamp)
+        return self._dispatched - dispatched_before
+
+    def run_for(self, duration: float) -> int:
+        """Run the simulation forward by ``duration`` seconds."""
+        return self.run_until(self._clock.now + duration)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until the queue is empty (bounded by ``max_events`` as a safety net)."""
+        dispatched_before = self._dispatched
+        while self._heap:
+            if self._dispatched - dispatched_before >= max_events:
+                raise RuntimeError(
+                    f"drain() exceeded {max_events} events; likely a runaway periodic process"
+                )
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            self._clock.advance_to(entry.timestamp)
+            self._dispatched += 1
+            entry.event.callback()
+        return self._dispatched - dispatched_before

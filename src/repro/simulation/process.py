@@ -1,0 +1,82 @@
+"""Periodic processes.
+
+Sampling loops (the Monsoon pulling readings at 5 kHz), CPU accounting ticks
+and watchdogs are all periodic activities.  :class:`PeriodicProcess` wraps
+the re-scheduling boilerplate so components only supply the per-tick body.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulation.events import Event, EventScheduler
+
+
+class PeriodicProcess:
+    """Invoke a callback every ``period`` seconds of simulated time.
+
+    The callback receives the timestamp of the tick.  The process may be
+    stopped and restarted; restarting resumes ticking relative to the current
+    simulated time rather than trying to "catch up" missed ticks.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        period: float,
+        callback: Callable[[float], None],
+        label: str = "periodic",
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self._scheduler = scheduler
+        self._period = float(period)
+        self._callback = callback
+        self._label = label
+        self._pending: Optional[Event] = None
+        self._running = False
+        self._ticks = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    @property
+    def ticks(self) -> int:
+        """Number of ticks executed since the process was created."""
+        return self._ticks
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Start ticking.  The first tick fires after ``initial_delay`` (default: one period)."""
+        if self._running:
+            return
+        self._running = True
+        delay = self._period if initial_delay is None else float(initial_delay)
+        self._pending = self._scheduler.schedule_in(delay, self._tick, label=self._label)
+
+    def stop(self) -> None:
+        """Stop ticking; any pending tick is cancelled."""
+        self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def set_period(self, period: float) -> None:
+        """Change the tick period.  Takes effect from the next re-scheduling."""
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self._period = float(period)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._ticks += 1
+        self._callback(self._scheduler.now)
+        if self._running:
+            self._pending = self._scheduler.schedule_in(
+                self._period, self._tick, label=self._label
+            )

@@ -1,0 +1,52 @@
+"""Vantage point substrate.
+
+A BatteryLab vantage point (Figure 1(b) in the paper) is a local battery
+testbed contributed by a member institution: a Raspberry Pi controller, a
+Monsoon power monitor, one or more test devices, a relay-based circuit
+switch, and a WiFi power socket.  This package models every one of those
+components plus the provisioning ("How to Join?", Section 3.4) procedure:
+
+* :class:`~repro.vantagepoint.gpio.GpioInterface` — the controller's GPIO pins;
+* :class:`~repro.vantagepoint.relay.RelayCircuit` — battery bypass switching
+  between multiple devices and the power monitor;
+* :class:`~repro.vantagepoint.usb.UsbHub` — per-port USB power control (uhubctl);
+* :class:`~repro.vantagepoint.wifi_ap.WifiAccessPoint` — the controller's AP in
+  NAT or bridge mode;
+* :class:`~repro.vantagepoint.bluetooth.BluetoothHidKeyboard` — the virtual
+  keyboard automation channel;
+* :class:`~repro.vantagepoint.power_socket.MerossPowerSocket` — mains control
+  of the power monitor;
+* :class:`~repro.vantagepoint.controller.VantagePointController` — the
+  Raspberry Pi that ties everything together;
+* :mod:`~repro.vantagepoint.provisioning` — the join / flashing workflow.
+"""
+
+from repro.vantagepoint.bluetooth import BluetoothHidKeyboard, BluetoothPairingError
+from repro.vantagepoint.controller import ControllerSpec, RASPBERRY_PI_3B_PLUS, VantagePointController
+from repro.vantagepoint.gpio import GpioInterface, PinMode
+from repro.vantagepoint.power_socket import MerossPowerSocket
+from repro.vantagepoint.provisioning import JoinRequest, ProvisioningReport, provision_vantage_point
+from repro.vantagepoint.relay import RelayChannel, RelayCircuit, RelayError
+from repro.vantagepoint.usb import UsbHub, UsbPort
+from repro.vantagepoint.wifi_ap import ApMode, WifiAccessPoint
+
+__all__ = [
+    "BluetoothHidKeyboard",
+    "BluetoothPairingError",
+    "ControllerSpec",
+    "RASPBERRY_PI_3B_PLUS",
+    "VantagePointController",
+    "GpioInterface",
+    "PinMode",
+    "MerossPowerSocket",
+    "JoinRequest",
+    "ProvisioningReport",
+    "provision_vantage_point",
+    "RelayChannel",
+    "RelayCircuit",
+    "RelayError",
+    "UsbHub",
+    "UsbPort",
+    "ApMode",
+    "WifiAccessPoint",
+]

@@ -1,0 +1,152 @@
+"""Bluetooth HID keyboard emulation.
+
+The third automation channel of Section 3.3: the controller "emulates a
+typical keyboard service to which test devices connect via Bluetooth".  It
+works on Android *and* iOS, needs no root, and leaves WiFi and cellular free
+for the experiment — at the cost of a coarser input vocabulary than ADB.
+:class:`BluetoothHidKeyboard` delivers key events to the paired device's
+foreground app through the same input path ADB's ``input keyevent`` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class BluetoothPairingError(RuntimeError):
+    """Raised when pairing or key delivery is attempted in an invalid state."""
+
+
+#: Key names the virtual keyboard supports, a superset of what the browser
+#: automation needs (app switching, arrows for scrolling, text entry keys).
+SUPPORTED_KEYS = frozenset(
+    {
+        "KEYCODE_HOME",
+        "KEYCODE_BACK",
+        "KEYCODE_APP_SWITCH",
+        "KEYCODE_ENTER",
+        "KEYCODE_TAB",
+        "KEYCODE_DPAD_UP",
+        "KEYCODE_DPAD_DOWN",
+        "KEYCODE_DPAD_LEFT",
+        "KEYCODE_DPAD_RIGHT",
+        "KEYCODE_PAGE_UP",
+        "KEYCODE_PAGE_DOWN",
+        "KEYCODE_SEARCH",
+        "KEYCODE_MENU",
+    }
+)
+
+
+@dataclass
+class PairedDevice:
+    serial: str
+    device: object
+    connected: bool = False
+    keys_sent: int = 0
+    history: List[str] = field(default_factory=list)
+
+
+class BluetoothHidKeyboard:
+    """The controller-side virtual keyboard service.
+
+    One keyboard instance can be *paired* with many devices but *connected*
+    to at most one at a time, matching how a physical HID keyboard behaves.
+    """
+
+    def __init__(self, adapter_name: str = "batterylab-kbd") -> None:
+        self._adapter_name = adapter_name
+        self._paired: Dict[str, PairedDevice] = {}
+        self._connected_serial: Optional[str] = None
+
+    @property
+    def adapter_name(self) -> str:
+        return self._adapter_name
+
+    @property
+    def connected_serial(self) -> Optional[str]:
+        return self._connected_serial
+
+    # -- pairing / connection ----------------------------------------------------
+    def pair(self, device) -> None:
+        serial = device.serial
+        if serial in self._paired:
+            raise BluetoothPairingError(f"device {serial!r} is already paired")
+        self._paired[serial] = PairedDevice(serial=serial, device=device)
+
+    def unpair(self, serial: str) -> None:
+        if serial == self._connected_serial:
+            self.disconnect()
+        if serial not in self._paired:
+            raise BluetoothPairingError(f"device {serial!r} is not paired")
+        del self._paired[serial]
+
+    def paired_serials(self) -> List[str]:
+        return sorted(self._paired)
+
+    def connect(self, serial: str) -> None:
+        """Open the HID link to one paired device (holding a BT radio link open)."""
+        if serial not in self._paired:
+            raise BluetoothPairingError(f"device {serial!r} is not paired")
+        if self._connected_serial == serial:
+            return
+        if self._connected_serial is not None:
+            self.disconnect()
+        entry = self._paired[serial]
+        entry.device.attach_bluetooth_link()
+        entry.connected = True
+        self._connected_serial = serial
+
+    def disconnect(self) -> None:
+        if self._connected_serial is None:
+            return
+        entry = self._paired[self._connected_serial]
+        entry.device.detach_bluetooth_link()
+        entry.connected = False
+        self._connected_serial = None
+
+    def is_connected(self, serial: str) -> bool:
+        return self._connected_serial == serial
+
+    # -- input delivery -------------------------------------------------------------
+    def _require_connection(self) -> PairedDevice:
+        if self._connected_serial is None:
+            raise BluetoothPairingError("no device is connected to the keyboard")
+        return self._paired[self._connected_serial]
+
+    def send_key(self, key: str) -> None:
+        """Send one key press to the connected device's foreground app."""
+        if key not in SUPPORTED_KEYS:
+            raise BluetoothPairingError(f"unsupported key {key!r}")
+        entry = self._require_connection()
+        entry.keys_sent += 1
+        entry.history.append(key)
+        entry.device.packages.deliver_input(f"keyevent {key}")
+
+    def send_keys(self, keys: List[str]) -> None:
+        for key in keys:
+            self.send_key(key)
+
+    def type_text(self, text: str) -> None:
+        """Type a free-form string (URL entry, search terms)."""
+        if not text:
+            return
+        entry = self._require_connection()
+        entry.keys_sent += len(text)
+        entry.history.append(f"text:{text}")
+        entry.device.packages.deliver_input(f"text {text}")
+
+    def scroll_down(self, times: int = 1) -> None:
+        """Convenience for the browser workload's scroll interactions."""
+        for _ in range(times):
+            self.send_key("KEYCODE_PAGE_DOWN")
+
+    def scroll_up(self, times: int = 1) -> None:
+        for _ in range(times):
+            self.send_key("KEYCODE_PAGE_UP")
+
+    def history(self, serial: str) -> List[str]:
+        if serial not in self._paired:
+            raise BluetoothPairingError(f"device {serial!r} is not paired")
+        return list(self._paired[serial].history)

@@ -1,0 +1,68 @@
+"""General-purpose I/O interface of the controller.
+
+The relay circuit switch is wired to the Raspberry Pi's GPIO header and
+"all relays can be controlled via software from the controller"
+(Section 3.2).  :class:`GpioInterface` models the header: pins must be
+configured as outputs before they can be driven, and reads reflect the last
+written level, which is all the relay driver needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+
+class PinMode(str, enum.Enum):
+    UNCONFIGURED = "unconfigured"
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+class GpioError(RuntimeError):
+    """Raised for invalid pin numbers or operations on misconfigured pins."""
+
+
+class GpioInterface:
+    """A bank of numbered GPIO pins (BCM numbering, 40-pin header by default)."""
+
+    def __init__(self, pin_count: int = 40) -> None:
+        if pin_count <= 0:
+            raise ValueError(f"pin_count must be positive, got {pin_count!r}")
+        self._pin_count = int(pin_count)
+        self._modes: Dict[int, PinMode] = {pin: PinMode.UNCONFIGURED for pin in range(pin_count)}
+        self._levels: Dict[int, bool] = {pin: False for pin in range(pin_count)}
+
+    @property
+    def pin_count(self) -> int:
+        return self._pin_count
+
+    def _check_pin(self, pin: int) -> None:
+        if pin not in self._modes:
+            raise GpioError(f"pin {pin} does not exist (header has {self._pin_count} pins)")
+
+    def configure(self, pin: int, mode: PinMode) -> None:
+        self._check_pin(pin)
+        self._modes[pin] = PinMode(mode)
+        if mode is PinMode.OUTPUT:
+            self._levels[pin] = False
+
+    def mode(self, pin: int) -> PinMode:
+        self._check_pin(pin)
+        return self._modes[pin]
+
+    def write(self, pin: int, level: bool) -> None:
+        self._check_pin(pin)
+        if self._modes[pin] is not PinMode.OUTPUT:
+            raise GpioError(f"pin {pin} is not configured as an output")
+        self._levels[pin] = bool(level)
+
+    def read(self, pin: int) -> bool:
+        self._check_pin(pin)
+        if self._modes[pin] is PinMode.UNCONFIGURED:
+            raise GpioError(f"pin {pin} is not configured")
+        return self._levels[pin]
+
+    def high_pins(self) -> List[int]:
+        """Pins currently driven high (useful in tests and status pages)."""
+        return sorted(pin for pin, level in self._levels.items() if level)

@@ -1,0 +1,139 @@
+"""Meross-style WiFi power socket.
+
+The vantage point uses a WiFi smart plug so the controller can cut mains
+power to the Monsoon "when not needed (for safety reasons)" (Sections 3.1
+and 3.2).  The real deployment drives Meross sockets through the MerossIot
+Python API; this emulation keeps the same on/off/toggle surface plus a tiny
+energy meter, and notifies an attached appliance (the power monitor
+emulator) when its supply changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.simulation.entity import Entity, SimulationContext
+
+
+class PowerSocketError(RuntimeError):
+    """Raised when the socket is unreachable or misused."""
+
+
+@dataclass
+class SocketEvent:
+    timestamp: float
+    action: str
+
+
+class MerossPowerSocket(Entity):
+    """A network-controlled mains socket with an attached appliance.
+
+    Parameters
+    ----------
+    context:
+        Simulation context.
+    name:
+        Socket name as configured in the Meross app (entity name derives from it).
+    appliance:
+        Object with ``power_on()`` / ``power_off()`` methods; the Monsoon
+        emulator satisfies this.
+    """
+
+    def __init__(
+        self,
+        context: SimulationContext,
+        name: str = "monsoon-socket",
+        appliance=None,
+        standby_power_w: float = 0.6,
+    ) -> None:
+        super().__init__(context, f"socket:{name}")
+        self._label = name
+        self._appliance = appliance
+        self._on = False
+        self._reachable = True
+        self._standby_power_w = float(standby_power_w)
+        self._events: List[SocketEvent] = []
+        self._last_on_time: Optional[float] = None
+        self._energy_wh = 0.0
+        self._appliance_power_w = 6.0
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    @property
+    def is_on(self) -> bool:
+        return self._on
+
+    @property
+    def reachable(self) -> bool:
+        return self._reachable
+
+    def set_reachable(self, reachable: bool) -> None:
+        """Simulate the socket dropping off WiFi (failure-injection hook)."""
+        self._reachable = bool(reachable)
+
+    def attach_appliance(self, appliance, power_draw_w: float = 6.0) -> None:
+        self._appliance = appliance
+        self._appliance_power_w = float(power_draw_w)
+
+    def _require_reachable(self) -> None:
+        if not self._reachable:
+            raise PowerSocketError(f"power socket {self._label!r} is unreachable over WiFi")
+
+    # -- control API (MerossIot-like) -------------------------------------------------
+    def turn_on(self) -> None:
+        self._require_reachable()
+        if self._on:
+            return
+        self._on = True
+        self._last_on_time = self.now
+        self._events.append(SocketEvent(timestamp=self.now, action="on"))
+        if self._appliance is not None:
+            self._appliance.power_on()
+        self.log("socket on")
+
+    def turn_off(self) -> None:
+        self._require_reachable()
+        if not self._on:
+            return
+        self._accumulate_energy()
+        self._on = False
+        self._events.append(SocketEvent(timestamp=self.now, action="off"))
+        if self._appliance is not None:
+            self._appliance.power_off()
+        self.log("socket off")
+
+    def toggle(self) -> bool:
+        if self._on:
+            self.turn_off()
+        else:
+            self.turn_on()
+        return self._on
+
+    # -- metering ----------------------------------------------------------------------
+    def _accumulate_energy(self) -> None:
+        if self._last_on_time is None:
+            return
+        elapsed_h = (self.now - self._last_on_time) / 3600.0
+        self._energy_wh += elapsed_h * (self._standby_power_w + self._appliance_power_w)
+        self._last_on_time = self.now
+
+    def energy_wh(self) -> float:
+        """Energy delivered through the socket so far (Wh)."""
+        if self._on:
+            self._accumulate_energy()
+            self._last_on_time = self.now
+        return self._energy_wh
+
+    def events(self) -> List[SocketEvent]:
+        return list(self._events)
+
+    def status(self) -> dict:
+        return {
+            "name": self._label,
+            "on": self._on,
+            "reachable": self._reachable,
+            "energy_wh": round(self.energy_wh(), 4),
+        }

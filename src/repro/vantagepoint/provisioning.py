@@ -1,0 +1,173 @@
+"""Vantage point provisioning ("How to Join?", Section 3.4).
+
+New BatteryLab members follow a fixed procedure: set up the recommended
+hardware, make the controller publicly reachable on the platform's ports
+(2222 for SSH from the access server, 8080 for the GUI backend, 6081 for
+noVNC), pick a human-readable identifier that becomes a ``batterylab.dev``
+DNS name, flash the controller with the BatteryLab Raspbian image, grant the
+access server public-key SSH access, and connect at least one Android
+device.  :func:`provision_vantage_point` walks those steps against the
+simulated controller and reports which ones passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.network.ssh import SshKeyPair
+from repro.vantagepoint.controller import VantagePointController
+
+#: Ports the tutorial requires to be publicly reachable, and their role.
+REQUIRED_PORTS: Dict[int, str] = {
+    2222: "SSH (access server only)",
+    8080: "GUI backend",
+    6081: "noVNC",
+}
+
+#: Raspbian release the BatteryLab controller image is built from.
+IMAGE_VERSION = "raspbian-stretch-2019-04"
+
+
+class ProvisioningError(RuntimeError):
+    """Raised when a mandatory join step fails."""
+
+
+@dataclass
+class JoinRequest:
+    """What a prospective member submits when joining the platform."""
+
+    institution: str
+    node_identifier: str
+    contact_email: str
+    open_ports: List[int] = field(default_factory=lambda: sorted(REQUIRED_PORTS))
+    public_address: str = "0.0.0.0"
+
+
+@dataclass
+class ProvisioningStep:
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ProvisioningReport:
+    """Outcome of the join procedure for one vantage point."""
+
+    node_identifier: str
+    dns_name: str
+    image_version: str
+    steps: List[ProvisioningStep] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return all(step.passed for step in self.steps)
+
+    def failed_steps(self) -> List[ProvisioningStep]:
+        return [step for step in self.steps if not step.passed]
+
+
+def provision_vantage_point(
+    controller: VantagePointController,
+    request: JoinRequest,
+    access_server_key: SshKeyPair,
+    access_server_address: str,
+    dns_registry=None,
+    certificate=None,
+) -> ProvisioningReport:
+    """Run the full join procedure for one new vantage point.
+
+    Parameters
+    ----------
+    controller:
+        The member's (already assembled) controller.
+    request:
+        The join request describing the institution and its connectivity.
+    access_server_key / access_server_address:
+        The access server's SSH identity, to be authorized on the controller.
+    dns_registry:
+        Optional object with ``register(name, address)`` — the platform's
+        Route53-style zone; the node becomes ``<identifier>.batterylab.dev``.
+    certificate:
+        Optional wildcard certificate object with a ``pem`` attribute to be
+        deployed on the controller for the HTTPS GUI.
+    """
+    dns_name = f"{request.node_identifier}.batterylab.dev"
+    report = ProvisioningReport(
+        node_identifier=request.node_identifier,
+        dns_name=dns_name,
+        image_version=IMAGE_VERSION,
+    )
+
+    # Step 1: port reachability.
+    missing = sorted(set(REQUIRED_PORTS) - set(request.open_ports))
+    report.steps.append(
+        ProvisioningStep(
+            name="port-reachability",
+            passed=not missing,
+            detail="all required ports reachable"
+            if not missing
+            else f"unreachable ports: {missing}",
+        )
+    )
+
+    # Step 2: DNS registration.
+    if dns_registry is not None:
+        dns_registry.register(dns_name, request.public_address)
+        report.steps.append(
+            ProvisioningStep(name="dns-registration", passed=True, detail=dns_name)
+        )
+    else:
+        report.steps.append(
+            ProvisioningStep(
+                name="dns-registration", passed=False, detail="no DNS registry provided"
+            )
+        )
+
+    # Step 3: flash the controller image (modelled as recording the version).
+    report.steps.append(
+        ProvisioningStep(name="flash-image", passed=True, detail=IMAGE_VERSION)
+    )
+
+    # Step 4: grant the access server SSH access (pubkey + IP white-list).
+    controller.authorize_access_server(access_server_key, access_server_address)
+    granted = access_server_key.fingerprint in controller.ssh_server.authorized_fingerprints()
+    report.steps.append(
+        ProvisioningStep(
+            name="ssh-authorization",
+            passed=granted,
+            detail=f"key {access_server_key.fingerprint[:16]}... authorized",
+        )
+    )
+
+    # Step 5: deploy the wildcard certificate for the HTTPS GUI.
+    if certificate is not None:
+        controller.ssh_server._write_file("/etc/batterylab/wildcard.pem", certificate.pem)
+        report.steps.append(
+            ProvisioningStep(name="certificate-deployment", passed=True, detail=certificate.common_name)
+        )
+    else:
+        report.steps.append(
+            ProvisioningStep(
+                name="certificate-deployment",
+                passed=False,
+                detail="no wildcard certificate provided",
+            )
+        )
+
+    # Step 6: at least one Android device must be connected.
+    android_serials = [
+        serial
+        for serial in controller.list_devices()
+        if controller.device(serial).profile.os_name == "android"
+    ]
+    report.steps.append(
+        ProvisioningStep(
+            name="android-device-connected",
+            passed=bool(android_serials),
+            detail=", ".join(android_serials) if android_serials else "no Android device found",
+        )
+    )
+
+    return report

@@ -1,0 +1,198 @@
+"""Relay-based circuit switch ("battery bypass").
+
+Each relay channel sits between one test device's voltage terminal and
+either its own battery or the power monitor's ``Vout`` connector
+(Section 3.2).  The circuit has two jobs:
+
+1. switch a device between normal battery operation and *battery bypass*,
+   in which the monitor both powers the device and measures its current;
+2. let one monitor serve several devices without manual re-cabling —
+   therefore only one channel may be in bypass at any time.
+
+The relay path adds a tiny series overhead (contact resistance and wiring),
+which is exactly what the paper's Figure 2 "direct vs relay" comparison
+quantifies; the default of well under 2 mA keeps that difference negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.device.battery import BatteryConnection
+from repro.vantagepoint.gpio import GpioInterface, PinMode
+
+
+class RelayError(RuntimeError):
+    """Raised for invalid relay operations (unknown channel, double bypass, ...)."""
+
+
+@dataclass
+class RelayChannel:
+    """One relay channel: a device wired through a GPIO-driven relay."""
+
+    index: int
+    gpio_pin: int
+    device_serial: str
+    bypass: bool = False
+
+
+class RelayCircuit:
+    """Multi-channel relay circuit connecting test devices to one power monitor.
+
+    Parameters
+    ----------
+    gpio:
+        The controller's GPIO interface; one output pin is consumed per channel.
+    monitor:
+        The power monitor whose ``Vout`` the bypass path connects to.  The
+        circuit is also usable without a monitor (pure battery switching).
+    series_overhead_ma:
+        Extra current attributed to the relay path (contact + wiring losses).
+    """
+
+    def __init__(
+        self,
+        gpio: GpioInterface,
+        monitor=None,
+        series_overhead_ma: float = 0.8,
+        first_gpio_pin: int = 17,
+    ) -> None:
+        if series_overhead_ma < 0:
+            raise ValueError("series overhead must be non-negative")
+        self._gpio = gpio
+        self._monitor = monitor
+        self._series_overhead_ma = float(series_overhead_ma)
+        self._first_gpio_pin = int(first_gpio_pin)
+        self._channels: Dict[int, RelayChannel] = {}
+        self._devices: Dict[str, object] = {}
+
+    # -- configuration -----------------------------------------------------------
+    @property
+    def series_overhead_ma(self) -> float:
+        return self._series_overhead_ma
+
+    @property
+    def monitor(self):
+        return self._monitor
+
+    def set_monitor(self, monitor) -> None:
+        if self.bypassed_channel() is not None:
+            raise RelayError("cannot swap the power monitor while a channel is in bypass")
+        self._monitor = monitor
+
+    def add_channel(self, device) -> RelayChannel:
+        """Wire a device into the next free relay channel."""
+        serial = device.serial
+        if serial in self._devices:
+            raise RelayError(f"device {serial!r} is already wired to a relay channel")
+        index = len(self._channels)
+        pin = self._first_gpio_pin + index
+        self._gpio.configure(pin, PinMode.OUTPUT)
+        channel = RelayChannel(index=index, gpio_pin=pin, device_serial=serial)
+        self._channels[index] = channel
+        self._devices[serial] = device
+        return channel
+
+    def channels(self) -> List[RelayChannel]:
+        return [self._channels[i] for i in sorted(self._channels)]
+
+    def channel_for(self, serial: str) -> RelayChannel:
+        for channel in self._channels.values():
+            if channel.device_serial == serial:
+                return channel
+        raise RelayError(f"device {serial!r} is not wired to any relay channel")
+
+    def device(self, serial: str):
+        try:
+            return self._devices[serial]
+        except KeyError:
+            raise RelayError(f"device {serial!r} is not wired to any relay channel") from None
+
+    def bypassed_channel(self) -> Optional[RelayChannel]:
+        for channel in self._channels.values():
+            if channel.bypass:
+                return channel
+        return None
+
+    # -- switching -----------------------------------------------------------------
+    def engage_bypass(self, serial: str) -> None:
+        """Disconnect the device's battery and hand its supply to the monitor."""
+        if self._monitor is None:
+            raise RelayError("no power monitor is connected to the relay circuit")
+        current = self.bypassed_channel()
+        if current is not None and current.device_serial != serial:
+            raise RelayError(
+                f"channel for {current.device_serial!r} is already in bypass; "
+                "release it before engaging another device"
+            )
+        channel = self.channel_for(serial)
+        if channel.bypass:
+            return
+        device = self._devices[serial]
+        if not self._monitor.vout_enabled:
+            raise RelayError(
+                "monitor Vout is disabled; set a voltage before engaging battery bypass"
+            )
+        channel.bypass = True
+        self._gpio.write(channel.gpio_pin, True)
+        # Battery-less devices (mains-powered IoT nodes) have nothing to
+        # disconnect: the monitor simply becomes their supply.
+        if getattr(device, "battery", None) is not None:
+            device.battery.set_connection(BatteryConnection.BYPASS)
+        overhead = self._series_overhead_ma
+        self._monitor.attach_load(
+            lambda: device.instantaneous_current_ma() + overhead,
+            label=f"relay-ch{channel.index}:{serial}",
+        )
+
+    def release_bypass(self, serial: str) -> None:
+        """Reconnect the device to its own battery."""
+        channel = self.channel_for(serial)
+        if not channel.bypass:
+            return
+        device = self._devices[serial]
+        channel.bypass = False
+        self._gpio.write(channel.gpio_pin, False)
+        if getattr(device, "battery", None) is not None:
+            device.battery.set_connection(BatteryConnection.INTERNAL)
+        if self._monitor is not None:
+            self._monitor.detach_load()
+
+    def release_all(self) -> None:
+        for channel in self.channels():
+            if channel.bypass:
+                self.release_bypass(channel.device_serial)
+
+    def is_bypassed(self, serial: str) -> bool:
+        return self.channel_for(serial).bypass
+
+    def status(self) -> List[dict]:
+        return [
+            {
+                "channel": channel.index,
+                "gpio_pin": channel.gpio_pin,
+                "device": channel.device_serial,
+                "bypass": channel.bypass,
+            }
+            for channel in self.channels()
+        ]
+
+
+def connect_direct(monitor, device) -> None:
+    """Wire a device straight to the monitor, with no relay in the path.
+
+    This is the paper's "direct" accuracy scenario (Section 4.1): the device
+    is put into battery bypass and its raw current draw — with no relay
+    overhead — becomes the monitor's load.
+    """
+    if not monitor.vout_enabled:
+        raise RelayError("monitor Vout is disabled; set a voltage before connecting a device")
+    device.battery.set_connection(BatteryConnection.BYPASS)
+    monitor.attach_load(device.instantaneous_current_ma, label=f"direct:{device.serial}")
+
+
+def disconnect_direct(monitor, device) -> None:
+    """Undo :func:`connect_direct`, restoring normal battery operation."""
+    device.battery.set_connection(BatteryConnection.INTERNAL)
+    monitor.detach_load()

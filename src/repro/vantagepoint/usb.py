@@ -1,0 +1,129 @@
+"""USB hub with per-port power control.
+
+The controller powers test devices over USB when they are not being
+measured and cuts USB power during measurements because the charge current
+"interferes with the power monitoring procedure" (Section 3.2).  Port power
+switching is done with ``uhubctl`` on the real Raspberry Pi; :class:`UsbHub`
+reproduces that per-port on/off control and the attach/detach bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class UsbError(RuntimeError):
+    """Raised for invalid port numbers or operations on empty ports."""
+
+
+@dataclass
+class UsbPort:
+    """One physical port on the hub."""
+
+    number: int
+    powered: bool = True
+    device_serial: Optional[str] = None
+    attach_count: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class UsbHub:
+    """A hub with a fixed number of individually switchable ports."""
+
+    def __init__(self, port_count: int = 4) -> None:
+        if port_count <= 0:
+            raise ValueError(f"port_count must be positive, got {port_count!r}")
+        self._ports: Dict[int, UsbPort] = {
+            number: UsbPort(number=number) for number in range(1, port_count + 1)
+        }
+        self._devices: Dict[str, object] = {}
+
+    @property
+    def port_count(self) -> int:
+        return len(self._ports)
+
+    def _port(self, number: int) -> UsbPort:
+        try:
+            return self._ports[number]
+        except KeyError:
+            raise UsbError(
+                f"port {number} does not exist (hub has {len(self._ports)} ports)"
+            ) from None
+
+    def ports(self) -> List[UsbPort]:
+        return [self._ports[number] for number in sorted(self._ports)]
+
+    def free_port(self) -> Optional[UsbPort]:
+        for port in self.ports():
+            if port.device_serial is None:
+                return port
+        return None
+
+    # -- attach / detach -----------------------------------------------------------
+    def attach_device(self, device, port_number: Optional[int] = None) -> UsbPort:
+        """Plug a device into a port (the first free one by default)."""
+        if device.serial in self._devices:
+            raise UsbError(f"device {device.serial!r} is already attached to the hub")
+        if port_number is None:
+            port = self.free_port()
+            if port is None:
+                raise UsbError("no free USB port available")
+        else:
+            port = self._port(port_number)
+            if port.device_serial is not None:
+                raise UsbError(f"port {port.number} is already occupied by {port.device_serial!r}")
+        port.device_serial = device.serial
+        port.attach_count += 1
+        self._devices[device.serial] = device
+        device.connect_usb(powered=port.powered)
+        return port
+
+    def detach_device(self, serial: str) -> None:
+        device = self._devices.pop(serial, None)
+        if device is None:
+            raise UsbError(f"device {serial!r} is not attached to the hub")
+        for port in self._ports.values():
+            if port.device_serial == serial:
+                port.device_serial = None
+        device.disconnect_usb()
+
+    def device_port(self, serial: str) -> UsbPort:
+        for port in self._ports.values():
+            if port.device_serial == serial:
+                return port
+        raise UsbError(f"device {serial!r} is not attached to the hub")
+
+    def attached_serials(self) -> List[str]:
+        return sorted(self._devices)
+
+    # -- power control (uhubctl) -----------------------------------------------------
+    def set_port_power(self, port_number: int, powered: bool) -> None:
+        """``uhubctl -p <port> -a <on|off>`` equivalent."""
+        port = self._port(port_number)
+        port.powered = bool(powered)
+        if port.device_serial is not None:
+            self._devices[port.device_serial].set_usb_power(port.powered)
+
+    def set_device_power(self, serial: str, powered: bool) -> None:
+        """Power-switch the port a given device is plugged into."""
+        port = self.device_port(serial)
+        self.set_port_power(port.number, powered)
+
+    def power_off_all(self) -> None:
+        for port in self.ports():
+            self.set_port_power(port.number, False)
+
+    def power_on_all(self) -> None:
+        for port in self.ports():
+            self.set_port_power(port.number, True)
+
+    def status(self) -> List[dict]:
+        return [
+            {
+                "port": port.number,
+                "powered": port.powered,
+                "device": port.device_serial,
+            }
+            for port in self.ports()
+        ]

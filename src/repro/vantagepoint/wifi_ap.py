@@ -1,0 +1,138 @@
+"""Controller WiFi access point.
+
+Test devices associate with the controller's own access point so that ADB
+automation can run over WiFi "without the extra USB current" (Section 3.2).
+The AP can operate in NAT or bridge mode and forwards client traffic onto
+the vantage point's uplink — which is where the VPN tunnels of Section 4.3
+attach.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class ApMode(str, enum.Enum):
+    NAT = "nat"
+    BRIDGE = "bridge"
+
+
+class WifiApError(RuntimeError):
+    """Raised for association errors (wrong PSK, duplicate client, unknown client)."""
+
+
+@dataclass
+class WifiClient:
+    """One associated station."""
+
+    serial: str
+    ip_address: str
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+
+
+class WifiAccessPoint:
+    """An hostapd-style access point run by the controller.
+
+    Parameters
+    ----------
+    ssid:
+        Network name the test devices join.
+    psk:
+        Pre-shared key; devices must present the same key to associate.
+    mode:
+        NAT (clients get private addresses behind the controller) or bridge.
+    """
+
+    def __init__(self, ssid: str = "batterylab", psk: str = "battery-lab", mode: ApMode = ApMode.NAT) -> None:
+        if not ssid:
+            raise ValueError("ssid must be non-empty")
+        self._ssid = ssid
+        self._psk = psk
+        self._mode = ApMode(mode)
+        self._enabled = True
+        self._clients: Dict[str, WifiClient] = {}
+        self._next_host = 2
+
+    @property
+    def ssid(self) -> str:
+        return self._ssid
+
+    @property
+    def mode(self) -> ApMode:
+        return self._mode
+
+    def set_mode(self, mode: ApMode) -> None:
+        self._mode = ApMode(mode)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def disable(self) -> None:
+        self._enabled = False
+        self._clients.clear()
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    # -- association ---------------------------------------------------------------
+    def associate(self, device, psk: Optional[str] = None) -> WifiClient:
+        """Associate a device with the AP and configure its WiFi interface."""
+        if not self._enabled:
+            raise WifiApError("access point is disabled")
+        if psk is not None and psk != self._psk:
+            raise WifiApError("authentication failed: wrong pre-shared key")
+        serial = device.serial
+        if serial in self._clients:
+            raise WifiApError(f"device {serial!r} is already associated")
+        if self._mode is ApMode.NAT:
+            ip_address = f"192.168.4.{self._next_host}"
+        else:
+            ip_address = f"10.0.0.{self._next_host}"
+        self._next_host += 1
+        client = WifiClient(serial=serial, ip_address=ip_address)
+        self._clients[serial] = client
+        device.connect_wifi(self._ssid)
+        return client
+
+    def disassociate(self, device) -> None:
+        serial = device.serial
+        if serial not in self._clients:
+            raise WifiApError(f"device {serial!r} is not associated")
+        del self._clients[serial]
+        device.disconnect_wifi()
+
+    def is_associated(self, serial: str) -> bool:
+        return serial in self._clients
+
+    def client(self, serial: str) -> WifiClient:
+        try:
+            return self._clients[serial]
+        except KeyError:
+            raise WifiApError(f"device {serial!r} is not associated") from None
+
+    def clients(self) -> List[WifiClient]:
+        return [self._clients[serial] for serial in sorted(self._clients)]
+
+    # -- traffic accounting -----------------------------------------------------------
+    def account_traffic(self, serial: str, rx_bytes: int = 0, tx_bytes: int = 0) -> None:
+        """Record bytes forwarded to/from a client (rx/tx from the client's view)."""
+        client = self.client(serial)
+        if rx_bytes < 0 or tx_bytes < 0:
+            raise ValueError("traffic byte counts must be non-negative")
+        client.rx_bytes += int(rx_bytes)
+        client.tx_bytes += int(tx_bytes)
+
+    def total_forwarded_bytes(self) -> int:
+        return sum(client.rx_bytes + client.tx_bytes for client in self._clients.values())
+
+    def status(self) -> dict:
+        return {
+            "ssid": self._ssid,
+            "mode": self._mode.value,
+            "enabled": self._enabled,
+            "clients": [client.serial for client in self.clients()],
+        }

@@ -1,0 +1,32 @@
+"""Workload models.
+
+The paper's evaluation exercises two device workloads:
+
+* **Video playback** (Section 4.1): a locally stored mp4 is played for five
+  minutes so the screen content changes constantly, which is the worst case
+  for the mirroring encoder.  See :mod:`repro.workloads.video`.
+* **Web browsing** (Section 4.2): four Android browsers (Chrome, Firefox,
+  Edge, Brave) sequentially load ten popular news sites, wait six seconds
+  (a typical page load time) and then scroll up and down repeatedly.  See
+  :mod:`repro.workloads.browsers` for the per-browser resource profiles and
+  the on-device browser behaviour model.
+"""
+
+from repro.workloads.browsers import (
+    BROWSER_PROFILES,
+    BrowserApp,
+    BrowserProfile,
+    browser_profile,
+    install_browser,
+)
+from repro.workloads.video import VideoPlayerApp, install_video_player
+
+__all__ = [
+    "BROWSER_PROFILES",
+    "BrowserApp",
+    "BrowserProfile",
+    "browser_profile",
+    "install_browser",
+    "VideoPlayerApp",
+    "install_video_player",
+]

@@ -1,0 +1,334 @@
+"""Android browser models.
+
+The demonstration study (Section 4.2) compares Chrome, Firefox, Edge and
+Brave.  Each browser is modelled by a :class:`BrowserProfile` — its package
+name, whether it blocks ads, and its CPU demand in the three phases of the
+workload (page load, idle dwell, scrolling) — plus a :class:`BrowserApp`
+behaviour object installed on the device that turns ADB intents and input
+events into resource demands and network traffic.
+
+The profiles are calibrated to the shape of the paper's results:
+
+* device CPU medians of roughly 12% for Brave and 20% for Chrome (Figure 4),
+  with Edge and Firefox in between/above;
+* battery discharge ordering Brave < Chrome < Edge < Firefox (Figure 3);
+* Brave's advantage comes from blocking ads: it transfers fewer bytes and
+  runs less script work, i.e. "lower CPU pressure" (Section 4.2);
+* in regions that serve smaller ads (Japan, Table 2 / Figure 6) Chrome's
+  traffic drops by roughly 20% and its energy approaches Brave's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.device.android import AndroidDevice
+from repro.device.apps import AppProcess, InstalledApp
+from repro.device.radio import RadioTechnology
+from repro.network.path import NetworkPath
+from repro.network.web import NEWS_SITES, REGION_AD_FACTORS, WebPage, page_by_url
+from repro.simulation.entity import SimulationContext
+from repro.simulation.random import SeededRandom
+
+
+@dataclass(frozen=True)
+class BrowserProfile:
+    """Static description of one browser's resource behaviour.
+
+    Attributes
+    ----------
+    name / package:
+        Marketing name and Android package name.
+    blocks_ads:
+        Brave ships an ad/tracker blocker; the others do not.
+    load_cpu_percent:
+        CPU demand while a page is actively loading and rendering.
+    dwell_cpu_percent:
+        CPU demand while the loaded page sits idle on screen.
+    scroll_cpu_percent:
+        CPU demand while the automation scrolls the page.
+    ad_cpu_share:
+        Fraction of dwell/scroll CPU attributable to ad rendering; it scales
+        with the regional ad factor and disappears entirely when ads are blocked.
+    first_launch_setup_s:
+        Time spent in first-launch dialogs (accepting conditions, sign-in
+        prompts) that the automation has to click through after ``pm clear``.
+    """
+
+    name: str
+    package: str
+    blocks_ads: bool
+    load_cpu_percent: float
+    dwell_cpu_percent: float
+    scroll_cpu_percent: float
+    ad_cpu_share: float = 0.3
+    first_launch_setup_s: float = 4.0
+
+
+BROWSER_PROFILES: Dict[str, BrowserProfile] = {
+    "brave": BrowserProfile(
+        name="Brave",
+        package="com.brave.browser",
+        blocks_ads=True,
+        load_cpu_percent=40.0,
+        dwell_cpu_percent=6.0,
+        scroll_cpu_percent=10.0,
+        first_launch_setup_s=3.0,
+    ),
+    "chrome": BrowserProfile(
+        name="Chrome",
+        package="com.android.chrome",
+        blocks_ads=False,
+        load_cpu_percent=55.0,
+        dwell_cpu_percent=8.0,
+        scroll_cpu_percent=18.0,
+        first_launch_setup_s=5.0,
+    ),
+    "edge": BrowserProfile(
+        name="Edge",
+        package="com.microsoft.emmx",
+        blocks_ads=False,
+        load_cpu_percent=58.0,
+        dwell_cpu_percent=9.0,
+        scroll_cpu_percent=20.0,
+        first_launch_setup_s=5.0,
+    ),
+    "firefox": BrowserProfile(
+        name="Firefox",
+        package="org.mozilla.firefox",
+        blocks_ads=False,
+        load_cpu_percent=66.0,
+        dwell_cpu_percent=11.0,
+        scroll_cpu_percent=24.0,
+        first_launch_setup_s=4.0,
+    ),
+}
+"""The four browsers of the demonstration study, keyed by short name."""
+
+
+def browser_profile(name: str) -> BrowserProfile:
+    """Look up a browser profile by short name (case-insensitive)."""
+    key = name.lower()
+    try:
+        return BROWSER_PROFILES[key]
+    except KeyError:
+        known = ", ".join(sorted(BROWSER_PROFILES))
+        raise KeyError(f"unknown browser {name!r}; known browsers: {known}") from None
+
+
+class BrowserApp:
+    """On-device behaviour of one browser.
+
+    The behaviour reacts to the events the automation channel delivers —
+    ``am start -a android.intent.action.VIEW -d <url>`` for page loads and
+    ``input swipe`` / ``input keyevent KEYCODE_PAGE_DOWN`` for scrolls —
+    by updating the app process's CPU, network and screen-update demands and
+    by accounting the transferred bytes on the device radio, exactly the
+    signals the device power model converts into current draw.
+    """
+
+    #: Screen update rates (fps) per phase; the mirroring encoder cost scales
+    #: with these through the screen activity fraction.
+    LOAD_FPS = 26.0
+    DWELL_FPS = 6.0
+
+    def __init__(
+        self,
+        profile: BrowserProfile,
+        device: AndroidDevice,
+        context: SimulationContext,
+        path_provider: Callable[[], NetworkPath],
+        corpus: Optional[List[WebPage]] = None,
+        lite_pages_enabled: bool = False,
+    ) -> None:
+        self.profile = profile
+        self._device = device
+        self._context = context
+        self._path_provider = path_provider
+        self._corpus = corpus if corpus is not None else list(NEWS_SITES)
+        self._lite_pages_enabled = lite_pages_enabled
+        self._random: SeededRandom = context.random_stream(
+            f"browser:{profile.package}:{device.serial}"
+        )
+        self._pages_loaded = 0
+        self._scrolls = 0
+        self._bytes_transferred = 0
+        self._current_region = "GB"
+        self._scroll_end_event = None
+        self._load_end_event = None
+        self._pending_text: Optional[str] = None
+
+    # -- statistics ----------------------------------------------------------------
+    @property
+    def pages_loaded(self) -> int:
+        return self._pages_loaded
+
+    @property
+    def scrolls(self) -> int:
+        return self._scrolls
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self._bytes_transferred
+
+    def reset_counters(self) -> None:
+        self._pages_loaded = 0
+        self._scrolls = 0
+        self._bytes_transferred = 0
+
+    # -- helpers -------------------------------------------------------------------
+    def _ad_cpu_factor(self, region: str) -> float:
+        """Scale dwell/scroll CPU by how much ad content is actually rendered.
+
+        A browser that blocks ads never renders them, so its profile numbers
+        already describe the ad-free behaviour and are left untouched; the
+        others shed part of their script work in regions that serve smaller
+        ads (the Japan effect of Figure 6).
+        """
+        if self.profile.blocks_ads:
+            return 1.0
+        regional = REGION_AD_FACTORS.get(region, 1.0)
+        return 1.0 - self.profile.ad_cpu_share * (1.0 - regional)
+
+    def _dwell_cpu(self, region: str) -> float:
+        return self.profile.dwell_cpu_percent * self._ad_cpu_factor(region)
+
+    def _scroll_cpu(self, region: str) -> float:
+        return self.profile.scroll_cpu_percent * self._ad_cpu_factor(region)
+
+    def _enter_dwell(self, process: AppProcess) -> None:
+        process.set_activity(
+            cpu_percent=self._dwell_cpu(self._current_region),
+            network_mbps=0.05,
+            screen_fps=self.DWELL_FPS,
+        )
+
+    # -- AppBehaviour hooks -----------------------------------------------------------
+    def on_launch(self, process: AppProcess) -> None:
+        # First-launch setup (cookie banners, sign-in prompts) keeps the CPU
+        # moderately busy for a few seconds before settling to dwell.
+        process.set_activity(cpu_percent=self.profile.load_cpu_percent * 0.6,
+                             network_mbps=0.4, screen_fps=self.LOAD_FPS * 0.6)
+        self._context.scheduler.schedule_in(
+            self.profile.first_launch_setup_s,
+            lambda: self._enter_dwell(process) if process.cpu_percent > 0 else None,
+            label=f"{self.profile.package}:setup-done",
+        )
+
+    def on_stop(self, process: AppProcess) -> None:
+        process.idle()
+        if self._load_end_event is not None:
+            self._load_end_event.cancel()
+            self._load_end_event = None
+        if self._scroll_end_event is not None:
+            self._scroll_end_event.cancel()
+            self._scroll_end_event = None
+
+    def on_intent(self, process: AppProcess, action: str, data: str) -> None:
+        if action != "android.intent.action.VIEW":
+            return
+        self._start_page_load(process, data)
+
+    def on_input(self, process: AppProcess, event: str) -> None:
+        if event.startswith("swipe") or "PAGE_DOWN" in event or "PAGE_UP" in event or "DPAD" in event:
+            self._start_scroll_burst(process)
+            return
+        # Bluetooth-keyboard URL entry: text typed into the omnibox followed by
+        # ENTER triggers a navigation, just like ``am start -a VIEW`` over ADB.
+        if event.startswith("text "):
+            self._pending_text = event[len("text "):].strip()
+            return
+        if "ENTER" in event and self._pending_text:
+            url = self._pending_text
+            self._pending_text = None
+            if "://" in url or url.startswith("www.") or "." in url:
+                self._start_page_load(process, url)
+
+    # -- page loads --------------------------------------------------------------------
+    def _resolve_page(self, url: str) -> WebPage:
+        try:
+            return page_by_url(url, self._corpus)
+        except KeyError:
+            # Unknown URL: synthesise a page of average weight so arbitrary
+            # experimenter scripts still work.
+            return WebPage(url=url, base_bytes=1_700_000, ad_bytes=1_000_000)
+
+    def _start_page_load(self, process: AppProcess, url: str) -> None:
+        page = self._resolve_page(url)
+        path = self._path_provider()
+        conditions = path.conditions()
+        self._current_region = conditions.region
+        payload = page.payload_bytes(
+            region=conditions.region,
+            ads_blocked=self.profile.blocks_ads,
+            lite_pages_enabled=self._lite_pages_enabled,
+        )
+        load_time = path.download_time_s(payload)
+        # Rendering takes a little extra time on top of the transfer, scaled
+        # by the page's script complexity.
+        render_time = 0.5 + 0.4 * page.script_complexity
+        load_time += render_time
+        throughput_mbps = min(
+            conditions.downlink_mbps, payload * 8.0 / 1e6 / max(load_time - render_time, 0.1)
+        )
+        self._pages_loaded += 1
+        self._bytes_transferred += payload
+        # Account the transferred bytes on the device radio and the AP.
+        route = self._device.radio.default_route or RadioTechnology.WIFI
+        self._device.radio.account_traffic(route, rx_bytes=payload, tx_bytes=payload // 20)
+        process.account_traffic(rx_bytes=payload, tx_bytes=payload // 20)
+        load_cpu = self.profile.load_cpu_percent * (0.8 + 0.2 * page.script_complexity)
+        process.set_activity(
+            cpu_percent=load_cpu, network_mbps=throughput_mbps, screen_fps=self.LOAD_FPS
+        )
+        if self._load_end_event is not None:
+            self._load_end_event.cancel()
+        self._load_end_event = self._context.scheduler.schedule_in(
+            load_time,
+            lambda: self._enter_dwell(process),
+            label=f"{self.profile.package}:load-done",
+        )
+
+    # -- scrolling -----------------------------------------------------------------------
+    def _start_scroll_burst(self, process: AppProcess, burst_s: float = 1.8) -> None:
+        self._scrolls += 1
+        scroll_fps = self._random.uniform(30.0, 55.0)
+        process.set_activity(
+            cpu_percent=self._scroll_cpu(self._current_region),
+            network_mbps=0.1,
+            screen_fps=scroll_fps,
+        )
+        if self._scroll_end_event is not None:
+            self._scroll_end_event.cancel()
+        self._scroll_end_event = self._context.scheduler.schedule_in(
+            burst_s,
+            lambda: self._enter_dwell(process),
+            label=f"{self.profile.package}:scroll-done",
+        )
+
+
+def install_browser(
+    device: AndroidDevice,
+    profile_name: str,
+    context: SimulationContext,
+    path_provider: Callable[[], NetworkPath],
+    corpus: Optional[List[WebPage]] = None,
+) -> BrowserApp:
+    """Install one browser on a device and return its behaviour object.
+
+    ``path_provider`` is usually ``controller.network_path`` so that page
+    loads see the vantage point's uplink and any active VPN tunnel.
+    """
+    profile = browser_profile(profile_name)
+    behaviour = BrowserApp(profile, device, context, path_provider, corpus=corpus)
+    device.install_app(
+        InstalledApp(
+            package=profile.package,
+            label=profile.name,
+            version="75.0",
+            category="browser",
+            behaviour=behaviour,
+        )
+    )
+    return behaviour

@@ -1,0 +1,102 @@
+"""Video playback workload.
+
+The accuracy experiment (Section 4.1) plays an mp4 that is pre-loaded on
+the device's sdcard for five minutes: "the rationale is to force the device
+mirroring mechanism to constantly update as new frames are originated."
+:class:`VideoPlayerApp` models the stock video player: while a video is
+playing it keeps the hardware decoder active, presents ~30 frames per
+second, and needs a modest amount of CPU; no network traffic is involved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.device.android import AndroidDevice
+from repro.device.apps import AppProcess, InstalledApp
+from repro.simulation.entity import SimulationContext
+
+#: Package name of the stock gallery/video player.
+VIDEO_PLAYER_PACKAGE = "com.android.gallery3d"
+
+
+class VideoPlayerApp:
+    """Behaviour of the on-device video player."""
+
+    PLAYBACK_CPU_PERCENT = 10.0
+    PLAYBACK_FPS = 30.0
+
+    def __init__(self, device: AndroidDevice, context: SimulationContext) -> None:
+        self._device = device
+        self._context = context
+        self._playing: Optional[str] = None
+        self._stop_event = None
+
+    @property
+    def playing(self) -> Optional[str]:
+        """Path of the file currently being played, if any."""
+        return self._playing
+
+    # -- AppBehaviour hooks -------------------------------------------------------
+    def on_launch(self, process: AppProcess) -> None:
+        process.set_activity(cpu_percent=3.0, network_mbps=0.0, screen_fps=8.0)
+
+    def on_stop(self, process: AppProcess) -> None:
+        self.stop_playback(process)
+        process.idle()
+
+    def on_intent(self, process: AppProcess, action: str, data: str) -> None:
+        if action == "android.intent.action.VIEW" and data.endswith(".mp4"):
+            self.start_playback(process, data)
+
+    def on_input(self, process: AppProcess, event: str) -> None:
+        # A tap while playing pauses; another tap resumes.  The accuracy
+        # experiment never pauses, so this is mostly exercised by tests.
+        if "KEYCODE_MEDIA_PLAY_PAUSE" in event:
+            if self._playing is not None:
+                self.stop_playback(process)
+            return
+
+    # -- playback control --------------------------------------------------------------
+    def start_playback(
+        self, process: AppProcess, path: str, duration_s: Optional[float] = None
+    ) -> None:
+        """Begin playing ``path``; optionally schedule an automatic stop."""
+        self._playing = path
+        self._device.set_video_decoder_active(True)
+        process.set_activity(
+            cpu_percent=self.PLAYBACK_CPU_PERCENT,
+            network_mbps=0.0,
+            screen_fps=self.PLAYBACK_FPS,
+        )
+        if self._stop_event is not None:
+            self._stop_event.cancel()
+            self._stop_event = None
+        if duration_s is not None:
+            self._stop_event = self._context.scheduler.schedule_in(
+                duration_s,
+                lambda: self.stop_playback(process),
+                label=f"{VIDEO_PLAYER_PACKAGE}:playback-end",
+            )
+
+    def stop_playback(self, process: AppProcess) -> None:
+        if self._playing is None:
+            return
+        self._playing = None
+        self._device.set_video_decoder_active(False)
+        process.set_activity(cpu_percent=3.0, network_mbps=0.0, screen_fps=8.0)
+
+
+def install_video_player(device: AndroidDevice, context: SimulationContext) -> VideoPlayerApp:
+    """Install the stock video player on a device and return its behaviour."""
+    behaviour = VideoPlayerApp(device, context)
+    device.install_app(
+        InstalledApp(
+            package=VIDEO_PLAYER_PACKAGE,
+            label="Gallery",
+            version="1.1",
+            category="media",
+            behaviour=behaviour,
+        )
+    )
+    return behaviour

@@ -1,0 +1,49 @@
+"""Shared pytest fixtures.
+
+Most tests only need a simulation context and a device or a controller; the
+platform fixture builds the paper's full deployment (access server + the
+Imperial College vantage point) and is function-scoped so tests can mutate
+it freely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import build_default_platform
+from repro.device.android import AndroidDevice
+from repro.device.profiles import SAMSUNG_J7_DUO
+from repro.powermonitor.monsoon import MonsoonHVPM
+from repro.simulation.entity import SimulationContext
+
+
+@pytest.fixture
+def context() -> SimulationContext:
+    """A fresh deterministic simulation context."""
+    return SimulationContext(seed=123)
+
+
+@pytest.fixture
+def device(context: SimulationContext) -> AndroidDevice:
+    """A Samsung J7 Duo attached to nothing in particular."""
+    return AndroidDevice(context, serial="test-dev", profile=SAMSUNG_J7_DUO)
+
+
+@pytest.fixture
+def monitor(context: SimulationContext) -> MonsoonHVPM:
+    """A Monsoon HVPM emulator with mains power already applied."""
+    unit = MonsoonHVPM(context, serial="HVPM-TEST")
+    unit.power_on()
+    return unit
+
+
+@pytest.fixture
+def platform():
+    """The paper's deployment: access server + one vantage point, all browsers."""
+    return build_default_platform(seed=11)
+
+
+@pytest.fixture
+def vantage_point(platform):
+    """Handle of the default platform's single vantage point."""
+    return platform.vantage_point()

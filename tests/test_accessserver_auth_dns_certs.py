@@ -1,0 +1,167 @@
+"""Tests for users/roles, the DNS zone and wildcard certificates."""
+
+import pytest
+
+from repro.accessserver.auth import (
+    AuthenticationError,
+    AuthorizationError,
+    Permission,
+    Role,
+    UserRegistry,
+)
+from repro.accessserver.certificates import (
+    DEFAULT_LIFETIME_S,
+    CertificateAuthority,
+    deploy_certificate,
+)
+from repro.accessserver.dns import DnsError, DnsZone
+
+
+class TestAuth:
+    @pytest.fixture
+    def registry(self) -> UserRegistry:
+        registry = UserRegistry()
+        registry.add_user("alice", Role.ADMIN, token="alice-token")
+        registry.add_user("bob", Role.EXPERIMENTER, token="bob-token")
+        registry.add_user("carol", Role.TESTER, token="carol-token")
+        return registry
+
+    def test_authentication_success(self, registry):
+        assert registry.authenticate("alice", "alice-token").role is Role.ADMIN
+
+    def test_wrong_token_rejected(self, registry):
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("alice", "wrong")
+
+    def test_unknown_user_rejected(self, registry):
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("mallory", "x")
+
+    def test_https_only_console(self, registry):
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("alice", "alice-token", over_https=False)
+
+    def test_disabled_user_rejected(self, registry):
+        registry.disable_user("bob")
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("bob", "bob-token")
+
+    def test_role_matrix(self, registry):
+        admin = registry.get("alice")
+        experimenter = registry.get("bob")
+        tester = registry.get("carol")
+        assert admin.has_permission(Permission.APPROVE_PIPELINE)
+        assert experimenter.has_permission(Permission.CREATE_JOB)
+        assert not experimenter.has_permission(Permission.APPROVE_PIPELINE)
+        assert tester.has_permission(Permission.REMOTE_CONTROL)
+        assert not tester.has_permission(Permission.RUN_JOB)
+
+    def test_authorize_raises_for_missing_permission(self, registry):
+        with pytest.raises(AuthorizationError):
+            registry.authorize(registry.get("carol"), Permission.CREATE_JOB)
+        registry.authorize(registry.get("bob"), Permission.CREATE_JOB)
+
+    def test_extra_permissions(self, registry):
+        user = registry.add_user(
+            "dave",
+            Role.TESTER,
+            token="dave-token",
+            extra_permissions=frozenset({Permission.VIEW_RESULTS}),
+        )
+        assert user.has_permission(Permission.VIEW_RESULTS)
+
+    def test_duplicate_and_invalid_users_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add_user("alice", Role.ADMIN, token="x")
+        with pytest.raises(ValueError):
+            registry.add_user("", Role.ADMIN, token="x")
+        with pytest.raises(ValueError):
+            registry.add_user("newbie", Role.ADMIN, token="")
+
+    def test_users_with_role(self, registry):
+        assert [user.username for user in registry.users_with_role(Role.ADMIN)] == ["alice"]
+
+
+class TestDns:
+    def test_register_and_resolve(self):
+        zone = DnsZone()
+        zone.register("node1", "198.51.100.1")
+        assert zone.resolve("node1") == "198.51.100.1"
+        assert zone.resolve("node1.batterylab.dev") == "198.51.100.1"
+        assert zone.contains("node1")
+
+    def test_update_existing_record(self):
+        zone = DnsZone()
+        zone.register("node1", "1.1.1.1")
+        zone.register("node1", "2.2.2.2")
+        assert zone.resolve("node1") == "2.2.2.2"
+        assert any(line.startswith("UPSERT") for line in zone.change_log())
+
+    def test_deregister(self):
+        zone = DnsZone()
+        zone.register("node1", "1.1.1.1")
+        zone.deregister("node1")
+        with pytest.raises(DnsError):
+            zone.resolve("node1")
+
+    def test_records_listing(self):
+        zone = DnsZone()
+        zone.register("node2", "2.2.2.2")
+        zone.register("node1", "1.1.1.1")
+        assert [record.name for record in zone.records()] == [
+            "node1.batterylab.dev",
+            "node2.batterylab.dev",
+        ]
+
+    def test_empty_origin_rejected(self):
+        with pytest.raises(ValueError):
+            DnsZone(origin="")
+
+
+class TestCertificates:
+    def test_issue_covers_wildcard(self):
+        ca = CertificateAuthority()
+        certificate = ca.issue(now=0.0)
+        assert certificate.common_name == "*.batterylab.dev"
+        assert certificate.is_valid(10.0)
+        assert certificate.expires_at == pytest.approx(DEFAULT_LIFETIME_S)
+        assert b"CN=*.batterylab.dev" in certificate.pem
+
+    def test_serial_numbers_increase(self):
+        ca = CertificateAuthority()
+        assert ca.issue(0.0).serial_number < ca.issue(1.0).serial_number
+        assert len(ca.issued) == 2
+
+    def test_renewal_window(self):
+        ca = CertificateAuthority()
+        certificate = ca.issue(0.0)
+        assert not ca.needs_renewal(certificate, now=10 * 24 * 3600.0)
+        assert ca.needs_renewal(certificate, now=75 * 24 * 3600.0)
+        assert ca.needs_renewal(None, now=0.0)
+
+    def test_renew_if_needed(self):
+        ca = CertificateAuthority()
+        certificate = ca.issue(0.0)
+        assert ca.renew_if_needed(certificate, now=1.0) is None
+        renewed = ca.renew_if_needed(certificate, now=85 * 24 * 3600.0)
+        assert renewed is not None and renewed.serial_number > certificate.serial_number
+
+    def test_invalid_ca_parameters(self):
+        with pytest.raises(ValueError):
+            CertificateAuthority(lifetime_s=0)
+        with pytest.raises(ValueError):
+            CertificateAuthority(renewal_window_s=DEFAULT_LIFETIME_S * 2)
+
+    def test_deploy_certificate_writes_remote_file(self):
+        class FakeChannel:
+            def __init__(self):
+                self.files = {}
+
+            def copy_file(self, path, data):
+                self.files[path] = data
+
+        ca = CertificateAuthority()
+        certificate = ca.issue(0.0)
+        channel = FakeChannel()
+        path = deploy_certificate(channel, certificate)
+        assert channel.files[path] == certificate.pem

@@ -1,0 +1,80 @@
+"""Tests for the access server's optional credit-based access model."""
+
+import pytest
+
+from repro.accessserver.auth import Role
+from repro.accessserver.credits import CreditError
+from repro.accessserver.jobs import JobSpec, JobStatus
+
+
+def quick_job(name="credit-job", timeout_s=1800.0, owner="experimenter"):
+    def run(ctx):
+        ctx.api.power_monitor()
+        ctx.api.set_voltage(3.85)
+        trace = ctx.api.measure(ctx.api.list_devices()[0], duration=30.0)
+        return trace.median_current_ma()
+
+    return JobSpec(name=name, owner=owner, run=run, timeout_s=timeout_s)
+
+
+class TestCreditIntegration:
+    def test_disabled_by_default(self, platform):
+        assert platform.access_server.credit_policy is None
+        job = platform.access_server.submit_job(platform.experimenter, quick_job())
+        platform.access_server.run_pending_jobs()
+        assert job.status is JobStatus.COMPLETED
+
+    def test_experimenters_get_an_account_and_are_charged(self, platform):
+        server = platform.access_server
+        ledger = server.enable_credit_system(initial_grant_device_hours=2.0)
+        job = server.submit_job(platform.experimenter, quick_job(timeout_s=1800.0))
+        server.run_pending_jobs()
+        assert job.status is JobStatus.COMPLETED
+        account = ledger.account("experimenter")
+        assert account.balance_device_hours < 2.0
+        usage = [t for t in account.transactions if t.kind.value == "usage"]
+        assert usage and usage[-1].amount_device_hours <= 0.0
+
+    def test_submission_rejected_without_enough_credits(self, platform):
+        server = platform.access_server
+        server.enable_credit_system(initial_grant_device_hours=0.1)
+        with pytest.raises(CreditError):
+            server.submit_job(platform.experimenter, quick_job(timeout_s=7200.0))
+
+    def test_admin_jobs_bypass_credits(self, platform):
+        server = platform.access_server
+        server.enable_credit_system(initial_grant_device_hours=0.0)
+        spec = JobSpec(name="admin-job", owner="admin", run=lambda ctx: "ok", timeout_s=7200.0)
+        job = server.submit_job(platform.admin, spec)
+        server.run_pending_jobs()
+        assert job.status is JobStatus.COMPLETED
+
+    def test_contributing_institution_runs_for_free(self, platform):
+        server = platform.access_server
+        ledger = server.enable_credit_system(initial_grant_device_hours=0.0)
+        contributor = server.users.add_user("imperial", Role.EXPERIMENTER, token="imperial-token")
+        ledger.open_account("imperial", contributes_hardware=True)
+        ledger.credit_contribution("imperial", device_hours=24.0, now=0.0, note="node1 uptime")
+        job = server.submit_job(contributor, quick_job(owner="imperial", timeout_s=7200.0))
+        server.run_pending_jobs()
+        assert job.status is JobStatus.COMPLETED
+        # Contributors are never charged for usage.
+        assert ledger.balance("imperial") == pytest.approx(36.0)
+
+    def test_failed_jobs_still_consume_credits(self, platform):
+        server = platform.access_server
+        ledger = server.enable_credit_system(initial_grant_device_hours=2.0)
+
+        def crash(ctx):
+            ctx.api.power_monitor()
+            ctx.api.set_voltage(3.85)
+            ctx.api.measure(ctx.api.list_devices()[0], duration=20.0)
+            raise RuntimeError("bug")
+
+        job = server.submit_job(
+            platform.experimenter,
+            JobSpec(name="crash", owner="experimenter", run=crash, timeout_s=900.0),
+        )
+        server.run_pending_jobs()
+        assert job.status is JobStatus.FAILED
+        assert ledger.balance("experimenter") < 2.0

@@ -1,0 +1,111 @@
+"""Tests for the credit system (the paper's planned access model)."""
+
+import pytest
+
+from repro.accessserver.credits import (
+    CreditError,
+    CreditLedger,
+    CreditPolicy,
+    TransactionKind,
+)
+
+
+@pytest.fixture
+def ledger() -> CreditLedger:
+    return CreditLedger(contribution_multiplier=1.5, initial_grant_device_hours=5.0)
+
+
+class TestLedger:
+    def test_new_accounts_get_initial_grant(self, ledger):
+        account = ledger.open_account("alice", now=0.0)
+        assert account.balance_device_hours == 5.0
+        assert account.transactions[0].kind is TransactionKind.GRANT
+
+    def test_duplicate_account_rejected(self, ledger):
+        ledger.open_account("alice")
+        with pytest.raises(CreditError):
+            ledger.open_account("alice")
+
+    def test_unknown_account_rejected(self, ledger):
+        with pytest.raises(CreditError):
+            ledger.balance("ghost")
+
+    def test_contribution_earns_multiplied_credits(self, ledger):
+        ledger.open_account("imperial", contributes_hardware=True)
+        earned = ledger.credit_contribution("imperial", device_hours=10.0, now=1.0)
+        assert earned == pytest.approx(15.0)
+        assert ledger.balance("imperial") == pytest.approx(20.0)
+
+    def test_usage_charges_non_contributors(self, ledger):
+        ledger.open_account("alice")
+        charged = ledger.charge_usage("alice", device_hours=2.0, now=1.0, note="fig3 run")
+        assert charged == 2.0
+        assert ledger.balance("alice") == pytest.approx(3.0)
+
+    def test_overdraft_rejected(self, ledger):
+        ledger.open_account("alice")
+        with pytest.raises(CreditError):
+            ledger.charge_usage("alice", device_hours=10.0, now=1.0)
+
+    def test_hardware_contributors_use_for_free(self, ledger):
+        ledger.open_account("imperial", contributes_hardware=True)
+        charged = ledger.charge_usage("imperial", device_hours=50.0, now=1.0)
+        assert charged == 0.0
+        assert ledger.balance("imperial") == pytest.approx(5.0)
+
+    def test_adjustment(self, ledger):
+        ledger.open_account("alice")
+        ledger.adjust("alice", -1.0, now=2.0, note="penalty")
+        assert ledger.balance("alice") == pytest.approx(4.0)
+
+    def test_can_afford(self, ledger):
+        ledger.open_account("alice")
+        assert ledger.can_afford("alice", 4.0)
+        assert not ledger.can_afford("alice", 6.0)
+
+    def test_negative_inputs_rejected(self, ledger):
+        ledger.open_account("alice")
+        with pytest.raises(ValueError):
+            ledger.credit_contribution("alice", -1.0, now=0.0)
+        with pytest.raises(ValueError):
+            ledger.charge_usage("alice", -1.0, now=0.0)
+        with pytest.raises(ValueError):
+            CreditLedger(contribution_multiplier=0.0)
+        with pytest.raises(ValueError):
+            CreditLedger(initial_grant_device_hours=-1.0)
+
+    def test_accounts_listing(self, ledger):
+        ledger.open_account("bob")
+        ledger.open_account("alice")
+        assert [account.owner for account in ledger.accounts()] == ["alice", "bob"]
+
+
+class TestPolicy:
+    def test_authorize_and_settle(self, ledger):
+        ledger.open_account("alice")
+        policy = CreditPolicy(ledger, minimum_reservation_hours=0.25)
+        policy.authorize("alice", estimated_device_hours=2.0)
+        policy.settle("alice", actual_device_hours=1.5, now=3.0, note="browser study")
+        assert ledger.balance("alice") == pytest.approx(3.5)
+
+    def test_authorize_rejects_poor_accounts(self, ledger):
+        ledger.open_account("alice")
+        policy = CreditPolicy(ledger)
+        with pytest.raises(CreditError):
+            policy.authorize("alice", estimated_device_hours=100.0)
+
+    def test_minimum_reservation_applies(self, ledger):
+        ledger.open_account("alice")
+        ledger.charge_usage("alice", 4.9, now=0.0)
+        policy = CreditPolicy(ledger, minimum_reservation_hours=0.25)
+        with pytest.raises(CreditError):
+            policy.authorize("alice")  # only 0.1 device-hours left
+
+    def test_contributors_always_authorized(self, ledger):
+        ledger.open_account("imperial", contributes_hardware=True)
+        policy = CreditPolicy(ledger)
+        policy.authorize("imperial", estimated_device_hours=1000.0)
+
+    def test_invalid_minimum(self, ledger):
+        with pytest.raises(ValueError):
+            CreditPolicy(ledger, minimum_reservation_hours=-1.0)

@@ -1,0 +1,113 @@
+"""Tests for the analysis helpers (CDFs, summaries, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import empirical_cdf
+from repro.analysis.stats import relative_difference, summarize
+from repro.analysis.tables import format_table, rows_to_markdown
+
+
+class TestEmpiricalCdf:
+    def test_basic_properties(self):
+        cdf = empirical_cdf([3.0, 1.0, 2.0], label="x")
+        assert cdf.label == "x"
+        assert len(cdf) == 3
+        assert list(cdf.values) == [1.0, 2.0, 3.0]
+        assert cdf.probabilities[-1] == pytest.approx(1.0)
+
+    def test_evaluate(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(2.0) == pytest.approx(0.5)
+        assert cdf.evaluate(10.0) == 1.0
+
+    def test_quantiles(self):
+        cdf = empirical_cdf(list(range(101)))
+        assert cdf.median() == pytest.approx(50.0)
+        assert cdf.quantile(0.9) == pytest.approx(90.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_fraction_above(self):
+        cdf = empirical_cdf([10.0, 20.0, 30.0, 40.0, 50.0])
+        assert cdf.fraction_above(35.0) == pytest.approx(0.4)
+        assert cdf.fraction_above(100.0) == 0.0
+
+    def test_empty_cdf(self):
+        cdf = empirical_cdf([])
+        assert len(cdf) == 0
+        assert cdf.evaluate(1.0) == 0.0
+        assert cdf.fraction_above(1.0) == 0.0
+        assert cdf.as_points() == []
+        with pytest.raises(ValueError):
+            cdf.quantile(0.5)
+
+    def test_as_points_downsamples(self):
+        cdf = empirical_cdf(list(np.linspace(0, 1, 1000)))
+        points = cdf.as_points(points=50)
+        assert len(points) == 50
+        values = [value for value, _ in points]
+        assert values == sorted(values)
+
+    def test_rejects_multidimensional_input(self):
+        with pytest.raises(ValueError):
+            empirical_cdf(np.zeros((2, 2)))
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0], label="series")
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_sample_has_zero_std(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_errorbar_rendering(self):
+        assert summarize([1.0, 3.0]).errorbar() == "2.00 ± 1.41"
+
+    def test_as_dict(self):
+        assert summarize([1.0], label="x").as_dict()["label"] == "x"
+
+    def test_relative_difference(self):
+        assert relative_difference(110.0, 100.0) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_difference(1.0, 0.0)
+
+
+class TestTables:
+    ROWS = [
+        {"browser": "brave", "mAh": 15.3},
+        {"browser": "chrome", "mAh": 18.1},
+    ]
+
+    def test_format_table_alignment_and_title(self):
+        text = format_table(self.ROWS, title="Figure 3")
+        lines = text.splitlines()
+        assert lines[0] == "Figure 3"
+        assert "browser" in lines[1] and "mAh" in lines[1]
+        assert "brave" in lines[3]
+
+    def test_format_table_explicit_columns_and_missing_values(self):
+        text = format_table([{"a": 1}], columns=["a", "b"])
+        assert "b" in text
+
+    def test_format_empty_table(self):
+        assert "(no rows)" in format_table([])
+        assert rows_to_markdown([]) == "(no rows)"
+
+    def test_markdown_structure(self):
+        markdown = rows_to_markdown(self.ROWS)
+        lines = markdown.splitlines()
+        assert lines[0].startswith("| browser")
+        assert lines[1].startswith("|---")
+        assert len(lines) == 4

@@ -1,0 +1,214 @@
+"""Tests for automation channels, the UI-test bundle and the browser script."""
+
+import pytest
+
+from repro.automation.channels import (
+    AdbAutomation,
+    AutomationError,
+    BluetoothKeyboardAutomation,
+    UnsupportedOperation,
+)
+from repro.automation.scripts import BrowserAutomationScript
+from repro.automation.ui_testing import UiTestBundle, UiTestError, UiTestStep, build_browser_ui_test
+from repro.device.adb import AdbTransport
+from repro.network.web import NEWS_SITES
+from repro.workloads.browsers import browser_profile
+
+
+@pytest.fixture
+def chrome_setup(platform, vantage_point):
+    controller = vantage_point.controller
+    device = vantage_point.device()
+    return platform, controller, device
+
+
+class TestAdbAutomation:
+    def test_open_url_starts_browser(self, chrome_setup):
+        _, controller, device = chrome_setup
+        channel = AdbAutomation(controller, device.serial)
+        channel.open_url("com.android.chrome", NEWS_SITES[0].url)
+        assert device.packages.is_running("com.android.chrome")
+        channel.stop_app("com.android.chrome")
+        assert not device.packages.is_running("com.android.chrome")
+
+    def test_clear_app_data(self, chrome_setup):
+        _, controller, device = chrome_setup
+        channel = AdbAutomation(controller, device.serial)
+        channel.launch_app("com.android.chrome")
+        channel.clear_app_data("com.android.chrome")
+        assert not device.packages.is_running("com.android.chrome")
+
+    def test_scrolls_reach_foreground_app(self, chrome_setup):
+        _, controller, device = chrome_setup
+        channel = AdbAutomation(controller, device.serial)
+        behaviour = None
+        channel.open_url("com.android.chrome", NEWS_SITES[0].url)
+        channel.scroll_down()
+        channel.scroll_up()
+        adb = controller.adb_server(device.serial)
+        assert sum("input swipe" in line for line in adb.logcat_buffer) == 2
+
+    def test_usb_transport_flagged_as_perturbing(self, chrome_setup):
+        _, controller, device = chrome_setup
+        channel = AdbAutomation(controller, device.serial, AdbTransport.USB)
+        assert channel.perturbs_measurement
+        channel.set_transport(AdbTransport.WIFI)
+        assert not channel.perturbs_measurement
+        channel.set_transport(AdbTransport.BLUETOOTH)
+        assert channel.supports_cellular
+
+    def test_unavailable_transport_raises_automation_error(self, chrome_setup):
+        _, controller, device = chrome_setup
+        controller.set_device_usb_power(device.serial, False)
+        channel = AdbAutomation(controller, device.serial, AdbTransport.USB)
+        with pytest.raises(AutomationError):
+            channel.launch_app("com.android.chrome")
+
+    def test_dumpsys_and_logcat_helpers(self, chrome_setup):
+        _, controller, device = chrome_setup
+        channel = AdbAutomation(controller, device.serial)
+        assert "level" in channel.dumpsys("battery")
+        channel.keyevent("KEYCODE_HOME")
+        assert "keyevent" in channel.logcat()
+
+
+class TestBluetoothKeyboardAutomation:
+    def test_keyboard_workflow(self, chrome_setup):
+        _, controller, device = chrome_setup
+        channel = BluetoothKeyboardAutomation(controller.keyboard, device.serial)
+        channel.connect()
+        channel.launch_app("com.android.chrome")
+        channel.open_url("com.android.chrome", NEWS_SITES[0].url)
+        channel.scroll_down()
+        channel.scroll_up()
+        assert controller.keyboard.history(device.serial)
+        channel.disconnect()
+        assert controller.keyboard.connected_serial is None
+
+    def test_requires_connection(self, chrome_setup):
+        _, controller, device = chrome_setup
+        channel = BluetoothKeyboardAutomation(controller.keyboard, device.serial)
+        with pytest.raises(AutomationError):
+            channel.scroll_down()
+
+    def test_cannot_clear_app_data(self, chrome_setup):
+        _, controller, device = chrome_setup
+        channel = BluetoothKeyboardAutomation(controller.keyboard, device.serial)
+        channel.connect()
+        with pytest.raises(UnsupportedOperation):
+            channel.clear_app_data("com.android.chrome")
+
+    def test_supports_cellular_without_perturbing(self, chrome_setup):
+        _, controller, device = chrome_setup
+        channel = BluetoothKeyboardAutomation(controller.keyboard, device.serial)
+        assert channel.supports_cellular
+        assert not channel.perturbs_measurement
+
+
+class TestUiTestBundle:
+    def test_bundle_replays_steps_without_channel(self, chrome_setup):
+        platform, controller, device = chrome_setup
+        bundle = build_browser_ui_test(
+            "com.android.chrome", [NEWS_SITES[0].url, NEWS_SITES[1].url], scrolls_per_page=2
+        )
+        bundle.install_and_run(device, platform.context)
+        assert bundle.running
+        platform.run_for(bundle.total_duration_s() + 1.0)
+        assert not bundle.running
+        assert bundle.completed_steps == len(bundle.steps)
+        behaviour = platform.vantage_point().browser(device.serial, "chrome")
+        assert behaviour.pages_loaded == 2
+        assert behaviour.scrolls == 4
+
+    def test_requires_installed_app(self, chrome_setup):
+        platform, _, device = chrome_setup
+        bundle = UiTestBundle("com.not.installed", [UiTestStep("launch")])
+        with pytest.raises(UiTestError):
+            bundle.install_and_run(device, platform.context)
+
+    def test_requires_source_access(self, chrome_setup):
+        platform, _, device = chrome_setup
+        bundle = UiTestBundle("com.android.chrome", [UiTestStep("launch")])
+        with pytest.raises(UiTestError):
+            bundle.install_and_run(device, platform.context, source_available=False)
+
+    def test_unknown_action_fails_at_runtime(self, chrome_setup):
+        platform, _, device = chrome_setup
+        bundle = UiTestBundle("com.android.chrome", [UiTestStep("fly")], requires_source_access=False)
+        bundle.install_and_run(device, platform.context)
+        with pytest.raises(UiTestError):
+            platform.run_for(5.0)
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ValueError):
+            UiTestBundle("x", [])
+
+
+class TestBrowserAutomationScript:
+    def make_script(self, platform, controller, device, browser="chrome", **kwargs):
+        channel = AdbAutomation(controller, device.serial)
+        defaults = dict(
+            urls=[page.url for page in NEWS_SITES[:3]],
+            dwell_s=2.0,
+            scrolls_per_page=3,
+            scroll_interval_s=0.5,
+        )
+        defaults.update(kwargs)
+        return BrowserAutomationScript(
+            channel, browser_profile(browser), platform.context, **defaults
+        )
+
+    def test_run_iteration_counts_pages_and_scrolls(self, chrome_setup, vantage_point):
+        platform, controller, device = chrome_setup
+        script = self.make_script(platform, controller, device)
+        script.prepare()
+        stats = script.run_iteration()
+        assert stats.pages_loaded == 3
+        assert stats.scrolls == 9
+        behaviour = vantage_point.browser(device.serial, "chrome")
+        assert behaviour.pages_loaded == 3
+
+    def test_run_multiple_iterations(self, chrome_setup):
+        platform, controller, device = chrome_setup
+        script = self.make_script(platform, controller, device)
+        stats = script.run(iterations=2)
+        assert stats.pages_loaded == 6
+        assert stats.cleaned_before_run
+        assert stats.duration_s > 0
+        assert not device.packages.is_running("com.android.chrome")
+
+    def test_prepare_reports_uncleanable_channel(self, chrome_setup):
+        platform, controller, device = chrome_setup
+        keyboard_channel = BluetoothKeyboardAutomation(controller.keyboard, device.serial)
+        keyboard_channel.connect()
+        script = BrowserAutomationScript(
+            keyboard_channel,
+            browser_profile("chrome"),
+            platform.context,
+            urls=[NEWS_SITES[0].url],
+            dwell_s=1.0,
+            scrolls_per_page=1,
+            scroll_interval_s=0.5,
+        )
+        assert script.prepare() is False
+
+    def test_estimated_duration(self, chrome_setup):
+        platform, controller, device = chrome_setup
+        script = self.make_script(platform, controller, device)
+        assert script.estimated_duration_s() > 0
+
+    def test_invalid_parameters(self, chrome_setup):
+        platform, controller, device = chrome_setup
+        with pytest.raises(ValueError):
+            self.make_script(platform, controller, device, dwell_s=-1.0)
+        with pytest.raises(ValueError):
+            self.make_script(platform, controller, device, scrolls_per_page=-1)
+        script = self.make_script(platform, controller, device)
+        with pytest.raises(ValueError):
+            script.run(iterations=0)
+
+    def test_default_urls_are_the_corpus(self, chrome_setup):
+        platform, controller, device = chrome_setup
+        channel = AdbAutomation(controller, device.serial)
+        script = BrowserAutomationScript(channel, browser_profile("brave"), platform.context)
+        assert script.urls == [page.url for page in NEWS_SITES]

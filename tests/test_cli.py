@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["--seed", "42", "locations"])
+        assert args.seed == 42
+        assert args.command == "locations"
+
+
+class TestCommands:
+    def test_locations(self, capsys):
+        assert main(["locations"]) == 0
+        output = capsys.readouterr().out
+        assert "Bunkyo" in output and "Santa Clara" in output
+
+    def test_quickstart(self, capsys):
+        assert main(["--seed", "3", "quickstart"]) == 0
+        output = capsys.readouterr().out
+        assert "median_ma" in output
+        assert "node1-dev00" in output
+
+    def test_figure2(self, capsys):
+        assert main(["figure2", "--duration", "20", "--sample-rate", "100"]) == 0
+        output = capsys.readouterr().out
+        assert "relay-mirroring" in output
+
+    def test_figure3(self, capsys):
+        assert main(["figure3", "--repetitions", "1", "--scrolls", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 3" in output and "Figure 4" in output
+        assert "firefox" in output
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Johannesburg" in output
+
+    def test_seed_changes_nothing_structural(self, capsys):
+        assert main(["--seed", "11", "locations"]) == 0
+        first = capsys.readouterr().out
+        assert main(["--seed", "99", "locations"]) == 0
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,114 @@
+"""Tests for the Table 1 BatteryLab API."""
+
+import pytest
+
+from repro.core.api import BatteryLabAPI, BatteryLabAPIError
+from repro.device.adb import AdbTransport
+from repro.device.battery import BatteryConnection
+
+
+@pytest.fixture
+def api(platform):
+    return platform.api()
+
+
+@pytest.fixture
+def device_id(api):
+    return api.list_devices()[0]
+
+
+class TestDeviceSelection:
+    def test_list_devices(self, api):
+        assert api.list_devices() == ["node1-dev00"]
+
+    def test_execute_adb(self, api, device_id):
+        output = api.execute_adb(device_id, "shell dumpsys battery")
+        assert "level" in output
+
+    def test_execute_adb_over_usb(self, api, device_id):
+        output = api.execute_adb(device_id, "get-state", transport=AdbTransport.USB)
+        assert output == "device"
+
+
+class TestPowerMonitorControl:
+    def test_power_monitor_toggles_socket(self, api, vantage_point):
+        assert api.power_monitor() is True
+        assert vantage_point.monitor.mains_on
+        assert api.power_monitor() is False
+        assert not vantage_point.monitor.mains_on
+
+    def test_set_voltage(self, api, vantage_point):
+        api.power_monitor()
+        api.set_voltage(4.0)
+        assert vantage_point.monitor.vout_v == 4.0
+
+    def test_batt_switch_toggles_bypass(self, api, device_id, vantage_point):
+        api.power_monitor()
+        api.set_voltage(3.85)
+        assert api.batt_switch(device_id) is True
+        assert vantage_point.device().battery.connection is BatteryConnection.BYPASS
+        assert api.batt_switch(device_id) is False
+        assert vantage_point.device().battery.connection is BatteryConnection.INTERNAL
+
+
+class TestMeasurements:
+    def test_start_requires_mains_power(self, api, device_id):
+        with pytest.raises(BatteryLabAPIError):
+            api.start_monitor(device_id)
+
+    def test_start_stop_cycle(self, platform, api, device_id, vantage_point):
+        api.power_monitor()
+        api.start_monitor(device_id, duration=10.0)
+        assert api.measuring
+        assert api.active_measurement_device == device_id
+        assert not vantage_point.device().usb_powered
+        platform.run_for(10.0)
+        trace = api.stop_monitor()
+        assert len(trace) > 0
+        assert not api.measuring
+        assert vantage_point.device().usb_powered
+        assert vantage_point.device().battery.connection is BatteryConnection.INTERNAL
+
+    def test_concurrent_measurements_rejected(self, api, device_id):
+        api.power_monitor()
+        api.start_monitor(device_id)
+        with pytest.raises(BatteryLabAPIError):
+            api.start_monitor(device_id)
+        api.stop_monitor()
+
+    def test_stop_without_start_rejected(self, api):
+        with pytest.raises(BatteryLabAPIError):
+            api.stop_monitor()
+
+    def test_measure_uses_default_voltage(self, api, device_id, vantage_point):
+        api.power_monitor()
+        trace = api.measure(device_id, duration=5.0, label="idle")
+        assert trace.label == "idle"
+        assert trace.median_current_ma() > 0
+        assert vantage_point.monitor.vout_v == pytest.approx(
+            vantage_point.device().profile.battery_voltage_v
+        )
+
+    def test_measure_invalid_duration(self, api, device_id):
+        api.power_monitor()
+        with pytest.raises(ValueError):
+            api.measure(device_id, duration=0.0)
+
+    def test_no_power_socket_error(self, context):
+        from repro.vantagepoint.controller import VantagePointController
+
+        controller = VantagePointController(context, hostname="bare.batterylab.dev")
+        api = BatteryLabAPI(controller)
+        with pytest.raises(BatteryLabAPIError):
+            api.power_monitor()
+        with pytest.raises(BatteryLabAPIError):
+            api.start_monitor("whatever")
+
+
+class TestMirroringApi:
+    def test_device_mirroring_activation(self, api, device_id, vantage_point):
+        session = api.device_mirroring(device_id)
+        assert session.active
+        assert vantage_point.device().mirroring_active
+        api.stop_device_mirroring(device_id)
+        assert not vantage_point.device().mirroring_active

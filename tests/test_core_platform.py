@@ -1,0 +1,94 @@
+"""Tests for platform assembly."""
+
+import pytest
+
+from repro.core.api import BatteryLabAPI
+from repro.core.platform import add_vantage_point, build_default_platform
+from repro.device.profiles import PIXEL_3A, SAMSUNG_J7_DUO
+from repro.network.link import NetworkLink
+
+
+class TestDefaultPlatform:
+    def test_matches_paper_deployment(self, platform, vantage_point):
+        assert vantage_point.name == "node1"
+        device = vantage_point.device()
+        assert device.profile.model == "Samsung J7 Duo"
+        assert vantage_point.controller.spec.model == "Raspberry Pi 3B+"
+        assert vantage_point.monitor.spec.model == "Monsoon HVPM"
+        assert vantage_point.power_socket is not None
+        assert platform.access_server.dns.resolve("node1")
+
+    def test_browsers_preinstalled(self, vantage_point):
+        device = vantage_point.device()
+        installed = device.packages.installed_packages()
+        for package in (
+            "com.brave.browser",
+            "com.android.chrome",
+            "com.microsoft.emmx",
+            "org.mozilla.firefox",
+        ):
+            assert package in installed
+
+    def test_video_preloaded_on_sdcard(self, vantage_point):
+        adb = vantage_point.controller.adb_server(vantage_point.device().serial)
+        assert adb.read_file("/sdcard/Movies/test.mp4")
+
+    def test_users_bootstrap(self, platform):
+        assert platform.admin.username == "admin"
+        assert platform.experimenter.username == "experimenter"
+
+    def test_api_helper(self, platform):
+        api = platform.api()
+        assert isinstance(api, BatteryLabAPI)
+        assert api.list_devices() == ["node1-dev00"]
+
+    def test_unknown_vantage_point_lookup(self, platform):
+        with pytest.raises(KeyError):
+            platform.vantage_point("node99")
+
+    def test_handle_device_lookup(self, vantage_point):
+        assert vantage_point.device("node1-dev00").serial == "node1-dev00"
+        with pytest.raises(KeyError):
+            vantage_point.device("ghost")
+
+    def test_multiple_devices(self):
+        platform = build_default_platform(seed=21, device_count=2, browsers=("chrome",))
+        handle = platform.vantage_point()
+        assert len(handle.devices) == 2
+        assert platform.api().list_devices() == ["node1-dev00", "node1-dev01"]
+
+    def test_invalid_device_count(self):
+        with pytest.raises(ValueError):
+            build_default_platform(device_count=0)
+
+    def test_seed_determinism(self):
+        first = build_default_platform(seed=33, browsers=("chrome",))
+        second = build_default_platform(seed=33, browsers=("chrome",))
+        api_a, api_b = first.api(), second.api()
+        api_a.power_monitor()
+        api_b.power_monitor()
+        trace_a = api_a.measure("node1-dev00", duration=10.0)
+        trace_b = api_b.measure("node1-dev00", duration=10.0)
+        assert trace_a.median_current_ma() == pytest.approx(trace_b.median_current_ma())
+
+
+class TestAddVantagePoint:
+    def test_second_vantage_point_with_different_hardware(self, platform):
+        handle = add_vantage_point(
+            platform,
+            "node2",
+            "Example University",
+            device_profiles=[PIXEL_3A, SAMSUNG_J7_DUO],
+            browsers=("chrome", "brave"),
+            uplink=NetworkLink(name="slow", downlink_mbps=20.0, uplink_mbps=5.0, latency_ms=20.0),
+            home_region="US",
+        )
+        assert len(handle.devices) == 2
+        assert handle.device("node2-dev00").profile.model == "Google Pixel 3a"
+        assert handle.controller.network_path().region() == "US"
+        assert platform.api("node2").list_devices() == ["node2-dev00", "node2-dev01"]
+
+    def test_platform_run_for(self, platform):
+        start = platform.context.now
+        platform.run_for(5.0)
+        assert platform.context.now == start + 5.0

@@ -1,0 +1,187 @@
+"""Tests for the Android device power/accounting model."""
+
+import pytest
+
+from repro.device.android import SCRCPY_PROCESS, AndroidDevice
+from repro.device.apps import InstalledApp
+from repro.device.battery import BatteryConnection
+from repro.device.profiles import IPHONE_8, SAMSUNG_J7_DUO
+from repro.device.radio import RadioTechnology
+from repro.simulation.entity import SimulationContext
+
+
+def test_rejects_non_android_profile(context):
+    with pytest.raises(ValueError):
+        AndroidDevice(context, serial="x", profile=IPHONE_8)
+
+
+class TestConnectivity:
+    def test_usb_connect_and_power(self, device):
+        device.connect_usb()
+        assert device.usb_connected and device.usb_powered
+        assert device.battery.charging
+        device.set_usb_power(False)
+        assert not device.usb_powered
+        assert not device.battery.charging
+
+    def test_cannot_power_unconnected_usb(self, device):
+        with pytest.raises(RuntimeError):
+            device.set_usb_power(True)
+
+    def test_wifi_and_cellular(self, device):
+        device.connect_wifi("batterylab")
+        device.connect_cellular()
+        assert device.radio.is_enabled(RadioTechnology.WIFI)
+        assert device.radio.is_enabled(RadioTechnology.CELLULAR)
+        device.disconnect_wifi()
+        assert not device.radio.is_enabled(RadioTechnology.WIFI)
+
+    def test_bluetooth_link_counting(self, device):
+        device.attach_bluetooth_link()
+        device.attach_bluetooth_link()
+        assert device.bluetooth_links == 2
+        device.detach_bluetooth_link()
+        assert device.bluetooth_links == 1
+        device.detach_bluetooth_link()
+        with pytest.raises(RuntimeError):
+            device.detach_bluetooth_link()
+
+
+class TestPowerModel:
+    def test_idle_current_near_profile_floor(self, device):
+        current = device.instantaneous_current_ma(with_noise=False)
+        assert current == pytest.approx(
+            SAMSUNG_J7_DUO.idle_current_ma + device.cpu.baseline_percent * SAMSUNG_J7_DUO.cpu_current_ma_per_percent,
+            rel=0.01,
+        )
+
+    def test_screen_follows_foreground_app(self, device):
+        device.install_app(InstalledApp(package="app", label="App"))
+        device.packages.launch("app")
+        device.refresh_demands()
+        assert device.screen.on
+        device.packages.stop("app")
+        device.refresh_demands()
+        assert not device.screen.on
+
+    def test_foreground_app_increases_current(self, device):
+        baseline = device.instantaneous_current_ma(with_noise=False)
+        device.install_app(InstalledApp(package="app", label="App"))
+        process = device.packages.launch("app")
+        process.set_activity(cpu_percent=30.0, screen_fps=30.0)
+        loaded = device.instantaneous_current_ma(with_noise=False)
+        assert loaded > baseline + 100.0  # screen + 30% CPU
+
+    def test_video_decoder_adds_current(self, device):
+        before = device.instantaneous_current_ma(with_noise=False)
+        device.set_video_decoder_active(True)
+        after = device.instantaneous_current_ma(with_noise=False)
+        assert after - before == pytest.approx(SAMSUNG_J7_DUO.video_decoder_current_ma, rel=0.01)
+
+    def test_usb_power_masks_draw_from_external_meter(self, device):
+        device.connect_usb(powered=True)
+        assert device.instantaneous_current_ma(with_noise=False) == 0.0
+        breakdown = device.current_breakdown()
+        assert breakdown.usb_charge_offset < 0
+
+    def test_wifi_traffic_increases_current(self, device):
+        device.connect_wifi("batterylab")
+        device.install_app(InstalledApp(package="app", label="App"))
+        process = device.packages.launch("app")
+        idle = device.instantaneous_current_ma(with_noise=False)
+        process.set_activity(network_mbps=5.0)
+        busy = device.instantaneous_current_ma(with_noise=False)
+        assert busy - idle == pytest.approx(
+            5.0 * SAMSUNG_J7_DUO.wifi_active_current_ma_per_mbps, rel=0.05
+        )
+
+    def test_breakdown_sums_to_total(self, device):
+        device.connect_wifi("batterylab")
+        device.install_app(InstalledApp(package="app", label="App"))
+        device.packages.launch("app").set_activity(cpu_percent=10.0, screen_fps=20.0)
+        breakdown = device.current_breakdown()
+        parts = (
+            breakdown.idle
+            + breakdown.screen
+            + breakdown.cpu
+            + breakdown.video_decoder
+            + breakdown.hw_encoder
+            + breakdown.wifi
+            + breakdown.cellular
+            + breakdown.bluetooth
+            + breakdown.usb_charge_offset
+        )
+        assert breakdown.total == pytest.approx(max(parts, 0.0))
+
+    def test_measurement_noise_is_bounded(self, device):
+        exact = device.instantaneous_current_ma(with_noise=False)
+        for _ in range(50):
+            noisy = device.instantaneous_current_ma(with_noise=True)
+            assert 0.7 * exact < noisy < 1.3 * exact
+
+
+class TestMirroringServer:
+    def test_requires_supported_api_level(self, device):
+        device.start_mirroring_server()
+        assert device.mirroring_active
+
+    def test_stream_rate_scales_with_activity(self, device):
+        device.start_mirroring_server(bitrate_mbps=1.0)
+        static = device.mirroring_stream_mbps()
+        device.install_app(InstalledApp(package="video", label="Video"))
+        device.packages.launch("video").set_activity(screen_fps=60.0)
+        device.refresh_demands()
+        active = device.mirroring_stream_mbps()
+        assert active > static
+        assert active <= 1.0
+
+    def test_stop_clears_cpu_demand(self, device):
+        device.start_mirroring_server()
+        device.refresh_demands()
+        assert device.cpu.demand(SCRCPY_PROCESS) > 0
+        device.stop_mirroring_server()
+        assert device.cpu.demand(SCRCPY_PROCESS) == 0.0
+
+    def test_invalid_bitrate(self, device):
+        with pytest.raises(ValueError):
+            device.start_mirroring_server(bitrate_mbps=0)
+
+
+class TestAccounting:
+    def test_battery_drains_over_time(self, context, device):
+        level_before = device.battery.charge_mah
+        context.run_for(60.0)
+        assert device.battery.charge_mah < level_before
+
+    def test_bypass_supplies_from_monitor_not_battery(self, context, device):
+        device.battery.set_connection(BatteryConnection.BYPASS)
+        charge_before = device.battery.charge_mah
+        context.run_for(60.0)
+        assert device.battery.charge_mah == charge_before
+        assert device.bypass_supply_mah > 0
+        device.reset_bypass_supply()
+        assert device.bypass_supply_mah == 0.0
+
+    def test_cpu_samples_recorded_once_per_second(self, context, device):
+        context.run_for(30.0)
+        assert len(device.cpu.samples) == 30
+
+    def test_dumpsys_battery_contents(self, device):
+        status = device.dumpsys_battery()
+        assert status["level"] == 100.0
+        assert status["status"] == "discharging"
+        assert status["connection"] == "internal"
+
+    def test_dumpsys_cpuinfo_after_sampling(self, context, device):
+        device.install_app(InstalledApp(package="app", label="App"))
+        device.packages.launch("app").set_activity(cpu_percent=25.0)
+        context.run_for(5.0)
+        info = device.dumpsys_cpuinfo()
+        assert info["total_percent"] > 0
+        assert "app" in info["per_process"]
+
+    def test_summary_keys(self, device):
+        summary = device.summary()
+        assert summary["serial"] == "test-dev"
+        assert summary["model"] == "Samsung J7 Duo"
+        assert summary["battery_connection"] == "internal"

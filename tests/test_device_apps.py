@@ -1,0 +1,158 @@
+"""Tests for installed apps, app processes and the package manager."""
+
+import pytest
+
+from repro.device.apps import AppProcess, InstalledApp, PackageError, PackageManager
+
+
+class RecordingBehaviour:
+    """Minimal AppBehaviour that records every hook invocation."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_launch(self, process):
+        self.events.append(("launch", process.package))
+
+    def on_stop(self, process):
+        self.events.append(("stop", process.package))
+
+    def on_intent(self, process, action, data):
+        self.events.append(("intent", action, data))
+
+    def on_input(self, process, event):
+        self.events.append(("input", event))
+
+
+@pytest.fixture
+def manager() -> PackageManager:
+    return PackageManager()
+
+
+@pytest.fixture
+def behaviour() -> RecordingBehaviour:
+    return RecordingBehaviour()
+
+
+class TestInstallation:
+    def test_install_and_list(self, manager):
+        manager.install(InstalledApp(package="com.example.app", label="Example"))
+        assert manager.is_installed("com.example.app")
+        assert manager.installed_packages() == ["com.example.app"]
+
+    def test_duplicate_install_rejected(self, manager):
+        manager.install(InstalledApp(package="a", label="A"))
+        with pytest.raises(PackageError):
+            manager.install(InstalledApp(package="a", label="A"))
+
+    def test_uninstall_stops_process(self, manager):
+        manager.install(InstalledApp(package="a", label="A"))
+        manager.launch("a")
+        manager.uninstall("a")
+        assert not manager.is_installed("a")
+        assert not manager.is_running("a")
+
+    def test_unknown_package_operations_raise(self, manager):
+        with pytest.raises(PackageError):
+            manager.app("missing")
+        with pytest.raises(PackageError):
+            manager.clear_data("missing")
+        with pytest.raises(PackageError):
+            manager.uninstall("missing")
+
+
+class TestProcesses:
+    def test_launch_creates_foreground_process(self, manager):
+        manager.install(InstalledApp(package="a", label="A"))
+        process = manager.launch("a")
+        assert process.foreground
+        assert manager.foreground_process() is process
+        assert manager.is_running("a")
+
+    def test_launching_second_app_backgrounds_first(self, manager):
+        manager.install(InstalledApp(package="a", label="A"))
+        manager.install(InstalledApp(package="b", label="B"))
+        first = manager.launch("a")
+        second = manager.launch("b")
+        assert not first.foreground
+        assert second.foreground
+
+    def test_relaunch_returns_same_process(self, manager):
+        manager.install(InstalledApp(package="a", label="A"))
+        first = manager.launch("a")
+        second = manager.launch("a")
+        assert first is second
+
+    def test_pids_are_unique(self, manager):
+        manager.install(InstalledApp(package="a", label="A"))
+        manager.install(InstalledApp(package="b", label="B"))
+        assert manager.launch("a").pid != manager.launch("b").pid
+
+    def test_stop_unknown_process(self, manager):
+        manager.install(InstalledApp(package="a", label="A"))
+        with pytest.raises(PackageError):
+            manager.stop("a")
+        manager.stop("a", ignore_missing=True)
+
+    def test_clear_data_stops_and_wipes(self, manager):
+        app = InstalledApp(package="a", label="A", data_bytes=100)
+        manager.install(app)
+        manager.launch("a")
+        manager.clear_data("a")
+        assert app.data_bytes == 0
+        assert not manager.is_running("a")
+
+
+class TestBehaviourHooks:
+    def test_launch_and_stop_hooks(self, manager, behaviour):
+        manager.install(InstalledApp(package="a", label="A", behaviour=behaviour))
+        manager.launch("a")
+        manager.stop("a")
+        assert behaviour.events == [("launch", "a"), ("stop", "a")]
+
+    def test_intent_delivery(self, manager, behaviour):
+        manager.install(InstalledApp(package="a", label="A", behaviour=behaviour))
+        manager.deliver_intent("a", "android.intent.action.VIEW", "https://x")
+        assert ("intent", "android.intent.action.VIEW", "https://x") in behaviour.events
+
+    def test_input_goes_to_foreground_app(self, manager, behaviour):
+        manager.install(InstalledApp(package="a", label="A", behaviour=behaviour))
+        manager.install(InstalledApp(package="b", label="B"))
+        manager.launch("a")
+        manager.launch("b")
+        assert manager.deliver_input("keyevent HOME").package == "b"
+        # Behaviour of the backgrounded app must not see the event.
+        assert ("input", "keyevent HOME") not in behaviour.events
+
+    def test_input_with_no_foreground_returns_none(self, manager):
+        assert manager.deliver_input("keyevent HOME") is None
+
+
+class TestAppProcess:
+    def test_set_activity_validates(self):
+        process = AppProcess(package="a", pid=1)
+        process.set_activity(cpu_percent=10.0, network_mbps=1.0, screen_fps=30.0)
+        assert process.cpu_percent == 10.0
+        with pytest.raises(ValueError):
+            process.set_activity(cpu_percent=-1.0)
+        with pytest.raises(ValueError):
+            process.set_activity(network_mbps=-1.0)
+        with pytest.raises(ValueError):
+            process.set_activity(screen_fps=-1.0)
+
+    def test_idle_resets_demands(self):
+        process = AppProcess(package="a", pid=1)
+        process.set_activity(cpu_percent=10.0, network_mbps=1.0, screen_fps=30.0)
+        process.idle()
+        assert process.cpu_percent == 0.0
+        assert process.network_mbps == 0.0
+        assert process.screen_fps == 0.0
+
+    def test_traffic_accounting(self):
+        process = AppProcess(package="a", pid=1)
+        process.account_traffic(rx_bytes=100, tx_bytes=10)
+        process.account_traffic(rx_bytes=50)
+        assert process.rx_bytes == 150
+        assert process.tx_bytes == 10
+        with pytest.raises(ValueError):
+            process.account_traffic(rx_bytes=-1)

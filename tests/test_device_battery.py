@@ -1,0 +1,88 @@
+"""Tests for the battery / battery-bypass model."""
+
+import pytest
+
+from repro.device.battery import Battery, BatteryConnection, BatteryError
+
+
+class TestBatteryBasics:
+    def test_initial_state(self):
+        battery = Battery(3000.0, 3.85)
+        assert battery.capacity_mah == 3000.0
+        assert battery.voltage_v == 3.85
+        assert battery.level == 1.0
+        assert battery.connection is BatteryConnection.INTERNAL
+        assert not battery.charging
+
+    def test_partial_initial_level(self):
+        battery = Battery(3000.0, 3.85, initial_level=0.5)
+        assert battery.charge_mah == pytest.approx(1500.0)
+        assert battery.level_percent == pytest.approx(50.0)
+
+    @pytest.mark.parametrize("capacity,voltage,level", [(0, 3.8, 1.0), (3000, 0, 1.0), (3000, 3.8, 0.0), (3000, 3.8, 1.5)])
+    def test_invalid_construction(self, capacity, voltage, level):
+        with pytest.raises(ValueError):
+            Battery(capacity, voltage, level)
+
+
+class TestDrainAndCharge:
+    def test_drain_removes_expected_charge(self):
+        battery = Battery(3000.0, 3.85)
+        removed = battery.drain(current_ma=360.0, duration_s=3600.0)
+        assert removed == pytest.approx(360.0)
+        assert battery.charge_mah == pytest.approx(2640.0)
+        assert battery.total_discharged_mah == pytest.approx(360.0)
+
+    def test_drain_cannot_go_below_zero(self):
+        battery = Battery(10.0, 3.85)
+        battery.drain(current_ma=20.0, duration_s=3600.0)
+        assert battery.charge_mah == 0.0
+        assert battery.level == 0.0
+
+    def test_drain_requires_internal_connection(self):
+        battery = Battery(3000.0, 3.85)
+        battery.set_connection(BatteryConnection.BYPASS)
+        with pytest.raises(BatteryError):
+            battery.drain(100.0, 1.0)
+
+    def test_drain_rejects_negative_inputs(self):
+        battery = Battery(3000.0, 3.85)
+        with pytest.raises(ValueError):
+            battery.drain(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            battery.drain(1.0, -1.0)
+
+    def test_charge_adds_up_to_capacity(self):
+        battery = Battery(100.0, 3.85, initial_level=0.5)
+        added = battery.charge(current_ma=100.0, duration_s=3600.0)
+        assert added == pytest.approx(50.0)
+        assert battery.level == pytest.approx(1.0)
+
+    def test_charge_rejects_negative_inputs(self):
+        battery = Battery(100.0, 3.85)
+        with pytest.raises(ValueError):
+            battery.charge(-1.0, 1.0)
+
+
+class TestConnectionAndStatus:
+    def test_bypass_preserves_charge(self):
+        battery = Battery(3000.0, 3.85)
+        battery.set_connection(BatteryConnection.BYPASS)
+        assert battery.connection is BatteryConnection.BYPASS
+        # No drain is possible, so the stored energy is untouched.
+        assert battery.charge_mah == pytest.approx(3000.0)
+
+    def test_status_snapshot(self):
+        battery = Battery(3000.0, 3.85, initial_level=0.8)
+        battery.set_charging(True)
+        status = battery.status()
+        assert status.level_percent == pytest.approx(80.0)
+        assert status.capacity_mah == 3000.0
+        assert status.voltage_v == 3.85
+        assert status.charging is True
+        assert status.connection is BatteryConnection.INTERNAL
+
+    def test_set_connection_accepts_strings(self):
+        battery = Battery(3000.0, 3.85)
+        battery.set_connection("bypass")
+        assert battery.connection is BatteryConnection.BYPASS

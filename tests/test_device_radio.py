@@ -1,0 +1,87 @@
+"""Tests for the radio / network-interface model."""
+
+import pytest
+
+from repro.device.radio import NetworkInterfaceModel, RadioError, RadioTechnology
+
+
+@pytest.fixture
+def radio() -> NetworkInterfaceModel:
+    return NetworkInterfaceModel()
+
+
+class TestAssociation:
+    def test_everything_disabled_initially(self, radio):
+        assert not radio.is_enabled(RadioTechnology.WIFI)
+        assert not radio.is_enabled(RadioTechnology.CELLULAR)
+        assert radio.default_route is None
+
+    def test_enable_wifi_sets_ssid_and_route(self, radio):
+        radio.enable(RadioTechnology.WIFI, ssid="batterylab")
+        assert radio.is_enabled(RadioTechnology.WIFI)
+        assert radio.wifi_ssid == "batterylab"
+        assert radio.default_route is RadioTechnology.WIFI
+
+    def test_first_enabled_interface_becomes_default_route(self, radio):
+        radio.enable(RadioTechnology.CELLULAR)
+        radio.enable(RadioTechnology.WIFI, ssid="x")
+        assert radio.default_route is RadioTechnology.CELLULAR
+
+    def test_disable_clears_route_and_ssid(self, radio):
+        radio.enable(RadioTechnology.WIFI, ssid="x")
+        radio.disable(RadioTechnology.WIFI)
+        assert radio.wifi_ssid is None
+        assert radio.default_route is None
+
+    def test_disable_falls_back_to_other_interface(self, radio):
+        radio.enable(RadioTechnology.WIFI, ssid="x")
+        radio.enable(RadioTechnology.CELLULAR)
+        radio.disable(RadioTechnology.WIFI)
+        assert radio.default_route is RadioTechnology.CELLULAR
+
+    def test_set_default_route_requires_enabled(self, radio):
+        with pytest.raises(RadioError):
+            radio.set_default_route(RadioTechnology.CELLULAR)
+        radio.enable(RadioTechnology.CELLULAR)
+        radio.set_default_route(RadioTechnology.CELLULAR)
+        assert radio.default_route is RadioTechnology.CELLULAR
+
+
+class TestTraffic:
+    def test_throughput_requires_enabled_interface(self, radio):
+        with pytest.raises(RadioError):
+            radio.set_throughput(RadioTechnology.WIFI, 1.0)
+
+    def test_throughput_zero_allowed_when_disabled(self, radio):
+        radio.set_throughput(RadioTechnology.WIFI, 0.0)
+        assert radio.throughput(RadioTechnology.WIFI) == 0.0
+
+    def test_throughput_accounting(self, radio):
+        radio.enable(RadioTechnology.WIFI, ssid="x")
+        radio.set_throughput(RadioTechnology.WIFI, 2.5)
+        assert radio.throughput(RadioTechnology.WIFI) == 2.5
+        assert radio.total_throughput_mbps() == 2.5
+
+    def test_negative_throughput_rejected(self, radio):
+        radio.enable(RadioTechnology.WIFI, ssid="x")
+        with pytest.raises(ValueError):
+            radio.set_throughput(RadioTechnology.WIFI, -1.0)
+
+    def test_disable_resets_throughput(self, radio):
+        radio.enable(RadioTechnology.WIFI, ssid="x")
+        radio.set_throughput(RadioTechnology.WIFI, 2.0)
+        radio.disable(RadioTechnology.WIFI)
+        assert radio.throughput(RadioTechnology.WIFI) == 0.0
+
+    def test_byte_counters_accumulate(self, radio):
+        radio.enable(RadioTechnology.WIFI, ssid="x")
+        radio.account_traffic(RadioTechnology.WIFI, rx_bytes=1000, tx_bytes=200)
+        radio.account_traffic(RadioTechnology.WIFI, rx_bytes=500)
+        counters = radio.counters(RadioTechnology.WIFI)
+        assert counters.rx_bytes == 1500
+        assert counters.tx_bytes == 200
+        assert counters.total_bytes() == 1700
+
+    def test_negative_byte_counts_rejected(self, radio):
+        with pytest.raises(ValueError):
+            radio.account_traffic(RadioTechnology.WIFI, rx_bytes=-1)

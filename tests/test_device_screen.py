@@ -1,0 +1,76 @@
+"""Tests for the screen model."""
+
+import pytest
+
+from repro.device.screen import Screen
+
+
+class TestScreen:
+    def test_starts_off(self):
+        screen = Screen()
+        assert not screen.on
+        assert screen.update_rate_fps == 0.0
+        assert screen.activity_fraction() == 0.0
+
+    def test_turn_on_off(self):
+        screen = Screen()
+        screen.turn_on()
+        assert screen.on
+        screen.turn_off()
+        assert not screen.on
+
+    def test_update_rate_only_visible_when_on(self):
+        screen = Screen()
+        screen.turn_on()
+        screen.set_update_rate(30.0)
+        assert screen.update_rate_fps == 30.0
+        screen.turn_off()
+        assert screen.update_rate_fps == 0.0
+
+    def test_update_rate_clamped_to_panel_max(self):
+        screen = Screen(max_fps=60.0)
+        screen.turn_on()
+        screen.set_update_rate(500.0)
+        assert screen.update_rate_fps == 60.0
+        assert screen.activity_fraction() == pytest.approx(1.0)
+
+    def test_activity_fraction(self):
+        screen = Screen(max_fps=60.0)
+        screen.turn_on()
+        screen.set_update_rate(30.0)
+        assert screen.activity_fraction() == pytest.approx(0.5)
+
+    def test_brightness_bounds(self):
+        screen = Screen()
+        screen.set_brightness(0.8)
+        assert screen.brightness == 0.8
+        with pytest.raises(ValueError):
+            screen.set_brightness(1.5)
+        with pytest.raises(ValueError):
+            screen.set_brightness(-0.1)
+
+    def test_negative_update_rate_rejected(self):
+        screen = Screen()
+        with pytest.raises(ValueError):
+            screen.set_update_rate(-1.0)
+
+    def test_invalid_reference_brightness(self):
+        with pytest.raises(ValueError):
+            Screen(reference_brightness=0.0)
+
+    def test_state_snapshot(self):
+        screen = Screen()
+        screen.turn_on()
+        screen.set_update_rate(12.0)
+        state = screen.state()
+        assert state.on is True
+        assert state.update_rate_fps == 12.0
+        assert state.brightness == screen.brightness
+
+    def test_turn_off_resets_update_rate(self):
+        screen = Screen()
+        screen.turn_on()
+        screen.set_update_rate(30.0)
+        screen.turn_off()
+        screen.turn_on()
+        assert screen.update_rate_fps == 0.0

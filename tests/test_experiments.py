@@ -1,0 +1,208 @@
+"""Integration tests for the experiment drivers (paper figures/tables, reduced scale).
+
+These use small durations / repetition counts so the whole file runs in a few
+seconds; the benchmark harness runs the full-scale versions.
+"""
+
+import pytest
+
+from repro.experiments.accuracy import run_accuracy_experiment
+from repro.experiments.browser_study import run_browser_study
+from repro.experiments.controller_load import run_controller_load_experiment
+from repro.experiments.system_perf import run_system_performance
+from repro.experiments.vpn_study import run_vpn_energy_study, run_vpn_speedtests
+from repro.network.vpn import PROTONVPN_LOCATIONS
+
+
+@pytest.fixture(scope="module")
+def accuracy_study():
+    return run_accuracy_experiment(duration_s=40.0, sample_rate_hz=200.0, seed=17)
+
+
+@pytest.fixture(scope="module")
+def browser_study():
+    return run_browser_study(
+        browsers=("brave", "chrome"),
+        repetitions=2,
+        scrolls_per_page=6,
+        scroll_interval_s=1.5,
+        sites=None,
+        sample_rate_hz=50.0,
+        seed=17,
+    )
+
+
+class TestFigure2Accuracy:
+    def test_four_scenarios_measured(self, accuracy_study):
+        assert set(accuracy_study.results) == {
+            "direct",
+            "relay",
+            "direct-mirroring",
+            "relay-mirroring",
+        }
+        assert all(len(result.trace) > 0 for result in accuracy_study.results.values())
+
+    def test_relay_overhead_negligible(self, accuracy_study):
+        assert abs(accuracy_study.relay_overhead_ma()) < 5.0
+
+    def test_mirroring_raises_median_current(self, accuracy_study):
+        # Paper: median grows from ~160 mA to ~220 mA.
+        assert accuracy_study.scenario("relay").median_current_ma() == pytest.approx(160.0, abs=25.0)
+        assert accuracy_study.scenario("relay-mirroring").median_current_ma() == pytest.approx(
+            220.0, abs=30.0
+        )
+        assert 40.0 < accuracy_study.mirroring_overhead_ma() < 90.0
+
+    def test_rows_and_cdfs(self, accuracy_study):
+        rows = accuracy_study.rows()
+        assert len(rows) == 4
+        cdfs = accuracy_study.cdfs()
+        assert cdfs["direct"].median() < cdfs["direct-mirroring"].median()
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            run_accuracy_experiment(duration_s=0.0)
+
+
+class TestFigures3And4BrowserStudy:
+    def test_all_runs_present(self, browser_study):
+        assert len(browser_study.runs) == 2 * 2 * 2  # browsers x mirroring x repetitions
+        assert browser_study.browsers() == ["brave", "chrome"]
+
+    def test_brave_consumes_less_than_chrome(self, browser_study):
+        assert browser_study.discharge_ranking(mirroring=False)[0] == "brave"
+        assert browser_study.discharge_summary("brave", False).mean < browser_study.discharge_summary(
+            "chrome", False
+        ).mean
+
+    def test_mirroring_overhead_is_roughly_browser_independent(self, browser_study):
+        brave = browser_study.mirroring_overhead_mah("brave")
+        chrome = browser_study.mirroring_overhead_mah("chrome")
+        assert brave > 0 and chrome > 0
+        assert abs(brave - chrome) / max(brave, chrome) < 0.35
+
+    def test_device_cpu_medians_match_paper_shape(self, browser_study):
+        brave = browser_study.device_cpu_cdf("brave", False).median()
+        chrome = browser_study.device_cpu_cdf("chrome", False).median()
+        assert brave < chrome
+        assert brave == pytest.approx(12.0, abs=5.0)
+        assert chrome == pytest.approx(20.0, abs=6.0)
+
+    def test_mirroring_adds_about_five_percent_cpu(self, browser_study):
+        for browser in ("brave", "chrome"):
+            plain = browser_study.device_cpu_cdf(browser, False).median()
+            mirrored = browser_study.device_cpu_cdf(browser, True).median()
+            assert 2.0 < mirrored - plain < 10.0
+
+    def test_rows(self, browser_study):
+        assert len(browser_study.discharge_rows()) == 4
+        assert len(browser_study.device_cpu_rows()) == 4
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            run_browser_study(repetitions=0)
+
+
+class TestFigure5ControllerLoad:
+    @pytest.fixture(scope="class")
+    def load(self):
+        return run_controller_load_experiment(
+            browser="chrome",
+            repetitions=1,
+            scrolls_per_page=6,
+            scroll_interval_s=1.5,
+            sample_rate_hz=50.0,
+            seed=17,
+        )
+
+    def test_plain_load_is_constant_around_25_percent(self, load):
+        assert load.median(mirroring=False) == pytest.approx(25.0, abs=5.0)
+        assert load.fraction_above(50.0, mirroring=False) < 0.05
+
+    def test_mirroring_load_is_much_higher_with_a_tail(self, load):
+        assert load.median(mirroring=True) > 55.0
+        assert 0.0 < load.fraction_above(95.0, mirroring=True) < 0.35
+
+    def test_rows(self, load):
+        rows = load.rows()
+        assert len(rows) == 2
+        assert rows[1]["median_cpu_percent"] > rows[0]["median_cpu_percent"]
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            run_controller_load_experiment(repetitions=0)
+
+
+class TestTable2AndFigure6:
+    def test_speedtest_rows_match_table2(self):
+        rows = run_vpn_speedtests(probes_per_location=2, seed=17)
+        assert len(rows) == 5
+        by_location = {row["location"]: row for row in rows}
+        japan = by_location["Japan / Bunkyo"]
+        assert japan["download_mbps"] == pytest.approx(9.68, rel=0.15)
+        assert japan["latency_ms"] == pytest.approx(239.0, rel=0.2)
+        # Slowest and fastest nodes keep their Table 2 ordering.
+        assert by_location["South Africa / Johannesburg"]["download_mbps"] < by_location[
+            "CA, USA / Santa Clara"
+        ]["download_mbps"]
+
+    def test_vpn_energy_study_shape(self):
+        study = run_vpn_energy_study(
+            locations=("south-africa", "japan", "california"),
+            repetitions=1,
+            scrolls_per_page=4,
+            sample_rate_hz=50.0,
+            seed=17,
+        )
+        assert set(study.locations()) == {"south-africa", "japan", "california"}
+        rows = study.rows()
+        assert len(rows) == 6
+        # Chrome's energy is minimised through the Japanese exit.
+        chrome = {
+            location: study.discharge_summary(location, "chrome").mean
+            for location in study.locations()
+        }
+        assert chrome["japan"] == min(chrome.values())
+        # Brave barely moves across locations.
+        brave = [study.discharge_summary(loc, "brave").mean for loc in study.locations()]
+        assert (max(brave) - min(brave)) / max(brave) < 0.1
+        drop = study.chrome_bandwidth_drop_japan()
+        assert drop == pytest.approx(0.20, abs=0.08)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            run_vpn_speedtests(probes_per_location=0)
+        with pytest.raises(ValueError):
+            run_vpn_energy_study(repetitions=0)
+
+    def test_all_table2_locations_have_profiles(self):
+        assert len(PROTONVPN_LOCATIONS) == 5
+
+
+class TestSystemPerformance:
+    @pytest.fixture(scope="class")
+    def perf(self):
+        return run_system_performance(
+            scrolls_per_page=6, scroll_interval_s=1.5, sample_rate_hz=50.0, seed=17
+        )
+
+    def test_mirroring_cpu_overhead(self, perf):
+        assert perf.controller_cpu_mean_plain == pytest.approx(25.0, abs=5.0)
+        assert 30.0 < perf.cpu_extra_percent < 65.0
+
+    def test_memory_overhead_about_six_points(self, perf):
+        assert perf.memory_extra_percent == pytest.approx(6.0, abs=2.0)
+        assert perf.memory_percent_mirroring < 25.0
+
+    def test_upload_traffic_scale(self, perf):
+        # Scaled to the paper's ~7 minute test this lands in the tens of MB.
+        per_seven_minutes = perf.upload_mb * (420.0 / perf.test_duration_s)
+        assert 15.0 < per_seven_minutes < 60.0
+
+    def test_latency_matches_paper(self, perf):
+        assert perf.latency.mean_s == pytest.approx(1.44, abs=0.2)
+        assert perf.latency.trials == 40
+
+    def test_rows(self, perf):
+        metrics = {row["metric"] for row in perf.rows()}
+        assert "mirroring latency mean (s)" in metrics

@@ -1,0 +1,86 @@
+"""Tests for the network link and composite path models."""
+
+import pytest
+
+from repro.network.link import NetworkLink
+from repro.network.path import NetworkPath
+from repro.network.vpn import VpnClient
+
+
+@pytest.fixture
+def uplink() -> NetworkLink:
+    return NetworkLink(name="uplink", downlink_mbps=100.0, uplink_mbps=40.0, latency_ms=5.0)
+
+
+class TestNetworkLink:
+    def test_basic_properties(self, uplink):
+        assert uplink.rtt_ms == 10.0
+        assert uplink.goodput_down_mbps() == 100.0
+        assert uplink.goodput_up_mbps() == 40.0
+
+    def test_loss_reduces_goodput(self):
+        lossy = NetworkLink(name="lossy", downlink_mbps=100.0, uplink_mbps=40.0, latency_ms=5.0, loss_rate=0.1)
+        assert lossy.goodput_down_mbps() == pytest.approx(90.0)
+
+    def test_download_time(self, uplink):
+        # 1 MB at 100 Mbps = 0.08 s + 10 ms RTT.
+        assert uplink.download_time_s(1_000_000) == pytest.approx(0.09, rel=0.01)
+
+    def test_zero_byte_transfer_costs_one_rtt(self, uplink):
+        assert uplink.download_time_s(0) == pytest.approx(0.01)
+        assert uplink.upload_time_s(0) == pytest.approx(0.01)
+
+    def test_upload_time_uses_uplink_capacity(self, uplink):
+        assert uplink.upload_time_s(1_000_000) > uplink.download_time_s(1_000_000)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"downlink_mbps": 0.0, "uplink_mbps": 1.0, "latency_ms": 1.0},
+            {"downlink_mbps": 1.0, "uplink_mbps": 0.0, "latency_ms": 1.0},
+            {"downlink_mbps": 1.0, "uplink_mbps": 1.0, "latency_ms": -1.0},
+            {"downlink_mbps": 1.0, "uplink_mbps": 1.0, "latency_ms": 1.0, "loss_rate": 1.0},
+        ],
+    )
+    def test_invalid_links_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkLink(name="bad", **kwargs)
+
+    def test_negative_transfer_size_rejected(self, uplink):
+        with pytest.raises(ValueError):
+            uplink.download_time_s(-1)
+
+
+class TestNetworkPath:
+    def test_without_vpn_uses_uplink_and_home_region(self, uplink):
+        path = NetworkPath(uplink, home_region="GB")
+        conditions = path.conditions()
+        assert conditions.region == "GB"
+        assert not conditions.via_vpn
+        assert conditions.downlink_mbps == pytest.approx(100.0)
+
+    def test_wifi_hop_caps_bandwidth(self):
+        fat_uplink = NetworkLink(name="fat", downlink_mbps=1000.0, uplink_mbps=1000.0, latency_ms=1.0)
+        path = NetworkPath(fat_uplink, wifi_hop_mbps=150.0)
+        assert path.conditions().downlink_mbps == pytest.approx(150.0)
+
+    def test_vpn_bounds_bandwidth_and_changes_region(self, uplink):
+        vpn = VpnClient()
+        vpn.connect("japan")
+        path = NetworkPath(uplink, vpn=vpn, home_region="GB")
+        conditions = path.conditions()
+        assert conditions.via_vpn
+        assert conditions.region == "JP"
+        assert conditions.downlink_mbps == pytest.approx(9.68)
+        assert conditions.rtt_ms > uplink.rtt_ms
+
+    def test_disconnected_vpn_is_ignored(self, uplink):
+        path = NetworkPath(uplink, vpn=VpnClient(), home_region="GB")
+        assert path.region() == "GB"
+
+    def test_download_time_reflects_vpn_bandwidth(self, uplink):
+        vpn = VpnClient()
+        plain = NetworkPath(uplink).download_time_s(2_000_000)
+        vpn.connect("south-africa")
+        tunnelled = NetworkPath(uplink, vpn=vpn).download_time_s(2_000_000)
+        assert tunnelled > plain

@@ -1,0 +1,99 @@
+"""Tests for the SSH control channel."""
+
+import pytest
+
+from repro.network.ssh import (
+    SshAuthenticationError,
+    SshExecutionError,
+    SshKeyPair,
+    SshServer,
+)
+from repro.simulation.random import SeededRandom
+
+
+@pytest.fixture
+def key() -> SshKeyPair:
+    return SshKeyPair.generate("access-server", SeededRandom(4, "ssh"))
+
+
+@pytest.fixture
+def server(key) -> SshServer:
+    server = SshServer(host="node1.batterylab.dev", port=2222, command_handler=lambda c: f"ran:{c}")
+    server.authorize_key(key)
+    server.allow_source("52.16.0.10")
+    return server
+
+
+class TestTrust:
+    def test_key_generation_is_deterministic_per_stream(self):
+        a = SshKeyPair.generate("x", SeededRandom(4, "ssh"))
+        b = SshKeyPair.generate("x", SeededRandom(4, "ssh"))
+        assert a.fingerprint == b.fingerprint
+
+    def test_authorized_key_and_source_accepted(self, server, key):
+        channel = server.open_channel(key, "52.16.0.10")
+        assert channel.open
+        assert channel.remote_host == "node1.batterylab.dev"
+
+    def test_unknown_key_rejected(self, server):
+        stranger = SshKeyPair.generate("stranger", SeededRandom(5, "ssh"))
+        with pytest.raises(SshAuthenticationError):
+            server.open_channel(stranger, "52.16.0.10")
+
+    def test_source_not_in_whitelist_rejected(self, server, key):
+        with pytest.raises(SshAuthenticationError):
+            server.open_channel(key, "198.51.100.99")
+
+    def test_revoked_key_rejected(self, server, key):
+        server.revoke_key(key.fingerprint)
+        with pytest.raises(SshAuthenticationError):
+            server.open_channel(key, "52.16.0.10")
+
+    def test_empty_whitelist_allows_any_source(self, key):
+        open_server = SshServer(host="x", command_handler=lambda c: "")
+        open_server.authorize_key(key)
+        assert open_server.open_channel(key, "anywhere").open
+
+    def test_invalid_port(self):
+        with pytest.raises(ValueError):
+            SshServer(host="x", port=0)
+
+
+class TestExecution:
+    def test_execute_returns_handler_output(self, server, key):
+        channel = server.open_channel(key, "52.16.0.10")
+        assert channel.execute("list_devices") == "ran:list_devices"
+        assert server.exec_log[-1].exit_code == 0
+
+    def test_handler_errors_are_wrapped_and_logged(self, key):
+        def failing(command):
+            raise RuntimeError("boom")
+
+        server = SshServer(host="x", command_handler=failing)
+        server.authorize_key(key)
+        channel = server.open_channel(key, "1.2.3.4")
+        with pytest.raises(SshExecutionError):
+            channel.execute("anything")
+        assert server.exec_log[-1].exit_code == 1
+
+    def test_no_handler_installed(self, key):
+        server = SshServer(host="x")
+        server.authorize_key(key)
+        channel = server.open_channel(key, "1.2.3.4")
+        with pytest.raises(SshExecutionError):
+            channel.execute("anything")
+
+    def test_file_copy_and_fetch(self, server, key):
+        channel = server.open_channel(key, "52.16.0.10")
+        channel.copy_file("/etc/batterylab/wildcard.pem", b"cert-bytes")
+        assert channel.fetch_file("/etc/batterylab/wildcard.pem") == b"cert-bytes"
+        assert "/etc/batterylab/wildcard.pem" in server.files
+        with pytest.raises(SshExecutionError):
+            channel.fetch_file("/missing")
+
+    def test_closed_channel_rejects_operations(self, server, key):
+        with server.open_channel(key, "52.16.0.10") as channel:
+            channel.execute("ok")
+        assert not channel.open
+        with pytest.raises(SshExecutionError):
+            channel.execute("late")

@@ -1,0 +1,105 @@
+"""Tests for the ProtonVPN emulation and the speedtest probe (Table 2 substrate)."""
+
+import pytest
+
+from repro.network.link import NetworkLink
+from repro.network.path import NetworkPath
+from repro.network.speedtest import run_speedtest
+from repro.network.vpn import PROTONVPN_LOCATIONS, VpnClient, VpnError, locations_by_download_speed
+from repro.simulation.random import SeededRandom
+
+
+class TestVpnLocations:
+    def test_table2_locations_present(self):
+        assert set(PROTONVPN_LOCATIONS) == {
+            "south-africa",
+            "china",
+            "japan",
+            "brazil",
+            "california",
+        }
+
+    def test_table2_numbers_match_paper(self):
+        japan = PROTONVPN_LOCATIONS["japan"]
+        assert japan.download_mbps == pytest.approx(9.68)
+        assert japan.upload_mbps == pytest.approx(7.76)
+        assert japan.latency_ms == pytest.approx(239.38)
+        assert japan.region == "JP"
+
+    def test_sorted_by_download_speed(self):
+        ordered = locations_by_download_speed()
+        assert ordered[0].key == "south-africa"
+        assert ordered[-1].key == "california"
+        speeds = [loc.download_mbps for loc in ordered]
+        assert speeds == sorted(speeds)
+
+    def test_tunnel_link_derivation(self):
+        link = PROTONVPN_LOCATIONS["california"].tunnel_link()
+        assert link.downlink_mbps == pytest.approx(10.63)
+        assert link.rtt_ms == pytest.approx(215.16)
+
+
+class TestVpnClient:
+    def test_connect_and_disconnect(self):
+        client = VpnClient()
+        location = client.connect("brazil")
+        assert client.connected
+        assert location.city == "Sao Paulo"
+        client.disconnect()
+        assert not client.connected
+
+    def test_reconnect_switches_location(self):
+        client = VpnClient()
+        client.connect("japan")
+        client.connect("china")
+        assert client.active_location.key == "china"
+        assert "disconnect japan" in client.connection_log
+
+    def test_unknown_location_rejected(self):
+        with pytest.raises(VpnError):
+            VpnClient().connect("atlantis")
+
+    def test_tunnel_requires_connection(self):
+        client = VpnClient()
+        with pytest.raises(VpnError):
+            client.tunnel_link()
+        with pytest.raises(VpnError):
+            _ = client.active_location
+
+    def test_disconnect_when_idle_is_noop(self):
+        client = VpnClient()
+        client.disconnect()
+        assert client.connection_log == []
+
+    def test_available_locations(self):
+        assert "japan" in VpnClient().available_locations
+
+
+class TestSpeedtest:
+    @pytest.fixture
+    def path(self):
+        uplink = NetworkLink(name="uplink", downlink_mbps=95.0, uplink_mbps=40.0, latency_ms=6.0)
+        vpn = VpnClient()
+        vpn.connect("south-africa")
+        return NetworkPath(uplink, vpn=vpn)
+
+    def test_speedtest_tracks_tunnel_conditions(self, path):
+        result = run_speedtest(path, SeededRandom(5, "st"))
+        assert result.server == "Johannesburg"
+        assert result.download_mbps == pytest.approx(6.26, rel=0.2)
+        assert result.upload_mbps == pytest.approx(9.77, rel=0.2)
+        assert result.latency_ms == pytest.approx(222.0 + 16.0, rel=0.2)
+
+    def test_speedtest_without_vpn_reports_local_server(self):
+        uplink = NetworkLink(name="uplink", downlink_mbps=95.0, uplink_mbps=40.0, latency_ms=6.0)
+        result = run_speedtest(NetworkPath(uplink), SeededRandom(5, "st"))
+        assert result.server == "local"
+        assert result.download_mbps == pytest.approx(95.0, rel=0.2)
+
+    def test_as_row(self, path):
+        row = run_speedtest(path, SeededRandom(5, "st")).as_row()
+        assert set(row) == {"server", "distance_km", "download_mbps", "upload_mbps", "latency_ms"}
+
+    def test_invalid_probe_size(self, path):
+        with pytest.raises(ValueError):
+            run_speedtest(path, SeededRandom(5, "st"), probe_bytes=0)

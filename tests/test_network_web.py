@@ -1,0 +1,78 @@
+"""Tests for the web page / content model."""
+
+import pytest
+
+from repro.network.web import (
+    LITE_PAGE_REGIONS,
+    NEWS_SITES,
+    REGION_AD_FACTORS,
+    WebPage,
+    corpus_total_bytes,
+    page_by_url,
+)
+
+
+class TestCorpus:
+    def test_ten_news_sites(self):
+        assert len(NEWS_SITES) == 10
+        assert len({page.url for page in NEWS_SITES}) == 10
+
+    def test_page_lookup(self):
+        page = page_by_url(NEWS_SITES[0].url)
+        assert page is NEWS_SITES[0]
+        with pytest.raises(KeyError):
+            page_by_url("https://not-in-corpus.example")
+
+    def test_all_pages_have_positive_payloads(self):
+        for page in NEWS_SITES:
+            assert page.base_bytes > 0
+            assert page.ad_bytes > 0
+            assert page.scroll_depth > 0
+
+
+class TestPayloadComputation:
+    def test_ad_blocking_removes_ads(self):
+        page = NEWS_SITES[0]
+        assert page.payload_bytes(ads_blocked=True) == page.base_bytes
+        assert page.payload_bytes(ads_blocked=False) > page.base_bytes
+
+    def test_japan_serves_smaller_ads(self):
+        page = NEWS_SITES[0]
+        gb = page.payload_bytes(region="GB")
+        jp = page.payload_bytes(region="JP")
+        assert jp < gb
+        # Ad-blocked payloads are location independent.
+        assert page.payload_bytes(region="JP", ads_blocked=True) == page.payload_bytes(
+            region="GB", ads_blocked=True
+        )
+
+    def test_corpus_level_japan_reduction_around_20_percent(self):
+        gb = corpus_total_bytes(region="GB")
+        jp = corpus_total_bytes(region="JP")
+        reduction = (gb - jp) / gb
+        assert 0.15 < reduction < 0.30
+
+    def test_unknown_region_uses_unit_factor(self):
+        page = NEWS_SITES[0]
+        assert page.payload_bytes(region="XX") == page.payload_bytes(region="GB")
+
+    def test_lite_pages_only_when_supported_and_in_region(self):
+        supported = WebPage("https://lite.example", 1_000_000, 500_000, supports_lite_pages=True)
+        normal = supported.payload_bytes(region="JP", lite_pages_enabled=False)
+        lite = supported.payload_bytes(region="JP", lite_pages_enabled=True)
+        assert lite < normal
+        # Outside the lite-page regions nothing changes.
+        assert supported.payload_bytes(region="GB", lite_pages_enabled=True) == supported.payload_bytes(
+            region="GB"
+        )
+        # The paper notes none of the tested pages support the feature.
+        assert all(not page.supports_lite_pages for page in NEWS_SITES)
+
+    def test_ad_fraction(self):
+        page = NEWS_SITES[0]
+        assert 0.0 < page.ad_fraction("GB") < 1.0
+        assert page.ad_fraction("JP") < page.ad_fraction("GB")
+
+    def test_region_factor_table(self):
+        assert REGION_AD_FACTORS["JP"] < REGION_AD_FACTORS["GB"]
+        assert {"ZA", "JP"} == set(LITE_PAGE_REGIONS)

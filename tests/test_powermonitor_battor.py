@@ -1,0 +1,116 @@
+"""Tests for the BattOr-style portable power logger (mobility support)."""
+
+import pytest
+
+from repro.device.android import AndroidDevice
+from repro.device.apps import InstalledApp
+from repro.powermonitor.battor import BattOrError, BattOrMonitor, BattOrSpec
+
+
+@pytest.fixture
+def battor(context) -> BattOrMonitor:
+    return BattOrMonitor(context, serial="BATTOR-TEST")
+
+
+@pytest.fixture
+def walking_device(context, device) -> AndroidDevice:
+    """A device running on its own battery over the cellular network."""
+    device.connect_cellular()
+    device.install_app(InstalledApp(package="com.app", label="App"))
+    device.packages.launch("com.app").set_activity(cpu_percent=15.0, screen_fps=20.0)
+    return device
+
+
+class TestAttachment:
+    def test_capture_requires_attachment(self, battor):
+        with pytest.raises(BattOrError):
+            battor.start_capture()
+
+    def test_attach_and_capture(self, context, battor, walking_device):
+        battor.attach_to_device(walking_device)
+        battor.start_capture(label="walk")
+        assert battor.capturing
+        context.run_for(30.0)
+        trace = battor.stop_capture()
+        assert trace.label == "walk"
+        assert len(trace) == pytest.approx(30.0 * battor.spec.sample_rate_hz, rel=0.05)
+        assert trace.median_current_ma() > 100.0  # screen + cpu + cellular
+
+    def test_detach_requires_stopped_capture(self, context, battor, walking_device):
+        battor.attach_to_device(walking_device)
+        battor.start_capture()
+        with pytest.raises(BattOrError):
+            battor.detach()
+        context.run_for(1.0)
+        battor.stop_capture()
+        battor.detach()
+        assert battor.status()["attached_to"] is None
+
+    def test_double_start_rejected(self, context, battor, walking_device):
+        battor.attach_to_device(walking_device)
+        battor.start_capture()
+        with pytest.raises(BattOrError):
+            battor.start_capture()
+
+    def test_stop_without_capture_rejected(self, battor):
+        with pytest.raises(BattOrError):
+            battor.stop_capture()
+
+
+class TestLimits:
+    def test_device_keeps_draining_its_own_battery(self, context, battor, walking_device):
+        """BattOr only observes: the phone is not powered by the logger."""
+        battor.attach_to_device(walking_device)
+        level_before = walking_device.battery.charge_mah
+        battor.start_capture()
+        context.run_for(30.0)
+        battor.stop_capture()
+        assert walking_device.battery.charge_mah < level_before
+
+    def test_buffer_overflow_drops_samples(self, context, walking_device):
+        tiny = BattOrMonitor(
+            context,
+            serial="BATTOR-TINY",
+            spec=BattOrSpec(buffer_samples=2000, sample_rate_hz=1000.0),
+        )
+        tiny.attach_to_device(walking_device)
+        tiny.start_capture()
+        context.run_for(10.0)
+        trace = tiny.stop_capture()
+        assert len(trace) <= 2000
+        assert tiny.dropped_samples > 0
+
+    def test_logger_battery_exhaustion_stops_capture(self, context, walking_device):
+        weak = BattOrMonitor(
+            context,
+            serial="BATTOR-WEAK",
+            spec=BattOrSpec(logger_battery_mah=0.02, logger_draw_ma=35.0),
+        )
+        weak.attach_to_device(walking_device)
+        weak.start_capture()
+        context.run_for(60.0)
+        assert not weak.capturing
+        assert weak.logger_battery_fraction == 0.0
+        with pytest.raises(BattOrError):
+            weak.start_capture()
+        weak.recharge()
+        assert weak.logger_battery_fraction == 1.0
+        weak.start_capture()
+        context.run_for(1.0)
+        weak.stop_capture()
+
+    def test_recharge_requires_stopped_capture(self, context, battor, walking_device):
+        battor.attach_to_device(walking_device)
+        battor.start_capture()
+        with pytest.raises(BattOrError):
+            battor.recharge()
+
+    def test_status(self, battor, walking_device):
+        battor.attach_to_device(walking_device, label="pocket-phone")
+        status = battor.status()
+        assert status["attached_to"] == "pocket-phone"
+        assert status["capturing"] is False
+        assert status["logger_battery_percent"] == 100.0
+
+    def test_lower_sample_rate_than_monsoon(self, battor):
+        assert battor.spec.sample_rate_hz < 5000.0

@@ -1,0 +1,117 @@
+"""Tests for the high-rate sampling engine."""
+
+import pytest
+
+from repro.powermonitor.sampling import SamplingEngine
+from repro.simulation.entity import SimulationContext
+from repro.simulation.random import SeededRandom
+
+
+@pytest.fixture
+def engine_setup():
+    context = SimulationContext(seed=9)
+    state = {"level": 100.0}
+    engine = SamplingEngine(
+        context,
+        source=lambda: state["level"],
+        random=SeededRandom(9, "sampling"),
+        sample_rate_hz=1000.0,
+        tick_rate_hz=20.0,
+    )
+    return context, engine, state
+
+
+class TestConfiguration:
+    def test_invalid_rates_rejected(self):
+        context = SimulationContext(seed=1)
+        rng = SeededRandom(1, "x")
+        with pytest.raises(ValueError):
+            SamplingEngine(context, lambda: 0.0, rng, sample_rate_hz=0)
+        with pytest.raises(ValueError):
+            SamplingEngine(context, lambda: 0.0, rng, tick_rate_hz=0)
+        with pytest.raises(ValueError):
+            SamplingEngine(context, lambda: 0.0, rng, sample_rate_hz=5.0, tick_rate_hz=10.0)
+
+    def test_set_sample_rate_bounds(self, engine_setup):
+        _, engine, _ = engine_setup
+        engine.set_sample_rate(100.0)
+        assert engine.sample_rate_hz == 100.0
+        with pytest.raises(ValueError):
+            engine.set_sample_rate(1.0)
+
+
+class TestSampling:
+    def test_sample_count_matches_rate(self, engine_setup):
+        context, engine, _ = engine_setup
+        engine.start(label="count")
+        context.run_for(10.0)
+        trace = engine.stop()
+        assert len(trace) == pytest.approx(10.0 * 1000.0, rel=0.02)
+        assert trace.label == "count"
+
+    def test_sample_values_track_source(self, engine_setup):
+        context, engine, state = engine_setup
+        engine.start()
+        context.run_for(5.0)
+        state["level"] = 200.0
+        context.run_for(5.0)
+        trace = engine.stop()
+        first_half = trace.slice(0.0, 4.9)
+        second_half = trace.slice(5.1, 10.0)
+        assert first_half.median_current_ma() == pytest.approx(100.0, rel=0.05)
+        assert second_half.median_current_ma() == pytest.approx(200.0, rel=0.05)
+
+    def test_cannot_start_twice(self, engine_setup):
+        _, engine, _ = engine_setup
+        engine.start()
+        with pytest.raises(RuntimeError):
+            engine.start()
+
+    def test_cannot_stop_idle_engine(self, engine_setup):
+        _, engine, _ = engine_setup
+        with pytest.raises(RuntimeError):
+            engine.stop()
+
+    def test_peek_does_not_stop(self, engine_setup):
+        context, engine, _ = engine_setup
+        engine.start()
+        context.run_for(2.0)
+        partial = engine.peek()
+        assert len(partial) > 0
+        assert engine.sampling
+        context.run_for(2.0)
+        assert len(engine.stop()) > len(partial)
+
+    def test_peek_before_start_is_empty(self, engine_setup):
+        _, engine, _ = engine_setup
+        assert len(engine.peek()) == 0
+
+    def test_negative_source_clamped_to_zero(self):
+        context = SimulationContext(seed=2)
+        engine = SamplingEngine(
+            context, source=lambda: -50.0, random=SeededRandom(2, "s"), tick_rate_hz=10.0
+        )
+        engine.start()
+        context.run_for(1.0)
+        assert engine.stop().max_current_ma() == 0.0
+
+    def test_overcurrent_guard_fires(self):
+        context = SimulationContext(seed=3)
+        hits = []
+        engine = SamplingEngine(
+            context, source=lambda: 7000.0, random=SeededRandom(3, "s"), tick_rate_hz=10.0
+        )
+        engine.set_overcurrent_guard(6000.0, hits.append)
+        engine.start()
+        context.run_for(0.5)
+        engine.stop()
+        assert hits and hits[0] == 7000.0
+        assert engine.max_observed_current_ma == 7000.0
+
+    def test_voltage_recorded_in_trace(self, engine_setup):
+        context, engine, _ = engine_setup
+        engine.set_voltage(4.2)
+        engine.start()
+        context.run_for(1.0)
+        trace = engine.stop()
+        assert trace.voltage_v[0] == pytest.approx(4.2)

@@ -1,0 +1,165 @@
+"""Tests for current traces and the trace builder."""
+
+import numpy as np
+import pytest
+
+from repro.powermonitor.traces import CurrentTrace, TraceBuilder, TraceError
+
+
+def make_trace(duration_s=10.0, rate_hz=10.0, level_ma=100.0, label="test"):
+    count = int(duration_s * rate_hz) + 1
+    t = np.linspace(0.0, duration_s, count)
+    i = np.full(count, level_ma)
+    return CurrentTrace(t, i, 3.85, label=label)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        trace = make_trace()
+        assert len(trace) == 101
+        assert trace.duration_s == pytest.approx(10.0)
+        assert trace.sample_rate_hz == pytest.approx(10.0)
+        assert trace.label == "test"
+
+    def test_empty_trace(self):
+        trace = CurrentTrace.empty("empty")
+        assert len(trace) == 0
+        assert trace.duration_s == 0.0
+        assert trace.mean_current_ma() == 0.0
+        assert trace.discharge_mah() == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceError):
+            CurrentTrace([0.0, 1.0], [1.0])
+
+    def test_decreasing_timestamps_rejected(self):
+        with pytest.raises(TraceError):
+            CurrentTrace([0.0, 2.0, 1.0], [1.0, 1.0, 1.0])
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(TraceError):
+            CurrentTrace([0.0, 1.0], [1.0, -1.0])
+
+    def test_voltage_series_length_checked(self):
+        with pytest.raises(TraceError):
+            CurrentTrace([0.0, 1.0], [1.0, 1.0], [3.85])
+
+    def test_concat(self):
+        first = make_trace(duration_s=5.0)
+        second = CurrentTrace(
+            np.linspace(5.1, 10.0, 50), np.full(50, 200.0), 3.85, label="second"
+        )
+        combined = CurrentTrace.concat([first, second], label="combined")
+        assert len(combined) == len(first) + len(second)
+        assert combined.label == "combined"
+
+    def test_concat_empty(self):
+        assert len(CurrentTrace.concat([])) == 0
+
+
+class TestStatistics:
+    def test_constant_trace_statistics(self):
+        trace = make_trace(level_ma=150.0)
+        assert trace.mean_current_ma() == pytest.approx(150.0)
+        assert trace.median_current_ma() == pytest.approx(150.0)
+        assert trace.max_current_ma() == pytest.approx(150.0)
+        assert trace.percentile_current_ma(95) == pytest.approx(150.0)
+
+    def test_discharge_of_constant_current(self):
+        # 360 mA for one hour -> 360 mAh.
+        trace = CurrentTrace(np.linspace(0, 3600, 3601), np.full(3601, 360.0))
+        assert trace.discharge_mah() == pytest.approx(360.0, rel=1e-3)
+
+    def test_energy_uses_voltage(self):
+        trace = CurrentTrace(np.linspace(0, 3600, 3601), np.full(3601, 100.0), 4.0)
+        assert trace.energy_mwh() == pytest.approx(400.0, rel=1e-3)
+        assert trace.mean_power_mw() == pytest.approx(400.0)
+
+    def test_percentile_bounds(self):
+        trace = make_trace()
+        with pytest.raises(ValueError):
+            trace.percentile_current_ma(101)
+
+    def test_cdf_is_monotonic(self):
+        trace = CurrentTrace(np.linspace(0, 10, 101), np.linspace(50, 150, 101))
+        values, probs = trace.cdf(points=50)
+        assert np.all(np.diff(values) >= 0)
+        assert np.all(np.diff(probs) >= 0)
+        assert probs[-1] == pytest.approx(1.0)
+
+    def test_summary_fields(self):
+        summary = make_trace(level_ma=120.0).summary()
+        assert summary.samples == 101
+        assert summary.median_current_ma == pytest.approx(120.0)
+        assert summary.discharge_mah > 0
+
+
+class TestTransformations:
+    def test_slice(self):
+        trace = make_trace(duration_s=10.0)
+        window = trace.slice(2.0, 4.0)
+        assert window.timestamps.min() >= 2.0
+        assert window.timestamps.max() <= 4.0
+
+    def test_slice_invalid_range(self):
+        with pytest.raises(ValueError):
+            make_trace().slice(5.0, 1.0)
+
+    def test_downsample(self):
+        trace = make_trace()
+        down = trace.downsample(10)
+        assert len(down) == 11
+        assert down.median_current_ma() == trace.median_current_ma()
+        with pytest.raises(ValueError):
+            trace.downsample(0)
+
+    def test_with_label(self):
+        assert make_trace().with_label("renamed").label == "renamed"
+
+    def test_to_rows(self):
+        rows = make_trace(duration_s=1.0, rate_hz=1.0).to_rows()
+        assert rows[0] == (0.0, 100.0, 3.85)
+
+
+class TestTraceBuilder:
+    def test_add_and_build(self):
+        builder = TraceBuilder(label="built")
+        for t in range(5):
+            builder.add(float(t), 10.0 * t, 3.85)
+        trace = builder.build()
+        assert len(trace) == 5
+        assert trace.label == "built"
+
+    def test_out_of_order_add_rejected(self):
+        builder = TraceBuilder()
+        builder.add(1.0, 10.0, 3.85)
+        with pytest.raises(TraceError):
+            builder.add(0.5, 10.0, 3.85)
+
+    def test_negative_current_rejected(self):
+        builder = TraceBuilder()
+        with pytest.raises(TraceError):
+            builder.add(0.0, -1.0, 3.85)
+
+    def test_extend_bulk(self):
+        builder = TraceBuilder()
+        builder.extend([0.0, 0.5, 1.0], [10.0, 11.0, 12.0], 3.85)
+        builder.extend([1.5, 2.0], [13.0, 14.0], 3.85)
+        assert len(builder) == 5
+        assert builder.build().max_current_ma() == 14.0
+
+    def test_extend_rejects_mismatched_batches(self):
+        builder = TraceBuilder()
+        with pytest.raises(TraceError):
+            builder.extend([0.0, 1.0], [1.0], 3.85)
+
+    def test_extend_rejects_backwards_batch(self):
+        builder = TraceBuilder()
+        builder.extend([0.0, 1.0], [1.0, 1.0], 3.85)
+        with pytest.raises(TraceError):
+            builder.extend([0.5], [1.0], 3.85)
+
+    def test_build_label_override(self):
+        builder = TraceBuilder(label="a")
+        builder.add(0.0, 1.0, 3.85)
+        assert builder.build(label="b").label == "b"

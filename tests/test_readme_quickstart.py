@@ -1,0 +1,48 @@
+"""The README quickstart snippet must keep working exactly as written."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parents[1] / "README.md"
+
+
+def _extract_quickstart_code() -> str:
+    text = README.read_text(encoding="utf-8")
+    match = re.search(r"## Quickstart\n\n```python\n(.*?)```", text, re.DOTALL)
+    assert match is not None, "README is missing the Quickstart python block"
+    return match.group(1)
+
+
+class TestReadme:
+    def test_quickstart_snippet_executes(self, capsys):
+        code = _extract_quickstart_code()
+        namespace: dict = {}
+        exec(compile(code, "README-quickstart", "exec"), namespace)  # noqa: S102
+        output = capsys.readouterr().out
+        assert "mA median" in output
+
+    def test_quickstart_mentions_the_table1_api(self):
+        code = _extract_quickstart_code()
+        assert "platform.api()" in code
+        assert "power_monitor()" in code
+
+    def test_readme_references_existing_files(self):
+        text = README.read_text(encoding="utf-8")
+        repo = README.parent
+        for relative in ("DESIGN.md", "EXPERIMENTS.md", "examples/quickstart.py"):
+            assert (repo / relative).exists(), f"README references missing {relative}"
+        for name in re.findall(r"\| `([a-z_0-9]+\.py)` \|", text):
+            locations = (repo / "examples" / name, repo / "benchmarks" / name)
+            assert any(path.exists() for path in locations), f"missing file {name}"
+
+    def test_design_doc_covers_every_figure_and_table(self):
+        design = (README.parent / "DESIGN.md").read_text(encoding="utf-8")
+        for item in ("Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Table 1", "Table 2"):
+            assert item in design
+
+    def test_experiments_doc_lists_all_items(self):
+        experiments = (README.parent / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for item in ("Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Table 2", "system performance"):
+            assert item in experiments

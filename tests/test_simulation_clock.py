@@ -1,0 +1,50 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.simulation.clock import ClockError, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(12.5).now == 12.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        assert clock.advance(3.0) == 3.0
+        assert clock.advance(1.5) == 4.5
+        assert clock.now == 4.5
+
+    def test_advance_rejects_negative_delta(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_advance_to_absolute_time(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock(4.0)
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_advance_to_rejects_past(self):
+        clock = SimClock(4.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(3.9)
+
+    def test_millis_rounding(self):
+        clock = SimClock()
+        clock.advance(1.2345)
+        assert clock.millis() == 1234 or clock.millis() == 1235
+        clock2 = SimClock(2.0)
+        assert clock2.millis() == 2000

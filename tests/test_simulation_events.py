@@ -1,0 +1,101 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.simulation.events import EventScheduler
+from repro.simulation.clock import SimClock
+
+
+class TestScheduling:
+    def test_schedule_and_run_in_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(2.0, lambda: fired.append("b"))
+        scheduler.schedule_at(1.0, lambda: fired.append("a"))
+        scheduler.schedule_at(3.0, lambda: fired.append("c"))
+        scheduler.run_until(3.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(1.0, lambda: fired.append("first"))
+        scheduler.schedule_at(1.0, lambda: fired.append("second"))
+        scheduler.run_until(1.0)
+        assert fired == ["first", "second"]
+
+    def test_schedule_in_uses_relative_delay(self):
+        scheduler = EventScheduler(SimClock(10.0))
+        times = []
+        scheduler.schedule_in(5.0, lambda: times.append(scheduler.now))
+        scheduler.run_for(6.0)
+        assert times == [15.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        scheduler = EventScheduler(SimClock(5.0))
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule_in(-1.0, lambda: None)
+
+    def test_clock_ends_exactly_at_target(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, lambda: None)
+        scheduler.run_until(7.5)
+        assert scheduler.now == 7.5
+
+    def test_run_until_cannot_go_backwards(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(5.0)
+        with pytest.raises(ValueError):
+            scheduler.run_until(4.0)
+
+    def test_cancelled_events_do_not_fire(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        scheduler.run_until(2.0)
+        assert fired == []
+        assert scheduler.dispatched == 0
+
+    def test_events_scheduled_during_dispatch_run_in_same_pass(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            scheduler.schedule_in(0.5, lambda: fired.append("inner"))
+
+        scheduler.schedule_at(1.0, outer)
+        scheduler.run_until(2.0)
+        assert fired == ["outer", "inner"]
+
+    def test_run_returns_dispatch_count(self):
+        scheduler = EventScheduler()
+        for i in range(5):
+            scheduler.schedule_at(float(i + 1), lambda: None)
+        assert scheduler.run_until(3.0) == 3
+        assert scheduler.run_until(10.0) == 2
+
+    def test_drain_runs_everything(self):
+        scheduler = EventScheduler()
+        fired = []
+        for i in range(4):
+            scheduler.schedule_at(float(i), lambda i=i: fired.append(i))
+        assert scheduler.drain() == 4
+        assert fired == [0, 1, 2, 3]
+        assert scheduler.pending == 0
+
+    def test_drain_guards_against_runaway(self):
+        scheduler = EventScheduler()
+
+        def reschedule():
+            scheduler.schedule_in(0.001, reschedule)
+
+        scheduler.schedule_in(0.001, reschedule)
+        with pytest.raises(RuntimeError):
+            scheduler.drain(max_events=100)

@@ -1,0 +1,77 @@
+"""Tests for the seeded random streams."""
+
+import pytest
+
+from repro.simulation.random import RandomRegistry, SeededRandom, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a") == derive_seed(7, "a")
+
+    def test_varies_with_name(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_varies_with_root(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+
+class TestSeededRandom:
+    def test_same_seed_same_sequence(self):
+        a = SeededRandom(42, "device")
+        b = SeededRandom(42, "device")
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_different_names_are_uncorrelated(self):
+        a = SeededRandom(42, "device-a")
+        b = SeededRandom(42, "device-b")
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_child_streams_are_deterministic(self):
+        parent = SeededRandom(42, "device")
+        assert parent.child("cpu").uniform() == SeededRandom(42, "device").child("cpu").uniform()
+
+    def test_integer_bounds_inclusive(self):
+        stream = SeededRandom(1, "ints")
+        values = {stream.integer(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_choice_requires_non_empty(self):
+        with pytest.raises(ValueError):
+            SeededRandom(1, "x").choice([])
+
+    def test_choice_returns_member(self):
+        stream = SeededRandom(1, "x")
+        options = ["a", "b", "c"]
+        assert stream.choice(options) in options
+
+    def test_shuffle_preserves_elements(self):
+        stream = SeededRandom(1, "x")
+        items = list(range(10))
+        assert sorted(stream.shuffle(items)) == items
+
+    def test_bernoulli_bounds(self):
+        stream = SeededRandom(1, "x")
+        with pytest.raises(ValueError):
+            stream.bernoulli(1.5)
+        assert stream.bernoulli(0.0) is False
+        assert stream.bernoulli(1.0) is True
+
+    def test_clipped_normal_respects_bounds(self):
+        stream = SeededRandom(1, "x")
+        for _ in range(100):
+            value = stream.clipped_normal(1.0, 10.0, low=0.5, high=1.5)
+            assert 0.5 <= value <= 1.5
+
+
+class TestRandomRegistry:
+    def test_same_name_returns_same_stream(self):
+        registry = RandomRegistry(5)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_contains_and_len(self):
+        registry = RandomRegistry(5)
+        registry.stream("a")
+        registry.stream("b")
+        assert "a" in registry and "b" in registry
+        assert len(registry) == 2

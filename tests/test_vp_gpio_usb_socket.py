@@ -1,0 +1,171 @@
+"""Tests for GPIO, USB hub (uhubctl) and the Meross power socket."""
+
+import pytest
+
+from repro.device.android import AndroidDevice
+from repro.device.profiles import SAMSUNG_J7_DUO
+from repro.powermonitor.monsoon import MonsoonHVPM
+from repro.vantagepoint.gpio import GpioError, GpioInterface, PinMode
+from repro.vantagepoint.power_socket import MerossPowerSocket, PowerSocketError
+from repro.vantagepoint.usb import UsbError, UsbHub
+
+
+class TestGpio:
+    def test_pins_start_unconfigured(self):
+        gpio = GpioInterface(4)
+        assert gpio.pin_count == 4
+        assert gpio.mode(0) is PinMode.UNCONFIGURED
+
+    def test_write_requires_output_mode(self):
+        gpio = GpioInterface(4)
+        with pytest.raises(GpioError):
+            gpio.write(0, True)
+        gpio.configure(0, PinMode.OUTPUT)
+        gpio.write(0, True)
+        assert gpio.read(0) is True
+        assert gpio.high_pins() == [0]
+
+    def test_read_requires_configuration(self):
+        gpio = GpioInterface(4)
+        with pytest.raises(GpioError):
+            gpio.read(1)
+
+    def test_unknown_pin_rejected(self):
+        gpio = GpioInterface(4)
+        with pytest.raises(GpioError):
+            gpio.configure(99, PinMode.OUTPUT)
+
+    def test_invalid_pin_count(self):
+        with pytest.raises(ValueError):
+            GpioInterface(0)
+
+    def test_reconfigure_resets_level(self):
+        gpio = GpioInterface(4)
+        gpio.configure(0, PinMode.OUTPUT)
+        gpio.write(0, True)
+        gpio.configure(0, PinMode.OUTPUT)
+        assert gpio.read(0) is False
+
+
+class TestUsbHub:
+    def make_device(self, context, serial="usb-dev"):
+        return AndroidDevice(context, serial=serial, profile=SAMSUNG_J7_DUO)
+
+    def test_attach_assigns_first_free_port(self, context):
+        hub = UsbHub(port_count=2)
+        device = self.make_device(context)
+        port = hub.attach_device(device)
+        assert port.number == 1
+        assert device.usb_connected
+        assert hub.attached_serials() == ["usb-dev"]
+
+    def test_attach_to_specific_port(self, context):
+        hub = UsbHub(port_count=2)
+        device = self.make_device(context)
+        assert hub.attach_device(device, port_number=2).number == 2
+
+    def test_double_attach_rejected(self, context):
+        hub = UsbHub()
+        device = self.make_device(context)
+        hub.attach_device(device)
+        with pytest.raises(UsbError):
+            hub.attach_device(device)
+
+    def test_occupied_port_rejected(self, context):
+        hub = UsbHub(port_count=1)
+        hub.attach_device(self.make_device(context, "a"))
+        with pytest.raises(UsbError):
+            hub.attach_device(self.make_device(context, "b"), port_number=1)
+        with pytest.raises(UsbError):
+            hub.attach_device(self.make_device(context, "c"))
+
+    def test_port_power_control_reaches_device(self, context):
+        hub = UsbHub()
+        device = self.make_device(context)
+        hub.attach_device(device)
+        hub.set_device_power(device.serial, False)
+        assert not device.usb_powered
+        hub.set_device_power(device.serial, True)
+        assert device.usb_powered
+
+    def test_power_off_all(self, context):
+        hub = UsbHub()
+        a = self.make_device(context, "a")
+        b = self.make_device(context, "b")
+        hub.attach_device(a)
+        hub.attach_device(b)
+        hub.power_off_all()
+        assert not a.usb_powered and not b.usb_powered
+        hub.power_on_all()
+        assert a.usb_powered and b.usb_powered
+
+    def test_detach(self, context):
+        hub = UsbHub()
+        device = self.make_device(context)
+        hub.attach_device(device)
+        hub.detach_device(device.serial)
+        assert not device.usb_connected
+        with pytest.raises(UsbError):
+            hub.detach_device(device.serial)
+        with pytest.raises(UsbError):
+            hub.device_port(device.serial)
+
+    def test_status(self, context):
+        hub = UsbHub(port_count=2)
+        hub.attach_device(self.make_device(context))
+        status = hub.status()
+        assert status[0]["device"] == "usb-dev"
+        assert status[1]["device"] is None
+
+    def test_invalid_port_count(self):
+        with pytest.raises(ValueError):
+            UsbHub(port_count=0)
+
+
+class TestPowerSocket:
+    def test_turns_monitor_on_and_off(self, context):
+        monitor = MonsoonHVPM(context)
+        socket = MerossPowerSocket(context, name="test-socket", appliance=monitor)
+        socket.turn_on()
+        assert socket.is_on and monitor.mains_on
+        socket.turn_off()
+        assert not socket.is_on and not monitor.mains_on
+
+    def test_toggle(self, context):
+        socket = MerossPowerSocket(context, name="toggle-socket")
+        assert socket.toggle() is True
+        assert socket.toggle() is False
+
+    def test_idempotent_on_off(self, context):
+        socket = MerossPowerSocket(context, name="idem-socket")
+        socket.turn_on()
+        socket.turn_on()
+        socket.turn_off()
+        socket.turn_off()
+        assert len(socket.events()) == 2
+
+    def test_unreachable_socket_raises(self, context):
+        socket = MerossPowerSocket(context, name="lost-socket")
+        socket.set_reachable(False)
+        with pytest.raises(PowerSocketError):
+            socket.turn_on()
+        socket.set_reachable(True)
+        socket.turn_on()
+        assert socket.is_on
+
+    def test_energy_metering(self, context):
+        socket = MerossPowerSocket(context, name="meter-socket")
+        socket.turn_on()
+        context.run_for(3600.0)
+        energy = socket.energy_wh()
+        assert energy > 0
+        socket.turn_off()
+        settled = socket.energy_wh()
+        context.run_for(3600.0)
+        assert socket.energy_wh() == pytest.approx(settled)
+
+    def test_status(self, context):
+        socket = MerossPowerSocket(context, name="status-socket")
+        status = socket.status()
+        assert status["name"] == "status-socket"
+        assert status["on"] is False

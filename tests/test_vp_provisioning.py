@@ -1,0 +1,91 @@
+"""Tests for the vantage-point join procedure."""
+
+import pytest
+
+from repro.accessserver.certificates import CertificateAuthority
+from repro.accessserver.dns import DnsZone
+from repro.device.android import AndroidDevice
+from repro.device.profiles import SAMSUNG_J7_DUO
+from repro.network.ssh import SshKeyPair
+from repro.simulation.entity import SimulationContext
+from repro.simulation.random import SeededRandom
+from repro.vantagepoint.controller import VantagePointController
+from repro.vantagepoint.provisioning import (
+    IMAGE_VERSION,
+    REQUIRED_PORTS,
+    JoinRequest,
+    provision_vantage_point,
+)
+
+
+@pytest.fixture
+def join_parts():
+    context = SimulationContext(seed=77)
+    controller = VantagePointController(context, hostname="node9.batterylab.dev")
+    device = AndroidDevice(context, serial="node9-dev00", profile=SAMSUNG_J7_DUO)
+    controller.add_device(device)
+    key = SshKeyPair.generate("access-server", SeededRandom(77, "key"))
+    dns = DnsZone()
+    certificate = CertificateAuthority().issue(0.0)
+    request = JoinRequest(
+        institution="Example University",
+        node_identifier="node9",
+        contact_email="ops@example.edu",
+        public_address="198.51.100.9",
+    )
+    return controller, request, key, dns, certificate
+
+
+class TestProvisioning:
+    def test_successful_join(self, join_parts):
+        controller, request, key, dns, certificate = join_parts
+        report = provision_vantage_point(
+            controller, request, key, "52.16.0.10", dns_registry=dns, certificate=certificate
+        )
+        assert report.succeeded
+        assert report.dns_name == "node9.batterylab.dev"
+        assert report.image_version == IMAGE_VERSION
+        assert dns.resolve("node9") == "198.51.100.9"
+        assert key.fingerprint in controller.ssh_server.authorized_fingerprints()
+        assert "/etc/batterylab/wildcard.pem" in controller.ssh_server.files
+
+    def test_missing_port_fails_step(self, join_parts):
+        controller, request, key, dns, certificate = join_parts
+        request.open_ports = [22, 80]
+        report = provision_vantage_point(
+            controller, request, key, "52.16.0.10", dns_registry=dns, certificate=certificate
+        )
+        assert not report.succeeded
+        assert any(step.name == "port-reachability" for step in report.failed_steps())
+
+    def test_missing_dns_registry_fails_step(self, join_parts):
+        controller, request, key, _, certificate = join_parts
+        report = provision_vantage_point(
+            controller, request, key, "52.16.0.10", dns_registry=None, certificate=certificate
+        )
+        failed = {step.name for step in report.failed_steps()}
+        assert "dns-registration" in failed
+
+    def test_missing_certificate_fails_step(self, join_parts):
+        controller, request, key, dns, _ = join_parts
+        report = provision_vantage_point(
+            controller, request, key, "52.16.0.10", dns_registry=dns, certificate=None
+        )
+        failed = {step.name for step in report.failed_steps()}
+        assert "certificate-deployment" in failed
+
+    def test_android_device_required(self, join_parts):
+        controller, request, key, dns, certificate = join_parts
+        controller.remove_device("node9-dev00")
+        report = provision_vantage_point(
+            controller, request, key, "52.16.0.10", dns_registry=dns, certificate=certificate
+        )
+        failed = {step.name for step in report.failed_steps()}
+        assert "android-device-connected" in failed
+
+    def test_required_ports_match_paper(self):
+        assert set(REQUIRED_PORTS) == {2222, 8080, 6081}
+
+    def test_default_join_request_opens_required_ports(self):
+        request = JoinRequest(institution="X", node_identifier="n", contact_email="a@b.c")
+        assert set(request.open_ports) == set(REQUIRED_PORTS)

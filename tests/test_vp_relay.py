@@ -1,0 +1,145 @@
+"""Tests for the relay circuit switch (battery bypass)."""
+
+import pytest
+
+from repro.device.android import AndroidDevice
+from repro.device.battery import BatteryConnection
+from repro.device.profiles import SAMSUNG_J7_DUO
+from repro.powermonitor.monsoon import MonsoonHVPM
+from repro.vantagepoint.gpio import GpioInterface
+from repro.vantagepoint.relay import RelayCircuit, RelayError, connect_direct, disconnect_direct
+
+
+@pytest.fixture
+def relay_setup(context):
+    gpio = GpioInterface()
+    monitor = MonsoonHVPM(context, serial="HVPM-RELAY")
+    monitor.power_on()
+    relay = RelayCircuit(gpio, monitor=monitor)
+    device_a = AndroidDevice(context, serial="dev-a", profile=SAMSUNG_J7_DUO)
+    device_b = AndroidDevice(context, serial="dev-b", profile=SAMSUNG_J7_DUO)
+    relay.add_channel(device_a)
+    relay.add_channel(device_b)
+    return relay, monitor, device_a, device_b, gpio
+
+
+class TestChannels:
+    def test_channels_get_distinct_gpio_pins(self, relay_setup):
+        relay, _, _, _, _ = relay_setup
+        pins = [channel.gpio_pin for channel in relay.channels()]
+        assert len(set(pins)) == 2
+
+    def test_duplicate_device_rejected(self, relay_setup, context):
+        relay, _, device_a, _, _ = relay_setup
+        with pytest.raises(RelayError):
+            relay.add_channel(device_a)
+
+    def test_unknown_device_rejected(self, relay_setup):
+        relay, _, _, _, _ = relay_setup
+        with pytest.raises(RelayError):
+            relay.channel_for("missing")
+        with pytest.raises(RelayError):
+            relay.device("missing")
+
+    def test_status(self, relay_setup):
+        relay, _, _, _, _ = relay_setup
+        status = relay.status()
+        assert len(status) == 2
+        assert status[0]["bypass"] is False
+
+
+class TestBypassSwitching:
+    def test_engage_bypass_switches_battery_and_gpio(self, relay_setup):
+        relay, monitor, device_a, _, gpio = relay_setup
+        monitor.set_vout(3.85)
+        relay.engage_bypass("dev-a")
+        assert relay.is_bypassed("dev-a")
+        assert device_a.battery.connection is BatteryConnection.BYPASS
+        assert gpio.read(relay.channel_for("dev-a").gpio_pin) is True
+        assert monitor.load_attached
+
+    def test_engage_requires_vout(self, relay_setup):
+        relay, _, _, _, _ = relay_setup
+        with pytest.raises(RelayError):
+            relay.engage_bypass("dev-a")
+
+    def test_engage_requires_monitor(self, context):
+        relay = RelayCircuit(GpioInterface())
+        device = AndroidDevice(context, serial="solo", profile=SAMSUNG_J7_DUO)
+        relay.add_channel(device)
+        with pytest.raises(RelayError):
+            relay.engage_bypass("solo")
+
+    def test_only_one_channel_in_bypass(self, relay_setup):
+        relay, monitor, _, _, _ = relay_setup
+        monitor.set_vout(3.85)
+        relay.engage_bypass("dev-a")
+        with pytest.raises(RelayError):
+            relay.engage_bypass("dev-b")
+        relay.release_bypass("dev-a")
+        relay.engage_bypass("dev-b")
+        assert relay.is_bypassed("dev-b")
+
+    def test_engage_is_idempotent(self, relay_setup):
+        relay, monitor, _, _, _ = relay_setup
+        monitor.set_vout(3.85)
+        relay.engage_bypass("dev-a")
+        relay.engage_bypass("dev-a")
+        assert relay.bypassed_channel().device_serial == "dev-a"
+
+    def test_release_restores_battery(self, relay_setup):
+        relay, monitor, device_a, _, gpio = relay_setup
+        monitor.set_vout(3.85)
+        relay.engage_bypass("dev-a")
+        relay.release_bypass("dev-a")
+        assert device_a.battery.connection is BatteryConnection.INTERNAL
+        assert not monitor.load_attached
+        assert gpio.read(relay.channel_for("dev-a").gpio_pin) is False
+
+    def test_release_all(self, relay_setup):
+        relay, monitor, _, _, _ = relay_setup
+        monitor.set_vout(3.85)
+        relay.engage_bypass("dev-b")
+        relay.release_all()
+        assert relay.bypassed_channel() is None
+
+    def test_relay_adds_series_overhead(self, relay_setup, context):
+        relay, monitor, device_a, _, _ = relay_setup
+        monitor.set_vout(3.85)
+        relay.engage_bypass("dev-a")
+        trace_relay = monitor.measure_for(5.0, label="relay")
+        relay.release_bypass("dev-a")
+        connect_direct(monitor, device_a)
+        trace_direct = monitor.measure_for(5.0, label="direct")
+        disconnect_direct(monitor, device_a)
+        difference = trace_relay.median_current_ma() - trace_direct.median_current_ma()
+        assert 0.0 < difference < 2.0  # negligible, as in Figure 2
+
+    def test_cannot_swap_monitor_while_bypassed(self, relay_setup, context):
+        relay, monitor, _, _, _ = relay_setup
+        monitor.set_vout(3.85)
+        relay.engage_bypass("dev-a")
+        with pytest.raises(RelayError):
+            relay.set_monitor(MonsoonHVPM(context, serial="HVPM-OTHER"))
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            RelayCircuit(GpioInterface(), series_overhead_ma=-1.0)
+
+
+class TestDirectWiring:
+    def test_connect_direct_requires_vout(self, relay_setup):
+        _, monitor, device_a, _, _ = relay_setup
+        monitor.set_vout(0)
+        with pytest.raises(RelayError):
+            connect_direct(monitor, device_a)
+
+    def test_connect_and_disconnect_direct(self, relay_setup):
+        _, monitor, device_a, _, _ = relay_setup
+        monitor.set_vout(3.85)
+        connect_direct(monitor, device_a)
+        assert device_a.battery.connection is BatteryConnection.BYPASS
+        assert monitor.load_attached
+        disconnect_direct(monitor, device_a)
+        assert device_a.battery.connection is BatteryConnection.INTERNAL
+        assert not monitor.load_attached

@@ -1,0 +1,156 @@
+"""Tests for the controller's WiFi access point and Bluetooth HID keyboard."""
+
+import pytest
+
+from repro.device.android import AndroidDevice
+from repro.device.apps import InstalledApp
+from repro.device.profiles import SAMSUNG_J7_DUO
+from repro.vantagepoint.bluetooth import BluetoothHidKeyboard, BluetoothPairingError
+from repro.vantagepoint.wifi_ap import ApMode, WifiAccessPoint, WifiApError
+
+
+def make_device(context, serial="wifi-dev"):
+    return AndroidDevice(context, serial=serial, profile=SAMSUNG_J7_DUO)
+
+
+class TestWifiAccessPoint:
+    def test_associate_configures_device(self, context):
+        ap = WifiAccessPoint(ssid="batterylab")
+        device = make_device(context)
+        client = ap.associate(device)
+        assert ap.is_associated(device.serial)
+        assert device.radio.wifi_ssid == "batterylab"
+        assert client.ip_address.startswith("192.168.4.")
+
+    def test_bridge_mode_addressing(self, context):
+        ap = WifiAccessPoint(mode=ApMode.BRIDGE)
+        client = ap.associate(make_device(context))
+        assert client.ip_address.startswith("10.0.0.")
+
+    def test_wrong_psk_rejected(self, context):
+        ap = WifiAccessPoint(psk="secret")
+        with pytest.raises(WifiApError):
+            ap.associate(make_device(context), psk="wrong")
+
+    def test_duplicate_association_rejected(self, context):
+        ap = WifiAccessPoint()
+        device = make_device(context)
+        ap.associate(device)
+        with pytest.raises(WifiApError):
+            ap.associate(device)
+
+    def test_disassociate(self, context):
+        ap = WifiAccessPoint()
+        device = make_device(context)
+        ap.associate(device)
+        ap.disassociate(device)
+        assert not ap.is_associated(device.serial)
+        assert not device.radio.is_enabled("wifi")
+        with pytest.raises(WifiApError):
+            ap.disassociate(device)
+
+    def test_disabled_ap_rejects_clients(self, context):
+        ap = WifiAccessPoint()
+        ap.disable()
+        device = make_device(context)
+        with pytest.raises(WifiApError):
+            ap.associate(device)
+        ap.enable()
+        ap.associate(device)
+
+    def test_traffic_accounting(self, context):
+        ap = WifiAccessPoint()
+        device = make_device(context)
+        ap.associate(device)
+        ap.account_traffic(device.serial, rx_bytes=1000, tx_bytes=100)
+        assert ap.total_forwarded_bytes() == 1100
+        with pytest.raises(ValueError):
+            ap.account_traffic(device.serial, rx_bytes=-1)
+
+    def test_empty_ssid_rejected(self):
+        with pytest.raises(ValueError):
+            WifiAccessPoint(ssid="")
+
+    def test_status(self, context):
+        ap = WifiAccessPoint()
+        ap.associate(make_device(context))
+        status = ap.status()
+        assert status["clients"] == ["wifi-dev"]
+        assert status["mode"] == "nat"
+
+
+class TestBluetoothKeyboard:
+    @pytest.fixture
+    def paired(self, context):
+        keyboard = BluetoothHidKeyboard()
+        device = make_device(context, serial="bt-dev")
+        device.install_app(InstalledApp(package="com.android.chrome", label="Chrome"))
+        device.packages.launch("com.android.chrome")
+        keyboard.pair(device)
+        keyboard.connect(device.serial)
+        return keyboard, device
+
+    def test_pairing_and_connection(self, paired):
+        keyboard, device = paired
+        assert keyboard.paired_serials() == ["bt-dev"]
+        assert keyboard.is_connected("bt-dev")
+        assert device.bluetooth_links == 1
+
+    def test_double_pair_rejected(self, paired, context):
+        keyboard, device = paired
+        with pytest.raises(BluetoothPairingError):
+            keyboard.pair(device)
+
+    def test_connect_unpaired_rejected(self, context):
+        keyboard = BluetoothHidKeyboard()
+        with pytest.raises(BluetoothPairingError):
+            keyboard.connect("missing")
+
+    def test_single_active_connection(self, paired, context):
+        keyboard, first = paired
+        second = make_device(context, serial="bt-dev-2")
+        keyboard.pair(second)
+        keyboard.connect(second.serial)
+        assert keyboard.connected_serial == "bt-dev-2"
+        assert first.bluetooth_links == 0
+        assert second.bluetooth_links == 1
+
+    def test_send_key_reaches_foreground_app(self, paired):
+        keyboard, device = paired
+        keyboard.send_key("KEYCODE_PAGE_DOWN")
+        keyboard.scroll_up(2)
+        keyboard.type_text("news.example.com")
+        assert keyboard.history("bt-dev")[0] == "KEYCODE_PAGE_DOWN"
+        assert any(entry.startswith("text:") for entry in keyboard.history("bt-dev"))
+
+    def test_unsupported_key_rejected(self, paired):
+        keyboard, _ = paired
+        with pytest.raises(BluetoothPairingError):
+            keyboard.send_key("KEYCODE_NOT_A_KEY")
+
+    def test_send_without_connection_rejected(self, context):
+        keyboard = BluetoothHidKeyboard()
+        device = make_device(context, serial="bt-x")
+        keyboard.pair(device)
+        with pytest.raises(BluetoothPairingError):
+            keyboard.send_key("KEYCODE_ENTER")
+
+    def test_disconnect_and_unpair(self, paired):
+        keyboard, device = paired
+        keyboard.disconnect()
+        assert keyboard.connected_serial is None
+        assert device.bluetooth_links == 0
+        keyboard.unpair("bt-dev")
+        assert keyboard.paired_serials() == []
+        with pytest.raises(BluetoothPairingError):
+            keyboard.unpair("bt-dev")
+
+    def test_unpair_connected_device_disconnects_first(self, paired):
+        keyboard, device = paired
+        keyboard.unpair("bt-dev")
+        assert device.bluetooth_links == 0
+
+    def test_empty_text_is_noop(self, paired):
+        keyboard, _ = paired
+        keyboard.type_text("")
+        assert keyboard.history("bt-dev") == []

@@ -1,0 +1,191 @@
+"""Tests for the browser and video workload models."""
+
+import pytest
+
+from repro.device.radio import RadioTechnology
+from repro.network.web import NEWS_SITES
+from repro.workloads.browsers import BROWSER_PROFILES, browser_profile, install_browser
+from repro.workloads.video import VIDEO_PLAYER_PACKAGE, install_video_player
+
+
+class TestBrowserProfiles:
+    def test_four_browsers_defined(self):
+        assert set(BROWSER_PROFILES) == {"brave", "chrome", "edge", "firefox"}
+
+    def test_lookup_is_case_insensitive(self):
+        assert browser_profile("Brave").package == "com.brave.browser"
+        with pytest.raises(KeyError):
+            browser_profile("netscape")
+
+    def test_only_brave_blocks_ads(self):
+        assert browser_profile("brave").blocks_ads
+        for name in ("chrome", "edge", "firefox"):
+            assert not browser_profile(name).blocks_ads
+
+    def test_cpu_ordering_matches_paper(self):
+        profiles = BROWSER_PROFILES
+        assert profiles["brave"].scroll_cpu_percent < profiles["chrome"].scroll_cpu_percent
+        assert profiles["chrome"].scroll_cpu_percent <= profiles["edge"].scroll_cpu_percent
+        assert profiles["edge"].scroll_cpu_percent < profiles["firefox"].scroll_cpu_percent
+
+
+class TestBrowserApp:
+    @pytest.fixture
+    def chrome(self, platform, vantage_point):
+        device = vantage_point.device()
+        behaviour = vantage_point.browser(device.serial, "chrome")
+        return platform, device, behaviour
+
+    def test_page_load_sets_demands_and_accounts_traffic(self, chrome):
+        platform, device, behaviour = chrome
+        device.packages.deliver_intent(
+            "com.android.chrome", "android.intent.action.VIEW", NEWS_SITES[0].url
+        )
+        process = device.packages.process("com.android.chrome")
+        assert process.cpu_percent > 30.0
+        assert process.network_mbps > 0.0
+        assert behaviour.pages_loaded == 1
+        assert behaviour.bytes_transferred > NEWS_SITES[0].base_bytes
+        assert device.radio.counters(RadioTechnology.WIFI).rx_bytes > 0
+
+    def test_load_settles_into_dwell(self, chrome):
+        platform, device, behaviour = chrome
+        device.packages.deliver_intent(
+            "com.android.chrome", "android.intent.action.VIEW", NEWS_SITES[0].url
+        )
+        platform.run_for(10.0)
+        process = device.packages.process("com.android.chrome")
+        assert process.cpu_percent < 15.0
+        assert process.screen_fps <= behaviour.DWELL_FPS
+
+    def test_scroll_burst_raises_and_then_lowers_activity(self, chrome):
+        platform, device, behaviour = chrome
+        device.packages.deliver_intent(
+            "com.android.chrome", "android.intent.action.VIEW", NEWS_SITES[0].url
+        )
+        platform.run_for(10.0)
+        device.packages.deliver_input("swipe 500 1500 500 300 400")
+        process = device.packages.process("com.android.chrome")
+        during = process.cpu_percent
+        platform.run_for(3.0)
+        after = process.cpu_percent
+        assert during > after
+        assert behaviour.scrolls == 1
+
+    def test_brave_transfers_fewer_bytes_than_chrome(self, platform, vantage_point):
+        device = vantage_point.device()
+        chrome = vantage_point.browser(device.serial, "chrome")
+        brave = vantage_point.browser(device.serial, "brave")
+        device.packages.deliver_intent(
+            "com.android.chrome", "android.intent.action.VIEW", NEWS_SITES[0].url
+        )
+        device.packages.stop("com.android.chrome")
+        device.packages.deliver_intent(
+            "com.brave.browser", "android.intent.action.VIEW", NEWS_SITES[0].url
+        )
+        assert brave.bytes_transferred < chrome.bytes_transferred
+
+    def test_keyboard_url_entry_triggers_page_load(self, chrome):
+        """Typing a URL plus ENTER (Bluetooth keyboard path) navigates like an intent."""
+        _, device, behaviour = chrome
+        device.packages.launch("com.android.chrome")
+        device.packages.deliver_input(f"text {NEWS_SITES[1].url}")
+        assert behaviour.pages_loaded == 0
+        device.packages.deliver_input("keyevent KEYCODE_ENTER")
+        assert behaviour.pages_loaded == 1
+
+    def test_enter_without_text_is_ignored(self, chrome):
+        _, device, behaviour = chrome
+        device.packages.launch("com.android.chrome")
+        device.packages.deliver_input("keyevent KEYCODE_ENTER")
+        assert behaviour.pages_loaded == 0
+
+    def test_unknown_url_still_loads(self, chrome):
+        _, device, behaviour = chrome
+        device.packages.deliver_intent(
+            "com.android.chrome", "android.intent.action.VIEW", "https://unknown.example/page"
+        )
+        assert behaviour.pages_loaded == 1
+
+    def test_stop_cancels_pending_transitions(self, chrome):
+        platform, device, behaviour = chrome
+        device.packages.deliver_intent(
+            "com.android.chrome", "android.intent.action.VIEW", NEWS_SITES[0].url
+        )
+        device.packages.stop("com.android.chrome")
+        platform.run_for(10.0)
+        assert not device.packages.is_running("com.android.chrome")
+
+    def test_reset_counters(self, chrome):
+        _, device, behaviour = chrome
+        device.packages.deliver_intent(
+            "com.android.chrome", "android.intent.action.VIEW", NEWS_SITES[0].url
+        )
+        behaviour.reset_counters()
+        assert behaviour.pages_loaded == 0
+        assert behaviour.bytes_transferred == 0
+
+    def test_install_browser_registers_package(self, context):
+        from repro.device.android import AndroidDevice
+        from repro.network.link import NetworkLink
+        from repro.network.path import NetworkPath
+
+        device = AndroidDevice(context, serial="fresh-dev")
+        device.connect_wifi("lab")
+        uplink = NetworkLink(name="up", downlink_mbps=50.0, uplink_mbps=10.0, latency_ms=5.0)
+        install_browser(device, "firefox", context, lambda: NetworkPath(uplink))
+        assert device.packages.is_installed("org.mozilla.firefox")
+
+
+class TestVideoPlayer:
+    def test_intent_starts_playback(self, platform, vantage_point):
+        device = vantage_point.device()
+        behaviour = vantage_point.video_players[device.serial]
+        device.packages.deliver_intent(
+            VIDEO_PLAYER_PACKAGE, "android.intent.action.VIEW", "file:///sdcard/Movies/test.mp4"
+        )
+        assert behaviour.playing is not None
+        assert device.video_decoder_active
+        process = device.packages.process(VIDEO_PLAYER_PACKAGE)
+        assert process.screen_fps == behaviour.PLAYBACK_FPS
+
+    def test_non_video_intent_ignored(self, platform, vantage_point):
+        device = vantage_point.device()
+        behaviour = vantage_point.video_players[device.serial]
+        device.packages.deliver_intent(
+            VIDEO_PLAYER_PACKAGE, "android.intent.action.VIEW", "file:///sdcard/image.png"
+        )
+        assert behaviour.playing is None
+
+    def test_scheduled_stop(self, platform, vantage_point):
+        device = vantage_point.device()
+        behaviour = vantage_point.video_players[device.serial]
+        process = device.packages.launch(VIDEO_PLAYER_PACKAGE)
+        behaviour.start_playback(process, "/sdcard/clip.mp4", duration_s=5.0)
+        platform.run_for(6.0)
+        assert behaviour.playing is None
+        assert not device.video_decoder_active
+
+    def test_force_stop_clears_decoder(self, platform, vantage_point):
+        device = vantage_point.device()
+        device.packages.deliver_intent(
+            VIDEO_PLAYER_PACKAGE, "android.intent.action.VIEW", "file:///sdcard/Movies/test.mp4"
+        )
+        device.packages.stop(VIDEO_PLAYER_PACKAGE)
+        assert not device.video_decoder_active
+
+    def test_play_pause_key(self, platform, vantage_point):
+        device = vantage_point.device()
+        behaviour = vantage_point.video_players[device.serial]
+        device.packages.deliver_intent(
+            VIDEO_PLAYER_PACKAGE, "android.intent.action.VIEW", "file:///sdcard/Movies/test.mp4"
+        )
+        device.packages.deliver_input("keyevent KEYCODE_MEDIA_PLAY_PAUSE")
+        assert behaviour.playing is None
+
+    def test_install_video_player(self, context):
+        from repro.device.android import AndroidDevice
+
+        device = AndroidDevice(context, serial="video-dev")
+        install_video_player(device, context)
+        assert device.packages.is_installed(VIDEO_PLAYER_PACKAGE)
