@@ -9,9 +9,14 @@ Jenkins itself:
   authorization matrix guarding job creation/edit/run;
 * :mod:`~repro.accessserver.jobs` — job specifications, job state, logs and
   per-job workspaces with retention;
-* :mod:`~repro.accessserver.scheduler` — the queue that dispatches jobs
-  subject to experimenter constraints (target device, connectivity) and
+* :mod:`~repro.accessserver.scheduler` — the queue facade that dispatches
+  jobs subject to experimenter constraints (target device, connectivity) and
   platform constraints (one job at a time per device, low controller CPU);
+* :mod:`~repro.accessserver.dispatch` — the indexed batch dispatch engine
+  behind the scheduler (free-slot indexes, reservation interval index,
+  constraint-bucketed queue, ``dispatch_batch``);
+* :mod:`~repro.accessserver.policies` — pluggable queue ordering policies
+  (FIFO, priority, per-owner fair-share);
 * :mod:`~repro.accessserver.dns` — the Route53-style ``batterylab.dev`` zone;
 * :mod:`~repro.accessserver.certificates` — wildcard Let's Encrypt-style
   certificates and their renewal;
@@ -47,6 +52,18 @@ from repro.accessserver.maintenance import (
     build_power_safety_job,
     build_workspace_cleanup_job,
 )
+from repro.accessserver.dispatch import (
+    Assignment,
+    DispatchEngine,
+    SchedulingError,
+)
+from repro.accessserver.policies import (
+    FairSharePolicy,
+    FifoPolicy,
+    PriorityPolicy,
+    SchedulingPolicy,
+    create_policy,
+)
 from repro.accessserver.scheduler import JobScheduler, SessionReservation
 from repro.accessserver.server import AccessServer, VantagePointRecord
 from repro.accessserver.testers import Tester, TesterPool, TesterSession
@@ -75,6 +92,14 @@ __all__ = [
     "build_factory_reset_job",
     "build_power_safety_job",
     "build_workspace_cleanup_job",
+    "Assignment",
+    "DispatchEngine",
+    "SchedulingError",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "PriorityPolicy",
+    "FairSharePolicy",
+    "create_policy",
     "JobScheduler",
     "SessionReservation",
     "AccessServer",

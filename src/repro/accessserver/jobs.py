@@ -57,13 +57,20 @@ class JobConstraints:
 
 @dataclass
 class JobSpec:
-    """Everything needed to run one experiment job."""
+    """Everything needed to run one experiment job.
+
+    ``priority`` is the per-job scheduling input consumed by the
+    ``"priority"`` policy (see :mod:`repro.accessserver.policies`): higher
+    values dispatch first, ties keep submission order.  The FIFO and
+    fair-share policies ignore it.
+    """
 
     name: str
     owner: str
     run: Callable[["JobContext"], object]
     description: str = ""
     constraints: JobConstraints = field(default_factory=JobConstraints)
+    priority: float = 0.0
     timeout_s: float = 3600.0
     is_pipeline_change: bool = False
     log_retention_days: float = 7.0
@@ -131,6 +138,29 @@ class Job:
         self.started_at = now
         self.assigned_vantage_point = vantage_point
         self.assigned_device = device
+
+    def mark_execution_started(self, now: float) -> None:
+        """Re-stamp the start time when execution begins after a wave wait.
+
+        Batch dispatch may assign a job well before its payload actually
+        runs (earlier jobs of the wave advance the simulated clock);
+        duration-based accounting charges execution time, so the start
+        timestamp moves to the moment the payload launches.
+        """
+        if self.status is not JobStatus.RUNNING:
+            raise JobError(
+                f"cannot start executing job {self.job_id} from status {self.status.value}"
+            )
+        self.started_at = now
+
+    def mark_requeued(self) -> None:
+        """Return an assigned-but-not-yet-executed job to the queue."""
+        if self.status is not JobStatus.RUNNING:
+            raise JobError(f"cannot requeue job {self.job_id} from status {self.status.value}")
+        self.status = JobStatus.QUEUED
+        self.started_at = None
+        self.assigned_vantage_point = None
+        self.assigned_device = None
 
     def mark_completed(self, now: float, result: object) -> None:
         if self.status is not JobStatus.RUNNING:

@@ -1,0 +1,157 @@
+"""Pluggable scheduling policies for the dispatch pipeline.
+
+The paper only mandates *constraints* ("dispatch queued jobs based on
+experimenter constraints ... and BatteryLab constraints", Section 3.1) but
+stays silent on *ordering* when several queued jobs compete for the same
+devices.  The seed hard-coded FIFO; this module makes the ordering a
+pluggable :class:`SchedulingPolicy` so a multi-tenant deployment can pick
+what fits its community:
+
+* ``fifo`` — submission order, the seed behaviour and the default;
+* ``priority`` — highest :attr:`repro.accessserver.jobs.JobSpec.priority`
+  first, FIFO within a priority level;
+* ``fair-share`` — round-robin across job owners, preferring owners with
+  the fewest running jobs, FIFO within an owner.
+
+A policy only *orders* the queue snapshot for one dispatch tick; the
+constraint checks (free device, reservations, controller CPU) stay in
+:class:`repro.accessserver.dispatch.DispatchEngine`.  Policies are selected
+by name at any layer: ``JobScheduler(policy=...)``,
+``AccessServer(scheduling_policy=...)``,
+``build_default_platform(scheduling_policy=...)`` or the CLI's
+``--scheduling-policy`` flag; per-job scheduling input (the priority level)
+travels on the :class:`~repro.accessserver.jobs.JobSpec`.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Sequence, Union
+
+from repro.accessserver.jobs import Job
+
+
+class PolicyError(ValueError):
+    """Raised when an unknown scheduling policy is requested."""
+
+
+@dataclass(frozen=True)
+class DispatchStats:
+    """Queue-wide statistics a policy may consult when ordering jobs.
+
+    Attributes
+    ----------
+    now:
+        Simulated time of the dispatch tick.
+    running_by_owner:
+        Number of currently RUNNING jobs per owner username; owners with
+        no running job are absent.
+    """
+
+    now: float = 0.0
+    running_by_owner: Mapping[str, int] = field(default_factory=dict)
+
+
+class SchedulingPolicy(abc.ABC):
+    """Orders the queued jobs considered by one dispatch tick.
+
+    ``order`` receives the queue snapshot in FIFO (submission) order and
+    returns the jobs in the order the dispatcher should try to place them.
+    It must return a permutation of its input — policies never drop or
+    invent jobs, they only reorder.
+    """
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def order(self, jobs: Sequence[Job], stats: DispatchStats) -> List[Job]:
+        """Return ``jobs`` in dispatch order."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Submission order — the seed scheduler's behaviour and the default."""
+
+    name = "fifo"
+
+    def order(self, jobs: Sequence[Job], stats: DispatchStats) -> List[Job]:
+        return list(jobs)
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Highest ``JobSpec.priority`` first; FIFO within one priority level."""
+
+    name = "priority"
+
+    def order(self, jobs: Sequence[Job], stats: DispatchStats) -> List[Job]:
+        # sorted() is stable, so equal priorities keep submission order.
+        return sorted(jobs, key=lambda job: -job.spec.priority)
+
+
+class FairSharePolicy(SchedulingPolicy):
+    """Round-robin across owners, favouring owners with fewer running jobs.
+
+    Owners are charged one share per job they already have RUNNING plus one
+    per job handed out earlier in the same tick, so a burst submitter cannot
+    monopolise a freshly freed fleet.  Within one owner jobs stay FIFO; ties
+    between owners break on who has the earliest queued job.
+    """
+
+    name = "fair-share"
+
+    def order(self, jobs: Sequence[Job], stats: DispatchStats) -> List[Job]:
+        queues: Dict[str, Deque[Job]] = {}
+        first_position: Dict[str, int] = {}
+        for position, job in enumerate(jobs):
+            owner = job.spec.owner
+            if owner not in queues:
+                queues[owner] = deque()
+                first_position[owner] = position
+            queues[owner].append(job)
+
+        heap = [
+            (stats.running_by_owner.get(owner, 0), first_position[owner], owner)
+            for owner in queues
+        ]
+        heapq.heapify(heap)
+        ordered: List[Job] = []
+        while heap:
+            shares, position, owner = heapq.heappop(heap)
+            ordered.append(queues[owner].popleft())
+            if queues[owner]:
+                heapq.heappush(heap, (shares + 1, position, owner))
+        return ordered
+
+
+POLICIES = {
+    FifoPolicy.name: FifoPolicy,
+    PriorityPolicy.name: PriorityPolicy,
+    FairSharePolicy.name: FairSharePolicy,
+}
+
+
+def policy_names() -> List[str]:
+    """The registered policy names, for CLI choices and error messages."""
+    return sorted(POLICIES)
+
+
+def create_policy(policy: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
+    """Resolve ``policy`` (a name or an instance) to a policy instance.
+
+    Names are case-insensitive and accept ``_`` for ``-`` so both
+    ``"fair-share"`` and ``"fair_share"`` work.
+    """
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    key = str(policy).strip().lower().replace("_", "-")
+    try:
+        return POLICIES[key]()
+    except KeyError:
+        raise PolicyError(
+            f"unknown scheduling policy {policy!r}; available: {', '.join(policy_names())}"
+        ) from None

@@ -1,85 +1,94 @@
-"""Job queue, dispatch constraints and timed sessions.
+"""Job queue, dispatch constraints and timed sessions — the scheduler facade.
 
 The access server "will dispatch queued jobs based on experimenter
 constraints, e.g., target device, connectivity, or network location, and
 BatteryLab constraints, e.g., one job at the time per device"
 (Section 3.1).  Jobs additionally wait for "no other test running
-(required) and low CPU utilization (optional)" (Section 4.2).  The
-scheduler implements those rules, plus the concurrent *timed sessions*
-experimenters reserve for interactive use.
+(required) and low CPU utilization (optional)" (Section 4.2).
+
+:class:`JobScheduler` keeps that contract but delegates every dispatch
+decision to the indexed :class:`~repro.accessserver.dispatch.DispatchEngine`:
+free slots, reservations and the job queue live in per-vantage-point /
+per-device indexes instead of flat lists, batches of assignments are
+computed per tick via :meth:`JobScheduler.dispatch_batch`, and queue
+ordering is a pluggable :class:`~repro.accessserver.policies.SchedulingPolicy`
+(``"fifo"`` — the default and the historical behaviour — ``"priority"``
+or ``"fair-share"``).  :class:`SchedulingError` and
+:class:`SessionReservation` are re-exported from
+:mod:`repro.accessserver.dispatch`, their new home.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.accessserver.dispatch import (
+    Assignment,
+    DispatchEngine,
+    SchedulingError,
+    SessionReservation,
+)
 from repro.accessserver.jobs import Job, JobStatus
+from repro.accessserver.policies import SchedulingPolicy
+from repro.simulation.events import EventBus
 
-
-class SchedulingError(RuntimeError):
-    """Raised for conflicting reservations or invalid dispatch operations."""
-
-
-@dataclass
-class SessionReservation:
-    """A reserved time slot for interactive (remote-control) use of a device."""
-
-    reservation_id: int
-    username: str
-    vantage_point: str
-    device_serial: str
-    start_s: float
-    duration_s: float
-
-    @property
-    def end_s(self) -> float:
-        return self.start_s + self.duration_s
-
-    def overlaps(self, other: "SessionReservation") -> bool:
-        if self.vantage_point != other.vantage_point or self.device_serial != other.device_serial:
-            return False
-        return self.start_s < other.end_s and other.start_s < self.end_s
-
-    def active_at(self, now: float) -> bool:
-        return self.start_s <= now < self.end_s
-
-
-@dataclass
-class _DeviceSlot:
-    vantage_point: str
-    device_serial: str
-    busy_job_id: Optional[int] = None
+__all__ = [
+    "JobScheduler",
+    "SchedulingError",
+    "SessionReservation",
+]
 
 
 class JobScheduler:
     """Keeps the job queue and decides what can run where.
 
-    The scheduler does not execute jobs itself; the access server asks it
-    for dispatchable work via :meth:`next_dispatchable` and reports
-    completion via :meth:`release`.
+    The scheduler does not execute jobs itself; the access server either
+    pulls one decision at a time via :meth:`next_dispatchable` or — the
+    fast path — asks for a maximal assignment set via
+    :meth:`dispatch_batch`, and reports completion via :meth:`release`.
+
+    Parameters
+    ----------
+    policy:
+        Scheduling policy instance or registered name; defaults to FIFO.
+    event_bus:
+        Optional :class:`~repro.simulation.events.EventBus` that receives
+        structured ``dispatch.*`` records for every assignment/release.
     """
 
-    def __init__(self) -> None:
-        self._queue: List[Job] = []
+    def __init__(
+        self,
+        policy: Union[str, SchedulingPolicy] = "fifo",
+        event_bus: Optional[EventBus] = None,
+    ) -> None:
+        self._engine = DispatchEngine(policy=policy, event_bus=event_bus)
         self._all_jobs: Dict[int, Job] = {}
-        self._slots: Dict[str, _DeviceSlot] = {}
-        self._reservations: List[SessionReservation] = []
         self._reservation_ids = itertools.count(1)
+
+    # -- policy ---------------------------------------------------------------------
+    @property
+    def engine(self) -> DispatchEngine:
+        """The underlying indexed dispatch engine."""
+        return self._engine
+
+    @property
+    def policy(self) -> SchedulingPolicy:
+        return self._engine.policy
+
+    def set_policy(self, policy: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
+        """Swap the scheduling policy; takes effect from the next tick."""
+        return self._engine.set_policy(policy)
 
     # -- topology -------------------------------------------------------------------
     def register_device(self, vantage_point: str, device_serial: str) -> None:
-        key = f"{vantage_point}/{device_serial}"
-        if key not in self._slots:
-            self._slots[key] = _DeviceSlot(vantage_point=vantage_point, device_serial=device_serial)
+        self._engine.slots.register(vantage_point, device_serial)
 
     def registered_devices(self) -> List[str]:
-        return sorted(self._slots)
+        return self._engine.slots.keys()
 
     def device_busy(self, vantage_point: str, device_serial: str) -> bool:
-        slot = self._slots.get(f"{vantage_point}/{device_serial}")
-        return slot is not None and slot.busy_job_id is not None
+        return self._engine.slots.is_busy(vantage_point, device_serial)
 
     # -- queue management ---------------------------------------------------------------
     def submit(self, job: Job, now: float) -> Job:
@@ -88,22 +97,21 @@ class JobScheduler:
         job.workspace.retention_days = job.spec.log_retention_days
         self._all_jobs[job.job_id] = job
         if job.status is JobStatus.QUEUED:
-            self._queue.append(job)
+            self._engine.queue.push(job)
         return job
 
     def enqueue_approved(self, job: Job) -> None:
         """Move a job that was pending approval into the queue."""
         if job.status is not JobStatus.QUEUED:
             job.status = JobStatus.QUEUED
-        if job not in self._queue:
-            self._queue.append(job)
+        self._engine.queue.push(job)
         self._all_jobs.setdefault(job.job_id, job)
 
     def cancel(self, job_id: int) -> None:
+        """Cancel a queued or running job; a running job's device is freed."""
         job = self.job(job_id)
         job.mark_cancelled()
-        if job in self._queue:
-            self._queue.remove(job)
+        self._engine.cancel(job)
 
     def job(self, job_id: int) -> Job:
         try:
@@ -118,78 +126,49 @@ class JobScheduler:
         return [job for job in jobs if job.status is status]
 
     def queue_length(self) -> int:
-        return len(self._queue)
+        return len(self._engine.queue)
 
     # -- dispatch --------------------------------------------------------------------------
-    def _candidate_slots(self, job: Job) -> List[_DeviceSlot]:
-        constraints = job.spec.constraints
-        slots = []
-        for slot in self._slots.values():
-            if constraints.vantage_point and slot.vantage_point != constraints.vantage_point:
-                continue
-            if constraints.device_serial and slot.device_serial != constraints.device_serial:
-                continue
-            if slot.busy_job_id is not None:
-                continue
-            slots.append(slot)
-        return sorted(slots, key=lambda slot: (slot.vantage_point, slot.device_serial))
-
     def next_dispatchable(
         self,
         now: float,
         controller_cpu: Optional[Callable[[str], float]] = None,
-    ) -> Optional[tuple]:
-        """Find the first queued job that can run right now.
+    ) -> Optional[Tuple[Job, str, str]]:
+        """Find the first queued job (in policy order) that can run right now.
 
         Returns ``(job, vantage_point, device_serial)`` or ``None``.  The
         optional ``controller_cpu`` callable maps a vantage-point name to its
         current CPU utilisation so that the "low CPU utilization (optional)"
         constraint can be honoured.
         """
-        for job in list(self._queue):
-            constraints = job.spec.constraints
-            for slot in self._candidate_slots(job):
-                if self._device_reserved(slot, now, job.spec.owner):
-                    continue
-                if constraints.require_low_controller_cpu and controller_cpu is not None:
-                    if controller_cpu(slot.vantage_point) > constraints.max_controller_cpu_percent:
-                        continue
-                return job, slot.vantage_point, slot.device_serial
-        return None
+        return self._engine.next_dispatchable(now, controller_cpu=controller_cpu)
+
+    def dispatch_batch(
+        self,
+        now: float,
+        controller_cpu: Optional[Callable[[str], float]] = None,
+        max_assignments: Optional[int] = None,
+    ) -> List[Assignment]:
+        """Assign a maximal set of queued jobs to free devices in one tick.
+
+        Every returned :class:`~repro.accessserver.dispatch.Assignment`'s job
+        is RUNNING on its slot when this returns; the caller executes them and
+        calls :meth:`release` as each finishes.  Under the FIFO policy the
+        assignment set matches what repeated :meth:`next_dispatchable` +
+        :meth:`assign` calls would have produced on the same inputs.
+        """
+        return self._engine.dispatch_batch(
+            now, controller_cpu=controller_cpu, max_assignments=max_assignments
+        )
 
     def assign(self, job: Job, vantage_point: str, device_serial: str, now: float) -> None:
-        key = f"{vantage_point}/{device_serial}"
-        slot = self._slots.get(key)
-        if slot is None:
-            raise SchedulingError(f"unknown device slot {key!r}")
-        if slot.busy_job_id is not None:
-            raise SchedulingError(
-                f"device {key!r} is already running job {slot.busy_job_id}; "
-                "BatteryLab allows one job at a time per device"
-            )
-        slot.busy_job_id = job.job_id
-        if job in self._queue:
-            self._queue.remove(job)
-        job.mark_running(now, vantage_point, device_serial)
+        self._engine.assign(job, vantage_point, device_serial, now)
 
     def release(self, job: Job) -> None:
-        for slot in self._slots.values():
-            if slot.busy_job_id == job.job_id:
-                slot.busy_job_id = None
+        """Free the device ``job`` ran on — O(1) via the job's own assignment."""
+        self._engine.release(job)
 
     # -- timed sessions -----------------------------------------------------------------------
-    def _device_reserved(self, slot: _DeviceSlot, now: float, owner: str) -> bool:
-        """True if someone other than ``owner`` holds an active reservation on the slot."""
-        for reservation in self._reservations:
-            if (
-                reservation.vantage_point == slot.vantage_point
-                and reservation.device_serial == slot.device_serial
-                and reservation.active_at(now)
-                and reservation.username != owner
-            ):
-                return True
-        return False
-
     def reserve_session(
         self,
         username: str,
@@ -199,8 +178,6 @@ class JobScheduler:
         duration_s: float,
     ) -> SessionReservation:
         """Reserve an interactive time slot; overlapping reservations are rejected."""
-        if duration_s <= 0:
-            raise SchedulingError("reservation duration must be positive")
         reservation = SessionReservation(
             reservation_id=next(self._reservation_ids),
             username=username,
@@ -209,21 +186,13 @@ class JobScheduler:
             start_s=start_s,
             duration_s=duration_s,
         )
-        for existing in self._reservations:
-            if reservation.overlaps(existing):
-                raise SchedulingError(
-                    f"reservation overlaps with existing reservation {existing.reservation_id} "
-                    f"held by {existing.username!r}"
-                )
-        self._reservations.append(reservation)
+        self._engine.reservations.add(reservation)
         return reservation
 
     def reservations(self, active_at: Optional[float] = None) -> List[SessionReservation]:
         if active_at is None:
-            return list(self._reservations)
-        return [r for r in self._reservations if r.active_at(active_at)]
+            return self._engine.reservations.all()
+        return self._engine.reservations.active_at(active_at)
 
     def cancel_reservation(self, reservation_id: int) -> None:
-        self._reservations = [
-            r for r in self._reservations if r.reservation_id != reservation_id
-        ]
+        self._engine.cancel_reservation(reservation_id)

@@ -8,22 +8,37 @@ maintenance jobs, and owns the platform-wide assets (the ``batterylab.dev``
 DNS zone, the wildcard certificate, the SSH identity trusted by every
 controller).  The real deployment builds this on Jenkins in AWS; the model
 keeps the behaviour and drops the Java.
+
+Job dispatch runs through the indexed batch pipeline of
+:mod:`repro.accessserver.dispatch`: :meth:`AccessServer.run_pending_jobs`
+pulls waves of assignments via ``dispatch_batch`` and every scheduling
+decision is published as a structured ``dispatch.*`` record on
+:attr:`AccessServer.events`.  With :meth:`AccessServer.enable_auto_dispatch`
+the server becomes fully event-driven — submissions and approvals schedule
+dispatch ticks on the simulation event loop, so callers no longer poll
+``run_pending_jobs`` themselves.  The queue ordering policy
+(``fifo``/``priority``/``fair-share``) is chosen per server via the
+``scheduling_policy`` constructor argument or
+:meth:`AccessServer.set_scheduling_policy`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.accessserver.auth import Permission, Role, User, UserRegistry
 from repro.accessserver.certificates import CertificateAuthority, WildcardCertificate
 from repro.accessserver.credits import CreditLedger, CreditPolicy
+from repro.accessserver.dispatch import Assignment
 from repro.accessserver.dns import DnsZone
 from repro.accessserver.jobs import Job, JobContext, JobSpec, JobStatus
+from repro.accessserver.policies import SchedulingPolicy
 from repro.accessserver.scheduler import JobScheduler, SessionReservation
 from repro.accessserver.testers import TesterPool
 from repro.network.ssh import SshChannel, SshKeyPair
 from repro.simulation.entity import Entity, SimulationContext
+from repro.simulation.events import Event, EventBus
 from repro.vantagepoint.controller import VantagePointController
 from repro.vantagepoint.provisioning import JoinRequest, ProvisioningReport, provision_vantage_point
 
@@ -56,6 +71,8 @@ class AccessServer(Entity):
         The cloud address vantage points white-list for SSH access.
     domain:
         Platform DNS domain (``batterylab.dev``).
+    scheduling_policy:
+        Queue ordering policy (name or instance); ``"fifo"`` by default.
     """
 
     def __init__(
@@ -63,6 +80,7 @@ class AccessServer(Entity):
         context: SimulationContext,
         public_address: str = "52.16.0.10",
         domain: str = "batterylab.dev",
+        scheduling_policy: Union[str, SchedulingPolicy] = "fifo",
     ) -> None:
         super().__init__(context, "access-server")
         self._public_address = public_address
@@ -72,12 +90,24 @@ class AccessServer(Entity):
         self._wildcard_certificate: Optional[WildcardCertificate] = (
             self.certificate_authority.issue(context.now)
         )
-        self.scheduler = JobScheduler()
+        self.events = EventBus(clock=context.clock)
+        self.scheduler = JobScheduler(policy=scheduling_policy, event_bus=self.events)
+        # A cancelled reservation frees its device ahead of schedule; retry
+        # blocked jobs right away instead of at the reservation's old end.
+        # (No-op unless auto-dispatch is enabled.)
+        self.events.subscribe(
+            "dispatch.reservation_cancelled",
+            lambda record: self._schedule_dispatch_tick(),
+        )
         self.testers = TesterPool()
         self.ssh_key = SshKeyPair.generate("batterylab-access-server", self.random)
         self._vantage_points: Dict[str, VantagePointRecord] = {}
         self._pending_approval: List[Job] = []
         self._credit_policy: Optional[CreditPolicy] = None
+        self._auto_dispatch = False
+        self._auto_dispatch_interval_s: Optional[float] = None
+        self._auto_dispatch_max_jobs = 100
+        self._auto_dispatch_event: Optional[Event] = None
 
     # -- platform assets -------------------------------------------------------------
     @property
@@ -203,6 +233,7 @@ class AccessServer(Entity):
         else:
             self.scheduler.submit(job, self.context.now)
             self.log("job queued", job=spec.name, owner=user.username)
+            self._schedule_dispatch_tick()
         return job
 
     def approve_job(self, admin: User, job: Job) -> None:
@@ -213,69 +244,207 @@ class AccessServer(Entity):
         self._pending_approval.remove(job)
         self.scheduler.enqueue_approved(job)
         self.log("job approved", job=job.spec.name, approver=admin.username)
+        self._schedule_dispatch_tick()
 
     def pending_approval(self) -> List[Job]:
         return list(self._pending_approval)
 
     def _controller_cpu(self, vantage_point_name: str) -> float:
-        record = self.vantage_point(vantage_point_name)
-        samples = record.controller.cpu_samples
-        if not samples:
-            return 0.0
-        return samples[-1].total_percent
+        return self.vantage_point(vantage_point_name).controller.latest_cpu_percent()
 
     def run_pending_jobs(self, max_jobs: int = 10) -> List[Job]:
         """Dispatch and synchronously execute queued jobs, honouring all constraints.
 
-        Jobs run one after another (one job at a time per device); each job's
-        power-meter logs and artefacts end up in its workspace.  Returns the
-        jobs that were executed by this call.
+        Assignments are computed in waves via the scheduler's
+        ``dispatch_batch`` (one job at a time per device holds within each
+        wave); the jobs of a wave are then executed in assignment order, and
+        freed devices feed the next wave.  Each job's power-meter logs and
+        artefacts end up in its workspace.  Returns the jobs that were
+        executed by this call.
+        """
+        executed: List[Job] = []
+        while len(executed) < max_jobs:
+            assignments = self.scheduler.dispatch_batch(
+                self.context.now,
+                controller_cpu=self._controller_cpu,
+                max_assignments=max_jobs - len(executed),
+            )
+            if not assignments:
+                break
+            for assignment in assignments:
+                if self._execute_assignment(assignment):
+                    executed.append(assignment.job)
+        return executed
+
+    def _execute_assignment(self, assignment: Assignment) -> bool:
+        """Run one dispatched job to completion and settle its bookkeeping.
+
+        Returns ``False`` without executing when the job left the RUNNING
+        state while waiting for its turn in the wave (e.g. cancelled by an
+        earlier job of the same batch).
         """
         from repro.core.api import BatteryLabAPI
 
-        executed: List[Job] = []
-        for _ in range(max_jobs):
-            dispatch = self.scheduler.next_dispatchable(
-                self.context.now, controller_cpu=self._controller_cpu
-            )
-            if dispatch is None:
-                break
-            job, vantage_point_name, device_serial = dispatch
-            record = self.vantage_point(vantage_point_name)
-            self.scheduler.assign(job, vantage_point_name, device_serial, self.context.now)
-            api = BatteryLabAPI(record.controller)
-            ctx = JobContext(job, api, device_serial, clock=lambda: self.context.now)
-            try:
-                result = job.spec.run(ctx)
-            except Exception as exc:
+        job = assignment.job
+        if job.status is not JobStatus.RUNNING:
+            return False
+        # Earlier jobs of the wave may have advanced the simulated clock
+        # since the batch was assigned.  Re-check the time-dependent
+        # constraints (reservations, controller CPU) at execution time — a
+        # reservation may have begun meanwhile — and requeue rather than run
+        # on a device someone else now holds.
+        if not self.scheduler.engine.eligible(
+            job,
+            assignment.vantage_point,
+            assignment.device_serial,
+            self.context.now,
+            controller_cpu=self._controller_cpu,
+        ):
+            self.scheduler.engine.requeue(job)
+            return False
+        # Bill execution time, not queue-on-device time, so credits match
+        # what the seed's one-at-a-time dispatch charged.
+        job.mark_execution_started(self.context.now)
+        execution_started_at = self.context.now
+        record = self.vantage_point(assignment.vantage_point)
+        api = BatteryLabAPI(record.controller)
+        ctx = JobContext(job, api, assignment.device_serial, clock=lambda: self.context.now)
+        self.scheduler.engine.begin_execution(job)
+        try:
+            result = job.spec.run(ctx)
+        except Exception as exc:
+            # The payload may have been cancelled while it ran (its slot is
+            # kept until here); only a still-RUNNING job transitions.
+            if job.status is JobStatus.RUNNING:
                 job.mark_failed(self.context.now, str(exc))
                 self.log("job failed", job=job.spec.name, error=str(exc))
             else:
+                self.log(
+                    "job finished after cancellation",
+                    job=job.spec.name,
+                    status=job.status.value,
+                    error=str(exc),
+                )
+        else:
+            if job.status is JobStatus.RUNNING:
                 job.mark_completed(self.context.now, result)
                 self.log("job completed", job=job.spec.name)
-            finally:
-                self.scheduler.release(job)
-                # Power-meter logs are collected by default and retained in
-                # the workspace for several days (Section 3.1).
-                monitor = record.controller.monitor
-                if monitor is not None and monitor.last_trace() is not None:
-                    job.workspace.store("power_meter_trace", monitor.last_trace())
-                # Settle consumed device time against the owner's credits.
-                if self._credit_policy is not None:
-                    owner = job.spec.owner
-                    owner_is_admin = (
-                        owner in self.users.usernames()
-                        and self.users.get(owner).role is Role.ADMIN
+            else:
+                self.log(
+                    "job finished after cancellation",
+                    job=job.spec.name,
+                    status=job.status.value,
+                )
+        finally:
+            self.scheduler.engine.end_execution(job)
+            self.scheduler.release(job)
+            # Power-meter logs are collected by default and retained in
+            # the workspace for several days (Section 3.1).
+            monitor = record.controller.monitor
+            if monitor is not None and monitor.last_trace() is not None:
+                job.workspace.store("power_meter_trace", monitor.last_trace())
+            # Settle consumed device time against the owner's credits.
+            if self._credit_policy is not None:
+                owner = job.spec.owner
+                owner_is_admin = (
+                    owner in self.users.usernames()
+                    and self.users.get(owner).role is Role.ADMIN
+                )
+                if not owner_is_admin:
+                    account = self._credit_account_for(owner)
+                    # Charge the wall-clock the payload held the device, not
+                    # job.duration_s: a job cancelled mid-payload never gets
+                    # a finished_at, yet it occupied the device until here.
+                    consumed_hours = (self.context.now - execution_started_at) / 3600.0
+                    consumed_hours = min(consumed_hours, account.balance_device_hours)
+                    self._credit_policy.settle(
+                        owner, consumed_hours, self.context.now, note=f"job {job.job_id}"
                     )
-                    if not owner_is_admin:
-                        account = self._credit_account_for(owner)
-                        consumed_hours = (job.duration_s or 0.0) / 3600.0
-                        consumed_hours = min(consumed_hours, account.balance_device_hours)
-                        self._credit_policy.settle(
-                            owner, consumed_hours, self.context.now, note=f"job {job.job_id}"
-                        )
-            executed.append(job)
-        return executed
+        return True
+
+    # -- scheduling policy & event-driven dispatch ---------------------------------------------
+    @property
+    def scheduling_policy(self) -> SchedulingPolicy:
+        return self.scheduler.policy
+
+    def set_scheduling_policy(self, policy: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
+        """Swap the queue ordering policy; applies from the next dispatch tick."""
+        selected = self.scheduler.set_policy(policy)
+        self.log("scheduling policy changed", policy=selected.name)
+        return selected
+
+    @property
+    def auto_dispatch_enabled(self) -> bool:
+        return self._auto_dispatch
+
+    def enable_auto_dispatch(
+        self,
+        poll_interval_s: Optional[float] = None,
+        max_jobs_per_tick: int = 100,
+    ) -> None:
+        """Dispatch through the simulation event loop instead of caller polling.
+
+        Once enabled, every submission/approval schedules a dispatch tick at
+        the current simulated time, so advancing the simulation executes
+        queued jobs without anyone calling :meth:`run_pending_jobs`.  Jobs
+        left queued behind an active session reservation are retried when
+        that reservation ends.  With ``poll_interval_s`` set, an additional
+        periodic tick also retries other temporarily unsatisfied constraints
+        (notably a busy controller CPU, whose future is unknowable to the
+        dispatcher).  Jobs run inside event callbacks here, so payloads may
+        advance the simulated clock themselves — the event loop tolerates
+        that re-entrancy.
+        """
+        self._auto_dispatch = True
+        self._auto_dispatch_interval_s = poll_interval_s
+        self._auto_dispatch_max_jobs = max_jobs_per_tick
+        self._schedule_dispatch_tick()
+
+    def disable_auto_dispatch(self) -> None:
+        self._auto_dispatch = False
+        if self._auto_dispatch_event is not None:
+            self._auto_dispatch_event.cancel()
+            self._auto_dispatch_event = None
+
+    def _schedule_dispatch_tick(self, delay_s: float = 0.0) -> None:
+        if not self._auto_dispatch:
+            return
+        if self._auto_dispatch_event is not None:
+            # Keep whichever tick fires first: a pending poll scheduled far
+            # out must not swallow the immediate tick a new submission earns.
+            if self._auto_dispatch_event.timestamp <= self.context.now + delay_s:
+                return
+            self._auto_dispatch_event.cancel()
+        self._auto_dispatch_event = self.context.scheduler.schedule_in(
+            delay_s, self._auto_dispatch_tick, label="access-server-dispatch"
+        )
+
+    def _auto_dispatch_tick(self) -> None:
+        self._auto_dispatch_event = None
+        if not self._auto_dispatch:
+            return
+        executed = self.run_pending_jobs(max_jobs=self._auto_dispatch_max_jobs)
+        if self.scheduler.queue_length() == 0:
+            return
+        if len(executed) >= self._auto_dispatch_max_jobs:
+            # The per-tick cap cut this wave short; more work is dispatchable
+            # right now, so follow up immediately rather than waiting for the
+            # next submission or poll.
+            self._schedule_dispatch_tick()
+            return
+        # Wake up at the earlier of the configured poll and the end of the
+        # first active reservation — reservation expiry is the one blocking
+        # condition whose timing the dispatcher knows exactly.  (Jobs blocked
+        # on the controller-CPU constraint need poll_interval_s.)
+        delay = self._auto_dispatch_interval_s
+        reservation_end = self.scheduler.engine.reservations.earliest_active_end(
+            self.context.now
+        )
+        if reservation_end is not None and reservation_end > self.context.now:
+            reservation_delay = reservation_end - self.context.now
+            delay = reservation_delay if delay is None else min(delay, reservation_delay)
+        if delay is not None:
+            self._schedule_dispatch_tick(delay)
 
     # -- interactive sessions ------------------------------------------------------------------
     def reserve_session(
@@ -332,6 +501,8 @@ class AccessServer(Entity):
             "users": self.users.usernames(),
             "queued_jobs": self.scheduler.queue_length(),
             "pending_approval": len(self._pending_approval),
+            "scheduling_policy": self.scheduler.policy.name,
+            "auto_dispatch": self._auto_dispatch,
             "certificate_serial": self._wildcard_certificate.serial_number
             if self._wildcard_certificate
             else None,

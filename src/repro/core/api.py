@@ -150,6 +150,16 @@ class BatteryLabAPI:
         return self._controller.execute_adb(device_id, command, transport)
 
     # -- convenience built on the Table 1 surface ----------------------------------------
+    def controller_cpu_percent(self) -> float:
+        """Latest CPU utilisation sample of this vantage point's controller.
+
+        This is the signal the dispatch pipeline consults for jobs with the
+        "low CPU utilization (optional)" constraint (Section 4.2); exposing
+        it here lets experimenters pre-check a vantage point before
+        submitting CPU-sensitive jobs.  Returns 0.0 before the first sample.
+        """
+        return self._controller.latest_cpu_percent()
+
     def measure(self, device_id: str, duration: float, label: str = "") -> CurrentTrace:
         """Run a complete measurement of ``duration`` simulated seconds."""
         if duration <= 0:

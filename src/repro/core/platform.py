@@ -58,7 +58,13 @@ class VantagePointHandle:
 
 @dataclass
 class BatteryLabPlatform:
-    """A fully assembled BatteryLab deployment (access server + vantage points)."""
+    """A fully assembled BatteryLab deployment (access server + vantage points).
+
+    The platform exposes the dispatch pipeline's knobs directly:
+    :meth:`set_scheduling_policy` swaps the queue ordering policy
+    (``fifo``/``priority``/``fair-share``) and :meth:`run_queue` drains
+    queued jobs through the access server's batch dispatcher.
+    """
 
     context: SimulationContext
     access_server: AccessServer
@@ -80,6 +86,14 @@ class BatteryLabPlatform:
 
     def run_for(self, duration_s: float) -> None:
         self.context.run_for(duration_s)
+
+    def set_scheduling_policy(self, policy) -> None:
+        """Select the dispatch queue ordering policy by name or instance."""
+        self.access_server.set_scheduling_policy(policy)
+
+    def run_queue(self, max_jobs: int = 100):
+        """Batch-dispatch and execute queued jobs; returns the executed jobs."""
+        return self.access_server.run_pending_jobs(max_jobs=max_jobs)
 
 
 def _default_uplink(hostname: str) -> NetworkLink:
@@ -162,6 +176,7 @@ def build_default_platform(
     node_identifier: str = "node1",
     browsers: Sequence[str] = ("brave", "chrome", "edge", "firefox"),
     device_count: int = 1,
+    scheduling_policy: str = "fifo",
 ) -> BatteryLabPlatform:
     """Build the paper's deployment: access server + the Imperial College vantage point.
 
@@ -175,11 +190,14 @@ def build_default_platform(
         Browsers to pre-install on every test device.
     device_count:
         Number of Samsung J7 Duo test devices at the vantage point.
+    scheduling_policy:
+        Dispatch queue ordering policy (``"fifo"``, ``"priority"`` or
+        ``"fair-share"``); see :mod:`repro.accessserver.policies`.
     """
     if device_count < 1:
         raise ValueError("device_count must be at least 1")
     context = SimulationContext(seed=seed)
-    access_server = AccessServer(context)
+    access_server = AccessServer(context, scheduling_policy=scheduling_policy)
     admin = access_server.bootstrap_admin()
     experimenter = access_server.users.add_user(
         "experimenter", Role.EXPERIMENTER, token="experimenter-token"

@@ -1,18 +1,26 @@
-"""Discrete event scheduler.
+"""Discrete event scheduler and the structured event bus.
 
 The scheduler owns the :class:`~repro.simulation.clock.SimClock` and runs
 callbacks in timestamp order.  Ties are broken by insertion order so the
 simulation is fully deterministic.  The scheduler intentionally stays small:
 the heavy lifting (power integration, CPU accounting, sampling) is done by
 the components themselves through :class:`~repro.simulation.process.PeriodicProcess`.
+
+:class:`EventBus` is the simulation layer's publish/subscribe channel for
+*structured* records (as opposed to scheduled callbacks): producers such as
+the access server's dispatch pipeline publish typed payloads under dotted
+topics (``dispatch.assigned``, ``dispatch.batch``, ...) and observers —
+tests, experiment drivers, auto-dispatch hooks — subscribe instead of
+polling the producer.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.simulation.clock import SimClock
 
@@ -96,8 +104,11 @@ class EventScheduler:
     def run_until(self, timestamp: float) -> int:
         """Run all events up to and including ``timestamp``.
 
-        The clock ends exactly at ``timestamp`` even if the last event fired
-        earlier.  Returns the number of events dispatched by this call.
+        The clock ends at ``timestamp`` even if the last event fired earlier
+        — unless a callback re-entered ``run_until``/``run_for`` and drove
+        the clock past the target, in which case it ends wherever the
+        re-entrant run left it.  Returns the number of events dispatched by
+        this call.
         """
         if timestamp < self._clock.now:
             raise ValueError(
@@ -108,10 +119,15 @@ class EventScheduler:
             entry = heapq.heappop(self._heap)
             if entry.event.cancelled:
                 continue
-            self._clock.advance_to(entry.timestamp)
+            # A callback may re-enter run_until/run_for (e.g. a dispatched
+            # job advancing the simulation) and leave the clock past this
+            # entry's timestamp; never move the clock backwards.
+            if entry.timestamp > self._clock.now:
+                self._clock.advance_to(entry.timestamp)
             self._dispatched += 1
             entry.event.callback()
-        self._clock.advance_to(timestamp)
+        if timestamp > self._clock.now:
+            self._clock.advance_to(timestamp)
         return self._dispatched - dispatched_before
 
     def run_for(self, duration: float) -> int:
@@ -129,7 +145,85 @@ class EventScheduler:
             entry = heapq.heappop(self._heap)
             if entry.event.cancelled:
                 continue
-            self._clock.advance_to(entry.timestamp)
+            if entry.timestamp > self._clock.now:
+                self._clock.advance_to(entry.timestamp)
             self._dispatched += 1
             entry.event.callback()
         return self._dispatched - dispatched_before
+
+
+@dataclass(frozen=True)
+class BusEvent:
+    """One structured record published on an :class:`EventBus`.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulated time the record was published (0.0 when the bus has no clock).
+    topic:
+        Dotted topic string, e.g. ``"dispatch.assigned"``.
+    payload:
+        Topic-specific fields; values are kept primitive so records can be
+        serialised or asserted on directly.
+    """
+
+    timestamp: float
+    topic: str
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+class EventBus:
+    """Topic-based publish/subscribe channel with a bounded history.
+
+    Parameters
+    ----------
+    clock:
+        Optional :class:`~repro.simulation.clock.SimClock` used to stamp
+        published records.
+    history_limit:
+        Maximum number of records retained for :meth:`events`; older records
+        are dropped first.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None, history_limit: int = 10_000) -> None:
+        self._clock = clock
+        self._subscribers: Dict[Optional[str], List[Callable[[BusEvent], None]]] = {}
+        self._history: Deque[BusEvent] = deque(maxlen=history_limit)
+        self._published = 0
+
+    @property
+    def published(self) -> int:
+        """Number of records published over the bus's lifetime."""
+        return self._published
+
+    def subscribe(self, topic: Optional[str], callback: Callable[[BusEvent], None]) -> None:
+        """Register ``callback`` for ``topic`` (``None`` subscribes to every topic)."""
+        self._subscribers.setdefault(topic, []).append(callback)
+
+    def unsubscribe(self, topic: Optional[str], callback: Callable[[BusEvent], None]) -> None:
+        callbacks = self._subscribers.get(topic, [])
+        if callback in callbacks:
+            callbacks.remove(callback)
+
+    def publish(self, topic: str, **payload: object) -> BusEvent:
+        """Publish a record and synchronously notify its subscribers."""
+        if not topic:
+            raise ValueError("event topic must be non-empty")
+        timestamp = self._clock.now if self._clock is not None else 0.0
+        record = BusEvent(timestamp=timestamp, topic=topic, payload=payload)
+        self._history.append(record)
+        self._published += 1
+        for callback in list(self._subscribers.get(topic, ())):
+            callback(record)
+        for callback in list(self._subscribers.get(None, ())):
+            callback(record)
+        return record
+
+    def events(self, topic: Optional[str] = None) -> List[BusEvent]:
+        """Retained records, optionally filtered to one topic."""
+        if topic is None:
+            return list(self._history)
+        return [record for record in self._history if record.topic == topic]
+
+    def clear(self) -> None:
+        self._history.clear()

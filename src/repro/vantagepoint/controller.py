@@ -344,6 +344,14 @@ class VantagePointController(Entity):
     def cpu_utilisation_series(self) -> List[float]:
         return [sample.total_percent for sample in self._cpu_samples]
 
+    def latest_cpu_percent(self) -> float:
+        """Most recent CPU utilisation sample, or 0.0 before the first one.
+
+        O(1) — this sits on the dispatch hot path (the "low CPU utilization"
+        job constraint is evaluated per tick).
+        """
+        return self._cpu_samples[-1].total_percent if self._cpu_samples else 0.0
+
     def reset_cpu_samples(self) -> None:
         self._cpu_samples.clear()
 
