@@ -1,0 +1,86 @@
+"""Benchmark trend gate: fail CI when a tracked metric regresses too far.
+
+Compares a freshly generated benchmark JSON against the committed baseline
+(the file as it was at checkout) and exits non-zero when any tracked
+higher-is-better metric drops by more than the allowed fraction::
+
+    python benchmarks/check_bench_trend.py \
+        --baseline /tmp/bench_baseline_dispatch.json \
+        --current BENCH_scheduler_dispatch.json \
+        --metric indexed_jobs_per_s --max-regression 0.20
+
+CI copies the committed ``BENCH_*.json`` aside before the benchmark run
+overwrites it, so "baseline" is always the last accepted measurement.
+Stdlib-only on purpose: the gate must run before any dependency install.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SystemExit(f"benchmark file not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"benchmark file {path} is not valid JSON: {exc}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed benchmark JSON")
+    parser.add_argument("--current", required=True, help="freshly generated benchmark JSON")
+    parser.add_argument(
+        "--metric",
+        action="append",
+        required=True,
+        help="higher-is-better metric to track (repeatable)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional drop before failing (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    failures = []
+    for metric in args.metric:
+        if metric not in baseline:
+            print(f"[trend] {metric}: no baseline value yet, skipping")
+            continue
+        if metric not in current:
+            failures.append(f"{metric}: missing from {args.current}")
+            continue
+        base_value = float(baseline[metric])
+        new_value = float(current[metric])
+        floor = base_value * (1.0 - args.max_regression)
+        change = (new_value - base_value) / base_value if base_value else float("inf")
+        status = "OK" if new_value >= floor else "REGRESSION"
+        print(
+            f"[trend] {metric}: baseline={base_value:.1f} current={new_value:.1f} "
+            f"({change:+.1%}, floor={floor:.1f}) {status}"
+        )
+        if new_value < floor:
+            failures.append(
+                f"{metric} regressed {-change:.1%} (baseline {base_value:.1f} -> "
+                f"{new_value:.1f}; allowed drop {args.max_regression:.0%})"
+            )
+    if failures:
+        print("benchmark trend check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("benchmark trend check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,11 @@ Jenkins itself:
   behind the scheduler (free-slot indexes, reservation interval index,
   constraint-bucketed queue, ``dispatch_batch``);
 * :mod:`~repro.accessserver.policies` — pluggable queue ordering policies
-  (FIFO, priority, per-owner fair-share);
+  (FIFO, priority, per-owner fair-share, earliest-deadline-first);
+* :mod:`~repro.accessserver.persistence` — durable state: a write-ahead
+  JSONL journal with fsync batching, periodic snapshots with log
+  compaction, and crash recovery that replays the queue, reservations and
+  credit ledger into a fresh server;
 * :mod:`~repro.accessserver.dns` — the Route53-style ``batterylab.dev`` zone;
 * :mod:`~repro.accessserver.certificates` — wildcard Let's Encrypt-style
   certificates and their renewal;
@@ -57,7 +61,19 @@ from repro.accessserver.dispatch import (
     DispatchEngine,
     SchedulingError,
 )
+from repro.accessserver.persistence import (
+    FileBackend,
+    InMemoryBackend,
+    PersistenceError,
+    PersistenceManager,
+    RecoveryReport,
+    StorageBackend,
+    attach_persistence,
+    recover_into,
+    register_payload,
+)
 from repro.accessserver.policies import (
+    DeadlinePolicy,
     FairSharePolicy,
     FifoPolicy,
     PriorityPolicy,
@@ -99,7 +115,17 @@ __all__ = [
     "FifoPolicy",
     "PriorityPolicy",
     "FairSharePolicy",
+    "DeadlinePolicy",
     "create_policy",
+    "StorageBackend",
+    "InMemoryBackend",
+    "FileBackend",
+    "PersistenceError",
+    "PersistenceManager",
+    "RecoveryReport",
+    "attach_persistence",
+    "recover_into",
+    "register_payload",
     "JobScheduler",
     "SessionReservation",
     "AccessServer",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 
 class CreditError(RuntimeError):
@@ -85,10 +85,34 @@ class CreditLedger:
         self._accounts: Dict[str, CreditAccount] = {}
         self._contribution_multiplier = float(contribution_multiplier)
         self._initial_grant = float(initial_grant_device_hours)
+        self._observers: List[Callable[[str, Dict[str, object]], None]] = []
 
     @property
     def contribution_multiplier(self) -> float:
         return self._contribution_multiplier
+
+    @property
+    def initial_grant_device_hours(self) -> float:
+        return self._initial_grant
+
+    # -- observers ----------------------------------------------------------------
+    def add_observer(self, callback: Callable[[str, Dict[str, object]], None]) -> None:
+        """Register a mutation observer.
+
+        The callback receives ``("account_opened", data)`` when an account is
+        created and ``("transaction", data)`` for every ledger entry, with
+        primitive-valued ``data`` dicts.  The persistence layer uses this to
+        journal credit mutations without the ledger knowing about journals.
+        """
+        self._observers.append(callback)
+
+    def remove_observer(self, callback: Callable[[str, Dict[str, object]], None]) -> None:
+        if callback in self._observers:
+            self._observers.remove(callback)
+
+    def _notify(self, kind: str, data: Dict[str, object]) -> None:
+        for callback in list(self._observers):
+            callback(kind, data)
 
     # -- accounts -----------------------------------------------------------------
     def open_account(
@@ -98,6 +122,9 @@ class CreditLedger:
             raise CreditError(f"account {owner!r} already exists")
         account = CreditAccount(owner=owner, contributes_hardware=contributes_hardware)
         self._accounts[owner] = account
+        self._notify(
+            "account_opened", {"owner": owner, "contributes_hardware": contributes_hardware}
+        )
         if self._initial_grant > 0:
             self._record(
                 account,
@@ -155,6 +182,30 @@ class CreditLedger:
         account = self.account(owner)
         return account.contributes_hardware or account.balance_device_hours >= device_hours
 
+    def restore_account(
+        self,
+        owner: str,
+        contributes_hardware: bool,
+        balance_device_hours: float,
+        transactions: List[CreditTransaction],
+    ) -> CreditAccount:
+        """Recreate an account exactly as journaled — no grant, no observers.
+
+        Used by crash recovery: the replayed transactions already include any
+        initial grant, so the account is rebuilt verbatim rather than opened
+        through the normal (grant-issuing, observer-notifying) path.  The
+        journal is authoritative — an account the host happened to open
+        before recovery ran is overwritten with the journaled state.
+        """
+        account = CreditAccount(
+            owner=owner,
+            balance_device_hours=balance_device_hours,
+            contributes_hardware=contributes_hardware,
+            transactions=list(transactions),
+        )
+        self._accounts[owner] = account
+        return account
+
     def _record(
         self,
         account: CreditAccount,
@@ -172,6 +223,16 @@ class CreditLedger:
                 amount_device_hours=amount,
                 note=note,
             )
+        )
+        self._notify(
+            "transaction",
+            {
+                "timestamp": now,
+                "account": account.owner,
+                "kind": kind.value,
+                "amount_device_hours": amount,
+                "note": note,
+            },
         )
 
 
@@ -192,6 +253,10 @@ class CreditPolicy:
     @property
     def ledger(self) -> CreditLedger:
         return self._ledger
+
+    @property
+    def minimum_reservation_hours(self) -> float:
+        return self._minimum_reservation_hours
 
     def authorize(self, owner: str, estimated_device_hours: Optional[float] = None) -> None:
         """Raise :class:`CreditError` unless ``owner`` can afford the estimated usage."""

@@ -270,6 +270,26 @@ class ReservationIndex:
         reservation = self.active(vantage_point, device_serial, now)
         return reservation is not None and reservation.username != owner
 
+    def next_blocking_start(
+        self, vantage_point: str, device_serial: str, now: float, owner: str
+    ) -> Optional[float]:
+        """Start time of the first reservation after ``now`` not held by ``owner``.
+
+        Used by reservation-aware admission: a job whose timeout would still
+        be running when someone else's reservation begins should not be
+        placed on this device.  Reservations held by ``owner`` never block
+        their own jobs.
+        """
+        key = (vantage_point, device_serial)
+        starts = self._starts.get(key)
+        if not starts:
+            return None
+        intervals = self._intervals[key]
+        for index in range(bisect.bisect_right(starts, now), len(starts)):
+            if intervals[index].username != owner:
+                return intervals[index].start_s
+        return None
+
     def all(self) -> List[SessionReservation]:
         """Every reservation, in insertion order (the seed's listing order)."""
         return list(self._by_id.values())
@@ -286,6 +306,20 @@ class ReservationIndex:
         best: Optional[float] = None
         for reservation in self._by_id.values():
             if reservation.active_at(now) and (best is None or reservation.end_s < best):
+                best = reservation.end_s
+        return best
+
+    def earliest_relevant_end(self, now: float) -> Optional[float]:
+        """End of the first reservation (active *or* upcoming) still ahead of ``now``.
+
+        Under reservation-aware admission a job can be deferred by a
+        reservation that has not started yet; such a job cannot become
+        placeable before that reservation ends, so event-driven dispatchers
+        wake at reservation ends rather than only at active-reservation ends.
+        """
+        best: Optional[float] = None
+        for reservation in self._by_id.values():
+            if reservation.end_s > now and (best is None or reservation.end_s < best):
                 best = reservation.end_s
         return best
 
@@ -362,6 +396,15 @@ class ConstraintQueue:
         if job.job_id not in self._jobs:
             self._seq_by_job.pop(job.job_id, None)
 
+    def sequence_of(self, job_id: int) -> Optional[int]:
+        """First-enqueue sequence number of a queued (or running) job.
+
+        Running jobs retain their number until they reach a terminal state,
+        so snapshots can record where an in-flight job would re-enter the
+        queue if it had to be replayed after a crash.
+        """
+        return self._seq_by_job.get(job_id)
+
     def jobs(self) -> List[Job]:
         """Queue snapshot in FIFO (first-enqueue) order."""
         if self._out_of_order:
@@ -390,12 +433,21 @@ class DispatchEngine:
         Optional :class:`~repro.simulation.events.EventBus`; when present the
         engine publishes ``dispatch.assigned``, ``dispatch.released``,
         ``dispatch.cancelled`` and ``dispatch.batch`` records.
+    reservation_admission:
+        ``"ignore"`` (default, the seed behaviour) places a job on any slot
+        whose *current* reservation state allows it; ``"defer"`` additionally
+        skips slots whose next upcoming reservation (held by someone else)
+        starts before the job's ``timeout_s`` could elapse, so a long job is
+        never parked in front of an imminent interactive session.
     """
+
+    ADMISSION_MODES = ("ignore", "defer")
 
     def __init__(
         self,
         policy: Union[str, SchedulingPolicy] = "fifo",
         event_bus: Optional[EventBus] = None,
+        reservation_admission: str = "ignore",
     ) -> None:
         self.slots = DeviceSlotIndex()
         self.queue = ConstraintQueue()
@@ -406,8 +458,23 @@ class DispatchEngine:
         self._executing: Set[int] = set()
         self._batches = 0
         self._assignments = 0
+        self._reservation_admission = "ignore"
+        self.reservation_admission = reservation_admission
 
     # -- configuration ---------------------------------------------------------------
+    @property
+    def reservation_admission(self) -> str:
+        return self._reservation_admission
+
+    @reservation_admission.setter
+    def reservation_admission(self, mode: str) -> None:
+        if mode not in self.ADMISSION_MODES:
+            raise SchedulingError(
+                f"unknown reservation admission mode {mode!r}; "
+                f"available: {', '.join(self.ADMISSION_MODES)}"
+            )
+        self._reservation_admission = mode
+
     @property
     def policy(self) -> SchedulingPolicy:
         return self._policy
@@ -586,6 +653,8 @@ class DispatchEngine:
         """
         if self.reservations.blocked_for(vantage_point, device_serial, now, job.spec.owner):
             return False
+        if self._deferred_by_upcoming_reservation(job, vantage_point, device_serial, now):
+            return False
         constraints = job.spec.constraints
         if constraints.require_low_controller_cpu and controller_cpu is not None:
             if controller_cpu(vantage_point) > constraints.max_controller_cpu_percent:
@@ -667,6 +736,10 @@ class DispatchEngine:
                 slot.vantage_point, slot.device_serial, now, job.spec.owner
             ):
                 continue
+            if self._deferred_by_upcoming_reservation(
+                job, slot.vantage_point, slot.device_serial, now
+            ):
+                continue
             if constraints.require_low_controller_cpu and controller_cpu is not None:
                 cpu = cpu_cache.get(slot.vantage_point)
                 if cpu is None:
@@ -676,6 +749,18 @@ class DispatchEngine:
                     continue
             return slot, True
         return None, saw_free_slot
+
+    def _deferred_by_upcoming_reservation(
+        self, job: Job, vantage_point: str, device_serial: str, now: float
+    ) -> bool:
+        """In ``"defer"`` mode, true when the job's timeout collides with a
+        reservation that starts later but before the timeout could elapse."""
+        if self._reservation_admission != "defer":
+            return False
+        upcoming = self.reservations.next_blocking_start(
+            vantage_point, device_serial, now, job.spec.owner
+        )
+        return upcoming is not None and upcoming < now + job.spec.timeout_s
 
     def _emit(self, topic: str, **payload: object) -> None:
         if self._event_bus is not None:

@@ -12,7 +12,6 @@ on request through the ``execute_adb`` API.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -102,7 +101,38 @@ class Workspace:
         return now > self.created_at + self.retention_days * 24 * 3600.0
 
 
-_job_ids = itertools.count(1)
+class _JobIdAllocator:
+    """Monotonic job-id source that recovery can fast-forward.
+
+    Job ids must stay unique across an access-server restart: the
+    persistence layer replays journaled jobs with their original ids and
+    then calls :func:`claim_job_id` so freshly created jobs never collide
+    with a recovered one.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def claim(self, job_id: int) -> None:
+        if job_id >= self._next:
+            self._next = job_id + 1
+
+
+_job_ids = _JobIdAllocator()
+
+
+def claim_job_id(job_id: int) -> None:
+    """Mark ``job_id`` as used so future jobs allocate strictly greater ids.
+
+    Called by the persistence layer when it materialises a journaled job
+    with its original id during crash recovery.
+    """
+    _job_ids.claim(job_id)
 
 
 @dataclass

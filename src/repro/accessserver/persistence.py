@@ -1,0 +1,1088 @@
+"""Durable access-server state: write-ahead journal, snapshots, recovery.
+
+The access server is the single stateful chokepoint of the platform — every
+job, reservation and credit balance lives in it — yet until this module the
+whole state was in-memory and a restart lost the queue.  Testflinger solves
+the same problem by keeping its job queue in MongoDB; this subsystem gets
+the same durability with zero external dependencies:
+
+* **Write-ahead journal** — every state mutation that flows through the
+  access server (job submission/approval/assignment/requeue/completion/
+  cancellation, reservation create/cancel, credit transactions, vantage
+  point registration, policy changes) is appended to a JSONL journal
+  *before* the caller returns, with batched ``fsync`` so durability does not
+  serialise the dispatch hot path on disk latency.
+* **Snapshots + log compaction** — every ``snapshot_every`` journal records
+  the :class:`PersistenceManager` writes a full state snapshot (atomic
+  tmp-file + rename) and truncates the journal, bounding recovery cost by
+  the snapshot interval instead of the server's lifetime.
+* **Crash recovery** — :func:`recover_into` replays snapshot + journal into
+  a freshly built :class:`~repro.accessserver.server.AccessServer`,
+  reconstructing the dispatch engine's constraint-bucketed queue in its
+  exact pre-crash FIFO order, the reservation interval index, the credit
+  ledger (balances *and* transaction history) and the pending-approval
+  list.  Jobs that were assigned but still in flight when the crash hit are
+  re-queued at their original position, so the post-recovery assignment
+  sequence is identical to what an uninterrupted run would have produced.
+* **Pluggable storage** — a :class:`StorageBackend` ABC with
+  :class:`InMemoryBackend` (tests, benchmarks) and :class:`FileBackend`
+  (the default behind ``--state-dir``).
+
+Job payloads are Python callables and cannot be journaled; payloads meant
+to survive a restart are registered by name via :func:`register_payload`
+and referenced by that name in the journal.  A recovered job whose payload
+was never re-registered fails at execution time with a clear error instead
+of silently doing nothing.
+
+The manager taps the existing ``dispatch.*`` records on the server's
+:class:`~repro.simulation.events.EventBus` for everything the dispatch
+engine already announces (assignments, requeues, cancellations, reservation
+cancellations) and uses explicit hooks in ``server.py`` / ``credits.py``
+for the mutations that never reach the bus (submissions, approvals,
+completions, reservation creation, credit movements).  State mutated behind
+the server's back — e.g. driving ``scheduler.submit`` directly — is
+invisible to the journal by design.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.accessserver.credits import CreditTransaction, TransactionKind
+from repro.accessserver.dispatch import SessionReservation
+from repro.accessserver.jobs import (
+    Job,
+    JobConstraints,
+    JobSpec,
+    JobStatus,
+    claim_job_id,
+)
+from repro.simulation.events import BusEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.accessserver.server import AccessServer
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(RuntimeError):
+    """Raised for journal/snapshot corruption or misuse of the subsystem."""
+
+
+# ---------------------------------------------------------------------------
+# Payload registry
+# ---------------------------------------------------------------------------
+
+_PAYLOADS: Dict[str, Callable] = {}
+_PAYLOAD_NAMES: Dict[Callable, str] = {}
+
+
+def register_payload(name: str, payload: Optional[Callable] = None):
+    """Register a job payload under a durable name.
+
+    Usable as a decorator (``@register_payload("measure-idle")``) or called
+    directly (``register_payload("measure-idle", fn)``).  Jobs whose
+    ``spec.run`` is a registered payload journal the name instead of the
+    callable and are fully executable after recovery.  Re-registering a name
+    replaces the previous payload (hosts re-register their catalogue on
+    every boot).
+    """
+
+    def _register(fn: Callable) -> Callable:
+        previous = _PAYLOADS.get(name)
+        if previous is not None:
+            _PAYLOAD_NAMES.pop(previous, None)
+        _PAYLOADS[name] = fn
+        _PAYLOAD_NAMES[fn] = name
+        return fn
+
+    if payload is not None:
+        return _register(payload)
+    return _register
+
+
+def payload_name(payload: Callable) -> Optional[str]:
+    """The registered name for ``payload``, or ``None`` if unregistered."""
+    try:
+        return _PAYLOAD_NAMES.get(payload)
+    except TypeError:  # unhashable callable
+        return None
+
+
+def resolve_payload(name: Optional[str]) -> Callable:
+    """Look up a registered payload; unknown names get a failing stand-in."""
+    if name is not None and name in _PAYLOADS:
+        return _PAYLOADS[name]
+
+    def _unrecoverable(ctx):
+        raise PersistenceError(
+            f"job payload {name!r} was not registered with register_payload() "
+            "before recovery; re-register the payload catalogue at boot"
+        )
+
+    return _unrecoverable
+
+
+@register_payload("noop")
+def noop_payload(ctx) -> None:
+    """Built-in do-nothing payload, handy for queue/benchmark workloads."""
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Serialization helpers
+# ---------------------------------------------------------------------------
+
+
+def _json_safe(value: object) -> object:
+    """Pass JSON-serialisable values through; degrade the rest to a repr."""
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return {"__repr__": repr(value)}
+
+
+def serialize_spec(spec: JobSpec) -> Dict[str, object]:
+    constraints = spec.constraints
+    return {
+        "name": spec.name,
+        "owner": spec.owner,
+        "payload": payload_name(spec.run),
+        "description": spec.description,
+        "constraints": {
+            "vantage_point": constraints.vantage_point,
+            "device_serial": constraints.device_serial,
+            "connectivity": constraints.connectivity,
+            "require_low_controller_cpu": constraints.require_low_controller_cpu,
+            "max_controller_cpu_percent": constraints.max_controller_cpu_percent,
+        },
+        "priority": spec.priority,
+        "timeout_s": spec.timeout_s,
+        "is_pipeline_change": spec.is_pipeline_change,
+        "log_retention_days": spec.log_retention_days,
+    }
+
+
+def deserialize_spec(data: Dict[str, object]) -> JobSpec:
+    return JobSpec(
+        name=data["name"],
+        owner=data["owner"],
+        run=resolve_payload(data.get("payload")),
+        description=data.get("description", ""),
+        constraints=JobConstraints(**data.get("constraints", {})),
+        priority=data.get("priority", 0.0),
+        timeout_s=data.get("timeout_s", 3600.0),
+        is_pipeline_change=data.get("is_pipeline_change", False),
+        log_retention_days=data.get("log_retention_days", 7.0),
+    )
+
+
+def serialize_job(job: Job, queue_seq: Optional[int] = None) -> Dict[str, object]:
+    return {
+        "job_id": job.job_id,
+        "spec": serialize_spec(job.spec),
+        "status": job.status.value,
+        "submitted_at": job.submitted_at,
+        "started_at": job.started_at,
+        "finished_at": job.finished_at,
+        "assigned_vantage_point": job.assigned_vantage_point,
+        "assigned_device": job.assigned_device,
+        "result": _json_safe(job.result),
+        "error": job.error,
+        "log_lines": list(job.log_lines),
+        "queue_seq": queue_seq,
+    }
+
+
+def materialize_job(data: Dict[str, object]) -> Tuple[Job, bool]:
+    """Rebuild a :class:`Job` from its journaled form.
+
+    Returns ``(job, was_in_flight)``: a job that was RUNNING when the state
+    was captured comes back QUEUED (its execution died with the old
+    process) with its assignment cleared, flagged so recovery can report it.
+    """
+    status = JobStatus(data["status"])
+    was_in_flight = status is JobStatus.RUNNING
+    job = Job(
+        spec=deserialize_spec(data["spec"]),
+        job_id=data["job_id"],
+        status=JobStatus.QUEUED if was_in_flight else status,
+        submitted_at=data.get("submitted_at", 0.0),
+        started_at=None if was_in_flight else data.get("started_at"),
+        finished_at=data.get("finished_at"),
+        assigned_vantage_point=None if was_in_flight else data.get("assigned_vantage_point"),
+        assigned_device=None if was_in_flight else data.get("assigned_device"),
+        result=data.get("result"),
+        error=data.get("error"),
+        log_lines=list(data.get("log_lines", ())),
+    )
+    job.workspace.created_at = job.submitted_at
+    job.workspace.retention_days = job.spec.log_retention_days
+    claim_job_id(job.job_id)
+    return job, was_in_flight
+
+
+def _serialize_reservation(reservation: SessionReservation) -> Dict[str, object]:
+    return {
+        "reservation_id": reservation.reservation_id,
+        "username": reservation.username,
+        "vantage_point": reservation.vantage_point,
+        "device_serial": reservation.device_serial,
+        "start_s": reservation.start_s,
+        "duration_s": reservation.duration_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Storage backends
+# ---------------------------------------------------------------------------
+
+
+class StorageBackend(abc.ABC):
+    """Where the journal and snapshots physically live.
+
+    Implementations must make :meth:`append` durable-in-order (an append is
+    never visible after a later one is lost) and :meth:`write_snapshot`
+    atomic (a crash mid-snapshot leaves the previous snapshot intact).
+    """
+
+    @abc.abstractmethod
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one journal record."""
+
+    @abc.abstractmethod
+    def sync(self) -> None:
+        """Force any batched appends to stable storage."""
+
+    @abc.abstractmethod
+    def read_journal(self) -> List[Dict[str, object]]:
+        """All journal records since the last reset, in append order."""
+
+    @abc.abstractmethod
+    def reset_journal(self) -> None:
+        """Truncate the journal (called right after a snapshot commits)."""
+
+    @abc.abstractmethod
+    def write_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Atomically replace the snapshot."""
+
+    @abc.abstractmethod
+    def read_snapshot(self) -> Optional[Dict[str, object]]:
+        """The latest snapshot, or ``None`` when none was ever written."""
+
+    def has_state(self) -> bool:
+        """Whether recovery has anything to replay."""
+        return self.read_snapshot() is not None or bool(self.read_journal())
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release any held resources (file handles)."""
+
+
+class InMemoryBackend(StorageBackend):
+    """Journal and snapshot in process memory — for tests and benchmarks.
+
+    Records are round-tripped through ``json`` so anything that would not
+    survive the :class:`FileBackend` fails here too.
+    """
+
+    def __init__(self) -> None:
+        self.journal: List[str] = []
+        self.snapshot: Optional[str] = None
+        self.appended = 0
+        self.syncs = 0
+
+    def append(self, record: Dict[str, object]) -> None:
+        self.journal.append(json.dumps(record, separators=(",", ":")))
+        self.appended += 1
+
+    def sync(self) -> None:
+        self.syncs += 1
+
+    def read_journal(self) -> List[Dict[str, object]]:
+        return [json.loads(line) for line in self.journal]
+
+    def reset_journal(self) -> None:
+        self.journal.clear()
+
+    def write_snapshot(self, snapshot: Dict[str, object]) -> None:
+        self.snapshot = json.dumps(snapshot, separators=(",", ":"))
+
+    def read_snapshot(self) -> Optional[Dict[str, object]]:
+        return None if self.snapshot is None else json.loads(self.snapshot)
+
+
+class FileBackend(StorageBackend):
+    """JSONL journal + JSON snapshot under one state directory.
+
+    Parameters
+    ----------
+    state_dir:
+        Directory holding ``journal.jsonl`` and ``snapshot.json``; created
+        on demand.
+    fsync_every:
+        ``fsync`` the journal after this many appends (1 = synchronous
+        durability for every record; larger values batch the syncs, trading
+        the tail of the journal on power loss for throughput).  Appends are
+        always *flushed* to the OS, so an application crash alone loses
+        nothing.
+    """
+
+    JOURNAL_NAME = "journal.jsonl"
+    SNAPSHOT_NAME = "snapshot.json"
+
+    def __init__(self, state_dir: Union[str, Path], fsync_every: int = 32) -> None:
+        if fsync_every < 1:
+            raise ValueError("fsync_every must be at least 1")
+        self._dir = Path(state_dir)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._journal_path = self._dir / self.JOURNAL_NAME
+        self._snapshot_path = self._dir / self.SNAPSHOT_NAME
+        self._fsync_every = fsync_every
+        self._handle = None
+        self._pending = 0
+        self.appended = 0
+        self.fsyncs = 0
+        self.torn_records_dropped = 0
+
+    @property
+    def state_dir(self) -> Path:
+        return self._dir
+
+    @property
+    def journal_path(self) -> Path:
+        return self._journal_path
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self._snapshot_path
+
+    def _journal_handle(self):
+        if self._handle is None:
+            self._handle = open(self._journal_path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, record: Dict[str, object]) -> None:
+        handle = self._journal_handle()
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()
+        self.appended += 1
+        self._pending += 1
+        if self._pending >= self._fsync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        if self._handle is not None and self._pending > 0:
+            os.fsync(self._handle.fileno())
+            self.fsyncs += 1
+            self._pending = 0
+
+    def read_journal(self) -> List[Dict[str, object]]:
+        if not self._journal_path.exists():
+            return []
+        records: List[Dict[str, object]] = []
+        lines = self._journal_path.read_text(encoding="utf-8").splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    # A torn tail record is the expected signature of a crash
+                    # mid-append; everything before it is intact.
+                    self.torn_records_dropped += 1
+                    break
+                raise PersistenceError(
+                    f"corrupt journal record at {self._journal_path}:{index + 1}"
+                )
+        return records
+
+    def reset_journal(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._pending = 0
+        open(self._journal_path, "w", encoding="utf-8").close()
+
+    def write_snapshot(self, snapshot: Dict[str, object]) -> None:
+        tmp_path = self._snapshot_path.with_suffix(".json.tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self._snapshot_path)
+
+    def read_snapshot(self) -> Optional[Dict[str, object]]:
+        if not self._snapshot_path.exists():
+            return None
+        try:
+            return json.loads(self._snapshot_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"corrupt snapshot {self._snapshot_path}: {exc}") from exc
+
+    def has_state(self) -> bool:
+        return self._snapshot_path.exists() or (
+            self._journal_path.exists() and self._journal_path.stat().st_size > 0
+        )
+
+    def close(self) -> None:
+        self.sync()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ---------------------------------------------------------------------------
+# Snapshot construction
+# ---------------------------------------------------------------------------
+
+
+TERMINAL_STATUSES = (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+def build_snapshot(server: "AccessServer", sequence: int) -> Dict[str, object]:
+    """Capture the server's full journaled state as one JSON document.
+
+    Terminal jobs whose workspace retention has lapsed (the paper keeps job
+    logs "for several days") are dropped from the snapshot, so checkpoint
+    cost is bounded by the retention window and queue depth rather than
+    growing with the server's whole lifetime.
+    """
+    scheduler = server.scheduler
+    engine = scheduler.engine
+    now = server.context.now
+    pending_ids = {job.job_id for job in server.pending_approval()}
+    jobs = [
+        serialize_job(job, queue_seq=engine.queue.sequence_of(job.job_id))
+        for job in scheduler.jobs()
+        if not (job.status in TERMINAL_STATUSES and job.workspace.expired(now))
+    ]
+    credit_state: Optional[Dict[str, object]] = None
+    if server.credit_policy is not None:
+        ledger = server.credit_policy.ledger
+        credit_state = {
+            "contribution_multiplier": ledger.contribution_multiplier,
+            "initial_grant_device_hours": ledger.initial_grant_device_hours,
+            "minimum_reservation_hours": server.credit_policy.minimum_reservation_hours,
+            "accounts": [
+                {
+                    "owner": account.owner,
+                    "contributes_hardware": account.contributes_hardware,
+                    "balance_device_hours": account.balance_device_hours,
+                    "transactions": [
+                        {
+                            "timestamp": txn.timestamp,
+                            "account": txn.account,
+                            "kind": txn.kind.value,
+                            "amount_device_hours": txn.amount_device_hours,
+                            "note": txn.note,
+                        }
+                        for txn in account.transactions
+                    ],
+                }
+                for account in ledger.accounts()
+            ],
+        }
+    return {
+        "format": FORMAT_VERSION,
+        "sequence": sequence,
+        "captured_at": server.context.now,
+        "policy": scheduler.policy.name,
+        "reservation_admission": engine.reservation_admission,
+        "next_reservation_id": scheduler._next_reservation_id,
+        "vantage_points": [
+            {
+                "name": record.name,
+                "institution": record.institution,
+                "dns_name": record.dns_name,
+                "devices": list(record.controller.list_devices()),
+            }
+            for record in server.vantage_points()
+        ],
+        "jobs": jobs,
+        "pending_approval": sorted(pending_ids),
+        "reservations": [_serialize_reservation(r) for r in engine.reservations.all()],
+        "credit": credit_state,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Replay state machine
+# ---------------------------------------------------------------------------
+
+
+class _ReplayState:
+    """Applies snapshot + journal records onto plain dicts before
+    materialising them into a live server."""
+
+    def __init__(self) -> None:
+        self.jobs: Dict[int, Dict[str, object]] = {}
+        self.queue_seq: Dict[int, float] = {}
+        self.pending: List[int] = []
+        self.reservations: Dict[int, Dict[str, object]] = {}
+        self.next_reservation_id = 1
+        self.policy: Optional[str] = None
+        self.reservation_admission: Optional[str] = None
+        self.vantage_points: Dict[str, Dict[str, object]] = {}
+        self.credit: Optional[Dict[str, object]] = None
+        self.sequence = 0
+        self.events_replayed = 0
+        self._next_seq = 0.0
+
+    def _allocate_seq(self) -> float:
+        self._next_seq += 1.0
+        return self._next_seq
+
+    def load_snapshot(self, snapshot: Optional[Dict[str, object]]) -> None:
+        if snapshot is None:
+            return
+        if snapshot.get("format") != FORMAT_VERSION:
+            raise PersistenceError(
+                f"unsupported snapshot format {snapshot.get('format')!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        self.sequence = snapshot.get("sequence", 0)
+        self.policy = snapshot.get("policy")
+        self.reservation_admission = snapshot.get("reservation_admission")
+        self.next_reservation_id = snapshot.get("next_reservation_id", 1)
+        for vp in snapshot.get("vantage_points", ()):
+            self.vantage_points[vp["name"]] = vp
+        for data in snapshot.get("jobs", ()):
+            self.jobs[data["job_id"]] = dict(data)
+            queue_seq = data.get("queue_seq")
+            if queue_seq is not None:
+                self.queue_seq[data["job_id"]] = float(queue_seq)
+                self._next_seq = max(self._next_seq, float(queue_seq))
+        self.pending = list(snapshot.get("pending_approval", ()))
+        for data in snapshot.get("reservations", ()):
+            self.reservations[data["reservation_id"]] = data
+        credit = snapshot.get("credit")
+        if credit is not None:
+            self.credit = {
+                "contribution_multiplier": credit["contribution_multiplier"],
+                "initial_grant_device_hours": credit["initial_grant_device_hours"],
+                "minimum_reservation_hours": credit["minimum_reservation_hours"],
+                "accounts": {
+                    account["owner"]: {
+                        "contributes_hardware": account["contributes_hardware"],
+                        "balance_device_hours": account["balance_device_hours"],
+                        "transactions": list(account["transactions"]),
+                    }
+                    for account in credit.get("accounts", ())
+                },
+            }
+
+    def apply(self, record: Dict[str, object]) -> None:
+        sequence = record.get("seq", 0)
+        if sequence <= self.sequence:
+            return  # already folded into the snapshot
+        self.sequence = sequence
+        self.events_replayed += 1
+        kind = record.get("kind")
+        data = record.get("data", {})
+        handler = getattr(self, "_apply_" + str(kind).replace(".", "_"), None)
+        if handler is None:
+            raise PersistenceError(f"unknown journal record kind {kind!r}")
+        handler(data)
+
+    # -- job lifecycle ------------------------------------------------------
+    def _apply_job_submitted(self, data: Dict[str, object]) -> None:
+        job = dict(data["job"])
+        self.jobs[job["job_id"]] = job
+        if job["status"] == JobStatus.PENDING_APPROVAL.value:
+            self.pending.append(job["job_id"])
+        else:
+            self.queue_seq[job["job_id"]] = self._allocate_seq()
+
+    def _apply_job_approved(self, data: Dict[str, object]) -> None:
+        job_id = data["job_id"]
+        job = self.jobs.get(job_id)
+        if job is None:
+            return
+        if job_id in self.pending:
+            self.pending.remove(job_id)
+        job["status"] = JobStatus.QUEUED.value
+        self.queue_seq.setdefault(job_id, self._allocate_seq())
+
+    def _apply_job_assigned(self, data: Dict[str, object]) -> None:
+        job = self.jobs.get(data["job_id"])
+        if job is None:
+            return
+        job["status"] = JobStatus.RUNNING.value
+        job["assigned_vantage_point"] = data.get("vantage_point")
+        job["assigned_device"] = data.get("device_serial")
+        job["started_at"] = data.get("timestamp")
+
+    def _apply_job_requeued(self, data: Dict[str, object]) -> None:
+        job = self.jobs.get(data["job_id"])
+        if job is None:
+            return
+        job["status"] = JobStatus.QUEUED.value
+        job["assigned_vantage_point"] = None
+        job["assigned_device"] = None
+        job["started_at"] = None
+
+    def _apply_job_finished(self, data: Dict[str, object]) -> None:
+        job = self.jobs.get(data["job_id"])
+        if job is None:
+            return
+        job["status"] = data["status"]
+        job["finished_at"] = data.get("finished_at")
+        job["result"] = data.get("result")
+        job["error"] = data.get("error")
+        job["log_lines"] = data.get("log_lines", job.get("log_lines", []))
+        self.queue_seq.pop(data["job_id"], None)
+
+    def _apply_job_cancelled(self, data: Dict[str, object]) -> None:
+        job = self.jobs.get(data["job_id"])
+        if job is None:
+            return
+        job["status"] = JobStatus.CANCELLED.value
+        self.queue_seq.pop(data["job_id"], None)
+        if data["job_id"] in self.pending:
+            self.pending.remove(data["job_id"])
+
+    # -- reservations -------------------------------------------------------
+    def _apply_reservation_created(self, data: Dict[str, object]) -> None:
+        self.reservations[data["reservation_id"]] = dict(data)
+        self.next_reservation_id = max(self.next_reservation_id, data["reservation_id"] + 1)
+
+    def _apply_reservation_cancelled(self, data: Dict[str, object]) -> None:
+        self.reservations.pop(data["reservation_id"], None)
+
+    # -- configuration ------------------------------------------------------
+    def _apply_policy_changed(self, data: Dict[str, object]) -> None:
+        self.policy = data["policy"]
+
+    def _apply_vantage_point_registered(self, data: Dict[str, object]) -> None:
+        self.vantage_points[data["name"]] = dict(data)
+
+    # -- credits ------------------------------------------------------------
+    def _apply_credit_enabled(self, data: Dict[str, object]) -> None:
+        self.credit = {
+            "contribution_multiplier": data["contribution_multiplier"],
+            "initial_grant_device_hours": data["initial_grant_device_hours"],
+            "minimum_reservation_hours": data["minimum_reservation_hours"],
+            "accounts": {},
+        }
+
+    def _apply_credit_account_opened(self, data: Dict[str, object]) -> None:
+        if self.credit is None:
+            return
+        self.credit["accounts"].setdefault(
+            data["owner"],
+            {
+                "contributes_hardware": data.get("contributes_hardware", False),
+                "balance_device_hours": 0.0,
+                "transactions": [],
+            },
+        )
+
+    def _apply_credit_txn(self, data: Dict[str, object]) -> None:
+        if self.credit is None:
+            return
+        account = self.credit["accounts"].get(data["account"])
+        if account is None:
+            return
+        account["balance_device_hours"] += data["amount_device_hours"]
+        account["transactions"].append(dict(data))
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover_into` rebuilt, for logs, tests and benchmarks."""
+
+    snapshot_loaded: bool = False
+    events_replayed: int = 0
+    last_sequence: int = 0
+    journaled_policy: Optional[str] = None
+    journaled_admission: Optional[str] = None
+    jobs_restored: int = 0
+    jobs_queued: int = 0
+    jobs_requeued_in_flight: int = 0
+    pending_approval: int = 0
+    reservations_restored: int = 0
+    credit_accounts_restored: int = 0
+    missing_vantage_points: List[str] = field(default_factory=list)
+    missing_payloads: List[str] = field(default_factory=list)
+
+
+def recover_into(server: "AccessServer", backend: StorageBackend) -> RecoveryReport:
+    """Replay a snapshot + journal into a freshly built access server.
+
+    The server must be newly constructed (empty queue, no reservations); its
+    vantage points should already be re-registered by the host — recovery
+    restores *state*, not live SSH connections to controllers.  Devices of
+    journaled vantage points that have not re-joined are left unregistered
+    (and reported) so the dispatcher cannot assign jobs to hardware that is
+    not there.
+    """
+    state = _ReplayState()
+    snapshot = backend.read_snapshot()
+    state.load_snapshot(snapshot)
+    for record in backend.read_journal():
+        state.apply(record)
+
+    report = RecoveryReport(
+        snapshot_loaded=snapshot is not None,
+        events_replayed=state.events_replayed,
+        last_sequence=state.sequence,
+        journaled_policy=state.policy,
+        journaled_admission=state.reservation_admission,
+    )
+    scheduler = server.scheduler
+
+    # Scheduling policy and admission mode are *this run's* configuration —
+    # the host (or CLI flags) chose them when constructing the server — so
+    # the journaled values are reported, not restored; a mismatch is logged.
+    if state.policy is not None and state.policy != scheduler.policy.name:
+        server.log(
+            "journaled scheduling policy differs; keeping this run's configuration",
+            journaled=state.policy,
+            active=scheduler.policy.name,
+        )
+    if (
+        state.reservation_admission is not None
+        and state.reservation_admission != scheduler.engine.reservation_admission
+    ):
+        server.log(
+            "journaled reservation admission differs; keeping this run's configuration",
+            journaled=state.reservation_admission,
+            active=scheduler.engine.reservation_admission,
+        )
+
+    registered = {record.name for record in server.vantage_points()}
+    for name, vp in state.vantage_points.items():
+        if name in registered:
+            continue
+        report.missing_vantage_points.append(name)
+
+    if state.credit is not None:
+        if server.credit_policy is None:
+            ledger = server.enable_credit_system(
+                contribution_multiplier=state.credit["contribution_multiplier"],
+                initial_grant_device_hours=state.credit["initial_grant_device_hours"],
+                minimum_reservation_hours=state.credit["minimum_reservation_hours"],
+            )
+        else:
+            ledger = server.credit_policy.ledger
+        for owner in sorted(state.credit["accounts"]):
+            account = state.credit["accounts"][owner]
+            ledger.restore_account(
+                owner,
+                contributes_hardware=account["contributes_hardware"],
+                balance_device_hours=account["balance_device_hours"],
+                transactions=[
+                    CreditTransaction(
+                        timestamp=txn["timestamp"],
+                        account=txn["account"],
+                        kind=TransactionKind(txn["kind"]),
+                        amount_device_hours=txn["amount_device_hours"],
+                        note=txn.get("note", ""),
+                    )
+                    for txn in account["transactions"]
+                ],
+            )
+            report.credit_accounts_restored += 1
+
+    for reservation_id in sorted(state.reservations):
+        data = state.reservations[reservation_id]
+        scheduler.restore_reservation(
+            SessionReservation(
+                reservation_id=data["reservation_id"],
+                username=data["username"],
+                vantage_point=data["vantage_point"],
+                device_serial=data["device_serial"],
+                start_s=data["start_s"],
+                duration_s=data["duration_s"],
+            )
+        )
+        report.reservations_restored += 1
+    scheduler.claim_reservation_id(state.next_reservation_id - 1)
+
+    pending_ids = set(state.pending)
+    queued: List[Tuple[float, Job]] = []
+    for job_id in sorted(state.jobs):
+        data = state.jobs[job_id]
+        job, was_in_flight = materialize_job(data)
+        payload_ref = data["spec"].get("payload")
+        if payload_ref not in _PAYLOADS and job.status in (
+            JobStatus.QUEUED,
+            JobStatus.PENDING_APPROVAL,
+        ):
+            report.missing_payloads.append(job.spec.name)
+        report.jobs_restored += 1
+        if was_in_flight:
+            report.jobs_requeued_in_flight += 1
+        if job.job_id in pending_ids and job.status is JobStatus.PENDING_APPROVAL:
+            scheduler.restore_job(job, queued=False)
+            server._pending_approval.append(job)
+            report.pending_approval += 1
+        elif job.status is JobStatus.QUEUED:
+            seq = state.queue_seq.get(job.job_id)
+            queued.append((seq if seq is not None else float("inf"), job))
+        else:
+            scheduler.restore_job(job, queued=False)
+    for _, job in sorted(queued, key=lambda item: item[0]):
+        scheduler.restore_job(job, queued=True)
+        report.jobs_queued += 1
+
+    server.log(
+        "state recovered",
+        jobs=report.jobs_restored,
+        queued=report.jobs_queued,
+        requeued_in_flight=report.jobs_requeued_in_flight,
+        reservations=report.reservations_restored,
+        events_replayed=report.events_replayed,
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# The manager
+# ---------------------------------------------------------------------------
+
+
+class PersistenceManager:
+    """Journals every access-server mutation and checkpoints periodically.
+
+    Created via :func:`attach_persistence` (or the convenience
+    :meth:`~repro.accessserver.server.AccessServer.enable_persistence`);
+    not normally constructed directly.
+
+    Parameters
+    ----------
+    server:
+        The access server to shadow.
+    backend:
+        Where journal and snapshots live.
+    snapshot_every:
+        Write a snapshot and truncate the journal after this many journal
+        records, bounding replay cost at recovery time.
+    start_sequence:
+        Sequence number to continue from — the recovered state's last
+        applied sequence.  Sequence numbers must never restart: the
+        ``seq <= snapshot.sequence`` replay guard is what keeps a journal
+        left behind by a crash between snapshot write and journal truncation
+        from being applied twice.
+    """
+
+    BUS_TOPICS = (
+        "dispatch.assigned",
+        "dispatch.requeued",
+        "dispatch.cancelled",
+        "dispatch.reservation_cancelled",
+    )
+
+    def __init__(
+        self,
+        server: "AccessServer",
+        backend: StorageBackend,
+        snapshot_every: int = 1000,
+        start_sequence: int = 0,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be at least 1")
+        self._server = server
+        self._backend = backend
+        self._snapshot_every = snapshot_every
+        self._sequence = start_sequence
+        self._records_since_snapshot = 0
+        self._snapshots_written = 0
+        self._attached = False
+        self.last_recovery: Optional[RecoveryReport] = None
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def backend(self) -> StorageBackend:
+        return self._backend
+
+    @property
+    def sequence(self) -> int:
+        """Sequence number of the last journaled record."""
+        return self._sequence
+
+    @property
+    def snapshots_written(self) -> int:
+        return self._snapshots_written
+
+    @property
+    def records_since_snapshot(self) -> int:
+        return self._records_since_snapshot
+
+    # -- lifecycle ----------------------------------------------------------
+    def attach(self) -> None:
+        """Subscribe to the server's event bus and mutation hooks."""
+        if self._attached:
+            return
+        for topic in self.BUS_TOPICS:
+            self._server.events.subscribe(topic, self._on_bus_event)
+        if self._server.credit_policy is not None:
+            self._server.credit_policy.ledger.add_observer(self._on_credit_event)
+        self._server._persistence = self
+        self._attached = True
+
+    def detach(self) -> None:
+        """Stop journaling; the backend is left open for inspection."""
+        if not self._attached:
+            return
+        for topic in self.BUS_TOPICS:
+            self._server.events.unsubscribe(topic, self._on_bus_event)
+        if self._server.credit_policy is not None:
+            self._server.credit_policy.ledger.remove_observer(self._on_credit_event)
+        self._server._persistence = None
+        self._attached = False
+
+    def close(self) -> None:
+        """Detach and release the backend (final fsync included)."""
+        self.detach()
+        self._backend.close()
+
+    def checkpoint(self) -> None:
+        """Write a snapshot of the current state and truncate the journal."""
+        self._backend.sync()
+        self._backend.write_snapshot(build_snapshot(self._server, self._sequence))
+        self._backend.reset_journal()
+        self._records_since_snapshot = 0
+        self._snapshots_written += 1
+
+    # -- explicit server hooks ---------------------------------------------
+    def on_job_submitted(self, job: Job) -> None:
+        self._append("job.submitted", {"job": serialize_job(job)})
+
+    def on_job_approved(self, job: Job) -> None:
+        self._append("job.approved", {"job_id": job.job_id})
+
+    def on_job_finished(self, job: Job) -> None:
+        self._append(
+            "job.finished",
+            {
+                "job_id": job.job_id,
+                "status": job.status.value,
+                "finished_at": job.finished_at,
+                "result": _json_safe(job.result),
+                "error": job.error,
+                "log_lines": list(job.log_lines),
+            },
+        )
+
+    def on_reservation_created(self, reservation: SessionReservation) -> None:
+        self._append("reservation.created", _serialize_reservation(reservation))
+
+    def on_policy_changed(self, policy_name: str) -> None:
+        self._append("policy.changed", {"policy": policy_name})
+
+    def on_vantage_point_registered(self, record) -> None:
+        self._append(
+            "vantage_point.registered",
+            {
+                "name": record.name,
+                "institution": record.institution,
+                "dns_name": record.dns_name,
+                "devices": list(record.controller.list_devices()),
+            },
+        )
+
+    def on_credit_enabled(
+        self,
+        contribution_multiplier: float,
+        initial_grant_device_hours: float,
+        minimum_reservation_hours: float,
+    ) -> None:
+        self._append(
+            "credit.enabled",
+            {
+                "contribution_multiplier": contribution_multiplier,
+                "initial_grant_device_hours": initial_grant_device_hours,
+                "minimum_reservation_hours": minimum_reservation_hours,
+            },
+        )
+        self._server.credit_policy.ledger.add_observer(self._on_credit_event)
+
+    # -- bus / ledger taps --------------------------------------------------
+    def _on_bus_event(self, record: BusEvent) -> None:
+        payload = record.payload
+        if record.topic == "dispatch.assigned":
+            self._append(
+                "job.assigned",
+                {
+                    "job_id": payload["job_id"],
+                    "vantage_point": payload["vantage_point"],
+                    "device_serial": payload["device_serial"],
+                    "timestamp": record.timestamp,
+                },
+            )
+        elif record.topic == "dispatch.requeued":
+            self._append("job.requeued", {"job_id": payload["job_id"]})
+        elif record.topic == "dispatch.cancelled":
+            self._append("job.cancelled", {"job_id": payload["job_id"]})
+        elif record.topic == "dispatch.reservation_cancelled":
+            self._append(
+                "reservation.cancelled", {"reservation_id": payload["reservation_id"]}
+            )
+
+    def _on_credit_event(self, kind: str, data: Dict[str, object]) -> None:
+        if kind == "account_opened":
+            self._append("credit.account_opened", dict(data))
+        elif kind == "transaction":
+            self._append("credit.txn", dict(data))
+
+    # -- internals ----------------------------------------------------------
+    def _append(self, kind: str, data: Dict[str, object]) -> None:
+        self._sequence += 1
+        self._backend.append(
+            {
+                "seq": self._sequence,
+                "ts": self._server.context.now,
+                "kind": kind,
+                "data": data,
+            }
+        )
+        self._records_since_snapshot += 1
+        if self._records_since_snapshot >= self._snapshot_every:
+            self.checkpoint()
+
+
+def attach_persistence(
+    server: "AccessServer",
+    backend: Union[StorageBackend, str, Path],
+    recover: bool = True,
+    snapshot_every: int = 1000,
+    fsync_every: int = 32,
+) -> PersistenceManager:
+    """Wire durable state onto an access server (recovering first if asked).
+
+    ``backend`` may be a :class:`StorageBackend` instance or a state
+    directory path (which becomes a :class:`FileBackend`).  When ``recover``
+    is true and the backend holds state, that state is replayed into the
+    server *before* journaling starts; either way an initial checkpoint is
+    written so the on-disk state is immediately coherent.
+
+    .. warning:: ``recover=False`` means "start fresh": the initial
+       checkpoint overwrites whatever snapshot/journal the backend already
+       held.  To keep old state untouched, point the server at a different
+       backend instead.
+    """
+    if isinstance(backend, (str, Path)):
+        backend = FileBackend(backend, fsync_every=fsync_every)
+    if server.persistence is not None:
+        raise PersistenceError("persistence is already attached to this server")
+    report: Optional[RecoveryReport] = None
+    if recover and backend.has_state():
+        report = recover_into(server, backend)
+    manager = PersistenceManager(
+        server,
+        backend,
+        snapshot_every=snapshot_every,
+        start_sequence=report.last_sequence if report is not None else 0,
+    )
+    manager.attach()
+    manager.last_recovery = report
+    manager.checkpoint()
+    return manager

@@ -11,7 +11,10 @@ what fits its community:
 * ``priority`` — highest :attr:`repro.accessserver.jobs.JobSpec.priority`
   first, FIFO within a priority level;
 * ``fair-share`` — round-robin across job owners, preferring owners with
-  the fewest running jobs, FIFO within an owner.
+  the fewest running jobs, FIFO within an owner;
+* ``deadline`` — earliest deadline first (EDF), where a job's deadline is
+  ``submitted_at + timeout_s``: the latest moment its device time could
+  still elapse in full; ties keep submission order.
 
 A policy only *orders* the queue snapshot for one dispatch tick; the
 constraint checks (free device, reservations, controller CPU) stay in
@@ -128,10 +131,28 @@ class FairSharePolicy(SchedulingPolicy):
         return ordered
 
 
+class DeadlinePolicy(SchedulingPolicy):
+    """Earliest deadline first (EDF) over ``submitted_at + timeout_s``.
+
+    A job's timeout is the upper bound on the device time it may consume, so
+    ``submitted_at + timeout_s`` is the natural implicit deadline: the
+    earliest submission that tolerates the least waiting dispatches first.
+    Ties (identical deadlines) keep submission order via sort stability.
+    """
+
+    name = "deadline"
+
+    def order(self, jobs: Sequence[Job], stats: DispatchStats) -> List[Job]:
+        return sorted(jobs, key=lambda job: job.submitted_at + job.spec.timeout_s)
+
+
 POLICIES = {
     FifoPolicy.name: FifoPolicy,
     PriorityPolicy.name: PriorityPolicy,
     FairSharePolicy.name: FairSharePolicy,
+    DeadlinePolicy.name: DeadlinePolicy,
+    # "edf" is the textbook name for the same ordering.
+    "edf": DeadlinePolicy,
 }
 
 

@@ -20,7 +20,6 @@ or ``"fair-share"``).  :class:`SchedulingError` and
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.accessserver.dispatch import (
@@ -55,16 +54,22 @@ class JobScheduler:
     event_bus:
         Optional :class:`~repro.simulation.events.EventBus` that receives
         structured ``dispatch.*`` records for every assignment/release.
+    reservation_admission:
+        ``"ignore"`` (default) or ``"defer"``; see
+        :class:`~repro.accessserver.dispatch.DispatchEngine`.
     """
 
     def __init__(
         self,
         policy: Union[str, SchedulingPolicy] = "fifo",
         event_bus: Optional[EventBus] = None,
+        reservation_admission: str = "ignore",
     ) -> None:
-        self._engine = DispatchEngine(policy=policy, event_bus=event_bus)
+        self._engine = DispatchEngine(
+            policy=policy, event_bus=event_bus, reservation_admission=reservation_admission
+        )
         self._all_jobs: Dict[int, Job] = {}
-        self._reservation_ids = itertools.count(1)
+        self._next_reservation_id = 1
 
     # -- policy ---------------------------------------------------------------------
     @property
@@ -179,7 +184,7 @@ class JobScheduler:
     ) -> SessionReservation:
         """Reserve an interactive time slot; overlapping reservations are rejected."""
         reservation = SessionReservation(
-            reservation_id=next(self._reservation_ids),
+            reservation_id=self._allocate_reservation_id(),
             username=username,
             vantage_point=vantage_point,
             device_serial=device_serial,
@@ -196,3 +201,30 @@ class JobScheduler:
 
     def cancel_reservation(self, reservation_id: int) -> None:
         self._engine.cancel_reservation(reservation_id)
+
+    def _allocate_reservation_id(self) -> int:
+        reservation_id = self._next_reservation_id
+        self._next_reservation_id += 1
+        return reservation_id
+
+    # -- crash recovery -----------------------------------------------------------------------
+    def restore_job(self, job: Job, queued: bool) -> None:
+        """Re-admit a journaled job without touching its timestamps or id.
+
+        ``queued=True`` pushes the job at the tail of the FIFO queue, so the
+        recovery code re-inserts jobs in their original first-enqueue order
+        to reproduce the pre-crash queue exactly.
+        """
+        self._all_jobs[job.job_id] = job
+        if queued and job.status is JobStatus.QUEUED:
+            self._engine.queue.push(job)
+
+    def restore_reservation(self, reservation: SessionReservation) -> None:
+        """Re-add a journaled reservation, keeping the id allocator ahead of it."""
+        self._engine.reservations.add(reservation)
+        self.claim_reservation_id(reservation.reservation_id)
+
+    def claim_reservation_id(self, reservation_id: int) -> None:
+        """Fast-forward the id allocator past a recovered reservation id."""
+        if reservation_id >= self._next_reservation_id:
+            self._next_reservation_id = reservation_id + 1

@@ -73,6 +73,11 @@ class AccessServer(Entity):
         Platform DNS domain (``batterylab.dev``).
     scheduling_policy:
         Queue ordering policy (name or instance); ``"fifo"`` by default.
+    reservation_admission:
+        ``"ignore"`` (default) or ``"defer"``; with ``"defer"`` a job is
+        kept off any device whose next upcoming session reservation would
+        begin before the job's timeout could elapse (see
+        :class:`~repro.accessserver.dispatch.DispatchEngine`).
     """
 
     def __init__(
@@ -81,6 +86,7 @@ class AccessServer(Entity):
         public_address: str = "52.16.0.10",
         domain: str = "batterylab.dev",
         scheduling_policy: Union[str, SchedulingPolicy] = "fifo",
+        reservation_admission: str = "ignore",
     ) -> None:
         super().__init__(context, "access-server")
         self._public_address = public_address
@@ -91,7 +97,11 @@ class AccessServer(Entity):
             self.certificate_authority.issue(context.now)
         )
         self.events = EventBus(clock=context.clock)
-        self.scheduler = JobScheduler(policy=scheduling_policy, event_bus=self.events)
+        self.scheduler = JobScheduler(
+            policy=scheduling_policy,
+            event_bus=self.events,
+            reservation_admission=reservation_admission,
+        )
         # A cancelled reservation frees its device ahead of schedule; retry
         # blocked jobs right away instead of at the reservation's old end.
         # (No-op unless auto-dispatch is enabled.)
@@ -108,6 +118,47 @@ class AccessServer(Entity):
         self._auto_dispatch_interval_s: Optional[float] = None
         self._auto_dispatch_max_jobs = 100
         self._auto_dispatch_event: Optional[Event] = None
+        self._persistence = None
+
+    # -- durable state -----------------------------------------------------------------
+    @property
+    def persistence(self):
+        """The attached :class:`~repro.accessserver.persistence.PersistenceManager`, if any."""
+        return self._persistence
+
+    def enable_persistence(
+        self,
+        backend,
+        recover: bool = True,
+        snapshot_every: int = 1000,
+        fsync_every: int = 32,
+    ):
+        """Journal every state mutation to ``backend`` (a path or a backend).
+
+        With ``recover=True`` (the default) any state the backend already
+        holds — a previous run's snapshot and journal — is replayed into
+        this server first, so the queue, reservations and credit balances
+        survive a restart.  ``recover=False`` starts fresh and *discards*
+        any state the backend held.  Returns the
+        :class:`~repro.accessserver.persistence.PersistenceManager`.
+        """
+        from repro.accessserver.persistence import attach_persistence
+
+        manager = attach_persistence(
+            self,
+            backend,
+            recover=recover,
+            snapshot_every=snapshot_every,
+            fsync_every=fsync_every,
+        )
+        self.log(
+            "persistence enabled",
+            recovered=manager.last_recovery is not None,
+            jobs_queued=(
+                manager.last_recovery.jobs_queued if manager.last_recovery else 0
+            ),
+        )
+        return manager
 
     # -- platform assets -------------------------------------------------------------
     @property
@@ -139,7 +190,15 @@ class AccessServer(Entity):
         the device time they make available (see
         :mod:`repro.accessserver.credits`).  Returns the ledger so callers
         can open contributor accounts and award contributions.
+
+        Idempotent: when the credit system is already on — typically because
+        crash recovery restored it, balances included — the existing ledger
+        is returned untouched rather than replaced with an empty one, so
+        boot code may call this unconditionally after ``enable_persistence``.
         """
+        if self._credit_policy is not None:
+            self.log("credit system already enabled; keeping existing ledger")
+            return self._credit_policy.ledger
         ledger = CreditLedger(
             contribution_multiplier=contribution_multiplier,
             initial_grant_device_hours=initial_grant_device_hours,
@@ -147,6 +206,12 @@ class AccessServer(Entity):
         self._credit_policy = CreditPolicy(
             ledger, minimum_reservation_hours=minimum_reservation_hours
         )
+        if self._persistence is not None:
+            self._persistence.on_credit_enabled(
+                contribution_multiplier=contribution_multiplier,
+                initial_grant_device_hours=initial_grant_device_hours,
+                minimum_reservation_hours=minimum_reservation_hours,
+            )
         self.log("credit system enabled")
         return ledger
 
@@ -192,6 +257,8 @@ class AccessServer(Entity):
         self._vantage_points[record.name] = record
         for serial in controller.list_devices():
             self.scheduler.register_device(record.name, serial)
+        if self._persistence is not None:
+            self._persistence.on_vantage_point_registered(record)
         self.log("vantage point registered", name=record.name, devices=controller.list_devices())
         return record
 
@@ -229,9 +296,13 @@ class AccessServer(Entity):
             job.status = JobStatus.PENDING_APPROVAL
             self._pending_approval.append(job)
             self.scheduler.submit(job, self.context.now)
+            if self._persistence is not None:
+                self._persistence.on_job_submitted(job)
             self.log("job pending approval", job=spec.name, owner=user.username)
         else:
             self.scheduler.submit(job, self.context.now)
+            if self._persistence is not None:
+                self._persistence.on_job_submitted(job)
             self.log("job queued", job=spec.name, owner=user.username)
             self._schedule_dispatch_tick()
         return job
@@ -243,6 +314,8 @@ class AccessServer(Entity):
             raise AccessServerError(f"job {job.job_id} is not awaiting approval")
         self._pending_approval.remove(job)
         self.scheduler.enqueue_approved(job)
+        if self._persistence is not None:
+            self._persistence.on_job_approved(job)
         self.log("job approved", job=job.spec.name, approver=admin.username)
         self._schedule_dispatch_tick()
 
@@ -360,6 +433,14 @@ class AccessServer(Entity):
                     self._credit_policy.settle(
                         owner, consumed_hours, self.context.now, note=f"job {job.job_id}"
                     )
+        # Terminal outcomes are journaled once all bookkeeping has settled so
+        # recovery replays balances exactly; cancellations were already
+        # recorded via the dispatch.cancelled bus event.
+        if self._persistence is not None and job.status in (
+            JobStatus.COMPLETED,
+            JobStatus.FAILED,
+        ):
+            self._persistence.on_job_finished(job)
         return True
 
     # -- scheduling policy & event-driven dispatch ---------------------------------------------
@@ -370,6 +451,8 @@ class AccessServer(Entity):
     def set_scheduling_policy(self, policy: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
         """Swap the queue ordering policy; applies from the next dispatch tick."""
         selected = self.scheduler.set_policy(policy)
+        if self._persistence is not None:
+            self._persistence.on_policy_changed(selected.name)
         self.log("scheduling policy changed", policy=selected.name)
         return selected
 
@@ -435,11 +518,16 @@ class AccessServer(Entity):
         # Wake up at the earlier of the configured poll and the end of the
         # first active reservation — reservation expiry is the one blocking
         # condition whose timing the dispatcher knows exactly.  (Jobs blocked
-        # on the controller-CPU constraint need poll_interval_s.)
+        # on the controller-CPU constraint need poll_interval_s.)  Under
+        # "defer" admission an *upcoming* reservation can also hold a job
+        # back, and such a job cannot become placeable before that
+        # reservation ends, so the wake-up considers future reservations too.
         delay = self._auto_dispatch_interval_s
-        reservation_end = self.scheduler.engine.reservations.earliest_active_end(
-            self.context.now
-        )
+        reservations = self.scheduler.engine.reservations
+        if self.scheduler.engine.reservation_admission == "defer":
+            reservation_end = reservations.earliest_relevant_end(self.context.now)
+        else:
+            reservation_end = reservations.earliest_active_end(self.context.now)
         if reservation_end is not None and reservation_end > self.context.now:
             reservation_delay = reservation_end - self.context.now
             delay = reservation_delay if delay is None else min(delay, reservation_delay)
@@ -458,9 +546,12 @@ class AccessServer(Entity):
         """Reserve a timed interactive slot on one device."""
         self.users.authorize(user, Permission.REMOTE_CONTROL)
         self.vantage_point(vantage_point_name)
-        return self.scheduler.reserve_session(
+        reservation = self.scheduler.reserve_session(
             user.username, vantage_point_name, device_serial, start_s, duration_s
         )
+        if self._persistence is not None:
+            self._persistence.on_reservation_created(reservation)
+        return reservation
 
     def share_with_tester(
         self,
@@ -502,7 +593,9 @@ class AccessServer(Entity):
             "queued_jobs": self.scheduler.queue_length(),
             "pending_approval": len(self._pending_approval),
             "scheduling_policy": self.scheduler.policy.name,
+            "reservation_admission": self.scheduler.engine.reservation_admission,
             "auto_dispatch": self._auto_dispatch,
+            "persistence": self._persistence is not None,
             "certificate_serial": self._wildcard_certificate.serial_number
             if self._wildcard_certificate
             else None,

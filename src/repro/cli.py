@@ -16,10 +16,17 @@ regenerate any of the paper's tables and figures without writing Python::
 Each command prints the reproduced rows as an aligned table.  ``--seed``
 controls the simulation seed so runs are reproducible, and
 ``--scheduling-policy`` selects the dispatch queue ordering
-(``fifo``/``priority``/``fair-share``) for the commands that go through
-the job scheduler: ``quickstart`` and ``dispatch-bench``.  The figure/table
-commands replay the paper's single-experimenter workloads and always use
-the default FIFO ordering.
+(``fifo``/``priority``/``fair-share``/``deadline``) for the commands that
+go through the job scheduler: ``quickstart`` and ``dispatch-bench``.  The
+figure/table commands replay the paper's single-experimenter workloads and
+always use the default FIFO ordering.
+
+``--state-dir DIR`` makes the access server durable: every job,
+reservation and credit mutation is journaled under ``DIR`` and a later run
+pointed at the same directory recovers the queue before doing anything
+else (``--no-persistence`` opts back out).  ``--reservation-admission
+defer`` keeps jobs off devices whose next interactive reservation would
+start before the job's timeout elapses.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.accessserver.dispatch import DispatchEngine
 from repro.accessserver.policies import policy_names
 from repro.analysis.tables import format_table
 from repro.core.platform import build_default_platform
@@ -51,6 +59,28 @@ def build_parser() -> argparse.ArgumentParser:
         choices=policy_names(),
         default="fifo",
         help="dispatch queue ordering for quickstart/dispatch-bench (default: fifo)",
+    )
+    parser.add_argument(
+        "--reservation-admission",
+        choices=list(DispatchEngine.ADMISSION_MODES),
+        default="ignore",
+        help="whether dispatch plans around upcoming session reservations: "
+        "'defer' keeps a job off a device whose next reservation starts "
+        "before the job's timeout elapses (default: ignore)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="for quickstart: journal access-server state (jobs, reservations, "
+        "credits) under DIR and recover any previous run's state from it on "
+        "startup (the figure/table commands build throwaway platforms and "
+        "ignore this)",
+    )
+    parser.add_argument(
+        "--no-persistence",
+        action="store_true",
+        help="ignore --state-dir: no recovery and no journaling",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -89,7 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_quickstart(args) -> str:
     platform = build_default_platform(
-        seed=args.seed, browsers=("chrome",), scheduling_policy=args.scheduling_policy
+        seed=args.seed,
+        browsers=("chrome",),
+        scheduling_policy=args.scheduling_policy,
+        reservation_admission=args.reservation_admission,
+        state_dir=args.state_dir,
+        persistence=not args.no_persistence,
     )
     api = platform.api()
     device_id = api.list_devices()[0]
@@ -170,7 +205,9 @@ def _cmd_dispatch_bench(args) -> str:
     from repro.accessserver.jobs import Job, JobConstraints, JobSpec
     from repro.accessserver.scheduler import JobScheduler
 
-    scheduler = JobScheduler(policy=args.scheduling_policy)
+    scheduler = JobScheduler(
+        policy=args.scheduling_policy, reservation_admission=args.reservation_admission
+    )
     # More vantage points than devices would leave some nodes unregistered
     # while constrained jobs still referenced them (silently skewing the
     # throughput figure), so clamp to one device per vantage point minimum.

@@ -95,6 +95,11 @@ class BatteryLabPlatform:
         """Batch-dispatch and execute queued jobs; returns the executed jobs."""
         return self.access_server.run_pending_jobs(max_jobs=max_jobs)
 
+    @property
+    def persistence(self):
+        """The access server's persistence manager, when state was enabled."""
+        return self.access_server.persistence
+
 
 def _default_uplink(hostname: str) -> NetworkLink:
     """The Imperial College vantage point's (fast) campus uplink."""
@@ -177,6 +182,9 @@ def build_default_platform(
     browsers: Sequence[str] = ("brave", "chrome", "edge", "firefox"),
     device_count: int = 1,
     scheduling_policy: str = "fifo",
+    reservation_admission: str = "ignore",
+    state_dir: Optional[str] = None,
+    persistence: bool = True,
 ) -> BatteryLabPlatform:
     """Build the paper's deployment: access server + the Imperial College vantage point.
 
@@ -191,13 +199,31 @@ def build_default_platform(
     device_count:
         Number of Samsung J7 Duo test devices at the vantage point.
     scheduling_policy:
-        Dispatch queue ordering policy (``"fifo"``, ``"priority"`` or
-        ``"fair-share"``); see :mod:`repro.accessserver.policies`.
+        Dispatch queue ordering policy (``"fifo"``, ``"priority"``,
+        ``"fair-share"`` or ``"deadline"``); see
+        :mod:`repro.accessserver.policies`.
+    reservation_admission:
+        ``"ignore"`` (default) or ``"defer"`` — whether dispatch plans
+        around *upcoming* session reservations; see
+        :class:`~repro.accessserver.dispatch.DispatchEngine`.
+    state_dir:
+        When set, the access server journals every state mutation under
+        this directory and, if the directory already holds a previous run's
+        snapshot/journal, recovers that state after the vantage point is
+        re-registered — queued jobs, reservations and credit balances
+        survive a restart (see :mod:`repro.accessserver.persistence`).
+    persistence:
+        Set to ``False`` to ignore ``state_dir`` entirely (no recovery, no
+        journaling) — the CLI's ``--no-persistence``.
     """
     if device_count < 1:
         raise ValueError("device_count must be at least 1")
     context = SimulationContext(seed=seed)
-    access_server = AccessServer(context, scheduling_policy=scheduling_policy)
+    access_server = AccessServer(
+        context,
+        scheduling_policy=scheduling_policy,
+        reservation_admission=reservation_admission,
+    )
     admin = access_server.bootstrap_admin()
     experimenter = access_server.users.add_user(
         "experimenter", Role.EXPERIMENTER, token="experimenter-token"
@@ -218,4 +244,8 @@ def build_default_platform(
     assert all(name in BROWSER_PROFILES for name in (b.lower() for b in browsers)), (
         "unknown browser requested"
     )
+    # Persistence attaches after the vantage point joins so recovery can
+    # re-queue jobs onto devices that are registered and executable.
+    if state_dir is not None and persistence:
+        access_server.enable_persistence(state_dir)
     return platform

@@ -84,10 +84,12 @@ def reference_fifo_assignments(scheduler, now, controller_cpu=None):
 
 class TestPolicies:
     def test_registry(self):
-        assert policy_names() == ["fair-share", "fifo", "priority"]
+        assert policy_names() == ["deadline", "edf", "fair-share", "fifo", "priority"]
         assert create_policy("fifo").name == "fifo"
         assert create_policy("fair_share").name == "fair-share"
         assert create_policy("PRIORITY").name == "priority"
+        assert create_policy("deadline").name == "deadline"
+        assert create_policy("edf").name == "deadline"  # alias for the same ordering
         policy = FifoPolicy()
         assert create_policy(policy) is policy
         with pytest.raises(PolicyError):

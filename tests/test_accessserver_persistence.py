@@ -1,0 +1,471 @@
+"""Crash-recovery tests for the durable access-server state subsystem.
+
+Kill-and-replay round trips asserting that queue order, credit balances,
+reservation windows and in-flight job re-queueing are identical after
+``recover_into`` — including the headline property: the post-recovery
+assignment sequence matches what an uninterrupted run would have produced.
+A "crash" here is simply abandoning the old server object without closing
+its backend; every journal append is flushed, so that models a process
+kill exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.accessserver.jobs import JobConstraints, JobSpec, JobStatus
+from repro.accessserver.persistence import (
+    FileBackend,
+    InMemoryBackend,
+    PersistenceError,
+    attach_persistence,
+    noop_payload,
+    payload_name,
+    recover_into,
+    register_payload,
+    resolve_payload,
+)
+from repro.cli import main
+from repro.core.platform import build_default_platform
+
+
+@register_payload("persistence-echo")
+def echo_payload(ctx):
+    return {"device": ctx.device_serial}
+
+
+@register_payload("persistence-measure-1h")
+def measure_one_hour(ctx):
+    ctx.api.power_monitor()
+    ctx.api.set_voltage(3.85)
+    ctx.api.measure(ctx.device_serial, duration=3600.0)
+    ctx.api.power_monitor()
+    return "measured"
+
+
+def durable_platform(state_dir, seed=11, device_count=2, **kwargs):
+    return build_default_platform(
+        seed=seed,
+        browsers=("chrome",),
+        device_count=device_count,
+        state_dir=str(state_dir),
+        **kwargs,
+    )
+
+
+def spec(name, payload=echo_payload, **kwargs):
+    return JobSpec(name=name, owner="experimenter", run=payload, **kwargs)
+
+
+class TestPayloadRegistry:
+    def test_round_trip(self):
+        assert payload_name(echo_payload) == "persistence-echo"
+        assert resolve_payload("persistence-echo") is echo_payload
+        assert resolve_payload("noop") is noop_payload
+
+    def test_unregistered_name_fails_at_execution_not_lookup(self):
+        stand_in = resolve_payload("never-registered")
+        with pytest.raises(PersistenceError, match="never-registered"):
+            stand_in(None)
+
+    def test_unregistered_callable_has_no_name(self):
+        assert payload_name(lambda ctx: None) is None
+
+
+class TestBackends:
+    def test_in_memory_round_trip(self):
+        backend = InMemoryBackend()
+        assert not backend.has_state()
+        backend.append({"seq": 1, "kind": "x", "data": {}})
+        backend.write_snapshot({"format": 1, "sequence": 1})
+        assert backend.has_state()
+        assert backend.read_journal() == [{"seq": 1, "kind": "x", "data": {}}]
+        assert backend.read_snapshot()["sequence"] == 1
+        backend.reset_journal()
+        assert backend.read_journal() == []
+
+    def test_file_backend_round_trip(self, tmp_path):
+        backend = FileBackend(tmp_path / "state")
+        backend.append({"seq": 1, "kind": "a", "data": {"n": 1}})
+        backend.append({"seq": 2, "kind": "b", "data": {"n": 2}})
+        backend.write_snapshot({"format": 1, "sequence": 0})
+        assert backend.has_state()
+        reread = FileBackend(tmp_path / "state")
+        assert [r["kind"] for r in reread.read_journal()] == ["a", "b"]
+        assert reread.read_snapshot() == {"format": 1, "sequence": 0}
+
+    def test_torn_tail_record_is_dropped(self, tmp_path):
+        backend = FileBackend(tmp_path)
+        backend.append({"seq": 1, "kind": "a", "data": {}})
+        backend.close()
+        with open(backend.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "kind": "b", "da')  # crash mid-append
+        reread = FileBackend(tmp_path)
+        assert [r["seq"] for r in reread.read_journal()] == [1]
+        assert reread.torn_records_dropped == 1
+
+    def test_mid_journal_corruption_raises(self, tmp_path):
+        backend = FileBackend(tmp_path)
+        backend.append({"seq": 1, "kind": "a", "data": {}})
+        backend.close()
+        with open(backend.journal_path, "a", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+            handle.write(json.dumps({"seq": 3, "kind": "c", "data": {}}) + "\n")
+        with pytest.raises(PersistenceError, match="corrupt journal"):
+            FileBackend(tmp_path).read_journal()
+
+    def test_fsync_batching(self, tmp_path):
+        backend = FileBackend(tmp_path, fsync_every=3)
+        for seq in range(7):
+            backend.append({"seq": seq, "kind": "tick", "data": {}})
+        assert backend.fsyncs == 2  # after records 3 and 6
+        backend.sync()
+        assert backend.fsyncs == 3  # the straggler
+        backend.sync()
+        assert backend.fsyncs == 3  # nothing pending, no extra fsync
+
+    def test_snapshot_replace_is_atomic(self, tmp_path):
+        backend = FileBackend(tmp_path)
+        backend.write_snapshot({"format": 1, "sequence": 1})
+        backend.write_snapshot({"format": 1, "sequence": 2})
+        assert backend.read_snapshot()["sequence"] == 2
+        assert not backend.snapshot_path.with_suffix(".json.tmp").exists()
+
+
+class TestJournaling:
+    def test_mutations_reach_the_journal(self, tmp_path):
+        platform = durable_platform(tmp_path)
+        server = platform.access_server
+        server.enable_credit_system()
+        server.submit_job(platform.experimenter, spec("j0"))
+        server.reserve_session(
+            platform.experimenter, "node1", "node1-dev01", start_s=500.0, duration_s=60.0
+        )
+        kinds = [r["kind"] for r in server.persistence.backend.read_journal()]
+        assert "credit.enabled" in kinds
+        assert "credit.account_opened" in kinds
+        assert "credit.txn" in kinds  # the initial grant
+        assert "job.submitted" in kinds
+        assert "reservation.created" in kinds
+
+    def test_submission_records_payload_by_name(self, tmp_path):
+        platform = durable_platform(tmp_path)
+        server = platform.access_server
+        server.submit_job(platform.experimenter, spec("j0"))
+        (record,) = [
+            r for r in server.persistence.backend.read_journal() if r["kind"] == "job.submitted"
+        ]
+        assert record["data"]["job"]["spec"]["payload"] == "persistence-echo"
+
+    def test_snapshot_interval_compacts_the_journal(self, tmp_path):
+        platform = build_default_platform(seed=11, browsers=("chrome",), device_count=2)
+        server = platform.access_server
+        manager = server.enable_persistence(str(tmp_path), snapshot_every=5)
+        for index in range(12):
+            server.submit_job(platform.experimenter, spec(f"j{index}"))
+        assert manager.snapshots_written >= 3  # initial checkpoint + 2 compactions
+        assert manager.records_since_snapshot < 5
+        assert len(manager.backend.read_journal()) == manager.records_since_snapshot
+        # Compaction must lose nothing: a recovery still sees all 12 jobs.
+        rebuilt = durable_platform(tmp_path)
+        assert rebuilt.access_server.scheduler.queue_length() == 12
+
+    def test_double_attach_rejected(self, tmp_path):
+        platform = durable_platform(tmp_path)
+        with pytest.raises(PersistenceError, match="already attached"):
+            platform.access_server.enable_persistence(str(tmp_path / "other"))
+
+
+class TestRecovery:
+    def test_queue_order_survives_restart(self, tmp_path):
+        platform = durable_platform(tmp_path)
+        server = platform.access_server
+        names = ["a", "b", "c", "d", "e"]
+        for name in names:
+            server.submit_job(platform.experimenter, spec(name))
+        rebuilt = durable_platform(tmp_path)
+        queue = rebuilt.access_server.scheduler.engine.queue.jobs()
+        assert [job.spec.name for job in queue] == names
+        report = rebuilt.persistence.last_recovery
+        assert report.jobs_queued == 5
+        assert report.snapshot_loaded
+
+    def test_assignment_sequence_identical_to_uninterrupted_run(self, tmp_path):
+        def submit_workload(platform):
+            server = platform.access_server
+            for index in range(8):
+                kwargs = {}
+                if index % 3 == 0:
+                    kwargs["constraints"] = JobConstraints(device_serial="node1-dev01")
+                server.submit_job(platform.experimenter, spec(f"j{index}", **kwargs))
+
+        def executed_assignments(server):
+            executed = server.run_pending_jobs(max_jobs=100)
+            return [
+                (job.spec.name, job.assigned_vantage_point, job.assigned_device)
+                for job in executed
+            ]
+
+        control = build_default_platform(seed=11, browsers=("chrome",), device_count=2)
+        submit_workload(control)
+        uninterrupted = executed_assignments(control.access_server)
+
+        crashed = durable_platform(tmp_path)
+        submit_workload(crashed)
+        # ... the process dies here, before anything ran ...
+        recovered = durable_platform(tmp_path)
+        assert executed_assignments(recovered.access_server) == uninterrupted
+        assert uninterrupted  # the comparison must cover real work
+
+    def test_in_flight_job_requeues_at_original_position(self, tmp_path):
+        platform = durable_platform(tmp_path, device_count=1)
+        server = platform.access_server
+        first = server.submit_job(platform.experimenter, spec("first"))
+        server.submit_job(platform.experimenter, spec("second"))
+        # Assign without executing: the journal sees job.assigned but never a
+        # job.finished — exactly what a crash mid-payload leaves behind.
+        batch = server.scheduler.dispatch_batch(server.context.now)
+        assert [a.job.spec.name for a in batch] == ["first"]
+        assert first.status is JobStatus.RUNNING
+
+        rebuilt = durable_platform(tmp_path, device_count=1)
+        report = rebuilt.persistence.last_recovery
+        assert report.jobs_requeued_in_flight == 1
+        queue = rebuilt.access_server.scheduler.engine.queue.jobs()
+        assert [job.spec.name for job in queue] == ["first", "second"]
+        executed = rebuilt.access_server.run_pending_jobs()
+        assert [job.spec.name for job in executed] == ["first", "second"]
+        assert all(job.status is JobStatus.COMPLETED for job in executed)
+
+    def test_credit_balances_and_history_survive(self, tmp_path):
+        platform = durable_platform(tmp_path)
+        server = platform.access_server
+        ledger = server.enable_credit_system(initial_grant_device_hours=10.0)
+        ledger.open_account("contributor", contributes_hardware=True, now=0.0)
+        ledger.credit_contribution("contributor", 4.0, now=0.0, note="hosting")
+        server.submit_job(
+            platform.experimenter, spec("burn", payload=measure_one_hour, timeout_s=7200.0)
+        )
+        server.run_pending_jobs()
+        expected_balance = ledger.balance("experimenter")
+        assert expected_balance == pytest.approx(9.0, abs=0.01)
+
+        rebuilt = durable_platform(tmp_path)
+        recovered_ledger = rebuilt.access_server.credit_policy.ledger
+        assert recovered_ledger.balance("experimenter") == pytest.approx(expected_balance)
+        assert recovered_ledger.balance("contributor") == pytest.approx(
+            ledger.balance("contributor")
+        )
+        original = ledger.account("experimenter").transactions
+        recovered = recovered_ledger.account("experimenter").transactions
+        assert [(t.kind, t.amount_device_hours) for t in recovered] == [
+            (t.kind, t.amount_device_hours) for t in original
+        ]
+        assert recovered_ledger.account("contributor").contributes_hardware
+
+    def test_boot_code_may_re_enable_credit_system_after_recovery(self, tmp_path):
+        # Hosts enable persistence then unconditionally enable the credit
+        # system; after a recovery that call must keep the restored ledger
+        # (balances included) instead of swapping in a fresh empty one.
+        platform = durable_platform(tmp_path)
+        ledger = platform.access_server.enable_credit_system(initial_grant_device_hours=7.0)
+        ledger.open_account("alice", now=0.0)
+        assert ledger.balance("alice") == pytest.approx(7.0)
+
+        rebuilt = durable_platform(tmp_path)
+        re_enabled = rebuilt.access_server.enable_credit_system(
+            initial_grant_device_hours=7.0
+        )
+        assert re_enabled is rebuilt.access_server.credit_policy.ledger
+        assert re_enabled.balance("alice") == pytest.approx(7.0)
+        assert len(re_enabled.account("alice").transactions) == 1
+
+    def test_reservation_windows_survive_and_cancellations_stick(self, tmp_path):
+        platform = durable_platform(tmp_path)
+        server = platform.access_server
+        keep = server.reserve_session(
+            platform.experimenter, "node1", "node1-dev00", start_s=100.0, duration_s=50.0
+        )
+        drop = server.reserve_session(
+            platform.experimenter, "node1", "node1-dev01", start_s=200.0, duration_s=50.0
+        )
+        server.scheduler.cancel_reservation(drop.reservation_id)
+
+        rebuilt = durable_platform(tmp_path)
+        reservations = rebuilt.access_server.scheduler.reservations()
+        assert [(r.reservation_id, r.vantage_point, r.device_serial, r.start_s, r.duration_s)
+                for r in reservations] == [
+            (keep.reservation_id, "node1", "node1-dev00", 100.0, 50.0)
+        ]
+        # Fresh reservations must not collide with recovered ids.
+        fresh = rebuilt.access_server.reserve_session(
+            rebuilt.experimenter, "node1", "node1-dev01", start_s=300.0, duration_s=10.0
+        )
+        assert fresh.reservation_id > drop.reservation_id
+
+    def test_pending_approval_jobs_recover_and_approve(self, tmp_path):
+        platform = durable_platform(tmp_path)
+        server = platform.access_server
+        server.submit_job(
+            platform.experimenter, spec("pipeline", is_pipeline_change=True)
+        )
+        rebuilt = durable_platform(tmp_path)
+        server2 = rebuilt.access_server
+        (pending,) = server2.pending_approval()
+        assert pending.spec.name == "pipeline"
+        assert pending.status is JobStatus.PENDING_APPROVAL
+        server2.approve_job(rebuilt.admin, pending)
+        executed = server2.run_pending_jobs()
+        assert [job.spec.name for job in executed] == ["pipeline"]
+
+    def test_run_configuration_wins_over_journaled_policy(self, tmp_path):
+        # Policy/admission are this run's configuration (CLI flags, boot
+        # code), not queue state: recovery reports the journaled values but
+        # never silently overrides what the host just asked for.
+        platform = durable_platform(tmp_path, reservation_admission="defer")
+        platform.access_server.set_scheduling_policy("priority")
+        rebuilt = durable_platform(tmp_path)  # note: built with defaults
+        assert rebuilt.access_server.scheduler.policy.name == "fifo"
+        assert rebuilt.access_server.scheduler.engine.reservation_admission == "ignore"
+        report = rebuilt.persistence.last_recovery
+        assert report.journaled_policy == "priority"
+        assert report.journaled_admission == "defer"
+        explicit = durable_platform(
+            tmp_path, scheduling_policy="priority", reservation_admission="defer"
+        )
+        assert explicit.access_server.scheduler.policy.name == "priority"
+        assert explicit.access_server.scheduler.engine.reservation_admission == "defer"
+
+    def test_stale_journal_after_partial_checkpoint_is_not_reapplied(self, tmp_path):
+        # Crash window: a checkpoint writes its snapshot but dies before
+        # truncating the journal.  Replay must skip the now-stale records
+        # (their sequence numbers are folded into the snapshot) instead of
+        # applying them twice.
+        platform = durable_platform(tmp_path)
+        ledger = platform.access_server.enable_credit_system(initial_grant_device_hours=7.0)
+        ledger.open_account("alice", now=0.0)
+        stale_journal = (tmp_path / "journal.jsonl").read_bytes()
+
+        durable_platform(tmp_path)  # restart: checkpoint = snapshot + truncate
+        # ... but this crash loses the truncation, resurrecting the journal:
+        (tmp_path / "journal.jsonl").write_bytes(stale_journal)
+
+        third = durable_platform(tmp_path)
+        recovered = third.access_server.credit_policy.ledger
+        assert recovered.balance("alice") == pytest.approx(7.0)  # not 14.0
+        assert len(recovered.account("alice").transactions) == 1
+
+    def test_terminal_jobs_keep_results_and_ids_stay_unique(self, tmp_path):
+        platform = durable_platform(tmp_path)
+        server = platform.access_server
+        done = server.submit_job(platform.experimenter, spec("done"))
+        server.run_pending_jobs()
+        assert done.status is JobStatus.COMPLETED
+
+        rebuilt = durable_platform(tmp_path)
+        recovered = rebuilt.access_server.scheduler.job(done.job_id)
+        assert recovered.status is JobStatus.COMPLETED
+        assert recovered.result == {"device": "node1-dev00"}
+        fresh = rebuilt.access_server.submit_job(rebuilt.experimenter, spec("fresh"))
+        assert fresh.job_id > max(j.job_id for j in rebuilt.access_server.scheduler.jobs()
+                                  if j is not fresh)
+
+    def test_unregistered_payload_fails_loudly_at_execution(self, tmp_path):
+        platform = durable_platform(tmp_path)
+        server = platform.access_server
+        server.submit_job(
+            platform.experimenter,
+            JobSpec(name="ephemeral", owner="experimenter", run=lambda ctx: "ok"),
+        )
+        rebuilt = durable_platform(tmp_path)
+        assert rebuilt.persistence.last_recovery.missing_payloads == ["ephemeral"]
+        (job,) = rebuilt.access_server.run_pending_jobs()
+        assert job.status is JobStatus.FAILED
+        assert "register_payload" in job.error
+
+    def test_no_persistence_flag_skips_recovery_and_journaling(self, tmp_path):
+        platform = durable_platform(tmp_path)
+        platform.access_server.submit_job(platform.experimenter, spec("queued"))
+        rebuilt = durable_platform(tmp_path, persistence=False)
+        assert rebuilt.persistence is None
+        assert rebuilt.access_server.scheduler.queue_length() == 0
+        # The durable state is untouched: a third, persistent run still recovers.
+        third = durable_platform(tmp_path)
+        assert third.access_server.scheduler.queue_length() == 1
+
+    def test_recover_requires_fresh_backend_state_semantics(self, tmp_path):
+        # recover=False attaches journaling but deliberately ignores state.
+        platform = durable_platform(tmp_path)
+        platform.access_server.submit_job(platform.experimenter, spec("queued"))
+        fresh = build_default_platform(seed=11, browsers=("chrome",), device_count=2)
+        manager = fresh.access_server.enable_persistence(
+            FileBackend(tmp_path), recover=False
+        )
+        assert manager.last_recovery is None
+        assert fresh.access_server.scheduler.queue_length() == 0
+
+    def test_restart_resumes_queued_job_readme_scenario(self, tmp_path):
+        # The README quickstart: submit, restart with the same --state-dir,
+        # and the queued job runs as if nothing happened.
+        first_run = durable_platform(tmp_path)
+        first_run.access_server.submit_job(first_run.experimenter, spec("resume-me"))
+        # process exits without running the queue
+        second_run = durable_platform(tmp_path)
+        executed = second_run.run_queue()
+        assert [job.spec.name for job in executed] == ["resume-me"]
+        assert executed[0].status is JobStatus.COMPLETED
+
+
+class TestInMemoryRecovery:
+    def test_round_trip_through_in_memory_backend(self):
+        backend = InMemoryBackend()
+        platform = build_default_platform(seed=11, browsers=("chrome",))
+        server = platform.access_server
+        attach_persistence(server, backend)
+        server.submit_job(platform.experimenter, spec("mem"))
+
+        fresh = build_default_platform(seed=11, browsers=("chrome",))
+        report = recover_into(fresh.access_server, backend)
+        assert report.jobs_queued == 1
+        (job,) = fresh.access_server.run_pending_jobs()
+        assert job.spec.name == "mem" and job.status is JobStatus.COMPLETED
+
+    def test_missing_vantage_point_leaves_devices_unregistered(self):
+        backend = InMemoryBackend()
+        platform = build_default_platform(seed=11, browsers=("chrome",))
+        attach_persistence(platform.access_server, backend)
+        platform.access_server.submit_job(platform.experimenter, spec("stranded"))
+
+        # The "host" rebuilds with a *different* vantage point name, so the
+        # journaled node1 never re-joins.
+        fresh = build_default_platform(
+            seed=11, browsers=("chrome",), node_identifier="node9"
+        )
+        report = recover_into(fresh.access_server, backend)
+        assert report.missing_vantage_points == ["node1"]
+        assert fresh.access_server.scheduler.queue_length() == 1
+
+
+class TestCliStateDir:
+    def test_quickstart_with_state_dir_round_trips(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        assert main(["--seed", "3", "--state-dir", str(state), "quickstart"]) == 0
+        capsys.readouterr()
+        assert (state / "snapshot.json").exists()
+        assert main(["--seed", "3", "--state-dir", str(state), "quickstart"]) == 0
+        assert "median_ma" in capsys.readouterr().out
+
+    def test_parser_accepts_new_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--state-dir", "/tmp/x", "--no-persistence",
+             "--reservation-admission", "defer", "--scheduling-policy", "deadline",
+             "quickstart"]
+        )
+        assert args.state_dir == "/tmp/x"
+        assert args.no_persistence is True
+        assert args.reservation_admission == "defer"
+        assert args.scheduling_policy == "deadline"
