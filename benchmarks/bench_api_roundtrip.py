@@ -1,0 +1,155 @@
+"""API throughput microbenchmark: Platform API v1 request/response hot path.
+
+Measures how many client calls per second the v1 stack sustains on the two
+transports the SDK ships:
+
+* **in-process** — client -> JSON round trip -> router -> ``AccessServer``;
+  this is the per-request envelope/DTO overhead every consumer now pays,
+  so it must stay cheap (the CLI, the examples and the experiment drivers
+  all go through it);
+* **gateway** — the same calls over the JSON-lines socket transport on
+  loopback, i.e. the remote-experimenter deployment shape including
+  framing and kernel round trips.
+
+Two operation mixes are timed per transport: ``server.status`` reads (the
+cheapest full round trip) and ``job.submit`` writes (envelope + DTO
+validation + scheduler enqueue).  Results land in
+``BENCH_api_roundtrip.json`` at the repository root.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_api_roundtrip.py``
+or under pytest-benchmark via
+``PYTHONPATH=src python -m pytest benchmarks/bench_api_roundtrip.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.api import ApiGateway, ApiRouter, BatteryLabClient, InProcessTransport
+from repro.api.gateway import JsonLinesTransport
+from repro.core.platform import build_default_platform
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_api_roundtrip.json"
+
+INPROC_READS = 2000
+INPROC_SUBMITS = 500
+GATEWAY_READS = 500
+GATEWAY_SUBMITS = 200
+
+#: Sanity floor: the in-process API layer must sustain at least this many
+#: status reads per second, or the envelope/DTO path has gone quadratic.
+MIN_INPROC_READS_PER_S = 200.0
+
+
+def _time_ops(func, count: int) -> float:
+    started = time.perf_counter()
+    for _ in range(count):
+        func()
+    return time.perf_counter() - started
+
+
+def _measure(client: BatteryLabClient, reads: int, submits: int) -> Dict[str, float]:
+    read_seconds = _time_ops(client.server_status, reads)
+    counter = iter(range(submits))
+
+    def submit():
+        # Pinned to an unregistered vantage point so the queue only grows —
+        # the benchmark times the API path, not payload execution.
+        client.submit_job(f"bench-{next(counter)}", "noop", vantage_point="node99")
+
+    submit_seconds = _time_ops(submit, submits)
+    return {
+        "reads": reads,
+        "read_seconds": round(read_seconds, 4),
+        "reads_per_s": round(reads / read_seconds, 1) if read_seconds else float("inf"),
+        "submits": submits,
+        "submit_seconds": round(submit_seconds, 4),
+        "submits_per_s": round(submits / submit_seconds, 1)
+        if submit_seconds
+        else float("inf"),
+    }
+
+
+def run_api_roundtrip_benchmark() -> Dict[str, object]:
+    # Each transport gets a fresh platform: submitted jobs accumulate in the
+    # queue (and in the server-status orphan scan), so sharing one server
+    # would bleed the first phase's queue depth into the second's timings.
+    inproc_platform = build_default_platform(seed=13, browsers=("chrome",))
+    inproc = _measure(
+        BatteryLabClient(
+            InProcessTransport(ApiRouter(inproc_platform.access_server)),
+            "experimenter",
+            "experimenter-token",
+        ),
+        INPROC_READS,
+        INPROC_SUBMITS,
+    )
+
+    gateway_platform = build_default_platform(seed=13, browsers=("chrome",))
+    gateway = ApiGateway(ApiRouter(gateway_platform.access_server))
+    host, port = gateway.start()
+    try:
+        remote_client = BatteryLabClient(
+            JsonLinesTransport(host, port, timeout_s=30.0),
+            "experimenter",
+            "experimenter-token",
+        )
+        remote = _measure(remote_client, GATEWAY_READS, GATEWAY_SUBMITS)
+        remote_client.close()
+    finally:
+        gateway.stop()
+
+    return {
+        "benchmark": "api_roundtrip",
+        "api_version": "1.0",
+        "inproc_reads_per_s": inproc["reads_per_s"],
+        "inproc_submits_per_s": inproc["submits_per_s"],
+        "gateway_reads_per_s": remote["reads_per_s"],
+        "gateway_submits_per_s": remote["submits_per_s"],
+        "inproc": inproc,
+        "gateway": remote,
+        "min_inproc_reads_per_s": MIN_INPROC_READS_PER_S,
+    }
+
+
+def write_result(result: Dict[str, object]) -> None:
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+
+def test_api_roundtrip(benchmark):
+    from conftest import report, run_once
+
+    result = run_once(benchmark, run_api_roundtrip_benchmark)
+    write_result(result)
+    report(
+        benchmark,
+        "Platform API v1 round-trip throughput",
+        [
+            {
+                "transport": "in-process",
+                "reads_per_s": result["inproc_reads_per_s"],
+                "submits_per_s": result["inproc_submits_per_s"],
+            },
+            {
+                "transport": "gateway (loopback)",
+                "reads_per_s": result["gateway_reads_per_s"],
+                "submits_per_s": result["gateway_submits_per_s"],
+            },
+        ],
+    )
+    assert result["inproc_reads_per_s"] >= MIN_INPROC_READS_PER_S
+
+
+if __name__ == "__main__":
+    outcome = run_api_roundtrip_benchmark()
+    write_result(outcome)
+    print(json.dumps(outcome, indent=2))
+    if outcome["inproc_reads_per_s"] < MIN_INPROC_READS_PER_S:
+        raise SystemExit(
+            f"in-process API reads fell to {outcome['inproc_reads_per_s']}/s; "
+            f"floor is {MIN_INPROC_READS_PER_S}/s"
+        )

@@ -9,6 +9,14 @@ higher-is-better metric drops by more than the allowed fraction::
         --current BENCH_scheduler_dispatch.json \
         --metric indexed_jobs_per_s --max-regression 0.20
 
+A metric may carry its own allowed drop as ``NAME:FRACTION`` — wall-clock
+metrics (events/s, requests/s) need a wider band than normalized ratios::
+
+    python benchmarks/check_bench_trend.py \
+        --baseline /tmp/bench_baseline_replay.json \
+        --current BENCH_journal_replay.json \
+        --metric events_per_s:0.5
+
 CI copies the committed ``BENCH_*.json`` aside before the benchmark run
 overwrites it, so "baseline" is always the last accepted measurement.
 Stdlib-only on purpose: the gate must run before any dependency install.
@@ -39,7 +47,8 @@ def main(argv=None) -> int:
         "--metric",
         action="append",
         required=True,
-        help="higher-is-better metric to track (repeatable)",
+        help="higher-is-better metric to track (repeatable); append "
+        "':FRACTION' for a metric-specific allowed drop, e.g. events_per_s:0.5",
     )
     parser.add_argument(
         "--max-regression",
@@ -52,7 +61,12 @@ def main(argv=None) -> int:
     baseline = load(args.baseline)
     current = load(args.current)
     failures = []
-    for metric in args.metric:
+    for metric_spec in args.metric:
+        metric, _, allowance = metric_spec.partition(":")
+        try:
+            max_regression = float(allowance) if allowance else args.max_regression
+        except ValueError:
+            raise SystemExit(f"bad metric spec {metric_spec!r}: FRACTION must be a number")
         if metric not in baseline:
             print(f"[trend] {metric}: no baseline value yet, skipping")
             continue
@@ -61,7 +75,7 @@ def main(argv=None) -> int:
             continue
         base_value = float(baseline[metric])
         new_value = float(current[metric])
-        floor = base_value * (1.0 - args.max_regression)
+        floor = base_value * (1.0 - max_regression)
         change = (new_value - base_value) / base_value if base_value else float("inf")
         status = "OK" if new_value >= floor else "REGRESSION"
         print(
@@ -71,7 +85,7 @@ def main(argv=None) -> int:
         if new_value < floor:
             failures.append(
                 f"{metric} regressed {-change:.1%} (baseline {base_value:.1f} -> "
-                f"{new_value:.1f}; allowed drop {args.max_regression:.0%})"
+                f"{new_value:.1f}; allowed drop {max_regression:.0%})"
             )
     if failures:
         print("benchmark trend check FAILED:", file=sys.stderr)

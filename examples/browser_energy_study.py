@@ -6,11 +6,18 @@ each load the ten-site news corpus over ADB-over-WiFi automation, with and
 without device mirroring, and the script reports the mean battery discharge
 (Figure 3) and the device CPU medians (Figure 4).
 
+The study is packaged as a *platform job* and driven end-to-end through
+the Platform API v1 client SDK (:mod:`repro.api`): submit the job, let the
+access server dispatch it, fetch the row tables back as JSON — the exact
+workflow of a remote experimenter who has no measurement hardware of
+their own.
+
 Run it with ``python examples/browser_energy_study.py``.  Increase
 ``REPETITIONS`` / ``SCROLLS_PER_PAGE`` for a closer match to the paper's
 full-length runs.
 """
 
+from repro import build_default_platform
 from repro.analysis.tables import format_table
 from repro.experiments.browser_study import run_browser_study
 
@@ -18,7 +25,8 @@ REPETITIONS = 2
 SCROLLS_PER_PAGE = 10
 
 
-def main() -> None:
+def browser_study_payload(ctx):
+    """Run the reduced Section 4.2 study and return JSON-safe row tables."""
     study = run_browser_study(
         browsers=("brave", "chrome", "edge", "firefox"),
         repetitions=REPETITIONS,
@@ -27,21 +35,42 @@ def main() -> None:
         sample_rate_hz=50.0,
         seed=7,
     )
+    return {
+        "discharge_rows": study.discharge_rows(),
+        "device_cpu_rows": study.device_cpu_rows(),
+        "ranking": study.discharge_ranking(mirroring=False),
+        "mirroring_overhead_mah": {
+            browser: round(study.mirroring_overhead_mah(browser), 1)
+            for browser in study.browsers()
+        },
+    }
 
-    print(format_table(study.discharge_rows(), title="Figure 3 — battery discharge per browser"))
+
+def main() -> None:
+    platform = build_default_platform(seed=7, browsers=("chrome",))
+    client = platform.client()
+
+    view = client.submit_job("browser-energy-study", browser_study_payload)
+    platform.run_queue()
+    results = client.job_results(view.job_id)
+    if results.status != "completed":
+        raise SystemExit(f"study job failed: {results.error}")
+    study = results.result
+
+    print(format_table(study["discharge_rows"], title="Figure 3 — battery discharge per browser"))
     print()
-    print(format_table(study.device_cpu_rows(), title="Figure 4 — device CPU utilisation"))
+    print(format_table(study["device_cpu_rows"], title="Figure 4 — device CPU utilisation"))
     print()
 
-    ranking = study.discharge_ranking(mirroring=False)
-    print(f"energy-efficiency ranking (best first): {', '.join(ranking)}")
+    print(f"energy-efficiency ranking (best first): {', '.join(study['ranking'])}")
     print(
         "mirroring overhead per run: "
         + ", ".join(
-            f"{browser}: {study.mirroring_overhead_mah(browser):.1f} mAh"
-            for browser in study.browsers()
+            f"{browser}: {overhead:.1f} mAh"
+            for browser, overhead in study["mirroring_overhead_mah"].items()
         )
     )
+    print(f"(job #{view.job_id} submitted and fetched through Platform API v1)")
 
 
 if __name__ == "__main__":

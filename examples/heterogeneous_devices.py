@@ -86,6 +86,18 @@ def main() -> None:
           f"{len(trace)} samples at {battor.spec.sample_rate_hz:.0f} Hz, "
           f"logger battery at {battor.status()['logger_battery_percent']}%")
 
+    # -- Inventory via Platform API v1: jobs go through the client SDK only ----------
+    client = platform.client()
+
+    def device_census(ctx):
+        return sorted(ctx.api.list_devices())
+
+    view = client.submit_job("heterogeneous-census", device_census, vantage_point="node1")
+    platform.run_queue()
+    results = client.job_results(view.job_id)
+    print(f"API census job #{view.job_id} ({results.status}): "
+          f"{len(results.result)} devices on node1: {', '.join(results.result)}")
+
 
 if __name__ == "__main__":
     main()

@@ -17,7 +17,6 @@ Run it with ``python examples/join_vantage_point.py``.
 """
 
 from repro import build_default_platform
-from repro.accessserver.jobs import JobConstraints, JobSpec
 from repro.core.platform import add_vantage_point
 from repro.device.profiles import PIXEL_3A
 from repro.network.link import NetworkLink
@@ -48,22 +47,20 @@ def main() -> None:
     print("\nRegistered vantage points after joining:", [r.name for r in server.vantage_points()])
     print("DNS record:", server.dns.resolve("node2"))
 
-    # The new node is immediately schedulable: run a device-inventory job on it.
+    # The new node is immediately visible and schedulable through Platform
+    # API v1 — jobs are submitted and inspected via the client SDK only.
+    client = platform.client()
+    fleet = client.fleet()
+    print("Fleet over the API:", {vp.name: [d.serial for d in vp.devices] for vp in fleet.vantage_points})
+
     def inventory(ctx):
         return {serial: ctx.api.controller.device(serial).summary() for serial in ctx.api.list_devices()}
 
-    job = server.submit_job(
-        platform.experimenter,
-        JobSpec(
-            name="node2-inventory",
-            owner="experimenter",
-            run=inventory,
-            constraints=JobConstraints(vantage_point="node2"),
-        ),
-    )
-    server.run_pending_jobs()
-    print("\nInventory job result:")
-    for serial, summary in job.result.items():
+    view = client.submit_job("node2-inventory", inventory, vantage_point="node2")
+    platform.run_queue()
+    results = client.job_results(view.job_id)
+    print(f"\nInventory job #{view.job_id} ({results.status}) result:")
+    for serial, summary in results.result.items():
         print(f"  {serial}: {summary['model']} ({summary['os']}), battery {summary['battery_percent']}%")
 
 

@@ -9,7 +9,10 @@ Meross power socket), then walks the Table 1 API end to end:
 2. power the Monsoon through the WiFi socket and set its output voltage,
 3. play the pre-loaded mp4 on the device (the Section 4.1 workload),
 4. measure the current drawn for one minute and print the statistics,
-5. repeat with device mirroring active to see its overhead.
+5. repeat with device mirroring active to see its overhead,
+6. submit the same measurement as a *platform job* through the Platform
+   API v1 client SDK — the remote experimenter's path — and fetch its
+   results back over the API.
 
 Run it with ``python examples/quickstart.py``.
 """
@@ -58,6 +61,25 @@ def main() -> None:
     overhead = mirrored.median_current_ma() - plain.median_current_ma()
     print(f"device mirroring adds about {overhead:.0f} mA of median current draw")
     print(f"battery level after the runs: {platform.vantage_point().device().battery.level_percent:.1f}%")
+
+    # 6. The same measurement as a platform job, submitted and inspected
+    # exclusively through the Platform API v1 client (repro.api) — this is
+    # what a remote experimenter without their own hardware does.
+    client = platform.client()
+
+    def idle_measurement(ctx):
+        device = ctx.api.list_devices()[0]
+        trace = ctx.api.measure(device, duration=30.0, label="idle-job")
+        return {
+            "device": device,
+            "median_ma": round(trace.median_current_ma(), 1),
+            "discharge_mah": round(trace.discharge_mah(), 3),
+        }
+
+    view = client.submit_job("quickstart-idle", idle_measurement)
+    platform.run_queue()
+    results = client.job_results(view.job_id)
+    print(f"\nAPI-submitted job #{view.job_id} finished {results.status}: {results.result}")
 
 
 if __name__ == "__main__":

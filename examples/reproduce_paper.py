@@ -156,9 +156,40 @@ def main() -> None:
         )
     )
 
+    print("\nPlatform API v1 round-trip (JSON-lines gateway) ...")
+    _api_roundtrip_demo()
+
     elapsed = time.time() - started
     _write_markdown(sections, elapsed)
     print(f"\nWrote {OUTPUT} in {elapsed:.0f} s")
+
+
+def _api_roundtrip_demo() -> None:
+    """Submit and inspect one job over the remote (socket) transport.
+
+    Everything above ran the experiment drivers locally; this is the
+    deployment shape the paper promises — an experimenter reaching the
+    access server over a real wire, through the versioned client SDK.
+    """
+    from repro import build_default_platform
+    from repro.api import BatteryLabClient, JsonLinesTransport
+
+    platform = build_default_platform(seed=SEED, browsers=("chrome",))
+    gateway = platform.serve_gateway()
+    host, port = gateway.address
+    with BatteryLabClient(
+        JsonLinesTransport(host, port), "experimenter", "experimenter-token"
+    ) as client:
+        view = client.submit_job("repro-smoke", "noop")
+        platform.run_queue()
+        results = client.job_results(view.job_id)
+        status = client.server_status()
+        print(
+            f"  gateway at {host}:{port} — job #{view.job_id} {results.status}, "
+            f"server api_version {status.api_version}, "
+            f"{len(status.vantage_points)} vantage point(s)"
+        )
+    gateway.stop()
 
 
 def _write_markdown(sections, elapsed_s: float) -> None:

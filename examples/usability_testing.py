@@ -33,9 +33,11 @@ def main() -> None:
     controller = handle.controller
     device = handle.device()
 
-    # 1. Reserve a 15-minute interactive slot.
-    reservation = server.reserve_session(
-        platform.experimenter, "node1", device.serial, start_s=platform.context.now, duration_s=900.0
+    # 1. Reserve a 15-minute interactive slot — through the Platform API v1
+    # client, the same call a remote experimenter would make.
+    client = platform.client()
+    reservation = client.reserve_session(
+        "node1", device.serial, start_s=platform.context.now, duration_s=900.0
     )
     print(f"reservation #{reservation.reservation_id} for {reservation.duration_s/60:.0f} minutes")
 

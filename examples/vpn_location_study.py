@@ -10,30 +10,63 @@ tunnel to see how network location affects the energy readings (Figure 6).
 Expected shape: location barely matters — except Chrome through the Japanese
 exit, which downloads ~20% fewer ad bytes and therefore consumes less.
 
+Both halves of the study are submitted as *platform jobs* through the
+Platform API v1 client SDK (:mod:`repro.api`) and their row tables fetched
+back as JSON — the remote experimenter's workflow.
+
 Run it with ``python examples/vpn_location_study.py``.
 """
 
+from repro import build_default_platform
 from repro.analysis.tables import format_table
 from repro.experiments.vpn_study import run_vpn_energy_study, run_vpn_speedtests
 
 
+def speedtest_payload(ctx):
+    """Table 2: probe each ProtonVPN tunnel; returns the row table."""
+    return run_vpn_speedtests(probes_per_location=3, seed=7)
+
+
+def energy_payload(ctx):
+    """Figure 6: Brave and Chrome behind each tunnel (reduced workload)."""
+    study = run_vpn_energy_study(repetitions=1, scrolls_per_page=8, sample_rate_hz=50.0, seed=7)
+    drop = study.chrome_bandwidth_drop_japan()
+    chrome = {loc: study.discharge_summary(loc, "chrome").mean for loc in study.locations()}
+    return {
+        "rows": study.rows(),
+        "chrome_bandwidth_drop_japan": drop,
+        "cheapest_chrome_exit": min(chrome, key=chrome.get),
+    }
+
+
 def main() -> None:
-    print("Measuring each ProtonVPN tunnel with a speedtest probe ...")
-    table2 = run_vpn_speedtests(probes_per_location=3, seed=7)
+    platform = build_default_platform(seed=7, browsers=("chrome",))
+    client = platform.client()
+
+    print("Measuring each ProtonVPN tunnel with a speedtest probe (API job) ...")
+    table2_view = client.submit_job("vpn-speedtests", speedtest_payload)
+    platform.run_queue()
+    table2 = client.job_results(table2_view.job_id).result
     print(format_table(table2, title="Table 2 — ProtonVPN statistics"))
     print()
 
-    print("Running Brave and Chrome behind each tunnel (reduced workload) ...")
-    study = run_vpn_energy_study(repetitions=1, scrolls_per_page=8, sample_rate_hz=50.0, seed=7)
-    print(format_table(study.rows(), title="Figure 6 — discharge per VPN location"))
+    print("Running Brave and Chrome behind each tunnel (API job) ...")
+    energy_view = client.submit_job("vpn-energy-study", energy_payload)
+    platform.run_queue()
+    study = client.job_results(energy_view.job_id).result
+    print(format_table(study["rows"], title="Figure 6 — discharge per VPN location"))
     print()
 
-    drop = study.chrome_bandwidth_drop_japan()
+    drop = study["chrome_bandwidth_drop_japan"]
     if drop is not None:
         print(f"Chrome transfers {drop:.0%} fewer bytes through the Japanese exit (smaller ads).")
-    chrome = {loc: study.discharge_summary(loc, "chrome").mean for loc in study.locations()}
-    cheapest = min(chrome, key=chrome.get)
-    print(f"Chrome's energy consumption is minimised at the {cheapest!r} exit, as in the paper.")
+    print(
+        f"Chrome's energy consumption is minimised at the {study['cheapest_chrome_exit']!r} "
+        "exit, as in the paper."
+    )
+    print(
+        f"(jobs #{table2_view.job_id} and #{energy_view.job_id} ran through Platform API v1)"
+    )
 
 
 if __name__ == "__main__":

@@ -69,10 +69,13 @@ from repro.accessserver.persistence import (
     RecoveryReport,
     StorageBackend,
     attach_persistence,
+    get_payload,
     recover_into,
     register_payload,
+    unregister_payload,
 )
 from repro.accessserver.policies import (
+    CreditSharePolicy,
     DeadlinePolicy,
     FairSharePolicy,
     FifoPolicy,
@@ -116,7 +119,10 @@ __all__ = [
     "PriorityPolicy",
     "FairSharePolicy",
     "DeadlinePolicy",
+    "CreditSharePolicy",
     "create_policy",
+    "get_payload",
+    "unregister_payload",
     "StorageBackend",
     "InMemoryBackend",
     "FileBackend",

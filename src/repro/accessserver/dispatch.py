@@ -460,6 +460,7 @@ class DispatchEngine:
         self._assignments = 0
         self._reservation_admission = "ignore"
         self.reservation_admission = reservation_admission
+        self._credit_balance_provider: Optional[Callable[[], Dict[str, float]]] = None
 
     # -- configuration ---------------------------------------------------------------
     @property
@@ -482,6 +483,17 @@ class DispatchEngine:
     def set_policy(self, policy: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
         self._policy = create_policy(policy)
         return self._policy
+
+    def set_credit_balance_provider(
+        self, provider: Optional[Callable[[], Dict[str, float]]]
+    ) -> None:
+        """Feed per-owner credit balances into each tick's :class:`DispatchStats`.
+
+        The access server wires this when the credit system comes on; the
+        ``credit`` scheduling policy consumes the balances as fair-share
+        weights.  ``None`` disconnects (stats revert to empty balances).
+        """
+        self._credit_balance_provider = provider
 
     @property
     def event_bus(self) -> Optional[EventBus]:
@@ -712,7 +724,14 @@ class DispatchEngine:
 
     # -- internals --------------------------------------------------------------------
     def _stats(self, now: float) -> DispatchStats:
-        return DispatchStats(now=now, running_by_owner=dict(self._running_by_owner))
+        balances: Dict[str, float] = {}
+        if self._credit_balance_provider is not None:
+            balances = dict(self._credit_balance_provider())
+        return DispatchStats(
+            now=now,
+            running_by_owner=dict(self._running_by_owner),
+            credit_balance_by_owner=balances,
+        )
 
     def _find_slot(
         self,

@@ -114,6 +114,29 @@ def payload_name(payload: Callable) -> Optional[str]:
         return None
 
 
+def unregister_payload(name: str) -> None:
+    """Drop a payload from the catalogue (idempotent).
+
+    For short-lived payloads registered programmatically (the client SDK's
+    callable convenience): the registry is process-global, so a payload
+    closure left registered pins everything it captures for the process
+    lifetime.
+    """
+    payload = _PAYLOADS.pop(name, None)
+    if payload is not None:
+        _PAYLOAD_NAMES.pop(payload, None)
+
+
+def get_payload(name: str) -> Optional[Callable]:
+    """Look up a registered payload by name; ``None`` when unregistered.
+
+    The strict sibling of :func:`resolve_payload`: API submissions must
+    reject unknown payload names up front instead of accepting a job that
+    can only ever fail at execution time.
+    """
+    return _PAYLOADS.get(name)
+
+
 def resolve_payload(name: Optional[str]) -> Callable:
     """Look up a registered payload; unknown names get a failing stand-in."""
     if name is not None and name in _PAYLOADS:
@@ -711,6 +734,7 @@ class RecoveryReport:
     credit_accounts_restored: int = 0
     missing_vantage_points: List[str] = field(default_factory=list)
     missing_payloads: List[str] = field(default_factory=list)
+    orphaned_jobs: List[int] = field(default_factory=list)
 
 
 def recover_into(server: "AccessServer", backend: StorageBackend) -> RecoveryReport:
@@ -833,6 +857,12 @@ def recover_into(server: "AccessServer", backend: StorageBackend) -> RecoveryRep
         scheduler.restore_job(job, queued=True)
         report.jobs_queued += 1
 
+    # Jobs pinned to a vantage point that has not re-joined can never
+    # dispatch until an operator re-registers the topology; one predicate —
+    # AccessServer.orphaned_jobs(), which status() keeps reporting live —
+    # decides both the recovery report and the ongoing view.
+    report.orphaned_jobs = [job.job_id for job in server.orphaned_jobs()]
+
     server.log(
         "state recovered",
         jobs=report.jobs_restored,
@@ -840,6 +870,8 @@ def recover_into(server: "AccessServer", backend: StorageBackend) -> RecoveryRep
         requeued_in_flight=report.jobs_requeued_in_flight,
         reservations=report.reservations_restored,
         events_replayed=report.events_replayed,
+        orphaned_jobs=report.orphaned_jobs,
+        missing_vantage_points=report.missing_vantage_points,
     )
     return report
 

@@ -14,7 +14,10 @@ what fits its community:
   the fewest running jobs, FIFO within an owner;
 * ``deadline`` — earliest deadline first (EDF), where a job's deadline is
   ``submitted_at + timeout_s``: the latest moment its device time could
-  still elapse in full; ties keep submission order.
+  still elapse in full; ties keep submission order;
+* ``credit`` — weighted fair-share with each owner's remaining charge
+  balance (credit device-hours) as the weight: well-funded members drain
+  their queues proportionally faster, drained accounts yield the fleet.
 
 A policy only *orders* the queue snapshot for one dispatch tick; the
 constraint checks (free device, reservations, controller CPU) stay in
@@ -52,10 +55,16 @@ class DispatchStats:
     running_by_owner:
         Number of currently RUNNING jobs per owner username; owners with
         no running job are absent.
+    credit_balance_by_owner:
+        Remaining credit balance (device-hours) per owner, populated only
+        while the access server's credit system is enabled; empty
+        otherwise.  Consumed by the ``credit`` policy as its fair-share
+        weight.
     """
 
     now: float = 0.0
     running_by_owner: Mapping[str, int] = field(default_factory=dict)
+    credit_balance_by_owner: Mapping[str, float] = field(default_factory=dict)
 
 
 class SchedulingPolicy(abc.ABC):
@@ -146,6 +155,62 @@ class DeadlinePolicy(SchedulingPolicy):
         return sorted(jobs, key=lambda job: job.submitted_at + job.spec.timeout_s)
 
 
+class CreditSharePolicy(SchedulingPolicy):
+    """Weighted fair-share with the remaining charge balance as the weight.
+
+    The paper's conclusion sketches access-by-credit; this policy closes
+    the loop between the ledger and the dispatcher: owners are served
+    round-robin like ``fair-share``, but each owner's share count is
+    divided by their remaining credit balance (device-hours), so members
+    with more unspent credit drain their queues proportionally faster and
+    an owner running on fumes yields the fleet to those still holding
+    balance.  Owners without a ledger account — including every owner when
+    the credit system is off — weigh in at one device-hour, which reduces
+    the ordering to plain fair-share.  Within one owner jobs stay FIFO;
+    ties break on who has the earliest queued job.
+    """
+
+    name = "credit"
+
+    #: Weight for owners without a ledger account; also the floor for
+    #: drained accounts so a zero balance cannot divide by zero.
+    DEFAULT_WEIGHT = 1.0
+    MINIMUM_WEIGHT = 1e-6
+
+    def order(self, jobs: Sequence[Job], stats: DispatchStats) -> List[Job]:
+        queues: Dict[str, Deque[Job]] = {}
+        first_position: Dict[str, int] = {}
+        for position, job in enumerate(jobs):
+            owner = job.spec.owner
+            if owner not in queues:
+                queues[owner] = deque()
+                first_position[owner] = position
+            queues[owner].append(job)
+
+        def weight(owner: str) -> float:
+            balance = stats.credit_balance_by_owner.get(owner, self.DEFAULT_WEIGHT)
+            return max(balance, self.MINIMUM_WEIGHT)
+
+        # Virtual cost of an owner's next slot: (already running + handed out
+        # this tick + the slot itself) / weight.  The "+1" makes the weight
+        # bite from the very first pick — two idle owners differ by balance,
+        # not just submission position.
+        def key(owner: str, served: int) -> float:
+            return (stats.running_by_owner.get(owner, 0) + served + 1) / weight(owner)
+
+        heap = [(key(owner, 0), first_position[owner], owner) for owner in queues]
+        heapq.heapify(heap)
+        ordered: List[Job] = []
+        served: Dict[str, int] = {}
+        while heap:
+            _, position, owner = heapq.heappop(heap)
+            ordered.append(queues[owner].popleft())
+            served[owner] = served.get(owner, 0) + 1
+            if queues[owner]:
+                heapq.heappush(heap, (key(owner, served[owner]), position, owner))
+        return ordered
+
+
 POLICIES = {
     FifoPolicy.name: FifoPolicy,
     PriorityPolicy.name: PriorityPolicy,
@@ -153,6 +218,7 @@ POLICIES = {
     DeadlinePolicy.name: DeadlinePolicy,
     # "edf" is the textbook name for the same ordering.
     "edf": DeadlinePolicy,
+    CreditSharePolicy.name: CreditSharePolicy,
 }
 
 

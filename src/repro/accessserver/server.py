@@ -20,6 +20,15 @@ dispatch ticks on the simulation event loop, so callers no longer poll
 (``fifo``/``priority``/``fair-share``) is chosen per server via the
 ``scheduling_policy`` constructor argument or
 :meth:`AccessServer.set_scheduling_policy`.
+
+.. note::
+   Since Platform API v1 the sanctioned consumer surface is
+   :mod:`repro.api`: experiment code submits and inspects jobs through a
+   :class:`~repro.api.client.BatteryLabClient`, never by calling
+   :meth:`AccessServer.submit_job` / :meth:`AccessServer.reserve_session`
+   directly.  Those methods remain as thin compatibility shims — the
+   router executes through them — but direct use outside ``repro.api``
+   and the test suite is deprecated.
 """
 
 from __future__ import annotations
@@ -206,6 +215,9 @@ class AccessServer(Entity):
         self._credit_policy = CreditPolicy(
             ledger, minimum_reservation_hours=minimum_reservation_hours
         )
+        # The "credit" scheduling policy weighs owners by remaining balance;
+        # feed it live ledger balances through the dispatch stats.
+        self.scheduler.engine.set_credit_balance_provider(self._credit_balances)
         if self._persistence is not None:
             self._persistence.on_credit_enabled(
                 contribution_multiplier=contribution_multiplier,
@@ -214,6 +226,14 @@ class AccessServer(Entity):
             )
         self.log("credit system enabled")
         return ledger
+
+    def _credit_balances(self) -> Dict[str, float]:
+        if self._credit_policy is None:
+            return {}
+        return {
+            account.owner: account.balance_device_hours
+            for account in self._credit_policy.ledger.accounts()
+        }
 
     def _credit_account_for(self, owner: str):
         assert self._credit_policy is not None
@@ -279,6 +299,10 @@ class AccessServer(Entity):
     # -- job lifecycle ---------------------------------------------------------------------
     def submit_job(self, user: User, spec: JobSpec) -> Job:
         """Create a job on behalf of an authenticated user.
+
+        .. deprecated:: API v1
+           Compatibility shim — new code submits through
+           :meth:`repro.api.client.BatteryLabClient.submit_job`.
 
         Pipeline changes are parked until an administrator approves them;
         ordinary jobs go straight into the queue.  When the credit system is
@@ -543,7 +567,12 @@ class AccessServer(Entity):
         start_s: float,
         duration_s: float,
     ) -> SessionReservation:
-        """Reserve a timed interactive slot on one device."""
+        """Reserve a timed interactive slot on one device.
+
+        .. deprecated:: API v1
+           Compatibility shim — new code reserves through
+           :meth:`repro.api.client.BatteryLabClient.reserve_session`.
+        """
         self.users.authorize(user, Permission.REMOTE_CONTROL)
         self.vantage_point(vantage_point_name)
         reservation = self.scheduler.reserve_session(
@@ -586,7 +615,26 @@ class AccessServer(Entity):
         """Create the initial administrator account."""
         return self.users.add_user(username, Role.ADMIN, token)
 
+    def orphaned_jobs(self) -> List[Job]:
+        """Waiting jobs pinned to a vantage point that is not registered.
+
+        After crash recovery these are the journaled jobs whose vantage
+        point has not re-joined (``recover_into`` restores state, not
+        hardware); they sit in the queue undispatchable until an operator
+        re-registers the topology.  Computed live, so re-registering the
+        vantage point clears them from the report.
+        """
+        orphaned = []
+        for job in self.scheduler.jobs():
+            if job.status not in (JobStatus.QUEUED, JobStatus.PENDING_APPROVAL):
+                continue
+            required = job.spec.constraints.vantage_point
+            if required is not None and required not in self._vantage_points:
+                orphaned.append(job)
+        return orphaned
+
     def status(self) -> dict:
+        orphaned = self.orphaned_jobs()
         return {
             "vantage_points": [record.name for record in self.vantage_points()],
             "users": self.users.usernames(),
@@ -599,4 +647,8 @@ class AccessServer(Entity):
             "certificate_serial": self._wildcard_certificate.serial_number
             if self._wildcard_certificate
             else None,
+            "orphaned_jobs": [job.job_id for job in orphaned],
+            "orphaned_vantage_points": sorted(
+                {job.spec.constraints.vantage_point for job in orphaned}
+            ),
         }

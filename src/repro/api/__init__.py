@@ -1,0 +1,121 @@
+"""Platform API v1 — the versioned public face of BatteryLab.
+
+The paper's core promise is *remote* access to battery-measurement
+hardware; this package is the stable surface that makes the access server
+remote-able.  Consumers never poke :class:`~repro.accessserver.server.AccessServer`
+directly any more — they speak typed requests and responses through a
+:class:`~repro.api.client.BatteryLabClient`:
+
+* :mod:`repro.api.schemas` — versioned dataclass DTOs with strict
+  ``to_wire()``/``from_wire()`` JSON round-tripping and ``API_VERSION``
+  negotiation;
+* :mod:`repro.api.errors` — the typed error taxonomy with stable
+  machine-readable codes;
+* :mod:`repro.api.router` — operation-name → handler routing with
+  per-operation auth against the existing role matrix;
+* :mod:`repro.api.client` — the client SDK and the transport abstraction;
+* :mod:`repro.api.gateway` — a JSON-lines socket gateway plus its client
+  transport, so the same client code drives a local simulation or a
+  remote server.
+
+Quickstart::
+
+    from repro import build_default_platform
+
+    platform = build_default_platform(seed=7)
+    client = platform.client()                    # in-process transport
+    view = client.submit_job("smoke", "noop")     # registered payload name
+    platform.run_queue()
+    print(client.job_results(view.job_id).status)
+"""
+
+from repro.api.client import (
+    BatteryLabClient,
+    InProcessTransport,
+    Transport,
+    in_process_client,
+)
+from repro.api.errors import (
+    ApiError,
+    AuthenticationApiError,
+    ConflictApiError,
+    CreditApiError,
+    ERROR_CODES,
+    InternalApiError,
+    NotFoundApiError,
+    PermissionApiError,
+    TransportApiError,
+    UnknownOperationApiError,
+    ValidationApiError,
+    VersionApiError,
+    error_from_wire,
+    map_exception,
+)
+from repro.api.gateway import ApiGateway, JsonLinesTransport
+from repro.api.router import ApiRouter
+from repro.api.schemas import (
+    API_VERSION,
+    SUPPORTED_VERSIONS,
+    ApiRequest,
+    ApiResponse,
+    AuthCredentials,
+    CreditQuery,
+    CreditView,
+    DeviceView,
+    FleetView,
+    JobConstraintsV1,
+    JobListRequest,
+    JobRef,
+    JobResultsView,
+    JobView,
+    ReservationView,
+    ReserveSessionRequest,
+    StatusView,
+    SubmitJobRequest,
+    VantagePointView,
+    WireModel,
+)
+
+__all__ = [
+    "API_VERSION",
+    "SUPPORTED_VERSIONS",
+    "ApiError",
+    "ApiGateway",
+    "ApiRequest",
+    "ApiResponse",
+    "ApiRouter",
+    "AuthCredentials",
+    "AuthenticationApiError",
+    "BatteryLabClient",
+    "ConflictApiError",
+    "CreditApiError",
+    "CreditQuery",
+    "CreditView",
+    "DeviceView",
+    "ERROR_CODES",
+    "FleetView",
+    "InProcessTransport",
+    "InternalApiError",
+    "JobConstraintsV1",
+    "JobListRequest",
+    "JobRef",
+    "JobResultsView",
+    "JobView",
+    "JsonLinesTransport",
+    "NotFoundApiError",
+    "PermissionApiError",
+    "ReservationView",
+    "ReserveSessionRequest",
+    "StatusView",
+    "SubmitJobRequest",
+    "Transport",
+    "TransportApiError",
+    "UnknownOperationApiError",
+    "ValidationApiError",
+    "VantagePointView",
+    "VersionApiError",
+    "WireModel",
+    "error_from_wire",
+    "in_process_client",
+    "map_exception",
+]

@@ -1,0 +1,248 @@
+"""The BatteryLab client SDK — the sanctioned way into the platform.
+
+:class:`BatteryLabClient` wraps the v1 request/response protocol behind
+typed Python methods: every call builds an :class:`~repro.api.schemas.ApiRequest`,
+ships it through a :class:`Transport`, and either returns the parsed
+response DTO or raises the typed :class:`~repro.api.errors.ApiError` the
+server sent back.  The same client code drives a local simulation (via
+:class:`InProcessTransport`) or a remote access server (via
+:class:`~repro.api.gateway.JsonLinesTransport`) — transports are dumb
+byte pipes, all semantics live in the envelopes.
+
+Job payloads are *named*: a Python callable cannot cross a JSON wire, so
+``submit_job`` takes the name of a payload registered server-side with
+:func:`repro.accessserver.persistence.register_payload`.  As a local-use
+convenience, passing a callable auto-registers it in the (process-global)
+payload catalogue and submits its name — which works against in-process
+and same-process gateway servers, and fails loudly with
+``request.invalid`` against a genuinely remote server whose catalogue does
+not have it.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from typing import Callable, List, Optional, Union
+
+from repro.api.errors import ApiError, TransportApiError, error_from_wire
+from repro.api.schemas import (
+    API_VERSION,
+    ApiRequest,
+    ApiResponse,
+    AuthCredentials,
+    CreditView,
+    FleetView,
+    JobConstraintsV1,
+    JobResultsView,
+    JobView,
+    ReservationView,
+    StatusView,
+)
+
+
+class Transport(abc.ABC):
+    """Moves one wire-form request dict to a router and returns the response."""
+
+    @abc.abstractmethod
+    def send(self, request: dict) -> dict:
+        """Deliver ``request`` and return the wire-form response envelope."""
+
+    def close(self) -> None:
+        """Release transport resources (sockets); idempotent."""
+
+
+class InProcessTransport(Transport):
+    """Calls an :class:`~repro.api.router.ApiRouter` in the same process.
+
+    Every envelope still goes through a full JSON ``dumps``/``loads`` round
+    trip, so anything that would break on a real wire breaks identically
+    here — the local simulation cannot accidentally rely on passing live
+    Python objects through the API.
+    """
+
+    def __init__(self, router) -> None:
+        self._router = router
+
+    def send(self, request: dict) -> dict:
+        try:
+            wire_request = json.loads(json.dumps(request))
+        except (TypeError, ValueError) as exc:
+            raise TransportApiError(f"request is not JSON-serializable: {exc}") from None
+        response = self._router.handle(wire_request)
+        return json.loads(json.dumps(response))
+
+
+class BatteryLabClient:
+    """Typed v1 client bound to one user's credentials.
+
+    Parameters
+    ----------
+    transport:
+        Where requests go: :class:`InProcessTransport` for a local
+        simulation, :class:`~repro.api.gateway.JsonLinesTransport` for a
+        remote gateway.
+    username / token:
+        Credentials sent with every request (the gateway is stateless).
+    version:
+        Protocol version to claim; servers reject unsupported versions
+        with ``request.version_unsupported``.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        username: str,
+        token: str,
+        version: str = API_VERSION,
+    ) -> None:
+        self._transport = transport
+        self._auth = AuthCredentials(username=username, token=token)
+        self._version = version
+        self._request_id = 0
+
+    @property
+    def username(self) -> str:
+        return self._auth.username
+
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "BatteryLabClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- plumbing -----------------------------------------------------------
+    def _call(self, op: str, payload: Optional[dict] = None) -> dict:
+        self._request_id += 1
+        request = ApiRequest(
+            op=op,
+            version=self._version,
+            auth=self._auth,
+            payload=payload or {},
+            request_id=self._request_id,
+        )
+        raw = self._transport.send(request.to_wire())
+        response = ApiResponse.from_wire(raw)
+        if response.request_id not in (0, self._request_id):
+            raise TransportApiError(
+                f"response for request {response.request_id} arrived while "
+                f"waiting for {self._request_id}"
+            )
+        if not response.ok:
+            raise error_from_wire(response.error or {})
+        return response.payload or {}
+
+    # -- jobs ---------------------------------------------------------------
+    def submit_job(
+        self,
+        name: str,
+        payload: Union[str, Callable],
+        *,
+        owner: Optional[str] = None,
+        description: str = "",
+        priority: float = 0.0,
+        timeout_s: float = 3600.0,
+        is_pipeline_change: bool = False,
+        log_retention_days: float = 7.0,
+        vantage_point: Optional[str] = None,
+        device_serial: Optional[str] = None,
+        connectivity: Optional[str] = None,
+        require_low_controller_cpu: bool = False,
+        max_controller_cpu_percent: float = 50.0,
+    ) -> JobView:
+        """Submit one job; returns its :class:`~repro.api.schemas.JobView`.
+
+        ``payload`` is the server-side payload catalogue name; a callable is
+        auto-registered under ``client/<username>/<name>`` first (local-use
+        convenience, see the module docstring).
+        """
+        payload_name = self._resolve_payload_name(name, payload)
+        constraints = JobConstraintsV1(
+            vantage_point=vantage_point,
+            device_serial=device_serial,
+            connectivity=connectivity,
+            require_low_controller_cpu=require_low_controller_cpu,
+            max_controller_cpu_percent=max_controller_cpu_percent,
+        )
+        wire = self._call(
+            "job.submit",
+            {
+                "name": name,
+                "payload": payload_name,
+                "owner": owner,
+                "description": description,
+                "priority": priority,
+                "timeout_s": timeout_s,
+                "is_pipeline_change": is_pipeline_change,
+                "log_retention_days": log_retention_days,
+                "constraints": constraints.to_wire(),
+            },
+        )
+        return JobView.from_wire(wire)
+
+    def _resolve_payload_name(self, job_name: str, payload: Union[str, Callable]) -> str:
+        if isinstance(payload, str):
+            return payload
+        if not callable(payload):
+            raise TransportApiError(
+                f"payload must be a registered name or a callable, got {payload!r}"
+            )
+        from repro.accessserver.persistence import payload_name, register_payload
+
+        existing = payload_name(payload)
+        if existing is not None:
+            return existing
+        generated = f"client/{self.username}/{job_name}"
+        register_payload(generated, payload)
+        return generated
+
+    def job_status(self, job_id: int) -> JobView:
+        return JobView.from_wire(self._call("job.status", {"job_id": job_id}))
+
+    def list_jobs(self, status: Optional[str] = None) -> List[JobView]:
+        wire = self._call("job.list", {"status": status})
+        return [JobView.from_wire(item) for item in wire.get("jobs", [])]
+
+    def cancel_job(self, job_id: int) -> JobView:
+        return JobView.from_wire(self._call("job.cancel", {"job_id": job_id}))
+
+    def job_results(self, job_id: int) -> JobResultsView:
+        return JobResultsView.from_wire(self._call("job.results", {"job_id": job_id}))
+
+    # -- sessions, credits, fleet, status -----------------------------------
+    def reserve_session(
+        self,
+        vantage_point: str,
+        device_serial: str,
+        start_s: float,
+        duration_s: float,
+    ) -> ReservationView:
+        wire = self._call(
+            "session.reserve",
+            {
+                "vantage_point": vantage_point,
+                "device_serial": device_serial,
+                "start_s": start_s,
+                "duration_s": duration_s,
+            },
+        )
+        return ReservationView.from_wire(wire)
+
+    def credits_balance(self, owner: Optional[str] = None) -> CreditView:
+        return CreditView.from_wire(self._call("credits.balance", {"owner": owner}))
+
+    def fleet(self) -> FleetView:
+        return FleetView.from_wire(self._call("fleet.list"))
+
+    def server_status(self) -> StatusView:
+        return StatusView.from_wire(self._call("server.status"))
+
+
+def in_process_client(server, username: str, token: str) -> BatteryLabClient:
+    """A client driving ``server`` (an :class:`AccessServer`) in-process."""
+    from repro.api.router import ApiRouter
+
+    return BatteryLabClient(InProcessTransport(ApiRouter(server)), username, token)

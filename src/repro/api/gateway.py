@@ -1,0 +1,259 @@
+"""JSON-lines socket gateway: Platform API v1 over a real wire.
+
+The gateway is the remote-access deployment shape the paper promises: an
+access server in the cloud, experimenters anywhere.  The framing is
+deliberately primitive — one JSON request envelope per line, one JSON
+response envelope per line, UTF-8, ``\\n``-terminated — so any language
+with a socket and a JSON parser can drive the platform.
+
+* :class:`ApiGateway` — server side.  Accepts TCP connections, reads
+  request lines, pushes each through an
+  :class:`~repro.api.router.ApiRouter` (serialized by a lock: the access
+  server and the simulation behind it are single-threaded by design), and
+  writes the response line.  A malformed JSON line gets a well-formed
+  ``request.invalid`` error envelope back rather than a dropped
+  connection, so client bugs stay debuggable.
+* :class:`JsonLinesTransport` — the matching client
+  :class:`~repro.api.client.Transport`.  Connects lazily, reconnects once
+  per call after a broken connection, and raises
+  :class:`~repro.api.errors.TransportApiError` (code ``transport.failed``)
+  when the gateway cannot be reached.
+
+Threading model: callers of :meth:`ApiGateway.start` get a daemon accept
+thread plus one daemon thread per connection.  Requests across all
+connections are serialized through the router lock, so concurrent clients
+are safe but see sequential semantics — matching the single simulated
+clock they all share.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Optional, Tuple
+
+from repro.api.errors import TransportApiError, ValidationApiError
+from repro.api.schemas import API_VERSION, ApiResponse
+from repro.api.client import Transport
+
+
+class ApiGateway:
+    """Serve an :class:`~repro.api.router.ApiRouter` over newline-delimited JSON."""
+
+    def __init__(self, router, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._router = router
+        self._host = host
+        self._requested_port = port
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._router_lock = threading.Lock()
+        self._connections_lock = threading.Lock()
+        self._connections: set = set()
+        self._running = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; only meaningful after :meth:`start`."""
+        if self._listener is None:
+            raise RuntimeError("gateway is not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen and serve in background threads; returns the address."""
+        if self._running:
+            return self.address
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._requested_port))
+        listener.listen(16)
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="batterylab-gateway-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Stop serving: no new connections, established connections dropped."""
+        self._running = False
+        if self._listener is not None:
+            # shutdown() before close(): on Linux, close() alone does not
+            # wake a thread blocked in accept() — the in-progress syscall
+            # keeps the listening port alive and the "stopped" gateway
+            # would keep serving.  shutdown() forces accept() to return.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # never listened, or already torn down
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - platform-dependent teardown
+                pass
+            self._listener = None
+        # Established connections must go too, or a client that connected
+        # before stop() could keep mutating server state through a gateway
+        # its operator believes is down.  (The request currently holding
+        # the router lock, if any, still finishes — shutdown only unblocks
+        # the connection threads' reads.)
+        with self._connections_lock:
+            lingering = list(self._connections)
+        for connection in lingering:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # client already gone
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "ApiGateway":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- internals ----------------------------------------------------------
+    def _accept_loop(self) -> None:
+        # Bind the listener locally: stop() nulls self._listener from the
+        # main thread, and `self._listener.accept()` after that race is an
+        # AttributeError, not the OSError the loop handles.
+        listener = self._listener
+        while self._running and listener is not None:
+            try:
+                connection, _ = listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            if not self._running:
+                # stop() raced the accept: refuse rather than serve from a
+                # gateway the caller believes is down.
+                try:
+                    connection.close()
+                except OSError:  # pragma: no cover
+                    pass
+                break
+            threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="batterylab-gateway-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.add(connection)
+        try:
+            reader = connection.makefile("rb")
+            for raw_line in reader:
+                if not self._running:
+                    break
+                line = raw_line.strip()
+                if not line:
+                    continue
+                response = self._handle_line(line)
+                connection.sendall(json.dumps(response).encode("utf-8") + b"\n")
+        except OSError:
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            with self._connections_lock:
+                self._connections.discard(connection)
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _handle_line(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            error = ValidationApiError(f"request line is not valid JSON: {exc}")
+            return ApiResponse(
+                ok=False, version=API_VERSION, request_id=0, error=error.to_wire()
+            ).to_wire()
+        if not isinstance(request, dict):
+            error = ValidationApiError("request line must be a JSON object")
+            return ApiResponse(
+                ok=False, version=API_VERSION, request_id=0, error=error.to_wire()
+            ).to_wire()
+        with self._router_lock:
+            return self._router.handle(request)
+
+
+class JsonLinesTransport(Transport):
+    """Client transport speaking the gateway's newline-delimited JSON."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self._host = host
+        self._port = port
+        self._timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+
+    def _connect(self) -> None:
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout_s
+            )
+        except OSError as exc:
+            raise TransportApiError(
+                f"cannot reach gateway at {self._host}:{self._port}: {exc}",
+                details={"host": self._host, "port": self._port},
+            ) from None
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def send(self, request: dict) -> dict:
+        try:
+            frame = json.dumps(request).encode("utf-8") + b"\n"
+        except (TypeError, ValueError) as exc:
+            raise TransportApiError(f"request is not JSON-serializable: {exc}") from None
+        # One transparent reconnect: a server-side idle close between calls
+        # must not fail an otherwise healthy client.
+        for attempt in (0, 1):
+            if self._sock is None:
+                self._connect()
+            try:
+                self._sock.sendall(frame)
+                line = self._reader.readline()
+                if line:
+                    break
+                self.close()  # orderly server EOF: reconnect once
+            except OSError as exc:
+                self.close()
+                if attempt:
+                    raise TransportApiError(
+                        f"gateway connection failed: {exc}",
+                        details={"host": self._host, "port": self._port},
+                    ) from None
+        else:
+            raise TransportApiError(
+                "gateway closed the connection without responding",
+                details={"host": self._host, "port": self._port},
+            )
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TransportApiError(f"gateway sent an invalid frame: {exc}") from None
+        if not isinstance(response, dict):
+            raise TransportApiError("gateway sent a non-object frame")
+        return response
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None

@@ -1,0 +1,269 @@
+"""Operation routing for Platform API v1.
+
+:class:`ApiRouter` is the server side of the API: it receives a wire-form
+request envelope (a plain dict, however it travelled), authenticates the
+caller against the access server's :class:`~repro.accessserver.auth.UserRegistry`,
+enforces the per-operation permission from the same role matrix that guards
+the web console, executes the handler against :class:`~repro.accessserver.server.AccessServer`,
+and returns a wire-form response envelope.  All domain exceptions are
+translated to the typed taxonomy of :mod:`repro.api.errors` at this
+boundary — a transport never sees a raw ``JobError`` or ``ValueError``.
+
+The v1 operation table:
+
+=================== =========================== ======================= ==================
+operation           permission                  request DTO             response DTO
+=================== =========================== ======================= ==================
+``job.submit``      ``create_job``              ``SubmitJobRequest``    ``JobView``
+``job.status``      ``view_results``            ``JobRef``              ``JobView``
+``job.list``        ``view_results``            ``JobListRequest``      ``{"jobs": [JobView]}``
+``job.cancel``      ``edit_job``                ``JobRef``              ``JobView``
+``job.results``     ``view_results``            ``JobRef``              ``JobResultsView``
+``session.reserve`` ``remote_control``          ``ReserveSessionRequest`` ``ReservationView``
+``credits.balance`` ``view_results``            ``CreditQuery``         ``CreditView``
+``fleet.list``      ``view_results``            (none)                  ``FleetView``
+``server.status``   ``view_results``            (none)                  ``StatusView``
+=================== =========================== ======================= ==================
+
+Ownership rules: ``job.results`` and ``job.cancel`` are restricted to the
+job's owner (or an admin); ``job.submit`` with an explicit ``owner`` other
+than the caller requires the admin role; ``credits.balance`` for another
+owner requires the admin role.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.accessserver.auth import Permission, Role, User
+from repro.accessserver.jobs import JobSpec, JobStatus
+from repro.accessserver.persistence import get_payload
+from repro.api.errors import (
+    ApiError,
+    AuthenticationApiError,
+    NotFoundApiError,
+    PermissionApiError,
+    UnknownOperationApiError,
+    ValidationApiError,
+    VersionApiError,
+    map_exception,
+)
+from repro.api.schemas import (
+    API_VERSION,
+    SUPPORTED_VERSIONS,
+    ApiRequest,
+    ApiResponse,
+    CreditQuery,
+    CreditView,
+    DeviceView,
+    FleetView,
+    JobListRequest,
+    JobRef,
+    JobResultsView,
+    JobView,
+    ReservationView,
+    ReserveSessionRequest,
+    StatusView,
+    SubmitJobRequest,
+    VantagePointView,
+)
+
+
+class ApiRouter:
+    """Maps v1 operation names to handlers executing against one server."""
+
+    def __init__(self, server) -> None:
+        self._server = server
+        self._ops: Dict[str, Tuple[Permission, Callable[[User, dict], dict]]] = {
+            "job.submit": (Permission.CREATE_JOB, self._op_job_submit),
+            "job.status": (Permission.VIEW_RESULTS, self._op_job_status),
+            "job.list": (Permission.VIEW_RESULTS, self._op_job_list),
+            "job.cancel": (Permission.EDIT_JOB, self._op_job_cancel),
+            "job.results": (Permission.VIEW_RESULTS, self._op_job_results),
+            "session.reserve": (Permission.REMOTE_CONTROL, self._op_session_reserve),
+            "credits.balance": (Permission.VIEW_RESULTS, self._op_credits_balance),
+            "fleet.list": (Permission.VIEW_RESULTS, self._op_fleet_list),
+            "server.status": (Permission.VIEW_RESULTS, self._op_server_status),
+        }
+
+    @property
+    def server(self):
+        return self._server
+
+    def operations(self) -> Dict[str, Permission]:
+        """The routable operation names and their required permissions."""
+        return {name: permission for name, (permission, _) in self._ops.items()}
+
+    # -- entry point --------------------------------------------------------
+    def handle(self, request: dict) -> dict:
+        """Execute one wire-form request and return the wire-form response.
+
+        Never raises: every failure becomes an error envelope with a stable
+        code, which is what lets remote transports stay dumb pipes.
+        """
+        request_id = request.get("request_id") if isinstance(request, dict) else 0
+        if not isinstance(request_id, int) or isinstance(request_id, bool):
+            request_id = 0
+        try:
+            envelope = ApiRequest.from_wire(request)
+            if envelope.version not in SUPPORTED_VERSIONS:
+                raise VersionApiError(
+                    f"API version {envelope.version!r} is not supported",
+                    details={"supported_versions": list(SUPPORTED_VERSIONS)},
+                )
+            try:
+                permission, handler = self._ops[envelope.op]
+            except KeyError:
+                raise UnknownOperationApiError(
+                    f"unknown operation {envelope.op!r}",
+                    details={"operations": sorted(self._ops)},
+                ) from None
+            user = self._authenticate(envelope, permission)
+            payload = handler(user, envelope.payload)
+        except Exception as exc:  # noqa: BLE001 - boundary translation
+            error = map_exception(exc)
+            return ApiResponse(
+                ok=False,
+                version=API_VERSION,
+                request_id=request_id,
+                error=error.to_wire(),
+            ).to_wire()
+        return ApiResponse(
+            ok=True, version=API_VERSION, request_id=request_id, payload=payload
+        ).to_wire()
+
+    def _authenticate(self, envelope: ApiRequest, permission: Permission) -> User:
+        if envelope.auth is None:
+            raise AuthenticationApiError(
+                "operation requires credentials", details={"op": envelope.op}
+            )
+        user = self._server.users.authenticate(envelope.auth.username, envelope.auth.token)
+        self._server.users.authorize(user, permission)
+        return user
+
+    # -- helpers ------------------------------------------------------------
+    def _job(self, job_id: int):
+        return self._server.scheduler.job(job_id)
+
+    def _require_owner_or_admin(self, user: User, owner: str, action: str) -> None:
+        if user.username != owner and user.role is not Role.ADMIN:
+            raise PermissionApiError(
+                f"only {owner!r} or an admin may {action}",
+                details={"owner": owner, "caller": user.username},
+            )
+
+    # -- handlers -----------------------------------------------------------
+    def _op_job_submit(self, user: User, payload: dict) -> dict:
+        request = SubmitJobRequest.from_wire(payload)
+        owner = request.owner or user.username
+        self._require_owner_or_admin(user, owner, "submit jobs owned by them")
+        run = get_payload(request.payload)
+        if run is None:
+            raise ValidationApiError(
+                f"unknown payload {request.payload!r}; register it server-side "
+                "with register_payload() first",
+                details={"payload": request.payload},
+            )
+        spec = JobSpec(
+            name=request.name,
+            owner=owner,
+            run=run,
+            description=request.description,
+            constraints=request.constraints.to_domain(),
+            priority=request.priority,
+            timeout_s=request.timeout_s,
+            is_pipeline_change=request.is_pipeline_change,
+            log_retention_days=request.log_retention_days,
+        )
+        job = self._server.submit_job(user, spec)
+        return JobView.from_job(job).to_wire()
+
+    def _op_job_status(self, user: User, payload: dict) -> dict:
+        ref = JobRef.from_wire(payload)
+        return JobView.from_job(self._job(ref.job_id)).to_wire()
+
+    def _op_job_list(self, user: User, payload: dict) -> dict:
+        request = JobListRequest.from_wire(payload)
+        status: Optional[JobStatus] = None
+        if request.status is not None:
+            try:
+                status = JobStatus(request.status)
+            except ValueError:
+                raise ValidationApiError(
+                    f"unknown job status {request.status!r}",
+                    details={"statuses": [s.value for s in JobStatus]},
+                ) from None
+        jobs = self._server.scheduler.jobs(status)
+        return {"jobs": [JobView.from_job(job).to_wire() for job in jobs]}
+
+    def _op_job_cancel(self, user: User, payload: dict) -> dict:
+        ref = JobRef.from_wire(payload)
+        job = self._job(ref.job_id)
+        self._require_owner_or_admin(user, job.spec.owner, "cancel this job")
+        self._server.scheduler.cancel(ref.job_id)
+        return JobView.from_job(job).to_wire()
+
+    def _op_job_results(self, user: User, payload: dict) -> dict:
+        ref = JobRef.from_wire(payload)
+        job = self._job(ref.job_id)
+        self._require_owner_or_admin(user, job.spec.owner, "read its results")
+        return JobResultsView.from_job(job).to_wire()
+
+    def _op_session_reserve(self, user: User, payload: dict) -> dict:
+        request = ReserveSessionRequest.from_wire(payload)
+        reservation = self._server.reserve_session(
+            user,
+            request.vantage_point,
+            request.device_serial,
+            request.start_s,
+            request.duration_s,
+        )
+        return ReservationView.from_reservation(reservation).to_wire()
+
+    def _op_credits_balance(self, user: User, payload: dict) -> dict:
+        request = CreditQuery.from_wire(payload)
+        owner = request.owner or user.username
+        self._require_owner_or_admin(user, owner, "read their balance")
+        policy = self._server.credit_policy
+        if policy is None:
+            raise NotFoundApiError("the credit system is not enabled on this server")
+        return CreditView.from_account(policy.ledger.account(owner)).to_wire()
+
+    def _op_fleet_list(self, user: User, payload: dict) -> dict:
+        scheduler = self._server.scheduler
+        vantage_points = []
+        for record in self._server.vantage_points():
+            devices = [
+                DeviceView(
+                    serial=serial,
+                    busy=scheduler.device_busy(record.name, serial),
+                )
+                for serial in record.controller.list_devices()
+            ]
+            vantage_points.append(
+                VantagePointView(
+                    name=record.name,
+                    institution=record.institution,
+                    dns_name=record.dns_name,
+                    approved=record.approved,
+                    devices=devices,
+                )
+            )
+        return FleetView(vantage_points=vantage_points).to_wire()
+
+    def _op_server_status(self, user: User, payload: dict) -> dict:
+        status = self._server.status()
+        return StatusView(
+            api_version=API_VERSION,
+            vantage_points=status["vantage_points"],
+            users=status["users"],
+            queued_jobs=status["queued_jobs"],
+            pending_approval=status["pending_approval"],
+            scheduling_policy=status["scheduling_policy"],
+            reservation_admission=status["reservation_admission"],
+            auto_dispatch=status["auto_dispatch"],
+            persistence=status["persistence"],
+            certificate_serial=status["certificate_serial"],
+            orphaned_jobs=status.get("orphaned_jobs", []),
+            orphaned_vantage_points=status.get("orphaned_vantage_points", []),
+        ).to_wire()

@@ -1,0 +1,480 @@
+"""Versioned request/response DTOs for Platform API v1.
+
+Every object that crosses the API boundary — requests, views, the
+request/response envelopes themselves — is a :class:`WireModel` dataclass
+with strict ``to_wire()`` / ``from_wire()`` JSON round-tripping:
+
+* ``to_wire()`` produces a dict containing only JSON primitives, lists and
+  nested dicts, suitable for ``json.dumps`` with no custom encoder;
+* ``from_wire()`` validates the payload *strictly*: unknown keys are
+  rejected, required keys must be present, and every value is type-checked
+  against the field annotation (the only coercion allowed is int → float).
+  Fields with defaults may be omitted, which is what makes *adding* a field
+  a compatible change within v1.
+
+:data:`API_VERSION` travels in every envelope.  A server rejects versions
+outside :data:`SUPPORTED_VERSIONS` with ``request.version_unsupported``, so
+an incompatible client fails loudly at the first call instead of
+misinterpreting payloads.  The golden tests in
+``tests/test_api_schemas.py`` pin the exact wire form of every DTO; a
+change that breaks them is a v1 compatibility break and needs a version
+bump instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.api.errors import ValidationApiError
+
+#: The protocol version this module implements.
+API_VERSION = "1.0"
+
+#: Versions this server accepts in request envelopes.
+SUPPORTED_VERSIONS = ("1.0",)
+
+
+def _is_optional(hint) -> bool:
+    return typing.get_origin(hint) is typing.Union and type(None) in typing.get_args(hint)
+
+
+def _strip_optional(hint):
+    if not _is_optional(hint):
+        return hint
+    args = [arg for arg in typing.get_args(hint) if arg is not type(None)]
+    if len(args) != 1:
+        raise TypeError(f"unsupported union type {hint!r}")
+    return args[0]
+
+
+def _check_value(name: str, value, hint):
+    """Validate ``value`` against the field annotation, returning it converted.
+
+    Raises :class:`ValidationApiError` on a type mismatch.  Supports the
+    types wire models are built from: primitives, ``Optional``, ``List``,
+    nested :class:`WireModel` subclasses, and the free-form ``object`` /
+    ``dict`` escape hatches used by envelopes.
+    """
+    if _is_optional(hint):
+        if value is None:
+            return None
+        return _check_value(name, value, _strip_optional(hint))
+    origin = typing.get_origin(hint)
+    if origin in (list, typing.List):
+        if not isinstance(value, list):
+            raise ValidationApiError(
+                f"field {name!r} must be a list", details={"field": name}
+            )
+        (item_hint,) = typing.get_args(hint)
+        return [_check_value(f"{name}[{i}]", item, item_hint) for i, item in enumerate(value)]
+    if isinstance(hint, type) and issubclass(hint, WireModel):
+        if isinstance(value, hint):
+            return value
+        if not isinstance(value, dict):
+            raise ValidationApiError(
+                f"field {name!r} must be an object", details={"field": name}
+            )
+        return hint.from_wire(value)
+    if hint is object:
+        return value
+    if hint in (dict, Dict):
+        if not isinstance(value, dict):
+            raise ValidationApiError(
+                f"field {name!r} must be an object", details={"field": name}
+            )
+        return value
+    if hint is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValidationApiError(
+                f"field {name!r} must be a number", details={"field": name}
+            )
+        return float(value)
+    if hint is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationApiError(
+                f"field {name!r} must be an integer", details={"field": name}
+            )
+        return value
+    if hint is bool:
+        if not isinstance(value, bool):
+            raise ValidationApiError(
+                f"field {name!r} must be a boolean", details={"field": name}
+            )
+        return value
+    if hint is str:
+        if not isinstance(value, str):
+            raise ValidationApiError(
+                f"field {name!r} must be a string", details={"field": name}
+            )
+        return value
+    raise TypeError(f"unsupported wire field type {hint!r} for {name!r}")
+
+
+def _wire_value(value):
+    if isinstance(value, WireModel):
+        return value.to_wire()
+    if isinstance(value, (list, tuple)):
+        return [_wire_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _wire_value(item) for key, item in value.items()}
+    return value
+
+
+def json_safe(value) -> bool:
+    """Whether ``value`` survives a ``json.dumps``/``loads`` round trip."""
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+class WireModel:
+    """Base class giving every DTO strict ``to_wire`` / ``from_wire``.
+
+    Subclasses are plain dataclasses; the wire form is derived from the
+    dataclass fields and their type annotations, so the dataclass *is* the
+    schema.
+    """
+
+    @classmethod
+    def _hints(cls) -> Dict[str, object]:
+        cached = cls.__dict__.get("_hints_cache")
+        if cached is None:
+            cached = typing.get_type_hints(cls)
+            cls._hints_cache = cached
+        return cached
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            f.name: _wire_value(getattr(self, f.name)) for f in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, object]) -> "WireModel":
+        if not isinstance(data, dict):
+            raise ValidationApiError(
+                f"{cls.__name__} payload must be an object",
+                details={"schema": cls.__name__},
+            )
+        hints = cls._hints()
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValidationApiError(
+                f"{cls.__name__} does not accept field(s) {', '.join(map(repr, unknown))}",
+                details={"schema": cls.__name__, "unknown_fields": unknown},
+            )
+        kwargs = {}
+        for f in dataclasses.fields(cls):
+            if f.name in data:
+                kwargs[f.name] = _check_value(f.name, data[f.name], hints[f.name])
+            elif (
+                f.default is dataclasses.MISSING
+                and f.default_factory is dataclasses.MISSING
+            ):
+                raise ValidationApiError(
+                    f"{cls.__name__} is missing required field {f.name!r}",
+                    details={"schema": cls.__name__, "missing_field": f.name},
+                )
+        return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Job DTOs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JobConstraintsV1(WireModel):
+    """Wire form of :class:`repro.accessserver.jobs.JobConstraints`."""
+
+    vantage_point: Optional[str] = None
+    device_serial: Optional[str] = None
+    connectivity: Optional[str] = None
+    require_low_controller_cpu: bool = False
+    max_controller_cpu_percent: float = 50.0
+
+    def to_domain(self):
+        from repro.accessserver.jobs import JobConstraints
+
+        return JobConstraints(
+            vantage_point=self.vantage_point,
+            device_serial=self.device_serial,
+            connectivity=self.connectivity,
+            require_low_controller_cpu=self.require_low_controller_cpu,
+            max_controller_cpu_percent=self.max_controller_cpu_percent,
+        )
+
+    @classmethod
+    def from_domain(cls, constraints) -> "JobConstraintsV1":
+        return cls(
+            vantage_point=constraints.vantage_point,
+            device_serial=constraints.device_serial,
+            connectivity=constraints.connectivity,
+            require_low_controller_cpu=constraints.require_low_controller_cpu,
+            max_controller_cpu_percent=constraints.max_controller_cpu_percent,
+        )
+
+
+@dataclass
+class SubmitJobRequest(WireModel):
+    """``job.submit`` request: everything needed to create one job.
+
+    ``payload`` names a callable registered server-side with
+    :func:`repro.accessserver.persistence.register_payload` — Python
+    callables cannot cross a JSON wire, so the payload catalogue is the
+    remote-able contract (exactly as journaled jobs already work).
+    ``owner`` defaults to the authenticated user; submitting on behalf of
+    someone else requires the admin role.
+    """
+
+    name: str
+    payload: str
+    owner: Optional[str] = None
+    description: str = ""
+    priority: float = 0.0
+    timeout_s: float = 3600.0
+    is_pipeline_change: bool = False
+    log_retention_days: float = 7.0
+    constraints: JobConstraintsV1 = field(default_factory=JobConstraintsV1)
+
+
+@dataclass
+class JobView(WireModel):
+    """``job.submit`` / ``job.status`` response: one job's public state."""
+
+    job_id: int
+    name: str
+    owner: str
+    status: str
+    priority: float = 0.0
+    timeout_s: float = 3600.0
+    is_pipeline_change: bool = False
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    vantage_point: Optional[str] = None
+    device_serial: Optional[str] = None
+    error: Optional[str] = None
+
+    @classmethod
+    def from_job(cls, job) -> "JobView":
+        return cls(
+            job_id=job.job_id,
+            name=job.spec.name,
+            owner=job.spec.owner,
+            status=job.status.value,
+            priority=job.spec.priority,
+            timeout_s=job.spec.timeout_s,
+            is_pipeline_change=job.spec.is_pipeline_change,
+            submitted_at=job.submitted_at,
+            started_at=job.started_at,
+            finished_at=job.finished_at,
+            vantage_point=job.assigned_vantage_point,
+            device_serial=job.assigned_device,
+            error=job.error,
+        )
+
+
+@dataclass
+class JobResultsView(WireModel):
+    """``job.results`` response: outcome, logs and workspace inventory.
+
+    ``result`` carries the payload's return value when it is JSON-safe
+    (dicts of numbers, row lists, strings, ...); otherwise it is ``None``
+    and ``result_repr`` still shows what the payload produced.
+    """
+
+    job_id: int
+    status: str
+    result: object = None
+    result_repr: Optional[str] = None
+    error: Optional[str] = None
+    log_lines: List[str] = field(default_factory=list)
+    artifact_names: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_job(cls, job) -> "JobResultsView":
+        result = job.result if json_safe(job.result) else None
+        return cls(
+            job_id=job.job_id,
+            status=job.status.value,
+            result=result,
+            result_repr=repr(job.result) if job.result is not None else None,
+            error=job.error,
+            log_lines=list(job.log_lines),
+            artifact_names=job.workspace.names(),
+        )
+
+
+@dataclass
+class JobRef(WireModel):
+    """``job.status`` / ``job.cancel`` / ``job.results`` request: one job id."""
+
+    job_id: int
+
+
+@dataclass
+class JobListRequest(WireModel):
+    """``job.list`` request; ``status`` optionally filters by state name."""
+
+    status: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Sessions, credits, fleet, status
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReserveSessionRequest(WireModel):
+    """``session.reserve`` request: a timed interactive slot on one device."""
+
+    vantage_point: str
+    device_serial: str
+    start_s: float
+    duration_s: float
+
+
+@dataclass
+class ReservationView(WireModel):
+    """``session.reserve`` response: the booked slot."""
+
+    reservation_id: int
+    username: str
+    vantage_point: str
+    device_serial: str
+    start_s: float
+    duration_s: float
+    end_s: float
+
+    @classmethod
+    def from_reservation(cls, reservation) -> "ReservationView":
+        return cls(
+            reservation_id=reservation.reservation_id,
+            username=reservation.username,
+            vantage_point=reservation.vantage_point,
+            device_serial=reservation.device_serial,
+            start_s=reservation.start_s,
+            duration_s=reservation.duration_s,
+            end_s=reservation.start_s + reservation.duration_s,
+        )
+
+
+@dataclass
+class CreditView(WireModel):
+    """``credits.balance`` response: one account's standing."""
+
+    owner: str
+    balance_device_hours: float
+    contributes_hardware: bool = False
+    transaction_count: int = 0
+
+    @classmethod
+    def from_account(cls, account) -> "CreditView":
+        return cls(
+            owner=account.owner,
+            balance_device_hours=account.balance_device_hours,
+            contributes_hardware=account.contributes_hardware,
+            transaction_count=len(account.transactions),
+        )
+
+
+@dataclass
+class CreditQuery(WireModel):
+    """``credits.balance`` request; admins may name another ``owner``."""
+
+    owner: Optional[str] = None
+
+
+@dataclass
+class DeviceView(WireModel):
+    """One test device slot as seen by the dispatcher."""
+
+    serial: str
+    busy: bool = False
+
+
+@dataclass
+class VantagePointView(WireModel):
+    """One registered vantage point and its device inventory."""
+
+    name: str
+    institution: str
+    dns_name: str
+    approved: bool = True
+    devices: List[DeviceView] = field(default_factory=list)
+
+
+@dataclass
+class FleetView(WireModel):
+    """``fleet.list`` response: every vantage point with live busy flags."""
+
+    vantage_points: List[VantagePointView] = field(default_factory=list)
+
+    def device_serials(self) -> List[str]:
+        return [d.serial for vp in self.vantage_points for d in vp.devices]
+
+
+@dataclass
+class StatusView(WireModel):
+    """``server.status`` response: platform-wide operational state.
+
+    ``orphaned_jobs`` lists queued/pending job ids pinned to a vantage
+    point that is *not currently registered* — after crash recovery these
+    are the journaled jobs waiting for an operator to re-register the
+    topology (``orphaned_vantage_points`` names what is missing).
+    """
+
+    api_version: str
+    vantage_points: List[str] = field(default_factory=list)
+    users: List[str] = field(default_factory=list)
+    queued_jobs: int = 0
+    pending_approval: int = 0
+    scheduling_policy: str = "fifo"
+    reservation_admission: str = "ignore"
+    auto_dispatch: bool = False
+    persistence: bool = False
+    certificate_serial: Optional[int] = None
+    orphaned_jobs: List[int] = field(default_factory=list)
+    orphaned_vantage_points: List[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Envelopes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AuthCredentials(WireModel):
+    """Per-request credentials; the gateway is stateless by design."""
+
+    username: str
+    token: str
+
+
+@dataclass
+class ApiRequest(WireModel):
+    """The request envelope every transport carries."""
+
+    op: str
+    version: str = API_VERSION
+    auth: Optional[AuthCredentials] = None
+    payload: dict = field(default_factory=dict)
+    request_id: int = 0
+
+
+@dataclass
+class ApiResponse(WireModel):
+    """The response envelope: exactly one of ``payload`` / ``error`` is set."""
+
+    ok: bool
+    version: str = API_VERSION
+    request_id: int = 0
+    payload: Optional[dict] = None
+    error: Optional[dict] = None

@@ -13,6 +13,15 @@ regenerate any of the paper's tables and figures without writing Python::
     batterylab-repro locations
     batterylab-repro dispatch-bench --devices 100 --jobs 1000
 
+Platform-operations subcommands drive the access server exclusively
+through the Platform API v1 client SDK (:mod:`repro.api`) — the same
+typed request/response layer a remote experimenter would use::
+
+    batterylab-repro --state-dir ./state submit --name nightly --payload noop
+    batterylab-repro --state-dir ./state status
+    batterylab-repro --state-dir ./state cancel --job-id 3
+    batterylab-repro --state-dir ./state fleet
+
 Each command prints the reproduced rows as an aligned table.  ``--seed``
 controls the simulation seed so runs are reproducible, and
 ``--scheduling-policy`` selects the dispatch queue ordering
@@ -72,10 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--state-dir",
         default=None,
         metavar="DIR",
-        help="for quickstart: journal access-server state (jobs, reservations, "
-        "credits) under DIR and recover any previous run's state from it on "
-        "startup (the figure/table commands build throwaway platforms and "
-        "ignore this)",
+        help="for quickstart and the API subcommands (submit/status/cancel/fleet): "
+        "journal access-server state (jobs, reservations, credits) under DIR "
+        "and recover any previous run's state from it on startup (the "
+        "figure/table commands build throwaway platforms and ignore this)",
     )
     parser.add_argument(
         "--no-persistence",
@@ -114,7 +123,141 @@ def build_parser() -> argparse.ArgumentParser:
     figure6.add_argument("--repetitions", type=int, default=1)
 
     sub.add_parser("sysperf", help="controller CPU/memory/network and mirroring latency")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a job through the Platform API v1 client (payloads by registered name)",
+    )
+    submit.add_argument("--name", required=True, help="job name")
+    submit.add_argument(
+        "--payload",
+        default="noop",
+        help="registered payload name (see register_payload; default: noop)",
+    )
+    submit.add_argument("--priority", type=float, default=0.0, help="scheduling priority")
+    submit.add_argument("--timeout", type=float, default=3600.0, help="job timeout in seconds")
+    submit.add_argument(
+        "--vantage-point", default=None, help="pin the job to one vantage point"
+    )
+    submit.add_argument("--device", default=None, help="pin the job to one device serial")
+    submit.add_argument(
+        "--no-run",
+        action="store_true",
+        help="leave the job queued instead of draining the queue before exiting "
+        "(useful with --state-dir: a later run recovers and executes it)",
+    )
+
+    status = sub.add_parser(
+        "status", help="platform status via the API (queue depth, orphaned jobs, policy)"
+    )
+    status.add_argument(
+        "--jobs", action="store_true", help="also list every known job with its state"
+    )
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job via the API")
+    cancel.add_argument("--job-id", type=int, required=True, help="id of the job to cancel")
+
+    sub.add_parser("fleet", help="list vantage points and device slots via the API")
     return parser
+
+
+def _ops_platform(args):
+    """The shared platform for the API-driven subcommands (submit/status/...)."""
+    return build_default_platform(
+        seed=args.seed,
+        browsers=("chrome",),
+        scheduling_policy=args.scheduling_policy,
+        reservation_admission=args.reservation_admission,
+        state_dir=args.state_dir,
+        persistence=not args.no_persistence,
+    )
+
+
+def _job_row(view) -> dict:
+    return {
+        "job_id": view.job_id,
+        "name": view.name,
+        "owner": view.owner,
+        "status": view.status,
+        "priority": view.priority,
+        "vantage_point": view.vantage_point or "-",
+        "device": view.device_serial or "-",
+    }
+
+
+def _cmd_submit(args) -> str:
+    platform = _ops_platform(args)
+    client = platform.client()
+    view = client.submit_job(
+        args.name,
+        args.payload,
+        priority=args.priority,
+        timeout_s=args.timeout,
+        vantage_point=args.vantage_point,
+        device_serial=args.device,
+    )
+    sections = [format_table([_job_row(view)], title="Submitted (Platform API v1)")]
+    if not args.no_run:
+        platform.run_queue()
+        final = client.job_status(view.job_id)
+        results = client.job_results(view.job_id)
+        row = _job_row(final)
+        row["result"] = results.result if results.result is not None else (results.error or "-")
+        sections.append(format_table([row], title="After dispatch"))
+    return "\n\n".join(sections)
+
+
+def _cmd_status(args) -> str:
+    platform = _ops_platform(args)
+    client = platform.client()
+    view = client.server_status()
+    rows = [
+        {"field": "api_version", "value": view.api_version},
+        {"field": "vantage_points", "value": ", ".join(view.vantage_points) or "-"},
+        {"field": "queued_jobs", "value": view.queued_jobs},
+        {"field": "pending_approval", "value": view.pending_approval},
+        {"field": "scheduling_policy", "value": view.scheduling_policy},
+        {"field": "reservation_admission", "value": view.reservation_admission},
+        {"field": "persistence", "value": view.persistence},
+        {
+            "field": "orphaned_jobs",
+            "value": ", ".join(map(str, view.orphaned_jobs)) or "-",
+        },
+        {
+            "field": "orphaned_vantage_points",
+            "value": ", ".join(view.orphaned_vantage_points) or "-",
+        },
+    ]
+    sections = [format_table(rows, title="Platform status (API v1)")]
+    if args.jobs:
+        job_rows = [_job_row(view) for view in client.list_jobs()]
+        if job_rows:
+            sections.append(format_table(job_rows, title="Jobs"))
+    return "\n\n".join(sections)
+
+
+def _cmd_cancel(args) -> str:
+    platform = _ops_platform(args)
+    client = platform.client()
+    view = client.cancel_job(args.job_id)
+    return format_table([_job_row(view)], title="Cancelled (Platform API v1)")
+
+
+def _cmd_fleet(args) -> str:
+    platform = _ops_platform(args)
+    fleet = platform.client().fleet()
+    rows = [
+        {
+            "vantage_point": vp.name,
+            "institution": vp.institution,
+            "dns_name": vp.dns_name,
+            "device": device.serial,
+            "busy": device.busy,
+        }
+        for vp in fleet.vantage_points
+        for device in vp.devices
+    ]
+    return format_table(rows, title="Fleet (Platform API v1)")
 
 
 def _cmd_quickstart(args) -> str:
@@ -266,15 +409,27 @@ _COMMANDS = {
     "figure6": _cmd_figure6,
     "sysperf": _cmd_sysperf,
     "dispatch-bench": _cmd_dispatch_bench,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "cancel": _cmd_cancel,
+    "fleet": _cmd_fleet,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.api.errors import ApiError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.command]
-    print(handler(args))
+    try:
+        print(handler(args))
+    except ApiError as error:
+        # The API subcommands speak the typed v1 taxonomy; operators get
+        # the stable code and message, not a traceback.
+        print(f"error [{error.code}]: {error.message}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -63,7 +63,9 @@ class BatteryLabPlatform:
     The platform exposes the dispatch pipeline's knobs directly:
     :meth:`set_scheduling_policy` swaps the queue ordering policy
     (``fifo``/``priority``/``fair-share``) and :meth:`run_queue` drains
-    queued jobs through the access server's batch dispatcher.
+    queued jobs through the access server's batch dispatcher.  Job
+    submission and inspection go through :meth:`client` — the Platform API
+    v1 SDK — rather than the access server's methods.
     """
 
     context: SimulationContext
@@ -71,6 +73,9 @@ class BatteryLabPlatform:
     admin: User
     experimenter: User
     vantage_points: Dict[str, VantagePointHandle] = field(default_factory=dict)
+    #: Plaintext tokens for the bootstrap accounts, so :meth:`client` can
+    #: authenticate without callers re-typing the well-known credentials.
+    account_tokens: Dict[str, str] = field(default_factory=dict)
 
     def vantage_point(self, name: Optional[str] = None) -> VantagePointHandle:
         if name is None:
@@ -99,6 +104,39 @@ class BatteryLabPlatform:
     def persistence(self):
         """The access server's persistence manager, when state was enabled."""
         return self.access_server.persistence
+
+    def client(self, username: str = "experimenter", token: Optional[str] = None):
+        """A :class:`~repro.api.client.BatteryLabClient` for this platform.
+
+        The sanctioned way to submit and inspect jobs: every call runs
+        through the versioned Platform API v1 request/response layer (an
+        in-process transport with full JSON round-tripping), exactly as a
+        remote client over the socket gateway would.  ``token`` defaults to
+        the bootstrap token of ``username`` when the platform created that
+        account.
+        """
+        from repro.api.client import in_process_client
+
+        if token is None:
+            token = self.account_tokens.get(username)
+        if token is None:
+            raise ValueError(
+                f"no bootstrap token known for {username!r}; pass token= explicitly"
+            )
+        return in_process_client(self.access_server, username, token)
+
+    def serve_gateway(self, host: str = "127.0.0.1", port: int = 0):
+        """Start a JSON-lines socket gateway for this platform's API.
+
+        Returns the started :class:`~repro.api.gateway.ApiGateway`; callers
+        own its lifecycle (``gateway.stop()``).
+        """
+        from repro.api.gateway import ApiGateway
+        from repro.api.router import ApiRouter
+
+        gateway = ApiGateway(ApiRouter(self.access_server), host=host, port=port)
+        gateway.start()
+        return gateway
 
 
 def _default_uplink(hostname: str) -> NetworkLink:
@@ -224,15 +262,21 @@ def build_default_platform(
         scheduling_policy=scheduling_policy,
         reservation_admission=reservation_admission,
     )
-    admin = access_server.bootstrap_admin()
+    admin_token = "admin-token"
+    experimenter_token = "experimenter-token"
+    admin = access_server.bootstrap_admin(token=admin_token)
     experimenter = access_server.users.add_user(
-        "experimenter", Role.EXPERIMENTER, token="experimenter-token"
+        "experimenter", Role.EXPERIMENTER, token=experimenter_token
     )
     platform = BatteryLabPlatform(
         context=context,
         access_server=access_server,
         admin=admin,
         experimenter=experimenter,
+        account_tokens={
+            admin.username: admin_token,
+            experimenter.username: experimenter_token,
+        },
     )
     add_vantage_point(
         platform,

@@ -12,7 +12,11 @@ mirrored ~7-minute Chrome test:
   measured while co-located with the vantage point (1 ms network RTT).
 
 :func:`run_system_performance` regenerates all four from a monitored Chrome
-run with and without mirroring plus a latency probe.
+run with and without mirroring plus a latency probe.  The measurement runs
+are submitted as *platform jobs* through the Platform API v1 client SDK
+(:mod:`repro.api`) — the experiment driver never touches
+``AccessServer`` directly, exactly like a remote experimenter: submit,
+dispatch, fetch the JSON results back over the API.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.accessserver.persistence import register_payload, unregister_payload
 from repro.analysis.stats import summarize
 from repro.core.platform import build_default_platform
 from repro.experiments.browser_study import run_browser_measurement
@@ -77,23 +82,56 @@ def run_system_performance(
     network_rtt_ms: float = 1.0,
     seed: int = 7,
 ) -> SystemPerformanceResult:
-    """Reproduce the Section 4.2 system-performance numbers."""
+    """Reproduce the Section 4.2 system-performance numbers.
+
+    Each monitored browser run is submitted as a job through the Platform
+    API v1 client; the payload returns the scalar figures as JSON, which is
+    all a remote experimenter would get back over the wire.
+    """
     measurements = {}
     for mirroring in (False, True):
         platform = build_default_platform(seed=seed, browsers=(browser,))
         handle = platform.vantage_point()
-        result, _, _ = run_browser_measurement(
-            platform,
-            handle,
-            browser,
-            mirroring,
-            dwell_s=dwell_s,
-            scrolls_per_page=scrolls_per_page,
-            scroll_interval_s=scroll_interval_s,
-            sample_rate_hz=sample_rate_hz,
-            label=f"sysperf-{browser}{'+mirroring' if mirroring else ''}",
-        )
-        measurements[mirroring] = result
+        client = platform.client()
+        label = f"sysperf-{browser}{'+mirroring' if mirroring else ''}"
+
+        def measure(ctx, platform=platform, handle=handle, mirroring=mirroring, label=label):
+            result, _, _ = run_browser_measurement(
+                platform,
+                handle,
+                browser,
+                mirroring,
+                dwell_s=dwell_s,
+                scrolls_per_page=scrolls_per_page,
+                scroll_interval_s=scroll_interval_s,
+                sample_rate_hz=sample_rate_hz,
+                label=label,
+            )
+            return {
+                "controller_cpu_mean": summarize(result.controller_cpu_percent).mean,
+                "memory_percent": result.controller_memory_percent,
+                "upload_bytes": result.mirroring_upload_bytes,
+                "duration_s": result.duration_s(),
+            }
+
+        # Register the payload under an explicit name and drop it after the
+        # run: the closure captures the whole platform, and the catalogue is
+        # process-global — leaving it registered would pin the platform in
+        # memory for the process lifetime.
+        payload_name = f"sysperf/{label}"
+        register_payload(payload_name, measure)
+        try:
+            view = client.submit_job(label, payload_name)
+            platform.run_queue()
+            results = client.job_results(view.job_id)
+        finally:
+            unregister_payload(payload_name)
+        if results.status != "completed":
+            raise RuntimeError(
+                f"system-performance job {label!r} did not complete: "
+                f"{results.status} ({results.error})"
+            )
+        measurements[mirroring] = results.result
         latency_random = platform.context.random_stream("latency-probe")
     probe = MirroringLatencyProbe(latency_random, network_rtt_ms=network_rtt_ms)
     latency = probe.run(latency_trials)
@@ -101,11 +139,11 @@ def run_system_performance(
     mirrored = measurements[True]
     return SystemPerformanceResult(
         browser=browser,
-        test_duration_s=mirrored.duration_s(),
-        controller_cpu_mean_plain=summarize(plain.controller_cpu_percent).mean,
-        controller_cpu_mean_mirroring=summarize(mirrored.controller_cpu_percent).mean,
-        memory_percent_plain=plain.controller_memory_percent,
-        memory_percent_mirroring=mirrored.controller_memory_percent,
-        upload_bytes=mirrored.mirroring_upload_bytes,
+        test_duration_s=mirrored["duration_s"],
+        controller_cpu_mean_plain=plain["controller_cpu_mean"],
+        controller_cpu_mean_mirroring=mirrored["controller_cpu_mean"],
+        memory_percent_plain=plain["memory_percent"],
+        memory_percent_mirroring=mirrored["memory_percent"],
+        upload_bytes=mirrored["upload_bytes"],
         latency=latency,
     )

@@ -84,7 +84,7 @@ def reference_fifo_assignments(scheduler, now, controller_cpu=None):
 
 class TestPolicies:
     def test_registry(self):
-        assert policy_names() == ["deadline", "edf", "fair-share", "fifo", "priority"]
+        assert policy_names() == ["credit", "deadline", "edf", "fair-share", "fifo", "priority"]
         assert create_policy("fifo").name == "fifo"
         assert create_policy("fair_share").name == "fair-share"
         assert create_policy("PRIORITY").name == "priority"

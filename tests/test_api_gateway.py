@@ -1,0 +1,140 @@
+"""End-to-end tests for the JSON-lines socket gateway transport.
+
+The acceptance bar for Platform API v1: a client on a real socket drives
+submit → dispatch → results with no in-process shortcuts.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.api import (
+    ApiGateway,
+    ApiRouter,
+    AuthenticationApiError,
+    BatteryLabClient,
+    JsonLinesTransport,
+    TransportApiError,
+)
+from repro.core.platform import build_default_platform
+
+
+@pytest.fixture()
+def platform():
+    return build_default_platform(seed=23, browsers=("chrome",))
+
+
+@pytest.fixture()
+def gateway(platform):
+    gateway = ApiGateway(ApiRouter(platform.access_server))
+    gateway.start()
+    yield gateway
+    gateway.stop()
+
+
+@pytest.fixture()
+def client(gateway):
+    host, port = gateway.address
+    client = BatteryLabClient(
+        JsonLinesTransport(host, port, timeout_s=10.0),
+        "experimenter",
+        "experimenter-token",
+    )
+    yield client
+    client.close()
+
+
+class TestGatewayEndToEnd:
+    def test_submit_dispatch_results_over_the_wire(self, platform, client):
+        view = client.submit_job("remote", "noop", priority=3.0)
+        assert view.status == "queued"
+        platform.run_queue()
+        final = client.job_status(view.job_id)
+        assert final.status == "completed"
+        results = client.job_results(view.job_id)
+        assert results.status == "completed"
+        assert results.error is None
+
+    def test_many_requests_share_one_connection(self, client):
+        for _ in range(10):
+            assert client.server_status().api_version == "1.0"
+
+    def test_fleet_and_reservation_over_the_wire(self, platform, client):
+        assert client.fleet().device_serials() == ["node1-dev00"]
+        reservation = client.reserve_session("node1", "node1-dev00", 10.0, 300.0)
+        assert reservation.end_s == 310.0
+
+    def test_typed_errors_cross_the_wire(self, gateway):
+        host, port = gateway.address
+        with BatteryLabClient(
+            JsonLinesTransport(host, port, timeout_s=10.0), "experimenter", "wrong"
+        ) as intruder:
+            with pytest.raises(AuthenticationApiError):
+                intruder.fleet()
+
+    def test_client_survives_transport_close_between_calls(self, client):
+        assert client.server_status().api_version == "1.0"
+        client.close()  # dropped connection: next call reconnects transparently
+        assert client.server_status().api_version == "1.0"
+
+    def test_stop_drops_established_connections(self, gateway):
+        host, port = gateway.address
+        connected = BatteryLabClient(
+            JsonLinesTransport(host, port, timeout_s=2.0), "experimenter", "experimenter-token"
+        )
+        assert connected.server_status().api_version == "1.0"
+        gateway.stop()
+        # the pre-stop connection must not keep driving a "down" gateway
+        with pytest.raises(TransportApiError):
+            connected.server_status()
+        connected.close()
+
+    def test_unreachable_gateway_is_transport_failed(self, gateway):
+        host, port = gateway.address
+        gateway.stop()
+        doomed = BatteryLabClient(
+            JsonLinesTransport(host, port, timeout_s=0.5), "experimenter", "experimenter-token"
+        )
+        with pytest.raises(TransportApiError):
+            doomed.server_status()
+
+
+class TestGatewayFraming:
+    def _raw(self, gateway, frame: bytes) -> dict:
+        host, port = gateway.address
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.sendall(frame)
+            return json.loads(sock.makefile("rb").readline())
+
+    def test_malformed_json_gets_error_envelope(self, gateway):
+        response = self._raw(gateway, b"{definitely not json\n")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "request.invalid"
+
+    def test_non_object_frame_gets_error_envelope(self, gateway):
+        response = self._raw(gateway, b"[1, 2, 3]\n")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "request.invalid"
+
+    def test_blank_lines_are_ignored(self, gateway):
+        response = self._raw(gateway, b"\n\n{\"op\": \"server.status\"}\n")
+        # no auth -> auth error, but the blank lines did not desync framing
+        assert response["error"]["code"] == "auth.invalid_credentials"
+
+    def test_gateway_restart_rebinds(self, platform):
+        gateway = ApiGateway(ApiRouter(platform.access_server))
+        first = gateway.start()
+        gateway.stop()
+        second = ApiGateway(ApiRouter(platform.access_server))
+        try:
+            assert second.start() != first or True  # port may be reused; just must bind
+            host, port = second.address
+            with BatteryLabClient(
+                JsonLinesTransport(host, port, timeout_s=5.0),
+                "experimenter",
+                "experimenter-token",
+            ) as client:
+                assert client.server_status().api_version == "1.0"
+        finally:
+            second.stop()

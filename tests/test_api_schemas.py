@@ -1,0 +1,423 @@
+"""Wire-format compatibility tests for Platform API v1.
+
+These are golden tests: they pin the *exact* wire form of every DTO and the
+full error-code table.  A failure here means a v1 compatibility break —
+fix the code, or bump the API version, but never "update the golden"
+casually: deployed clients parse these shapes.
+"""
+
+import json
+
+import pytest
+
+from repro.api.errors import (
+    ApiError,
+    AuthenticationApiError,
+    ConflictApiError,
+    CreditApiError,
+    ERROR_CODES,
+    InternalApiError,
+    NotFoundApiError,
+    PermissionApiError,
+    TransportApiError,
+    UnknownOperationApiError,
+    ValidationApiError,
+    VersionApiError,
+    error_from_wire,
+    map_exception,
+)
+from repro.api.schemas import (
+    API_VERSION,
+    SUPPORTED_VERSIONS,
+    ApiRequest,
+    ApiResponse,
+    AuthCredentials,
+    CreditQuery,
+    CreditView,
+    DeviceView,
+    FleetView,
+    JobConstraintsV1,
+    JobListRequest,
+    JobRef,
+    JobResultsView,
+    JobView,
+    ReservationView,
+    ReserveSessionRequest,
+    StatusView,
+    SubmitJobRequest,
+    VantagePointView,
+)
+
+#: Every DTO with (a fully populated instance, its exact wire form).
+GOLDEN = [
+    (
+        JobConstraintsV1(
+            vantage_point="node1",
+            device_serial="node1-dev00",
+            connectivity="wifi",
+            require_low_controller_cpu=True,
+            max_controller_cpu_percent=40.0,
+        ),
+        {
+            "vantage_point": "node1",
+            "device_serial": "node1-dev00",
+            "connectivity": "wifi",
+            "require_low_controller_cpu": True,
+            "max_controller_cpu_percent": 40.0,
+        },
+    ),
+    (
+        SubmitJobRequest(name="nightly", payload="noop"),
+        {
+            "name": "nightly",
+            "payload": "noop",
+            "owner": None,
+            "description": "",
+            "priority": 0.0,
+            "timeout_s": 3600.0,
+            "is_pipeline_change": False,
+            "log_retention_days": 7.0,
+            "constraints": {
+                "vantage_point": None,
+                "device_serial": None,
+                "connectivity": None,
+                "require_low_controller_cpu": False,
+                "max_controller_cpu_percent": 50.0,
+            },
+        },
+    ),
+    (
+        JobView(
+            job_id=7,
+            name="nightly",
+            owner="experimenter",
+            status="running",
+            priority=2.0,
+            timeout_s=600.0,
+            is_pipeline_change=False,
+            submitted_at=10.0,
+            started_at=12.5,
+            finished_at=None,
+            vantage_point="node1",
+            device_serial="node1-dev00",
+            error=None,
+        ),
+        {
+            "job_id": 7,
+            "name": "nightly",
+            "owner": "experimenter",
+            "status": "running",
+            "priority": 2.0,
+            "timeout_s": 600.0,
+            "is_pipeline_change": False,
+            "submitted_at": 10.0,
+            "started_at": 12.5,
+            "finished_at": None,
+            "vantage_point": "node1",
+            "device_serial": "node1-dev00",
+            "error": None,
+        },
+    ),
+    (
+        JobResultsView(
+            job_id=7,
+            status="completed",
+            result={"median_ma": 51.6},
+            result_repr="{'median_ma': 51.6}",
+            error=None,
+            log_lines=["[      10.0] started"],
+            artifact_names=["power_meter_trace"],
+        ),
+        {
+            "job_id": 7,
+            "status": "completed",
+            "result": {"median_ma": 51.6},
+            "result_repr": "{'median_ma': 51.6}",
+            "error": None,
+            "log_lines": ["[      10.0] started"],
+            "artifact_names": ["power_meter_trace"],
+        },
+    ),
+    (JobRef(job_id=7), {"job_id": 7}),
+    (JobListRequest(status="queued"), {"status": "queued"}),
+    (
+        ReserveSessionRequest(
+            vantage_point="node1", device_serial="node1-dev00", start_s=100.0, duration_s=900.0
+        ),
+        {
+            "vantage_point": "node1",
+            "device_serial": "node1-dev00",
+            "start_s": 100.0,
+            "duration_s": 900.0,
+        },
+    ),
+    (
+        ReservationView(
+            reservation_id=1,
+            username="experimenter",
+            vantage_point="node1",
+            device_serial="node1-dev00",
+            start_s=100.0,
+            duration_s=900.0,
+            end_s=1000.0,
+        ),
+        {
+            "reservation_id": 1,
+            "username": "experimenter",
+            "vantage_point": "node1",
+            "device_serial": "node1-dev00",
+            "start_s": 100.0,
+            "duration_s": 900.0,
+            "end_s": 1000.0,
+        },
+    ),
+    (CreditQuery(owner="experimenter"), {"owner": "experimenter"}),
+    (
+        CreditView(
+            owner="experimenter",
+            balance_device_hours=4.5,
+            contributes_hardware=False,
+            transaction_count=3,
+        ),
+        {
+            "owner": "experimenter",
+            "balance_device_hours": 4.5,
+            "contributes_hardware": False,
+            "transaction_count": 3,
+        },
+    ),
+    (DeviceView(serial="node1-dev00", busy=True), {"serial": "node1-dev00", "busy": True}),
+    (
+        FleetView(
+            vantage_points=[
+                VantagePointView(
+                    name="node1",
+                    institution="Imperial College London",
+                    dns_name="node1.batterylab.dev",
+                    approved=True,
+                    devices=[DeviceView(serial="node1-dev00", busy=False)],
+                )
+            ]
+        ),
+        {
+            "vantage_points": [
+                {
+                    "name": "node1",
+                    "institution": "Imperial College London",
+                    "dns_name": "node1.batterylab.dev",
+                    "approved": True,
+                    "devices": [{"serial": "node1-dev00", "busy": False}],
+                }
+            ]
+        },
+    ),
+    (
+        StatusView(
+            api_version="1.0",
+            vantage_points=["node1"],
+            users=["admin", "experimenter"],
+            queued_jobs=2,
+            pending_approval=1,
+            scheduling_policy="credit",
+            reservation_admission="defer",
+            auto_dispatch=True,
+            persistence=True,
+            certificate_serial=1,
+            orphaned_jobs=[4],
+            orphaned_vantage_points=["node2"],
+        ),
+        {
+            "api_version": "1.0",
+            "vantage_points": ["node1"],
+            "users": ["admin", "experimenter"],
+            "queued_jobs": 2,
+            "pending_approval": 1,
+            "scheduling_policy": "credit",
+            "reservation_admission": "defer",
+            "auto_dispatch": True,
+            "persistence": True,
+            "certificate_serial": 1,
+            "orphaned_jobs": [4],
+            "orphaned_vantage_points": ["node2"],
+        },
+    ),
+    (
+        AuthCredentials(username="experimenter", token="experimenter-token"),
+        {"username": "experimenter", "token": "experimenter-token"},
+    ),
+    (
+        ApiRequest(
+            op="job.submit",
+            version="1.0",
+            auth=AuthCredentials(username="experimenter", token="t"),
+            payload={"name": "j"},
+            request_id=3,
+        ),
+        {
+            "op": "job.submit",
+            "version": "1.0",
+            "auth": {"username": "experimenter", "token": "t"},
+            "payload": {"name": "j"},
+            "request_id": 3,
+        },
+    ),
+    (
+        ApiResponse(ok=True, version="1.0", request_id=3, payload={"job_id": 7}, error=None),
+        {
+            "ok": True,
+            "version": "1.0",
+            "request_id": 3,
+            "payload": {"job_id": 7},
+            "error": None,
+        },
+    ),
+]
+
+#: The frozen v1 error-code table: code -> exception class name.
+GOLDEN_ERROR_CODES = {
+    "request.invalid": "ValidationApiError",
+    "request.version_unsupported": "VersionApiError",
+    "request.unknown_operation": "UnknownOperationApiError",
+    "auth.invalid_credentials": "AuthenticationApiError",
+    "auth.permission_denied": "PermissionApiError",
+    "resource.not_found": "NotFoundApiError",
+    "resource.conflict": "ConflictApiError",
+    "credits.insufficient": "CreditApiError",
+    "transport.failed": "TransportApiError",
+    "server.internal": "InternalApiError",
+}
+
+
+class TestGoldenWireFormats:
+    @pytest.mark.parametrize(
+        "dto,wire", GOLDEN, ids=[type(dto).__name__ for dto, _ in GOLDEN]
+    )
+    def test_to_wire_matches_golden(self, dto, wire):
+        assert dto.to_wire() == wire
+
+    @pytest.mark.parametrize(
+        "dto,wire", GOLDEN, ids=[type(dto).__name__ for dto, _ in GOLDEN]
+    )
+    def test_round_trip_through_json(self, dto, wire):
+        recovered = type(dto).from_wire(json.loads(json.dumps(dto.to_wire())))
+        assert recovered == dto
+
+    @pytest.mark.parametrize(
+        "dto,wire", GOLDEN, ids=[type(dto).__name__ for dto, _ in GOLDEN]
+    )
+    def test_wire_form_is_plain_json(self, dto, wire):
+        json.dumps(wire)  # raises on anything non-primitive
+
+
+class TestStrictParsing:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationApiError) as excinfo:
+            JobRef.from_wire({"job_id": 1, "surprise": True})
+        assert excinfo.value.details["unknown_fields"] == ["surprise"]
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ValidationApiError) as excinfo:
+            SubmitJobRequest.from_wire({"name": "j"})
+        assert excinfo.value.details["missing_field"] == "payload"
+
+    def test_defaulted_fields_may_be_omitted(self):
+        request = SubmitJobRequest.from_wire({"name": "j", "payload": "noop"})
+        assert request.priority == 0.0
+        assert request.constraints == JobConstraintsV1()
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValidationApiError):
+            JobRef.from_wire({"job_id": "seven"})
+        with pytest.raises(ValidationApiError):
+            SubmitJobRequest.from_wire({"name": 3, "payload": "noop"})
+        with pytest.raises(ValidationApiError):
+            SubmitJobRequest.from_wire({"name": "j", "payload": "noop", "constraints": 5})
+
+    def test_int_coerces_to_float_but_not_vice_versa(self):
+        request = SubmitJobRequest.from_wire({"name": "j", "payload": "noop", "timeout_s": 60})
+        assert request.timeout_s == 60.0
+        with pytest.raises(ValidationApiError):
+            JobRef.from_wire({"job_id": 1.5})
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(ValidationApiError):
+            SubmitJobRequest.from_wire({"name": "j", "payload": "noop", "timeout_s": True})
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ValidationApiError):
+            JobRef.from_wire(["job_id", 1])
+
+    def test_nested_model_parsed_strictly(self):
+        with pytest.raises(ValidationApiError):
+            SubmitJobRequest.from_wire(
+                {"name": "j", "payload": "noop", "constraints": {"nope": 1}}
+            )
+
+
+class TestVersioning:
+    def test_api_version_is_supported(self):
+        assert API_VERSION in SUPPORTED_VERSIONS
+
+    def test_envelopes_default_to_current_version(self):
+        assert ApiRequest(op="x").version == API_VERSION
+        assert ApiResponse(ok=True).version == API_VERSION
+
+
+class TestErrorCodes:
+    def test_code_table_is_stable(self):
+        assert {code: cls.__name__ for code, cls in ERROR_CODES.items()} == GOLDEN_ERROR_CODES
+
+    def test_every_error_round_trips(self):
+        for code, cls in ERROR_CODES.items():
+            error = cls("boom", details={"k": 1})
+            rebuilt = error_from_wire(json.loads(json.dumps(error.to_wire())))
+            assert type(rebuilt) is cls
+            assert rebuilt.code == code
+            assert rebuilt.message == "boom"
+            assert rebuilt.details == {"k": 1}
+
+    def test_unknown_code_degrades_to_base_error(self):
+        error = error_from_wire({"code": "future.thing", "message": "hm"})
+        assert type(error) is ApiError
+        assert error.code == "future.thing"
+
+    def test_retryable_flags(self):
+        assert TransportApiError("x").retryable
+        assert InternalApiError("x").retryable
+        assert not ValidationApiError("x").retryable
+        assert not CreditApiError("x").retryable
+
+
+class TestMapException:
+    def test_domain_exceptions_map_to_stable_codes(self):
+        from repro.accessserver.auth import AuthenticationError, AuthorizationError
+        from repro.accessserver.credits import CreditError
+        from repro.accessserver.dispatch import SchedulingError
+        from repro.accessserver.jobs import JobError
+        from repro.accessserver.policies import PolicyError
+        from repro.accessserver.server import AccessServerError
+
+        cases = [
+            (AuthenticationError("bad"), AuthenticationApiError),
+            (AuthorizationError("no"), PermissionApiError),
+            (CreditError("user 'x' lacks credits"), CreditApiError),
+            (CreditError("unknown credit account 'x'"), NotFoundApiError),
+            (SchedulingError("unknown job id 9"), NotFoundApiError),
+            (SchedulingError("device busy"), ConflictApiError),
+            (AccessServerError("unknown vantage point 'n'"), NotFoundApiError),
+            (AccessServerError("join failed"), ConflictApiError),
+            (JobError("cannot cancel finished job 1"), ConflictApiError),
+            (PolicyError("unknown policy"), ValidationApiError),
+            (ValueError("bad value"), ValidationApiError),
+            (RuntimeError("surprise"), InternalApiError),
+        ]
+        for exc, expected in cases:
+            assert type(map_exception(exc)) is expected, exc
+
+    def test_api_errors_pass_through(self):
+        error = UnknownOperationApiError("nope")
+        assert map_exception(error) is error
+
+    def test_version_error_maps_to_itself(self):
+        error = VersionApiError("unsupported")
+        assert map_exception(error) is error

@@ -54,3 +54,54 @@ class TestCommands:
         assert main(["--seed", "99", "locations"]) == 0
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestApiSubcommands:
+    """submit/status/cancel/fleet drive the platform through the v1 client."""
+
+    def test_submit_runs_the_job(self, capsys):
+        assert main(["submit", "--name", "smoke", "--payload", "noop"]) == 0
+        output = capsys.readouterr().out
+        assert "Submitted (Platform API v1)" in output
+        assert "completed" in output
+
+    def test_fleet_lists_devices(self, capsys):
+        assert main(["fleet"]) == 0
+        output = capsys.readouterr().out
+        assert "node1-dev00" in output
+        assert "Imperial College London" in output
+
+    def test_status_reports_api_version(self, capsys):
+        assert main(["status"]) == 0
+        output = capsys.readouterr().out
+        assert "api_version" in output
+        assert "orphaned_jobs" in output
+
+    def test_durable_submit_status_cancel_flow(self, tmp_path, capsys):
+        import re
+
+        state = str(tmp_path / "state")
+        assert main(["--state-dir", state, "submit", "--name", "nightly", "--no-run"]) == 0
+        submitted = capsys.readouterr().out
+        job_id = re.search(r"^(\d+)\s+nightly", submitted, re.MULTILINE).group(1)
+        assert main(["--state-dir", state, "status", "--jobs"]) == 0
+        output = capsys.readouterr().out
+        assert "nightly" in output and "queued" in output
+        assert main(["--state-dir", state, "cancel", "--job-id", job_id]) == 0
+        assert "cancelled" in capsys.readouterr().out
+        # a fresh recovery must see the cancellation: empty queue, job cancelled
+        assert main(["--state-dir", state, "status", "--jobs"]) == 0
+        final = capsys.readouterr().out
+        assert re.search(r"queued_jobs\s+0", final)
+        assert re.search(r"nightly\s+\S+\s+cancelled", final)
+
+    def test_api_errors_exit_cleanly(self, capsys):
+        assert main(["cancel", "--job-id", "99999"]) == 1
+        captured = capsys.readouterr()
+        assert "error [resource.not_found]" in captured.err
+        assert main(["submit", "--name", "x", "--payload", "bogus"]) == 1
+        assert "error [request.invalid]" in capsys.readouterr().err
+
+    def test_scheduling_policy_choices_include_credit(self):
+        args = build_parser().parse_args(["--scheduling-policy", "credit", "fleet"])
+        assert args.scheduling_policy == "credit"

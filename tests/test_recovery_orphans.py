@@ -1,0 +1,82 @@
+"""Recovery topology-gap reporting: orphaned jobs surface in server status.
+
+PR 2's crash recovery left a gap: jobs journaled against a vantage point
+that has not re-registered were only *logged*.  Now they are first-class:
+``RecoveryReport.orphaned_jobs`` lists them at recovery time,
+``AccessServer.status()`` / the API ``StatusView`` keep reporting them
+live, and re-registering the topology clears the report and lets the jobs
+dispatch.
+"""
+
+import pytest
+
+from repro.core.platform import add_vantage_point, build_default_platform
+
+
+def _platform(state_dir, with_node2: bool, seed: int = 9):
+    platform = build_default_platform(
+        seed=seed, browsers=("chrome",), state_dir=str(state_dir)
+    )
+    if with_node2:
+        add_vantage_point(
+            platform, "node2", "Example University", browsers=("chrome",)
+        )
+    return platform
+
+
+class TestOrphanedJobReporting:
+    def test_recovery_reports_and_status_surfaces_orphans(self, tmp_path):
+        state = tmp_path / "state"
+        first = _platform(state, with_node2=True)
+        client = first.client()
+        pinned = client.submit_job("needs-node2", "noop", vantage_point="node2")
+        roaming = client.submit_job("anywhere", "noop", vantage_point=None)
+        # neither job runs before the "crash"
+
+        second = _platform(state, with_node2=False)
+        report = second.persistence.last_recovery
+        assert report is not None
+        assert report.jobs_queued == 2
+        assert "node2" in report.missing_vantage_points
+        assert report.orphaned_jobs == [pinned.job_id]
+
+        status = second.client().server_status()
+        assert status.orphaned_jobs == [pinned.job_id]
+        assert status.orphaned_vantage_points == ["node2"]
+        assert status.queued_jobs == 2
+
+        # the unpinned job still dispatches on node1
+        executed = second.run_queue()
+        assert [job.spec.name for job in executed] == ["anywhere"]
+        assert roaming.job_id not in second.client().server_status().orphaned_jobs
+
+    def test_reregistering_topology_clears_orphans_and_dispatches(self, tmp_path):
+        state = tmp_path / "state"
+        first = _platform(state, with_node2=True)
+        pinned = first.client().submit_job("needs-node2", "noop", vantage_point="node2")
+
+        second = _platform(state, with_node2=False)
+        assert second.client().server_status().orphaned_jobs == [pinned.job_id]
+
+        add_vantage_point(second, "node2", "Example University", browsers=("chrome",))
+        status = second.client().server_status()
+        assert status.orphaned_jobs == []
+        assert status.orphaned_vantage_points == []
+        executed = second.run_queue()
+        assert [job.spec.name for job in executed] == ["needs-node2"]
+        assert second.client().job_status(pinned.job_id).status == "completed"
+
+    def test_no_orphans_without_pinned_jobs(self, tmp_path):
+        state = tmp_path / "state"
+        first = _platform(state, with_node2=False)
+        first.client().submit_job("plain", "noop")
+
+        second = _platform(state, with_node2=False)
+        assert second.persistence.last_recovery.orphaned_jobs == []
+        assert second.client().server_status().orphaned_jobs == []
+
+    def test_fresh_platform_reports_no_orphans(self):
+        platform = build_default_platform(seed=9, browsers=("chrome",))
+        status = platform.access_server.status()
+        assert status["orphaned_jobs"] == []
+        assert status["orphaned_vantage_points"] == []
