@@ -1,0 +1,140 @@
+"""Event-stream fan-out microbenchmark: Platform API v2 push pipeline.
+
+Measures end-to-end dispatch-event fan-out from the access server's
+:class:`~repro.simulation.events.EventBus`, through the router's
+subscription layer (``events.subscribe``), into N concurrent subscribers'
+push sinks — the hot path every ``job.watch`` / ``events.subscribe``
+consumer rides.  Each published ``dispatch.*`` record is filtered, framed
+as an :class:`~repro.api.schemas.ApiPush` and delivered synchronously to
+every matching subscriber, so the metric that matters is *deliveries per
+second* (publishes x subscribers) plus the per-event fan-out latency.
+
+Results land in ``BENCH_event_stream.json`` at the repository root and are
+trend-gated in CI next to the dispatch and journal-replay benchmarks.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_event_stream.py``
+or under pytest-benchmark via
+``PYTHONPATH=src python -m pytest benchmarks/bench_event_stream.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.api.router import ApiRouter
+from repro.core.platform import build_default_platform
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_event_stream.json"
+
+SUBSCRIBERS = 50
+EVENTS = 2_000
+
+#: Sanity floor: the push pipeline must sustain at least this many
+#: subscriber deliveries per second, or frame construction has gone
+#: quadratic somewhere between the bus and the push sink.
+MIN_DELIVERIES_PER_S = 20_000.0
+
+
+class _CountingSink:
+    """A push callable standing in for one connection's write path."""
+
+    __slots__ = ("frames",)
+
+    def __init__(self) -> None:
+        self.frames = 0
+
+    def __call__(self, frame: dict) -> None:
+        self.frames += 1
+
+
+def run_event_stream_benchmark(
+    subscribers: int = SUBSCRIBERS, events: int = EVENTS
+) -> Dict[str, object]:
+    platform = build_default_platform(seed=41, browsers=("chrome",))
+    server = platform.access_server
+    router = ApiRouter(server)
+
+    sinks = []
+    for index in range(subscribers):
+        sink = _CountingSink()
+        response = router.handle(
+            {
+                "op": "events.subscribe",
+                "version": "2.0",
+                "auth": {"username": "experimenter", "token": "experimenter-token"},
+                "payload": {"topic_prefix": "dispatch."},
+                "request_id": index + 1,
+            },
+            push=sink,
+            owner=sink,
+        )
+        assert response["ok"], response
+        sinks.append(sink)
+
+    started = time.perf_counter()
+    for index in range(events):
+        server.events.publish(
+            "dispatch.assigned",
+            job_id=index,
+            job=f"bench-{index}",
+            owner=f"owner{index % 5}",
+            vantage_point="node1",
+            device_serial="node1-dev00",
+            policy="fifo",
+        )
+    elapsed = time.perf_counter() - started
+
+    router.close_all_subscriptions()
+    deliveries = sum(sink.frames for sink in sinks)
+    assert deliveries == subscribers * events, (deliveries, subscribers * events)
+    return {
+        "benchmark": "event_stream",
+        "api_version": "2.0",
+        "subscribers": subscribers,
+        "events": events,
+        "deliveries": deliveries,
+        "elapsed_s": round(elapsed, 4),
+        "events_per_s": round(events / elapsed, 1) if elapsed else float("inf"),
+        "deliveries_per_s": round(deliveries / elapsed, 1) if elapsed else float("inf"),
+        "fanout_latency_us": round(elapsed / events * 1e6, 2) if events else 0.0,
+        "min_deliveries_per_s": MIN_DELIVERIES_PER_S,
+    }
+
+
+def write_result(result: Dict[str, object]) -> None:
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+
+def test_event_stream(benchmark):
+    from conftest import report, run_once
+
+    result = run_once(benchmark, run_event_stream_benchmark)
+    write_result(result)
+    report(
+        benchmark,
+        "Platform API v2 event-stream fan-out",
+        [
+            {
+                "subscribers": result["subscribers"],
+                "events": result["events"],
+                "deliveries_per_s": result["deliveries_per_s"],
+                "fanout_latency_us": result["fanout_latency_us"],
+            }
+        ],
+    )
+    assert result["deliveries_per_s"] >= MIN_DELIVERIES_PER_S
+
+
+if __name__ == "__main__":
+    outcome = run_event_stream_benchmark()
+    write_result(outcome)
+    print(json.dumps(outcome, indent=2))
+    if outcome["deliveries_per_s"] < MIN_DELIVERIES_PER_S:
+        raise SystemExit(
+            f"event-stream fan-out fell to {outcome['deliveries_per_s']}/s; "
+            f"floor is {MIN_DELIVERIES_PER_S}/s"
+        )

@@ -51,11 +51,17 @@ def main() -> None:
     client = platform.client()
 
     view = client.submit_job("browser-energy-study", browser_study_payload)
+    # Stream the scheduler's dispatch.* events for this job (API v2) rather
+    # than polling job.status; the watch ends with the job's final state.
+    watch = client.watch_job(view.job_id)
     platform.run_queue()
-    results = client.job_results(view.job_id)
-    if results.status != "completed":
+    for frame in watch:
+        if frame.topic:
+            print(f"[job.watch] {frame.topic} @ t={frame.timestamp:.0f}s")
+    if watch.final is None or watch.final.status != "completed":
+        results = client.job_results(view.job_id)
         raise SystemExit(f"study job failed: {results.error}")
-    study = results.result
+    study = client.job_results(view.job_id).result
 
     print(format_table(study["discharge_rows"], title="Figure 3 — battery discharge per browser"))
     print()

@@ -57,11 +57,24 @@ def main() -> None:
         return {serial: ctx.api.controller.device(serial).summary() for serial in ctx.api.list_devices()}
 
     view = client.submit_job("node2-inventory", inventory, vantage_point="node2")
+    watch = client.watch_job(view.job_id)  # API v2: stream instead of polling
     platform.run_queue()
+    final = watch.wait()
     results = client.job_results(view.job_id)
-    print(f"\nInventory job #{view.job_id} ({results.status}) result:")
+    print(f"\nInventory job #{view.job_id} ({final.status}) result:")
     for serial, summary in results.result.items():
         print(f"  {serial}: {summary['model']} ({summary['os']}), battery {summary['battery_percent']}%")
+
+    # An administrator can also admit a member *entirely over the wire* —
+    # no in-process add_vantage_point call — via API v2's
+    # vantage-point.register (see examples/remote_admin.py for the full
+    # remote-operations workflow):
+    admin = platform.client(username="admin")
+    remote_vp = admin.register_vantage_point(
+        "node3", "Remote Example Labs", device_count=1, device_profile="google-pixel-3a"
+    )
+    print(f"\nremotely registered {remote_vp.name} ({remote_vp.dns_name}) "
+          f"with devices {[d.serial for d in remote_vp.devices]}")
 
 
 if __name__ == "__main__":

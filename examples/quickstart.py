@@ -11,7 +11,8 @@ Meross power socket), then walks the Table 1 API end to end:
 4. measure the current drawn for one minute and print the statistics,
 5. repeat with device mirroring active to see its overhead,
 6. submit the same measurement as a *platform job* through the Platform
-   API v1 client SDK — the remote experimenter's path — and fetch its
+   API client SDK — the remote experimenter's path — stream its
+   ``dispatch.*`` events live via ``watch_job()`` (API v2), and fetch its
    results back over the API.
 
 Run it with ``python examples/quickstart.py``.
@@ -77,9 +78,15 @@ def main() -> None:
         }
 
     view = client.submit_job("quickstart-idle", idle_measurement)
+    # Platform API v2: subscribe to the job's dispatch.* events instead of
+    # polling job.status — the terminal frame carries the final state.
+    watch = client.watch_job(view.job_id)
     platform.run_queue()
+    for frame in watch:
+        label = frame.topic or "watch ended"
+        print(f"  [job.watch] {label}")
     results = client.job_results(view.job_id)
-    print(f"\nAPI-submitted job #{view.job_id} finished {results.status}: {results.result}")
+    print(f"\nAPI-submitted job #{view.job_id} finished {watch.final.status}: {results.result}")
 
 
 if __name__ == "__main__":

@@ -1,16 +1,30 @@
-"""Wildcard certificates and their renewal.
+"""Wildcard certificates, their renewal, and real TLS key material.
 
 BatteryLab serves its GUI over HTTPS with a wildcard Let's Encrypt
 certificate for ``*.batterylab.dev``; the access server owns the certificate,
 renews it before expiry, and automatically deploys the renewed certificate
 to every vantage point (Sections 3.1 and 3.4).  The model captures issuance,
 expiry, the renewal window, and deployment over SSH.
+
+For the Platform API v2 TLS gateway the simulated
+:class:`WildcardCertificate` is backed by *real* key material:
+:func:`ensure_tls_material` generates (or reuses) a self-signed wildcard
+certificate + key on disk via the ``openssl`` binary, carrying the
+simulated certificate's common name and serial, and
+:func:`server_tls_context` / :func:`client_tls_context` turn that material
+into the ``ssl`` contexts the gateway and the client transport wrap their
+sockets with.
 """
 
 from __future__ import annotations
 
+import json
+import shutil
+import ssl
+import subprocess
 from dataclasses import dataclass
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 
 class CertificateError(RuntimeError):
@@ -106,6 +120,124 @@ class CertificateAuthority:
         if self.needs_renewal(certificate, now):
             return self.issue(now)
         return None
+
+
+# ---------------------------------------------------------------------------
+# Real TLS material for the API gateway (Platform API v2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TlsMaterial:
+    """On-disk certificate + key pair the TLS gateway serves with."""
+
+    cert_path: Path
+    key_path: Path
+    common_name: str
+    serial_number: int = 0
+
+    def exists(self) -> bool:
+        return self.cert_path.exists() and self.key_path.exists()
+
+
+#: File names under a ``--cert-dir``; match the path the provisioning step
+#: deploys the wildcard PEM to on controllers (``wildcard.pem``).
+TLS_CERT_NAME = "wildcard.pem"
+TLS_KEY_NAME = "wildcard.key"
+TLS_META_NAME = "wildcard.meta.json"
+
+#: SANs baked into generated material so local gateways verify cleanly.
+_DEFAULT_SANS = ("DNS:*.batterylab.dev", "DNS:localhost", "IP:127.0.0.1")
+
+
+def openssl_available() -> bool:
+    """Whether the ``openssl`` binary needed to mint material is present."""
+    return shutil.which("openssl") is not None
+
+
+def ensure_tls_material(
+    cert_dir: Union[str, Path],
+    certificate: Optional[WildcardCertificate] = None,
+    key_bits: int = 2048,
+    days: int = 90,
+) -> TlsMaterial:
+    """Self-signed wildcard TLS material under ``cert_dir``, minting on demand.
+
+    The generated certificate carries the simulated
+    :class:`WildcardCertificate`'s common name (``*.batterylab.dev``) plus
+    ``localhost``/``127.0.0.1`` SANs, so a gateway bound to loopback
+    verifies under full hostname checking.  Existing material is reused —
+    operators can also drop real Let's Encrypt files under the same names.
+    """
+    directory = Path(cert_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    common_name = certificate.common_name if certificate else "*.batterylab.dev"
+    serial = certificate.serial_number if certificate else 0
+    material = TlsMaterial(
+        cert_path=directory / TLS_CERT_NAME,
+        key_path=directory / TLS_KEY_NAME,
+        common_name=common_name,
+        serial_number=serial,
+    )
+    if material.exists():
+        return material
+    if not openssl_available():
+        raise CertificateError(
+            "generating TLS material requires the 'openssl' binary; install "
+            f"it or place {TLS_CERT_NAME}/{TLS_KEY_NAME} under {directory}"
+        )
+    sans = ",".join(_DEFAULT_SANS)
+    try:
+        subprocess.run(
+            [
+                "openssl",
+                "req",
+                "-x509",
+                "-newkey",
+                f"rsa:{key_bits}",
+                "-keyout",
+                str(material.key_path),
+                "-out",
+                str(material.cert_path),
+                "-days",
+                str(days),
+                "-nodes",
+                "-subj",
+                f"/CN={common_name}",
+                "-addext",
+                f"subjectAltName={sans}",
+            ],
+            check=True,
+            capture_output=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", b"") or b""
+        raise CertificateError(
+            f"openssl failed to mint TLS material: {exc} {detail.decode(errors='replace')}"
+        ) from None
+    (directory / TLS_META_NAME).write_text(
+        json.dumps({"common_name": common_name, "serial_number": serial}) + "\n",
+        encoding="utf-8",
+    )
+    return material
+
+
+def server_tls_context(material: TlsMaterial) -> ssl.SSLContext:
+    """An ``ssl`` context the :class:`~repro.api.gateway.ApiGateway` serves with."""
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.load_cert_chain(str(material.cert_path), str(material.key_path))
+    return context
+
+
+def client_tls_context(material: TlsMaterial) -> ssl.SSLContext:
+    """An ``ssl`` context trusting exactly the platform's wildcard certificate.
+
+    Full verification stays on: the self-signed wildcard certificate acts
+    as its own (pinned) root of trust, and hostname checking runs against
+    the transport's ``server_hostname``.
+    """
+    context = ssl.create_default_context(cafile=str(material.cert_path))
+    return context
 
 
 def deploy_certificate(channel, certificate: WildcardCertificate) -> str:

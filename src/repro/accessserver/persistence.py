@@ -251,6 +251,17 @@ def materialize_job(data: Dict[str, object]) -> Tuple[Job, bool]:
     return job, was_in_flight
 
 
+def serialize_user(user) -> Dict[str, object]:
+    """Journal form of one account — the token *hash*, never the plaintext."""
+    return {
+        "username": user.username,
+        "role": user.role.value,
+        "token_hash": user.token_hash,
+        "email": user.email,
+        "enabled": user.enabled,
+    }
+
+
 def _serialize_reservation(reservation: SessionReservation) -> Dict[str, object]:
     return {
         "reservation_id": reservation.reservation_id,
@@ -519,6 +530,8 @@ def build_snapshot(server: "AccessServer", sequence: int) -> Dict[str, object]:
         "policy": scheduler.policy.name,
         "reservation_admission": engine.reservation_admission,
         "next_reservation_id": scheduler._next_reservation_id,
+        "users": [serialize_user(server.users.get(name)) for name in server.users.usernames()],
+        "idempotency": [list(record) for record in server.idempotency_records()],
         "vantage_points": [
             {
                 "name": record.name,
@@ -554,6 +567,8 @@ class _ReplayState:
         self.reservation_admission: Optional[str] = None
         self.vantage_points: Dict[str, Dict[str, object]] = {}
         self.credit: Optional[Dict[str, object]] = None
+        self.users: Dict[str, Dict[str, object]] = {}
+        self.idempotency: Dict[Tuple[str, str], int] = {}
         self.sequence = 0
         self.events_replayed = 0
         self._next_seq = 0.0
@@ -585,6 +600,10 @@ class _ReplayState:
         self.pending = list(snapshot.get("pending_approval", ()))
         for data in snapshot.get("reservations", ()):
             self.reservations[data["reservation_id"]] = data
+        for data in snapshot.get("users", ()):
+            self.users[data["username"]] = dict(data)
+        for owner, key, job_id in snapshot.get("idempotency", ()):
+            self.idempotency[(owner, key)] = job_id
         credit = snapshot.get("credit")
         if credit is not None:
             self.credit = {
@@ -618,6 +637,9 @@ class _ReplayState:
     def _apply_job_submitted(self, data: Dict[str, object]) -> None:
         job = dict(data["job"])
         self.jobs[job["job_id"]] = job
+        key = data.get("idempotency_key")
+        if key is not None:
+            self.idempotency[(job["spec"]["owner"], key)] = job["job_id"]
         if job["status"] == JobStatus.PENDING_APPROVAL.value:
             self.pending.append(job["job_id"])
         else:
@@ -671,6 +693,12 @@ class _ReplayState:
         if data["job_id"] in self.pending:
             self.pending.remove(data["job_id"])
 
+    def _apply_job_rejected(self, data: Dict[str, object]) -> None:
+        job = self.jobs.get(data["job_id"])
+        if job is None:
+            return
+        job["error"] = data.get("error")
+
     # -- reservations -------------------------------------------------------
     def _apply_reservation_created(self, data: Dict[str, object]) -> None:
         self.reservations[data["reservation_id"]] = dict(data)
@@ -685,6 +713,9 @@ class _ReplayState:
 
     def _apply_vantage_point_registered(self, data: Dict[str, object]) -> None:
         self.vantage_points[data["name"]] = dict(data)
+
+    def _apply_user_created(self, data: Dict[str, object]) -> None:
+        self.users[data["username"]] = dict(data)
 
     # -- credits ------------------------------------------------------------
     def _apply_credit_enabled(self, data: Dict[str, object]) -> None:
@@ -732,6 +763,8 @@ class RecoveryReport:
     pending_approval: int = 0
     reservations_restored: int = 0
     credit_accounts_restored: int = 0
+    users_restored: int = 0
+    idempotency_keys_restored: int = 0
     missing_vantage_points: List[str] = field(default_factory=list)
     missing_payloads: List[str] = field(default_factory=list)
     orphaned_jobs: List[int] = field(default_factory=list)
@@ -786,6 +819,25 @@ def recover_into(server: "AccessServer", backend: StorageBackend) -> RecoveryRep
         if name in registered:
             continue
         report.missing_vantage_points.append(name)
+
+    # Accounts are restored by hash — the journal never saw a plaintext
+    # token — and overwrite same-named bootstrap accounts: the journal is
+    # authoritative, exactly as for credit balances.
+    for username in sorted(state.users):
+        data = state.users[username]
+        server.users.restore_user(
+            username,
+            role=data["role"],
+            token_hash=data["token_hash"],
+            email=data.get("email", ""),
+            enabled=data.get("enabled", True),
+        )
+        report.users_restored += 1
+
+    for (owner, key), job_id in state.idempotency.items():
+        if job_id in state.jobs:
+            server.restore_idempotency_record(owner, key, job_id)
+            report.idempotency_keys_restored += 1
 
     if state.credit is not None:
         if server.credit_policy is None:
@@ -985,8 +1037,20 @@ class PersistenceManager:
         self._snapshots_written += 1
 
     # -- explicit server hooks ---------------------------------------------
-    def on_job_submitted(self, job: Job) -> None:
-        self._append("job.submitted", {"job": serialize_job(job)})
+    def on_job_submitted(self, job: Job, idempotency_key: Optional[str] = None) -> None:
+        data: Dict[str, object] = {"job": serialize_job(job)}
+        if idempotency_key is not None:
+            data["idempotency_key"] = idempotency_key
+        self._append("job.submitted", data)
+
+    def on_user_created(self, user) -> None:
+        self._append("user.created", serialize_user(user))
+
+    def on_job_rejected(self, job: Job) -> None:
+        # The cancellation itself is journaled via the dispatch.cancelled
+        # bus tap; this record carries what the tap cannot see — the
+        # rejection reason recorded on the job for its owner.
+        self._append("job.rejected", {"job_id": job.job_id, "error": job.error})
 
     def on_job_approved(self, job: Job) -> None:
         self._append("job.approved", {"job_id": job.job_id})

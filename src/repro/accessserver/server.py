@@ -34,9 +34,15 @@ dispatch ticks on the simulation event loop, so callers no longer poll
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.accessserver.auth import Permission, Role, User, UserRegistry
+from repro.accessserver.auth import (
+    Permission,
+    Role,
+    SessionManager,
+    User,
+    UserRegistry,
+)
 from repro.accessserver.certificates import CertificateAuthority, WildcardCertificate
 from repro.accessserver.credits import CreditLedger, CreditPolicy
 from repro.accessserver.dispatch import Assignment
@@ -100,6 +106,8 @@ class AccessServer(Entity):
         super().__init__(context, "access-server")
         self._public_address = public_address
         self.users = UserRegistry(https_only=True)
+        #: Bearer token sessions for Platform API v2 (``auth.login``).
+        self.sessions = SessionManager(self.users)
         self.dns = DnsZone(origin=domain)
         self.certificate_authority = CertificateAuthority(domain=domain)
         self._wildcard_certificate: Optional[WildcardCertificate] = (
@@ -128,6 +136,9 @@ class AccessServer(Entity):
         self._auto_dispatch_max_jobs = 100
         self._auto_dispatch_event: Optional[Event] = None
         self._persistence = None
+        # (owner, idempotency_key) -> job_id: flaky-transport retries of the
+        # same submission return the original job instead of double-queueing.
+        self._idempotent_submissions: Dict[Tuple[str, str], int] = {}
 
     # -- durable state -----------------------------------------------------------------
     @property
@@ -297,7 +308,9 @@ class AccessServer(Entity):
         return record.controller.ssh_server.open_channel(self.ssh_key, self._public_address)
 
     # -- job lifecycle ---------------------------------------------------------------------
-    def submit_job(self, user: User, spec: JobSpec) -> Job:
+    def submit_job(
+        self, user: User, spec: JobSpec, idempotency_key: Optional[str] = None
+    ) -> Job:
         """Create a job on behalf of an authenticated user.
 
         .. deprecated:: API v1
@@ -308,8 +321,16 @@ class AccessServer(Entity):
         ordinary jobs go straight into the queue.  When the credit system is
         enabled, non-admin owners must be able to afford the job's estimated
         device time (its timeout) before it is accepted.
+
+        With an ``idempotency_key``, resubmitting the same ``(owner, key)``
+        pair returns the job the first submission created — the safe-retry
+        contract a client needs after a flaky-transport timeout.
         """
         self.users.authorize(user, Permission.CREATE_JOB)
+        if idempotency_key is not None:
+            existing = self._idempotent_submissions.get((spec.owner, idempotency_key))
+            if existing is not None:
+                return self.scheduler.job(existing)
         if self._credit_policy is not None and user.role is not Role.ADMIN:
             self._credit_account_for(user.username)
             self._credit_policy.authorize(
@@ -321,15 +342,28 @@ class AccessServer(Entity):
             self._pending_approval.append(job)
             self.scheduler.submit(job, self.context.now)
             if self._persistence is not None:
-                self._persistence.on_job_submitted(job)
+                self._persistence.on_job_submitted(job, idempotency_key=idempotency_key)
             self.log("job pending approval", job=spec.name, owner=user.username)
         else:
             self.scheduler.submit(job, self.context.now)
             if self._persistence is not None:
-                self._persistence.on_job_submitted(job)
+                self._persistence.on_job_submitted(job, idempotency_key=idempotency_key)
             self.log("job queued", job=spec.name, owner=user.username)
             self._schedule_dispatch_tick()
+        if idempotency_key is not None:
+            self._idempotent_submissions[(spec.owner, idempotency_key)] = job.job_id
         return job
+
+    def idempotency_records(self) -> List[Tuple[str, str, int]]:
+        """Every remembered ``(owner, key, job_id)`` triple, for snapshots."""
+        return [
+            (owner, key, job_id)
+            for (owner, key), job_id in sorted(self._idempotent_submissions.items())
+        ]
+
+    def restore_idempotency_record(self, owner: str, key: str, job_id: int) -> None:
+        """Re-admit a journaled idempotency mapping during crash recovery."""
+        self._idempotent_submissions[(owner, key)] = job_id
 
     def approve_job(self, admin: User, job: Job) -> None:
         """Administrator approval of a pipeline change (Section 3.1)."""
@@ -342,6 +376,25 @@ class AccessServer(Entity):
             self._persistence.on_job_approved(job)
         self.log("job approved", job=job.spec.name, approver=admin.username)
         self._schedule_dispatch_tick()
+
+    def reject_job(self, admin: User, job: Job, reason: str = "") -> None:
+        """Administrator rejection of a pipeline change: the counterpart of
+        :meth:`approve_job`.  The job leaves the approval queue terminally
+        cancelled, with the reason recorded on the job for its owner."""
+        self.users.authorize(admin, Permission.APPROVE_PIPELINE)
+        if job not in self._pending_approval:
+            raise AccessServerError(f"job {job.job_id} is not awaiting approval")
+        self._pending_approval.remove(job)
+        job.error = f"rejected: {reason}" if reason else "rejected by administrator"
+        self.scheduler.cancel(job.job_id)
+        if self._persistence is not None:
+            self._persistence.on_job_rejected(job)
+        self.log(
+            "job rejected",
+            job=job.spec.name,
+            approver=admin.username,
+            reason=reason,
+        )
 
     def pending_approval(self) -> List[Job]:
         return list(self._pending_approval)
@@ -609,6 +662,57 @@ class AccessServer(Entity):
         )
         session.connect_viewer(tester_session.tester.name, role="tester")
         return tester_session
+
+    # -- remote administration (Platform API v2) ----------------------------------------------
+    def create_user(
+        self,
+        admin: User,
+        username: str,
+        role: Union[str, Role],
+        token: str,
+        email: str = "",
+    ) -> User:
+        """Open a platform account on an administrator's authority.
+
+        The account (with its token hash, never the plaintext) is journaled
+        when persistence is enabled, so remotely created users survive a
+        restart and can authenticate against the recovered server.
+        """
+        self.users.authorize(admin, Permission.MANAGE_USERS)
+        user = self.users.add_user(username, Role(role), token, email=email)
+        if self._persistence is not None:
+            self._persistence.on_user_created(user)
+        self.log(
+            "user created", username=username, role=user.role.value, by=admin.username
+        )
+        return user
+
+    def grant_credits(
+        self, admin: User, owner: str, amount_device_hours: float, note: str = ""
+    ):
+        """Administrative credit adjustment; opens the account when missing.
+
+        Returns the (possibly new) :class:`~repro.accessserver.credits.CreditAccount`.
+        The ledger's observers journal the transaction, so grants replay
+        exactly on recovery.
+        """
+        self.users.authorize(admin, Permission.MANAGE_CREDITS)
+        if self._credit_policy is None:
+            raise AccessServerError("the credit system is not enabled on this server")
+        account = self._credit_account_for(owner)
+        self._credit_policy.ledger.adjust(
+            owner,
+            amount_device_hours,
+            self.context.now,
+            note=note or f"grant by {admin.username}",
+        )
+        self.log(
+            "credits granted",
+            owner=owner,
+            amount_device_hours=amount_device_hours,
+            by=admin.username,
+        )
+        return account
 
     # -- bootstrap helpers --------------------------------------------------------------------
     def bootstrap_admin(self, username: str = "admin", token: str = "admin-token") -> User:

@@ -32,10 +32,14 @@ Quickstart::
 from repro.api.client import (
     BatteryLabClient,
     InProcessTransport,
+    JobPage,
+    JobWatch,
+    PushStream,
     Transport,
     in_process_client,
 )
 from repro.api.errors import (
+    ALL_ERROR_CODES,
     ApiError,
     AuthenticationApiError,
     ConflictApiError,
@@ -44,43 +48,69 @@ from repro.api.errors import (
     InternalApiError,
     NotFoundApiError,
     PermissionApiError,
+    SessionApiError,
     TransportApiError,
     UnknownOperationApiError,
+    V2_ERROR_CODES,
     ValidationApiError,
     VersionApiError,
     error_from_wire,
     map_exception,
 )
 from repro.api.gateway import ApiGateway, JsonLinesTransport
-from repro.api.router import ApiRouter
+from repro.api.router import ApiRouter, RequestContext
 from repro.api.schemas import (
     API_VERSION,
+    API_VERSION_V2,
+    LATEST_API_VERSION,
+    PUSH_FRAME_END,
+    PUSH_FRAME_EVENT,
+    PUSH_KIND,
     SUPPORTED_VERSIONS,
+    ApiPush,
     ApiRequest,
     ApiResponse,
     AuthCredentials,
+    CreateUserRequest,
     CreditQuery,
     CreditView,
     DeviceView,
+    EventsSubscribeRequest,
     FleetView,
+    GrantCreditsRequest,
     JobConstraintsV1,
     JobListRequest,
     JobRef,
     JobResultsView,
     JobView,
+    LoginRequest,
+    LogoutView,
+    RegisterVantagePointRequest,
     ReservationView,
     ReserveSessionRequest,
+    SessionView,
     StatusView,
     SubmitJobRequest,
+    SubscriptionAck,
+    SubscriptionRef,
+    UserView,
     VantagePointView,
+    WatchJobRequest,
     WireModel,
 )
 
 __all__ = [
+    "ALL_ERROR_CODES",
     "API_VERSION",
+    "API_VERSION_V2",
+    "LATEST_API_VERSION",
+    "PUSH_FRAME_END",
+    "PUSH_FRAME_EVENT",
+    "PUSH_KIND",
     "SUPPORTED_VERSIONS",
     "ApiError",
     "ApiGateway",
+    "ApiPush",
     "ApiRequest",
     "ApiResponse",
     "ApiRouter",
@@ -88,32 +118,49 @@ __all__ = [
     "AuthenticationApiError",
     "BatteryLabClient",
     "ConflictApiError",
+    "CreateUserRequest",
     "CreditApiError",
     "CreditQuery",
     "CreditView",
     "DeviceView",
     "ERROR_CODES",
+    "EventsSubscribeRequest",
     "FleetView",
+    "GrantCreditsRequest",
     "InProcessTransport",
     "InternalApiError",
     "JobConstraintsV1",
     "JobListRequest",
+    "JobPage",
     "JobRef",
     "JobResultsView",
     "JobView",
+    "JobWatch",
     "JsonLinesTransport",
+    "LoginRequest",
+    "LogoutView",
     "NotFoundApiError",
     "PermissionApiError",
+    "PushStream",
+    "RegisterVantagePointRequest",
+    "RequestContext",
     "ReservationView",
     "ReserveSessionRequest",
+    "SessionApiError",
+    "SessionView",
     "StatusView",
     "SubmitJobRequest",
+    "SubscriptionAck",
+    "SubscriptionRef",
     "Transport",
     "TransportApiError",
     "UnknownOperationApiError",
+    "UserView",
+    "V2_ERROR_CODES",
     "ValidationApiError",
     "VantagePointView",
     "VersionApiError",
+    "WatchJobRequest",
     "WireModel",
     "error_from_wire",
     "in_process_client",

@@ -1,13 +1,28 @@
 """The BatteryLab client SDK — the sanctioned way into the platform.
 
-:class:`BatteryLabClient` wraps the v1 request/response protocol behind
-typed Python methods: every call builds an :class:`~repro.api.schemas.ApiRequest`,
-ships it through a :class:`Transport`, and either returns the parsed
-response DTO or raises the typed :class:`~repro.api.errors.ApiError` the
-server sent back.  The same client code drives a local simulation (via
+:class:`BatteryLabClient` wraps the versioned request/response protocol
+behind typed Python methods: every call builds an
+:class:`~repro.api.schemas.ApiRequest`, ships it through a
+:class:`Transport`, and either returns the parsed response DTO or raises
+the typed :class:`~repro.api.errors.ApiError` the server sent back.  The
+same client code drives a local simulation (via
 :class:`InProcessTransport`) or a remote access server (via
-:class:`~repro.api.gateway.JsonLinesTransport`) — transports are dumb
-byte pipes, all semantics live in the envelopes.
+:class:`~repro.api.gateway.JsonLinesTransport`, optionally over TLS) —
+transports are dumb byte pipes, all semantics live in the envelopes.
+
+Platform API v2 adds three capabilities on top of the v1 surface:
+
+* **Sessions** — :meth:`BatteryLabClient.login` exchanges the account
+  credentials for a short-lived bearer token; subsequent requests carry
+  only the session token (and auto-re-login once when it expires).
+* **Streaming** — :meth:`BatteryLabClient.watch_job` and
+  :meth:`BatteryLabClient.events` return iterators over server-pushed
+  :class:`~repro.api.schemas.ApiPush` frames, replacing ``job.status``
+  polling loops entirely.
+* **Admin control plane** — :meth:`register_vantage_point`,
+  :meth:`approvals`, :meth:`approve_job` / :meth:`reject_job`,
+  :meth:`grant_credits` and :meth:`create_user` let an administrator run
+  the platform fully remotely.
 
 Job payloads are *named*: a Python callable cannot cross a JSON wire, so
 ``submit_job`` takes the name of a payload registered server-side with
@@ -23,11 +38,21 @@ from __future__ import annotations
 
 import abc
 import json
-from typing import Callable, List, Optional, Union
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
 
-from repro.api.errors import ApiError, TransportApiError, error_from_wire
+from repro.api.errors import (
+    ApiError,
+    SessionApiError,
+    TransportApiError,
+    error_from_wire,
+)
 from repro.api.schemas import (
     API_VERSION,
+    API_VERSION_V2,
+    PUSH_FRAME_END,
+    ApiPush,
     ApiRequest,
     ApiResponse,
     AuthCredentials,
@@ -37,7 +62,11 @@ from repro.api.schemas import (
     JobResultsView,
     JobView,
     ReservationView,
+    SessionView,
     StatusView,
+    SubscriptionAck,
+    UserView,
+    VantagePointView,
 )
 
 
@@ -47,6 +76,19 @@ class Transport(abc.ABC):
     @abc.abstractmethod
     def send(self, request: dict) -> dict:
         """Deliver ``request`` and return the wire-form response envelope."""
+
+    def recv_push(
+        self, subscription_id: int, timeout_s: Optional[float] = None
+    ) -> Optional[dict]:
+        """Next buffered push frame for ``subscription_id``.
+
+        Returns ``None`` when no frame is available and the transport cannot
+        wait for one (an in-process bridge would deadlock the thread that
+        must also advance the simulation).  Waiting transports (sockets)
+        block instead, raising :class:`~repro.api.errors.TransportApiError`
+        on timeout or a dead connection rather than returning ``None``.
+        """
+        raise TransportApiError("this transport does not support streaming")
 
     def close(self) -> None:
         """Release transport resources (sockets); idempotent."""
@@ -59,34 +101,156 @@ class InProcessTransport(Transport):
     trip, so anything that would break on a real wire breaks identically
     here — the local simulation cannot accidentally rely on passing live
     Python objects through the API.
+
+    Push frames are buffered per subscription as the simulation produces
+    them; iteration drains the buffer without blocking (the caller advances
+    the simulation — e.g. ``platform.run_queue()`` — between drains).
     """
 
     def __init__(self, router) -> None:
         self._router = router
+        self._push_buffers: Dict[int, deque] = {}
 
     def send(self, request: dict) -> dict:
         try:
             wire_request = json.loads(json.dumps(request))
         except (TypeError, ValueError) as exc:
             raise TransportApiError(f"request is not JSON-serializable: {exc}") from None
-        response = self._router.handle(wire_request)
+        response = self._router.handle(wire_request, push=self._on_push, owner=self)
         return json.loads(json.dumps(response))
+
+    def _on_push(self, frame: dict) -> None:
+        wire_frame = json.loads(json.dumps(frame))
+        subscription_id = wire_frame.get("subscription_id", 0)
+        self._push_buffers.setdefault(subscription_id, deque()).append(wire_frame)
+
+    def recv_push(
+        self, subscription_id: int, timeout_s: Optional[float] = None
+    ) -> Optional[dict]:
+        buffered = self._push_buffers.get(subscription_id)
+        if buffered:
+            return buffered.popleft()
+        return None
+
+    def close(self) -> None:
+        if hasattr(self._router, "cancel_owner"):
+            self._router.cancel_owner(self)
+        self._push_buffers.clear()
+
+
+class PushStream:
+    """Iterator over one subscription's server-pushed frames.
+
+    On a blocking transport (the socket gateway) iteration waits for each
+    frame; on the in-process transport it drains what the simulation has
+    produced so far and stops — advance the simulation and iterate again.
+    Frames are :class:`~repro.api.schemas.ApiPush` instances.
+    """
+
+    def __init__(
+        self,
+        client: "BatteryLabClient",
+        subscription_id: int,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        self._client = client
+        self.subscription_id = subscription_id
+        self._timeout_s = timeout_s
+        self.done = False
+
+    def __iter__(self) -> "PushStream":
+        return self
+
+    def __next__(self) -> ApiPush:
+        if self.done:
+            raise StopIteration
+        raw = self._client.transport.recv_push(
+            self.subscription_id, timeout_s=self._timeout_s
+        )
+        if raw is None:
+            raise StopIteration  # non-blocking transport drained for now
+        frame = ApiPush.from_wire(raw)
+        if frame.frame == PUSH_FRAME_END:
+            self.done = True
+            self._on_end(frame)
+        return frame
+
+    def _on_end(self, frame: ApiPush) -> None:  # pragma: no cover - hook
+        pass
+
+    def close(self) -> None:
+        """Cancel the subscription server-side; safe to call repeatedly."""
+        if self.done:
+            return
+        self.done = True
+        try:
+            self._client.cancel_subscription(self.subscription_id)
+        except ApiError:
+            pass  # server already dropped it (connection death, shutdown)
+
+
+class JobWatch(PushStream):
+    """``job.watch`` stream: ``dispatch.*`` frames, then one ``end`` frame.
+
+    ``initial`` is the job's state when the subscription was opened;
+    ``final`` is populated from the ``end`` frame once the job terminates.
+    Iterating yields every frame *including* the terminal one, so consumers
+    observe completion in-band instead of polling ``job.status``.
+    """
+
+    def __init__(
+        self,
+        client: "BatteryLabClient",
+        subscription_id: int,
+        initial: Optional[JobView],
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(client, subscription_id, timeout_s)
+        self.initial = initial
+        self.final: Optional[JobView] = None
+
+    def _on_end(self, frame: ApiPush) -> None:
+        job_wire = frame.payload.get("job")
+        if isinstance(job_wire, dict):
+            self.final = JobView.from_wire(job_wire)
+
+    def wait(self) -> JobView:
+        """Consume frames until the job terminates; returns the final view."""
+        for _ in self:
+            pass
+        if self.final is None:
+            raise TransportApiError(
+                f"job watch {self.subscription_id} ended without a final job view"
+            )
+        return self.final
+
+
+@dataclass
+class JobPage:
+    """One ``job.list`` window plus the pre-window total (v2 pagination)."""
+
+    jobs: List[JobView]
+    total: int
+    offset: int = 0
+    limit: Optional[int] = None
 
 
 class BatteryLabClient:
-    """Typed v1 client bound to one user's credentials.
+    """Typed client bound to one user's credentials.
 
     Parameters
     ----------
     transport:
         Where requests go: :class:`InProcessTransport` for a local
         simulation, :class:`~repro.api.gateway.JsonLinesTransport` for a
-        remote gateway.
+        remote gateway (plaintext or TLS).
     username / token:
-        Credentials sent with every request (the gateway is stateless).
+        Account credentials.  Sent with every request until
+        :meth:`login` upgrades the client to a bearer session.
     version:
-        Protocol version to claim; servers reject unsupported versions
-        with ``request.version_unsupported``.
+        Protocol version to claim for the v1 surface; v2-only operations
+        always negotiate ``"2.0"`` envelopes.  Servers reject unsupported
+        versions with ``request.version_unsupported``.
     """
 
     def __init__(
@@ -100,10 +264,20 @@ class BatteryLabClient:
         self._auth = AuthCredentials(username=username, token=token)
         self._version = version
         self._request_id = 0
+        self._session_token: Optional[str] = None
+        self._session_ttl_s: Optional[float] = None
 
     @property
     def username(self) -> str:
         return self._auth.username
+
+    @property
+    def transport(self) -> Transport:
+        return self._transport
+
+    @property
+    def session_active(self) -> bool:
+        return self._session_token is not None
 
     def close(self) -> None:
         self._transport.close()
@@ -115,14 +289,33 @@ class BatteryLabClient:
         self.close()
 
     # -- plumbing -----------------------------------------------------------
-    def _call(self, op: str, payload: Optional[dict] = None) -> dict:
+    def _call(
+        self, op: str, payload: Optional[dict] = None, version: Optional[str] = None
+    ) -> dict:
+        try:
+            return self._call_once(op, payload, version)
+        except SessionApiError:
+            if self._session_token is None:
+                raise
+            # The session lapsed mid-conversation; we still hold account
+            # credentials, so re-login once and retry transparently.
+            self._session_token = None
+            self.login(ttl_s=self._session_ttl_s)
+            return self._call_once(op, payload, version)
+
+    def _call_once(
+        self, op: str, payload: Optional[dict], version: Optional[str]
+    ) -> dict:
         self._request_id += 1
+        if version is None:
+            version = API_VERSION_V2 if self._session_token else self._version
         request = ApiRequest(
             op=op,
-            version=self._version,
-            auth=self._auth,
+            version=version,
+            auth=None if self._session_token else self._auth,
             payload=payload or {},
             request_id=self._request_id,
+            session=self._session_token,
         )
         raw = self._transport.send(request.to_wire())
         response = ApiResponse.from_wire(raw)
@@ -134,6 +327,39 @@ class BatteryLabClient:
         if not response.ok:
             raise error_from_wire(response.error or {})
         return response.payload or {}
+
+    # -- sessions (v2) ------------------------------------------------------
+    def login(self, ttl_s: Optional[float] = None) -> SessionView:
+        """Exchange account credentials for a short-lived bearer session.
+
+        Every subsequent request carries only the session token.  The
+        client re-logs-in transparently (once per call) when the session
+        expires, so long-running drivers never see ``auth.session_expired``.
+        """
+        self._session_token = None
+        payload = {} if ttl_s is None else {"ttl_s": ttl_s}
+        wire = self._call_once("auth.login", payload, API_VERSION_V2)
+        view = SessionView.from_wire(wire)
+        self._session_token = view.session_token
+        self._session_ttl_s = ttl_s
+        return view
+
+    def logout(self) -> bool:
+        """Revoke the active session; true when the server dropped it.
+
+        Best-effort by design: a session the server already dropped
+        (expired, revoked elsewhere) reports ``False`` instead of raising —
+        logout is a teardown path and must not crash cleanup code.
+        """
+        if self._session_token is None:
+            return False
+        try:
+            wire = self._call_once("auth.logout", {}, API_VERSION_V2)
+        except SessionApiError:
+            self._session_token = None
+            return False
+        self._session_token = None
+        return bool(wire.get("revoked", False))
 
     # -- jobs ---------------------------------------------------------------
     def submit_job(
@@ -152,12 +378,15 @@ class BatteryLabClient:
         connectivity: Optional[str] = None,
         require_low_controller_cpu: bool = False,
         max_controller_cpu_percent: float = 50.0,
+        idempotency_key: Optional[str] = None,
     ) -> JobView:
         """Submit one job; returns its :class:`~repro.api.schemas.JobView`.
 
         ``payload`` is the server-side payload catalogue name; a callable is
         auto-registered under ``client/<username>/<name>`` first (local-use
-        convenience, see the module docstring).
+        convenience, see the module docstring).  ``idempotency_key`` (v2)
+        makes retrying this exact call safe: the server returns the original
+        job instead of enqueueing a duplicate.
         """
         payload_name = self._resolve_payload_name(name, payload)
         constraints = JobConstraintsV1(
@@ -167,20 +396,22 @@ class BatteryLabClient:
             require_low_controller_cpu=require_low_controller_cpu,
             max_controller_cpu_percent=max_controller_cpu_percent,
         )
-        wire = self._call(
-            "job.submit",
-            {
-                "name": name,
-                "payload": payload_name,
-                "owner": owner,
-                "description": description,
-                "priority": priority,
-                "timeout_s": timeout_s,
-                "is_pipeline_change": is_pipeline_change,
-                "log_retention_days": log_retention_days,
-                "constraints": constraints.to_wire(),
-            },
-        )
+        body = {
+            "name": name,
+            "payload": payload_name,
+            "owner": owner,
+            "description": description,
+            "priority": priority,
+            "timeout_s": timeout_s,
+            "is_pipeline_change": is_pipeline_change,
+            "log_retention_days": log_retention_days,
+            "constraints": constraints.to_wire(),
+        }
+        version = None
+        if idempotency_key is not None:
+            body["idempotency_key"] = idempotency_key
+            version = API_VERSION_V2
+        wire = self._call("job.submit", body, version)
         return JobView.from_wire(wire)
 
     def _resolve_payload_name(self, job_name: str, payload: Union[str, Callable]) -> str:
@@ -206,11 +437,129 @@ class BatteryLabClient:
         wire = self._call("job.list", {"status": status})
         return [JobView.from_wire(item) for item in wire.get("jobs", [])]
 
+    def job_page(
+        self,
+        status: Optional[str] = None,
+        owner: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> JobPage:
+        """One ``job.list`` page (v2): filtered, windowed, with the total."""
+        body: dict = {"status": status}
+        if owner is not None:
+            body["owner"] = owner
+        if limit is not None:
+            body["limit"] = limit
+        if offset:
+            body["offset"] = offset
+        wire = self._call("job.list", body, API_VERSION_V2)
+        return JobPage(
+            jobs=[JobView.from_wire(item) for item in wire.get("jobs", [])],
+            total=wire.get("total", 0),
+            offset=wire.get("offset", 0),
+            limit=wire.get("limit"),
+        )
+
     def cancel_job(self, job_id: int) -> JobView:
         return JobView.from_wire(self._call("job.cancel", {"job_id": job_id}))
 
     def job_results(self, job_id: int) -> JobResultsView:
         return JobResultsView.from_wire(self._call("job.results", {"job_id": job_id}))
+
+    # -- streaming (v2) -----------------------------------------------------
+    def watch_job(self, job_id: int, timeout_s: Optional[float] = None) -> JobWatch:
+        """Subscribe to one job's ``dispatch.*`` events until it terminates.
+
+        Returns a :class:`JobWatch` iterator — the replacement for every
+        ``while status != "completed"`` polling loop.  ``watch.wait()``
+        consumes the stream and returns the final job view.
+        """
+        wire = self._call("job.watch", {"job_id": job_id}, API_VERSION_V2)
+        ack = SubscriptionAck.from_wire(wire)
+        return JobWatch(self, ack.subscription_id, ack.job, timeout_s=timeout_s)
+
+    def events(
+        self, topic_prefix: str = "dispatch.", timeout_s: Optional[float] = None
+    ) -> PushStream:
+        """Subscribe to the server's event bus by topic prefix (v2).
+
+        The returned :class:`PushStream` yields one
+        :class:`~repro.api.schemas.ApiPush` per matching bus record; call
+        ``close()`` to cancel the subscription.
+        """
+        wire = self._call(
+            "events.subscribe", {"topic_prefix": topic_prefix}, API_VERSION_V2
+        )
+        ack = SubscriptionAck.from_wire(wire)
+        return PushStream(self, ack.subscription_id, timeout_s=timeout_s)
+
+    def cancel_subscription(self, subscription_id: int) -> bool:
+        wire = self._call(
+            "subscription.cancel", {"subscription_id": subscription_id}, API_VERSION_V2
+        )
+        return bool(wire.get("cancelled", False))
+
+    # -- admin control plane (v2) -------------------------------------------
+    def register_vantage_point(
+        self,
+        name: str,
+        institution: str,
+        contact_email: str = "",
+        public_address: str = "",
+        device_count: int = 1,
+        device_profile: str = "samsung-j7-duo",
+    ) -> VantagePointView:
+        """Admit a new member vantage point entirely over the wire (admin)."""
+        wire = self._call(
+            "vantage-point.register",
+            {
+                "name": name,
+                "institution": institution,
+                "contact_email": contact_email,
+                "public_address": public_address,
+                "device_count": device_count,
+                "device_profile": device_profile,
+            },
+            API_VERSION_V2,
+        )
+        return VantagePointView.from_wire(wire)
+
+    def approvals(self) -> List[JobView]:
+        """Pipeline changes waiting for administrator approval."""
+        wire = self._call("approvals.list", {}, API_VERSION_V2)
+        return [JobView.from_wire(item) for item in wire.get("jobs", [])]
+
+    def approve_job(self, job_id: int) -> JobView:
+        return JobView.from_wire(
+            self._call("job.approve", {"job_id": job_id}, API_VERSION_V2)
+        )
+
+    def reject_job(self, job_id: int, reason: str = "") -> JobView:
+        return JobView.from_wire(
+            self._call(
+                "job.reject", {"job_id": job_id, "reason": reason}, API_VERSION_V2
+            )
+        )
+
+    def grant_credits(
+        self, owner: str, amount_device_hours: float, note: str = ""
+    ) -> CreditView:
+        wire = self._call(
+            "credits.grant",
+            {"owner": owner, "amount_device_hours": amount_device_hours, "note": note},
+            API_VERSION_V2,
+        )
+        return CreditView.from_wire(wire)
+
+    def create_user(
+        self, username: str, role: str, token: str, email: str = ""
+    ) -> UserView:
+        wire = self._call(
+            "user.create",
+            {"username": username, "role": role, "token": token, "email": email},
+            API_VERSION_V2,
+        )
+        return UserView.from_wire(wire)
 
     # -- sessions, credits, fleet, status -----------------------------------
     def reserve_session(

@@ -1,4 +1,4 @@
-"""Typed error taxonomy for Platform API v1.
+"""Typed error taxonomy for the Platform API (v1 and v2).
 
 Every failure the platform can hand a remote caller is an :class:`ApiError`
 subclass with a *stable, machine-readable* ``code``.  The codes — not the
@@ -85,6 +85,17 @@ class PermissionApiError(ApiError):
     code = "auth.permission_denied"
 
 
+class SessionApiError(ApiError):
+    """The bearer session token is unknown, expired or revoked (API v2).
+
+    Distinct from :class:`AuthenticationApiError` so clients can react by
+    transparently re-running ``auth.login`` with their account credentials
+    instead of surfacing a credentials failure to the operator.
+    """
+
+    code = "auth.session_expired"
+
+
 class NotFoundApiError(ApiError):
     """The referenced resource (job, vantage point, account) does not exist."""
 
@@ -135,6 +146,15 @@ ERROR_CODES: Dict[str, Type[ApiError]] = {
     )
 }
 
+#: Codes introduced by Platform API v2.  Kept separate so the v1 table stays
+#: byte-for-byte frozen; v2 has its own golden test pinning the union.
+V2_ERROR_CODES: Dict[str, Type[ApiError]] = {
+    cls.code: cls for cls in (SessionApiError,)
+}
+
+#: Every code any supported API version can emit (v1 ∪ v2).
+ALL_ERROR_CODES: Dict[str, Type[ApiError]] = {**ERROR_CODES, **V2_ERROR_CODES}
+
 
 def error_from_wire(data: Dict[str, object]) -> ApiError:
     """Rebuild the typed error a server serialised with :meth:`ApiError.to_wire`.
@@ -148,7 +168,7 @@ def error_from_wire(data: Dict[str, object]) -> ApiError:
     details = data.get("details")
     if not isinstance(details, dict):
         details = None
-    cls = ERROR_CODES.get(code)
+    cls = ALL_ERROR_CODES.get(code)
     if cls is None:
         error = ApiError(message, details)
         error.code = code
@@ -163,7 +183,11 @@ def map_exception(exc: BaseException) -> ApiError:
     exception zoo meets the wire contract.  ``ApiError`` instances pass
     through untouched.
     """
-    from repro.accessserver.auth import AuthenticationError, AuthorizationError
+    from repro.accessserver.auth import (
+        AuthenticationError,
+        AuthorizationError,
+        SessionExpiredError,
+    )
     from repro.accessserver.credits import CreditError
     from repro.accessserver.dispatch import SchedulingError
     from repro.accessserver.jobs import JobError
@@ -173,6 +197,8 @@ def map_exception(exc: BaseException) -> ApiError:
     if isinstance(exc, ApiError):
         return exc
     message = str(exc)
+    if isinstance(exc, SessionExpiredError):
+        return SessionApiError(message)
     if isinstance(exc, AuthenticationError):
         return AuthenticationApiError(message)
     if isinstance(exc, AuthorizationError):

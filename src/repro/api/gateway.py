@@ -1,23 +1,44 @@
-"""JSON-lines socket gateway: Platform API v1 over a real wire.
+"""JSON-lines socket gateway: the Platform API over a real wire.
 
 The gateway is the remote-access deployment shape the paper promises: an
 access server in the cloud, experimenters anywhere.  The framing is
-deliberately primitive — one JSON request envelope per line, one JSON
-response envelope per line, UTF-8, ``\\n``-terminated — so any language
-with a socket and a JSON parser can drive the platform.
+deliberately primitive — one JSON envelope per line, UTF-8,
+``\\n``-terminated — so any language with a socket and a JSON parser can
+drive the platform.
 
-* :class:`ApiGateway` — server side.  Accepts TCP connections, reads
-  request lines, pushes each through an
-  :class:`~repro.api.router.ApiRouter` (serialized by a lock: the access
-  server and the simulation behind it are single-threaded by design), and
-  writes the response line.  A malformed JSON line gets a well-formed
-  ``request.invalid`` error envelope back rather than a dropped
-  connection, so client bugs stay debuggable.
+* :class:`ApiGateway` — server side.  Accepts TCP connections (optionally
+  wrapped in TLS — the paper mandates HTTPS-only access), reads request
+  lines, pushes each through an :class:`~repro.api.router.ApiRouter`
+  (serialized by a lock: the access server and the simulation behind it
+  are single-threaded by design), and writes the response line.  A
+  malformed JSON line gets a well-formed ``request.invalid`` error
+  envelope back rather than a dropped connection, so client bugs stay
+  debuggable.
 * :class:`JsonLinesTransport` — the matching client
   :class:`~repro.api.client.Transport`.  Connects lazily, reconnects once
   per call after a broken connection, and raises
   :class:`~repro.api.errors.TransportApiError` (code ``transport.failed``)
   when the gateway cannot be reached.
+
+**Streaming (API v2).**  Responses and server pushes share one connection:
+each connection hands the router a ``push`` callable that writes
+:class:`~repro.api.schemas.ApiPush` frames under the connection's write
+lock, so a frame pushed from the simulation thread never interleaves
+mid-line with a response written by the connection thread.  The client
+transport demultiplexes by the ``kind: "push"`` discriminator, buffering
+push frames per subscription while a response is awaited.  When a
+connection dies — or :meth:`ApiGateway.stop` runs — every subscription it
+owned is cancelled on the router, so a blocked ``job.watch`` reader can
+never hang shutdown and the event bus never writes to a dead socket.
+
+**TLS.**  Pass an ``ssl.SSLContext`` (see
+:func:`repro.accessserver.certificates.server_tls_context`) to serve the
+paper's HTTPS-only rule for real; ``assume_https=False`` additionally
+makes the router treat plaintext connections as insecure, which the
+HTTPS-only :class:`~repro.accessserver.auth.UserRegistry` then rejects at
+authentication time.  The default (``assume_https=True``) keeps plaintext
+loopback gateways — tests, local tooling — working as the stand-in for a
+terminated TLS connection.
 
 Threading model: callers of :meth:`ApiGateway.start` get a daemon accept
 thread plus one daemon thread per connection.  Requests across all
@@ -30,21 +51,73 @@ from __future__ import annotations
 
 import json
 import socket
+import ssl
 import threading
 from typing import Optional, Tuple
 
 from repro.api.errors import TransportApiError, ValidationApiError
-from repro.api.schemas import API_VERSION, ApiResponse
+from repro.api.schemas import API_VERSION, PUSH_KIND, ApiResponse
 from repro.api.client import Transport
 
 
-class ApiGateway:
-    """Serve an :class:`~repro.api.router.ApiRouter` over newline-delimited JSON."""
+class _Connection:
+    """One accepted gateway connection with an interleave-safe writer."""
 
-    def __init__(self, router, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._write_lock = threading.Lock()
+
+    def send_frame(self, frame: dict) -> None:
+        data = json.dumps(frame).encode("utf-8") + b"\n"
+        with self._write_lock:
+            self.sock.sendall(data)
+
+    def shutdown(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # peer already gone
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class ApiGateway:
+    """Serve an :class:`~repro.api.router.ApiRouter` over newline-delimited JSON.
+
+    Parameters
+    ----------
+    router:
+        The operation router; shared state (subscriptions) lives there.
+    host / port:
+        Bind address; port 0 picks a free one.
+    tls_context:
+        Server-side ``ssl.SSLContext``; when set every accepted connection
+        is wrapped before the first byte is read, and connections count as
+        secure for the HTTPS-only rule.
+    assume_https:
+        How plaintext connections are presented to the router: ``True``
+        (default) treats them as a terminated-TLS stand-in — the historical
+        behaviour; ``False`` reports them insecure, so an HTTPS-only user
+        registry refuses authentication over them.
+    """
+
+    def __init__(
+        self,
+        router,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tls_context: Optional[ssl.SSLContext] = None,
+        assume_https: bool = True,
+    ) -> None:
         self._router = router
         self._host = host
         self._requested_port = port
+        self._tls_context = tls_context
+        self._assume_https = assume_https
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._router_lock = threading.Lock()
@@ -63,6 +136,21 @@ class ApiGateway:
     def running(self) -> bool:
         return self._running
 
+    @property
+    def tls_enabled(self) -> bool:
+        return self._tls_context is not None
+
+    @property
+    def router_lock(self) -> threading.Lock:
+        """The lock serializing requests through the router.
+
+        Anything that mutates the access server *outside* a gateway request
+        — e.g. a host loop driving ``run_queue()`` while remote clients
+        submit — must hold this lock for each mutation burst, or a request
+        landing mid-dispatch races the single-threaded simulation state.
+        """
+        return self._router_lock
+
     def start(self) -> Tuple[str, int]:
         """Bind, listen and serve in background threads; returns the address."""
         if self._running:
@@ -80,8 +168,17 @@ class ApiGateway:
         return self.address
 
     def stop(self) -> None:
-        """Stop serving: no new connections, established connections dropped."""
+        """Stop serving: no new connections, established connections dropped.
+
+        Active streaming subscriptions are cancelled *first*, so a client
+        blocked in a ``job.watch`` read cannot keep the event bus pushing
+        into sockets that are about to close, and the blocked reader itself
+        is unblocked by the connection shutdown (EOF) — stop() never waits
+        on a watcher.
+        """
         self._running = False
+        if hasattr(self._router, "close_all_subscriptions"):
+            self._router.close_all_subscriptions()
         if self._listener is not None:
             # shutdown() before close(): on Linux, close() alone does not
             # wake a thread blocked in accept() — the in-progress syscall
@@ -104,10 +201,7 @@ class ApiGateway:
         with self._connections_lock:
             lingering = list(self._connections)
         for connection in lingering:
-            try:
-                connection.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass  # client already gone
+            connection.shutdown()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
             self._accept_thread = None
@@ -145,30 +239,53 @@ class ApiGateway:
                 daemon=True,
             ).start()
 
-    def _serve_connection(self, connection: socket.socket) -> None:
+    #: Longest a TLS handshake may take before the connection is dropped.
+    #: Bounds how long a silent peer can pin a connection thread that is
+    #: not yet registered in ``_connections`` (and thus invisible to
+    #: :meth:`stop`).
+    TLS_HANDSHAKE_TIMEOUT_S = 10.0
+
+    def _serve_connection(self, raw_sock: socket.socket) -> None:
+        if self._tls_context is not None:
+            try:
+                raw_sock.settimeout(self.TLS_HANDSHAKE_TIMEOUT_S)
+                raw_sock = self._tls_context.wrap_socket(raw_sock, server_side=True)
+                raw_sock.settimeout(None)
+            except (OSError, ssl.SSLError):
+                # Failed or stalled handshake (plaintext probe, silent
+                # peer, bad cipher): the peer never reached the API; just
+                # drop the connection.
+                try:
+                    raw_sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+                return
+        connection = _Connection(raw_sock)
+        secure = self.tls_enabled or self._assume_https
         with self._connections_lock:
             self._connections.add(connection)
         try:
-            reader = connection.makefile("rb")
+            reader = raw_sock.makefile("rb")
             for raw_line in reader:
                 if not self._running:
                     break
                 line = raw_line.strip()
                 if not line:
                     continue
-                response = self._handle_line(line)
-                connection.sendall(json.dumps(response).encode("utf-8") + b"\n")
+                response = self._handle_line(line, connection, secure)
+                connection.send_frame(response)
         except OSError:
             pass  # client went away mid-request; nothing to answer
         finally:
+            # The connection's subscriptions die with it: the event bus
+            # must never keep pushing into a socket that is gone.
+            if hasattr(self._router, "cancel_owner"):
+                self._router.cancel_owner(connection)
             with self._connections_lock:
                 self._connections.discard(connection)
-            try:
-                connection.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
+            connection.close()
 
-    def _handle_line(self, line: bytes) -> dict:
+    def _handle_line(self, line: bytes, connection: _Connection, secure: bool) -> dict:
         try:
             request = json.loads(line.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -182,31 +299,80 @@ class ApiGateway:
                 ok=False, version=API_VERSION, request_id=0, error=error.to_wire()
             ).to_wire()
         with self._router_lock:
-            return self._router.handle(request)
+            return self._router.handle(
+                request,
+                push=connection.send_frame,
+                owner=connection,
+                secure=secure,
+            )
 
 
 class JsonLinesTransport(Transport):
-    """Client transport speaking the gateway's newline-delimited JSON."""
+    """Client transport speaking the gateway's newline-delimited JSON.
 
-    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+    With ``tls_context`` set the connection is wrapped in TLS before any
+    envelope travels; pair it with
+    :func:`repro.accessserver.certificates.client_tls_context` to trust the
+    platform's wildcard certificate.  ``server_hostname`` is what the
+    certificate is checked against (defaults to the connect host — pass the
+    vantage-point DNS name when connecting by IP).
+
+    Push frames (``kind: "push"``) may arrive interleaved with responses;
+    they are demultiplexed into per-subscription buffers.  ``recv_push``
+    drains the buffer first and then *blocks* on the socket — this is a
+    streaming-capable transport.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        tls_context: Optional[ssl.SSLContext] = None,
+        server_hostname: Optional[str] = None,
+    ) -> None:
         self._host = host
         self._port = port
         self._timeout_s = timeout_s
+        self._tls_context = tls_context
+        self._server_hostname = server_hostname or host
         self._sock: Optional[socket.socket] = None
         self._reader = None
+        self._push_buffers: dict = {}
 
     def _connect(self) -> None:
         try:
             sock = socket.create_connection(
                 (self._host, self._port), timeout=self._timeout_s
             )
-        except OSError as exc:
+            if self._tls_context is not None:
+                sock = self._tls_context.wrap_socket(
+                    sock, server_hostname=self._server_hostname
+                )
+        except (OSError, ssl.SSLError) as exc:
             raise TransportApiError(
                 f"cannot reach gateway at {self._host}:{self._port}: {exc}",
                 details={"host": self._host, "port": self._port},
             ) from None
         self._sock = sock
         self._reader = sock.makefile("rb")
+
+    def _read_frame(self) -> Optional[dict]:
+        """One parsed frame off the wire; ``None`` on orderly EOF."""
+        line = self._reader.readline()
+        if not line:
+            return None
+        try:
+            frame = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TransportApiError(f"gateway sent an invalid frame: {exc}") from None
+        if not isinstance(frame, dict):
+            raise TransportApiError("gateway sent a non-object frame")
+        return frame
+
+    def _buffer_push(self, frame: dict) -> None:
+        subscription_id = frame.get("subscription_id", 0)
+        self._push_buffers.setdefault(subscription_id, []).append(frame)
 
     def send(self, request: dict) -> dict:
         try:
@@ -220,9 +386,9 @@ class JsonLinesTransport(Transport):
                 self._connect()
             try:
                 self._sock.sendall(frame)
-                line = self._reader.readline()
-                if line:
-                    break
+                response = self._read_response()
+                if response is not None:
+                    return response
                 self.close()  # orderly server EOF: reconnect once
             except OSError as exc:
                 self.close()
@@ -231,18 +397,62 @@ class JsonLinesTransport(Transport):
                         f"gateway connection failed: {exc}",
                         details={"host": self._host, "port": self._port},
                     ) from None
-        else:
+        raise TransportApiError(
+            "gateway closed the connection without responding",
+            details={"host": self._host, "port": self._port},
+        )
+
+    def _read_response(self) -> Optional[dict]:
+        """Read until a response frame, buffering interleaved pushes."""
+        while True:
+            frame = self._read_frame()
+            if frame is None:
+                return None
+            if frame.get("kind") == PUSH_KIND:
+                self._buffer_push(frame)
+                continue
+            return frame
+
+    def recv_push(
+        self, subscription_id: int, timeout_s: Optional[float] = None
+    ) -> Optional[dict]:
+        buffered = self._push_buffers.get(subscription_id)
+        if buffered:
+            return buffered.pop(0)
+        if self._sock is None or self._reader is None:
             raise TransportApiError(
-                "gateway closed the connection without responding",
-                details={"host": self._host, "port": self._port},
+                "no connection to receive pushes on; the subscription is gone"
             )
+        previous_timeout = self._sock.gettimeout()
+        # None means "wait as long as it takes" — override the connect
+        # timeout the socket still carries, or a >30s-quiet watch would
+        # spuriously fail.
+        self._sock.settimeout(timeout_s)
         try:
-            response = json.loads(line.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise TransportApiError(f"gateway sent an invalid frame: {exc}") from None
-        if not isinstance(response, dict):
-            raise TransportApiError("gateway sent a non-object frame")
-        return response
+            while True:
+                frame = self._read_frame()
+                if frame is None:
+                    raise TransportApiError(
+                        "gateway closed the connection while streaming"
+                    )
+                if frame.get("kind") != PUSH_KIND:
+                    # A response with no request outstanding cannot happen
+                    # from this (single-threaded) client; drop it.
+                    continue
+                if frame.get("subscription_id") == subscription_id:
+                    return frame
+                self._buffer_push(frame)
+        except socket.timeout:
+            raise TransportApiError(
+                f"timed out after {timeout_s}s waiting for a push frame",
+                details={"subscription_id": subscription_id},
+            ) from None
+        except OSError as exc:
+            self.close()
+            raise TransportApiError(f"gateway connection failed: {exc}") from None
+        finally:
+            if self._sock is not None:
+                self._sock.settimeout(previous_timeout)
 
     def close(self) -> None:
         if self._reader is not None:
@@ -257,3 +467,4 @@ class JsonLinesTransport(Transport):
             except OSError:  # pragma: no cover
                 pass
             self._sock = None
+        self._push_buffers.clear()

@@ -1,22 +1,24 @@
-"""Operation routing for Platform API v1.
+"""Operation routing for the Platform API (v1 request/response + v2).
 
 :class:`ApiRouter` is the server side of the API: it receives a wire-form
 request envelope (a plain dict, however it travelled), authenticates the
-caller against the access server's :class:`~repro.accessserver.auth.UserRegistry`,
-enforces the per-operation permission from the same role matrix that guards
-the web console, executes the handler against :class:`~repro.accessserver.server.AccessServer`,
-and returns a wire-form response envelope.  All domain exceptions are
-translated to the typed taxonomy of :mod:`repro.api.errors` at this
-boundary — a transport never sees a raw ``JobError`` or ``ValueError``.
+caller against the access server's :class:`~repro.accessserver.auth.UserRegistry`
+— either per-request credentials (v1) or a bearer session token minted by
+``auth.login`` (v2) — enforces the per-operation permission from the same
+role matrix that guards the web console, executes the handler against
+:class:`~repro.accessserver.server.AccessServer`, and returns a wire-form
+response envelope.  All domain exceptions are translated to the typed
+taxonomy of :mod:`repro.api.errors` at this boundary — a transport never
+sees a raw ``JobError`` or ``ValueError``.
 
-The v1 operation table:
+The v1 operation table (unchanged, still served to ``"1.0"`` envelopes):
 
 =================== =========================== ======================= ==================
 operation           permission                  request DTO             response DTO
 =================== =========================== ======================= ==================
 ``job.submit``      ``create_job``              ``SubmitJobRequest``    ``JobView``
 ``job.status``      ``view_results``            ``JobRef``              ``JobView``
-``job.list``        ``view_results``            ``JobListRequest``      ``{"jobs": [JobView]}``
+``job.list``        ``view_results``            ``JobListRequest``      ``{"jobs": [JobView], "total": N}``
 ``job.cancel``      ``edit_job``                ``JobRef``              ``JobView``
 ``job.results``     ``view_results``            ``JobRef``              ``JobResultsView``
 ``session.reserve`` ``remote_control``          ``ReserveSessionRequest`` ``ReservationView``
@@ -25,21 +27,53 @@ operation           permission                  request DTO             response
 ``server.status``   ``view_results``            (none)                  ``StatusView``
 =================== =========================== ======================= ==================
 
+The v2 operation table (rejected on ``"1.0"`` envelopes with
+``request.version_unsupported``):
+
+========================== =========================== ================================ ==================
+operation                  permission                  request DTO                      response DTO
+========================== =========================== ================================ ==================
+``auth.login``             (envelope credentials)      ``LoginRequest``                 ``SessionView``
+``auth.logout``            (any authenticated)         (none)                           ``LogoutView``
+``vantage-point.register`` ``manage_vantage_points``   ``RegisterVantagePointRequest``  ``VantagePointView``
+``approvals.list``         ``approve_pipeline``        (none)                           ``{"jobs": [JobView]}``
+``job.approve``            ``approve_pipeline``        ``JobRef``                       ``JobView``
+``job.reject``             ``approve_pipeline``        ``JobRef`` (+ ``reason``)        ``JobView``
+``credits.grant``          ``manage_credits``          ``GrantCreditsRequest``          ``CreditView``
+``user.create``            ``manage_users``            ``CreateUserRequest``            ``UserView``
+``job.watch``              ``view_results``            ``WatchJobRequest``              ``SubscriptionAck`` + pushes
+``events.subscribe``       ``view_results``            ``EventsSubscribeRequest``       ``SubscriptionAck`` + pushes
+``subscription.cancel``    ``view_results``            ``SubscriptionRef``              ``{"cancelled": bool}``
+========================== =========================== ================================ ==================
+
 Ownership rules: ``job.results`` and ``job.cancel`` are restricted to the
 job's owner (or an admin); ``job.submit`` with an explicit ``owner`` other
 than the caller requires the admin role; ``credits.balance`` for another
 owner requires the admin role.
+
+**Streaming.**  ``job.watch`` and ``events.subscribe`` are long-lived: the
+transport supplies a ``push`` callable and the router bridges the server's
+``dispatch.*`` :class:`~repro.simulation.events.EventBus` records into
+:class:`~repro.api.schemas.ApiPush` frames delivered through it.  A
+``job.watch`` subscription ends itself with a ``frame="end"`` push (final
+``JobView`` included) once the job reaches a terminal state.  Subscriptions
+are tied to the ``owner`` token the transport passes (the gateway uses the
+connection); :meth:`ApiRouter.cancel_owner` tears them down when the
+connection dies, and a push that raises (dead socket) closes its
+subscription instead of propagating into the dispatch pipeline.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+import json
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.accessserver.auth import Permission, Role, User
 from repro.accessserver.jobs import JobSpec, JobStatus
 from repro.accessserver.persistence import get_payload
 from repro.api.errors import (
-    ApiError,
     AuthenticationApiError,
     NotFoundApiError,
     PermissionApiError,
@@ -50,60 +84,286 @@ from repro.api.errors import (
 )
 from repro.api.schemas import (
     API_VERSION,
+    API_VERSION_V2,
+    PUSH_FRAME_END,
+    PUSH_FRAME_EVENT,
     SUPPORTED_VERSIONS,
+    ApiPush,
     ApiRequest,
     ApiResponse,
+    CreateUserRequest,
     CreditQuery,
     CreditView,
     DeviceView,
+    EventsSubscribeRequest,
     FleetView,
+    GrantCreditsRequest,
     JobListRequest,
     JobRef,
     JobResultsView,
     JobView,
+    LoginRequest,
+    LogoutView,
+    RegisterVantagePointRequest,
     ReservationView,
     ReserveSessionRequest,
+    SessionView,
     StatusView,
     SubmitJobRequest,
+    SubscriptionAck,
+    SubscriptionRef,
+    UserView,
     VantagePointView,
+    WatchJobRequest,
 )
+
+#: Job states a ``job.watch`` subscription terminates on.
+_TERMINAL_STATUSES = (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+def _push_safe(value: object) -> object:
+    """Bus payload values are primitive by convention; degrade stragglers."""
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+@dataclass
+class RequestContext:
+    """Everything a handler may need beyond its payload."""
+
+    user: Optional[User]
+    version: str
+    secure: bool = True
+    auth: Optional[object] = None
+    session_token: Optional[str] = None
+    push: Optional[Callable[[dict], None]] = None
+    owner_token: Optional[object] = None
+
+
+@dataclass
+class _Op:
+    """One routable operation and how to guard it."""
+
+    handler: Callable[[RequestContext, dict], dict]
+    permission: Optional[Permission] = None
+    min_version: str = API_VERSION
+    authenticate: bool = True
+    streaming: bool = False
+
+
+class _Subscription:
+    """One live push stream bridged from the server's event bus."""
+
+    def __init__(
+        self,
+        router: "ApiRouter",
+        subscription_id: int,
+        owner_token: Optional[object],
+        username: str,
+        push: Callable[[dict], None],
+        topic_prefix: Optional[str] = None,
+        job_id: Optional[int] = None,
+    ) -> None:
+        self.router = router
+        self.subscription_id = subscription_id
+        self.owner_token = owner_token
+        self.username = username
+        self.push = push
+        self.topic_prefix = topic_prefix
+        self.job_id = job_id
+        self.seq = 0
+        self.closed = False
+
+    def _frame(self, frame: str, topic: Optional[str], timestamp: float, payload: dict) -> dict:
+        self.seq += 1
+        return ApiPush(
+            subscription_id=self.subscription_id,
+            frame=frame,
+            seq=self.seq,
+            topic=topic,
+            timestamp=timestamp,
+            payload=payload,
+        ).to_wire()
+
+    def deliver(self, record) -> None:
+        """Bus callback: filter, frame and push one record."""
+        if self.closed:
+            return
+        if self.job_id is not None:
+            if record.payload.get("job_id") != self.job_id:
+                return
+            if not record.topic.startswith("dispatch."):
+                return
+        elif self.topic_prefix is not None and not record.topic.startswith(
+            self.topic_prefix
+        ):
+            return
+        payload = {key: _push_safe(value) for key, value in record.payload.items()}
+        self._send(self._frame(PUSH_FRAME_EVENT, record.topic, record.timestamp, payload))
+        if self.closed or self.job_id is None:
+            return
+        try:
+            job = self.router.server.scheduler.job(self.job_id)
+        except Exception:  # job evicted; nothing further to watch
+            self.router.cancel_subscription(self.subscription_id)
+            return
+        if job.status in _TERMINAL_STATUSES:
+            self.end(job)
+
+    def end(self, job) -> None:
+        """Terminal ``job.watch`` frame carrying the final job view."""
+        if self.closed:
+            return
+        self._send(
+            self._frame(
+                PUSH_FRAME_END,
+                None,
+                job.finished_at if job.finished_at is not None else 0.0,
+                {"job": JobView.from_job(job).to_wire()},
+            )
+        )
+        self.router.cancel_subscription(self.subscription_id)
+
+    def _send(self, frame: dict) -> None:
+        try:
+            self.push(frame)
+        except Exception:
+            # A dead transport must never propagate into the dispatch
+            # pipeline that published the event; drop the subscription.
+            self.router.cancel_subscription(self.subscription_id)
 
 
 class ApiRouter:
-    """Maps v1 operation names to handlers executing against one server."""
+    """Maps operation names to handlers executing against one server."""
 
     def __init__(self, server) -> None:
         self._server = server
-        self._ops: Dict[str, Tuple[Permission, Callable[[User, dict], dict]]] = {
-            "job.submit": (Permission.CREATE_JOB, self._op_job_submit),
-            "job.status": (Permission.VIEW_RESULTS, self._op_job_status),
-            "job.list": (Permission.VIEW_RESULTS, self._op_job_list),
-            "job.cancel": (Permission.EDIT_JOB, self._op_job_cancel),
-            "job.results": (Permission.VIEW_RESULTS, self._op_job_results),
-            "session.reserve": (Permission.REMOTE_CONTROL, self._op_session_reserve),
-            "credits.balance": (Permission.VIEW_RESULTS, self._op_credits_balance),
-            "fleet.list": (Permission.VIEW_RESULTS, self._op_fleet_list),
-            "server.status": (Permission.VIEW_RESULTS, self._op_server_status),
+        self._subscriptions: Dict[int, _Subscription] = {}
+        self._bus_callbacks: Dict[int, Callable] = {}
+        self._subscriptions_lock = threading.Lock()
+        self._next_subscription_id = 1
+        self._ops: Dict[str, _Op] = {
+            # -- v1 ----------------------------------------------------------
+            "job.submit": _Op(self._op_job_submit, Permission.CREATE_JOB),
+            "job.status": _Op(self._op_job_status, Permission.VIEW_RESULTS),
+            "job.list": _Op(self._op_job_list, Permission.VIEW_RESULTS),
+            "job.cancel": _Op(self._op_job_cancel, Permission.EDIT_JOB),
+            "job.results": _Op(self._op_job_results, Permission.VIEW_RESULTS),
+            "session.reserve": _Op(self._op_session_reserve, Permission.REMOTE_CONTROL),
+            "credits.balance": _Op(self._op_credits_balance, Permission.VIEW_RESULTS),
+            "fleet.list": _Op(self._op_fleet_list, Permission.VIEW_RESULTS),
+            "server.status": _Op(self._op_server_status, Permission.VIEW_RESULTS),
+            # -- v2: sessions ------------------------------------------------
+            "auth.login": _Op(
+                self._op_auth_login,
+                permission=None,
+                min_version=API_VERSION_V2,
+                authenticate=False,
+            ),
+            "auth.logout": _Op(
+                self._op_auth_logout, permission=None, min_version=API_VERSION_V2
+            ),
+            # -- v2: admin control plane ------------------------------------
+            "vantage-point.register": _Op(
+                self._op_vantage_point_register,
+                Permission.MANAGE_VANTAGE_POINTS,
+                min_version=API_VERSION_V2,
+            ),
+            "approvals.list": _Op(
+                self._op_approvals_list,
+                Permission.APPROVE_PIPELINE,
+                min_version=API_VERSION_V2,
+            ),
+            "job.approve": _Op(
+                self._op_job_approve,
+                Permission.APPROVE_PIPELINE,
+                min_version=API_VERSION_V2,
+            ),
+            "job.reject": _Op(
+                self._op_job_reject,
+                Permission.APPROVE_PIPELINE,
+                min_version=API_VERSION_V2,
+            ),
+            "credits.grant": _Op(
+                self._op_credits_grant,
+                Permission.MANAGE_CREDITS,
+                min_version=API_VERSION_V2,
+            ),
+            "user.create": _Op(
+                self._op_user_create,
+                Permission.MANAGE_USERS,
+                min_version=API_VERSION_V2,
+            ),
+            # -- v2: streaming ----------------------------------------------
+            "job.watch": _Op(
+                self._op_job_watch,
+                Permission.VIEW_RESULTS,
+                min_version=API_VERSION_V2,
+                streaming=True,
+            ),
+            "events.subscribe": _Op(
+                self._op_events_subscribe,
+                Permission.VIEW_RESULTS,
+                min_version=API_VERSION_V2,
+                streaming=True,
+            ),
+            "subscription.cancel": _Op(
+                self._op_subscription_cancel,
+                Permission.VIEW_RESULTS,
+                min_version=API_VERSION_V2,
+            ),
         }
 
     @property
     def server(self):
         return self._server
 
-    def operations(self) -> Dict[str, Permission]:
-        """The routable operation names and their required permissions."""
-        return {name: permission for name, (permission, _) in self._ops.items()}
+    def operations(self, version: str = API_VERSION) -> Dict[str, Optional[Permission]]:
+        """The routable operation names (for ``version``) and their permissions.
+
+        Defaults to the v1 table — the frozen compatibility surface; pass
+        :data:`~repro.api.schemas.API_VERSION_V2` for the full v2 set.
+        """
+        return {
+            name: op.permission
+            for name, op in self._ops.items()
+            if op.min_version <= version
+        }
 
     # -- entry point --------------------------------------------------------
-    def handle(self, request: dict) -> dict:
+    def handle(
+        self,
+        request: dict,
+        push: Optional[Callable[[dict], None]] = None,
+        owner: Optional[object] = None,
+        secure: bool = True,
+    ) -> dict:
         """Execute one wire-form request and return the wire-form response.
 
         Never raises: every failure becomes an error envelope with a stable
         code, which is what lets remote transports stay dumb pipes.
+
+        Parameters
+        ----------
+        push:
+            Transport-provided frame sink enabling the streaming operations;
+            ``None`` means the transport cannot carry pushes and streaming
+            ops fail with ``request.invalid``.
+        owner:
+            Opaque token grouping this request's subscriptions (the gateway
+            passes the connection); :meth:`cancel_owner` with the same token
+            tears them down.
+        secure:
+            Whether the transport satisfies the paper's HTTPS-only mandate;
+            authentication is refused otherwise.
         """
         request_id = request.get("request_id") if isinstance(request, dict) else 0
         if not isinstance(request_id, int) or isinstance(request_id, bool):
             request_id = 0
+        version = API_VERSION
         try:
             envelope = ApiRequest.from_wire(request)
             if envelope.version not in SUPPORTED_VERSIONS:
@@ -111,35 +371,125 @@ class ApiRouter:
                     f"API version {envelope.version!r} is not supported",
                     details={"supported_versions": list(SUPPORTED_VERSIONS)},
                 )
+            version = envelope.version
             try:
-                permission, handler = self._ops[envelope.op]
+                op = self._ops[envelope.op]
             except KeyError:
                 raise UnknownOperationApiError(
                     f"unknown operation {envelope.op!r}",
                     details={"operations": sorted(self._ops)},
                 ) from None
-            user = self._authenticate(envelope, permission)
-            payload = handler(user, envelope.payload)
+            if op.min_version > envelope.version:
+                raise VersionApiError(
+                    f"operation {envelope.op!r} requires API version "
+                    f"{op.min_version}; negotiate a v2 envelope",
+                    details={"operation": envelope.op, "min_version": op.min_version},
+                )
+            ctx = RequestContext(
+                user=None,
+                version=envelope.version,
+                secure=secure,
+                auth=envelope.auth,
+                session_token=envelope.session,
+                push=push if op.streaming else None,
+                owner_token=owner,
+            )
+            if op.authenticate:
+                ctx.user = self._authenticate(envelope, secure)
+                if op.permission is not None:
+                    self._server.users.authorize(ctx.user, op.permission)
+            payload = op.handler(ctx, envelope.payload)
         except Exception as exc:  # noqa: BLE001 - boundary translation
             error = map_exception(exc)
             return ApiResponse(
                 ok=False,
-                version=API_VERSION,
+                version=version,
                 request_id=request_id,
                 error=error.to_wire(),
             ).to_wire()
         return ApiResponse(
-            ok=True, version=API_VERSION, request_id=request_id, payload=payload
+            ok=True, version=version, request_id=request_id, payload=payload
         ).to_wire()
 
-    def _authenticate(self, envelope: ApiRequest, permission: Permission) -> User:
+    def _authenticate(self, envelope: ApiRequest, secure: bool) -> User:
+        if envelope.session is not None:
+            if envelope.version != API_VERSION_V2:
+                raise VersionApiError(
+                    "bearer session tokens require API version 2.0",
+                    details={"version": envelope.version},
+                )
+            return self._server.sessions.resolve(
+                envelope.session, self._server.context.now, over_https=secure
+            )
         if envelope.auth is None:
             raise AuthenticationApiError(
                 "operation requires credentials", details={"op": envelope.op}
             )
-        user = self._server.users.authenticate(envelope.auth.username, envelope.auth.token)
-        self._server.users.authorize(user, permission)
-        return user
+        return self._server.users.authenticate(
+            envelope.auth.username, envelope.auth.token, over_https=secure
+        )
+
+    # -- streaming plumbing --------------------------------------------------
+    def _open_subscription(
+        self,
+        ctx: RequestContext,
+        topic_prefix: Optional[str] = None,
+        job_id: Optional[int] = None,
+    ) -> _Subscription:
+        if ctx.push is None:
+            raise ValidationApiError(
+                "this transport cannot carry server pushes; use a streaming-"
+                "capable transport (gateway connection or in-process client)"
+            )
+        with self._subscriptions_lock:
+            subscription_id = self._next_subscription_id
+            self._next_subscription_id += 1
+            subscription = _Subscription(
+                self,
+                subscription_id,
+                ctx.owner_token,
+                ctx.user.username,
+                ctx.push,
+                topic_prefix=topic_prefix,
+                job_id=job_id,
+            )
+            self._subscriptions[subscription_id] = subscription
+            callback = subscription.deliver
+            self._bus_callbacks[subscription_id] = callback
+        self._server.events.subscribe(None, callback)
+        return subscription
+
+    def cancel_subscription(self, subscription_id: int) -> bool:
+        """Close one subscription; true when it was live."""
+        with self._subscriptions_lock:
+            subscription = self._subscriptions.pop(subscription_id, None)
+            callback = self._bus_callbacks.pop(subscription_id, None)
+        if subscription is None:
+            return False
+        subscription.closed = True
+        if callback is not None:
+            self._server.events.unsubscribe(None, callback)
+        return True
+
+    def cancel_owner(self, owner: Optional[object]) -> int:
+        """Close every subscription opened under ``owner`` (connection died)."""
+        with self._subscriptions_lock:
+            doomed = [
+                sub_id
+                for sub_id, sub in self._subscriptions.items()
+                if sub.owner_token is owner
+            ]
+        return sum(1 for sub_id in doomed if self.cancel_subscription(sub_id))
+
+    def close_all_subscriptions(self) -> int:
+        """Close every live subscription (gateway shutdown)."""
+        with self._subscriptions_lock:
+            doomed = list(self._subscriptions)
+        return sum(1 for sub_id in doomed if self.cancel_subscription(sub_id))
+
+    def active_subscriptions(self) -> List[int]:
+        with self._subscriptions_lock:
+            return sorted(self._subscriptions)
 
     # -- helpers ------------------------------------------------------------
     def _job(self, job_id: int):
@@ -152,11 +502,26 @@ class ApiRouter:
                 details={"owner": owner, "caller": user.username},
             )
 
-    # -- handlers -----------------------------------------------------------
-    def _op_job_submit(self, user: User, payload: dict) -> dict:
+    def _vantage_point_view(self, record) -> VantagePointView:
+        scheduler = self._server.scheduler
+        return VantagePointView(
+            name=record.name,
+            institution=record.institution,
+            dns_name=record.dns_name,
+            approved=record.approved,
+            devices=[
+                DeviceView(
+                    serial=serial, busy=scheduler.device_busy(record.name, serial)
+                )
+                for serial in record.controller.list_devices()
+            ],
+        )
+
+    # -- v1 handlers ---------------------------------------------------------
+    def _op_job_submit(self, ctx: RequestContext, payload: dict) -> dict:
         request = SubmitJobRequest.from_wire(payload)
-        owner = request.owner or user.username
-        self._require_owner_or_admin(user, owner, "submit jobs owned by them")
+        owner = request.owner or ctx.user.username
+        self._require_owner_or_admin(ctx.user, owner, "submit jobs owned by them")
         run = get_payload(request.payload)
         if run is None:
             raise ValidationApiError(
@@ -175,14 +540,16 @@ class ApiRouter:
             is_pipeline_change=request.is_pipeline_change,
             log_retention_days=request.log_retention_days,
         )
-        job = self._server.submit_job(user, spec)
+        job = self._server.submit_job(
+            ctx.user, spec, idempotency_key=request.idempotency_key
+        )
         return JobView.from_job(job).to_wire()
 
-    def _op_job_status(self, user: User, payload: dict) -> dict:
+    def _op_job_status(self, ctx: RequestContext, payload: dict) -> dict:
         ref = JobRef.from_wire(payload)
         return JobView.from_job(self._job(ref.job_id)).to_wire()
 
-    def _op_job_list(self, user: User, payload: dict) -> dict:
+    def _op_job_list(self, ctx: RequestContext, payload: dict) -> dict:
         request = JobListRequest.from_wire(payload)
         status: Optional[JobStatus] = None
         if request.status is not None:
@@ -193,26 +560,42 @@ class ApiRouter:
                     f"unknown job status {request.status!r}",
                     details={"statuses": [s.value for s in JobStatus]},
                 ) from None
+        if request.offset < 0:
+            raise ValidationApiError("offset must be non-negative")
+        if request.limit is not None and request.limit < 0:
+            raise ValidationApiError("limit must be non-negative")
         jobs = self._server.scheduler.jobs(status)
-        return {"jobs": [JobView.from_job(job).to_wire() for job in jobs]}
+        if request.owner is not None:
+            jobs = [job for job in jobs if job.spec.owner == request.owner]
+        total = len(jobs)
+        if request.limit is None:
+            window = jobs[request.offset :]
+        else:
+            window = jobs[request.offset : request.offset + request.limit]
+        return {
+            "jobs": [JobView.from_job(job).to_wire() for job in window],
+            "total": total,
+            "offset": request.offset,
+            "limit": request.limit,
+        }
 
-    def _op_job_cancel(self, user: User, payload: dict) -> dict:
+    def _op_job_cancel(self, ctx: RequestContext, payload: dict) -> dict:
         ref = JobRef.from_wire(payload)
         job = self._job(ref.job_id)
-        self._require_owner_or_admin(user, job.spec.owner, "cancel this job")
+        self._require_owner_or_admin(ctx.user, job.spec.owner, "cancel this job")
         self._server.scheduler.cancel(ref.job_id)
         return JobView.from_job(job).to_wire()
 
-    def _op_job_results(self, user: User, payload: dict) -> dict:
+    def _op_job_results(self, ctx: RequestContext, payload: dict) -> dict:
         ref = JobRef.from_wire(payload)
         job = self._job(ref.job_id)
-        self._require_owner_or_admin(user, job.spec.owner, "read its results")
+        self._require_owner_or_admin(ctx.user, job.spec.owner, "read its results")
         return JobResultsView.from_job(job).to_wire()
 
-    def _op_session_reserve(self, user: User, payload: dict) -> dict:
+    def _op_session_reserve(self, ctx: RequestContext, payload: dict) -> dict:
         request = ReserveSessionRequest.from_wire(payload)
         reservation = self._server.reserve_session(
-            user,
+            ctx.user,
             request.vantage_point,
             request.device_serial,
             request.start_s,
@@ -220,41 +603,26 @@ class ApiRouter:
         )
         return ReservationView.from_reservation(reservation).to_wire()
 
-    def _op_credits_balance(self, user: User, payload: dict) -> dict:
+    def _op_credits_balance(self, ctx: RequestContext, payload: dict) -> dict:
         request = CreditQuery.from_wire(payload)
-        owner = request.owner or user.username
-        self._require_owner_or_admin(user, owner, "read their balance")
+        owner = request.owner or ctx.user.username
+        self._require_owner_or_admin(ctx.user, owner, "read their balance")
         policy = self._server.credit_policy
         if policy is None:
             raise NotFoundApiError("the credit system is not enabled on this server")
         return CreditView.from_account(policy.ledger.account(owner)).to_wire()
 
-    def _op_fleet_list(self, user: User, payload: dict) -> dict:
-        scheduler = self._server.scheduler
-        vantage_points = []
-        for record in self._server.vantage_points():
-            devices = [
-                DeviceView(
-                    serial=serial,
-                    busy=scheduler.device_busy(record.name, serial),
-                )
-                for serial in record.controller.list_devices()
-            ]
-            vantage_points.append(
-                VantagePointView(
-                    name=record.name,
-                    institution=record.institution,
-                    dns_name=record.dns_name,
-                    approved=record.approved,
-                    devices=devices,
-                )
-            )
+    def _op_fleet_list(self, ctx: RequestContext, payload: dict) -> dict:
+        vantage_points = [
+            self._vantage_point_view(record)
+            for record in self._server.vantage_points()
+        ]
         return FleetView(vantage_points=vantage_points).to_wire()
 
-    def _op_server_status(self, user: User, payload: dict) -> dict:
+    def _op_server_status(self, ctx: RequestContext, payload: dict) -> dict:
         status = self._server.status()
         return StatusView(
-            api_version=API_VERSION,
+            api_version=ctx.version,
             vantage_points=status["vantage_points"],
             users=status["users"],
             queued_jobs=status["queued_jobs"],
@@ -267,3 +635,159 @@ class ApiRouter:
             orphaned_jobs=status.get("orphaned_jobs", []),
             orphaned_vantage_points=status.get("orphaned_vantage_points", []),
         ).to_wire()
+
+    # -- v2 handlers: sessions ----------------------------------------------
+    def _op_auth_login(self, ctx: RequestContext, payload: dict) -> dict:
+        # auth.login is the one op that authenticates inside its handler:
+        # the envelope's account credentials are exchanged for a session.
+        request = LoginRequest.from_wire(payload)
+        if ctx.session_token is not None:
+            raise ValidationApiError(
+                "auth.login takes account credentials, not a session token"
+            )
+        if ctx.auth is None:
+            raise AuthenticationApiError(
+                "auth.login requires account credentials in the envelope"
+            )
+        session_token, session = self._server.sessions.login(
+            ctx.auth.username,
+            ctx.auth.token,
+            self._server.context.now,
+            ttl_s=request.ttl_s,
+            over_https=ctx.secure,
+        )
+        user = self._server.users.get(session.username)
+        return SessionView(
+            session_token=session_token,
+            username=session.username,
+            role=user.role.value,
+            issued_at=session.issued_at,
+            expires_at=session.expires_at,
+        ).to_wire()
+
+    def _op_auth_logout(self, ctx: RequestContext, payload: dict) -> dict:
+        if ctx.session_token is None:
+            raise ValidationApiError(
+                "auth.logout revokes the presenting session; authenticate "
+                "with a session token"
+            )
+        revoked = self._server.sessions.revoke(ctx.session_token)
+        return LogoutView(revoked=revoked).to_wire()
+
+    # -- v2 handlers: admin control plane ------------------------------------
+    def _op_vantage_point_register(self, ctx: RequestContext, payload: dict) -> dict:
+        request = RegisterVantagePointRequest.from_wire(payload)
+        if request.device_count < 1:
+            raise ValidationApiError("device_count must be at least 1")
+        # Check the name before assembling hardware: simulated entities are
+        # registered by hostname, so a duplicate would fail mid-assembly
+        # with an unhelpful validation error instead of a conflict.
+        from repro.api.errors import ConflictApiError
+
+        if any(
+            record.name == request.name for record in self._server.vantage_points()
+        ):
+            raise ConflictApiError(
+                f"a vantage point named {request.name!r} is already registered",
+                details={"name": request.name},
+            )
+        from repro.core.platform import assemble_vantage_point, device_profile_by_name
+
+        try:
+            profile = device_profile_by_name(request.device_profile)
+        except KeyError as exc:
+            raise ValidationApiError(str(exc)) from None
+        assembled = assemble_vantage_point(
+            self._server.context,
+            node_identifier=request.name,
+            institution=request.institution,
+            contact_email=request.contact_email or None,
+            public_address=request.public_address or None,
+            device_profiles=[profile] * request.device_count,
+            browsers=("chrome",),
+            install_video=False,
+        )
+        record = self._server.register_vantage_point(
+            assembled.controller, assembled.request
+        )
+        return self._vantage_point_view(record).to_wire()
+
+    def _op_approvals_list(self, ctx: RequestContext, payload: dict) -> dict:
+        jobs = self._server.pending_approval()
+        return {"jobs": [JobView.from_job(job).to_wire() for job in jobs]}
+
+    def _op_job_approve(self, ctx: RequestContext, payload: dict) -> dict:
+        ref = JobRef.from_wire(payload)
+        job = self._job(ref.job_id)
+        self._server.approve_job(ctx.user, job)
+        return JobView.from_job(job).to_wire()
+
+    def _op_job_reject(self, ctx: RequestContext, payload: dict) -> dict:
+        reason = payload.pop("reason", "") if isinstance(payload, dict) else ""
+        if not isinstance(reason, str):
+            raise ValidationApiError("reason must be a string")
+        ref = JobRef.from_wire(payload)
+        job = self._job(ref.job_id)
+        self._server.reject_job(ctx.user, job, reason=reason)
+        return JobView.from_job(job).to_wire()
+
+    def _op_credits_grant(self, ctx: RequestContext, payload: dict) -> dict:
+        request = GrantCreditsRequest.from_wire(payload)
+        if self._server.credit_policy is None:
+            raise NotFoundApiError("the credit system is not enabled on this server")
+        account = self._server.grant_credits(
+            ctx.user, request.owner, request.amount_device_hours, note=request.note
+        )
+        return CreditView.from_account(account).to_wire()
+
+    def _op_user_create(self, ctx: RequestContext, payload: dict) -> dict:
+        request = CreateUserRequest.from_wire(payload)
+        try:
+            role = Role(request.role)
+        except ValueError:
+            raise ValidationApiError(
+                f"unknown role {request.role!r}",
+                details={"roles": [role.value for role in Role]},
+            ) from None
+        user = self._server.create_user(
+            ctx.user, request.username, role, request.token, email=request.email
+        )
+        return UserView(
+            username=user.username,
+            role=user.role.value,
+            email=user.email,
+            enabled=user.enabled,
+        ).to_wire()
+
+    # -- v2 handlers: streaming ----------------------------------------------
+    def _op_job_watch(self, ctx: RequestContext, payload: dict) -> dict:
+        request = WatchJobRequest.from_wire(payload)
+        job = self._job(request.job_id)  # not-found before subscribing
+        subscription = self._open_subscription(ctx, job_id=request.job_id)
+        ack = SubscriptionAck(
+            subscription_id=subscription.subscription_id, job=JobView.from_job(job)
+        ).to_wire()
+        if job.status in _TERMINAL_STATUSES:
+            # Nothing left to stream: end immediately so the watcher's
+            # iterator terminates instead of waiting for events that will
+            # never come.
+            subscription.end(job)
+        return ack
+
+    def _op_events_subscribe(self, ctx: RequestContext, payload: dict) -> dict:
+        request = EventsSubscribeRequest.from_wire(payload)
+        if not request.topic_prefix:
+            raise ValidationApiError("topic_prefix must be non-empty")
+        subscription = self._open_subscription(ctx, topic_prefix=request.topic_prefix)
+        return SubscriptionAck(subscription_id=subscription.subscription_id).to_wire()
+
+    def _op_subscription_cancel(self, ctx: RequestContext, payload: dict) -> dict:
+        ref = SubscriptionRef.from_wire(payload)
+        with self._subscriptions_lock:
+            subscription = self._subscriptions.get(ref.subscription_id)
+        if subscription is not None and subscription.username != ctx.user.username:
+            if ctx.user.role is not Role.ADMIN:
+                raise PermissionApiError(
+                    "only the subscriber or an admin may cancel a subscription"
+                )
+        return {"cancelled": self.cancel_subscription(ref.subscription_id)}

@@ -19,6 +19,21 @@ misinterpreting payloads.  The golden tests in
 ``tests/test_api_schemas.py`` pin the exact wire form of every DTO; a
 change that breaks them is a v1 compatibility break and needs a version
 bump instead.
+
+**Platform API v2** extends the same envelopes rather than replacing them:
+
+* version negotiation — a request claims ``"1.0"`` or ``"2.0"``; responses
+  echo the negotiated version, and v2-only operations (the admin control
+  plane, streaming subscriptions, bearer sessions) are rejected on v1
+  envelopes with ``request.version_unsupported``;
+* v2-only envelope fields (``session`` on :class:`ApiRequest`, pagination
+  on :class:`JobListRequest`, ``idempotency_key`` on
+  :class:`SubmitJobRequest`) are *elided from the wire at their defaults*
+  (``_ELIDE_WHEN_DEFAULT``), which is what keeps every v1 golden wire form
+  byte-identical while still being parseable by the same DTO classes;
+* server-pushed frames — :class:`ApiPush` carries streamed
+  ``dispatch.*`` events and terminal ``job.watch`` frames, discriminated
+  from responses by its always-present ``kind: "push"`` marker.
 """
 
 from __future__ import annotations
@@ -31,11 +46,25 @@ from typing import Dict, List, Optional
 
 from repro.api.errors import ValidationApiError
 
-#: The protocol version this module implements.
+#: The v1 protocol version — still the default a bare client claims.
 API_VERSION = "1.0"
 
+#: The v2 protocol version: admin control plane, sessions, streaming.
+API_VERSION_V2 = "2.0"
+
+#: Newest version this server implements.
+LATEST_API_VERSION = API_VERSION_V2
+
 #: Versions this server accepts in request envelopes.
-SUPPORTED_VERSIONS = ("1.0",)
+SUPPORTED_VERSIONS = ("1.0", "2.0")
+
+#: Discriminator value marking a server-pushed frame (vs. a response).
+PUSH_KIND = "push"
+
+#: ``ApiPush.frame`` types: a streamed event, and the terminal frame a
+#: ``job.watch`` subscription ends with (carrying the final ``JobView``).
+PUSH_FRAME_EVENT = "event"
+PUSH_FRAME_END = "end"
 
 
 def _is_optional(hint) -> bool:
@@ -133,13 +162,30 @@ def json_safe(value) -> bool:
     return True
 
 
+def _field_default(f: dataclasses.Field):
+    if f.default is not dataclasses.MISSING:
+        return f.default
+    if f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        return f.default_factory()  # type: ignore[misc]
+    return dataclasses.MISSING
+
+
 class WireModel:
     """Base class giving every DTO strict ``to_wire`` / ``from_wire``.
 
     Subclasses are plain dataclasses; the wire form is derived from the
     dataclass fields and their type annotations, so the dataclass *is* the
     schema.
+
+    ``_ELIDE_WHEN_DEFAULT`` names fields that are *omitted* from
+    ``to_wire()`` while they hold their default value.  This is the v2
+    extension mechanism: a field added to a v1 DTO under this rule leaves
+    every pre-existing wire form byte-identical (``from_wire`` already
+    tolerates omitted defaulted fields), so v1 golden tests keep passing
+    while v2 clients can set — and see — the new field.
     """
+
+    _ELIDE_WHEN_DEFAULT: tuple = ()
 
     @classmethod
     def _hints(cls) -> Dict[str, object]:
@@ -150,9 +196,15 @@ class WireModel:
         return cached
 
     def to_wire(self) -> Dict[str, object]:
-        return {
-            f.name: _wire_value(getattr(self, f.name)) for f in dataclasses.fields(self)
-        }
+        wire: Dict[str, object] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name in self._ELIDE_WHEN_DEFAULT:
+                default = _field_default(f)
+                if default is not dataclasses.MISSING and value == default:
+                    continue
+            wire[f.name] = _wire_value(value)
+        return wire
 
     @classmethod
     def from_wire(cls, data: Dict[str, object]) -> "WireModel":
@@ -231,7 +283,14 @@ class SubmitJobRequest(WireModel):
     remote-able contract (exactly as journaled jobs already work).
     ``owner`` defaults to the authenticated user; submitting on behalf of
     someone else requires the admin role.
+
+    ``idempotency_key`` (v2) makes retries safe over flaky transports:
+    resubmitting the same ``(owner, key)`` pair returns the original job's
+    view instead of enqueueing a duplicate.  Elided from the wire when
+    unset, so v1 clients and goldens are untouched.
     """
+
+    _ELIDE_WHEN_DEFAULT = ("idempotency_key",)
 
     name: str
     payload: str
@@ -242,6 +301,7 @@ class SubmitJobRequest(WireModel):
     is_pipeline_change: bool = False
     log_retention_days: float = 7.0
     constraints: JobConstraintsV1 = field(default_factory=JobConstraintsV1)
+    idempotency_key: Optional[str] = None
 
 
 @dataclass
@@ -321,9 +381,20 @@ class JobRef(WireModel):
 
 @dataclass
 class JobListRequest(WireModel):
-    """``job.list`` request; ``status`` optionally filters by state name."""
+    """``job.list`` request; ``status`` optionally filters by state name.
+
+    v2 adds owner filtering and pagination so a fleet-scale queue is never
+    shipped whole: ``limit``/``offset`` window the (id-ordered) result and
+    the response reports the pre-window ``total``.  All three fields are
+    elided at their defaults, keeping the v1 wire form intact.
+    """
+
+    _ELIDE_WHEN_DEFAULT = ("owner", "limit", "offset")
 
     status: Optional[str] = None
+    owner: Optional[str] = None
+    limit: Optional[int] = None
+    offset: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -460,13 +531,21 @@ class AuthCredentials(WireModel):
 
 @dataclass
 class ApiRequest(WireModel):
-    """The request envelope every transport carries."""
+    """The request envelope every transport carries.
+
+    v2 requests may replace the per-request ``auth`` credentials with a
+    bearer ``session`` token obtained from ``auth.login``.  The field is
+    elided when unset, so the v1 wire form is unchanged.
+    """
+
+    _ELIDE_WHEN_DEFAULT = ("session",)
 
     op: str
     version: str = API_VERSION
     auth: Optional[AuthCredentials] = None
     payload: dict = field(default_factory=dict)
     request_id: int = 0
+    session: Optional[str] = None
 
 
 @dataclass
@@ -478,3 +557,132 @@ class ApiResponse(WireModel):
     request_id: int = 0
     payload: Optional[dict] = None
     error: Optional[dict] = None
+
+
+# ---------------------------------------------------------------------------
+# Platform API v2: sessions, admin control plane, streaming
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoginRequest(WireModel):
+    """``auth.login`` request; credentials ride in the envelope's ``auth``."""
+
+    ttl_s: Optional[float] = None
+
+
+@dataclass
+class SessionView(WireModel):
+    """``auth.login`` response: the bearer token, shown exactly once."""
+
+    session_token: str
+    username: str
+    role: str
+    issued_at: float
+    expires_at: float
+
+
+@dataclass
+class LogoutView(WireModel):
+    """``auth.logout`` response; ``revoked`` is false for unknown sessions."""
+
+    revoked: bool
+
+
+@dataclass
+class RegisterVantagePointRequest(WireModel):
+    """``vantage-point.register``: admit a new member node over the wire.
+
+    The access server assembles and provisions the (simulated) controller,
+    devices and power meter exactly as the in-process join procedure does
+    (Section 3.4); ``device_profile`` names a built-in hardware profile.
+    """
+
+    name: str
+    institution: str
+    contact_email: str = ""
+    public_address: str = ""
+    device_count: int = 1
+    device_profile: str = "samsung-j7-duo"
+
+
+@dataclass
+class GrantCreditsRequest(WireModel):
+    """``credits.grant``: administrative balance adjustment (device-hours)."""
+
+    owner: str
+    amount_device_hours: float
+    note: str = ""
+
+
+@dataclass
+class CreateUserRequest(WireModel):
+    """``user.create``: open a platform account remotely (admin only)."""
+
+    username: str
+    role: str
+    token: str
+    email: str = ""
+
+
+@dataclass
+class UserView(WireModel):
+    """``user.create`` response: the account as the platform sees it."""
+
+    username: str
+    role: str
+    email: str = ""
+    enabled: bool = True
+
+
+@dataclass
+class WatchJobRequest(WireModel):
+    """``job.watch``: subscribe to one job's ``dispatch.*`` events."""
+
+    job_id: int
+
+
+@dataclass
+class EventsSubscribeRequest(WireModel):
+    """``events.subscribe``: subscribe to bus events by topic prefix."""
+
+    topic_prefix: str = "dispatch."
+
+
+@dataclass
+class SubscriptionRef(WireModel):
+    """``subscription.cancel`` request: one subscription id."""
+
+    subscription_id: int
+
+
+@dataclass
+class SubscriptionAck(WireModel):
+    """Streaming-op response: the id pushes will carry, plus — for
+    ``job.watch`` — the job's state at subscription time."""
+
+    subscription_id: int
+    job: Optional[JobView] = None
+
+
+@dataclass
+class ApiPush(WireModel):
+    """A server-pushed frame, multiplexed between responses on the wire.
+
+    ``kind`` is always ``"push"`` so a streaming client can discriminate
+    frames before strict parsing; responses never carry a ``kind`` key.
+    ``seq`` increases per subscription, letting consumers detect gaps.
+    ``frame`` is :data:`PUSH_FRAME_EVENT` for streamed bus events (``topic``
+    and ``payload`` mirror the :class:`~repro.simulation.events.BusEvent`)
+    or :data:`PUSH_FRAME_END` when a ``job.watch`` reaches a terminal state
+    (``payload["job"]`` holds the final :class:`JobView` wire form).
+    """
+
+    subscription_id: int
+    frame: str = PUSH_FRAME_EVENT
+    seq: int = 0
+    topic: Optional[str] = None
+    timestamp: float = 0.0
+    payload: dict = field(default_factory=dict)
+    kind: str = PUSH_KIND
+    version: str = API_VERSION_V2

@@ -14,13 +14,24 @@ regenerate any of the paper's tables and figures without writing Python::
     batterylab-repro dispatch-bench --devices 100 --jobs 1000
 
 Platform-operations subcommands drive the access server exclusively
-through the Platform API v1 client SDK (:mod:`repro.api`) — the same
-typed request/response layer a remote experimenter would use::
+through the Platform API client SDK (:mod:`repro.api`) — the same typed
+request/response layer a remote experimenter would use::
 
     batterylab-repro --state-dir ./state submit --name nightly --payload noop
     batterylab-repro --state-dir ./state status
     batterylab-repro --state-dir ./state cancel --job-id 3
     batterylab-repro --state-dir ./state fleet
+
+Platform API v2 adds the admin control plane and streaming — approvals,
+credit grants, remote vantage-point registration, live ``dispatch.*``
+event streaming instead of status polling, and a TLS gateway server::
+
+    batterylab-repro --state-dir ./state watch --job-id 3
+    batterylab-repro --state-dir ./state approve --job-id 3
+    batterylab-repro --state-dir ./state reject --job-id 3 --reason "unsafe"
+    batterylab-repro --state-dir ./state grant --owner alice --amount 5
+    batterylab-repro --state-dir ./state register-vp --name node2 --institution "Example University"
+    batterylab-repro --state-dir ./state serve --tls --cert-dir ./state/tls
 
 Each command prints the reproduced rows as an aligned table.  ``--seed``
 controls the simulation seed so runs are reproducible, and
@@ -158,6 +169,68 @@ def build_parser() -> argparse.ArgumentParser:
     cancel.add_argument("--job-id", type=int, required=True, help="id of the job to cancel")
 
     sub.add_parser("fleet", help="list vantage points and device slots via the API")
+
+    watch = sub.add_parser(
+        "watch",
+        help="stream a job's dispatch.* events (API v2 job.watch, no polling)",
+    )
+    watch.add_argument("--job-id", type=int, required=True, help="id of the job to watch")
+
+    approve = sub.add_parser(
+        "approve", help="approve a pending pipeline-change job (admin, API v2)"
+    )
+    approve.add_argument("--job-id", type=int, required=True)
+
+    reject = sub.add_parser(
+        "reject", help="reject a pending pipeline-change job (admin, API v2)"
+    )
+    reject.add_argument("--job-id", type=int, required=True)
+    reject.add_argument("--reason", default="", help="recorded on the job for its owner")
+
+    grant = sub.add_parser(
+        "grant", help="grant credit device-hours to an account (admin, API v2)"
+    )
+    grant.add_argument("--owner", required=True, help="credit account owner")
+    grant.add_argument("--amount", type=float, required=True, help="device-hours to add")
+    grant.add_argument("--note", default="", help="audit note on the ledger entry")
+
+    register_vp = sub.add_parser(
+        "register-vp",
+        help="register a new vantage point over the API (admin, API v2)",
+    )
+    register_vp.add_argument("--name", required=True, help="node identifier (DNS label)")
+    register_vp.add_argument("--institution", required=True)
+    register_vp.add_argument("--devices", type=int, default=1, help="test device count")
+    register_vp.add_argument(
+        "--profile",
+        default="samsung-j7-duo",
+        help="built-in device hardware profile (e.g. samsung-j7-duo, google-pixel-3a)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the JSON-lines API gateway (optionally TLS) until interrupted",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    serve.add_argument(
+        "--tls",
+        action="store_true",
+        help="wrap the gateway in TLS using wildcard material under --cert-dir "
+        "(minted with openssl on first use); the paper mandates HTTPS-only",
+    )
+    serve.add_argument(
+        "--cert-dir",
+        default=None,
+        metavar="DIR",
+        help="directory holding (or receiving) wildcard.pem/wildcard.key",
+    )
+    serve.add_argument(
+        "--duration-s",
+        type=float,
+        default=None,
+        help="stop after this many wall-clock seconds (default: run until ^C)",
+    )
     return parser
 
 
@@ -185,6 +258,21 @@ def _job_row(view) -> dict:
     }
 
 
+def _frame_row(frame) -> dict:
+    return {
+        "seq": frame.seq,
+        "frame": frame.frame,
+        "topic": frame.topic or "-",
+        "t": round(frame.timestamp, 1),
+        "detail": ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(frame.payload.items())
+            if key not in ("job_id", "job")
+        )
+        or "-",
+    }
+
+
 def _cmd_submit(args) -> str:
     platform = _ops_platform(args)
     client = platform.client()
@@ -198,8 +286,16 @@ def _cmd_submit(args) -> str:
     )
     sections = [format_table([_job_row(view)], title="Submitted (Platform API v1)")]
     if not args.no_run:
+        # Subscribe before dispatching, then stream the dispatch.* events —
+        # the v2 replacement for polling job.status in a loop.
+        watch = client.watch_job(view.job_id)
         platform.run_queue()
-        final = client.job_status(view.job_id)
+        frames = list(watch)
+        if frames:
+            sections.append(
+                format_table([_frame_row(f) for f in frames], title="Dispatch events (job.watch)")
+            )
+        final = watch.final if watch.final is not None else client.job_status(view.job_id)
         results = client.job_results(view.job_id)
         row = _job_row(final)
         row["result"] = results.result if results.result is not None else (results.error or "-")
@@ -258,6 +354,116 @@ def _cmd_fleet(args) -> str:
         for device in vp.devices
     ]
     return format_table(rows, title="Fleet (Platform API v1)")
+
+
+def _cmd_watch(args) -> str:
+    platform = _ops_platform(args)
+    client = platform.client()
+    watch = client.watch_job(args.job_id)
+    initial = watch.initial
+    sections = [format_table([_job_row(initial)], title=f"Watching job {args.job_id}")]
+    platform.run_queue()
+    frames = list(watch)
+    if frames:
+        sections.append(
+            format_table([_frame_row(f) for f in frames], title="Dispatch events (job.watch)")
+        )
+    if watch.final is not None:
+        sections.append(format_table([_job_row(watch.final)], title="Final state"))
+    else:
+        watch.close()
+        sections.append(
+            f"job {args.job_id} is still {client.job_status(args.job_id).status}; "
+            "re-run watch after its constraints can be met"
+        )
+    return "\n\n".join(sections)
+
+
+def _cmd_approve(args) -> str:
+    platform = _ops_platform(args)
+    admin = platform.client(username="admin")
+    admin.approve_job(args.job_id)
+    platform.run_queue()
+    return format_table(
+        [_job_row(admin.job_status(args.job_id))], title="Approved (Platform API v2)"
+    )
+
+
+def _cmd_reject(args) -> str:
+    platform = _ops_platform(args)
+    admin = platform.client(username="admin")
+    view = admin.reject_job(args.job_id, reason=args.reason)
+    return format_table([_job_row(view)], title="Rejected (Platform API v2)")
+
+
+def _cmd_grant(args) -> str:
+    platform = _ops_platform(args)
+    if platform.access_server.credit_policy is None:
+        platform.access_server.enable_credit_system()
+    admin = platform.client(username="admin")
+    balance = admin.grant_credits(args.owner, args.amount, note=args.note)
+    rows = [
+        {
+            "owner": balance.owner,
+            "balance_device_hours": balance.balance_device_hours,
+            "contributes_hardware": balance.contributes_hardware,
+            "transactions": balance.transaction_count,
+        }
+    ]
+    return format_table(rows, title="Credits granted (Platform API v2)")
+
+
+def _cmd_register_vp(args) -> str:
+    platform = _ops_platform(args)
+    admin = platform.client(username="admin")
+    view = admin.register_vantage_point(
+        args.name,
+        args.institution,
+        device_count=args.devices,
+        device_profile=args.profile,
+    )
+    rows = [
+        {
+            "vantage_point": view.name,
+            "institution": view.institution,
+            "dns_name": view.dns_name,
+            "device": device.serial,
+            "busy": device.busy,
+        }
+        for device in view.devices
+    ]
+    return format_table(rows, title="Vantage point registered (Platform API v2)")
+
+
+def _cmd_serve(args) -> str:
+    if args.tls and args.cert_dir is None:
+        raise SystemExit("--tls requires --cert-dir DIR for the wildcard material")
+    platform = _ops_platform(args)
+    gateway = platform.serve_gateway(
+        host=args.host,
+        port=args.port,
+        tls_cert_dir=args.cert_dir if args.tls else None,
+    )
+    host, port = gateway.address
+    scheme = "tls" if gateway.tls_enabled else "plaintext"
+    print(f"serving Platform API gateway on {host}:{port} ({scheme}); ^C to stop")
+    deadline = None if args.duration_s is None else time.time() + args.duration_s
+    served = 0
+    try:
+        while deadline is None or time.time() < deadline:
+            # Drive the simulation so remotely submitted jobs execute; the
+            # gateway threads only enqueue work.  The router lock keeps a
+            # request landing mid-dispatch from racing the single-threaded
+            # simulation state.
+            with gateway.router_lock:
+                served += len(platform.run_queue())
+                platform.context.run_for(1.0)
+            time.sleep(0.05)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        gateway.stop()
+    return f"gateway stopped after executing {served} job(s)"
 
 
 def _cmd_quickstart(args) -> str:
@@ -413,6 +619,12 @@ _COMMANDS = {
     "status": _cmd_status,
     "cancel": _cmd_cancel,
     "fleet": _cmd_fleet,
+    "watch": _cmd_watch,
+    "approve": _cmd_approve,
+    "reject": _cmd_reject,
+    "grant": _cmd_grant,
+    "register-vp": _cmd_register_vp,
+    "serve": _cmd_serve,
 }
 
 

@@ -125,16 +125,45 @@ class BatteryLabPlatform:
             )
         return in_process_client(self.access_server, username, token)
 
-    def serve_gateway(self, host: str = "127.0.0.1", port: int = 0):
+    def serve_gateway(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tls_cert_dir: Optional[str] = None,
+        assume_https: bool = True,
+    ):
         """Start a JSON-lines socket gateway for this platform's API.
+
+        With ``tls_cert_dir`` the gateway serves TLS using the platform's
+        wildcard-certificate material under that directory (minted on
+        demand via :func:`repro.accessserver.certificates.ensure_tls_material`)
+        — the paper's HTTPS-only deployment shape.  ``assume_https=False``
+        makes plaintext connections count as insecure, so the HTTPS-only
+        user registry refuses to authenticate over them.
 
         Returns the started :class:`~repro.api.gateway.ApiGateway`; callers
         own its lifecycle (``gateway.stop()``).
         """
+        from repro.accessserver.certificates import (
+            ensure_tls_material,
+            server_tls_context,
+        )
         from repro.api.gateway import ApiGateway
         from repro.api.router import ApiRouter
 
-        gateway = ApiGateway(ApiRouter(self.access_server), host=host, port=port)
+        tls_context = None
+        if tls_cert_dir is not None:
+            material = ensure_tls_material(
+                tls_cert_dir, certificate=self.access_server.wildcard_certificate
+            )
+            tls_context = server_tls_context(material)
+        gateway = ApiGateway(
+            ApiRouter(self.access_server),
+            host=host,
+            port=port,
+            tls_context=tls_context,
+            assume_https=assume_https,
+        )
         gateway.start()
         return gateway
 
@@ -146,8 +175,45 @@ def _default_uplink(hostname: str) -> NetworkLink:
     )
 
 
-def add_vantage_point(
-    platform: BatteryLabPlatform,
+def _slug(name: str) -> str:
+    return "".join(ch if ch.isalnum() else "-" for ch in name.lower()).strip("-")
+
+
+def device_profile_by_name(name: str) -> DeviceHardwareProfile:
+    """Resolve a device profile by marketing name or slug.
+
+    Accepts either the exact model string (``"Samsung J7 Duo"``) or its
+    wire-friendly slug (``"samsung-j7-duo"``) — the form the Platform API's
+    ``vantage-point.register`` operation carries.  Raises :class:`KeyError`
+    naming the known profiles otherwise.
+    """
+    from repro.device.profiles import BUILTIN_PROFILES
+
+    if name in BUILTIN_PROFILES:
+        return BUILTIN_PROFILES[name]
+    wanted = _slug(name)
+    for model, profile in BUILTIN_PROFILES.items():
+        if _slug(model) == wanted:
+            return profile
+    known = ", ".join(sorted(_slug(model) for model in BUILTIN_PROFILES))
+    raise KeyError(f"unknown device profile {name!r}; known profiles: {known}")
+
+
+@dataclass
+class AssembledVantagePoint:
+    """A built-but-not-yet-registered vantage point: hardware + join request."""
+
+    controller: VantagePointController
+    request: JoinRequest
+    monitor: MonsoonHVPM
+    power_socket: MerossPowerSocket
+    devices: List[AndroidDevice]
+    browsers: Dict[str, Dict[str, BrowserApp]] = field(default_factory=dict)
+    video_players: Dict[str, VideoPlayerApp] = field(default_factory=dict)
+
+
+def assemble_vantage_point(
+    context: SimulationContext,
     node_identifier: str,
     institution: str,
     device_profiles: Sequence[DeviceHardwareProfile] = (SAMSUNG_J7_DUO,),
@@ -155,15 +221,16 @@ def add_vantage_point(
     install_video: bool = True,
     uplink: Optional[NetworkLink] = None,
     home_region: str = "GB",
-) -> VantagePointHandle:
-    """Assemble, provision and register one additional vantage point."""
-    if node_identifier in platform.vantage_points:
-        from repro.accessserver.server import AccessServerError
+    contact_email: Optional[str] = None,
+    public_address: Optional[str] = None,
+) -> AssembledVantagePoint:
+    """Build one vantage point's simulated hardware and its join request.
 
-        raise AccessServerError(
-            f"a vantage point named {node_identifier!r} is already registered"
-        )
-    context = platform.context
+    Shared by the in-process :func:`add_vantage_point` helper and the
+    Platform API v2 ``vantage-point.register`` operation — the remote path
+    assembles exactly the hardware the local path would, then both register
+    through :meth:`~repro.accessserver.server.AccessServer.register_vantage_point`.
+    """
     hostname = f"{node_identifier}.batterylab.dev"
     controller = VantagePointController(
         context,
@@ -197,18 +264,60 @@ def add_vantage_point(
     request = JoinRequest(
         institution=institution,
         node_identifier=node_identifier,
-        contact_email=f"ops@{institution.lower().replace(' ', '-')}.example",
-        public_address=f"198.51.100.{len(platform.vantage_points) + 10}",
+        contact_email=contact_email
+        or f"ops@{institution.lower().replace(' ', '-')}.example",
+        public_address=public_address or "198.51.100.10",
     )
-    record = platform.access_server.register_vantage_point(controller, request)
-    handle = VantagePointHandle(
-        record=record,
+    return AssembledVantagePoint(
         controller=controller,
+        request=request,
         monitor=monitor,
         power_socket=socket,
         devices=devices,
         browsers=browser_map,
         video_players=video_map,
+    )
+
+
+def add_vantage_point(
+    platform: BatteryLabPlatform,
+    node_identifier: str,
+    institution: str,
+    device_profiles: Sequence[DeviceHardwareProfile] = (SAMSUNG_J7_DUO,),
+    browsers: Sequence[str] = ("brave", "chrome", "edge", "firefox"),
+    install_video: bool = True,
+    uplink: Optional[NetworkLink] = None,
+    home_region: str = "GB",
+) -> VantagePointHandle:
+    """Assemble, provision and register one additional vantage point."""
+    if node_identifier in platform.vantage_points:
+        from repro.accessserver.server import AccessServerError
+
+        raise AccessServerError(
+            f"a vantage point named {node_identifier!r} is already registered"
+        )
+    assembled = assemble_vantage_point(
+        platform.context,
+        node_identifier=node_identifier,
+        institution=institution,
+        device_profiles=device_profiles,
+        browsers=browsers,
+        install_video=install_video,
+        uplink=uplink,
+        home_region=home_region,
+        public_address=f"198.51.100.{len(platform.vantage_points) + 10}",
+    )
+    record = platform.access_server.register_vantage_point(
+        assembled.controller, assembled.request
+    )
+    handle = VantagePointHandle(
+        record=record,
+        controller=assembled.controller,
+        monitor=assembled.monitor,
+        power_socket=assembled.power_socket,
+        devices=assembled.devices,
+        browsers=assembled.browsers,
+        video_players=assembled.video_players,
     )
     platform.vantage_points[node_identifier] = handle
     return handle

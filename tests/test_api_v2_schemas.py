@@ -1,0 +1,267 @@
+"""Golden wire-format tests for Platform API v2.
+
+Counterpart of ``tests/test_api_schemas.py`` (which pins the frozen v1
+surface and must keep passing unchanged): these goldens pin the v2
+additions — push frames, session envelopes, the elide-at-default
+extension fields, and the v2 error-code table.  The same rule applies: a
+failure here is a v2 compatibility break; never "update the golden"
+casually.
+"""
+
+import json
+
+import pytest
+
+from repro.api.errors import (
+    ALL_ERROR_CODES,
+    ERROR_CODES,
+    SessionApiError,
+    V2_ERROR_CODES,
+    error_from_wire,
+    map_exception,
+)
+from repro.api.schemas import (
+    API_VERSION,
+    API_VERSION_V2,
+    LATEST_API_VERSION,
+    PUSH_FRAME_END,
+    PUSH_FRAME_EVENT,
+    PUSH_KIND,
+    SUPPORTED_VERSIONS,
+    ApiPush,
+    ApiRequest,
+    AuthCredentials,
+    CreateUserRequest,
+    EventsSubscribeRequest,
+    GrantCreditsRequest,
+    JobListRequest,
+    JobView,
+    LoginRequest,
+    LogoutView,
+    RegisterVantagePointRequest,
+    SessionView,
+    SubmitJobRequest,
+    SubscriptionAck,
+    SubscriptionRef,
+    UserView,
+    WatchJobRequest,
+)
+
+#: Every v2 DTO with (a fully populated instance, its exact wire form).
+GOLDEN_V2 = [
+    (LoginRequest(ttl_s=900.0), {"ttl_s": 900.0}),
+    (
+        SessionView(
+            session_token="deadbeef",
+            username="admin",
+            role="admin",
+            issued_at=10.0,
+            expires_at=910.0,
+        ),
+        {
+            "session_token": "deadbeef",
+            "username": "admin",
+            "role": "admin",
+            "issued_at": 10.0,
+            "expires_at": 910.0,
+        },
+    ),
+    (LogoutView(revoked=True), {"revoked": True}),
+    (
+        RegisterVantagePointRequest(
+            name="node2",
+            institution="Example University",
+            contact_email="ops@example.org",
+            public_address="198.51.100.20",
+            device_count=2,
+            device_profile="google-pixel-3a",
+        ),
+        {
+            "name": "node2",
+            "institution": "Example University",
+            "contact_email": "ops@example.org",
+            "public_address": "198.51.100.20",
+            "device_count": 2,
+            "device_profile": "google-pixel-3a",
+        },
+    ),
+    (
+        GrantCreditsRequest(owner="alice", amount_device_hours=10.0, note="onboarding"),
+        {"owner": "alice", "amount_device_hours": 10.0, "note": "onboarding"},
+    ),
+    (
+        CreateUserRequest(
+            username="alice", role="experimenter", token="t", email="a@example.org"
+        ),
+        {
+            "username": "alice",
+            "role": "experimenter",
+            "token": "t",
+            "email": "a@example.org",
+        },
+    ),
+    (
+        UserView(username="alice", role="experimenter", email="a@example.org", enabled=True),
+        {
+            "username": "alice",
+            "role": "experimenter",
+            "email": "a@example.org",
+            "enabled": True,
+        },
+    ),
+    (WatchJobRequest(job_id=7), {"job_id": 7}),
+    (EventsSubscribeRequest(topic_prefix="dispatch."), {"topic_prefix": "dispatch."}),
+    (SubscriptionRef(subscription_id=3), {"subscription_id": 3}),
+    (
+        SubscriptionAck(subscription_id=3, job=None),
+        {"subscription_id": 3, "job": None},
+    ),
+    (
+        ApiPush(
+            subscription_id=3,
+            frame="event",
+            seq=2,
+            topic="dispatch.assigned",
+            timestamp=12.5,
+            payload={"job_id": 7, "vantage_point": "node1"},
+        ),
+        {
+            "subscription_id": 3,
+            "frame": "event",
+            "seq": 2,
+            "topic": "dispatch.assigned",
+            "timestamp": 12.5,
+            "payload": {"job_id": 7, "vantage_point": "node1"},
+            "kind": "push",
+            "version": "2.0",
+        },
+    ),
+]
+
+#: The v2 error-code table: the frozen v1 union plus the v2 additions.
+GOLDEN_V2_ERROR_CODES = {
+    "request.invalid": "ValidationApiError",
+    "request.version_unsupported": "VersionApiError",
+    "request.unknown_operation": "UnknownOperationApiError",
+    "auth.invalid_credentials": "AuthenticationApiError",
+    "auth.permission_denied": "PermissionApiError",
+    "auth.session_expired": "SessionApiError",
+    "resource.not_found": "NotFoundApiError",
+    "resource.conflict": "ConflictApiError",
+    "credits.insufficient": "CreditApiError",
+    "transport.failed": "TransportApiError",
+    "server.internal": "InternalApiError",
+}
+
+
+class TestVersionConstants:
+    def test_v2_constants(self):
+        assert API_VERSION == "1.0"
+        assert API_VERSION_V2 == "2.0"
+        assert LATEST_API_VERSION == "2.0"
+        assert SUPPORTED_VERSIONS == ("1.0", "2.0")
+        assert PUSH_KIND == "push"
+        assert PUSH_FRAME_EVENT == "event"
+        assert PUSH_FRAME_END == "end"
+
+
+class TestGoldenV2WireFormats:
+    @pytest.mark.parametrize(
+        "dto,wire", GOLDEN_V2, ids=[type(dto).__name__ for dto, _ in GOLDEN_V2]
+    )
+    def test_to_wire_matches_golden(self, dto, wire):
+        assert dto.to_wire() == wire
+
+    @pytest.mark.parametrize(
+        "dto,wire", GOLDEN_V2, ids=[type(dto).__name__ for dto, _ in GOLDEN_V2]
+    )
+    def test_round_trip_through_json(self, dto, wire):
+        recovered = type(dto).from_wire(json.loads(json.dumps(dto.to_wire())))
+        assert recovered == dto
+
+    @pytest.mark.parametrize(
+        "dto,wire", GOLDEN_V2, ids=[type(dto).__name__ for dto, _ in GOLDEN_V2]
+    )
+    def test_wire_form_is_plain_json(self, dto, wire):
+        json.dumps(wire)
+
+
+class TestElideAtDefaultExtensionFields:
+    """The mechanism that lets v2 extend v1 DTOs without breaking goldens."""
+
+    def test_session_envelope_elided_when_absent(self):
+        wire = ApiRequest(op="server.status").to_wire()
+        assert "session" not in wire
+
+    def test_session_envelope_present_when_set(self):
+        wire = ApiRequest(
+            op="server.status", version=API_VERSION_V2, session="tok"
+        ).to_wire()
+        assert wire["session"] == "tok"
+        assert wire["auth"] is None
+
+    def test_session_envelope_round_trips(self):
+        request = ApiRequest(op="x", version="2.0", session="tok")
+        assert ApiRequest.from_wire(request.to_wire()) == request
+
+    def test_idempotency_key_elided_at_default(self):
+        assert "idempotency_key" not in SubmitJobRequest(name="j", payload="noop").to_wire()
+        wire = SubmitJobRequest(name="j", payload="noop", idempotency_key="k").to_wire()
+        assert wire["idempotency_key"] == "k"
+
+    def test_job_list_pagination_elided_at_defaults(self):
+        assert JobListRequest(status="queued").to_wire() == {"status": "queued"}
+        wire = JobListRequest(status=None, owner="alice", limit=10, offset=20).to_wire()
+        assert wire == {"status": None, "owner": "alice", "limit": 10, "offset": 20}
+
+    def test_v1_parser_accepts_extended_wire(self):
+        request = JobListRequest.from_wire({"status": None, "limit": 5})
+        assert request.limit == 5
+        assert request.offset == 0
+
+    def test_push_frame_discriminator_always_present(self):
+        # Responses never carry "kind"; pushes always must, or streaming
+        # clients cannot demultiplex.
+        assert ApiPush(subscription_id=1).to_wire()["kind"] == "push"
+
+
+class TestV2ErrorCodes:
+    def test_v1_table_untouched(self):
+        assert "auth.session_expired" not in ERROR_CODES
+
+    def test_v2_table_is_stable(self):
+        assert {
+            code: cls.__name__ for code, cls in ALL_ERROR_CODES.items()
+        } == GOLDEN_V2_ERROR_CODES
+        assert set(V2_ERROR_CODES) == {"auth.session_expired"}
+
+    def test_session_error_round_trips(self):
+        error = SessionApiError("expired", details={"k": 1})
+        rebuilt = error_from_wire(json.loads(json.dumps(error.to_wire())))
+        assert type(rebuilt) is SessionApiError
+        assert rebuilt.code == "auth.session_expired"
+        assert not rebuilt.retryable
+
+    def test_session_expired_domain_exception_maps(self):
+        from repro.accessserver.auth import AuthenticationError, SessionExpiredError
+
+        assert type(map_exception(SessionExpiredError("old"))) is SessionApiError
+        # plain authentication failures still map to the v1 code
+        mapped = map_exception(AuthenticationError("bad"))
+        assert mapped.code == "auth.invalid_credentials"
+
+
+class TestJobViewUnchanged:
+    """v2 streams JobView inside push frames; its v1 wire form must hold."""
+
+    def test_end_frame_carries_v1_job_view(self):
+        view = JobView(job_id=1, name="j", owner="o", status="completed")
+        frame = ApiPush(
+            subscription_id=1,
+            frame=PUSH_FRAME_END,
+            payload={"job": view.to_wire()},
+        )
+        recovered = JobView.from_wire(
+            json.loads(json.dumps(frame.to_wire()))["payload"]["job"]
+        )
+        assert recovered == view
