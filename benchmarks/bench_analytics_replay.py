@@ -1,0 +1,112 @@
+"""Analytics cold-replay benchmark: folding a fleet-scale journal.
+
+Reuses the journal-replay benchmark's workload generator — 24 devices,
+8000 submissions, 1000 executions, 300 reservations, credit traffic —
+so the write-ahead journal holds the same ≥10k events crash recovery is
+benchmarked against, then measures how fast
+:meth:`repro.analytics.engine.AnalyticsEngine.from_backend` folds that
+journal into the full operations report.  Analytics must never become the
+slow path: the fold is gated both relative to the committed baseline (CI
+trend check on ``records_per_s``) and against an absolute floor enforced
+here.
+
+The run also asserts the event-sourcing contract at benchmark scale: the
+report folded *live* during the workload (the platform's default bus tap)
+must equal the report folded from the cold journal replay, record for
+record.
+
+Results land in ``BENCH_analytics_replay.json`` at the repository root.
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_analytics_replay.py``
+or under pytest-benchmark via
+``PYTHONPATH=src python -m pytest benchmarks/bench_analytics_replay.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.analytics import AnalyticsEngine
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_analytics_replay.json"
+
+#: Absolute sanity floor: a fold slower than this makes analytics the
+#: platform's slow path (journal replay itself sustains ~40k events/s).
+MIN_RECORDS_PER_S = 2000.0
+
+
+def run_analytics_replay_benchmark() -> Dict[str, object]:
+    from bench_journal_replay import MIN_JOURNAL_EVENTS, build_loaded_platform
+
+    with tempfile.TemporaryDirectory(prefix="batterylab-analytics-") as state_dir:
+        platform, _ = build_loaded_platform(state_dir)
+        server = platform.access_server
+        server.persistence.backend.sync()
+        journal_events = server.persistence.sequence
+
+        live_report = server.analytics.report()
+
+        started = time.perf_counter()
+        engine = AnalyticsEngine.from_backend(state_dir)
+        fold_seconds = time.perf_counter() - started
+        replay_report = engine.report()
+
+        if replay_report != live_report:
+            raise AssertionError(
+                "cold analytics replay diverged from the live fold: "
+                f"{engine.records_folded} records folded"
+            )
+
+        owners = {row["owner"]: row for row in replay_report["owners"]}
+        return {
+            "benchmark": "analytics_replay",
+            "journal_events": journal_events,
+            "records_folded": engine.records_folded,
+            "fold_seconds": round(fold_seconds, 4),
+            "records_per_s": round(engine.records_folded / fold_seconds, 1)
+            if fold_seconds > 0
+            else float("inf"),
+            "jobs_submitted": replay_report["jobs"]["submitted"],
+            "jobs_completed": replay_report["jobs"]["completed"],
+            "devices_tracked": len(replay_report["devices"]),
+            "owners_tracked": len(owners),
+            "queue_wait_p90_s": replay_report["queue_wait"]["p90_s"],
+            "live_equals_replay": True,
+            "min_required_events": MIN_JOURNAL_EVENTS,
+            "min_records_per_s": MIN_RECORDS_PER_S,
+        }
+
+
+def write_result(result: Dict[str, object]) -> None:
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+
+def test_analytics_replay(benchmark):
+    from conftest import report, run_once
+
+    result = run_once(benchmark, run_analytics_replay_benchmark)
+    write_result(result)
+    report(benchmark, "Analytics — cold journal fold at fleet scale", [result])
+    assert result["live_equals_replay"]
+    assert result["journal_events"] >= result["min_required_events"]
+    assert result["records_per_s"] >= MIN_RECORDS_PER_S
+
+
+if __name__ == "__main__":
+    outcome = run_analytics_replay_benchmark()
+    write_result(outcome)
+    print(json.dumps(outcome, indent=2))
+    if outcome["journal_events"] < outcome["min_required_events"]:
+        raise SystemExit(
+            f"journal only held {outcome['journal_events']} events; "
+            f"benchmark requires {outcome['min_required_events']}"
+        )
+    if outcome["records_per_s"] < MIN_RECORDS_PER_S:
+        raise SystemExit(
+            f"analytics fold sustained {outcome['records_per_s']} records/s; "
+            f"floor is {MIN_RECORDS_PER_S}"
+        )

@@ -69,6 +69,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 FORMAT_VERSION = 1
 
+#: ``dispatch.*`` bus topics the persistence manager journals, mapped to
+#: the journal record kind each becomes.  Single-sourced here because the
+#: analytics live tap applies the *same* translation — a topic added to
+#: one side but not the other would silently diverge live folds from
+#: journal replays.
+DISPATCH_TOPIC_KINDS: Dict[str, str] = {
+    "dispatch.assigned": "job.assigned",
+    "dispatch.requeued": "job.requeued",
+    "dispatch.cancelled": "job.cancelled",
+    "dispatch.reservation_cancelled": "reservation.cancelled",
+}
+
 
 class PersistenceError(RuntimeError):
     """Raised for journal/snapshot corruption or misuse of the subsystem."""
@@ -957,12 +969,7 @@ class PersistenceManager:
         from being applied twice.
     """
 
-    BUS_TOPICS = (
-        "dispatch.assigned",
-        "dispatch.requeued",
-        "dispatch.cancelled",
-        "dispatch.reservation_cancelled",
-    )
+    BUS_TOPICS = tuple(DISPATCH_TOPIC_KINDS)
 
     def __init__(
         self,
@@ -979,6 +986,7 @@ class PersistenceManager:
         self._sequence = start_sequence
         self._records_since_snapshot = 0
         self._snapshots_written = 0
+        self._last_snapshot_at: Optional[float] = None
         self._attached = False
         self.last_recovery: Optional[RecoveryReport] = None
 
@@ -999,6 +1007,11 @@ class PersistenceManager:
     @property
     def records_since_snapshot(self) -> int:
         return self._records_since_snapshot
+
+    @property
+    def last_snapshot_at(self) -> Optional[float]:
+        """Simulated time of the last checkpoint (``None`` before the first)."""
+        return self._last_snapshot_at
 
     # -- lifecycle ----------------------------------------------------------
     def attach(self) -> None:
@@ -1035,6 +1048,7 @@ class PersistenceManager:
         self._backend.reset_journal()
         self._records_since_snapshot = 0
         self._snapshots_written += 1
+        self._last_snapshot_at = self._server.context.now
 
     # -- explicit server hooks ---------------------------------------------
     def on_job_submitted(self, job: Job, idempotency_key: Optional[str] = None) -> None:

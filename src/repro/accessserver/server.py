@@ -136,6 +136,8 @@ class AccessServer(Entity):
         self._auto_dispatch_max_jobs = 100
         self._auto_dispatch_event: Optional[Event] = None
         self._persistence = None
+        self._analytics = None
+        self._analytics_tap = None
         # (owner, idempotency_key) -> job_id: flaky-transport retries of the
         # same submission return the original job instead of double-queueing.
         self._idempotent_submissions: Dict[Tuple[str, str], int] = {}
@@ -179,6 +181,47 @@ class AccessServer(Entity):
             ),
         )
         return manager
+
+    # -- operations analytics ----------------------------------------------------------
+    @property
+    def analytics(self):
+        """The live :class:`~repro.analytics.engine.AnalyticsEngine`, if enabled."""
+        return self._analytics
+
+    def enable_analytics(self, bucket_s: float = 60.0):
+        """Fold the server's operational record stream into live analytics.
+
+        Attaches a :class:`~repro.analytics.records.LiveBusTap` to the
+        event bus so every ``dispatch.*`` / ``job.*`` / ``reservation.*`` /
+        ``credit.*`` record updates the materialised views incrementally.
+        When persistence is already attached, the engine is first *seeded*
+        by a cold replay of the backend, so a recovered server's report
+        includes pre-crash history and then continues live.  Idempotent —
+        re-enabling returns the existing engine.
+        """
+        if self._analytics is not None:
+            return self._analytics
+        from repro.analytics import AnalyticsEngine, LiveBusTap
+
+        engine = AnalyticsEngine(bucket_s=bucket_s)
+        if self._persistence is not None:
+            self._persistence.backend.sync()
+            from repro.analytics import JournalReplaySource
+
+            engine.fold_source(JournalReplaySource(self._persistence.backend))
+        tap = LiveBusTap(engine, self)
+        tap.attach()
+        self._analytics = engine
+        self._analytics_tap = tap
+        self.log("analytics enabled", seeded_records=engine.records_folded)
+        return engine
+
+    def disable_analytics(self) -> None:
+        """Detach the live tap and drop the engine (views are discarded)."""
+        if self._analytics_tap is not None:
+            self._analytics_tap.detach()
+        self._analytics = None
+        self._analytics_tap = None
 
     # -- platform assets -------------------------------------------------------------
     @property
@@ -226,6 +269,9 @@ class AccessServer(Entity):
         self._credit_policy = CreditPolicy(
             ledger, minimum_reservation_hours=minimum_reservation_hours
         )
+        # Bridge ledger mutations onto the event bus so analytics and
+        # remote ``credit.`` event subscribers see credit traffic live.
+        ledger.add_observer(self._publish_credit_event)
         # The "credit" scheduling policy weighs owners by remaining balance;
         # feed it live ledger balances through the dispatch stats.
         self.scheduler.engine.set_credit_balance_provider(self._credit_balances)
@@ -343,16 +389,45 @@ class AccessServer(Entity):
             self.scheduler.submit(job, self.context.now)
             if self._persistence is not None:
                 self._persistence.on_job_submitted(job, idempotency_key=idempotency_key)
+            self._publish_job_submitted(job)
             self.log("job pending approval", job=spec.name, owner=user.username)
         else:
             self.scheduler.submit(job, self.context.now)
             if self._persistence is not None:
                 self._persistence.on_job_submitted(job, idempotency_key=idempotency_key)
+            self._publish_job_submitted(job)
             self.log("job queued", job=spec.name, owner=user.username)
             self._schedule_dispatch_tick()
         if idempotency_key is not None:
             self._idempotent_submissions[(spec.owner, idempotency_key)] = job.job_id
         return job
+
+    # -- lifecycle event publication ---------------------------------------------------
+    # The dispatch engine already announces assignments/requeues/cancels on
+    # the bus; these publications cover the mutations that previously only
+    # the persistence hooks saw, so bus consumers — the analytics live tap,
+    # remote ``events.subscribe`` clients on the ``job.`` / ``reservation.``
+    # / ``credit.`` prefixes — observe the full lifecycle.  Topics reuse the
+    # journal's record vocabulary; ``job.watch`` subscriptions filter on the
+    # ``dispatch.`` prefix and are unaffected.
+    def _publish_job_submitted(self, job: Job) -> None:
+        self.events.publish(
+            "job.submitted",
+            job_id=job.job_id,
+            name=job.spec.name,
+            owner=job.spec.owner,
+            priority=job.spec.priority,
+            timeout_s=job.spec.timeout_s,
+            is_pipeline_change=job.spec.is_pipeline_change,
+            status=job.status.value,
+            submitted_at=job.submitted_at,
+        )
+
+    def _publish_credit_event(self, kind: str, data: Dict[str, object]) -> None:
+        if kind == "transaction":
+            self.events.publish("credit.txn", **data)
+        elif kind == "account_opened":
+            self.events.publish("credit.account_opened", **data)
 
     def idempotency_records(self) -> List[Tuple[str, str, int]]:
         """Every remembered ``(owner, key, job_id)`` triple, for snapshots."""
@@ -374,6 +449,7 @@ class AccessServer(Entity):
         self.scheduler.enqueue_approved(job)
         if self._persistence is not None:
             self._persistence.on_job_approved(job)
+        self.events.publish("job.approved", job_id=job.job_id)
         self.log("job approved", job=job.spec.name, approver=admin.username)
         self._schedule_dispatch_tick()
 
@@ -389,6 +465,7 @@ class AccessServer(Entity):
         self.scheduler.cancel(job.job_id)
         if self._persistence is not None:
             self._persistence.on_job_rejected(job)
+        self.events.publish("job.rejected", job_id=job.job_id)
         self.log(
             "job rejected",
             job=job.spec.name,
@@ -513,11 +590,15 @@ class AccessServer(Entity):
         # Terminal outcomes are journaled once all bookkeeping has settled so
         # recovery replays balances exactly; cancellations were already
         # recorded via the dispatch.cancelled bus event.
-        if self._persistence is not None and job.status in (
-            JobStatus.COMPLETED,
-            JobStatus.FAILED,
-        ):
-            self._persistence.on_job_finished(job)
+        if job.status in (JobStatus.COMPLETED, JobStatus.FAILED):
+            if self._persistence is not None:
+                self._persistence.on_job_finished(job)
+            self.events.publish(
+                "job.finished",
+                job_id=job.job_id,
+                status=job.status.value,
+                finished_at=job.finished_at,
+            )
         return True
 
     # -- scheduling policy & event-driven dispatch ---------------------------------------------
@@ -633,6 +714,15 @@ class AccessServer(Entity):
         )
         if self._persistence is not None:
             self._persistence.on_reservation_created(reservation)
+        self.events.publish(
+            "reservation.created",
+            reservation_id=reservation.reservation_id,
+            username=reservation.username,
+            vantage_point=reservation.vantage_point,
+            device_serial=reservation.device_serial,
+            start_s=reservation.start_s,
+            duration_s=reservation.duration_s,
+        )
         return reservation
 
     def share_with_tester(
@@ -739,6 +829,16 @@ class AccessServer(Entity):
 
     def status(self) -> dict:
         orphaned = self.orphaned_jobs()
+        journal = None
+        if self._persistence is not None:
+            # Compaction lag at a glance: how much journal a recovery would
+            # replay, and when the last snapshot bounded it.
+            journal = {
+                "records": self._persistence.sequence,
+                "records_since_snapshot": self._persistence.records_since_snapshot,
+                "snapshots_written": self._persistence.snapshots_written,
+                "last_snapshot_at": self._persistence.last_snapshot_at,
+            }
         return {
             "vantage_points": [record.name for record in self.vantage_points()],
             "users": self.users.usernames(),
@@ -748,6 +848,7 @@ class AccessServer(Entity):
             "reservation_admission": self.scheduler.engine.reservation_admission,
             "auto_dispatch": self._auto_dispatch,
             "persistence": self._persistence is not None,
+            "journal": journal,
             "certificate_serial": self._wildcard_certificate.serial_number
             if self._wildcard_certificate
             else None,

@@ -67,6 +67,10 @@ from repro.api.schemas import (
     PUSH_FRAME_EVENT,
     PUSH_KIND,
     SUPPORTED_VERSIONS,
+    AnalyticsReportRequest,
+    AnalyticsReportView,
+    AnalyticsTimeseriesRequest,
+    AnalyticsTimeseriesView,
     ApiPush,
     ApiRequest,
     ApiResponse,
@@ -81,9 +85,16 @@ from repro.api.schemas import (
     JobConstraintsV1,
     JobListRequest,
     JobRef,
+    DeviceUsageView,
+    JobCountsView,
     JobResultsView,
     JobView,
+    JournalHealthView,
     LoginRequest,
+    OwnerUsageView,
+    PercentileStatsView,
+    ReservationStatsView,
+    TimeseriesBucketView,
     LogoutView,
     RegisterVantagePointRequest,
     ReservationView,
@@ -108,6 +119,10 @@ __all__ = [
     "PUSH_FRAME_EVENT",
     "PUSH_KIND",
     "SUPPORTED_VERSIONS",
+    "AnalyticsReportRequest",
+    "AnalyticsReportView",
+    "AnalyticsTimeseriesRequest",
+    "AnalyticsTimeseriesView",
     "ApiError",
     "ApiGateway",
     "ApiPush",
@@ -122,6 +137,7 @@ __all__ = [
     "CreditApiError",
     "CreditQuery",
     "CreditView",
+    "DeviceUsageView",
     "DeviceView",
     "ERROR_CODES",
     "EventsSubscribeRequest",
@@ -130,20 +146,25 @@ __all__ = [
     "InProcessTransport",
     "InternalApiError",
     "JobConstraintsV1",
+    "JobCountsView",
     "JobListRequest",
     "JobPage",
     "JobRef",
     "JobResultsView",
     "JobView",
     "JobWatch",
+    "JournalHealthView",
     "JsonLinesTransport",
     "LoginRequest",
     "LogoutView",
     "NotFoundApiError",
+    "OwnerUsageView",
+    "PercentileStatsView",
     "PermissionApiError",
     "PushStream",
     "RegisterVantagePointRequest",
     "RequestContext",
+    "ReservationStatsView",
     "ReservationView",
     "ReserveSessionRequest",
     "SessionApiError",
@@ -152,6 +173,7 @@ __all__ = [
     "SubmitJobRequest",
     "SubscriptionAck",
     "SubscriptionRef",
+    "TimeseriesBucketView",
     "Transport",
     "TransportApiError",
     "UnknownOperationApiError",

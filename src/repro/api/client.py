@@ -52,6 +52,8 @@ from repro.api.schemas import (
     API_VERSION,
     API_VERSION_V2,
     PUSH_FRAME_END,
+    AnalyticsReportView,
+    AnalyticsTimeseriesView,
     ApiPush,
     ApiRequest,
     ApiResponse,
@@ -561,6 +563,28 @@ class BatteryLabClient:
         )
         return UserView.from_wire(wire)
 
+    # -- operations analytics (v2) ------------------------------------------
+    def analytics_report(self, owner: Optional[str] = None) -> AnalyticsReportView:
+        """The platform's materialised operations report (v2).
+
+        Per-owner utilisation and credit burn, queue-wait / run-time
+        percentiles, per-device occupancy and failure rate — folded from
+        the server's event-sourced record stream.  ``owner`` narrows the
+        owners table to one account.
+        """
+        body: dict = {}
+        if owner is not None:
+            body["owner"] = owner
+        wire = self._call("analytics.report", body, API_VERSION_V2)
+        return AnalyticsReportView.from_wire(wire)
+
+    def analytics_timeseries(self, bucket_s: float = 60.0) -> AnalyticsTimeseriesView:
+        """Fleet throughput over time, bucketed at ``bucket_s`` (v2)."""
+        wire = self._call(
+            "analytics.timeseries", {"bucket_s": bucket_s}, API_VERSION_V2
+        )
+        return AnalyticsTimeseriesView.from_wire(wire)
+
     # -- sessions, credits, fleet, status -----------------------------------
     def reserve_session(
         self,
@@ -586,8 +610,10 @@ class BatteryLabClient:
     def fleet(self) -> FleetView:
         return FleetView.from_wire(self._call("fleet.list"))
 
-    def server_status(self) -> StatusView:
-        return StatusView.from_wire(self._call("server.status"))
+    def server_status(self, version: Optional[str] = None) -> StatusView:
+        """Platform-wide status; pass ``version="2.0"`` for the v2 extras
+        (write-ahead-journal health in ``StatusView.journal``)."""
+        return StatusView.from_wire(self._call("server.status", {}, version))
 
 
 def in_process_client(server, username: str, token: str) -> BatteryLabClient:

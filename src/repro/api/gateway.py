@@ -21,14 +21,18 @@ drive the platform.
   when the gateway cannot be reached.
 
 **Streaming (API v2).**  Responses and server pushes share one connection:
-each connection hands the router a ``push`` callable that writes
-:class:`~repro.api.schemas.ApiPush` frames under the connection's write
-lock, so a frame pushed from the simulation thread never interleaves
-mid-line with a response written by the connection thread.  The client
-transport demultiplexes by the ``kind: "push"`` discriminator, buffering
-push frames per subscription while a response is awaited.  When a
-connection dies — or :meth:`ApiGateway.stop` runs — every subscription it
-owned is cancelled on the router, so a blocked ``job.watch`` reader can
+each connection hands the router a ``push`` callable that enqueues
+:class:`~repro.api.schemas.ApiPush` frames onto a *bounded* per-connection
+queue drained by a pump thread; actual socket writes happen under the
+connection's write lock, so a frame never interleaves mid-line with a
+response.  Back-pressure: the simulation thread that published the event
+only ever enqueues — a stalled consumer fills the queue and the oldest
+event frames are dropped (``end`` frames survive), with the loss surfaced
+as a ``dropped`` counter on the next delivered frame of that subscription.
+The client transport demultiplexes by the ``kind: "push"`` discriminator,
+buffering push frames per subscription while a response is awaited.  When
+a connection dies — or :meth:`ApiGateway.stop` runs — every subscription
+it owned is cancelled on the router, so a blocked ``job.watch`` reader can
 never hang shutdown and the event bus never writes to a dead socket.
 
 **TLS.**  Pass an ``ssl.SSLContext`` (see
@@ -53,6 +57,7 @@ import json
 import socket
 import ssl
 import threading
+from collections import deque
 from typing import Optional, Tuple
 
 from repro.api.errors import TransportApiError, ValidationApiError
@@ -61,24 +66,131 @@ from repro.api.client import Transport
 
 
 class _Connection:
-    """One accepted gateway connection with an interleave-safe writer."""
+    """One accepted gateway connection with an interleave-safe writer.
 
-    def __init__(self, sock: socket.socket) -> None:
+    Responses are written synchronously by the connection thread
+    (:meth:`send_frame`).  Server pushes go through :meth:`push_frame`
+    instead: a *bounded* per-connection queue drained by a lazily started
+    pump thread, so a slow or stalled consumer can never block the
+    simulation thread that published the event.  **Slow-consumer policy**
+    (documented in DESIGN.md): terminal ``job.watch`` ``end`` frames are
+    never dropped — they bypass the bound entirely (at most one per
+    subscription, so the excess is bounded too) and watchers always
+    observe completion.  An *event* frame pushed at a full queue evicts
+    the oldest queued event frame, or — when only end frames are queued —
+    is itself the drop.  The loss is surfaced as a ``dropped`` counter on
+    the next frame delivered for that subscription; under the usual
+    evict-oldest path that counter equals the frame's ``seq`` gap (in the
+    all-ends edge the dropped frame was the newest, so the counter may
+    precede its gap).
+    """
+
+    def __init__(self, sock: socket.socket, push_queue_limit: int = 256) -> None:
+        if push_queue_limit < 1:
+            raise ValueError("push_queue_limit must be at least 1")
         self.sock = sock
         self._write_lock = threading.Lock()
+        self._push_limit = push_queue_limit
+        self._push_queue: deque = deque()
+        self._push_dropped: dict = {}  # subscription_id -> drops not yet surfaced
+        self._push_cv = threading.Condition()
+        self._push_thread: Optional[threading.Thread] = None
+        self._closed = False
 
     def send_frame(self, frame: dict) -> None:
         data = json.dumps(frame).encode("utf-8") + b"\n"
         with self._write_lock:
             self.sock.sendall(data)
 
+    # -- push back-pressure --------------------------------------------------
+    def push_frame(self, frame: dict) -> None:
+        """Enqueue one push frame; never blocks on the socket.
+
+        Raises ``OSError`` once the connection is closed (or its pump hit
+        a dead socket) so the router's subscription bridge tears the
+        subscription down.
+        """
+        with self._push_cv:
+            if self._closed:
+                raise OSError("connection closed")
+            if (
+                frame.get("frame") != "end"
+                and len(self._push_queue) >= self._push_limit
+                and not self._evict_event()
+            ):
+                # Only end frames queued (nothing evictable) and the
+                # newcomer is an ordinary event: the newcomer is the drop.
+                self._count_drop(frame)
+                return
+            self._push_queue.append(frame)
+            if self._push_thread is None:
+                self._push_thread = threading.Thread(
+                    target=self._push_pump,
+                    name="batterylab-gateway-push",
+                    daemon=True,
+                )
+                self._push_thread.start()
+            self._push_cv.notify()
+
+    def _count_drop(self, frame: dict) -> None:
+        subscription_id = frame.get("subscription_id", 0)
+        self._push_dropped[subscription_id] = (
+            self._push_dropped.get(subscription_id, 0) + 1
+        )
+
+    def _evict_event(self) -> bool:
+        """Evict the oldest queued *event* frame (cv held, queue full).
+
+        End frames are never victims — a watcher must never lose its
+        completion frame.  Returns ``False`` when only end frames are
+        queued, in which case the caller drops the incoming event instead.
+        """
+        for index, frame in enumerate(self._push_queue):
+            if frame.get("frame") != "end":
+                self._count_drop(frame)
+                del self._push_queue[index]
+                return True
+        return False
+
+    def _push_pump(self) -> None:
+        while True:
+            with self._push_cv:
+                while not self._push_queue and not self._closed:
+                    self._push_cv.wait()
+                if not self._push_queue:
+                    return  # closed and drained
+                frame = self._push_queue.popleft()
+                subscription_id = frame.get("subscription_id", 0)
+                dropped = self._push_dropped.pop(subscription_id, 0)
+            if dropped:
+                frame = dict(frame)
+                frame["dropped"] = dropped
+            try:
+                self.send_frame(frame)
+            except OSError:
+                # A half-open peer fails writes before the reader thread
+                # sees EOF; mark the connection closed so the next
+                # push_frame raises and the router cancels the
+                # subscription instead of publishing into a dead pipe.
+                with self._push_cv:
+                    self._closed = True
+                    self._push_queue.clear()
+                    self._push_cv.notify_all()
+                return
+
     def shutdown(self) -> None:
+        with self._push_cv:
+            self._closed = True
+            self._push_cv.notify_all()
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass  # peer already gone
 
     def close(self) -> None:
+        with self._push_cv:
+            self._closed = True
+            self._push_cv.notify_all()
         try:
             self.sock.close()
         except OSError:  # pragma: no cover - already closed
@@ -103,6 +215,11 @@ class ApiGateway:
         (default) treats them as a terminated-TLS stand-in — the historical
         behaviour; ``False`` reports them insecure, so an HTTPS-only user
         registry refuses authentication over them.
+    push_queue_limit:
+        Bound of the per-connection push queue (slow-consumer
+        back-pressure).  A consumer that cannot keep up loses its *oldest*
+        queued event frames; the loss is surfaced as a ``dropped`` counter
+        on the next frame it does receive.
     """
 
     def __init__(
@@ -112,12 +229,18 @@ class ApiGateway:
         port: int = 0,
         tls_context: Optional[ssl.SSLContext] = None,
         assume_https: bool = True,
+        push_queue_limit: int = 256,
     ) -> None:
+        # Validate here, not per accepted connection: a bad limit must
+        # fail the operator at startup, not kill connection threads.
+        if push_queue_limit < 1:
+            raise ValueError("push_queue_limit must be at least 1")
         self._router = router
         self._host = host
         self._requested_port = port
         self._tls_context = tls_context
         self._assume_https = assume_https
+        self._push_queue_limit = push_queue_limit
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._router_lock = threading.Lock()
@@ -260,7 +383,7 @@ class ApiGateway:
                 except OSError:  # pragma: no cover
                     pass
                 return
-        connection = _Connection(raw_sock)
+        connection = _Connection(raw_sock, push_queue_limit=self._push_queue_limit)
         secure = self.tls_enabled or self._assume_https
         with self._connections_lock:
             self._connections.add(connection)
@@ -301,7 +424,7 @@ class ApiGateway:
         with self._router_lock:
             return self._router.handle(
                 request,
-                push=connection.send_frame,
+                push=connection.push_frame,
                 owner=connection,
                 secure=secure,
             )

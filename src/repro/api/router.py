@@ -44,6 +44,8 @@ operation                  permission                  request DTO              
 ``job.watch``              ``view_results``            ``WatchJobRequest``              ``SubscriptionAck`` + pushes
 ``events.subscribe``       ``view_results``            ``EventsSubscribeRequest``       ``SubscriptionAck`` + pushes
 ``subscription.cancel``    ``view_results``            ``SubscriptionRef``              ``{"cancelled": bool}``
+``analytics.report``       ``view_results``            ``AnalyticsReportRequest``       ``AnalyticsReportView``
+``analytics.timeseries``   ``view_results``            ``AnalyticsTimeseriesRequest``   ``AnalyticsTimeseriesView``
 ========================== =========================== ================================ ==================
 
 Ownership rules: ``job.results`` and ``job.cancel`` are restricted to the
@@ -88,6 +90,10 @@ from repro.api.schemas import (
     PUSH_FRAME_END,
     PUSH_FRAME_EVENT,
     SUPPORTED_VERSIONS,
+    AnalyticsReportRequest,
+    AnalyticsReportView,
+    AnalyticsTimeseriesRequest,
+    AnalyticsTimeseriesView,
     ApiPush,
     ApiRequest,
     ApiResponse,
@@ -102,6 +108,7 @@ from repro.api.schemas import (
     JobRef,
     JobResultsView,
     JobView,
+    JournalHealthView,
     LoginRequest,
     LogoutView,
     RegisterVantagePointRequest,
@@ -295,6 +302,17 @@ class ApiRouter:
             "user.create": _Op(
                 self._op_user_create,
                 Permission.MANAGE_USERS,
+                min_version=API_VERSION_V2,
+            ),
+            # -- v2: operations analytics -----------------------------------
+            "analytics.report": _Op(
+                self._op_analytics_report,
+                Permission.VIEW_RESULTS,
+                min_version=API_VERSION_V2,
+            ),
+            "analytics.timeseries": _Op(
+                self._op_analytics_timeseries,
+                Permission.VIEW_RESULTS,
                 min_version=API_VERSION_V2,
             ),
             # -- v2: streaming ----------------------------------------------
@@ -621,7 +639,12 @@ class ApiRouter:
 
     def _op_server_status(self, ctx: RequestContext, payload: dict) -> dict:
         status = self._server.status()
+        # Journal health is a v2 addition: a strict pre-v2 client parsing
+        # StatusView would reject the unknown field, so v1 envelopes keep
+        # their exact historical wire form.
+        journal = status.get("journal") if ctx.version == API_VERSION_V2 else None
         return StatusView(
+            journal=JournalHealthView(**journal) if journal is not None else None,
             api_version=ctx.version,
             vantage_points=status["vantage_points"],
             users=status["users"],
@@ -758,6 +781,55 @@ class ApiRouter:
             email=user.email,
             enabled=user.enabled,
         ).to_wire()
+
+    # -- v2 handlers: operations analytics -----------------------------------
+    def _analytics_engine(self):
+        """The engine the analytics ops read: live tap, else cold replay.
+
+        A server with analytics enabled serves its incrementally folded
+        views; otherwise a persistence-backed server gets a cold replay of
+        its own journal per request (correct but O(journal)); a server with
+        neither has no record stream to fold and reports not-found.
+        """
+        engine = self._server.analytics
+        if engine is not None:
+            return engine
+        if self._server.persistence is not None:
+            from repro.analytics import AnalyticsEngine
+
+            backend = self._server.persistence.backend
+            backend.sync()
+            return AnalyticsEngine.from_backend(backend)
+        raise NotFoundApiError(
+            "analytics is not enabled on this server and no journal is "
+            "attached to replay; call AccessServer.enable_analytics()"
+        )
+
+    def _op_analytics_report(self, ctx: RequestContext, payload: dict) -> dict:
+        request = AnalyticsReportRequest.from_wire(payload)
+        # Fleet-wide aggregates (queue percentiles, device health) are
+        # operational state like server.status, but the per-owner rows
+        # carry credit burn — the same data credits.balance restricts to
+        # the owner or an admin, so the owners table follows that rule.
+        owner = request.owner
+        if ctx.user.role is not Role.ADMIN:
+            if owner is not None and owner != ctx.user.username:
+                raise PermissionApiError(
+                    f"only {owner!r} or an admin may read their usage row",
+                    details={"owner": owner, "caller": ctx.user.username},
+                )
+            owner = ctx.user.username
+        # The view omits the timeseries (analytics.timeseries serves it),
+        # so skip materialising it.
+        report = self._analytics_engine().report(include_throughput=False)
+        return AnalyticsReportView.from_report(report, owner=owner).to_wire()
+
+    def _op_analytics_timeseries(self, ctx: RequestContext, payload: dict) -> dict:
+        request = AnalyticsTimeseriesRequest.from_wire(payload)
+        if request.bucket_s <= 0:
+            raise ValidationApiError("bucket_s must be positive")
+        timeseries = self._analytics_engine().timeseries(request.bucket_s)
+        return AnalyticsTimeseriesView.from_timeseries(timeseries).to_wire()
 
     # -- v2 handlers: streaming ----------------------------------------------
     def _op_job_watch(self, ctx: RequestContext, payload: dict) -> dict:

@@ -493,6 +493,22 @@ class FleetView(WireModel):
 
 
 @dataclass
+class JournalHealthView(WireModel):
+    """Write-ahead journal health inside ``server.status`` (v2 addition).
+
+    ``records`` is the journal's lifetime sequence number;
+    ``records_since_snapshot`` is the replay cost a crash right now would
+    pay, and ``last_snapshot_at`` (simulated time) shows compaction lag —
+    the remote operator's view of the durability subsystem.
+    """
+
+    records: int = 0
+    records_since_snapshot: int = 0
+    snapshots_written: int = 0
+    last_snapshot_at: Optional[float] = None
+
+
+@dataclass
 class StatusView(WireModel):
     """``server.status`` response: platform-wide operational state.
 
@@ -500,7 +516,13 @@ class StatusView(WireModel):
     point that is *not currently registered* — after crash recovery these
     are the journaled jobs waiting for an operator to re-register the
     topology (``orphaned_vantage_points`` names what is missing).
+
+    ``journal`` (v2 addition, elided when persistence is off) surfaces the
+    write-ahead journal's health so operators can watch compaction lag
+    remotely.
     """
+
+    _ELIDE_WHEN_DEFAULT = ("journal",)
 
     api_version: str
     vantage_points: List[str] = field(default_factory=list)
@@ -514,6 +536,7 @@ class StatusView(WireModel):
     certificate_serial: Optional[int] = None
     orphaned_jobs: List[int] = field(default_factory=list)
     orphaned_vantage_points: List[str] = field(default_factory=list)
+    journal: Optional[JournalHealthView] = None
 
 
 # ---------------------------------------------------------------------------
@@ -676,6 +699,13 @@ class ApiPush(WireModel):
     and ``payload`` mirror the :class:`~repro.simulation.events.BusEvent`)
     or :data:`PUSH_FRAME_END` when a ``job.watch`` reaches a terminal state
     (``payload["job"]`` holds the final :class:`JobView` wire form).
+
+    ``dropped`` is the slow-consumer back-pressure counter: when the
+    gateway's bounded per-connection push queue overflows, event frames
+    are discarded (oldest first; terminal ``end`` frames never drop) and
+    the next delivered frame of the same subscription carries how many
+    were lost — under the usual evict-oldest path that equals its ``seq``
+    gap.  Elided at 0, so well-behaved consumers never see the field.
     """
 
     subscription_id: int
@@ -686,3 +716,168 @@ class ApiPush(WireModel):
     payload: dict = field(default_factory=dict)
     kind: str = PUSH_KIND
     version: str = API_VERSION_V2
+    dropped: int = 0
+
+    _ELIDE_WHEN_DEFAULT = ("dropped",)
+
+
+# ---------------------------------------------------------------------------
+# Platform API v2: operations analytics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AnalyticsReportRequest(WireModel):
+    """``analytics.report`` request; ``owner`` narrows the owners table."""
+
+    owner: Optional[str] = None
+
+
+@dataclass
+class PercentileStatsView(WireModel):
+    """Distribution summary (nearest-rank percentiles) for a duration set."""
+
+    samples: int = 0
+    mean_s: float = 0.0
+    p50_s: float = 0.0
+    p90_s: float = 0.0
+    p99_s: float = 0.0
+    max_s: float = 0.0
+
+    @classmethod
+    def from_stats(cls, stats: dict) -> "PercentileStatsView":
+        return cls(**stats)
+
+
+@dataclass
+class JobCountsView(WireModel):
+    """Fleet-wide job lifecycle counters (terminal + current backlog)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    requeues: int = 0
+    running: int = 0
+    queued: int = 0
+    pending_approval: int = 0
+
+
+@dataclass
+class OwnerUsageView(WireModel):
+    """One owner's utilisation and credit movement."""
+
+    owner: str
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    device_seconds: float = 0.0
+    queue_wait_s: float = 0.0
+    credits_burned_device_hours: float = 0.0
+    credits_granted_device_hours: float = 0.0
+
+
+@dataclass
+class DeviceUsageView(WireModel):
+    """One device slot's occupancy and health over the report window."""
+
+    vantage_point: str
+    device_serial: str
+    assignments: int = 0
+    requeues: int = 0
+    completed: int = 0
+    failed: int = 0
+    busy_seconds: float = 0.0
+    failure_rate: float = 0.0
+    occupancy: float = 0.0
+
+
+@dataclass
+class ReservationStatsView(WireModel):
+    """Interactive-session booking counters."""
+
+    created: int = 0
+    cancelled: int = 0
+    booked_device_hours: float = 0.0
+
+
+@dataclass
+class AnalyticsReportView(WireModel):
+    """``analytics.report`` response: the materialised operations report.
+
+    Derived deterministically from the platform's event-sourced record
+    stream — the identical report is produced whether the server folded
+    events live or cold-replayed its write-ahead journal.
+    """
+
+    records_folded: int = 0
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+    jobs: JobCountsView = field(default_factory=JobCountsView)
+    owners: List[OwnerUsageView] = field(default_factory=list)
+    queue_wait: PercentileStatsView = field(default_factory=PercentileStatsView)
+    run_time: PercentileStatsView = field(default_factory=PercentileStatsView)
+    devices: List[DeviceUsageView] = field(default_factory=list)
+    reservations: ReservationStatsView = field(default_factory=ReservationStatsView)
+
+    @classmethod
+    def from_report(
+        cls, report: dict, owner: Optional[str] = None
+    ) -> "AnalyticsReportView":
+        """Build the wire view from an engine ``report()`` dict."""
+        owners = [
+            OwnerUsageView(**row)
+            for row in report.get("owners", [])
+            if owner is None or row.get("owner") == owner
+        ]
+        window = report.get("window", {})
+        return cls(
+            records_folded=report.get("records_folded", 0),
+            first_ts=window.get("first_ts"),
+            last_ts=window.get("last_ts"),
+            jobs=JobCountsView(**report.get("jobs", {})),
+            owners=owners,
+            queue_wait=PercentileStatsView.from_stats(report.get("queue_wait", {})),
+            run_time=PercentileStatsView.from_stats(report.get("run_time", {})),
+            devices=[DeviceUsageView(**row) for row in report.get("devices", [])],
+            reservations=ReservationStatsView(**report.get("reservations", {})),
+        )
+
+
+@dataclass
+class AnalyticsTimeseriesRequest(WireModel):
+    """``analytics.timeseries`` request: desired bucket width in seconds."""
+
+    bucket_s: float = 60.0
+
+
+@dataclass
+class TimeseriesBucketView(WireModel):
+    """One throughput bucket: job flow counters in ``[start_s, start_s+bucket_s)``."""
+
+    start_s: float
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+
+
+@dataclass
+class AnalyticsTimeseriesView(WireModel):
+    """``analytics.timeseries`` response: fleet throughput over time."""
+
+    bucket_s: float = 60.0
+    buckets: List[TimeseriesBucketView] = field(default_factory=list)
+
+    @classmethod
+    def from_timeseries(cls, timeseries: dict) -> "AnalyticsTimeseriesView":
+        return cls(
+            bucket_s=timeseries.get("bucket_s", 60.0),
+            buckets=[
+                TimeseriesBucketView(**bucket)
+                for bucket in timeseries.get("buckets", [])
+            ],
+        )

@@ -33,6 +33,15 @@ event streaming instead of status polling, and a TLS gateway server::
     batterylab-repro --state-dir ./state register-vp --name node2 --institution "Example University"
     batterylab-repro --state-dir ./state serve --tls --cert-dir ./state/tls
 
+The ``report`` subcommand folds the platform's event-sourced records
+(``repro.analytics``) into an operations report — owner utilisation and
+credit burn, queue-wait/run-time percentiles, per-device occupancy and
+failure rates — either by cold-replaying a ``--state-dir`` journal or by
+querying a live gateway::
+
+    batterylab-repro --state-dir ./state report --bucket-s 300
+    batterylab-repro report --gateway 127.0.0.1:8443
+
 Each command prints the reproduced rows as an aligned table.  ``--seed``
 controls the simulation seed so runs are reproducible, and
 ``--scheduling-policy`` selects the dispatch queue ordering
@@ -207,6 +216,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="built-in device hardware profile (e.g. samsung-j7-duo, google-pixel-3a)",
     )
 
+    report = sub.add_parser(
+        "report",
+        help="operations report folded from the platform's event-sourced "
+        "records: owner utilisation, queue waits, device health (API v2)",
+    )
+    report.add_argument(
+        "--gateway",
+        default=None,
+        metavar="HOST:PORT",
+        help="query a live gateway instead of replaying --state-dir locally",
+    )
+    report.add_argument(
+        "--cert-dir",
+        default=None,
+        metavar="DIR",
+        help="with --gateway: trust the platform wildcard material under "
+        "DIR and connect over TLS (pair of 'serve --tls --cert-dir')",
+    )
+    report.add_argument(
+        "--username",
+        default="experimenter",
+        help="account to query as (non-admins see fleet aggregates plus "
+        "their own owner row; use admin for the full owners table)",
+    )
+    report.add_argument(
+        "--token",
+        default=None,
+        help="account token (defaults to the bootstrap '<username>-token')",
+    )
+    report.add_argument(
+        "--owner", default=None, help="narrow the owners table to one account"
+    )
+    report.add_argument(
+        "--bucket-s",
+        type=float,
+        default=None,
+        help="also render the fleet throughput timeseries at this bucket size",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="serve the JSON-lines API gateway (optionally TLS) until interrupted",
@@ -304,9 +352,13 @@ def _cmd_submit(args) -> str:
 
 
 def _cmd_status(args) -> str:
+    from repro.api.schemas import API_VERSION_V2
+
     platform = _ops_platform(args)
     client = platform.client()
-    view = client.server_status()
+    # v2 envelope: journal health rides only on v2 so strict v1 clients
+    # keep their frozen wire form.
+    view = client.server_status(version=API_VERSION_V2)
     rows = [
         {"field": "api_version", "value": view.api_version},
         {"field": "vantage_points", "value": ", ".join(view.vantage_points) or "-"},
@@ -324,7 +376,23 @@ def _cmd_status(args) -> str:
             "value": ", ".join(view.orphaned_vantage_points) or "-",
         },
     ]
-    sections = [format_table(rows, title="Platform status (API v1)")]
+    if view.journal is not None:
+        rows.extend(
+            [
+                {"field": "journal_records", "value": view.journal.records},
+                {
+                    "field": "records_since_snapshot",
+                    "value": view.journal.records_since_snapshot,
+                },
+                {
+                    "field": "last_snapshot_at",
+                    "value": view.journal.last_snapshot_at
+                    if view.journal.last_snapshot_at is not None
+                    else "-",
+                },
+            ]
+        )
+    sections = [format_table(rows, title="Platform status (Platform API)")]
     if args.jobs:
         job_rows = [_job_row(view) for view in client.list_jobs()]
         if job_rows:
@@ -433,6 +501,135 @@ def _cmd_register_vp(args) -> str:
         for device in view.devices
     ]
     return format_table(rows, title="Vantage point registered (Platform API v2)")
+
+
+def _report_sections(view, timeseries=None) -> List[str]:
+    """Render an AnalyticsReportView (and optional timeseries) as tables."""
+    jobs = view.jobs
+    summary = [
+        {"field": "records_folded", "value": view.records_folded},
+        {
+            "field": "window",
+            "value": f"{view.first_ts or 0.0:.1f} .. {view.last_ts or 0.0:.1f} s",
+        },
+        {"field": "submitted", "value": jobs.submitted},
+        {"field": "completed", "value": jobs.completed},
+        {"field": "failed", "value": jobs.failed},
+        {"field": "cancelled", "value": jobs.cancelled},
+        {"field": "queued_now", "value": jobs.queued},
+        {"field": "running_now", "value": jobs.running},
+        {"field": "pending_approval_now", "value": jobs.pending_approval},
+        {"field": "requeues", "value": jobs.requeues},
+        {"field": "reservations", "value": view.reservations.created},
+        {
+            "field": "reserved_device_hours",
+            "value": round(view.reservations.booked_device_hours, 3),
+        },
+    ]
+    sections = [format_table(summary, title="Fleet summary (analytics.report)")]
+    if view.owners:
+        sections.append(
+            format_table(
+                [
+                    {
+                        "owner": row.owner,
+                        "submitted": row.submitted,
+                        "completed": row.completed,
+                        "failed": row.failed,
+                        "cancelled": row.cancelled,
+                        "device_s": round(row.device_seconds, 1),
+                        "wait_s": round(row.queue_wait_s, 1),
+                        "burned_dh": round(row.credits_burned_device_hours, 3),
+                        "granted_dh": round(row.credits_granted_device_hours, 3),
+                    }
+                    for row in view.owners
+                ],
+                title="Owners — utilisation and credit burn",
+            )
+        )
+    queue_rows = [
+        {
+            "metric": name,
+            "samples": stats.samples,
+            "mean_s": round(stats.mean_s, 2),
+            "p50_s": round(stats.p50_s, 2),
+            "p90_s": round(stats.p90_s, 2),
+            "p99_s": round(stats.p99_s, 2),
+            "max_s": round(stats.max_s, 2),
+        }
+        for name, stats in (("queue_wait", view.queue_wait), ("run_time", view.run_time))
+    ]
+    sections.append(format_table(queue_rows, title="Job flow percentiles"))
+    if view.devices:
+        sections.append(
+            format_table(
+                [
+                    {
+                        "vantage_point": row.vantage_point,
+                        "device": row.device_serial,
+                        "assignments": row.assignments,
+                        "completed": row.completed,
+                        "failed": row.failed,
+                        "busy_s": round(row.busy_seconds, 1),
+                        "failure_rate": round(row.failure_rate, 3),
+                        "occupancy": round(row.occupancy, 3),
+                    }
+                    for row in view.devices
+                ],
+                title="Devices — occupancy and health",
+            )
+        )
+    if timeseries is not None and timeseries.buckets:
+        sections.append(
+            format_table(
+                [
+                    {
+                        "start_s": bucket.start_s,
+                        "submitted": bucket.submitted,
+                        "completed": bucket.completed,
+                        "failed": bucket.failed,
+                        "cancelled": bucket.cancelled,
+                    }
+                    for bucket in timeseries.buckets
+                ],
+                title=f"Fleet throughput ({timeseries.bucket_s:.0f} s buckets)",
+            )
+        )
+    return sections
+
+
+def _cmd_report(args) -> str:
+    token = args.token if args.token is not None else f"{args.username}-token"
+    if args.gateway is not None:
+        from repro.api.client import BatteryLabClient
+        from repro.api.gateway import JsonLinesTransport
+
+        host, _, port = args.gateway.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit("--gateway expects HOST:PORT")
+        tls_context = None
+        if args.cert_dir is not None:
+            from repro.accessserver.certificates import (
+                client_tls_context,
+                ensure_tls_material,
+            )
+
+            tls_context = client_tls_context(ensure_tls_material(args.cert_dir))
+        client = BatteryLabClient(
+            JsonLinesTransport(host, int(port), tls_context=tls_context),
+            args.username,
+            token,
+        )
+    else:
+        client = _ops_platform(args).client(username=args.username, token=token)
+    with client:
+        view = client.analytics_report(owner=args.owner)
+        timeseries = (
+            client.analytics_timeseries(args.bucket_s)
+            if args.bucket_s is not None
+            else None
+        )
+    return "\n\n".join(_report_sections(view, timeseries))
 
 
 def _cmd_serve(args) -> str:
@@ -624,6 +821,7 @@ _COMMANDS = {
     "reject": _cmd_reject,
     "grant": _cmd_grant,
     "register-vp": _cmd_register_vp,
+    "report": _cmd_report,
     "serve": _cmd_serve,
 }
 

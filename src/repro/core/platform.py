@@ -105,6 +105,11 @@ class BatteryLabPlatform:
         """The access server's persistence manager, when state was enabled."""
         return self.access_server.persistence
 
+    @property
+    def analytics(self):
+        """The live :class:`~repro.analytics.engine.AnalyticsEngine`, if enabled."""
+        return self.access_server.analytics
+
     def client(self, username: str = "experimenter", token: Optional[str] = None):
         """A :class:`~repro.api.client.BatteryLabClient` for this platform.
 
@@ -131,6 +136,7 @@ class BatteryLabPlatform:
         port: int = 0,
         tls_cert_dir: Optional[str] = None,
         assume_https: bool = True,
+        push_queue_limit: int = 256,
     ):
         """Start a JSON-lines socket gateway for this platform's API.
 
@@ -163,6 +169,7 @@ class BatteryLabPlatform:
             port=port,
             tls_context=tls_context,
             assume_https=assume_https,
+            push_queue_limit=push_queue_limit,
         )
         gateway.start()
         return gateway
@@ -332,6 +339,7 @@ def build_default_platform(
     reservation_admission: str = "ignore",
     state_dir: Optional[str] = None,
     persistence: bool = True,
+    analytics: bool = True,
 ) -> BatteryLabPlatform:
     """Build the paper's deployment: access server + the Imperial College vantage point.
 
@@ -362,6 +370,11 @@ def build_default_platform(
     persistence:
         Set to ``False`` to ignore ``state_dir`` entirely (no recovery, no
         journaling) — the CLI's ``--no-persistence``.
+    analytics:
+        Attach the live operations-analytics tap (on by default — the fold
+        is O(1) per event).  When persistence recovers prior state, the
+        analytics engine is seeded by a cold replay of that journal first,
+        so reports span restarts.
     """
     if device_count < 1:
         raise ValueError("device_count must be at least 1")
@@ -401,4 +414,8 @@ def build_default_platform(
     # re-queue jobs onto devices that are registered and executable.
     if state_dir is not None and persistence:
         access_server.enable_persistence(state_dir)
+    # Analytics attaches last so a recovered journal seeds the engine
+    # before the live tap starts folding new events.
+    if analytics:
+        access_server.enable_analytics()
     return platform

@@ -1,0 +1,280 @@
+"""Platform API v2 analytics operations: wire goldens + end-to-end.
+
+Pins the exact wire form of every analytics DTO (the same contract
+discipline as the v1/v2 golden suites) and drives ``analytics.report`` /
+``analytics.timeseries`` through the router, the in-process client, and a
+real gateway socket.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    AnalyticsReportRequest,
+    AnalyticsReportView,
+    AnalyticsTimeseriesRequest,
+    AnalyticsTimeseriesView,
+    ApiRouter,
+    BatteryLabClient,
+    DeviceUsageView,
+    JobCountsView,
+    JournalHealthView,
+    JsonLinesTransport,
+    NotFoundApiError,
+    OwnerUsageView,
+    PercentileStatsView,
+    ReservationStatsView,
+    TimeseriesBucketView,
+    ValidationApiError,
+)
+from repro.core.platform import build_default_platform
+
+#: Exact wire form of every analytics DTO — a change is a compat break.
+GOLDEN_ANALYTICS = [
+    (AnalyticsReportRequest(owner="alice"), {"owner": "alice"}),
+    (
+        PercentileStatsView(
+            samples=4, mean_s=2.5, p50_s=2.0, p90_s=4.0, p99_s=4.0, max_s=4.0
+        ),
+        {"samples": 4, "mean_s": 2.5, "p50_s": 2.0, "p90_s": 4.0, "p99_s": 4.0, "max_s": 4.0},
+    ),
+    (
+        JobCountsView(submitted=5, completed=3, failed=1, cancelled=1, requeues=2),
+        {
+            "submitted": 5, "completed": 3, "failed": 1, "cancelled": 1,
+            "rejected": 0, "requeues": 2, "running": 0, "queued": 0,
+            "pending_approval": 0,
+        },
+    ),
+    (
+        OwnerUsageView(
+            owner="alice", submitted=4, completed=3, failed=1,
+            device_seconds=360.0, queue_wait_s=120.0,
+            credits_burned_device_hours=0.1, credits_granted_device_hours=6.0,
+        ),
+        {
+            "owner": "alice", "submitted": 4, "completed": 3, "failed": 1,
+            "cancelled": 0, "rejected": 0, "device_seconds": 360.0,
+            "queue_wait_s": 120.0, "credits_burned_device_hours": 0.1,
+            "credits_granted_device_hours": 6.0,
+        },
+    ),
+    (
+        DeviceUsageView(
+            vantage_point="node1", device_serial="node1-dev00",
+            assignments=4, completed=3, failed=1, busy_seconds=400.0,
+            failure_rate=0.25, occupancy=0.5,
+        ),
+        {
+            "vantage_point": "node1", "device_serial": "node1-dev00",
+            "assignments": 4, "requeues": 0, "completed": 3, "failed": 1,
+            "busy_seconds": 400.0, "failure_rate": 0.25, "occupancy": 0.5,
+        },
+    ),
+    (
+        ReservationStatsView(created=2, cancelled=1, booked_device_hours=0.5),
+        {"created": 2, "cancelled": 1, "booked_device_hours": 0.5},
+    ),
+    (
+        AnalyticsTimeseriesRequest(bucket_s=300.0),
+        {"bucket_s": 300.0},
+    ),
+    (
+        TimeseriesBucketView(start_s=0.0, submitted=3, completed=2, failed=1),
+        {"start_s": 0.0, "submitted": 3, "completed": 2, "failed": 1, "cancelled": 0},
+    ),
+    (
+        JournalHealthView(
+            records=12, records_since_snapshot=2, snapshots_written=3,
+            last_snapshot_at=120.5,
+        ),
+        {
+            "records": 12, "records_since_snapshot": 2,
+            "snapshots_written": 3, "last_snapshot_at": 120.5,
+        },
+    ),
+]
+
+
+class TestAnalyticsWireGoldens:
+    @pytest.mark.parametrize(
+        "dto,wire", GOLDEN_ANALYTICS, ids=[type(dto).__name__ for dto, _ in GOLDEN_ANALYTICS]
+    )
+    def test_to_wire_matches_golden(self, dto, wire):
+        assert dto.to_wire() == wire
+
+    @pytest.mark.parametrize(
+        "dto,wire", GOLDEN_ANALYTICS, ids=[type(dto).__name__ for dto, _ in GOLDEN_ANALYTICS]
+    )
+    def test_round_trip_through_json(self, dto, wire):
+        recovered = type(dto).from_wire(json.loads(json.dumps(dto.to_wire())))
+        assert recovered == dto
+
+    def test_report_view_round_trips(self):
+        view = AnalyticsReportView(
+            records_folded=10,
+            first_ts=0.0,
+            last_ts=600.0,
+            jobs=JobCountsView(submitted=2, completed=2),
+            owners=[OwnerUsageView(owner="alice", submitted=2, completed=2)],
+            queue_wait=PercentileStatsView(samples=2, p50_s=1.0),
+            run_time=PercentileStatsView(samples=2, p50_s=2.0),
+            devices=[DeviceUsageView(vantage_point="node1", device_serial="d0")],
+            reservations=ReservationStatsView(created=1),
+        )
+        recovered = AnalyticsReportView.from_wire(json.loads(json.dumps(view.to_wire())))
+        assert recovered == view
+
+    def test_from_report_filters_owner(self):
+        report = {
+            "records_folded": 3,
+            "window": {"first_ts": 0.0, "last_ts": 1.0},
+            "jobs": {"submitted": 2},
+            "owners": [
+                {"owner": "alice", "submitted": 1},
+                {"owner": "bob", "submitted": 1},
+            ],
+            "queue_wait": {"samples": 0},
+            "run_time": {"samples": 0},
+            "devices": [],
+            "reservations": {},
+        }
+        view = AnalyticsReportView.from_report(report, owner="bob")
+        assert [row.owner for row in view.owners] == ["bob"]
+        everyone = AnalyticsReportView.from_report(report)
+        assert [row.owner for row in everyone.owners] == ["alice", "bob"]
+
+
+@pytest.fixture()
+def platform():
+    return build_default_platform(seed=31, browsers=("chrome",))
+
+
+def run_small_workload(platform, jobs=3):
+    client = platform.client()
+    for index in range(jobs):
+        client.submit_job(f"ops-{index}", "noop", timeout_s=60.0)
+    platform.run_queue()
+    return client
+
+
+class TestAnalyticsOps:
+    def test_report_round_trips_in_process(self, platform):
+        client = run_small_workload(platform)
+        view = client.analytics_report()
+        assert view.jobs.submitted == 3
+        assert view.jobs.completed == 3
+        assert view.owners[0].owner == "experimenter"
+        assert view.records_folded == platform.analytics.records_folded
+
+    def test_report_owner_filter(self, platform):
+        client = run_small_workload(platform)
+        admin = platform.client(username="admin")
+        assert client.analytics_report(owner="experimenter").owners != []
+        assert admin.analytics_report(owner="nobody").owners == []
+
+    def test_owner_rows_restricted_to_caller_or_admin(self, platform):
+        """The owners table carries credit burn — the same data
+        credits.balance guards with owner-or-admin, so the report applies
+        the identical rule: non-admins see only their own row."""
+        from repro.api import PermissionApiError
+
+        client = run_small_workload(platform)
+        admin = platform.client(username="admin")
+        admin.create_user("mallory", "experimenter", "mallory-token")
+        mallory = platform.client(username="mallory", token="mallory-token")
+        assert [row.owner for row in mallory.analytics_report().owners] == []
+        with pytest.raises(PermissionApiError):
+            mallory.analytics_report(owner="experimenter")
+        # Fleet-wide aggregates stay visible, like server.status.
+        assert mallory.analytics_report().jobs.submitted == 3
+        assert [row.owner for row in admin.analytics_report().owners] == [
+            "experimenter"
+        ]
+
+    def test_timeseries_round_trips_in_process(self, platform):
+        client = run_small_workload(platform)
+        series = client.analytics_timeseries(bucket_s=60.0)
+        assert series.bucket_s == 60.0
+        assert sum(bucket.submitted for bucket in series.buckets) == 3
+
+    def test_timeseries_rejects_bad_bucket(self, platform):
+        client = run_small_workload(platform)
+        with pytest.raises(ValidationApiError):
+            client.analytics_timeseries(bucket_s=0.0)
+
+    def test_requires_v2_envelope(self, platform):
+        router = ApiRouter(platform.access_server)
+        response = router.handle(
+            {
+                "op": "analytics.report",
+                "version": "1.0",
+                "auth": {"username": "experimenter", "token": "experimenter-token"},
+            }
+        )
+        assert response["error"]["code"] == "request.version_unsupported"
+
+    def test_not_found_without_analytics_or_journal(self):
+        platform = build_default_platform(seed=31, browsers=("chrome",), analytics=False)
+        with pytest.raises(NotFoundApiError):
+            platform.client().analytics_report()
+
+    def test_cold_replay_fallback_without_live_engine(self):
+        """A persistence-backed server without live analytics serves the
+        report by replaying its own journal per request."""
+        from repro.accessserver.persistence import InMemoryBackend
+
+        platform = build_default_platform(seed=31, browsers=("chrome",), analytics=False)
+        platform.access_server.enable_persistence(InMemoryBackend())
+        client = run_small_workload(platform)
+        view = client.analytics_report()
+        assert view.jobs.submitted == 3
+        assert view.jobs.completed == 3
+
+    def test_report_equals_engine_report(self, platform):
+        """The wire view is a faithful projection of the engine's dict."""
+        run_small_workload(platform)
+        report = platform.analytics.report()
+        view = platform.client().analytics_report()
+        assert view.jobs.submitted == report["jobs"]["submitted"]
+        assert [row.owner for row in view.owners] == [
+            row["owner"] for row in report["owners"]
+        ]
+        assert view.queue_wait.samples == report["queue_wait"]["samples"]
+        assert view.first_ts == report["window"]["first_ts"]
+
+
+class TestAnalyticsOverGateway:
+    def test_report_and_timeseries_over_a_real_socket(self, platform):
+        run_small_workload(platform)
+        gateway = platform.serve_gateway()
+        host, port = gateway.address
+        try:
+            with BatteryLabClient(
+                JsonLinesTransport(host, port, timeout_s=10.0),
+                "experimenter",
+                "experimenter-token",
+            ) as client:
+                view = client.analytics_report()
+                assert view.jobs.completed == 3
+                assert view.owners[0].submitted == 3
+                series = client.analytics_timeseries(bucket_s=300.0)
+                assert sum(bucket.completed for bucket in series.buckets) == 3
+        finally:
+            gateway.stop()
+
+    def test_gateway_report_matches_in_process(self, platform):
+        run_small_workload(platform)
+        in_process = platform.client().analytics_report()
+        gateway = platform.serve_gateway()
+        host, port = gateway.address
+        try:
+            with BatteryLabClient(
+                JsonLinesTransport(host, port, timeout_s=10.0),
+                "experimenter",
+                "experimenter-token",
+            ) as client:
+                assert client.analytics_report() == in_process
+        finally:
+            gateway.stop()

@@ -1,0 +1,316 @@
+"""Slow-consumer back-pressure on the gateway's streaming bridge.
+
+The simulation thread that publishes a bus event must never block on a
+consumer's socket: pushes go through a bounded per-connection queue
+drained by a pump thread.  Policy under overflow: drop the *oldest*
+queued event frame (terminal ``end`` frames survive) and surface the loss
+as a ``dropped`` counter — matching the ``seq`` gap — on the next frame
+delivered for that subscription.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api import ApiPush
+from repro.api.gateway import _Connection
+from repro.core.platform import build_default_platform
+
+
+def _push_frame_dict(seq, subscription_id=1, frame="event", blob_size=1024):
+    return {
+        "kind": "push",
+        "subscription_id": subscription_id,
+        "frame": frame,
+        "seq": seq,
+        "topic": "dispatch.flood",
+        "timestamp": 0.0,
+        "payload": {"blob": "x" * blob_size},
+        "version": "2.0",
+    }
+
+
+def _read_frames(sock, stop, timeout_s=10.0):
+    """Read newline-framed JSON off ``sock`` until ``stop(frame)`` is true."""
+    sock.settimeout(timeout_s)
+    reader = sock.makefile("rb")
+    frames = []
+    while True:
+        line = reader.readline()
+        assert line, "peer closed before the terminator frame arrived"
+        frame = json.loads(line)
+        frames.append(frame)
+        if stop(frame):
+            return frames
+
+
+class TestConnectionPushPump:
+    def _stalled_pair(self, sndbuf=8192):
+        left, right = socket.socketpair()
+        left.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, sndbuf)
+        return left, right
+
+    def test_push_frame_never_blocks_the_publisher(self):
+        left, right = self._stalled_pair()
+        connection = _Connection(left, push_queue_limit=8)
+        total = 300
+        started = time.perf_counter()
+        for seq in range(1, total + 1):
+            connection.push_frame(_push_frame_dict(seq))
+        elapsed = time.perf_counter() - started
+        # 300 KiB against an 8 KiB send buffer nobody reads: synchronous
+        # writes would wedge; the bounded queue must stay O(enqueue).
+        assert elapsed < 2.0, f"publisher blocked for {elapsed:.2f}s"
+
+        received = _read_frames(right, lambda frame: frame.get("seq") == total)
+        dropped = sum(frame.get("dropped", 0) for frame in received)
+        assert dropped > 0, "the 8-deep queue cannot hold 300 unread frames"
+        assert len(received) + dropped == total
+        # seq gaps match the surfaced drop counters frame by frame.
+        previous = 0
+        for frame in received:
+            assert frame["seq"] == previous + frame.get("dropped", 0) + 1
+            previous = frame["seq"]
+        connection.close()
+        right.close()
+
+    def test_end_frames_survive_overflow(self):
+        left, right = self._stalled_pair()
+        connection = _Connection(left, push_queue_limit=4)
+        # Oversized frames so the pump wedges on the first send immediately.
+        seq = 0
+        for _ in range(3):
+            seq += 1
+            connection.push_frame(_push_frame_dict(seq, blob_size=65536))
+        seq += 1
+        end_seq = seq
+        connection.push_frame(
+            _push_frame_dict(end_seq, frame="end", blob_size=64)
+        )
+        for _ in range(20):
+            seq += 1
+            connection.push_frame(_push_frame_dict(seq, blob_size=65536))
+        # Terminator on another subscription: end frames are never dropped,
+        # so once it arrives everything surviving has been delivered.
+        connection.push_frame(
+            _push_frame_dict(1, subscription_id=2, frame="end", blob_size=64)
+        )
+
+        received = _read_frames(
+            right, lambda frame: frame.get("subscription_id") == 2, timeout_s=20.0
+        )
+        kinds = [
+            (frame.get("subscription_id"), frame.get("frame"), frame.get("seq"))
+            for frame in received
+        ]
+        assert (1, "end", end_seq) in kinds, "the watch end frame was dropped"
+        dropped = sum(frame.get("dropped", 0) for frame in received)
+        assert dropped > 0
+        connection.close()
+        right.close()
+
+    def test_push_after_close_raises_for_subscription_teardown(self):
+        left, right = self._stalled_pair()
+        connection = _Connection(left, push_queue_limit=4)
+        connection.close()
+        with pytest.raises(OSError):
+            connection.push_frame(_push_frame_dict(1))
+        right.close()
+
+    def test_dead_socket_marks_connection_closed(self):
+        """A half-open peer fails writes before the reader sees EOF; the
+        pump must mark the connection closed so later pushes raise and the
+        router can tear the subscriptions down instead of leaking them."""
+        left, right = socket.socketpair()
+        connection = _Connection(left, push_queue_limit=4)
+        right.close()  # the peer dies; writes will hit EPIPE
+        deadline = time.time() + 2.0
+        raised = False
+        while time.time() < deadline:
+            try:
+                connection.push_frame(_push_frame_dict(1))
+            except OSError:
+                raised = True
+                break
+            time.sleep(0.01)
+        assert raised, "push_frame kept accepting frames on a dead connection"
+        connection.close()
+
+    def test_event_newcomer_cannot_evict_a_queued_end_frame(self):
+        """With only end frames evictable, an incoming ordinary event is
+        the drop — a watcher must never lose its completion frame."""
+        left, right = self._stalled_pair()
+        connection = _Connection(left, push_queue_limit=1)
+        # Oversized first frame wedges the pump in sendall, emptying the
+        # queue; the end frame then occupies the single queue slot.
+        connection.push_frame(_push_frame_dict(1, blob_size=65536))
+        deadline = time.time() + 2.0
+        while connection._push_queue and time.time() < deadline:
+            time.sleep(0.005)  # wait for the pump to dequeue frame 1
+        end_seq = 2
+        connection.push_frame(_push_frame_dict(end_seq, frame="end", blob_size=64))
+        connection.push_frame(_push_frame_dict(3, blob_size=64))  # must lose
+
+        received = _read_frames(
+            right, lambda frame: frame.get("frame") == "end", timeout_s=10.0
+        )
+        end_frame = received[-1]
+        assert end_frame["seq"] == end_seq
+        assert end_frame.get("dropped", 0) == 1  # the evicted newcomer
+        connection.close()
+        right.close()
+
+    def test_end_frames_bypass_the_queue_bound(self):
+        """Two watchers terminating into a stalled 1-deep queue must both
+        receive their end frames — ends are never sacrificed to ends."""
+        left, right = self._stalled_pair()
+        connection = _Connection(left, push_queue_limit=1)
+        connection.push_frame(_push_frame_dict(1, blob_size=65536))
+        deadline = time.time() + 2.0
+        while connection._push_queue and time.time() < deadline:
+            time.sleep(0.005)  # pump holds frame 1, queue empty
+        connection.push_frame(_push_frame_dict(2, frame="end", blob_size=64))
+        connection.push_frame(
+            _push_frame_dict(1, subscription_id=2, frame="end", blob_size=64)
+        )
+
+        received = _read_frames(
+            right, lambda frame: frame.get("subscription_id") == 2, timeout_s=10.0
+        )
+        frames = {(f.get("subscription_id"), f.get("frame")) for f in received}
+        assert (1, "end") in frames and (2, "end") in frames
+        assert all(f.get("dropped", 0) == 0 for f in received)
+        connection.close()
+        right.close()
+
+    def test_bad_queue_limit_fails_at_gateway_construction(self):
+        from repro.api import ApiGateway
+
+        with pytest.raises(ValueError):
+            ApiGateway(router=None, push_queue_limit=0)
+
+
+class TestGatewayBackpressure:
+    def test_stalled_subscriber_does_not_block_the_bus(self):
+        """Regression: a subscriber that stops reading must not stall the
+        simulation thread publishing bus events, and the frames it later
+        reads must account for every published event via ``dropped``."""
+        platform = build_default_platform(seed=41, browsers=("chrome",))
+        server = platform.access_server
+        gateway = platform.serve_gateway(push_queue_limit=16)
+        host, port = gateway.address
+        raw = socket.create_connection((host, port), timeout=10.0)
+        try:
+            raw.sendall(
+                (
+                    json.dumps(
+                        {
+                            "op": "events.subscribe",
+                            "version": "2.0",
+                            "auth": {
+                                "username": "experimenter",
+                                "token": "experimenter-token",
+                            },
+                            "payload": {"topic_prefix": "dispatch."},
+                            "request_id": 1,
+                        }
+                    )
+                    + "\n"
+                ).encode("utf-8")
+            )
+            reader = raw.makefile("rb")
+            raw.settimeout(10.0)
+            ack = json.loads(reader.readline())
+            assert ack["ok"] is True
+
+            # The subscriber now stalls.  Flood enough oversized events to
+            # overrun every kernel buffer; the publisher (this thread — the
+            # stand-in for the simulation/dispatch thread) must not block.
+            total = 2000
+            started = time.perf_counter()
+            for index in range(1, total + 1):
+                server.events.publish(
+                    "dispatch.flood", job_id=index, blob="x" * 4096
+                )
+            elapsed = time.perf_counter() - started
+            assert elapsed < 5.0, f"bus publish blocked for {elapsed:.2f}s"
+
+            frames = []
+            dropped = 0
+            while True:
+                frame = json.loads(reader.readline())
+                frames.append(frame)
+                dropped += frame.get("dropped", 0)
+                if frame["seq"] == total:
+                    break
+            assert dropped > 0, "a 16-deep queue cannot hold a 2000-event flood"
+            assert len(frames) + dropped == total
+        finally:
+            raw.close()
+            gateway.stop()
+
+    def test_consumer_within_queue_bound_sees_no_drops(self):
+        """Bursts that fit the (default 256-deep) queue lose nothing, and
+        every frame arrives in order with gap-free sequence numbers."""
+        platform = build_default_platform(seed=41, browsers=("chrome",))
+        server = platform.access_server
+        gateway = platform.serve_gateway()
+        host, port = gateway.address
+        raw = socket.create_connection((host, port), timeout=10.0)
+        try:
+            raw.sendall(
+                (
+                    json.dumps(
+                        {
+                            "op": "events.subscribe",
+                            "version": "2.0",
+                            "auth": {
+                                "username": "experimenter",
+                                "token": "experimenter-token",
+                            },
+                            "payload": {"topic_prefix": "dispatch."},
+                            "request_id": 1,
+                        }
+                    )
+                    + "\n"
+                ).encode("utf-8")
+            )
+            reader = raw.makefile("rb")
+            raw.settimeout(10.0)
+            assert json.loads(reader.readline())["ok"] is True
+
+            total = 50
+            publisher_done = threading.Event()
+
+            def publish():
+                for index in range(1, total + 1):
+                    server.events.publish("dispatch.trickle", job_id=index)
+                publisher_done.set()
+
+            thread = threading.Thread(target=publish)
+            thread.start()
+            frames = []
+            while len(frames) < total:
+                frames.append(json.loads(reader.readline()))
+            thread.join(timeout=5.0)
+            assert publisher_done.is_set()
+            assert all("dropped" not in frame for frame in frames)
+            assert [frame["seq"] for frame in frames] == list(range(1, total + 1))
+        finally:
+            raw.close()
+            gateway.stop()
+
+
+class TestDroppedOnTheWireModel:
+    def test_dropped_elided_at_zero(self):
+        frame = ApiPush(subscription_id=1, seq=3)
+        assert "dropped" not in frame.to_wire()  # v2 golden frames intact
+
+    def test_dropped_round_trips_when_set(self):
+        frame = ApiPush(subscription_id=1, seq=9, dropped=4)
+        wire = json.loads(json.dumps(frame.to_wire()))
+        assert wire["dropped"] == 4
+        assert ApiPush.from_wire(wire).dropped == 4

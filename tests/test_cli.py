@@ -105,3 +105,82 @@ class TestApiSubcommands:
     def test_scheduling_policy_choices_include_credit(self):
         args = build_parser().parse_args(["--scheduling-policy", "credit", "fleet"])
         assert args.scheduling_policy == "credit"
+
+    def test_report_renders_operations_tables(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["--state-dir", state, "submit", "--name", "ops"]) == 0
+        capsys.readouterr()
+        assert main(["--state-dir", state, "report", "--bucket-s", "60"]) == 0
+        output = capsys.readouterr().out
+        assert "Fleet summary (analytics.report)" in output
+        assert "Job flow percentiles" in output
+        assert "Fleet throughput" in output
+
+    def test_report_cold_replays_a_state_dir(self, tmp_path, capsys):
+        """A later invocation's report covers the earlier run's journal."""
+        import re
+
+        state = str(tmp_path / "state")
+        assert main(["--state-dir", state, "submit", "--name", "nightly"]) == 0
+        capsys.readouterr()
+        assert main(["--state-dir", state, "report"]) == 0
+        output = capsys.readouterr().out
+        assert re.search(r"submitted\s+1", output)
+        assert re.search(r"completed\s+1", output)
+        assert "nightly" not in output  # aggregates, not job listings
+        assert "experimenter" in output  # the owners table
+
+    def test_report_gateway_argument_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["report", "--gateway", "not-an-address"])
+
+    def test_report_gateway_over_tls(self, tmp_path, capsys):
+        """report --gateway --cert-dir reaches a 'serve --tls' gateway."""
+        from repro.accessserver.certificates import openssl_available
+        from repro.core.platform import build_default_platform
+
+        if not openssl_available():
+            pytest.skip("the openssl binary is required to mint TLS material")
+        cert_dir = str(tmp_path / "tls")
+        platform = build_default_platform(seed=3, browsers=("chrome",))
+        client = platform.client()
+        client.submit_job("tls-job", "noop")
+        platform.run_queue()
+        gateway = platform.serve_gateway(tls_cert_dir=cert_dir)
+        host, port = gateway.address
+        try:
+            assert (
+                main(
+                    [
+                        "report",
+                        "--gateway",
+                        f"{host}:{port}",
+                        "--cert-dir",
+                        cert_dir,
+                    ]
+                )
+                == 0
+            )
+            output = capsys.readouterr().out
+            assert "Fleet summary (analytics.report)" in output
+        finally:
+            gateway.stop()
+
+    def test_report_as_admin_sees_every_owner(self, tmp_path, capsys):
+        """--username admin unlocks the full owners table locally (the
+        bootstrap token is derived, no --token needed)."""
+        state = str(tmp_path / "state")
+        assert main(["--state-dir", state, "submit", "--name", "job"]) == 0
+        capsys.readouterr()
+        assert main(["--state-dir", state, "report", "--username", "admin"]) == 0
+        output = capsys.readouterr().out
+        assert "experimenter" in output  # another owner's row, admin-only
+
+    def test_status_surfaces_journal_health(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["--state-dir", state, "submit", "--name", "j", "--no-run"]) == 0
+        capsys.readouterr()
+        assert main(["--state-dir", state, "status"]) == 0
+        output = capsys.readouterr().out
+        assert "journal_records" in output
+        assert "records_since_snapshot" in output
