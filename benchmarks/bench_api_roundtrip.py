@@ -13,8 +13,19 @@ transports the SDK ships:
 
 Two operation mixes are timed per transport: ``server.status`` reads (the
 cheapest full round trip) and ``job.submit`` writes (envelope + DTO
-validation + scheduler enqueue).  Results land in
-``BENCH_api_roundtrip.json`` at the repository root.
+validation + scheduler enqueue).  On top of the serial SDK loops, the
+selector-loop gateway is measured under load shapes the thread-per-
+connection design could not sustain:
+
+* **pipelined** — the SDK's ``client.pipeline()`` batches: many in-flight
+  requests per connection, answered in order, amortizing the per-request
+  socket round trip;
+* **concurrent sweep** — 1/16/64/256 simultaneous connections, each
+  pipelining pre-encoded ``server.status`` lines and counting newline-
+  framed responses (byte-level load generators, so the sweep measures
+  gateway capacity rather than client-side DTO decoding).
+
+Results land in ``BENCH_api_roundtrip.json`` at the repository root.
 
 Run standalone with ``PYTHONPATH=src python benchmarks/bench_api_roundtrip.py``
 or under pytest-benchmark via
@@ -24,9 +35,11 @@ or under pytest-benchmark via
 from __future__ import annotations
 
 import json
+import socket
+import threading
 import time
 from pathlib import Path
-from typing import Dict
+from typing import Dict, List
 
 from repro.api import ApiGateway, ApiRouter, BatteryLabClient, InProcessTransport
 from repro.api.gateway import JsonLinesTransport
@@ -39,6 +52,11 @@ INPROC_READS = 2000
 INPROC_SUBMITS = 500
 GATEWAY_READS = 500
 GATEWAY_SUBMITS = 200
+PIPELINED_READS = 3000
+PIPELINE_BATCH = 64
+SWEEP_CLIENTS = (1, 16, 64, 256)
+SWEEP_READS = 8000  # total per sweep level, split across the clients
+SWEEP_BATCH = 64  # requests in flight per connection
 
 #: Sanity floor: the in-process API layer must sustain at least this many
 #: status reads per second, or the envelope/DTO path has gone quadratic.
@@ -74,6 +92,97 @@ def _measure(client: BatteryLabClient, reads: int, submits: int) -> Dict[str, fl
     }
 
 
+def _status_line(request_id: int = 1) -> bytes:
+    """One pre-encoded ``server.status`` request line (byte-level client)."""
+    return (
+        json.dumps(
+            {
+                "op": "server.status",
+                "version": "1.0",
+                "auth": {"username": "experimenter", "token": "experimenter-token"},
+                "payload": {},
+                "request_id": request_id,
+            }
+        ).encode("utf-8")
+        + b"\n"
+    )
+
+
+def _measure_pipelined(client: BatteryLabClient, reads: int, batch: int) -> float:
+    done = 0
+    started = time.perf_counter()
+    while done < reads:
+        pipe = client.pipeline()
+        for _ in range(min(batch, reads - done)):
+            pipe.server_status()
+        done += len(pipe)
+        pipe.flush()
+    return time.perf_counter() - started
+
+
+def _sweep_worker(
+    host: str,
+    port: int,
+    line: bytes,
+    per_client: int,
+    start: threading.Event,
+    errors: List[BaseException],
+) -> None:
+    """Byte-level load generator: pipeline pre-encoded request lines and
+    count newline-framed responses (responses contain no embedded LF)."""
+    try:
+        with socket.create_connection((host, port), timeout=60.0) as sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            start.wait()
+            received = 0
+            while received < per_client:
+                burst = min(SWEEP_BATCH, per_client - received)
+                sock.sendall(line * burst)
+                need = burst
+                while need:
+                    chunk = sock.recv(262144)
+                    if not chunk:
+                        raise ConnectionError("gateway closed mid-sweep")
+                    need -= chunk.count(b"\n")
+                received += burst
+    except BaseException as exc:  # noqa: BLE001 - surfaced to the main thread
+        errors.append(exc)
+
+
+def _measure_sweep(host: str, port: int) -> Dict[str, object]:
+    line = _status_line()
+    sweep: Dict[str, object] = {}
+    for clients in SWEEP_CLIENTS:
+        per_client = max(1, SWEEP_READS // clients)
+        total = per_client * clients
+        start = threading.Event()
+        errors: List[BaseException] = []
+        threads = [
+            threading.Thread(
+                target=_sweep_worker,
+                args=(host, port, line, per_client, start, errors),
+            )
+            for _ in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05 if clients < 64 else 0.3)  # let everyone connect
+        started = time.perf_counter()
+        start.set()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+        sweep[str(clients)] = {
+            "clients": clients,
+            "reads": total,
+            "elapsed_s": round(elapsed, 4),
+            "reads_per_s": round(total / elapsed, 1) if elapsed else float("inf"),
+        }
+    return sweep
+
+
 def run_api_roundtrip_benchmark() -> Dict[str, object]:
     # Each transport gets a fresh platform: submitted jobs accumulate in the
     # queue (and in the server-status orphan scan), so sharing one server
@@ -103,6 +212,33 @@ def run_api_roundtrip_benchmark() -> Dict[str, object]:
     finally:
         gateway.stop()
 
+    # The pipelined and sweep phases also get a fresh platform: the serial
+    # phase parks GATEWAY_SUBMITS jobs in the queue, and server.status runs
+    # an orphan scan that is O(queue depth) — reusing that server would
+    # measure the scan, not gateway capacity.
+    burst_platform = build_default_platform(seed=13, browsers=("chrome",))
+    burst_gateway = ApiGateway(ApiRouter(burst_platform.access_server))
+    host, port = burst_gateway.start()
+    try:
+        burst_client = BatteryLabClient(
+            JsonLinesTransport(host, port, timeout_s=30.0),
+            "experimenter",
+            "experimenter-token",
+        )
+        pipelined_seconds = _measure_pipelined(
+            burst_client, PIPELINED_READS, PIPELINE_BATCH
+        )
+        burst_client.close()
+        sweep = _measure_sweep(host, port)
+    finally:
+        burst_gateway.stop()
+
+    pipelined_reads_per_s = (
+        round(PIPELINED_READS / pipelined_seconds, 1)
+        if pipelined_seconds
+        else float("inf")
+    )
+    peak = max(level["reads_per_s"] for level in sweep.values())
     return {
         "benchmark": "api_roundtrip",
         "api_version": "1.0",
@@ -110,8 +246,12 @@ def run_api_roundtrip_benchmark() -> Dict[str, object]:
         "inproc_submits_per_s": inproc["submits_per_s"],
         "gateway_reads_per_s": remote["reads_per_s"],
         "gateway_submits_per_s": remote["submits_per_s"],
+        "gateway_pipelined_reads_per_s": pipelined_reads_per_s,
+        "gateway_peak_reads_per_s": peak,
+        "gateway_sweep": sweep,
         "inproc": inproc,
         "gateway": remote,
+        "pipeline_batch": PIPELINE_BATCH,
         "min_inproc_reads_per_s": MIN_INPROC_READS_PER_S,
     }
 
@@ -139,6 +279,17 @@ def test_api_roundtrip(benchmark):
                 "reads_per_s": result["gateway_reads_per_s"],
                 "submits_per_s": result["gateway_submits_per_s"],
             },
+            {
+                "transport": f"gateway pipelined (batch {PIPELINE_BATCH})",
+                "reads_per_s": result["gateway_pipelined_reads_per_s"],
+            },
+            *(
+                {
+                    "transport": f"gateway sweep ({level['clients']} clients)",
+                    "reads_per_s": level["reads_per_s"],
+                }
+                for level in result["gateway_sweep"].values()
+            ),
         ],
     )
     assert result["inproc_reads_per_s"] >= MIN_INPROC_READS_PER_S

@@ -32,6 +32,8 @@ RESULT_PATH = REPO_ROOT / "BENCH_event_stream.json"
 
 SUBSCRIBERS = 50
 EVENTS = 2_000
+KILO_SUBSCRIBERS = 1_000
+KILO_EVENTS = 200
 
 #: Sanity floor: the push pipeline must sustain at least this many
 #: subscriber deliveries per second, or frame construction has gone
@@ -51,9 +53,7 @@ class _CountingSink:
         self.frames += 1
 
 
-def run_event_stream_benchmark(
-    subscribers: int = SUBSCRIBERS, events: int = EVENTS
-) -> Dict[str, object]:
+def _measure_fanout(subscribers: int, events: int) -> Dict[str, float]:
     platform = build_default_platform(seed=41, browsers=("chrome",))
     server = platform.access_server
     router = ApiRouter(server)
@@ -92,8 +92,6 @@ def run_event_stream_benchmark(
     deliveries = sum(sink.frames for sink in sinks)
     assert deliveries == subscribers * events, (deliveries, subscribers * events)
     return {
-        "benchmark": "event_stream",
-        "api_version": "2.0",
         "subscribers": subscribers,
         "events": events,
         "deliveries": deliveries,
@@ -101,6 +99,26 @@ def run_event_stream_benchmark(
         "events_per_s": round(events / elapsed, 1) if elapsed else float("inf"),
         "deliveries_per_s": round(deliveries / elapsed, 1) if elapsed else float("inf"),
         "fanout_latency_us": round(elapsed / events * 1e6, 2) if events else 0.0,
+    }
+
+
+def run_event_stream_benchmark(
+    subscribers: int = SUBSCRIBERS, events: int = EVENTS
+) -> Dict[str, object]:
+    base = _measure_fanout(subscribers, events)
+    # The connection-scalability shape: a thousand concurrent subscribers
+    # (the selector-loop gateway's target population) each receiving every
+    # event.  Fewer events keep the deliveries count comparable.
+    kilo = _measure_fanout(KILO_SUBSCRIBERS, KILO_EVENTS)
+    return {
+        "benchmark": "event_stream",
+        "api_version": "2.0",
+        **base,
+        "kilo_subscribers": kilo["subscribers"],
+        "kilo_events": kilo["events"],
+        "kilo_deliveries": kilo["deliveries"],
+        "kilo_deliveries_per_s": kilo["deliveries_per_s"],
+        "kilo_fanout_latency_us": kilo["fanout_latency_us"],
         "min_deliveries_per_s": MIN_DELIVERIES_PER_S,
     }
 
@@ -123,9 +141,16 @@ def test_event_stream(benchmark):
                 "events": result["events"],
                 "deliveries_per_s": result["deliveries_per_s"],
                 "fanout_latency_us": result["fanout_latency_us"],
-            }
+            },
+            {
+                "subscribers": result["kilo_subscribers"],
+                "events": result["kilo_events"],
+                "deliveries_per_s": result["kilo_deliveries_per_s"],
+                "fanout_latency_us": result["kilo_fanout_latency_us"],
+            },
         ],
     )
+    assert result["kilo_deliveries_per_s"] >= MIN_DELIVERIES_PER_S
     assert result["deliveries_per_s"] >= MIN_DELIVERIES_PER_S
 
 

@@ -92,6 +92,12 @@ class JobScheduler:
     def registered_devices(self) -> List[str]:
         return self._engine.slots.keys()
 
+    def device_count(self) -> int:
+        """Number of registered device slots — the maximum width one
+        dispatch wave can reach, and therefore the natural worker-pool
+        size for parallel wave execution."""
+        return len(self._engine.slots.keys())
+
     def device_busy(self, vantage_point: str, device_serial: str) -> bool:
         return self._engine.slots.is_busy(vantage_point, device_serial)
 

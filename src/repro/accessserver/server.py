@@ -138,6 +138,8 @@ class AccessServer(Entity):
         self._persistence = None
         self._analytics = None
         self._analytics_tap = None
+        #: Opt-in concurrent payload execution; see enable_parallel_waves.
+        self._wave_executor = None
         # (owner, idempotency_key) -> job_id: flaky-transport retries of the
         # same submission return the original job instead of double-queueing.
         self._idempotent_submissions: Dict[Tuple[str, str], int] = {}
@@ -488,6 +490,14 @@ class AccessServer(Entity):
         freed devices feed the next wave.  Each job's power-meter logs and
         artefacts end up in its workspace.  Returns the jobs that were
         executed by this call.
+
+        With :meth:`enable_parallel_waves` active, each wave's *payloads*
+        run concurrently on a worker pool while every state mutation —
+        admission, status transitions, device release, credit billing,
+        journal appends, EventBus publishes — stays on the calling thread
+        in deterministic assignment order, so journals and event streams
+        match serial execution byte for byte (see the determinism contract
+        on :meth:`enable_parallel_waves`).
         """
         executed: List[Job] = []
         while len(executed) < max_jobs:
@@ -498,23 +508,65 @@ class AccessServer(Entity):
             )
             if not assignments:
                 break
-            for assignment in assignments:
-                if self._execute_assignment(assignment):
-                    executed.append(assignment.job)
+            if self._wave_executor is not None and len(assignments) > 1:
+                executed.extend(self._execute_wave_parallel(assignments))
+            else:
+                for assignment in assignments:
+                    if self._execute_assignment(assignment):
+                        executed.append(assignment.job)
         return executed
 
     def _execute_assignment(self, assignment: Assignment) -> bool:
         """Run one dispatched job to completion and settle its bookkeeping.
 
-        Returns ``False`` without executing when the job left the RUNNING
+        The serial composition of the three-phase execution pipeline —
+        admit, run, settle — with nothing between the phases, which is
+        exactly the historical one-at-a-time behaviour.  Returns ``False``
+        without executing when the job was not admitted (left the RUNNING
+        state while waiting for its turn in the wave, or lost its
+        execution-time eligibility re-check).
+        """
+        admitted = self._admit_assignment(assignment)
+        if admitted is None:
+            return False
+        admitted.run_payload()
+        self._settle_assignment(admitted)
+        return True
+
+    def _execute_wave_parallel(self, assignments: List[Assignment]) -> List[Job]:
+        """Run one wave's payloads concurrently; mutations stay serialized.
+
+        Admission happens first, in assignment order, on this thread; the
+        admitted payloads then run together on the wave executor's pool
+        (a barrier — the call returns when all are done); finally every
+        outcome is settled in assignment order on this thread again.
+        """
+        admitted = []
+        for assignment in assignments:
+            admission = self._admit_assignment(assignment)
+            if admission is not None:
+                admitted.append(admission)
+        self._wave_executor.run_wave(admitted)
+        executed: List[Job] = []
+        for admission in admitted:
+            self._settle_assignment(admission)
+            executed.append(admission.job)
+        return executed
+
+    def _admit_assignment(self, assignment: Assignment):
+        """Phase 1 (server thread): decide whether the assignment still runs.
+
+        Returns an :class:`~repro.accessserver.executor.AdmittedExecution`
+        ready for its payload, or ``None`` when the job left the RUNNING
         state while waiting for its turn in the wave (e.g. cancelled by an
-        earlier job of the same batch).
+        earlier job of the same batch) or lost eligibility.
         """
         from repro.core.api import BatteryLabAPI
+        from repro.accessserver.executor import AdmittedExecution
 
         job = assignment.job
         if job.status is not JobStatus.RUNNING:
-            return False
+            return None
         # Earlier jobs of the wave may have advanced the simulated clock
         # since the batch was assigned.  Re-check the time-dependent
         # constraints (reservations, controller CPU) at execution time — a
@@ -528,33 +580,46 @@ class AccessServer(Entity):
             controller_cpu=self._controller_cpu,
         ):
             self.scheduler.engine.requeue(job)
-            return False
+            return None
         # Bill execution time, not queue-on-device time, so credits match
         # what the seed's one-at-a-time dispatch charged.
         job.mark_execution_started(self.context.now)
-        execution_started_at = self.context.now
         record = self.vantage_point(assignment.vantage_point)
         api = BatteryLabAPI(record.controller)
         ctx = JobContext(job, api, assignment.device_serial, clock=lambda: self.context.now)
         self.scheduler.engine.begin_execution(job)
-        try:
-            result = job.spec.run(ctx)
-        except Exception as exc:
+        return AdmittedExecution(
+            assignment=assignment,
+            ctx=ctx,
+            record=record,
+            execution_started_at=self.context.now,
+        )
+
+    def _settle_assignment(self, admitted) -> None:
+        """Phase 3 (server thread): status transition and all bookkeeping.
+
+        Mirrors the historical post-payload block exactly — transition,
+        ``end_execution``, device release, power-trace storage, credit
+        settlement, then journal append and ``job.finished`` publish — so
+        serial and parallel execution produce identical journals.
+        """
+        job = admitted.job
+        if admitted.error is not None:
             # The payload may have been cancelled while it ran (its slot is
             # kept until here); only a still-RUNNING job transitions.
             if job.status is JobStatus.RUNNING:
-                job.mark_failed(self.context.now, str(exc))
-                self.log("job failed", job=job.spec.name, error=str(exc))
+                job.mark_failed(self.context.now, str(admitted.error))
+                self.log("job failed", job=job.spec.name, error=str(admitted.error))
             else:
                 self.log(
                     "job finished after cancellation",
                     job=job.spec.name,
                     status=job.status.value,
-                    error=str(exc),
+                    error=str(admitted.error),
                 )
         else:
             if job.status is JobStatus.RUNNING:
-                job.mark_completed(self.context.now, result)
+                job.mark_completed(self.context.now, admitted.result)
                 self.log("job completed", job=job.spec.name)
             else:
                 self.log(
@@ -562,31 +627,32 @@ class AccessServer(Entity):
                     job=job.spec.name,
                     status=job.status.value,
                 )
-        finally:
-            self.scheduler.engine.end_execution(job)
-            self.scheduler.release(job)
-            # Power-meter logs are collected by default and retained in
-            # the workspace for several days (Section 3.1).
-            monitor = record.controller.monitor
-            if monitor is not None and monitor.last_trace() is not None:
-                job.workspace.store("power_meter_trace", monitor.last_trace())
-            # Settle consumed device time against the owner's credits.
-            if self._credit_policy is not None:
-                owner = job.spec.owner
-                owner_is_admin = (
-                    owner in self.users.usernames()
-                    and self.users.get(owner).role is Role.ADMIN
+        self.scheduler.engine.end_execution(job)
+        self.scheduler.release(job)
+        # Power-meter logs are collected by default and retained in
+        # the workspace for several days (Section 3.1).
+        monitor = admitted.record.controller.monitor
+        if monitor is not None and monitor.last_trace() is not None:
+            job.workspace.store("power_meter_trace", monitor.last_trace())
+        # Settle consumed device time against the owner's credits.
+        if self._credit_policy is not None:
+            owner = job.spec.owner
+            owner_is_admin = (
+                owner in self.users.usernames()
+                and self.users.get(owner).role is Role.ADMIN
+            )
+            if not owner_is_admin:
+                account = self._credit_account_for(owner)
+                # Charge the wall-clock the payload held the device, not
+                # job.duration_s: a job cancelled mid-payload never gets
+                # a finished_at, yet it occupied the device until here.
+                consumed_hours = (
+                    self.context.now - admitted.execution_started_at
+                ) / 3600.0
+                consumed_hours = min(consumed_hours, account.balance_device_hours)
+                self._credit_policy.settle(
+                    owner, consumed_hours, self.context.now, note=f"job {job.job_id}"
                 )
-                if not owner_is_admin:
-                    account = self._credit_account_for(owner)
-                    # Charge the wall-clock the payload held the device, not
-                    # job.duration_s: a job cancelled mid-payload never gets
-                    # a finished_at, yet it occupied the device until here.
-                    consumed_hours = (self.context.now - execution_started_at) / 3600.0
-                    consumed_hours = min(consumed_hours, account.balance_device_hours)
-                    self._credit_policy.settle(
-                        owner, consumed_hours, self.context.now, note=f"job {job.job_id}"
-                    )
         # Terminal outcomes are journaled once all bookkeeping has settled so
         # recovery replays balances exactly; cancellations were already
         # recorded via the dispatch.cancelled bus event.
@@ -599,7 +665,46 @@ class AccessServer(Entity):
                 status=job.status.value,
                 finished_at=job.finished_at,
             )
-        return True
+
+    # -- parallel wave execution ---------------------------------------------------------------
+    @property
+    def parallel_waves_enabled(self) -> bool:
+        return self._wave_executor is not None
+
+    def enable_parallel_waves(self, max_workers: Optional[int] = None):
+        """Run each dispatch wave's payloads concurrently (opt-in).
+
+        **Determinism contract**: state mutations — admission, status
+        transitions, billing, journal appends, event publishes — stay on
+        the thread calling :meth:`run_pending_jobs`, in assignment order,
+        so journals and event streams are byte-identical to serial
+        execution *as long as the payloads themselves are independent*:
+        they must not advance the simulated clock or mutate shared
+        simulation state (:class:`~repro.simulation.clock.SimClock` is not
+        thread-safe).  Payloads bound by wall time — real device I/O,
+        ``time.sleep``-style waits, local computation — qualify; clock
+        -advancing simulation payloads should keep the serial default.
+
+        ``max_workers`` defaults to the registered device count (the
+        maximum possible wave width), with a floor of one.  Returns the
+        :class:`~repro.accessserver.executor.WaveExecutor`.
+        """
+        from repro.accessserver.executor import WaveExecutor
+
+        if max_workers is None:
+            max_workers = max(1, self.scheduler.device_count())
+        if self._wave_executor is not None:
+            self._wave_executor.shutdown()
+        self._wave_executor = WaveExecutor(max_workers=max_workers)
+        self.log("parallel waves enabled", workers=max_workers)
+        return self._wave_executor
+
+    def disable_parallel_waves(self) -> None:
+        """Return to strictly serial wave execution (the default)."""
+        if self._wave_executor is not None:
+            self._wave_executor.shutdown()
+            self._wave_executor = None
+            self.log("parallel waves disabled")
 
     # -- scheduling policy & event-driven dispatch ---------------------------------------------
     @property

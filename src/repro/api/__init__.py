@@ -31,9 +31,11 @@ Quickstart::
 
 from repro.api.client import (
     BatteryLabClient,
+    ClientPipeline,
     InProcessTransport,
     JobPage,
     JobWatch,
+    PipelineResult,
     PushStream,
     Transport,
     in_process_client,
@@ -132,6 +134,7 @@ __all__ = [
     "AuthCredentials",
     "AuthenticationApiError",
     "BatteryLabClient",
+    "ClientPipeline",
     "ConflictApiError",
     "CreateUserRequest",
     "CreditApiError",
@@ -161,6 +164,7 @@ __all__ = [
     "OwnerUsageView",
     "PercentileStatsView",
     "PermissionApiError",
+    "PipelineResult",
     "PushStream",
     "RegisterVantagePointRequest",
     "RequestContext",

@@ -79,6 +79,16 @@ class Transport(abc.ABC):
     def send(self, request: dict) -> dict:
         """Deliver ``request`` and return the wire-form response envelope."""
 
+    def send_many(self, requests: List[dict]) -> List[dict]:
+        """Deliver a batch of requests; responses in request order.
+
+        The default implementation sends sequentially — correct for any
+        transport.  Transports with a real wire override this to *pipeline*
+        the batch (one write, N reads), amortizing per-request round trips;
+        see :meth:`repro.api.gateway.JsonLinesTransport.send_many`.
+        """
+        return [self.send(request) for request in requests]
+
     def recv_push(
         self, subscription_id: int, timeout_s: Optional[float] = None
     ) -> Optional[dict]:
@@ -227,6 +237,141 @@ class JobWatch(PushStream):
         return self.final
 
 
+class PipelineResult:
+    """Deferred result of one pipelined call; populated by ``flush()``."""
+
+    __slots__ = ("_decoder", "_value", "_error", "done")
+
+    def __init__(self, decoder: Callable[[dict], object]) -> None:
+        self._decoder = decoder
+        self._value: object = None
+        self._error: Optional[ApiError] = None
+        self.done = False
+
+    def _resolve(self, response: "ApiResponse") -> None:
+        self.done = True
+        if not response.ok:
+            self._error = error_from_wire(response.error or {})
+            return
+        try:
+            self._value = self._decoder(response.payload or {})
+        except ApiError as exc:  # pragma: no cover - defensive decode
+            self._error = exc
+
+    def result(self) -> object:
+        """The decoded value; raises the call's typed error if it failed."""
+        if not self.done:
+            raise TransportApiError("pipeline not flushed yet")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def error(self) -> Optional[ApiError]:
+        return self._error
+
+
+class ClientPipeline:
+    """Stage several calls, ship them as one pipelined batch.
+
+    Obtained from :meth:`BatteryLabClient.pipeline`.  Each staged call
+    returns a :class:`PipelineResult` immediately; :meth:`flush` sends the
+    whole batch through :meth:`Transport.send_many` (one write + N ordered
+    reads on the socket transport), resolves every result, and returns the
+    decoded values in staging order — raising the first call's typed error
+    if any call failed.  Callers that want per-call errors inspect the
+    :class:`PipelineResult` handles instead of the return value.
+
+    Pipelined calls do not auto-re-login on an expired session (the batch
+    is already on the wire); long-running drivers should flush reasonably
+    sized batches.
+    """
+
+    def __init__(self, client: "BatteryLabClient") -> None:
+        self._client = client
+        self._staged: List[tuple] = []  # (op, payload, version, PipelineResult)
+
+    def __len__(self) -> int:
+        return len(self._staged)
+
+    def call(
+        self,
+        op: str,
+        payload: Optional[dict] = None,
+        version: Optional[str] = None,
+        decoder: Callable[[dict], object] = lambda wire: wire,
+    ) -> PipelineResult:
+        """Stage one raw operation; ``decoder`` maps the response payload."""
+        pending = PipelineResult(decoder)
+        self._staged.append((op, payload or {}, version, pending))
+        return pending
+
+    # -- typed helpers (the hot read/submit paths) ---------------------------
+    def job_status(self, job_id: int) -> PipelineResult:
+        return self.call("job.status", {"job_id": job_id}, decoder=JobView.from_wire)
+
+    def server_status(self, version: Optional[str] = None) -> PipelineResult:
+        return self.call("server.status", {}, version, decoder=StatusView.from_wire)
+
+    def credits_balance(self, owner: Optional[str] = None) -> PipelineResult:
+        return self.call(
+            "credits.balance", {"owner": owner}, decoder=CreditView.from_wire
+        )
+
+    def fleet(self) -> PipelineResult:
+        return self.call("fleet.list", decoder=FleetView.from_wire)
+
+    def submit_job(self, name: str, payload: str, **kwargs) -> PipelineResult:
+        """Stage a ``job.submit``; ``payload`` must be a registered name."""
+        constraints = JobConstraintsV1(
+            vantage_point=kwargs.get("vantage_point"),
+            device_serial=kwargs.get("device_serial"),
+            connectivity=kwargs.get("connectivity"),
+        )
+        body = {
+            "name": name,
+            "payload": payload,
+            "owner": kwargs.get("owner"),
+            "description": kwargs.get("description", ""),
+            "priority": kwargs.get("priority", 0.0),
+            "timeout_s": kwargs.get("timeout_s", 3600.0),
+            "is_pipeline_change": kwargs.get("is_pipeline_change", False),
+            "log_retention_days": kwargs.get("log_retention_days", 7.0),
+            "constraints": constraints.to_wire(),
+        }
+        return self.call("job.submit", body, decoder=JobView.from_wire)
+
+    def flush(self) -> List[object]:
+        """Send the staged batch; returns decoded values in staging order."""
+        if not self._staged:
+            return []
+        staged, self._staged = self._staged, []
+        requests = []
+        ids = []
+        for op, payload, version, _pending in staged:
+            requests.append(
+                self._client._build_request(op, payload, version).to_wire()
+            )
+            ids.append(self._client._request_id)
+        raw_responses = self._client.transport.send_many(requests)
+        if len(raw_responses) != len(staged):
+            raise TransportApiError(
+                f"pipeline sent {len(staged)} requests but got "
+                f"{len(raw_responses)} responses"
+            )
+        for raw, request_id, (_op, _payload, _version, pending) in zip(
+            raw_responses, ids, staged
+        ):
+            response = ApiResponse.from_wire(raw)
+            if response.request_id not in (0, request_id):
+                raise TransportApiError(
+                    f"response for request {response.request_id} arrived while "
+                    f"waiting for {request_id}"
+                )
+            pending._resolve(response)
+        return [pending.result() for _op, _payload, _version, pending in staged]
+
+
 @dataclass
 class JobPage:
     """One ``job.list`` window plus the pre-window total (v2 pagination)."""
@@ -305,13 +450,13 @@ class BatteryLabClient:
             self.login(ttl_s=self._session_ttl_s)
             return self._call_once(op, payload, version)
 
-    def _call_once(
+    def _build_request(
         self, op: str, payload: Optional[dict], version: Optional[str]
-    ) -> dict:
+    ) -> ApiRequest:
         self._request_id += 1
         if version is None:
             version = API_VERSION_V2 if self._session_token else self._version
-        request = ApiRequest(
+        return ApiRequest(
             op=op,
             version=version,
             auth=None if self._session_token else self._auth,
@@ -319,6 +464,11 @@ class BatteryLabClient:
             request_id=self._request_id,
             session=self._session_token,
         )
+
+    def _call_once(
+        self, op: str, payload: Optional[dict], version: Optional[str]
+    ) -> dict:
+        request = self._build_request(op, payload, version)
         raw = self._transport.send(request.to_wire())
         response = ApiResponse.from_wire(raw)
         if response.request_id not in (0, self._request_id):
@@ -329,6 +479,19 @@ class BatteryLabClient:
         if not response.ok:
             raise error_from_wire(response.error or {})
         return response.payload or {}
+
+    def pipeline(self) -> ClientPipeline:
+        """Stage multiple calls and ship them as one pipelined batch.
+
+        On the socket transport the batch goes out in a single write and
+        the gateway answers in order — the per-request round trip is paid
+        once per batch instead of once per call::
+
+            pipe = client.pipeline()
+            handles = [pipe.job_status(job_id) for job_id in ids]
+            views = pipe.flush()          # or handles[i].result()
+        """
+        return ClientPipeline(self)
 
     # -- sessions (v2) ------------------------------------------------------
     def login(self, ttl_s: Optional[float] = None) -> SessionView:

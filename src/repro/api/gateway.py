@@ -6,25 +6,44 @@ deliberately primitive — one JSON envelope per line, UTF-8,
 ``\\n``-terminated — so any language with a socket and a JSON parser can
 drive the platform.
 
-* :class:`ApiGateway` — server side.  Accepts TCP connections (optionally
-  wrapped in TLS — the paper mandates HTTPS-only access), reads request
-  lines, pushes each through an :class:`~repro.api.router.ApiRouter`
-  (serialized by a lock: the access server and the simulation behind it
-  are single-threaded by design), and writes the response line.  A
-  malformed JSON line gets a well-formed ``request.invalid`` error
-  envelope back rather than a dropped connection, so client bugs stay
-  debuggable.
+* :class:`ApiGateway` — server side.  A single-threaded ``selectors``
+  event loop owns every socket: the listener, a wakeup pipe, and all
+  accepted connections (optionally wrapped in TLS — the paper mandates
+  HTTPS-only access — with the handshake driven non-blocking on the same
+  loop).  The loop reads non-blocking sockets into per-connection buffers,
+  splits newline-framed request lines incrementally, and hands them to a
+  small worker pool for router dispatch, so one slow operation can never
+  stall the loop or the other connections.  A malformed JSON line gets a
+  well-formed ``request.invalid`` error envelope back rather than a
+  dropped connection, so client bugs stay debuggable.
 * :class:`JsonLinesTransport` — the matching client
   :class:`~repro.api.client.Transport`.  Connects lazily, reconnects once
-  per call after a broken connection, and raises
+  per call after a broken connection, raises
   :class:`~repro.api.errors.TransportApiError` (code ``transport.failed``)
-  when the gateway cannot be reached.
+  when the gateway cannot be reached, and supports request *pipelining*
+  via :meth:`JsonLinesTransport.send_many`.
+
+**Pipelining.**  A connection may have many requests in flight: the loop
+queues complete lines as they arrive and a per-connection worker task
+executes them strictly in arrival order, queueing the responses back in
+the same order — so responses always match the request sequence and
+per-connection semantics are identical to the serial gateway.  Concurrency
+happens *across* connections: read-only operations (see
+:meth:`~repro.api.router.ApiRouter.is_read_only`) run without the
+exclusive router lock, while mutating operations still serialize through
+:attr:`ApiGateway.router_lock`.  A read that collides with a concurrent
+mutation (e.g. an iteration hitting a resized dict) surfaces as a
+``server.internal`` error envelope; the gateway retries it once under the
+exclusive lock, so clients only ever observe consistent results.  A
+connection that floods more than :data:`ApiGateway.MAX_PIPELINE_DEPTH`
+unanswered requests has its reads paused until the backlog drains —
+genuine TCP back-pressure instead of unbounded buffering.
 
 **Streaming (API v2).**  Responses and server pushes share one connection:
 each connection hands the router a ``push`` callable that enqueues
 :class:`~repro.api.schemas.ApiPush` frames onto a *bounded* per-connection
-queue drained by a pump thread; actual socket writes happen under the
-connection's write lock, so a frame never interleaves mid-line with a
+queue flushed by the event loop whenever the socket is writable; frames
+are serialized whole, so a push never interleaves mid-line with a
 response.  Back-pressure: the simulation thread that published the event
 only ever enqueues — a stalled consumer fills the queue and the oldest
 event frames are dropped (``end`` frames survive), with the loss surfaced
@@ -37,80 +56,116 @@ never hang shutdown and the event bus never writes to a dead socket.
 
 **TLS.**  Pass an ``ssl.SSLContext`` (see
 :func:`repro.accessserver.certificates.server_tls_context`) to serve the
-paper's HTTPS-only rule for real; ``assume_https=False`` additionally
-makes the router treat plaintext connections as insecure, which the
-HTTPS-only :class:`~repro.accessserver.auth.UserRegistry` then rejects at
+paper's HTTPS-only rule for real; the handshake runs non-blocking on the
+loop (``do_handshake_on_connect=False``, resumed on readiness events,
+reaped after :data:`ApiGateway.TLS_HANDSHAKE_TIMEOUT_S`).
+``assume_https=False`` additionally makes the router treat plaintext
+connections as insecure, which the HTTPS-only
+:class:`~repro.accessserver.auth.UserRegistry` then rejects at
 authentication time.  The default (``assume_https=True``) keeps plaintext
 loopback gateways — tests, local tooling — working as the stand-in for a
 terminated TLS connection.
 
-Threading model: callers of :meth:`ApiGateway.start` get a daemon accept
-thread plus one daemon thread per connection.  Requests across all
-connections are serialized through the router lock, so concurrent clients
-are safe but see sequential semantics — matching the single simulated
-clock they all share.
+Threading model: one daemon loop thread owns all sockets; router dispatch
+runs on a small daemon worker pool.  Mutating requests across all
+connections are serialized through the router lock — matching the single
+simulated clock they all share — while read-only requests run
+concurrently.
 """
 
 from __future__ import annotations
 
 import json
+import selectors
 import socket
 import ssl
 import threading
+import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Tuple
 
 from repro.api.errors import TransportApiError, ValidationApiError
 from repro.api.schemas import API_VERSION, PUSH_KIND, ApiResponse
 from repro.api.client import Transport
 
+#: Error code the gateway treats as a torn optimistic read worth retrying
+#: under the exclusive router lock (see the module docstring).
+_RETRY_UNDER_LOCK_CODES = frozenset({"server.internal"})
+
+#: Connection lifecycle states (loop-thread owned).
+_STATE_TLS = "tls"
+_STATE_OPEN = "open"
+_STATE_CLOSED = "closed"
+
+_RECV_CHUNK = 65536
+
 
 class _Connection:
-    """One accepted gateway connection with an interleave-safe writer.
+    """One accepted gateway connection, owned by the event loop.
 
-    Responses are written synchronously by the connection thread
-    (:meth:`send_frame`).  Server pushes go through :meth:`push_frame`
-    instead: a *bounded* per-connection queue drained by a lazily started
-    pump thread, so a slow or stalled consumer can never block the
-    simulation thread that published the event.  **Slow-consumer policy**
-    (documented in DESIGN.md): terminal ``job.watch`` ``end`` frames are
-    never dropped — they bypass the bound entirely (at most one per
-    subscription, so the excess is bounded too) and watchers always
-    observe completion.  An *event* frame pushed at a full queue evicts
-    the oldest queued event frame, or — when only end frames are queued —
-    is itself the drop.  The loss is surfaced as a ``dropped`` counter on
-    the next frame delivered for that subscription; under the usual
-    evict-oldest path that counter equals the frame's ``seq`` gap (in the
-    all-ends edge the dropped frame was the newest, so the counter may
-    precede its gap).
+    The loop thread owns the socket, the read buffer, the outgoing byte
+    buffer and all selector state.  Two queues cross threads (guarded by
+    ``_lock``): complete request lines waiting for a worker, and finished
+    response bytes waiting for the loop to write.  Server pushes go
+    through :meth:`push_frame`: a *bounded* queue of frames drained by the
+    loop only when the socket can actually take bytes, so a slow or
+    stalled consumer can never block the simulation thread that published
+    the event.  **Slow-consumer policy** (documented in DESIGN.md):
+    terminal ``job.watch`` ``end`` frames are never dropped — they bypass
+    the bound entirely (at most one per subscription, so the excess is
+    bounded too) and watchers always observe completion.  An *event*
+    frame pushed at a full queue evicts the oldest queued event frame,
+    or — when only end frames are queued — is itself the drop.  The loss
+    is surfaced as a ``dropped`` counter on the next frame delivered for
+    that subscription; under the usual evict-oldest path that counter
+    equals the frame's ``seq`` gap (in the all-ends edge the dropped
+    frame was the newest, so the counter may precede its gap).
+
+    Frames already serialized into the outgoing buffer (the loop takes
+    one push at a time, only while the buffer is drained) are committed —
+    exactly like the byte the old pump thread was blocked writing.
     """
 
-    def __init__(self, sock: socket.socket, push_queue_limit: int = 256) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        push_queue_limit: int = 256,
+        secure: bool = True,
+        state: str = _STATE_OPEN,
+    ) -> None:
         if push_queue_limit < 1:
             raise ValueError("push_queue_limit must be at least 1")
         self.sock = sock
-        self._write_lock = threading.Lock()
+        self.secure = secure
+        self.state = state
+        self.handshake_deadline: Optional[float] = None
+        self.registered = False
+        self.mask = 0
+        # -- loop-thread only ------------------------------------------------
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.read_paused = False
+        # -- cross-thread (guarded by _lock) ---------------------------------
+        self._lock = threading.Lock()
+        self._closed = False
+        self._requests: deque = deque()  # raw request lines awaiting a worker
+        self._responses: deque = deque()  # encoded response bytes, in order
+        self._worker_active = False
         self._push_limit = push_queue_limit
         self._push_queue: deque = deque()
         self._push_dropped: dict = {}  # subscription_id -> drops not yet surfaced
-        self._push_cv = threading.Condition()
-        self._push_thread: Optional[threading.Thread] = None
-        self._closed = False
+        self._loop_notify = None  # set when adopted by a gateway loop
 
-    def send_frame(self, frame: dict) -> None:
-        data = json.dumps(frame).encode("utf-8") + b"\n"
-        with self._write_lock:
-            self.sock.sendall(data)
-
-    # -- push back-pressure --------------------------------------------------
+    # -- push back-pressure (any thread) -------------------------------------
     def push_frame(self, frame: dict) -> None:
         """Enqueue one push frame; never blocks on the socket.
 
-        Raises ``OSError`` once the connection is closed (or its pump hit
+        Raises ``OSError`` once the connection is closed (or the loop hit
         a dead socket) so the router's subscription bridge tears the
         subscription down.
         """
-        with self._push_cv:
+        with self._lock:
             if self._closed:
                 raise OSError("connection closed")
             if (
@@ -123,14 +178,8 @@ class _Connection:
                 self._count_drop(frame)
                 return
             self._push_queue.append(frame)
-            if self._push_thread is None:
-                self._push_thread = threading.Thread(
-                    target=self._push_pump,
-                    name="batterylab-gateway-push",
-                    daemon=True,
-                )
-                self._push_thread.start()
-            self._push_cv.notify()
+        if self._loop_notify is not None:
+            self._loop_notify(self)
 
     def _count_drop(self, frame: dict) -> None:
         subscription_id = frame.get("subscription_id", 0)
@@ -139,7 +188,7 @@ class _Connection:
         )
 
     def _evict_event(self) -> bool:
-        """Evict the oldest queued *event* frame (cv held, queue full).
+        """Evict the oldest queued *event* frame (lock held, queue full).
 
         End frames are never victims — a watcher must never lose its
         completion frame.  Returns ``False`` when only end frames are
@@ -152,45 +201,97 @@ class _Connection:
                 return True
         return False
 
-    def _push_pump(self) -> None:
-        while True:
-            with self._push_cv:
-                while not self._push_queue and not self._closed:
-                    self._push_cv.wait()
-                if not self._push_queue:
-                    return  # closed and drained
-                frame = self._push_queue.popleft()
-                subscription_id = frame.get("subscription_id", 0)
-                dropped = self._push_dropped.pop(subscription_id, 0)
-            if dropped:
-                frame = dict(frame)
-                frame["dropped"] = dropped
-            try:
-                self.send_frame(frame)
-            except OSError:
-                # A half-open peer fails writes before the reader thread
-                # sees EOF; mark the connection closed so the next
-                # push_frame raises and the router cancels the
-                # subscription instead of publishing into a dead pipe.
-                with self._push_cv:
-                    self._closed = True
-                    self._push_queue.clear()
-                    self._push_cv.notify_all()
+    def pop_push(self) -> Optional[dict]:
+        """Dequeue the next push frame, folding in surfaced drop counters."""
+        with self._lock:
+            if not self._push_queue:
+                return None
+            frame = self._push_queue.popleft()
+            dropped = self._push_dropped.pop(frame.get("subscription_id", 0), 0)
+        if dropped:
+            frame = dict(frame)
+            frame["dropped"] = dropped
+        return frame
+
+    # -- request/response queues ---------------------------------------------
+    def queue_requests(self, items) -> int:
+        """Loop thread: append parsed request items; returns backlog size."""
+        with self._lock:
+            self._requests.extend(items)
+            return len(self._requests)
+
+    def claim_worker(self) -> bool:
+        """Whether the caller should start a worker task (at most one runs)."""
+        with self._lock:
+            if self._worker_active or not self._requests:
+                return False
+            self._worker_active = True
+            return True
+
+    def idle_for_inline(self) -> bool:
+        """Loop thread: True when no worker is active and nothing is queued,
+        so fresh requests may be answered inline without reordering."""
+        with self._lock:
+            return (
+                not self._worker_active and not self._requests and not self._closed
+            )
+
+    def next_request_batch(self, limit: int) -> Optional[list]:
+        """Worker thread: next chunk of lines to execute (in arrival order),
+        or ``None`` when drained (the active-worker claim is released
+        atomically with the check).  Handing out a chunk rather than one
+        line at a time lets the worker answer a pipelined burst with a
+        single response write and a single loop wakeup — on one core the
+        per-response wakeup ping-pong otherwise dominates the batch."""
+        with self._lock:
+            if not self._requests or self._closed:
+                self._worker_active = False
+                return None
+            batch = []
+            while self._requests and len(batch) < limit:
+                batch.append(self._requests.popleft())
+            return batch
+
+    def queue_response(self, data: bytes) -> None:
+        """Worker thread: hand encoded response bytes back to the loop."""
+        with self._lock:
+            if self._closed:
                 return
+            self._responses.append(data)
+        if self._loop_notify is not None:
+            self._loop_notify(self)
+
+    def drain_responses_into_outbuf(self) -> None:
+        with self._lock:
+            while self._responses:
+                self.outbuf += self._responses.popleft()
+
+    def backlog(self) -> int:
+        with self._lock:
+            return len(self._requests)
+
+    def has_pushes(self) -> bool:
+        with self._lock:
+            return bool(self._push_queue)
+
+    # -- teardown -------------------------------------------------------------
+    def mark_closed(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._push_queue.clear()
+            self._requests.clear()
+            self._responses.clear()
 
     def shutdown(self) -> None:
-        with self._push_cv:
-            self._closed = True
-            self._push_cv.notify_all()
+        """Unblock the peer's reads (EOF) ahead of the loop's close."""
+        self.mark_closed()
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
         except OSError:
             pass  # peer already gone
 
     def close(self) -> None:
-        with self._push_cv:
-            self._closed = True
-            self._push_cv.notify_all()
+        self.mark_closed()
         try:
             self.sock.close()
         except OSError:  # pragma: no cover - already closed
@@ -208,8 +309,9 @@ class ApiGateway:
         Bind address; port 0 picks a free one.
     tls_context:
         Server-side ``ssl.SSLContext``; when set every accepted connection
-        is wrapped before the first byte is read, and connections count as
-        secure for the HTTPS-only rule.
+        is wrapped before the first byte is read (handshake driven
+        non-blocking on the loop), and connections count as secure for the
+        HTTPS-only rule.
     assume_https:
         How plaintext connections are presented to the router: ``True``
         (default) treats them as a terminated-TLS stand-in — the historical
@@ -220,7 +322,22 @@ class ApiGateway:
         back-pressure).  A consumer that cannot keep up loses its *oldest*
         queued event frames; the loss is surfaced as a ``dropped`` counter
         on the next frame it does receive.
+    worker_threads:
+        Size of the dispatch pool.  Requests from one connection always
+        execute serially in arrival order; the pool bounds how many
+        *connections* execute concurrently.
     """
+
+    #: Longest a TLS handshake may take before the connection is dropped.
+    TLS_HANDSHAKE_TIMEOUT_S = 10.0
+
+    #: Unanswered requests one connection may pipeline before its reads
+    #: are paused (resumed once the backlog halves).
+    MAX_PIPELINE_DEPTH = 1024
+
+    #: Largest all-read-only burst the loop thread answers inline; bigger
+    #: bursts go to the worker pool so one connection cannot starve others.
+    INLINE_BATCH_MAX = 256
 
     def __init__(
         self,
@@ -230,22 +347,32 @@ class ApiGateway:
         tls_context: Optional[ssl.SSLContext] = None,
         assume_https: bool = True,
         push_queue_limit: int = 256,
+        worker_threads: int = 4,
     ) -> None:
         # Validate here, not per accepted connection: a bad limit must
-        # fail the operator at startup, not kill connection threads.
+        # fail the operator at startup, not kill live connections.
         if push_queue_limit < 1:
             raise ValueError("push_queue_limit must be at least 1")
+        if worker_threads < 1:
+            raise ValueError("worker_threads must be at least 1")
         self._router = router
         self._host = host
         self._requested_port = port
         self._tls_context = tls_context
         self._assume_https = assume_https
         self._push_queue_limit = push_queue_limit
+        self._worker_threads = worker_threads
         self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._wake_r: Optional[socket.socket] = None
+        self._wake_w: Optional[socket.socket] = None
         self._router_lock = threading.Lock()
-        self._connections_lock = threading.Lock()
-        self._connections: set = set()
+        self._dirty_lock = threading.Lock()
+        self._dirty: set = set()
+        self._adoptions: deque = deque()
+        self._connections: set = set()  # loop thread only (post-start)
         self._running = False
 
     @property
@@ -265,29 +392,41 @@ class ApiGateway:
 
     @property
     def router_lock(self) -> threading.Lock:
-        """The lock serializing requests through the router.
+        """The lock serializing *mutating* requests through the router.
 
         Anything that mutates the access server *outside* a gateway request
         — e.g. a host loop driving ``run_queue()`` while remote clients
         submit — must hold this lock for each mutation burst, or a request
         landing mid-dispatch races the single-threaded simulation state.
+        Read-only operations run without it (see the module docstring).
         """
         return self._router_lock
 
     def start(self) -> Tuple[str, int]:
-        """Bind, listen and serve in background threads; returns the address."""
+        """Bind, listen and serve on the loop thread; returns the address."""
         if self._running:
             return self.address
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self._host, self._requested_port))
-        listener.listen(16)
+        listener.listen(128)
+        listener.setblocking(False)
         self._listener = listener
-        self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="batterylab-gateway-accept", daemon=True
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ, "listener")
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wakeup")
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._worker_threads,
+            thread_name_prefix="batterylab-gw-worker",
         )
-        self._accept_thread.start()
+        self._running = True
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="batterylab-gateway-loop", daemon=True
+        )
+        self._loop_thread.start()
         return self.address
 
     def stop(self) -> None:
@@ -302,32 +441,16 @@ class ApiGateway:
         self._running = False
         if hasattr(self._router, "close_all_subscriptions"):
             self._router.close_all_subscriptions()
-        if self._listener is not None:
-            # shutdown() before close(): on Linux, close() alone does not
-            # wake a thread blocked in accept() — the in-progress syscall
-            # keeps the listening port alive and the "stopped" gateway
-            # would keep serving.  shutdown() forces accept() to return.
-            try:
-                self._listener.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass  # never listened, or already torn down
-            try:
-                self._listener.close()
-            except OSError:  # pragma: no cover - platform-dependent teardown
-                pass
-            self._listener = None
-        # Established connections must go too, or a client that connected
-        # before stop() could keep mutating server state through a gateway
-        # its operator believes is down.  (The request currently holding
-        # the router lock, if any, still finishes — shutdown only unblocks
-        # the connection threads' reads.)
-        with self._connections_lock:
-            lingering = list(self._connections)
-        for connection in lingering:
-            connection.shutdown()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-            self._accept_thread = None
+        self._wake()
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=2.0)
+            self._loop_thread = None
+        if self._pool is not None:
+            # Workers mid-handler finish on their own time; their response
+            # bytes land on closed connections and are discarded.
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        self._listener = None
 
     def __enter__(self) -> "ApiGateway":
         self.start()
@@ -336,98 +459,443 @@ class ApiGateway:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    # -- internals ----------------------------------------------------------
-    def _accept_loop(self) -> None:
-        # Bind the listener locally: stop() nulls self._listener from the
-        # main thread, and `self._listener.accept()` after that race is an
-        # AttributeError, not the OSError the loop handles.
-        listener = self._listener
-        while self._running and listener is not None:
+    # -- loop plumbing -------------------------------------------------------
+    def _wake(self) -> None:
+        wake_w = self._wake_w
+        if wake_w is None:
+            return
+        try:
+            wake_w.send(b"\0")
+        except (BlockingIOError, OSError):
+            pass  # a pending wake byte already does the job / loop gone
+
+    def _notify(self, connection: _Connection) -> None:
+        """Any thread: mark a connection as needing loop service."""
+        with self._dirty_lock:
+            self._dirty.add(connection)
+        self._wake()
+
+    def _adopt_socket(
+        self,
+        sock: socket.socket,
+        push_queue_limit: Optional[int] = None,
+        secure: bool = True,
+    ) -> _Connection:
+        """Hand an already-connected socket to the loop (tests, tooling)."""
+        connection = _Connection(
+            sock,
+            push_queue_limit=push_queue_limit or self._push_queue_limit,
+            secure=secure,
+        )
+        connection._loop_notify = self._notify
+        self._adoptions.append(connection)
+        self._wake()
+        return connection
+
+    def _run_loop(self) -> None:
+        selector = self._selector
+        while self._running:
+            timeout = 0.5 if any(
+                c.state == _STATE_TLS for c in self._connections
+            ) else None
             try:
-                connection, _ = listener.accept()
-            except OSError:
-                break  # listener closed by stop()
-            if not self._running:
-                # stop() raced the accept: refuse rather than serve from a
-                # gateway the caller believes is down.
-                try:
-                    connection.close()
-                except OSError:  # pragma: no cover
-                    pass
+                events = selector.select(timeout)
+            except OSError:  # pragma: no cover - selector torn down
                 break
-            threading.Thread(
-                target=self._serve_connection,
-                args=(connection,),
-                name="batterylab-gateway-conn",
-                daemon=True,
-            ).start()
+            if not self._running:
+                break
+            for key, mask in events:
+                data = key.data
+                if data == "listener":
+                    self._accept_ready()
+                elif data == "wakeup":
+                    self._drain_wakeup()
+                else:
+                    self._service_events(data, mask)
+            self._process_adoptions()
+            self._process_dirty()
+            self._reap_handshakes()
+        self._shutdown_loop()
 
-    #: Longest a TLS handshake may take before the connection is dropped.
-    #: Bounds how long a silent peer can pin a connection thread that is
-    #: not yet registered in ``_connections`` (and thus invisible to
-    #: :meth:`stop`).
-    TLS_HANDSHAKE_TIMEOUT_S = 10.0
+    def _drain_wakeup(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:  # pragma: no cover
+            pass
 
-    def _serve_connection(self, raw_sock: socket.socket) -> None:
-        if self._tls_context is not None:
+    def _process_adoptions(self) -> None:
+        while self._adoptions:
+            connection = self._adoptions.popleft()
             try:
-                raw_sock.settimeout(self.TLS_HANDSHAKE_TIMEOUT_S)
-                raw_sock = self._tls_context.wrap_socket(raw_sock, server_side=True)
-                raw_sock.settimeout(None)
-            except (OSError, ssl.SSLError):
-                # Failed or stalled handshake (plaintext probe, silent
-                # peer, bad cipher): the peer never reached the API; just
-                # drop the connection.
+                connection.sock.setblocking(False)
+            except OSError:
+                connection.close()
+                continue
+            self._register(connection, selectors.EVENT_READ)
+            self._connections.add(connection)
+            self._flush(connection)
+
+    def _process_dirty(self) -> None:
+        with self._dirty_lock:
+            if not self._dirty:
+                return
+            dirty = list(self._dirty)
+            self._dirty.clear()
+        for connection in dirty:
+            if connection.state == _STATE_OPEN and connection.registered:
+                self._flush(connection)
+                self._maybe_resume_reads(connection)
+
+    def _register(self, connection: _Connection, mask: int) -> None:
+        try:
+            self._selector.register(connection.sock, mask, connection)
+        except (KeyError, ValueError, OSError):
+            connection.close()
+            return
+        connection.registered = True
+        connection.mask = mask
+
+    def _set_mask(self, connection: _Connection, mask: int) -> None:
+        if not connection.registered or connection.mask == mask:
+            return
+        try:
+            self._selector.modify(connection.sock, mask, connection)
+            connection.mask = mask
+        except (KeyError, ValueError, OSError):
+            self._teardown(connection)
+
+    # -- accepting -----------------------------------------------------------
+    def _accept_ready(self) -> None:
+        while True:
+            try:
+                raw, _ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed under us
+            if not self._running:
                 try:
-                    raw_sock.close()
+                    raw.close()
                 except OSError:  # pragma: no cover
                     pass
                 return
-        connection = _Connection(raw_sock, push_queue_limit=self._push_queue_limit)
-        secure = self.tls_enabled or self._assume_https
-        with self._connections_lock:
-            self._connections.add(connection)
-        try:
-            reader = raw_sock.makefile("rb")
-            for raw_line in reader:
-                if not self._running:
-                    break
-                line = raw_line.strip()
-                if not line:
+            raw.setblocking(False)
+            try:
+                raw.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - non-TCP listener substitutes
+                pass
+            secure = self.tls_enabled or self._assume_https
+            if self._tls_context is not None:
+                try:
+                    sock = self._tls_context.wrap_socket(
+                        raw, server_side=True, do_handshake_on_connect=False
+                    )
+                except (OSError, ssl.SSLError):
+                    try:
+                        raw.close()
+                    except OSError:  # pragma: no cover
+                        pass
                     continue
-                response = self._handle_line(line, connection, secure)
-                connection.send_frame(response)
-        except OSError:
-            pass  # client went away mid-request; nothing to answer
-        finally:
-            # The connection's subscriptions die with it: the event bus
-            # must never keep pushing into a socket that is gone.
-            if hasattr(self._router, "cancel_owner"):
-                self._router.cancel_owner(connection)
-            with self._connections_lock:
-                self._connections.discard(connection)
-            connection.close()
+                connection = _Connection(
+                    sock,
+                    push_queue_limit=self._push_queue_limit,
+                    secure=secure,
+                    state=_STATE_TLS,
+                )
+                connection.handshake_deadline = (
+                    time.monotonic() + self.TLS_HANDSHAKE_TIMEOUT_S
+                )
+            else:
+                connection = _Connection(
+                    raw, push_queue_limit=self._push_queue_limit, secure=secure
+                )
+            connection._loop_notify = self._notify
+            self._register(connection, selectors.EVENT_READ)
+            if connection.registered:
+                self._connections.add(connection)
 
-    def _handle_line(self, line: bytes, connection: _Connection, secure: bool) -> dict:
+    # -- TLS handshake -------------------------------------------------------
+    def _continue_handshake(self, connection: _Connection) -> None:
         try:
-            request = json.loads(line.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            connection.sock.do_handshake()
+        except ssl.SSLWantReadError:
+            self._set_mask(connection, selectors.EVENT_READ)
+            return
+        except ssl.SSLWantWriteError:
+            self._set_mask(connection, selectors.EVENT_WRITE)
+            return
+        except (OSError, ssl.SSLError):
+            # Failed handshake (plaintext probe, bad cipher): the peer
+            # never reached the API; just drop the connection.
+            self._teardown(connection, silent=True)
+            return
+        connection.state = _STATE_OPEN
+        connection.handshake_deadline = None
+        self._set_mask(connection, selectors.EVENT_READ)
+
+    def _reap_handshakes(self) -> None:
+        deadline_now = None
+        for connection in list(self._connections):
+            if connection.state != _STATE_TLS:
+                continue
+            if deadline_now is None:
+                deadline_now = time.monotonic()
+            if (
+                connection.handshake_deadline is not None
+                and deadline_now >= connection.handshake_deadline
+            ):
+                self._teardown(connection, silent=True)
+
+    # -- per-connection events ----------------------------------------------
+    def _service_events(self, connection: _Connection, mask: int) -> None:
+        if connection.state == _STATE_CLOSED:
+            return
+        if connection.state == _STATE_TLS:
+            self._continue_handshake(connection)
+            return
+        if mask & selectors.EVENT_READ:
+            self._on_readable(connection)
+        if connection.state == _STATE_OPEN and mask & selectors.EVENT_WRITE:
+            self._flush(connection)
+
+    def _on_readable(self, connection: _Connection) -> None:
+        while True:
+            try:
+                chunk = connection.sock.recv(_RECV_CHUNK)
+            except (ssl.SSLWantReadError, ssl.SSLWantWriteError):
+                break
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._teardown(connection)
+                return
+            if not chunk:
+                self._teardown(connection)
+                return
+            connection.inbuf += chunk
+            if len(chunk) < _RECV_CHUNK and not isinstance(
+                connection.sock, ssl.SSLSocket
+            ):
+                break
+        self._consume_lines(connection)
+
+    def _consume_lines(self, connection: _Connection) -> None:
+        buf = connection.inbuf
+        end = buf.rfind(b"\n")
+        if end < 0:
+            return
+        lines = [line for line in bytes(buf[: end + 1]).split(b"\n") if line.strip()]
+        del buf[: end + 1]
+        if not lines:
+            return
+        # Requests parse on the loop thread, once; workers receive parsed
+        # ``(request, error_response)`` items.
+        items = [self._parse_line(line) for line in lines]
+        if self._inline_eligible(items) and connection.idle_for_inline():
+            # All-read-only burst on an idle connection: answer inline and
+            # skip the loop<->worker handoff entirely.  On one core the GIL
+            # handoff latency, not the dispatch, dominates a pipelined
+            # batch — this is the gateway's hot path.
+            out = bytearray()
+            for request, _ in items:
+                response = self._dispatch(
+                    request, connection, connection.secure, read_only=True
+                )
+                out += json.dumps(response).encode("utf-8")
+                out += b"\n"
+            # Loop-owned buffers: append directly, no queue lock or wakeup.
+            connection.drain_responses_into_outbuf()
+            connection.outbuf += out
+            self._flush(connection)
+            return
+        backlog = connection.queue_requests(items)
+        if backlog >= self.MAX_PIPELINE_DEPTH and not connection.read_paused:
+            connection.read_paused = True
+            self._set_mask(connection, connection.mask & ~selectors.EVENT_READ)
+        if connection.claim_worker():
+            self._pool.submit(self._drain_requests, connection)
+
+    def _inline_eligible(self, items) -> bool:
+        """A burst may run on the loop thread iff every request is read-only
+        (dispatched lock-free, so the loop cannot block behind a slow
+        mutating op) and the burst is small enough not to starve other
+        connections."""
+        if len(items) > self.INLINE_BATCH_MAX:
+            return False
+        is_read_only = getattr(self._router, "is_read_only", None)
+        if is_read_only is None:
+            return False
+        return all(
+            error is None and is_read_only(request.get("op"))
+            for request, error in items
+        )
+
+    def _maybe_resume_reads(self, connection: _Connection) -> None:
+        if (
+            connection.read_paused
+            and connection.backlog() < self.MAX_PIPELINE_DEPTH // 2
+        ):
+            connection.read_paused = False
+            self._set_mask(connection, connection.mask | selectors.EVENT_READ)
+
+    # -- writing -------------------------------------------------------------
+    def _flush(self, connection: _Connection) -> None:
+        connection.drain_responses_into_outbuf()
+        if not self._try_send(connection):
+            return
+        # Pushes are serialized one frame at a time, only while the buffer
+        # is drained — anything still queued stays evictable under the
+        # back-pressure bound.
+        while not connection.outbuf:
+            frame = connection.pop_push()
+            if frame is None:
+                break
+            connection.outbuf += json.dumps(frame).encode("utf-8") + b"\n"
+            if not self._try_send(connection):
+                return
+        want_write = bool(connection.outbuf)
+        mask = connection.mask
+        new_mask = mask | selectors.EVENT_WRITE if want_write else mask & ~selectors.EVENT_WRITE
+        self._set_mask(connection, new_mask)
+
+    def _try_send(self, connection: _Connection) -> bool:
+        """Write as much of the outgoing buffer as the socket takes.
+
+        Returns ``False`` when the connection died (and was torn down).
+        """
+        outbuf = connection.outbuf
+        while outbuf:
+            try:
+                sent = connection.sock.send(outbuf)
+            except (ssl.SSLWantWriteError, ssl.SSLWantReadError):
+                break
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._teardown(connection)
+                return False
+            if sent <= 0:
+                break
+            del outbuf[:sent]
+        return True
+
+    # -- dispatch (worker threads) -------------------------------------------
+    #: Request lines one worker pass answers with a single response write.
+    WORKER_BATCH = 128
+
+    def _drain_requests(self, connection: _Connection) -> None:
+        while True:
+            batch = connection.next_request_batch(self.WORKER_BATCH)
+            if batch is None:
+                return
+            out = bytearray()
+            for request, error in batch:
+                if error is not None:
+                    response = error
+                else:
+                    response = self._dispatch(request, connection, connection.secure)
+                out += json.dumps(response).encode("utf-8")
+                out += b"\n"
+            connection.queue_response(bytes(out))
+
+    def _parse_line(self, line: bytes):
+        """Loop thread: parse one request line into ``(request, None)`` or
+        ``(None, error_response)`` for malformed input."""
+        try:
+            request = json.loads(line)
+        except (UnicodeDecodeError, json.JSONDecodeError, ValueError) as exc:
             error = ValidationApiError(f"request line is not valid JSON: {exc}")
-            return ApiResponse(
+            return None, ApiResponse(
                 ok=False, version=API_VERSION, request_id=0, error=error.to_wire()
             ).to_wire()
         if not isinstance(request, dict):
             error = ValidationApiError("request line must be a JSON object")
-            return ApiResponse(
+            return None, ApiResponse(
                 ok=False, version=API_VERSION, request_id=0, error=error.to_wire()
             ).to_wire()
-        with self._router_lock:
-            return self._router.handle(
-                request,
-                push=connection.push_frame,
-                owner=connection,
-                secure=secure,
+        return request, None
+
+    def _dispatch(
+        self,
+        request: dict,
+        connection: _Connection,
+        secure: bool,
+        read_only: Optional[bool] = None,
+    ) -> dict:
+        router = self._router
+        if read_only is None:
+            checker = getattr(router, "is_read_only", None)
+            read_only = bool(checker and checker(request.get("op")))
+        if read_only:
+            # Optimistic read: no lock, concurrent with mutating ops.  A
+            # torn iteration surfaces as server.internal — retry once with
+            # the exclusive lock for a consistent snapshot.
+            response = router.handle(
+                request, push=connection.push_frame, owner=connection, secure=secure
             )
+            error = response.get("error")
+            if (
+                isinstance(error, dict)
+                and error.get("code") in _RETRY_UNDER_LOCK_CODES
+            ):
+                with self._router_lock:
+                    response = router.handle(
+                        request,
+                        push=connection.push_frame,
+                        owner=connection,
+                        secure=secure,
+                    )
+            return response
+        with self._router_lock:
+            return router.handle(
+                request, push=connection.push_frame, owner=connection, secure=secure
+            )
+
+    # -- teardown ------------------------------------------------------------
+    def _teardown(self, connection: _Connection, silent: bool = False) -> None:
+        if connection.state == _STATE_CLOSED:
+            return
+        connection.state = _STATE_CLOSED
+        connection.mark_closed()
+        if connection.registered:
+            try:
+                self._selector.unregister(connection.sock)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
+                pass
+            connection.registered = False
+        if not silent and hasattr(self._router, "cancel_owner"):
+            # The connection's subscriptions die with it: the event bus
+            # must never keep pushing into a socket that is gone.
+            self._router.cancel_owner(connection)
+        try:
+            connection.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._connections.discard(connection)
+
+    def _shutdown_loop(self) -> None:
+        for connection in list(self._connections):
+            # shutdown() before close(): EOF unblocks peers mid-read, so a
+            # blocked job.watch reader cannot hang on a vanished gateway.
+            connection.shutdown()
+            self._teardown(connection)
+        for sock in (self._listener, self._wake_r, self._wake_w):
+            if sock is None:
+                continue
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._wake_r = None
+        self._wake_w = None
+        try:
+            self._selector.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._selector = None
 
 
 class JsonLinesTransport(Transport):
@@ -444,6 +912,10 @@ class JsonLinesTransport(Transport):
     they are demultiplexed into per-subscription buffers.  ``recv_push``
     drains the buffer first and then *blocks* on the socket — this is a
     streaming-capable transport.
+
+    :meth:`send_many` pipelines a batch of requests over the connection —
+    one write, responses read back in request order — amortizing the
+    per-request network round trip the serial :meth:`send` pays.
     """
 
     def __init__(
@@ -468,6 +940,10 @@ class JsonLinesTransport(Transport):
             sock = socket.create_connection(
                 (self._host, self._port), timeout=self._timeout_s
             )
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover
+                pass
             if self._tls_context is not None:
                 sock = self._tls_context.wrap_socket(
                     sock, server_hostname=self._server_hostname
@@ -522,6 +998,56 @@ class JsonLinesTransport(Transport):
                     ) from None
         raise TransportApiError(
             "gateway closed the connection without responding",
+            details={"host": self._host, "port": self._port},
+        )
+
+    def send_many(self, requests) -> list:
+        """Pipeline ``requests`` (wire dicts) and return their responses.
+
+        All requests go out in one write; the gateway answers them in
+        order.  Interleaved push frames are buffered exactly as in
+        :meth:`send`.  One transparent reconnect is attempted if the
+        connection fails before *any* response arrived; a failure
+        mid-batch raises :class:`~repro.api.errors.TransportApiError`
+        (callers retry whole batches — requests are not replayed
+        piecemeal).
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        try:
+            blob = b"".join(
+                json.dumps(request).encode("utf-8") + b"\n" for request in requests
+            )
+        except (TypeError, ValueError) as exc:
+            raise TransportApiError(f"request is not JSON-serializable: {exc}") from None
+        for attempt in (0, 1):
+            if self._sock is None:
+                self._connect()
+            responses = []
+            try:
+                self._sock.sendall(blob)
+                for _ in requests:
+                    response = self._read_response()
+                    if response is None:
+                        raise TransportApiError(
+                            "gateway closed the connection mid-batch",
+                            details={"received": len(responses)},
+                        )
+                    responses.append(response)
+                return responses
+            except TransportApiError:
+                self.close()
+                raise
+            except OSError as exc:
+                self.close()
+                if attempt or responses:
+                    raise TransportApiError(
+                        f"gateway connection failed: {exc}",
+                        details={"host": self._host, "port": self._port},
+                    ) from None
+        raise TransportApiError(  # pragma: no cover - loop always returns/raises
+            "gateway connection failed",
             details={"host": self._host, "port": self._port},
         )
 

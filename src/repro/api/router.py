@@ -159,6 +159,7 @@ class _Op:
     min_version: str = API_VERSION
     authenticate: bool = True
     streaming: bool = False
+    read_only: bool = False
 
 
 class _Subscription:
@@ -208,7 +209,16 @@ class _Subscription:
             self.topic_prefix
         ):
             return
-        payload = {key: _push_safe(value) for key, value in record.payload.items()}
+        # Sanitising the payload costs a json.dumps per value; at 1k+
+        # subscribers the same record is delivered 1k+ times, so memoise
+        # the wire-safe payload on the record itself (first deliverer pays).
+        payload = getattr(record, "_wire_payload", None)
+        if payload is None:
+            payload = {key: _push_safe(value) for key, value in record.payload.items()}
+            try:
+                record._wire_payload = payload
+            except AttributeError:  # pragma: no cover - slotted/frozen record
+                pass
         self._send(self._frame(PUSH_FRAME_EVENT, record.topic, record.timestamp, payload))
         if self.closed or self.job_id is None:
             return
@@ -251,18 +261,19 @@ class ApiRouter:
         self._subscriptions: Dict[int, _Subscription] = {}
         self._bus_callbacks: Dict[int, Callable] = {}
         self._subscriptions_lock = threading.Lock()
+        self._analytics_replay_lock = threading.Lock()
         self._next_subscription_id = 1
         self._ops: Dict[str, _Op] = {
             # -- v1 ----------------------------------------------------------
             "job.submit": _Op(self._op_job_submit, Permission.CREATE_JOB),
-            "job.status": _Op(self._op_job_status, Permission.VIEW_RESULTS),
-            "job.list": _Op(self._op_job_list, Permission.VIEW_RESULTS),
+            "job.status": _Op(self._op_job_status, Permission.VIEW_RESULTS, read_only=True),
+            "job.list": _Op(self._op_job_list, Permission.VIEW_RESULTS, read_only=True),
             "job.cancel": _Op(self._op_job_cancel, Permission.EDIT_JOB),
-            "job.results": _Op(self._op_job_results, Permission.VIEW_RESULTS),
+            "job.results": _Op(self._op_job_results, Permission.VIEW_RESULTS, read_only=True),
             "session.reserve": _Op(self._op_session_reserve, Permission.REMOTE_CONTROL),
-            "credits.balance": _Op(self._op_credits_balance, Permission.VIEW_RESULTS),
-            "fleet.list": _Op(self._op_fleet_list, Permission.VIEW_RESULTS),
-            "server.status": _Op(self._op_server_status, Permission.VIEW_RESULTS),
+            "credits.balance": _Op(self._op_credits_balance, Permission.VIEW_RESULTS, read_only=True),
+            "fleet.list": _Op(self._op_fleet_list, Permission.VIEW_RESULTS, read_only=True),
+            "server.status": _Op(self._op_server_status, Permission.VIEW_RESULTS, read_only=True),
             # -- v2: sessions ------------------------------------------------
             "auth.login": _Op(
                 self._op_auth_login,
@@ -283,6 +294,7 @@ class ApiRouter:
                 self._op_approvals_list,
                 Permission.APPROVE_PIPELINE,
                 min_version=API_VERSION_V2,
+                read_only=True,
             ),
             "job.approve": _Op(
                 self._op_job_approve,
@@ -309,11 +321,13 @@ class ApiRouter:
                 self._op_analytics_report,
                 Permission.VIEW_RESULTS,
                 min_version=API_VERSION_V2,
+                read_only=True,
             ),
             "analytics.timeseries": _Op(
                 self._op_analytics_timeseries,
                 Permission.VIEW_RESULTS,
                 min_version=API_VERSION_V2,
+                read_only=True,
             ),
             # -- v2: streaming ----------------------------------------------
             "job.watch": _Op(
@@ -338,6 +352,17 @@ class ApiRouter:
     @property
     def server(self):
         return self._server
+
+    def is_read_only(self, op_name: object) -> bool:
+        """Whether ``op_name`` never mutates access-server state.
+
+        The gateway uses this to let read-only operations run without the
+        exclusive router lock (they tolerate running concurrently with a
+        mutating op; see DESIGN.md's optimistic-read contract).  Unknown
+        operations classify as mutating — the safe default.
+        """
+        op = self._ops.get(op_name) if isinstance(op_name, str) else None
+        return op is not None and op.read_only
 
     def operations(self, version: str = API_VERSION) -> Dict[str, Optional[Permission]]:
         """The routable operation names (for ``version``) and their permissions.
@@ -798,8 +823,12 @@ class ApiRouter:
             from repro.analytics import AnalyticsEngine
 
             backend = self._server.persistence.backend
-            backend.sync()
-            return AnalyticsEngine.from_backend(backend)
+            # Cold replay syncs the journal backend; analytics ops run
+            # without the exclusive router lock, so two concurrent reports
+            # must not race the flush.
+            with self._analytics_replay_lock:
+                backend.sync()
+                return AnalyticsEngine.from_backend(backend)
         raise NotFoundApiError(
             "analytics is not enabled on this server and no journal is "
             "attached to replay; call AccessServer.enable_analytics()"

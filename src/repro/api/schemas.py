@@ -170,6 +170,137 @@ def _field_default(f: dataclasses.Field):
     return dataclasses.MISSING
 
 
+def _compile_checker(hint):
+    """Build a ``check(name, value) -> converted`` closure for one annotation.
+
+    The closure reproduces :func:`_check_value` exactly (same coercions, same
+    :class:`ValidationApiError` messages) with the ``typing`` introspection
+    hoisted out of the per-call path — the checker is built once per field
+    when a class's codec is compiled.
+    """
+    if _is_optional(hint):
+        inner = _compile_checker(_strip_optional(hint))
+
+        def check_optional(name, value):
+            if value is None:
+                return None
+            return inner(name, value)
+
+        return check_optional
+    origin = typing.get_origin(hint)
+    if origin in (list, typing.List):
+        (item_hint,) = typing.get_args(hint)
+        item_check = _compile_checker(item_hint)
+
+        def check_list(name, value):
+            if not isinstance(value, list):
+                raise ValidationApiError(
+                    f"field {name!r} must be a list", details={"field": name}
+                )
+            return [item_check(f"{name}[{i}]", item) for i, item in enumerate(value)]
+
+        return check_list
+    if isinstance(hint, type) and issubclass(hint, WireModel):
+
+        def check_model(name, value):
+            if isinstance(value, hint):
+                return value
+            if not isinstance(value, dict):
+                raise ValidationApiError(
+                    f"field {name!r} must be an object", details={"field": name}
+                )
+            return hint.from_wire(value)
+
+        return check_model
+    if hint is object:
+        return lambda name, value: value
+    if hint in (dict, Dict):
+
+        def check_dict(name, value):
+            if not isinstance(value, dict):
+                raise ValidationApiError(
+                    f"field {name!r} must be an object", details={"field": name}
+                )
+            return value
+
+        return check_dict
+    if hint is float:
+
+        def check_float(name, value):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValidationApiError(
+                    f"field {name!r} must be a number", details={"field": name}
+                )
+            return float(value)
+
+        return check_float
+    if hint is int:
+
+        def check_int(name, value):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValidationApiError(
+                    f"field {name!r} must be an integer", details={"field": name}
+                )
+            return value
+
+        return check_int
+    if hint is bool:
+
+        def check_bool(name, value):
+            if not isinstance(value, bool):
+                raise ValidationApiError(
+                    f"field {name!r} must be a boolean", details={"field": name}
+                )
+            return value
+
+        return check_bool
+    if hint is str:
+
+        def check_str(name, value):
+            if not isinstance(value, str):
+                raise ValidationApiError(
+                    f"field {name!r} must be a string", details={"field": name}
+                )
+            return value
+
+        return check_str
+
+    def check_unsupported(name, value):
+        raise TypeError(f"unsupported wire field type {hint!r} for {name!r}")
+
+    return check_unsupported
+
+
+class _WireCodec:
+    """Per-class compiled wire schema: one tuple walk per call, no ``typing``."""
+
+    __slots__ = ("known", "to_wire_plan", "from_wire_plan")
+
+    def __init__(self, cls):
+        hints = cls._hints()
+        elide = set(cls._ELIDE_WHEN_DEFAULT)
+        fields = dataclasses.fields(cls)
+        self.known = frozenset(f.name for f in fields)
+        # (name, elide_default | MISSING) — MISSING means "always emit".
+        self.to_wire_plan = tuple(
+            (
+                f.name,
+                _field_default(f) if f.name in elide else dataclasses.MISSING,
+            )
+            for f in fields
+        )
+        # (name, checker, required)
+        self.from_wire_plan = tuple(
+            (
+                f.name,
+                _compile_checker(hints[f.name]),
+                f.default is dataclasses.MISSING
+                and f.default_factory is dataclasses.MISSING,  # type: ignore[misc]
+            )
+            for f in fields
+        )
+
+
 class WireModel:
     """Base class giving every DTO strict ``to_wire`` / ``from_wire``.
 
@@ -195,15 +326,24 @@ class WireModel:
             cls._hints_cache = cached
         return cached
 
+    @classmethod
+    def _codec(cls) -> _WireCodec:
+        # Cached on the concrete class (cls.__dict__, not attribute lookup,
+        # so subclasses never inherit a parent's compiled plan).
+        codec = cls.__dict__.get("_codec_cache")
+        if codec is None:
+            codec = _WireCodec(cls)
+            cls._codec_cache = codec
+        return codec
+
     def to_wire(self) -> Dict[str, object]:
         wire: Dict[str, object] = {}
-        for f in dataclasses.fields(self):
-            value = getattr(self, f.name)
-            if f.name in self._ELIDE_WHEN_DEFAULT:
-                default = _field_default(f)
-                if default is not dataclasses.MISSING and value == default:
-                    continue
-            wire[f.name] = _wire_value(value)
+        wv = _wire_value
+        for name, elide_default in self._codec().to_wire_plan:
+            value = getattr(self, name)
+            if elide_default is not dataclasses.MISSING and value == elide_default:
+                continue
+            wire[name] = wv(value)
         return wire
 
     @classmethod
@@ -213,25 +353,21 @@ class WireModel:
                 f"{cls.__name__} payload must be an object",
                 details={"schema": cls.__name__},
             )
-        hints = cls._hints()
-        known = {f.name for f in dataclasses.fields(cls)}
-        unknown = sorted(set(data) - known)
-        if unknown:
+        codec = cls._codec()
+        if not data.keys() <= codec.known:
+            unknown = sorted(set(data) - codec.known)
             raise ValidationApiError(
                 f"{cls.__name__} does not accept field(s) {', '.join(map(repr, unknown))}",
                 details={"schema": cls.__name__, "unknown_fields": unknown},
             )
         kwargs = {}
-        for f in dataclasses.fields(cls):
-            if f.name in data:
-                kwargs[f.name] = _check_value(f.name, data[f.name], hints[f.name])
-            elif (
-                f.default is dataclasses.MISSING
-                and f.default_factory is dataclasses.MISSING
-            ):
+        for name, check, required in codec.from_wire_plan:
+            if name in data:
+                kwargs[name] = check(name, data[name])
+            elif required:
                 raise ValidationApiError(
-                    f"{cls.__name__} is missing required field {f.name!r}",
-                    details={"schema": cls.__name__, "missing_field": f.name},
+                    f"{cls.__name__} is missing required field {name!r}",
+                    details={"schema": cls.__name__, "missing_field": name},
                 )
         return cls(**kwargs)
 

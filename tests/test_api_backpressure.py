@@ -2,10 +2,11 @@
 
 The simulation thread that publishes a bus event must never block on a
 consumer's socket: pushes go through a bounded per-connection queue
-drained by a pump thread.  Policy under overflow: drop the *oldest*
-queued event frame (terminal ``end`` frames survive) and surface the loss
-as a ``dropped`` counter — matching the ``seq`` gap — on the next frame
-delivered for that subscription.
+drained by the gateway's event loop only when the socket is writable.
+Policy under overflow: drop the *oldest* queued event frame (terminal
+``end`` frames survive) and surface the loss as a ``dropped`` counter —
+matching the ``seq`` gap — on the next frame delivered for that
+subscription.
 """
 
 import json
@@ -15,7 +16,7 @@ import time
 
 import pytest
 
-from repro.api import ApiPush
+from repro.api import ApiGateway, ApiPush
 from repro.api.gateway import _Connection
 from repro.core.platform import build_default_platform
 
@@ -47,15 +48,40 @@ def _read_frames(sock, stop, timeout_s=10.0):
             return frames
 
 
-class TestConnectionPushPump:
+@pytest.fixture()
+def loop_gateway():
+    """A router-less gateway: just the event loop, for adopted sockets."""
+    gateway = ApiGateway(router=None)
+    gateway.start()
+    yield gateway
+    gateway.stop()
+
+
+class TestConnectionPushQueue:
+    """The bounded push queue, drained by the gateway's event loop.
+
+    Each test adopts one end of a socketpair into a live loop and stalls
+    the other end, so frames pile up exactly as they would behind a slow
+    remote consumer.  A frame the loop has already serialized into the
+    connection's outgoing buffer is committed (the analogue of the byte a
+    blocking write had half-sent); everything still in the queue stays
+    evictable under the bound.
+    """
+
     def _stalled_pair(self, sndbuf=8192):
         left, right = socket.socketpair()
         left.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, sndbuf)
         return left, right
 
-    def test_push_frame_never_blocks_the_publisher(self):
+    def _wait_queue_drained(self, connection, timeout_s=2.0):
+        """Wait for the loop to move queued frames into the write buffer."""
+        deadline = time.time() + timeout_s
+        while connection._push_queue and time.time() < deadline:
+            time.sleep(0.005)
+
+    def test_push_frame_never_blocks_the_publisher(self, loop_gateway):
         left, right = self._stalled_pair()
-        connection = _Connection(left, push_queue_limit=8)
+        connection = loop_gateway._adopt_socket(left, push_queue_limit=8)
         total = 300
         started = time.perf_counter()
         for seq in range(1, total + 1):
@@ -74,13 +100,13 @@ class TestConnectionPushPump:
         for frame in received:
             assert frame["seq"] == previous + frame.get("dropped", 0) + 1
             previous = frame["seq"]
-        connection.close()
         right.close()
 
-    def test_end_frames_survive_overflow(self):
+    def test_end_frames_survive_overflow(self, loop_gateway):
         left, right = self._stalled_pair()
-        connection = _Connection(left, push_queue_limit=4)
-        # Oversized frames so the pump wedges on the first send immediately.
+        connection = loop_gateway._adopt_socket(left, push_queue_limit=4)
+        # Oversized frames overrun the unread send buffer immediately, so
+        # the loop's write buffer backs up and the queue starts filling.
         seq = 0
         for _ in range(3):
             seq += 1
@@ -109,24 +135,23 @@ class TestConnectionPushPump:
         assert (1, "end", end_seq) in kinds, "the watch end frame was dropped"
         dropped = sum(frame.get("dropped", 0) for frame in received)
         assert dropped > 0
-        connection.close()
         right.close()
 
     def test_push_after_close_raises_for_subscription_teardown(self):
-        left, right = self._stalled_pair()
+        left, right = socket.socketpair()
         connection = _Connection(left, push_queue_limit=4)
         connection.close()
         with pytest.raises(OSError):
             connection.push_frame(_push_frame_dict(1))
         right.close()
 
-    def test_dead_socket_marks_connection_closed(self):
-        """A half-open peer fails writes before the reader sees EOF; the
-        pump must mark the connection closed so later pushes raise and the
-        router can tear the subscriptions down instead of leaking them."""
+    def test_dead_socket_marks_connection_closed(self, loop_gateway):
+        """A dead peer must mark the connection closed so later pushes
+        raise and the router can tear the subscriptions down instead of
+        leaking them."""
         left, right = socket.socketpair()
-        connection = _Connection(left, push_queue_limit=4)
-        right.close()  # the peer dies; writes will hit EPIPE
+        connection = loop_gateway._adopt_socket(left, push_queue_limit=4)
+        right.close()  # the peer dies; the loop sees EOF / EPIPE
         deadline = time.time() + 2.0
         raised = False
         while time.time() < deadline:
@@ -137,19 +162,16 @@ class TestConnectionPushPump:
                 break
             time.sleep(0.01)
         assert raised, "push_frame kept accepting frames on a dead connection"
-        connection.close()
 
-    def test_event_newcomer_cannot_evict_a_queued_end_frame(self):
+    def test_event_newcomer_cannot_evict_a_queued_end_frame(self, loop_gateway):
         """With only end frames evictable, an incoming ordinary event is
         the drop — a watcher must never lose its completion frame."""
         left, right = self._stalled_pair()
-        connection = _Connection(left, push_queue_limit=1)
-        # Oversized first frame wedges the pump in sendall, emptying the
+        connection = loop_gateway._adopt_socket(left, push_queue_limit=1)
+        # Oversized first frame backs up the write buffer, emptying the
         # queue; the end frame then occupies the single queue slot.
         connection.push_frame(_push_frame_dict(1, blob_size=65536))
-        deadline = time.time() + 2.0
-        while connection._push_queue and time.time() < deadline:
-            time.sleep(0.005)  # wait for the pump to dequeue frame 1
+        self._wait_queue_drained(connection)
         end_seq = 2
         connection.push_frame(_push_frame_dict(end_seq, frame="end", blob_size=64))
         connection.push_frame(_push_frame_dict(3, blob_size=64))  # must lose
@@ -160,18 +182,15 @@ class TestConnectionPushPump:
         end_frame = received[-1]
         assert end_frame["seq"] == end_seq
         assert end_frame.get("dropped", 0) == 1  # the evicted newcomer
-        connection.close()
         right.close()
 
-    def test_end_frames_bypass_the_queue_bound(self):
+    def test_end_frames_bypass_the_queue_bound(self, loop_gateway):
         """Two watchers terminating into a stalled 1-deep queue must both
         receive their end frames — ends are never sacrificed to ends."""
         left, right = self._stalled_pair()
-        connection = _Connection(left, push_queue_limit=1)
+        connection = loop_gateway._adopt_socket(left, push_queue_limit=1)
         connection.push_frame(_push_frame_dict(1, blob_size=65536))
-        deadline = time.time() + 2.0
-        while connection._push_queue and time.time() < deadline:
-            time.sleep(0.005)  # pump holds frame 1, queue empty
+        self._wait_queue_drained(connection)
         connection.push_frame(_push_frame_dict(2, frame="end", blob_size=64))
         connection.push_frame(
             _push_frame_dict(1, subscription_id=2, frame="end", blob_size=64)
@@ -183,12 +202,9 @@ class TestConnectionPushPump:
         frames = {(f.get("subscription_id"), f.get("frame")) for f in received}
         assert (1, "end") in frames and (2, "end") in frames
         assert all(f.get("dropped", 0) == 0 for f in received)
-        connection.close()
         right.close()
 
     def test_bad_queue_limit_fails_at_gateway_construction(self):
-        from repro.api import ApiGateway
-
         with pytest.raises(ValueError):
             ApiGateway(router=None, push_queue_limit=0)
 

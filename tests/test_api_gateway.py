@@ -138,3 +138,179 @@ class TestGatewayFraming:
                 assert client.server_status().api_version == "1.0"
         finally:
             second.stop()
+
+
+class TestPipelining:
+    """Request pipelining: many in-flight requests on one connection,
+    answered strictly in order, plus the client-side batch builder."""
+
+    def test_raw_pipelined_requests_answered_in_order(self, gateway):
+        host, port = gateway.address
+        total = 40
+        blob = b"".join(
+            json.dumps(
+                {
+                    "op": "server.status",
+                    "version": "1.0",
+                    "auth": {
+                        "username": "experimenter",
+                        "token": "experimenter-token",
+                    },
+                    "payload": {},
+                    "request_id": index,
+                }
+            ).encode("utf-8")
+            + b"\n"
+            for index in range(1, total + 1)
+        )
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            sock.sendall(blob)  # all requests in flight before any read
+            reader = sock.makefile("rb")
+            responses = [json.loads(reader.readline()) for _ in range(total)]
+        assert [response["request_id"] for response in responses] == list(
+            range(1, total + 1)
+        )
+        assert all(response["ok"] for response in responses)
+
+    def test_transport_send_many_matches_serial_sends(self, client):
+        request = {
+            "op": "server.status",
+            "version": "1.0",
+            "auth": {"username": "experimenter", "token": "experimenter-token"},
+            "payload": {},
+            "request_id": 7,
+        }
+        batch = client.transport.send_many([dict(request) for _ in range(5)])
+        assert len(batch) == 5
+        assert all(response["ok"] for response in batch)
+        assert batch[0]["payload"] == client.transport.send(request)["payload"]
+
+    def test_client_pipeline_mixed_ops(self, platform, client):
+        submitted = client.submit_job("pipelined", "noop")
+        pipe = client.pipeline()
+        status_handle = pipe.job_status(submitted.job_id)
+        server_handle = pipe.server_status()
+        fleet_handle = pipe.fleet()
+        views = pipe.flush()
+        assert len(views) == 3
+        assert status_handle.result().job_id == submitted.job_id
+        assert server_handle.result().api_version == "1.0"
+        assert fleet_handle.result().device_serials() == ["node1-dev00"]
+
+    def test_pipeline_surfaces_typed_errors_per_call(self, client):
+        pipe = client.pipeline()
+        good = pipe.server_status()
+        bad = pipe.job_status(99999)
+        with pytest.raises(Exception) as excinfo:
+            pipe.flush()
+        from repro.api import NotFoundApiError
+
+        assert isinstance(excinfo.value, NotFoundApiError)
+        assert good.result().api_version == "1.0"  # the good call still resolved
+        assert isinstance(bad.error, NotFoundApiError)
+
+    def test_pipeline_works_on_in_process_transport(self, platform):
+        client = platform.client()
+        pipe = client.pipeline()
+        pipe.submit_job("batch-a", "noop")
+        pipe.submit_job("batch-b", "noop")
+        views = pipe.flush()
+        assert [view.name for view in views] == ["batch-a", "batch-b"]
+        platform.run_queue()
+        assert client.job_status(views[0].job_id).status == "completed"
+
+
+class TestConcurrentReads:
+    """Read-only ops must not serialize behind mutating ops (or behind an
+    external driver holding ``router_lock`` for a mutation burst)."""
+
+    def test_slow_job_submit_does_not_block_server_status(self, platform, gateway):
+        import threading
+        import time as _time
+
+        server = platform.access_server
+        original = server.submit_job
+        entered = threading.Event()
+
+        def slow_submit(*args, **kwargs):
+            entered.set()
+            _time.sleep(1.0)  # a mutating op stuck under router_lock
+            return original(*args, **kwargs)
+
+        server.submit_job = slow_submit
+        host, port = gateway.address
+        try:
+            writer = BatteryLabClient(
+                JsonLinesTransport(host, port, timeout_s=10.0),
+                "experimenter",
+                "experimenter-token",
+            )
+            reader = BatteryLabClient(
+                JsonLinesTransport(host, port, timeout_s=10.0),
+                "experimenter",
+                "experimenter-token",
+            )
+            submit_thread = threading.Thread(
+                target=lambda: writer.submit_job("slow", "noop")
+            )
+            submit_thread.start()
+            assert entered.wait(timeout=5.0)
+            started = _time.perf_counter()
+            status = reader.server_status()
+            elapsed = _time.perf_counter() - started
+            submit_thread.join(timeout=10.0)
+            assert status.api_version == "1.0"
+            assert elapsed < 0.5, (
+                f"server.status took {elapsed:.2f}s behind a slow job.submit"
+            )
+            writer.close()
+            reader.close()
+        finally:
+            server.submit_job = original
+
+    def test_reads_concurrent_with_external_router_lock_holder(self, gateway):
+        """A host driver holding ``router_lock`` (the documented pattern for
+        run_queue bursts) must not freeze read-only remote requests."""
+        host, port = gateway.address
+        with BatteryLabClient(
+            JsonLinesTransport(host, port, timeout_s=10.0),
+            "experimenter",
+            "experimenter-token",
+        ) as client:
+            client.server_status()  # connection + auth warm
+            with gateway.router_lock:
+                assert client.server_status().api_version == "1.0"
+
+    def test_mutating_ops_still_serialize_through_router_lock(self, gateway):
+        import threading
+        import time as _time
+
+        host, port = gateway.address
+        with BatteryLabClient(
+            JsonLinesTransport(host, port, timeout_s=10.0),
+            "experimenter",
+            "experimenter-token",
+        ) as client:
+            client.server_status()
+            finished = threading.Event()
+
+            def submit_while_locked():
+                client_b = BatteryLabClient(
+                    JsonLinesTransport(host, port, timeout_s=10.0),
+                    "experimenter",
+                    "experimenter-token",
+                )
+                client_b.submit_job("locked-out", "noop")
+                finished.set()
+                client_b.close()
+
+            gateway.router_lock.acquire()
+            try:
+                thread = threading.Thread(target=submit_while_locked)
+                thread.start()
+                _time.sleep(0.3)
+                assert not finished.is_set(), "job.submit ran despite router_lock"
+            finally:
+                gateway.router_lock.release()
+            assert finished.wait(timeout=5.0)
+            thread.join(timeout=5.0)

@@ -200,6 +200,32 @@ class TestGatewayStreaming:
         finally:
             gateway.stop()
 
+    def test_pipelined_requests_interleave_with_pushes(self, platform):
+        """A pipelined batch on a connection with a live subscription gets
+        every response, in order, with push frames demultiplexed around
+        them — frames never interleave mid-line."""
+        gateway = self._serve(platform)
+        host, port = gateway.address
+        try:
+            with BatteryLabClient(
+                JsonLinesTransport(host, port, timeout_s=10.0),
+                "experimenter",
+                "experimenter-token",
+            ) as client:
+                stream = client.events(timeout_s=10.0)
+                view = client.submit_job("pipelined-mid-stream", "noop")
+                platform.run_queue()  # pushes buffered while no request pending
+                pipe = client.pipeline()
+                handles = [pipe.job_status(view.job_id) for _ in range(8)]
+                pipe.server_status()
+                views = pipe.flush()
+                assert len(views) == 9
+                assert all(h.result().status == "completed" for h in handles)
+                topics = [frame.topic for frame in _drain(stream, 4)]
+                assert "dispatch.assigned" in topics
+        finally:
+            gateway.stop()
+
     def test_stop_with_blocked_watcher_does_not_hang(self, platform):
         """Regression: ApiGateway.stop() must close active streaming
         subscriptions promptly — a blocked job.watch reader cannot hold
