@@ -27,6 +27,7 @@ time, talk to real devices, or compute locally qualify, payloads that call
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
@@ -50,6 +51,11 @@ class AdmittedExecution:
     execution_started_at: float
     result: object = None
     error: Optional[BaseException] = None
+    # Phase timings (wall seconds) captured where each phase ran; the settle
+    # phase reads them on the server thread to feed histograms and record
+    # lifecycle spans without touching telemetry from worker threads.
+    admit_elapsed_s: float = 0.0
+    run_elapsed_s: float = 0.0
 
     @property
     def job(self):
@@ -57,10 +63,13 @@ class AdmittedExecution:
 
     def run_payload(self) -> None:
         """Execute the payload, capturing the outcome (worker thread)."""
+        t0 = time.perf_counter()
         try:
             self.result = self.job.spec.run(self.ctx)
         except Exception as exc:
             self.error = exc
+        finally:
+            self.run_elapsed_s = time.perf_counter() - t0
 
 
 class WaveExecutor:

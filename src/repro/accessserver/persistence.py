@@ -49,6 +49,7 @@ from __future__ import annotations
 import abc
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
@@ -911,6 +912,7 @@ def recover_into(server: "AccessServer", backend: StorageBackend) -> RecoveryRep
         if job.job_id in pending_ids and job.status is JobStatus.PENDING_APPROVAL:
             scheduler.restore_job(job, queued=False)
             server._pending_approval.append(job)
+            server._track_orphan(job)
             report.pending_approval += 1
         elif job.status is JobStatus.QUEUED:
             seq = state.queue_seq.get(job.job_id)
@@ -919,6 +921,7 @@ def recover_into(server: "AccessServer", backend: StorageBackend) -> RecoveryRep
             scheduler.restore_job(job, queued=False)
     for _, job in sorted(queued, key=lambda item: item[0]):
         scheduler.restore_job(job, queued=True)
+        server._track_orphan(job)
         report.jobs_queued += 1
 
     # Jobs pinned to a vantage point that has not re-joined can never
@@ -989,6 +992,35 @@ class PersistenceManager:
         self._last_snapshot_at: Optional[float] = None
         self._attached = False
         self.last_recovery: Optional[RecoveryReport] = None
+        # Telemetry (rides on the server's registry when present).
+        obs = getattr(server, "obs", None)
+        if obs is not None:
+            registry = obs.registry
+            self._m_append = registry.histogram(
+                "journal_append_seconds", "Wall time of one journal append."
+            ).labels()
+            self._g_fsyncs = registry.gauge(
+                "journal_fsyncs_total", "fsync batches flushed by the backend."
+            ).labels()
+            self._g_since_snapshot = registry.gauge(
+                "journal_records_since_snapshot",
+                "Journal records a recovery would replay.",
+            ).labels()
+            self._g_snapshot_age = registry.gauge(
+                "snapshot_age_seconds",
+                "Simulated seconds since the last checkpoint (0 before the first).",
+            ).labels()
+            registry.add_collect_hook(self._collect_metrics)
+        else:
+            self._m_append = None
+
+    def _collect_metrics(self) -> None:
+        self._g_fsyncs.set(float(getattr(self._backend, "fsyncs", 0)))
+        self._g_since_snapshot.set(float(self._records_since_snapshot))
+        if self._last_snapshot_at is not None:
+            self._g_snapshot_age.set(self._server.context.now - self._last_snapshot_at)
+        else:
+            self._g_snapshot_age.set(0.0)
 
     # -- introspection ------------------------------------------------------
     @property
@@ -1145,6 +1177,7 @@ class PersistenceManager:
 
     # -- internals ----------------------------------------------------------
     def _append(self, kind: str, data: Dict[str, object]) -> None:
+        append_t0 = time.perf_counter()
         self._sequence += 1
         self._backend.append(
             {
@@ -1155,6 +1188,8 @@ class PersistenceManager:
             }
         )
         self._records_since_snapshot += 1
+        if self._m_append is not None:
+            self._m_append.observe(time.perf_counter() - append_t0)
         if self._records_since_snapshot >= self._snapshot_every:
             self.checkpoint()
 

@@ -33,6 +33,7 @@ dispatch ticks on the simulation event loop, so callers no longer poll
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -52,6 +53,7 @@ from repro.accessserver.policies import SchedulingPolicy
 from repro.accessserver.scheduler import JobScheduler, SessionReservation
 from repro.accessserver.testers import TesterPool
 from repro.network.ssh import SshChannel, SshKeyPair
+from repro.obs import Observability, component_logger
 from repro.simulation.entity import Entity, SimulationContext
 from repro.simulation.events import Event, EventBus
 from repro.vantagepoint.controller import VantagePointController
@@ -114,6 +116,9 @@ class AccessServer(Entity):
             self.certificate_authority.issue(context.now)
         )
         self.events = EventBus(clock=context.clock)
+        #: Platform telemetry: metrics registry + tracer (``repro.obs``).
+        self.obs = Observability(clock=context.clock, bus=self.events)
+        self._obs_log = component_logger("repro.accessserver.server")
         self.scheduler = JobScheduler(
             policy=scheduling_policy,
             event_bus=self.events,
@@ -126,6 +131,16 @@ class AccessServer(Entity):
             "dispatch.reservation_cancelled",
             lambda record: self._schedule_dispatch_tick(),
         )
+        # Incrementally-maintained orphan set (jobs pinned to a vantage point
+        # that is not registered).  Entries leave on cancel/reject — the
+        # engine emits ``dispatch.cancelled`` for both — or when the missing
+        # vantage point registers.  See :meth:`orphaned_jobs`.
+        self._orphans: Dict[int, Job] = {}
+        self.events.subscribe(
+            "dispatch.cancelled",
+            lambda record: self._orphans.pop(record.payload.get("job_id"), None),
+        )
+        self._declare_metrics()
         self.testers = TesterPool()
         self.ssh_key = SshKeyPair.generate("batterylab-access-server", self.random)
         self._vantage_points: Dict[str, VantagePointRecord] = {}
@@ -143,6 +158,68 @@ class AccessServer(Entity):
         # (owner, idempotency_key) -> job_id: flaky-transport retries of the
         # same submission return the original job instead of double-queueing.
         self._idempotent_submissions: Dict[Tuple[str, str], int] = {}
+
+    # -- telemetry ---------------------------------------------------------------------
+    def _declare_metrics(self) -> None:
+        registry = self.obs.registry
+        self._m_waves = registry.counter(
+            "dispatch_waves_total", "Dispatch waves with at least one assignment."
+        ).labels()
+        self._m_wave_size = registry.histogram(
+            "dispatch_wave_size",
+            "Assignments handed out per dispatch wave.",
+            bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        ).labels()
+        self._m_decision = registry.histogram(
+            "dispatch_decision_seconds",
+            "Wall time spent inside dispatch_batch per tick.",
+        ).labels()
+        self._m_admit = registry.histogram(
+            "job_admit_seconds", "Wall time of the admit phase per job."
+        ).labels()
+        self._m_run = registry.histogram(
+            "job_run_seconds", "Wall time of the payload run phase per job."
+        ).labels()
+        self._m_settle = registry.histogram(
+            "job_settle_seconds", "Wall time of the settle phase per job."
+        ).labels()
+        self._m_executed = registry.counter(
+            "jobs_executed_total",
+            "Jobs settled, by terminal status.",
+            labelnames=("status",),
+        )
+        # Children resolved once per status; the settle path pays a dict hit.
+        self._m_executed_children: Dict[str, object] = {}
+        self._m_parallelism = registry.gauge(
+            "wave_parallelism_ratio",
+            "Admitted wave size / executor worker count of the last parallel wave.",
+        ).labels()
+        self._g_queue_depth = registry.gauge(
+            "dispatch_queue_depth",
+            "Queued jobs per constraint bucket.",
+            labelnames=("bucket",),
+        )
+        self._g_orphans = registry.gauge(
+            "orphaned_jobs", "Queued jobs pinned to an unregistered vantage point."
+        ).labels()
+        self._seen_queue_buckets: set = set()
+        registry.add_collect_hook(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time gauges: queue depth per constraint bucket, orphan count."""
+        self._g_orphans.set(float(len(self.orphaned_jobs())))
+        sizes = self.scheduler.engine.queue.bucket_sizes()
+        live = set()
+        for key, depth in sizes.items():
+            vp, device = key
+            label = f"{vp or '*'}|{device or '*'}"
+            live.add(label)
+            self._g_queue_depth.labels(bucket=label).set(float(depth))
+        # Zero buckets that drained since the last scrape so stale depths
+        # don't linger in the exposition.
+        for label in self._seen_queue_buckets - live:
+            self._g_queue_depth.labels(bucket=label).set(0.0)
+        self._seen_queue_buckets = live
 
     # -- durable state -----------------------------------------------------------------
     @property
@@ -334,6 +411,10 @@ class AccessServer(Entity):
             report=report,
         )
         self._vantage_points[record.name] = record
+        # Jobs waiting on this vantage point are orphans no longer.
+        for job_id, job in list(self._orphans.items()):
+            if job.spec.constraints.vantage_point == record.name:
+                del self._orphans[job_id]
         for serial in controller.list_devices():
             self.scheduler.register_device(record.name, serial)
         if self._persistence is not None:
@@ -357,7 +438,11 @@ class AccessServer(Entity):
 
     # -- job lifecycle ---------------------------------------------------------------------
     def submit_job(
-        self, user: User, spec: JobSpec, idempotency_key: Optional[str] = None
+        self,
+        user: User,
+        spec: JobSpec,
+        idempotency_key: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> Job:
         """Create a job on behalf of an authenticated user.
 
@@ -373,7 +458,12 @@ class AccessServer(Entity):
         With an ``idempotency_key``, resubmitting the same ``(owner, key)``
         pair returns the job the first submission created — the safe-retry
         contract a client needs after a flaky-transport timeout.
+
+        ``trace_id`` threads the API-boundary trace through to the job's
+        lifecycle spans; when omitted (direct callers) a fresh trace is
+        minted so every job remains traceable via ``obs.trace``.
         """
+        started = time.perf_counter()
         self.users.authorize(user, Permission.CREATE_JOB)
         if idempotency_key is not None:
             existing = self._idempotent_submissions.get((spec.owner, idempotency_key))
@@ -402,6 +492,16 @@ class AccessServer(Entity):
             self._schedule_dispatch_tick()
         if idempotency_key is not None:
             self._idempotent_submissions[(spec.owner, idempotency_key)] = job.job_id
+        self._track_orphan(job)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.begin_job_trace(
+                job.job_id,
+                trace_id,
+                start=self.context.now,
+                elapsed_s=time.perf_counter() - started,
+                status_after=job.status.value,
+            )
         return job
 
     # -- lifecycle event publication ---------------------------------------------------
@@ -500,14 +600,21 @@ class AccessServer(Entity):
         on :meth:`enable_parallel_waves`).
         """
         executed: List[Job] = []
+        obs_on = self.obs.registry.enabled
         while len(executed) < max_jobs:
+            decision_t0 = time.perf_counter()
             assignments = self.scheduler.dispatch_batch(
                 self.context.now,
                 controller_cpu=self._controller_cpu,
                 max_assignments=max_jobs - len(executed),
             )
+            if obs_on:
+                self._m_decision.observe(time.perf_counter() - decision_t0)
             if not assignments:
                 break
+            if obs_on:
+                self._m_waves.inc()
+                self._m_wave_size.observe(float(len(assignments)))
             if self._wave_executor is not None and len(assignments) > 1:
                 executed.extend(self._execute_wave_parallel(assignments))
             else:
@@ -546,6 +653,8 @@ class AccessServer(Entity):
             admission = self._admit_assignment(assignment)
             if admission is not None:
                 admitted.append(admission)
+        if admitted and self.obs.registry.enabled:
+            self._m_parallelism.set(len(admitted) / self._wave_executor.max_workers)
         self._wave_executor.run_wave(admitted)
         executed: List[Job] = []
         for admission in admitted:
@@ -564,6 +673,7 @@ class AccessServer(Entity):
         from repro.core.api import BatteryLabAPI
         from repro.accessserver.executor import AdmittedExecution
 
+        admit_t0 = time.perf_counter()
         job = assignment.job
         if job.status is not JobStatus.RUNNING:
             return None
@@ -588,11 +698,15 @@ class AccessServer(Entity):
         api = BatteryLabAPI(record.controller)
         ctx = JobContext(job, api, assignment.device_serial, clock=lambda: self.context.now)
         self.scheduler.engine.begin_execution(job)
+        admit_elapsed = time.perf_counter() - admit_t0
+        if self.obs.registry.enabled:
+            self._m_admit.observe(admit_elapsed)
         return AdmittedExecution(
             assignment=assignment,
             ctx=ctx,
             record=record,
             execution_started_at=self.context.now,
+            admit_elapsed_s=admit_elapsed,
         )
 
     def _settle_assignment(self, admitted) -> None:
@@ -602,7 +716,15 @@ class AccessServer(Entity):
         ``end_execution``, device release, power-trace storage, credit
         settlement, then journal append and ``job.finished`` publish — so
         serial and parallel execution produce identical journals.
+
+        Telemetry note: this is also where the job's lifecycle spans
+        (``job.admit`` / ``job.run`` / ``job.settle``) are *recorded* — the
+        phases were timed where they happened (admit on this thread, run
+        possibly on a worker), but span IDs are minted and ``trace.span``
+        bus records published here, on the server thread in assignment
+        order, so parallel waves emit a byte-identical event stream.
         """
+        settle_t0 = time.perf_counter()
         job = admitted.job
         if admitted.error is not None:
             # The payload may have been cancelled while it ran (its slot is
@@ -664,6 +786,53 @@ class AccessServer(Entity):
                 job_id=job.job_id,
                 status=job.status.value,
                 finished_at=job.finished_at,
+            )
+        settle_elapsed = time.perf_counter() - settle_t0
+        if self.obs.registry.enabled:
+            self._m_run.observe(admitted.run_elapsed_s)
+            self._m_settle.observe(settle_elapsed)
+            status = job.status.value
+            child = self._m_executed_children.get(status)
+            if child is None:
+                child = self._m_executed.labels(status=status)
+                self._m_executed_children[status] = child
+            child.inc()
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            started_at = admitted.execution_started_at
+            now = self.context.now
+            tracer.record_phases(
+                job.job_id,
+                [
+                    (
+                        "job.admit",
+                        started_at,
+                        started_at,
+                        admitted.admit_elapsed_s,
+                        "ok",
+                        {
+                            "job_id": job.job_id,
+                            "vantage_point": admitted.assignment.vantage_point,
+                            "device": admitted.assignment.device_serial,
+                        },
+                    ),
+                    (
+                        "job.run",
+                        started_at,
+                        now,
+                        admitted.run_elapsed_s,
+                        "error" if admitted.error is not None else "ok",
+                        {"job_id": job.job_id},
+                    ),
+                    (
+                        "job.settle",
+                        now,
+                        now,
+                        settle_elapsed,
+                        "ok",
+                        {"job_id": job.job_id, "status_after": job.status.value},
+                    ),
+                ],
             )
 
     # -- parallel wave execution ---------------------------------------------------------------
@@ -914,22 +1083,43 @@ class AccessServer(Entity):
         """Create the initial administrator account."""
         return self.users.add_user(username, Role.ADMIN, token)
 
+    def _track_orphan(self, job: Job) -> None:
+        """Index ``job`` as an orphan if its pinned vantage point is absent.
+
+        Called on submission and on crash-recovery restore; the set shrinks
+        via the ``dispatch.cancelled`` subscription (cancel/reject both emit
+        it) and when the missing vantage point registers — an orphan can
+        never be dispatched, so no other exit path exists.
+        """
+        required = job.spec.constraints.vantage_point
+        if required is not None and required not in self._vantage_points:
+            self._orphans[job.job_id] = job
+
     def orphaned_jobs(self) -> List[Job]:
         """Waiting jobs pinned to a vantage point that is not registered.
 
         After crash recovery these are the journaled jobs whose vantage
         point has not re-joined (``recover_into`` restores state, not
         hardware); they sit in the queue undispatchable until an operator
-        re-registers the topology.  Computed live, so re-registering the
-        vantage point clears them from the report.
+        re-registers the topology.  Maintained incrementally (submission /
+        recovery add, cancellation and vantage-point registration remove),
+        so this — and the ``status()`` report built on it — costs
+        O(orphans), not O(queue).
         """
         orphaned = []
-        for job in self.scheduler.jobs():
-            if job.status not in (JobStatus.QUEUED, JobStatus.PENDING_APPROVAL):
-                continue
+        for job_id in list(self._orphans):
+            job = self._orphans[job_id]
             required = job.spec.constraints.vantage_point
-            if required is not None and required not in self._vantage_points:
-                orphaned.append(job)
+            if (
+                job.status not in (JobStatus.QUEUED, JobStatus.PENDING_APPROVAL)
+                or required is None
+                or required in self._vantage_points
+            ):
+                # Self-heal any entry invalidated outside the tracked exits.
+                del self._orphans[job_id]
+                continue
+            orphaned.append(job)
+        orphaned.sort(key=lambda job: job.job_id)
         return orphaned
 
     def status(self) -> dict:

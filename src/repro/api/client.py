@@ -63,6 +63,8 @@ from repro.api.schemas import (
     JobConstraintsV1,
     JobResultsView,
     JobView,
+    ObsMetricsView,
+    ObsTraceView,
     ReservationView,
     SessionView,
     StatusView,
@@ -747,6 +749,37 @@ class BatteryLabClient:
             "analytics.timeseries", {"bucket_s": bucket_s}, API_VERSION_V2
         )
         return AnalyticsTimeseriesView.from_wire(wire)
+
+    # -- observability (v2) --------------------------------------------------
+    def obs_metrics(self, prefix: Optional[str] = None) -> ObsMetricsView:
+        """Snapshot of the platform's metrics registry (v2).
+
+        ``prefix`` narrows the snapshot to metric families whose name
+        starts with it (e.g. ``"gateway_"``).  Render the result as
+        Prometheus-style text with
+        :func:`repro.obs.render_snapshot` on :meth:`ObsMetricsView.to_snapshot`.
+        """
+        body: dict = {}
+        if prefix is not None:
+            body["prefix"] = prefix
+        wire = self._call("obs.metrics", body, API_VERSION_V2)
+        return ObsMetricsView.from_wire(wire)
+
+    def obs_trace(
+        self, trace_id: Optional[str] = None, job_id: Optional[int] = None
+    ) -> ObsTraceView:
+        """Fetch one trace's finished spans (v2).
+
+        Identify the trace either directly (``trace_id``) or by the job it
+        followed (``job_id``); one of the two is required.
+        """
+        body: dict = {}
+        if trace_id is not None:
+            body["trace_id"] = trace_id
+        if job_id is not None:
+            body["job_id"] = job_id
+        wire = self._call("obs.trace", body, API_VERSION_V2)
+        return ObsTraceView.from_wire(wire)
 
     # -- sessions, credits, fleet, status -----------------------------------
     def reserve_session(

@@ -88,6 +88,7 @@ from typing import Optional, Tuple
 from repro.api.errors import TransportApiError, ValidationApiError
 from repro.api.schemas import API_VERSION, PUSH_KIND, ApiResponse
 from repro.api.client import Transport
+from repro.obs import component_logger
 
 #: Error code the gateway treats as a torn optimistic read worth retrying
 #: under the exclusive router lock (see the module docstring).
@@ -156,6 +157,7 @@ class _Connection:
         self._push_queue: deque = deque()
         self._push_dropped: dict = {}  # subscription_id -> drops not yet surfaced
         self._loop_notify = None  # set when adopted by a gateway loop
+        self.drop_counter = None  # optional metrics counter, set by the gateway
 
     # -- push back-pressure (any thread) -------------------------------------
     def push_frame(self, frame: dict) -> None:
@@ -186,6 +188,12 @@ class _Connection:
         self._push_dropped[subscription_id] = (
             self._push_dropped.get(subscription_id, 0) + 1
         )
+        if self.drop_counter is not None:
+            self.drop_counter.inc()
+
+    def push_queue_depth(self) -> int:
+        with self._lock:
+            return len(self._push_queue)
 
     def _evict_event(self) -> bool:
         """Evict the oldest queued *event* frame (lock held, queue full).
@@ -374,6 +382,75 @@ class ApiGateway:
         self._adoptions: deque = deque()
         self._connections: set = set()  # loop thread only (post-start)
         self._running = False
+        self._log = component_logger("repro.api.gateway")
+        # Telemetry rides on the access server's registry when the router is
+        # wired to one; a router-less gateway (tests) runs dark.
+        self._obs = getattr(getattr(router, "server", None), "obs", None)
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        obs = self._obs
+        if obs is None:
+            self._m_push_drops = None
+            return
+        registry = obs.registry
+        self._m_conns_total = registry.counter(
+            "gateway_connections_total", "Connections accepted since start."
+        ).labels()
+        self._g_conns_open = registry.gauge(
+            "gateway_connections_open", "Currently established connections."
+        ).labels()
+        handshakes = registry.counter(
+            "gateway_tls_handshakes_total",
+            "Completed TLS handshakes by outcome.",
+            labelnames=("outcome",),
+        )
+        self._m_handshake_ok = handshakes.labels(outcome="ok")
+        self._m_handshake_failed = handshakes.labels(outcome="failed")
+        self._m_handshake_reaps = registry.counter(
+            "gateway_tls_handshake_reaps_total",
+            "Connections dropped for exceeding the TLS handshake deadline.",
+        ).labels()
+        requests = registry.counter(
+            "gateway_requests_total",
+            "Request lines dispatched, by execution mode.",
+            labelnames=("mode",),
+        )
+        self._m_requests_inline = requests.labels(mode="inline")
+        self._m_requests_worker = requests.labels(mode="worker")
+        batches = registry.histogram(
+            "gateway_batch_seconds",
+            "Wall time answering one request batch, by execution mode.",
+            labelnames=("mode",),
+        )
+        self._m_batch_inline = batches.labels(mode="inline")
+        self._m_batch_worker = batches.labels(mode="worker")
+        self._g_backlog = registry.gauge(
+            "gateway_pipeline_backlog",
+            "Unanswered pipelined requests on the most recently serviced connection.",
+        ).labels()
+        self._m_read_pauses = registry.counter(
+            "gateway_read_pauses_total",
+            "Times a connection's reads were paused for pipeline back-pressure.",
+        ).labels()
+        self._m_push_drops = registry.counter(
+            "gateway_push_drops_total",
+            "Push frames dropped by slow-consumer back-pressure.",
+        ).labels()
+        self._g_push_depth = registry.gauge(
+            "gateway_push_queue_depth", "Queued push frames across connections."
+        ).labels()
+        registry.add_collect_hook(self._collect_gateway_gauges)
+
+    def _collect_gateway_gauges(self) -> None:
+        depth = 0
+        try:
+            for connection in list(self._connections):
+                depth += connection.push_queue_depth()
+        except RuntimeError:  # set mutated mid-scrape; next scrape catches up
+            pass
+        self._g_push_depth.set(float(depth))
+        self._g_conns_open.set(float(len(self._connections)))
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -488,6 +565,7 @@ class ApiGateway:
             secure=secure,
         )
         connection._loop_notify = self._notify
+        connection.drop_counter = self._m_push_drops
         self._adoptions.append(connection)
         self._wake()
         return connection
@@ -613,9 +691,12 @@ class ApiGateway:
                     raw, push_queue_limit=self._push_queue_limit, secure=secure
                 )
             connection._loop_notify = self._notify
+            connection.drop_counter = self._m_push_drops
             self._register(connection, selectors.EVENT_READ)
             if connection.registered:
                 self._connections.add(connection)
+                if self._obs is not None:
+                    self._m_conns_total.inc()
 
     # -- TLS handshake -------------------------------------------------------
     def _continue_handshake(self, connection: _Connection) -> None:
@@ -630,10 +711,14 @@ class ApiGateway:
         except (OSError, ssl.SSLError):
             # Failed handshake (plaintext probe, bad cipher): the peer
             # never reached the API; just drop the connection.
+            if self._obs is not None:
+                self._m_handshake_failed.inc()
             self._teardown(connection, silent=True)
             return
         connection.state = _STATE_OPEN
         connection.handshake_deadline = None
+        if self._obs is not None:
+            self._m_handshake_ok.inc()
         self._set_mask(connection, selectors.EVENT_READ)
 
     def _reap_handshakes(self) -> None:
@@ -647,6 +732,9 @@ class ApiGateway:
                 connection.handshake_deadline is not None
                 and deadline_now >= connection.handshake_deadline
             ):
+                if self._obs is not None:
+                    self._m_handshake_reaps.inc()
+                self._log.warning("TLS handshake timed out; connection reaped")
                 self._teardown(connection, silent=True)
 
     # -- per-connection events ----------------------------------------------
@@ -694,11 +782,15 @@ class ApiGateway:
         # Requests parse on the loop thread, once; workers receive parsed
         # ``(request, error_response)`` items.
         items = [self._parse_line(line) for line in lines]
+        obs_on = self._obs is not None and self._obs.registry.enabled
         if self._inline_eligible(items) and connection.idle_for_inline():
             # All-read-only burst on an idle connection: answer inline and
             # skip the loop<->worker handoff entirely.  On one core the GIL
             # handoff latency, not the dispatch, dominates a pipelined
-            # batch — this is the gateway's hot path.
+            # batch — this is the gateway's hot path.  Telemetry here is
+            # per-batch (one observe + one inc), not per-request, to keep
+            # the overhead budget.
+            batch_t0 = time.perf_counter()
             out = bytearray()
             for request, _ in items:
                 response = self._dispatch(
@@ -709,11 +801,21 @@ class ApiGateway:
             # Loop-owned buffers: append directly, no queue lock or wakeup.
             connection.drain_responses_into_outbuf()
             connection.outbuf += out
+            if obs_on:
+                self._m_requests_inline.inc(float(len(items)))
+                self._m_batch_inline.observe(time.perf_counter() - batch_t0)
             self._flush(connection)
             return
         backlog = connection.queue_requests(items)
+        if obs_on:
+            self._g_backlog.set(float(backlog))
         if backlog >= self.MAX_PIPELINE_DEPTH and not connection.read_paused:
             connection.read_paused = True
+            if obs_on:
+                self._m_read_pauses.inc()
+            self._log.warning(
+                "pipeline backlog %d reached; pausing reads", backlog
+            )
             self._set_mask(connection, connection.mask & ~selectors.EVENT_READ)
         if connection.claim_worker():
             self._pool.submit(self._drain_requests, connection)
@@ -787,10 +889,12 @@ class ApiGateway:
     WORKER_BATCH = 128
 
     def _drain_requests(self, connection: _Connection) -> None:
+        obs_on = self._obs is not None and self._obs.registry.enabled
         while True:
             batch = connection.next_request_batch(self.WORKER_BATCH)
             if batch is None:
                 return
+            batch_t0 = time.perf_counter()
             out = bytearray()
             for request, error in batch:
                 if error is not None:
@@ -799,6 +903,9 @@ class ApiGateway:
                     response = self._dispatch(request, connection, connection.secure)
                 out += json.dumps(response).encode("utf-8")
                 out += b"\n"
+            if obs_on:
+                self._m_requests_worker.inc(float(len(batch)))
+                self._m_batch_worker.observe(time.perf_counter() - batch_t0)
             connection.queue_response(bytes(out))
 
     def _parse_line(self, line: bytes):
@@ -829,6 +936,12 @@ class ApiGateway:
         if read_only is None:
             checker = getattr(router, "is_read_only", None)
             read_only = bool(checker and checker(request.get("op")))
+        if read_only and request.get("trace_id") is not None:
+            # A client-traced read mints spans in the router, and span
+            # records publish on the (single-threaded) event bus — run it
+            # under the exclusive lock like a mutation so bus publishes
+            # stay serialized.  Untraced reads keep the lock-free path.
+            read_only = False
         if read_only:
             # Optimistic read: no lock, concurrent with mutating ops.  A
             # torn iteration surfaces as server.internal — retry once with
@@ -850,9 +963,26 @@ class ApiGateway:
                     )
             return response
         with self._router_lock:
-            return router.handle(
+            obs = self._obs
+            span = None
+            if obs is not None and obs.tracer.enabled:
+                span = obs.tracer.start_span(
+                    "gateway.request",
+                    trace_id=request.get("trace_id"),
+                    op=request.get("op"),
+                )
+                # Thread the trace through the router so every downstream
+                # span (router, job lifecycle) shares this trace ID.
+                request = dict(request)
+                request["trace_id"] = span.trace_id
+            response = router.handle(
                 request, push=connection.push_frame, owner=connection, secure=secure
             )
+            if span is not None:
+                obs.tracer.end_span(
+                    span, status="ok" if response.get("ok") else "error"
+                )
+            return response
 
     # -- teardown ------------------------------------------------------------
     def _teardown(self, connection: _Connection, silent: bool = False) -> None:

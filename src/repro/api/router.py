@@ -46,7 +46,19 @@ operation                  permission                  request DTO              
 ``subscription.cancel``    ``view_results``            ``SubscriptionRef``              ``{"cancelled": bool}``
 ``analytics.report``       ``view_results``            ``AnalyticsReportRequest``       ``AnalyticsReportView``
 ``analytics.timeseries``   ``view_results``            ``AnalyticsTimeseriesRequest``   ``AnalyticsTimeseriesView``
+``obs.metrics``            ``view_results``            ``ObsMetricsRequest``            ``ObsMetricsView``
+``obs.trace``              ``view_results``            ``ObsTraceRequest``              ``ObsTraceView``
 ========================== =========================== ================================ ==================
+
+**Telemetry.**  When the server carries an :class:`~repro.obs.Observability`
+(the default), every handled request lands in the
+``api_op_latency_seconds{op}`` histogram and ``api_requests_total{op,outcome}``
+counter, and *mutating* operations (plus any request whose envelope already
+carries a ``trace_id``) get a ``router.<op>`` span — read-only hot-path ops
+pay only the two metric updates so the gateway's peak-read throughput is
+unaffected.  The ``job.submit`` handler binds the created job to the
+request's trace, which is what stitches the later admit/run/settle spans
+into one job-lifecycle trace.
 
 Ownership rules: ``job.results`` and ``job.cancel`` are restricted to the
 job's owner (or an admin); ``job.submit`` with an explicit ``owner`` other
@@ -69,8 +81,9 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.accessserver.auth import Permission, Role, User
 from repro.accessserver.jobs import JobSpec, JobStatus
@@ -111,10 +124,15 @@ from repro.api.schemas import (
     JournalHealthView,
     LoginRequest,
     LogoutView,
+    ObsMetricsRequest,
+    ObsMetricsView,
+    ObsTraceRequest,
+    ObsTraceView,
     RegisterVantagePointRequest,
     ReservationView,
     ReserveSessionRequest,
     SessionView,
+    SpanView,
     StatusView,
     SubmitJobRequest,
     SubscriptionAck,
@@ -123,6 +141,7 @@ from repro.api.schemas import (
     VantagePointView,
     WatchJobRequest,
 )
+from repro.obs import SPAN_TOPIC, component_logger, log_slow_op
 
 #: Job states a ``job.watch`` subscription terminates on.
 _TERMINAL_STATUSES = (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.CANCELLED)
@@ -148,6 +167,7 @@ class RequestContext:
     session_token: Optional[str] = None
     push: Optional[Callable[[dict], None]] = None
     owner_token: Optional[object] = None
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -184,6 +204,9 @@ class _Subscription:
         self.job_id = job_id
         self.seq = 0
         self.closed = False
+        # Set by the router when this stream's prefix matches trace.span —
+        # its presence switches span bus publishing on for the tracer.
+        self.trace_interest = False
 
     def _frame(self, frame: str, topic: Optional[str], timestamp: float, payload: dict) -> dict:
         self.seq += 1
@@ -263,6 +286,26 @@ class ApiRouter:
         self._subscriptions_lock = threading.Lock()
         self._analytics_replay_lock = threading.Lock()
         self._next_subscription_id = 1
+        self._log = component_logger("repro.api.router")
+        # Telemetry: metric children are resolved once per (op, outcome)
+        # and cached — the hot path pays a dict hit, an observe and an inc.
+        self._obs = getattr(server, "obs", None)
+        self._op_metrics: Dict[Tuple[str, str], tuple] = {}
+        if self._obs is not None:
+            registry = self._obs.registry
+            self._op_latency = registry.histogram(
+                "api_op_latency_seconds",
+                "Router handling latency per operation",
+                labelnames=("op",),
+            )
+            self._op_requests = registry.counter(
+                "api_requests_total",
+                "API requests by operation and outcome",
+                labelnames=("op", "outcome"),
+            )
+        else:
+            self._op_latency = None
+            self._op_requests = None
         self._ops: Dict[str, _Op] = {
             # -- v1 ----------------------------------------------------------
             "job.submit": _Op(self._op_job_submit, Permission.CREATE_JOB),
@@ -325,6 +368,19 @@ class ApiRouter:
             ),
             "analytics.timeseries": _Op(
                 self._op_analytics_timeseries,
+                Permission.VIEW_RESULTS,
+                min_version=API_VERSION_V2,
+                read_only=True,
+            ),
+            # -- v2: observability -------------------------------------------
+            "obs.metrics": _Op(
+                self._op_obs_metrics,
+                Permission.VIEW_RESULTS,
+                min_version=API_VERSION_V2,
+                read_only=True,
+            ),
+            "obs.trace": _Op(
+                self._op_obs_trace,
                 Permission.VIEW_RESULTS,
                 min_version=API_VERSION_V2,
                 read_only=True,
@@ -407,6 +463,10 @@ class ApiRouter:
         if not isinstance(request_id, int) or isinstance(request_id, bool):
             request_id = 0
         version = API_VERSION
+        started = time.perf_counter()
+        metric_op = "<invalid>"
+        trace_id: Optional[str] = None
+        span = None
         try:
             envelope = ApiRequest.from_wire(request)
             if envelope.version not in SUPPORTED_VERSIONS:
@@ -418,10 +478,12 @@ class ApiRouter:
             try:
                 op = self._ops[envelope.op]
             except KeyError:
+                metric_op = "<unknown>"
                 raise UnknownOperationApiError(
                     f"unknown operation {envelope.op!r}",
                     details={"operations": sorted(self._ops)},
                 ) from None
+            metric_op = envelope.op
             if op.min_version > envelope.version:
                 raise VersionApiError(
                     f"operation {envelope.op!r} requires API version "
@@ -436,23 +498,71 @@ class ApiRouter:
                 session_token=envelope.session,
                 push=push if op.streaming else None,
                 owner_token=owner,
+                trace_id=envelope.trace_id,
             )
+            obs = self._obs
+            if obs is not None and obs.tracer.enabled and (
+                not op.read_only or envelope.trace_id is not None
+            ):
+                # Mutating ops (and anything the caller explicitly traced)
+                # get a router span; read-only hot-path ops pay metrics only.
+                span = obs.tracer.start_span(
+                    f"router.{envelope.op}",
+                    trace_id=envelope.trace_id,
+                    op=envelope.op,
+                )
+                ctx.trace_id = span.trace_id
+                trace_id = span.trace_id
             if op.authenticate:
                 ctx.user = self._authenticate(envelope, secure)
                 if op.permission is not None:
                     self._server.users.authorize(ctx.user, op.permission)
             payload = op.handler(ctx, envelope.payload)
+            if span is not None:
+                self._obs.tracer.end_span(span)
+                span = None
         except Exception as exc:  # noqa: BLE001 - boundary translation
+            if span is not None:
+                self._obs.tracer.end_span(span, status="error")
             error = map_exception(exc)
+            self._observe_request(
+                metric_op, "error", time.perf_counter() - started, trace_id
+            )
             return ApiResponse(
                 ok=False,
                 version=version,
                 request_id=request_id,
                 error=error.to_wire(),
             ).to_wire()
+        self._observe_request(metric_op, "ok", time.perf_counter() - started, trace_id)
         return ApiResponse(
             ok=True, version=version, request_id=request_id, payload=payload
         ).to_wire()
+
+    def _observe_request(
+        self,
+        op_name: str,
+        outcome: str,
+        elapsed_s: float,
+        trace_id: Optional[str],
+    ) -> None:
+        obs = self._obs
+        if obs is None or not obs.registry.enabled:
+            return
+        key = (op_name, outcome)
+        children = self._op_metrics.get(key)
+        if children is None:
+            children = (
+                self._op_latency.labels(op_name),
+                self._op_requests.labels(op_name, outcome),
+            )
+            self._op_metrics[key] = children
+        children[0].observe(elapsed_s)
+        children[1].inc()
+        if elapsed_s >= obs.slow_op_threshold_s:
+            log_slow_op(
+                self._log, op_name, elapsed_s, obs.slow_op_threshold_s, trace_id
+            )
 
     def _authenticate(self, envelope: ApiRequest, secure: bool) -> User:
         if envelope.session is not None:
@@ -499,6 +609,15 @@ class ApiRouter:
             self._subscriptions[subscription_id] = subscription
             callback = subscription.deliver
             self._bus_callbacks[subscription_id] = callback
+            # Spans are only published on the bus while a stream that can
+            # receive them is open; tell the tracer one just appeared.
+            if (
+                self._obs is not None
+                and topic_prefix is not None
+                and SPAN_TOPIC.startswith(topic_prefix)
+            ):
+                subscription.trace_interest = True
+                self._obs.tracer.stream_interest += 1
         self._server.events.subscribe(None, callback)
         return subscription
 
@@ -507,6 +626,12 @@ class ApiRouter:
         with self._subscriptions_lock:
             subscription = self._subscriptions.pop(subscription_id, None)
             callback = self._bus_callbacks.pop(subscription_id, None)
+            if (
+                subscription is not None
+                and subscription.trace_interest
+                and self._obs is not None
+            ):
+                self._obs.tracer.stream_interest -= 1
         if subscription is None:
             return False
         subscription.closed = True
@@ -584,7 +709,10 @@ class ApiRouter:
             log_retention_days=request.log_retention_days,
         )
         job = self._server.submit_job(
-            ctx.user, spec, idempotency_key=request.idempotency_key
+            ctx.user,
+            spec,
+            idempotency_key=request.idempotency_key,
+            trace_id=ctx.trace_id,
         )
         return JobView.from_job(job).to_wire()
 
@@ -859,6 +987,47 @@ class ApiRouter:
             raise ValidationApiError("bucket_s must be positive")
         timeseries = self._analytics_engine().timeseries(request.bucket_s)
         return AnalyticsTimeseriesView.from_timeseries(timeseries).to_wire()
+
+    # -- v2 handlers: observability -------------------------------------------
+    def _require_obs(self):
+        if self._obs is None:
+            raise NotFoundApiError(
+                "telemetry is not enabled on this server; the access server "
+                "carries no Observability instance"
+            )
+        return self._obs
+
+    def _op_obs_metrics(self, ctx: RequestContext, payload: dict) -> dict:
+        request = ObsMetricsRequest.from_wire(payload)
+        obs = self._require_obs()
+        return ObsMetricsView.from_snapshot(
+            obs.registry.snapshot(), prefix=request.prefix
+        ).to_wire()
+
+    def _op_obs_trace(self, ctx: RequestContext, payload: dict) -> dict:
+        request = ObsTraceRequest.from_wire(payload)
+        obs = self._require_obs()
+        if request.trace_id is None and request.job_id is None:
+            raise ValidationApiError("obs.trace needs a trace_id or a job_id")
+        trace_id = request.trace_id
+        if trace_id is None:
+            trace_id = obs.tracer.trace_id_for_job(request.job_id)
+            if trace_id is None:
+                raise NotFoundApiError(
+                    f"no trace recorded for job {request.job_id}",
+                    details={"job_id": request.job_id},
+                )
+        spans = obs.tracer.trace(trace_id)
+        if not spans:
+            raise NotFoundApiError(
+                f"unknown trace {trace_id!r} (evicted or never recorded)",
+                details={"trace_id": trace_id},
+            )
+        return ObsTraceView(
+            trace_id=trace_id,
+            spans=[SpanView.from_span(span) for span in spans],
+            job_id=request.job_id,
+        ).to_wire()
 
     # -- v2 handlers: streaming ----------------------------------------------
     def _op_job_watch(self, ctx: RequestContext, payload: dict) -> dict:

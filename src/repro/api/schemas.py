@@ -693,11 +693,13 @@ class ApiRequest(WireModel):
     """The request envelope every transport carries.
 
     v2 requests may replace the per-request ``auth`` credentials with a
-    bearer ``session`` token obtained from ``auth.login``.  The field is
-    elided when unset, so the v1 wire form is unchanged.
+    bearer ``session`` token obtained from ``auth.login``.  ``trace_id``
+    lets a caller supply its own trace identifier so spans recorded across
+    several calls correlate; the server mints one otherwise.  Both fields
+    are elided when unset, so the v1 wire form is unchanged.
     """
 
-    _ELIDE_WHEN_DEFAULT = ("session",)
+    _ELIDE_WHEN_DEFAULT = ("session", "trace_id")
 
     op: str
     version: str = API_VERSION
@@ -705,6 +707,7 @@ class ApiRequest(WireModel):
     payload: dict = field(default_factory=dict)
     request_id: int = 0
     session: Optional[str] = None
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -1017,3 +1020,156 @@ class AnalyticsTimeseriesView(WireModel):
                 for bucket in timeseries.get("buckets", [])
             ],
         )
+
+
+# ---------------------------------------------------------------------------
+# Platform API v2: observability (obs.metrics / obs.trace)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ObsMetricsRequest(WireModel):
+    """``obs.metrics`` request; ``prefix`` narrows to one metric namespace
+    (e.g. ``"gateway_"``) so dashboards fetch only what they chart."""
+
+    prefix: Optional[str] = None
+
+
+@dataclass
+class MetricSampleView(WireModel):
+    """One counter or gauge child: metric name, label set, current value."""
+
+    name: str
+    value: float = 0.0
+    labels: dict = field(default_factory=dict)
+
+
+@dataclass
+class HistogramSampleView(WireModel):
+    """One histogram child: per-bucket counts plus running sum/count.
+
+    ``counts`` has ``len(bounds) + 1`` entries — the final entry is the
+    implicit overflow (+Inf) bucket, mirroring the in-process layout.
+    """
+
+    name: str
+    count: int = 0
+    sum: float = 0.0
+    bounds: List[float] = field(default_factory=list)
+    counts: List[int] = field(default_factory=list)
+    labels: dict = field(default_factory=dict)
+
+
+@dataclass
+class ObsMetricsView(WireModel):
+    """``obs.metrics`` response: one full registry snapshot.
+
+    ``generated_at`` is simulated time (aligned with journal and bus
+    records); ``enabled`` reports whether telemetry was live when the
+    snapshot was taken — a dark registry still answers, with stale values.
+    """
+
+    generated_at: float = 0.0
+    enabled: bool = True
+    counters: List[MetricSampleView] = field(default_factory=list)
+    gauges: List[MetricSampleView] = field(default_factory=list)
+    histograms: List[HistogramSampleView] = field(default_factory=list)
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: dict, prefix: Optional[str] = None
+    ) -> "ObsMetricsView":
+        """Build the wire view from :meth:`MetricsRegistry.snapshot`."""
+
+        def keep(sample: dict) -> bool:
+            return prefix is None or sample["name"].startswith(prefix)
+
+        return cls(
+            generated_at=snapshot.get("generated_at", 0.0),
+            enabled=snapshot.get("enabled", True),
+            counters=[
+                MetricSampleView(**s) for s in snapshot.get("counters", []) if keep(s)
+            ],
+            gauges=[
+                MetricSampleView(**s) for s in snapshot.get("gauges", []) if keep(s)
+            ],
+            histograms=[
+                HistogramSampleView(**s)
+                for s in snapshot.get("histograms", [])
+                if keep(s)
+            ],
+        )
+
+    def to_snapshot(self) -> dict:
+        """The primitive snapshot shape, for text rendering client-side
+        (:func:`repro.obs.render_snapshot`)."""
+        return {
+            "generated_at": self.generated_at,
+            "enabled": self.enabled,
+            "counters": [
+                {"name": s.name, "labels": s.labels, "value": s.value}
+                for s in self.counters
+            ],
+            "gauges": [
+                {"name": s.name, "labels": s.labels, "value": s.value}
+                for s in self.gauges
+            ],
+            "histograms": [
+                {
+                    "name": s.name,
+                    "labels": s.labels,
+                    "count": s.count,
+                    "sum": s.sum,
+                    "bounds": s.bounds,
+                    "counts": s.counts,
+                }
+                for s in self.histograms
+            ],
+        }
+
+
+@dataclass
+class ObsTraceRequest(WireModel):
+    """``obs.trace`` request: look a trace up by its id or by a job id."""
+
+    trace_id: Optional[str] = None
+    job_id: Optional[int] = None
+
+
+@dataclass
+class SpanView(WireModel):
+    """One recorded span of a trace (matches the ``trace.span`` bus record)."""
+
+    trace_id: str
+    span_id: str
+    name: str
+    start: float = 0.0
+    end: float = 0.0
+    elapsed_s: float = 0.0
+    status: str = "ok"
+    parent_id: Optional[str] = None
+    attrs: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_span(cls, span) -> "SpanView":
+        return cls(
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            name=span.name,
+            start=span.start,
+            end=span.end if span.end is not None else span.start,
+            elapsed_s=span.elapsed_s if span.elapsed_s is not None else 0.0,
+            status=span.status,
+            parent_id=span.parent_id,
+            attrs=dict(span.attrs),
+        )
+
+
+@dataclass
+class ObsTraceView(WireModel):
+    """``obs.trace`` response: every retained span of one trace, in
+    recording order (submit → admit → run → settle for a job trace)."""
+
+    trace_id: str
+    spans: List[SpanView] = field(default_factory=list)
+    job_id: Optional[int] = None

@@ -42,6 +42,18 @@ querying a live gateway::
     batterylab-repro --state-dir ./state report --bucket-s 300
     batterylab-repro report --gateway 127.0.0.1:8443
 
+The ``metrics`` subcommand renders the platform's telemetry registry
+(``repro.obs``) as Prometheus-style text — counters, gauges and latency
+histograms from the gateway loop, dispatcher, executor and journal —
+again either locally or from a live gateway::
+
+    batterylab-repro --state-dir ./state metrics
+    batterylab-repro metrics --gateway 127.0.0.1:8443 --prefix gateway_
+
+``--log-level DEBUG`` turns on structured component logging
+(``repro.api.gateway``, ``repro.accessserver.server``, ...) with trace IDs
+on the records.
+
 Each command prints the reproduced rows as an aligned table.  ``--seed``
 controls the simulation seed so runs are reproducible, and
 ``--scheduling-policy`` selects the dispatch queue ordering
@@ -110,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-persistence",
         action="store_true",
         help="ignore --state-dir: no recovery and no journaling",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="enable structured component logging at LEVEL "
+        "(DEBUG/INFO/WARNING/ERROR); records carry trace IDs",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -253,6 +272,38 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="also render the fleet throughput timeseries at this bucket size",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render the platform's telemetry registry as Prometheus-style "
+        "text (gateway loop, dispatcher, executor, journal)",
+    )
+    metrics.add_argument(
+        "--gateway",
+        default=None,
+        metavar="HOST:PORT",
+        help="scrape a live gateway instead of a local --state-dir platform",
+    )
+    metrics.add_argument(
+        "--cert-dir",
+        default=None,
+        metavar="DIR",
+        help="with --gateway: trust the platform wildcard material under "
+        "DIR and connect over TLS",
+    )
+    metrics.add_argument(
+        "--username", default="experimenter", help="account to scrape as"
+    )
+    metrics.add_argument(
+        "--token",
+        default=None,
+        help="account token (defaults to the bootstrap '<username>-token')",
+    )
+    metrics.add_argument(
+        "--prefix",
+        default=None,
+        help="only families whose name starts with PREFIX (e.g. gateway_)",
     )
 
     serve = sub.add_parser(
@@ -598,7 +649,8 @@ def _report_sections(view, timeseries=None) -> List[str]:
     return sections
 
 
-def _cmd_report(args) -> str:
+def _remote_or_local_client(args):
+    """A client for ``--gateway HOST:PORT`` or a local ``--state-dir`` platform."""
     token = args.token if args.token is not None else f"{args.username}-token"
     if args.gateway is not None:
         from repro.api.client import BatteryLabClient
@@ -615,13 +667,16 @@ def _cmd_report(args) -> str:
             )
 
             tls_context = client_tls_context(ensure_tls_material(args.cert_dir))
-        client = BatteryLabClient(
+        return BatteryLabClient(
             JsonLinesTransport(host, int(port), tls_context=tls_context),
             args.username,
             token,
         )
-    else:
-        client = _ops_platform(args).client(username=args.username, token=token)
+    return _ops_platform(args).client(username=args.username, token=token)
+
+
+def _cmd_report(args) -> str:
+    client = _remote_or_local_client(args)
     with client:
         view = client.analytics_report(owner=args.owner)
         timeseries = (
@@ -630,6 +685,20 @@ def _cmd_report(args) -> str:
             else None
         )
     return "\n\n".join(_report_sections(view, timeseries))
+
+
+def _cmd_metrics(args) -> str:
+    from repro.obs import render_snapshot
+
+    client = _remote_or_local_client(args)
+    with client:
+        view = client.obs_metrics(prefix=args.prefix)
+    text = render_snapshot(view.to_snapshot())
+    if not text:
+        return "# no metric families matched" + (
+            f" prefix {args.prefix!r}" if args.prefix else ""
+        )
+    return text.rstrip("\n")
 
 
 def _cmd_serve(args) -> str:
@@ -822,6 +891,7 @@ _COMMANDS = {
     "grant": _cmd_grant,
     "register-vp": _cmd_register_vp,
     "report": _cmd_report,
+    "metrics": _cmd_metrics,
     "serve": _cmd_serve,
 }
 
@@ -832,6 +902,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        from repro.obs import configure_logging
+
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     handler = _COMMANDS[args.command]
     try:
         print(handler(args))

@@ -1,0 +1,91 @@
+"""Structured logging helpers: per-component loggers with trace IDs.
+
+Components get stdlib loggers named after their module role
+(``repro.api.gateway``, ``repro.accessserver.server``, ...) via
+:func:`component_logger`.  Every record carries a ``trace_id`` attribute —
+``"-"`` when no trace is in flight — injected by :class:`TraceIdFilter`, so
+one ``--log-level`` flag on the CLI yields grep-able lines like::
+
+    2026-08-08 12:00:01 WARNING repro.api.gateway [t0000002a] slow op job.submit: 0.412s
+
+Use ``extra={"trace_id": ...}`` (or the :func:`log_slow_op` helper) to tag
+records; the filter only fills the default in.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = [
+    "LOG_FORMAT",
+    "TraceIdFilter",
+    "component_logger",
+    "configure_logging",
+    "log_slow_op",
+]
+
+LOG_FORMAT = "%(asctime)s %(levelname)s %(name)s [%(trace_id)s] %(message)s"
+
+
+class TraceIdFilter(logging.Filter):
+    """Guarantee every record has a ``trace_id`` attribute (default ``"-"``)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "trace_id"):
+            record.trace_id = "-"
+        return True
+
+
+_TRACE_FILTER = TraceIdFilter()
+
+
+def component_logger(name: str) -> logging.Logger:
+    """A per-component logger whose records always carry ``trace_id``."""
+    logger = logging.getLogger(name)
+    if _TRACE_FILTER not in logger.filters:
+        logger.addFilter(_TRACE_FILTER)
+    return logger
+
+
+def configure_logging(level: str = "WARNING") -> None:
+    """Root configuration for the CLI's ``--log-level`` flag.
+
+    Idempotent: reconfigures the root handler level/format on repeat calls
+    instead of stacking handlers.
+    """
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger()
+    root.setLevel(numeric)
+    for handler in root.handlers:
+        if getattr(handler, "_repro_obs_handler", False):
+            handler.setLevel(numeric)
+            return
+    handler = logging.StreamHandler()
+    handler.setLevel(numeric)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    handler.addFilter(_TRACE_FILTER)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+
+
+def log_slow_op(
+    logger: logging.Logger,
+    op: str,
+    elapsed_s: float,
+    threshold_s: float,
+    trace_id: Optional[str] = None,
+) -> bool:
+    """Warn when ``elapsed_s`` exceeds ``threshold_s``; returns whether it did."""
+    if threshold_s <= 0 or elapsed_s < threshold_s:
+        return False
+    logger.warning(
+        "slow op %s: %.3fs (threshold %.3fs)",
+        op,
+        elapsed_s,
+        threshold_s,
+        extra={"trace_id": trace_id or "-"},
+    )
+    return True

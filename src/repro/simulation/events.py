@@ -205,6 +205,15 @@ class EventBus:
         if callback in callbacks:
             callbacks.remove(callback)
 
+    def has_subscribers(self, topic: str) -> bool:
+        """True when ``topic`` has at least one exact-topic subscriber.
+
+        Wildcard (``None``) subscribers are deliberately not counted:
+        publishers of high-rate optional topics (``trace.span``) use this
+        to skip the publish entirely when nothing topic-specific listens.
+        """
+        return bool(self._subscribers.get(topic))
+
     def publish(self, topic: str, **payload: object) -> BusEvent:
         """Publish a record and synchronously notify its subscribers."""
         if not topic:

@@ -330,3 +330,66 @@ class TestDroppedOnTheWireModel:
         wire = json.loads(json.dumps(frame.to_wire()))
         assert wire["dropped"] == 4
         assert ApiPush.from_wire(wire).dropped == 4
+
+
+class TestBackpressureTelemetry:
+    def test_push_drop_counter_matches_surfaced_drops(self):
+        """Every frame evicted under back-pressure is visible server-side
+        as ``gateway_push_drops_total`` — operators can alert on loss
+        without a client replaying its ``dropped`` counters."""
+        platform = build_default_platform(seed=41, browsers=("chrome",))
+        server = platform.access_server
+        gateway = platform.serve_gateway(push_queue_limit=16)
+        host, port = gateway.address
+        raw = socket.create_connection((host, port), timeout=10.0)
+        try:
+            raw.sendall(
+                (
+                    json.dumps(
+                        {
+                            "op": "events.subscribe",
+                            "version": "2.0",
+                            "auth": {
+                                "username": "experimenter",
+                                "token": "experimenter-token",
+                            },
+                            "payload": {"topic_prefix": "dispatch."},
+                            "request_id": 1,
+                        }
+                    )
+                    + "\n"
+                ).encode("utf-8")
+            )
+            reader = raw.makefile("rb")
+            raw.settimeout(10.0)
+            assert json.loads(reader.readline())["ok"] is True
+
+            total = 2000
+            for index in range(1, total + 1):
+                server.events.publish(
+                    "dispatch.flood", job_id=index, blob="x" * 4096
+                )
+
+            frames = []
+            dropped = 0
+            while True:
+                frame = json.loads(reader.readline())
+                frames.append(frame)
+                dropped += frame.get("dropped", 0)
+                if frame["seq"] == total:
+                    break
+            assert dropped > 0
+            assert len(frames) + dropped == total
+
+            # A drop increments the counter at eviction time, before the
+            # frame that surfaces it is delivered — so by the time the
+            # final seq arrived, the ledger and the wire must agree.
+            counter = (
+                server.obs.registry.family("gateway_push_drops_total")
+                .labels()
+                .value
+            )
+            assert counter == dropped
+        finally:
+            raw.close()
+            gateway.stop()

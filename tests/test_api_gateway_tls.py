@@ -192,3 +192,74 @@ class TestTlsGateway:
             stop.set()
             driver.join(timeout=5.0)
             gateway.stop()
+
+
+class TestTlsTraceEndToEnd:
+    """Telemetry acceptance: one job over the encrypted socket, one trace."""
+
+    LIFECYCLE = ["job.submit", "job.admit", "job.run", "job.settle"]
+
+    @needs_openssl
+    def test_job_over_tls_yields_one_complete_trace(self, platform, tls_material):
+        """A job submitted over the TLS gateway produces a single trace —
+        gateway.request → router.job.submit → submit/admit/run/settle —
+        sharing the trace ID minted at the API boundary, retrievable via
+        ``obs.trace`` and streamed live as ``trace.span`` pushes through
+        ``events.subscribe``."""
+        gateway = ApiGateway(
+            ApiRouter(platform.access_server),
+            tls_context=server_tls_context(tls_material),
+        )
+        gateway.start()
+        try:
+            with self._client(gateway, tls_material) as client:
+                stream = client.events(topic_prefix="trace.", timeout_s=10.0)
+                job = client.submit_job("traced-over-tls", "noop")
+                with gateway.router_lock:  # serialize with gateway requests
+                    platform.run_queue()
+
+                view = client.obs_trace(job_id=job.job_id)
+                assert view.job_id == job.job_id
+                names = [span.name for span in view.spans]
+                assert names == [
+                    "job.submit",
+                    "router.job.submit",
+                    "gateway.request",
+                    "job.admit",
+                    "job.run",
+                    "job.settle",
+                ]
+                assert all(span.trace_id == view.trace_id for span in view.spans)
+                # Lifecycle spans hang off the submit span of the trace.
+                submit = view.spans[0]
+                by_name = {span.name: span for span in view.spans}
+                for name in ("job.admit", "job.run", "job.settle"):
+                    assert by_name[name].parent_id == submit.span_id
+                # The boundary span knows which op it wrapped.
+                assert by_name["gateway.request"].attrs.get("op") == "job.submit"
+
+                # The same spans arrived as live pushes on the trace. topic.
+                pushed = []
+                for frame in stream:
+                    if frame.topic == "trace.span":
+                        pushed.append(frame.payload.get("name"))
+                    if frame.payload.get("name") == "job.settle":
+                        break
+                for name in self.LIFECYCLE:
+                    assert name in pushed
+                stream.close()
+        finally:
+            gateway.stop()
+
+    def _client(self, gateway, material):
+        host, port = gateway.address
+        return BatteryLabClient(
+            JsonLinesTransport(
+                host,
+                port,
+                timeout_s=10.0,
+                tls_context=client_tls_context(material),
+            ),
+            "experimenter",
+            "experimenter-token",
+        )

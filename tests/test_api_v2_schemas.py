@@ -34,12 +34,19 @@ from repro.api.schemas import (
     CreateUserRequest,
     EventsSubscribeRequest,
     GrantCreditsRequest,
+    HistogramSampleView,
     JobListRequest,
     JobView,
     LoginRequest,
     LogoutView,
+    MetricSampleView,
+    ObsMetricsRequest,
+    ObsMetricsView,
+    ObsTraceRequest,
+    ObsTraceView,
     RegisterVantagePointRequest,
     SessionView,
+    SpanView,
     SubmitJobRequest,
     SubscriptionAck,
     SubscriptionRef,
@@ -136,6 +143,133 @@ GOLDEN_V2 = [
             "version": "2.0",
         },
     ),
+    (ObsMetricsRequest(prefix="gateway_"), {"prefix": "gateway_"}),
+    (
+        MetricSampleView(name="gateway_requests_total", value=12.0, labels={"mode": "inline"}),
+        {"name": "gateway_requests_total", "value": 12.0, "labels": {"mode": "inline"}},
+    ),
+    (
+        HistogramSampleView(
+            name="api_op_latency_seconds",
+            count=3,
+            sum=0.75,
+            bounds=[0.1, 0.5],
+            counts=[1, 1, 1],
+            labels={"op": "job.submit"},
+        ),
+        {
+            "name": "api_op_latency_seconds",
+            "count": 3,
+            "sum": 0.75,
+            "bounds": [0.1, 0.5],
+            "counts": [1, 1, 1],
+            "labels": {"op": "job.submit"},
+        },
+    ),
+    (
+        ObsMetricsView(
+            generated_at=42.0,
+            enabled=True,
+            counters=[MetricSampleView(name="jobs_executed_total", value=1.0, labels={"status": "completed"})],
+            gauges=[MetricSampleView(name="orphaned_jobs", value=0.0, labels={})],
+            histograms=[
+                HistogramSampleView(
+                    name="job_run_seconds",
+                    count=1,
+                    sum=0.2,
+                    bounds=[0.5],
+                    counts=[1, 0],
+                    labels={},
+                )
+            ],
+        ),
+        {
+            "generated_at": 42.0,
+            "enabled": True,
+            "counters": [
+                {
+                    "name": "jobs_executed_total",
+                    "value": 1.0,
+                    "labels": {"status": "completed"},
+                }
+            ],
+            "gauges": [{"name": "orphaned_jobs", "value": 0.0, "labels": {}}],
+            "histograms": [
+                {
+                    "name": "job_run_seconds",
+                    "count": 1,
+                    "sum": 0.2,
+                    "bounds": [0.5],
+                    "counts": [1, 0],
+                    "labels": {},
+                }
+            ],
+        },
+    ),
+    (
+        ObsTraceRequest(trace_id="t00000001", job_id=7),
+        {"trace_id": "t00000001", "job_id": 7},
+    ),
+    (
+        SpanView(
+            trace_id="t00000001",
+            span_id="s000002",
+            name="job.run",
+            start=10.0,
+            end=12.0,
+            elapsed_s=0.2,
+            status="ok",
+            parent_id="s000001",
+            attrs={"job_id": 7},
+        ),
+        {
+            "trace_id": "t00000001",
+            "span_id": "s000002",
+            "name": "job.run",
+            "start": 10.0,
+            "end": 12.0,
+            "elapsed_s": 0.2,
+            "status": "ok",
+            "parent_id": "s000001",
+            "attrs": {"job_id": 7},
+        },
+    ),
+    (
+        ObsTraceView(
+            trace_id="t00000001",
+            spans=[
+                SpanView(
+                    trace_id="t00000001",
+                    span_id="s000001",
+                    name="job.submit",
+                    start=10.0,
+                    end=10.0,
+                    elapsed_s=0.001,
+                    status="ok",
+                    parent_id=None,
+                    attrs={},
+                )
+            ],
+            job_id=7,
+        ),
+        {
+            "trace_id": "t00000001",
+            "spans": [
+                {
+                    "trace_id": "t00000001",
+                    "span_id": "s000001",
+                    "name": "job.submit",
+                    "start": 10.0,
+                    "end": 10.0,
+                    "elapsed_s": 0.001,
+                    "status": "ok",
+                    "parent_id": None,
+                    "attrs": {},
+                }
+            ],
+            "job_id": 7,
+        },
+    ),
 ]
 
 #: The v2 error-code table: the frozen v1 union plus the v2 additions.
@@ -203,6 +337,16 @@ class TestElideAtDefaultExtensionFields:
     def test_session_envelope_round_trips(self):
         request = ApiRequest(op="x", version="2.0", session="tok")
         assert ApiRequest.from_wire(request.to_wire()) == request
+
+    def test_trace_id_elided_when_absent(self):
+        wire = ApiRequest(op="server.status").to_wire()
+        assert "trace_id" not in wire
+
+    def test_trace_id_round_trips_when_set(self):
+        request = ApiRequest(op="job.submit", trace_id="t00000001")
+        wire = request.to_wire()
+        assert wire["trace_id"] == "t00000001"
+        assert ApiRequest.from_wire(wire) == request
 
     def test_idempotency_key_elided_at_default(self):
         assert "idempotency_key" not in SubmitJobRequest(name="j", payload="noop").to_wire()

@@ -1,0 +1,197 @@
+"""Unit tests for ``repro.obs.metrics`` — the in-process metrics registry.
+
+The registry is the telemetry layer's hot-path half: counters, gauges and
+bounded-bucket histograms with labeled families.  These tests pin the
+semantics the instrumented layers rely on — le-bucket edges, label-child
+identity, declaration idempotence, disable short-circuiting — and the
+Prometheus-style text exposition the ``cli metrics`` subcommand prints.
+"""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    Observability,
+    render_snapshot,
+)
+from repro.simulation.clock import SimClock
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total").labels()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("requests_total").labels()
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_unlabeled_family_proxy_inc(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total")
+        family.inc(2.0)
+        assert family.labels().value == 2.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("queue_depth").labels()
+        gauge.set(4.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == 3.0
+
+
+class TestHistogramBucketEdges:
+    def test_value_equal_to_bound_lands_in_that_bucket(self):
+        # Prometheus le-semantics: bucket {le="x"} counts observations <= x.
+        hist = (
+            MetricsRegistry()
+            .histogram("latency", bounds=(0.1, 0.5, 1.0))
+            .labels()
+        )
+        hist.observe(0.1)
+        assert hist.counts == [1, 0, 0, 0]
+        hist.observe(0.5)
+        assert hist.counts == [1, 1, 0, 0]
+
+    def test_overflow_lands_in_implicit_inf_bucket(self):
+        hist = (
+            MetricsRegistry()
+            .histogram("latency", bounds=(0.1, 0.5, 1.0))
+            .labels()
+        )
+        hist.observe(99.0)
+        assert hist.counts == [0, 0, 0, 1]
+        assert hist.count == 1
+        assert hist.sum == 99.0
+
+    def test_below_first_bound_lands_in_first_bucket(self):
+        hist = MetricsRegistry().histogram("latency", bounds=(0.1, 1.0)).labels()
+        hist.observe(0.0)
+        assert hist.counts == [1, 0, 0]
+
+    def test_cumulative_counts_monotone_and_end_at_total(self):
+        hist = MetricsRegistry().histogram("latency", bounds=(0.1, 0.5, 1.0)).labels()
+        for value in (0.05, 0.1, 0.3, 0.7, 2.0, 3.0):
+            hist.observe(value)
+        cumulative = hist.cumulative_counts()
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == hist.count == 6
+
+    def test_counts_has_one_more_entry_than_bounds(self):
+        hist = MetricsRegistry().histogram("latency").labels()
+        assert len(hist.counts) == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+    def test_non_increasing_bounds_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("bad2", bounds=(2.0, 1.0))
+
+
+class TestFamiliesAndLabels:
+    def test_same_labelset_returns_same_child(self):
+        family = MetricsRegistry().counter("ops_total", labelnames=("op",))
+        assert family.labels(op="submit") is family.labels(op="submit")
+        assert family.labels(op="submit") is not family.labels(op="cancel")
+
+    def test_redeclaration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("ops_total", labelnames=("op",))
+        second = registry.counter("ops_total", labelnames=("op",))
+        assert first is second
+
+    def test_redeclaration_with_other_kind_or_labels_conflicts(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", labelnames=("op",))
+        with pytest.raises(ValueError):
+            registry.gauge("ops_total", labelnames=("op",))
+        with pytest.raises(ValueError):
+            registry.counter("ops_total", labelnames=("outcome",))
+
+
+class TestDisable:
+    def test_disable_short_circuits_every_mutation(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c").labels()
+        gauge = registry.gauge("g").labels()
+        hist = registry.histogram("h", bounds=(1.0,)).labels()
+        registry.disable()
+        counter.inc()
+        gauge.set(5.0)
+        hist.observe(0.5)
+        assert counter.value == 0.0
+        assert gauge.value == 0.0
+        assert hist.count == 0
+        registry.enable()
+        counter.inc()
+        assert counter.value == 1.0
+
+    def test_observability_toggle_covers_tracer_too(self):
+        obs = Observability()
+        obs.disable()
+        assert not obs.registry.enabled
+        assert not obs.tracer.enabled
+        obs.enable()
+        assert obs.registry.enabled
+        assert obs.tracer.enabled
+
+
+class TestSnapshotAndRendering:
+    def test_snapshot_materializes_untouched_unlabeled_families(self):
+        registry = MetricsRegistry()
+        registry.counter("never_touched_total")
+        snapshot = registry.snapshot()
+        names = [sample["name"] for sample in snapshot["counters"]]
+        assert "never_touched_total" in names
+
+    def test_collect_hooks_run_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("scraped")
+        registry.add_collect_hook(lambda: gauge.set(7.0))
+        snapshot = registry.snapshot()
+        sample = next(s for s in snapshot["gauges"] if s["name"] == "scraped")
+        assert sample["value"] == 7.0
+
+    def test_render_text_counter_gauge_histogram_lines(self):
+        clock = SimClock()
+        registry = MetricsRegistry(clock=clock)
+        registry.counter("reqs_total", labelnames=("op",)).labels(op="a").inc(3)
+        registry.gauge("depth").set(2.0)
+        hist = registry.histogram("lat", bounds=(0.5, 1.0)).labels()
+        hist.observe(0.2)
+        hist.observe(2.0)
+        text = registry.render_text()
+        assert '# TYPE reqs_total counter' in text
+        assert 'reqs_total{op="a"} 3' in text
+        assert "depth 2" in text
+        assert 'lat_bucket{le="0.5"} 1' in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 2.2" in text
+        assert "lat_count 2" in text
+
+    def test_render_snapshot_matches_registry_render_text(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h", bounds=(1.0,), labelnames=("op",)).labels(
+            op="x"
+        ).observe(0.5)
+        assert render_snapshot(registry.snapshot()) == registry.render_text()
+
+    def test_histogram_bucket_labels_merge_with_child_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", bounds=(1.0,), labelnames=("op",)).labels(
+            op="submit"
+        ).observe(0.5)
+        text = registry.render_text()
+        assert 'lat_bucket{op="submit", le="1"} 1' in text
+        assert 'lat_bucket{op="submit", le="+Inf"} 1' in text
