@@ -1,0 +1,150 @@
+"""Federation scatter-gather benchmark: router cost at 1, 2, and 4 shards.
+
+Measures the two hot paths the federation router adds in front of a
+fleet of access servers:
+
+* **scatter reads** — ``fleet.list`` fans out to every attached shard
+  and folds the responses into one globally ordered view, so its cost
+  grows with shard count;
+* **routed submits** — ``job.submit`` hashes to exactly one shard's
+  lane regardless of fleet size, so its throughput should stay roughly
+  flat as shards are added.
+
+A federation of one is the control: the router passes single-lane
+requests through verbatim, so the 1-shard columns price the pure
+indirection overhead against a standalone server.
+
+Results land in ``BENCH_federation_scatter.json`` at the repository
+root; CI trend-gates the wall-clock rates (50% bands, like the other
+requests/s benchmarks) and this script enforces absolute sanity floors
+when run standalone.  Run with
+``PYTHONPATH=src python benchmarks/bench_federation_scatter.py`` or under
+pytest-benchmark via
+``PYTHONPATH=src python -m pytest benchmarks/bench_federation_scatter.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.api.client import BatteryLabClient, InProcessTransport
+from repro.api.schemas import API_VERSION_V2
+from repro.federation import FederationRouter, build_federation_shards
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_federation_scatter.json"
+
+SHARD_COUNTS = (1, 2, 4)
+SCATTER_READS = 300
+ROUTED_SUBMITS = 200
+
+#: Absolute sanity floors — an in-process router slower than this is a
+#: code regression, not hardware variance.
+MIN_SCATTER_READS_PER_S = 50.0
+MIN_ROUTED_SUBMITS_PER_S = 50.0
+
+
+def _bench_one(shard_count: int) -> Dict[str, object]:
+    shards = build_federation_shards(shard_count, analytics=False)
+    router = FederationRouter(shards)
+    client = BatteryLabClient(
+        InProcessTransport(router),
+        "admin",
+        "admin-token",
+        version=API_VERSION_V2,
+    )
+    client.login()
+
+    # Warm both paths once so first-touch costs stay out of the timing.
+    client.fleet()
+    client.submit_job("warmup", "noop", vantage_point="shard-0-node1")
+
+    started = time.perf_counter()
+    for _ in range(SCATTER_READS):
+        client.fleet()
+    scatter_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for index in range(ROUTED_SUBMITS):
+        client.submit_job(
+            f"routed-{index}",
+            "noop",
+            vantage_point=f"shard-{index % shard_count}-node1",
+        )
+    submit_seconds = time.perf_counter() - started
+
+    # Every submission must be visible in the merged global job list.
+    page = client.job_page(offset=0, limit=1)
+    assert page.total == ROUTED_SUBMITS + 1, page.total
+
+    return {
+        "shards": shard_count,
+        "scatter_reads": SCATTER_READS,
+        "scatter_reads_per_s": round(SCATTER_READS / scatter_seconds, 1),
+        "routed_submits": ROUTED_SUBMITS,
+        "routed_submits_per_s": round(ROUTED_SUBMITS / submit_seconds, 1),
+    }
+
+
+def run_federation_scatter_benchmark() -> Dict[str, object]:
+    rows: List[Dict[str, object]] = [_bench_one(count) for count in SHARD_COUNTS]
+    result: Dict[str, object] = {"benchmark": "federation_scatter", "rows": rows}
+    for row in rows:
+        suffix = f"{row['shards']}shard"
+        result[f"scatter_reads_per_s_{suffix}"] = row["scatter_reads_per_s"]
+        result[f"routed_submits_per_s_{suffix}"] = row["routed_submits_per_s"]
+    # Normalized shape checks: how much of the single-shard rate survives
+    # at 4 shards.  Scatter pays the fan-out; routing should not.
+    result["scatter_retention_4v1"] = round(
+        result["scatter_reads_per_s_4shard"] / result["scatter_reads_per_s_1shard"],
+        4,
+    )
+    result["routed_retention_4v1"] = round(
+        result["routed_submits_per_s_4shard"]
+        / result["routed_submits_per_s_1shard"],
+        4,
+    )
+    result["min_scatter_reads_per_s"] = MIN_SCATTER_READS_PER_S
+    result["min_routed_submits_per_s"] = MIN_ROUTED_SUBMITS_PER_S
+    return result
+
+
+def write_result(result: Dict[str, object]) -> None:
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+
+def _enforce_floors(result: Dict[str, object]) -> None:
+    for count in SHARD_COUNTS:
+        reads = result[f"scatter_reads_per_s_{count}shard"]
+        submits = result[f"routed_submits_per_s_{count}shard"]
+        if reads < MIN_SCATTER_READS_PER_S:
+            raise SystemExit(
+                f"{count}-shard scatter sustained {reads} reads/s; "
+                f"floor is {MIN_SCATTER_READS_PER_S}"
+            )
+        if submits < MIN_ROUTED_SUBMITS_PER_S:
+            raise SystemExit(
+                f"{count}-shard routing sustained {submits} submits/s; "
+                f"floor is {MIN_ROUTED_SUBMITS_PER_S}"
+            )
+
+
+def test_federation_scatter(benchmark):
+    from conftest import report, run_once
+
+    result = run_once(benchmark, run_federation_scatter_benchmark)
+    write_result(result)
+    report(benchmark, "Federation — scatter-gather vs routed throughput", result["rows"])
+    for count in SHARD_COUNTS:
+        assert result[f"scatter_reads_per_s_{count}shard"] >= MIN_SCATTER_READS_PER_S
+        assert result[f"routed_submits_per_s_{count}shard"] >= MIN_ROUTED_SUBMITS_PER_S
+
+
+if __name__ == "__main__":
+    outcome = run_federation_scatter_benchmark()
+    write_result(outcome)
+    print(json.dumps(outcome, indent=2))
+    _enforce_floors(outcome)

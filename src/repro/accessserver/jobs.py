@@ -108,19 +108,33 @@ class _JobIdAllocator:
     persistence layer replays journaled jobs with their original ids and
     then calls :func:`claim_job_id` so freshly created jobs never collide
     with a recovered one.
+
+    ``stride`` partitions the id space for federation: shard ``k`` of a
+    ``stride``-wide federation allocates ``k+1, k+1+stride, ...`` so N
+    independent access servers never mint the same job id and the
+    federation router can compute a job's home shard as
+    ``(job_id - 1) % stride`` in O(1).  The defaults (``start=1,
+    stride=1``) are the historical single-server series.
     """
 
-    def __init__(self, start: int = 1) -> None:
+    def __init__(self, start: int = 1, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError("stride must be at least 1")
         self._next = start
+        self._stride = stride
 
     def __next__(self) -> int:
         value = self._next
-        self._next += 1
+        self._next += self._stride
         return value
 
     def claim(self, job_id: int) -> None:
         if job_id >= self._next:
-            self._next = job_id + 1
+            # Fast-forward to the next id in *this allocator's* series that
+            # is strictly greater than job_id (stride-aware: a shard only
+            # ever mints ids congruent to its own lane).
+            steps = (job_id - self._next) // self._stride + 1
+            self._next += steps * self._stride
 
 
 _job_ids = _JobIdAllocator()
@@ -133,6 +147,21 @@ def claim_job_id(job_id: int) -> None:
     with its original id during crash recovery.
     """
     _job_ids.claim(job_id)
+
+
+def shard_job_id_allocator(shard_index: int, shard_count: int) -> _JobIdAllocator:
+    """A job-id allocator owning lane ``shard_index`` of a sharded id space.
+
+    Shard ``k`` of ``N`` mints ``k+1, k+1+N, k+1+2N, ...`` — disjoint from
+    every other lane, so a federation of N access servers allocates
+    globally unique ids with no coordination, and ``(job_id - 1) % N``
+    recovers the owning lane.
+    """
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard_index {shard_index} out of range for shard_count {shard_count}"
+        )
+    return _JobIdAllocator(start=shard_index + 1, stride=shard_count)
 
 
 @dataclass

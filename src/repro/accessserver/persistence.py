@@ -536,7 +536,7 @@ def build_snapshot(server: "AccessServer", sequence: int) -> Dict[str, object]:
                 for account in ledger.accounts()
             ],
         }
-    return {
+    snapshot: Dict[str, object] = {
         "format": FORMAT_VERSION,
         "sequence": sequence,
         "captured_at": server.context.now,
@@ -559,6 +559,16 @@ def build_snapshot(server: "AccessServer", sequence: int) -> Dict[str, object]:
         "reservations": [_serialize_reservation(r) for r in engine.reservations.all()],
         "credit": credit_state,
     }
+    if server.shard_id is not None:
+        # Shard identity rides in the snapshot so operators can tell whose
+        # journal a state-dir holds — and so recovery onto an unconfigured
+        # server can restore the full lane, keeping fresh ids in the
+        # shard's residue class.  Omitted for single-server state so
+        # historical snapshot bytes are unchanged.
+        snapshot["shard_id"] = server.shard_id
+        snapshot["shard_index"] = server.shard_index
+        snapshot["shard_count"] = server.shard_count
+    return snapshot
 
 
 # ---------------------------------------------------------------------------
@@ -585,6 +595,9 @@ class _ReplayState:
         self.sequence = 0
         self.events_replayed = 0
         self._next_seq = 0.0
+        self.shard_id: Optional[str] = None
+        self.shard_index = 0
+        self.shard_count = 1
 
     def _allocate_seq(self) -> float:
         self._next_seq += 1.0
@@ -599,6 +612,9 @@ class _ReplayState:
                 f"(expected {FORMAT_VERSION})"
             )
         self.sequence = snapshot.get("sequence", 0)
+        self.shard_id = snapshot.get("shard_id")
+        self.shard_index = snapshot.get("shard_index", 0)
+        self.shard_count = snapshot.get("shard_count", 1)
         self.policy = snapshot.get("policy")
         self.reservation_admission = snapshot.get("reservation_admission")
         self.next_reservation_id = snapshot.get("next_reservation_id", 1)
@@ -808,6 +824,26 @@ def recover_into(server: "AccessServer", backend: StorageBackend) -> RecoveryRep
     )
     scheduler = server.scheduler
 
+    # Shard identity is *journaled* configuration: an unconfigured server
+    # recovering a shard's state-dir adopts the full lane (before any job
+    # ids are claimed, so claims land in the lane allocator) — a bare
+    # ``serve``/``status`` on shard state never mints out-of-lane ids.  A
+    # host that already configured a different identity keeps it; the
+    # mismatch is logged, not silently overwritten.
+    if state.shard_id is not None:
+        if server.shard_id is None:
+            server.configure_shard(
+                state.shard_id,
+                shard_index=state.shard_index,
+                shard_count=state.shard_count,
+            )
+        elif server.shard_id != state.shard_id:
+            server.log(
+                "journaled shard identity differs; keeping this run's configuration",
+                journaled=state.shard_id,
+                active=server.shard_id,
+            )
+
     # Scheduling policy and admission mode are *this run's* configuration —
     # the host (or CLI flags) chose them when constructing the server — so
     # the journaled values are reported, not restored; a mismatch is logged.
@@ -900,6 +936,9 @@ def recover_into(server: "AccessServer", backend: StorageBackend) -> RecoveryRep
     for job_id in sorted(state.jobs):
         data = state.jobs[job_id]
         job, was_in_flight = materialize_job(data)
+        # materialize_job claimed the process-global allocator; a sharded
+        # server additionally fast-forwards its own job-id lane.
+        server.claim_job_id(job.job_id)
         payload_ref = data["spec"].get("payload")
         if payload_ref not in _PAYLOADS and job.status in (
             JobStatus.QUEUED,

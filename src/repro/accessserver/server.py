@@ -48,7 +48,13 @@ from repro.accessserver.certificates import CertificateAuthority, WildcardCertif
 from repro.accessserver.credits import CreditLedger, CreditPolicy
 from repro.accessserver.dispatch import Assignment
 from repro.accessserver.dns import DnsZone
-from repro.accessserver.jobs import Job, JobContext, JobSpec, JobStatus
+from repro.accessserver.jobs import (
+    Job,
+    JobContext,
+    JobSpec,
+    JobStatus,
+    shard_job_id_allocator,
+)
 from repro.accessserver.policies import SchedulingPolicy
 from repro.accessserver.scheduler import JobScheduler, SessionReservation
 from repro.accessserver.testers import TesterPool
@@ -158,6 +164,13 @@ class AccessServer(Entity):
         # (owner, idempotency_key) -> job_id: flaky-transport retries of the
         # same submission return the original job instead of double-queueing.
         self._idempotent_submissions: Dict[Tuple[str, str], int] = {}
+        # Federation identity: unset for the historical single-server
+        # deployment.  configure_shard() names this server and hands it a
+        # disjoint lane of the job-id space (see shard_job_id_allocator).
+        self.shard_id: Optional[str] = None
+        self.shard_index = 0
+        self.shard_count = 1
+        self._job_ids = None  # None -> the process-global allocator
 
     # -- telemetry ---------------------------------------------------------------------
     def _declare_metrics(self) -> None:
@@ -437,6 +450,41 @@ class AccessServer(Entity):
         return record.controller.ssh_server.open_channel(self.ssh_key, self._public_address)
 
     # -- job lifecycle ---------------------------------------------------------------------
+    # -- federation identity -----------------------------------------------------------
+    def configure_shard(
+        self, shard_id: str, shard_index: int = 0, shard_count: int = 1
+    ) -> None:
+        """Name this server as one shard of a federation.
+
+        ``shard_id`` is surfaced in v2 ``server.status`` envelopes, stamped
+        on journal snapshots, and used by the federation router for metric
+        labels.  ``shard_index``/``shard_count`` give the server a disjoint
+        lane of the job-id space (shard ``k`` of ``N`` mints ``k+1, k+1+N,
+        ...``), so ids stay globally unique across shards with no
+        coordination.  Call before the first job is submitted.
+        """
+        if not shard_id:
+            raise AccessServerError("shard_id must be a non-empty string")
+        self.shard_id = shard_id
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self._job_ids = shard_job_id_allocator(shard_index, shard_count)
+
+    def claim_job_id(self, job_id: int) -> None:
+        """Fast-forward this server's job-id lane past a recovered id.
+
+        The module-global allocator is claimed by the persistence layer
+        already; a sharded server additionally advances its own lane so a
+        restarted shard never re-mints an id its journal already holds.
+        """
+        if self._job_ids is not None:
+            self._job_ids.claim(job_id)
+
+    def _new_job(self, spec: JobSpec) -> Job:
+        if self._job_ids is None:
+            return Job(spec=spec)
+        return Job(spec=spec, job_id=next(self._job_ids))
+
     def submit_job(
         self,
         user: User,
@@ -474,7 +522,7 @@ class AccessServer(Entity):
             self._credit_policy.authorize(
                 user.username, estimated_device_hours=spec.timeout_s / 3600.0
             )
-        job = Job(spec=spec)
+        job = self._new_job(spec)
         if spec.is_pipeline_change:
             job.status = JobStatus.PENDING_APPROVAL
             self._pending_approval.append(job)
@@ -1135,6 +1183,7 @@ class AccessServer(Entity):
                 "last_snapshot_at": self._persistence.last_snapshot_at,
             }
         return {
+            "shard_id": self.shard_id,
             "vantage_points": [record.name for record in self.vantage_points()],
             "users": self.users.usernames(),
             "queued_jobs": self.scheduler.queue_length(),

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import abc
 import json
+import uuid
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
@@ -76,6 +77,12 @@ from repro.api.schemas import (
 
 class Transport(abc.ABC):
     """Moves one wire-form request dict to a router and returns the response."""
+
+    #: True for transports that may transparently *resend* a request after a
+    #: connection drop (see ``JsonLinesTransport``).  A resent ``job.submit``
+    #: whose first copy already reached the server would double-queue, so the
+    #: client attaches an idempotency key to submissions on such transports.
+    supports_reconnect = False
 
     @abc.abstractmethod
     def send(self, request: dict) -> dict:
@@ -554,7 +561,20 @@ class BatteryLabClient:
         convenience, see the module docstring).  ``idempotency_key`` (v2)
         makes retrying this exact call safe: the server returns the original
         job instead of enqueueing a duplicate.
+
+        On a reconnecting transport a v2 submission without an explicit key
+        gets a generated one: the transport may transparently resend the
+        request after a gateway drop (drain, rolling restart), and without
+        a key a resend whose first copy already landed would double-submit.
+        The key is journaled server-side, so the guarantee survives a
+        restart-with-recovery between the two sends.
         """
+        if (
+            idempotency_key is None
+            and self._transport.supports_reconnect
+            and (self._session_token is not None or self._version == API_VERSION_V2)
+        ):
+            idempotency_key = uuid.uuid4().hex
         payload_name = self._resolve_payload_name(name, payload)
         constraints = JobConstraintsV1(
             vantage_point=vantage_point,

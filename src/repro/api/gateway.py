@@ -1048,6 +1048,11 @@ class JsonLinesTransport(Transport):
     per-request network round trip the serial :meth:`send` pays.
     """
 
+    #: :meth:`send` transparently reconnects and *resends* once after a
+    #: connection drop, so a request may reach the server twice.  Clients
+    #: key mutating calls (see ``BatteryLabClient.submit_job``) off this.
+    supports_reconnect = True
+
     def __init__(
         self,
         host: str,

@@ -792,12 +792,14 @@ class ApiRouter:
 
     def _op_server_status(self, ctx: RequestContext, payload: dict) -> dict:
         status = self._server.status()
-        # Journal health is a v2 addition: a strict pre-v2 client parsing
-        # StatusView would reject the unknown field, so v1 envelopes keep
-        # their exact historical wire form.
+        # Journal health and shard identity are v2 additions: a strict
+        # pre-v2 client parsing StatusView would reject the unknown fields,
+        # so v1 envelopes keep their exact historical wire form.
         journal = status.get("journal") if ctx.version == API_VERSION_V2 else None
+        shard_id = status.get("shard_id") if ctx.version == API_VERSION_V2 else None
         return StatusView(
             journal=JournalHealthView(**journal) if journal is not None else None,
+            shard_id=shard_id,
             api_version=ctx.version,
             vantage_points=status["vantage_points"],
             users=status["users"],

@@ -656,9 +656,13 @@ class StatusView(WireModel):
     ``journal`` (v2 addition, elided when persistence is off) surfaces the
     write-ahead journal's health so operators can watch compaction lag
     remotely.
+
+    ``shard_id`` (v2 addition, elided for the historical single-server
+    deployment) names which federation shard answered — a status routed
+    through the federation router reports the merged fleet and elides it.
     """
 
-    _ELIDE_WHEN_DEFAULT = ("journal",)
+    _ELIDE_WHEN_DEFAULT = ("journal", "shard_id")
 
     api_version: str
     vantage_points: List[str] = field(default_factory=list)
@@ -673,6 +677,7 @@ class StatusView(WireModel):
     orphaned_jobs: List[int] = field(default_factory=list)
     orphaned_vantage_points: List[str] = field(default_factory=list)
     journal: Optional[JournalHealthView] = None
+    shard_id: Optional[str] = None
 
 
 # ---------------------------------------------------------------------------
@@ -1173,3 +1178,40 @@ class ObsTraceView(WireModel):
     trace_id: str
     spans: List[SpanView] = field(default_factory=list)
     job_id: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# Federation admin plane (shard.list / shard.add / shard.drain / shard.remove)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardRef(WireModel):
+    """``shard.add`` / ``shard.drain`` / ``shard.remove`` request: one shard."""
+
+    shard_id: str
+
+
+@dataclass
+class ShardView(WireModel):
+    """One federation shard as the router sees it.
+
+    ``state`` is the drain state machine's position: ``active`` (taking new
+    placements), ``draining`` (no new placements; in-flight jobs settling)
+    or ``detached`` (removed; its directory entries are retained so a
+    restarted shard re-attaches under the same name).
+    """
+
+    shard_id: str
+    state: str = "active"
+    vantage_points: List[str] = field(default_factory=list)
+    queued_jobs: int = 0
+    running_jobs: int = 0
+    pending_approval: int = 0
+
+
+@dataclass
+class ShardListView(WireModel):
+    """``shard.list`` response: every shard in deterministic id order."""
+
+    shards: List[ShardView] = field(default_factory=list)

@@ -33,6 +33,13 @@ event streaming instead of status polling, and a TLS gateway server::
     batterylab-repro --state-dir ./state register-vp --name node2 --institution "Example University"
     batterylab-repro --state-dir ./state serve --tls --cert-dir ./state/tls
 
+Horizontal scale-out (``repro.federation``) serves N sharded access
+servers behind one scatter-gather router that speaks the same wire
+protocol — or one process as a single shard of a larger deployment::
+
+    batterylab-repro federate --shards 2 --state-root ./state --tls --cert-dir ./state/tls
+    batterylab-repro serve --shard-id shard-0 --shard-index 0 --shard-count 2
+
 The ``report`` subcommand folds the platform's event-sourced records
 (``repro.analytics``) into an operations report — owner utilisation and
 credit burn, queue-wait/run-time percentiles, per-device occupancy and
@@ -330,6 +337,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop after this many wall-clock seconds (default: run until ^C)",
     )
+    serve.add_argument(
+        "--shard-id",
+        default=None,
+        metavar="ID",
+        help="serve as one federation shard: mint job ids on the lane "
+        "selected by --shard-index/--shard-count and stamp ID into "
+        "journal snapshots and v2 server.status",
+    )
+    serve.add_argument(
+        "--shard-index",
+        type=int,
+        default=0,
+        help="this shard's lane (0-based; requires --shard-id)",
+    )
+    serve.add_argument(
+        "--shard-count",
+        type=int,
+        default=1,
+        help="total lanes in the federation (requires --shard-id)",
+    )
+
+    federate = sub.add_parser(
+        "federate",
+        help="serve N access-server shards behind one scatter-gather "
+        "gateway speaking unmodified Platform API v2",
+    )
+    federate.add_argument(
+        "--shards", type=int, default=2, help="shard count (fixes the lane space)"
+    )
+    federate.add_argument("--host", default="127.0.0.1")
+    federate.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    federate.add_argument(
+        "--tls",
+        action="store_true",
+        help="wrap the router gateway in TLS using wildcard material under "
+        "--cert-dir (minted with openssl on first use)",
+    )
+    federate.add_argument(
+        "--cert-dir",
+        default=None,
+        metavar="DIR",
+        help="directory holding (or receiving) wildcard.pem/wildcard.key",
+    )
+    federate.add_argument(
+        "--state-root",
+        default=None,
+        metavar="DIR",
+        help="journal each shard under DIR/shard-K (also where shard.add "
+        "recovers a restarted shard from)",
+    )
+    federate.add_argument(
+        "--duration-s",
+        type=float,
+        default=None,
+        help="stop after this many wall-clock seconds (default: run until ^C)",
+    )
     return parser
 
 
@@ -412,6 +475,7 @@ def _cmd_status(args) -> str:
     view = client.server_status(version=API_VERSION_V2)
     rows = [
         {"field": "api_version", "value": view.api_version},
+        {"field": "shard_id", "value": view.shard_id or "-"},
         {"field": "vantage_points", "value": ", ".join(view.vantage_points) or "-"},
         {"field": "queued_jobs", "value": view.queued_jobs},
         {"field": "pending_approval", "value": view.pending_approval},
@@ -704,7 +768,29 @@ def _cmd_metrics(args) -> str:
 def _cmd_serve(args) -> str:
     if args.tls and args.cert_dir is None:
         raise SystemExit("--tls requires --cert-dir DIR for the wildcard material")
-    platform = _ops_platform(args)
+    if args.shard_id is not None:
+        from repro.federation import build_shard
+
+        # A shard is assembled in federation order: lane first, then the
+        # journal (recovery must claim ids into the lane allocator), then
+        # analytics — _ops_platform cannot express that.
+        if not (0 <= args.shard_index < args.shard_count):
+            raise SystemExit(
+                f"--shard-index {args.shard_index} is outside the lane space "
+                f"of --shard-count {args.shard_count}"
+            )
+        shard = build_shard(
+            args.shard_id,
+            args.shard_index,
+            args.shard_count,
+            state_dir=None if args.no_persistence else args.state_dir,
+            seed=args.seed,
+            scheduling_policy=args.scheduling_policy,
+            reservation_admission=args.reservation_admission,
+        )
+        platform = shard.platform
+    else:
+        platform = _ops_platform(args)
     gateway = platform.serve_gateway(
         host=args.host,
         port=args.port,
@@ -730,6 +816,87 @@ def _cmd_serve(args) -> str:
     finally:
         gateway.stop()
     return f"gateway stopped after executing {served} job(s)"
+
+
+def _cmd_federate(args) -> str:
+    from repro.api.gateway import ApiGateway
+    from repro.federation import (
+        FederationRouter,
+        ShardState,
+        build_federation_shards,
+        build_shard,
+    )
+
+    if args.tls and args.cert_dir is None:
+        raise SystemExit("--tls requires --cert-dir DIR for the wildcard material")
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    shards = build_federation_shards(
+        args.shards,
+        state_root=args.state_root,
+        seed=args.seed,
+        scheduling_policy=args.scheduling_policy,
+        reservation_admission=args.reservation_admission,
+    )
+
+    def factory(shard_id: str, index: int, lane_count: int):
+        state_dir = None
+        if args.state_root is not None:
+            import os
+
+            state_dir = os.path.join(args.state_root, shard_id)
+        return build_shard(
+            shard_id,
+            index,
+            lane_count,
+            state_dir=state_dir,
+            seed=args.seed,
+            scheduling_policy=args.scheduling_policy,
+            reservation_admission=args.reservation_admission,
+        )
+
+    router = FederationRouter(shards, shard_factory=factory)
+    tls_context = None
+    if args.tls:
+        from repro.accessserver.certificates import (
+            ensure_tls_material,
+            server_tls_context,
+        )
+
+        # One wildcard certificate fronts the whole federation: clients
+        # talk to the router, never to a shard directly.
+        material = ensure_tls_material(
+            args.cert_dir, certificate=shards[0].server.wildcard_certificate
+        )
+        tls_context = server_tls_context(material)
+    gateway = ApiGateway(
+        router, host=args.host, port=args.port, tls_context=tls_context
+    )
+    gateway.start()
+    host, port = gateway.address
+    scheme = "tls" if gateway.tls_enabled else "plaintext"
+    print(
+        f"serving federated Platform API ({args.shards} shard(s)) on "
+        f"{host}:{port} ({scheme}); ^C to stop"
+    )
+    deadline = None if args.duration_s is None else time.time() + args.duration_s
+    served = 0
+    try:
+        while deadline is None or time.time() < deadline:
+            # Drive every attached shard's simulation under the gateway's
+            # exclusive lock — same discipline as single-server serve.
+            with gateway.router_lock:
+                for shard in router.shards:
+                    if shard.state is ShardState.DETACHED:
+                        continue
+                    served += len(shard.platform.run_queue())
+                    shard.platform.context.run_for(1.0)
+            time.sleep(0.05)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        gateway.stop()
+    return f"federation gateway stopped after executing {served} job(s)"
 
 
 def _cmd_quickstart(args) -> str:
@@ -893,6 +1060,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "metrics": _cmd_metrics,
     "serve": _cmd_serve,
+    "federate": _cmd_federate,
 }
 
 

@@ -1,0 +1,1112 @@
+"""Scatter-gather federation router speaking unmodified Platform API v2.
+
+:class:`FederationRouter` fronts N access-server shards behind the exact
+duck-type surface :class:`~repro.api.gateway.ApiGateway` drives an
+:class:`~repro.api.router.ApiRouter` with — ``handle`` / ``is_read_only`` /
+``cancel_owner`` / ``close_all_subscriptions`` / ``operations`` / a
+``server`` exposing ``.obs`` — so the stock gateway, the stock client and
+every existing wire test run against a federation without modification.
+
+Request classes and how each is served:
+
+* **Routed** — one deterministic target shard, response returned
+  *verbatim* (same bytes a standalone server would produce).  Job ops
+  route by the job-id *lane* (``(job_id - 1) % N``; see
+  :mod:`repro.federation.placement`); ``job.submit`` places by sticky
+  idempotency key, then hardware-constraint directory, then rendezvous
+  hash over the active shards; ``session.reserve`` and
+  ``vantage-point.register`` follow the hardware; ``credits.*`` follow a
+  rendezvous of the owner over the (fixed) lane set so an account lives
+  on exactly one shard.
+* **Scattered** — fanned out to every attached shard and merged with the
+  deterministic folds in :mod:`repro.federation.merge`: ``fleet.list``,
+  ``server.status``, ``job.list`` (pagination applied *after* the global
+  id-sort), ``approvals.list``, ``analytics.report`` /
+  ``analytics.timeseries``, ``obs.metrics`` (per-shard ``shard`` label)
+  and trace-id ``obs.trace`` (first shard that knows the trace answers).
+* **Broadcast** — applied to every shard because the resource is
+  federation-global: ``auth.login`` (per-shard tokens collapsed behind
+  one federated bearer token), ``auth.logout``, ``user.create``.
+* **Streams** — ``events.subscribe`` opens one leg per attached shard and
+  multiplexes them behind a single federated subscription id; the
+  federated ``seq`` advances by each leg frame's ``dropped + 1``, so the
+  PR-5 back-pressure contract (seq gap == dropped) holds across the
+  merge.  ``job.watch`` is routed to the job's lane and re-tagged.
+* **Admin** — ``shard.list`` / ``shard.add`` / ``shard.drain`` /
+  ``shard.remove`` drive the drain state machine (``active`` →
+  ``draining`` → ``detached``); they live in the router because shard
+  membership *is* router state.
+
+A single-lane federation passes every non-admin request through
+verbatim — a federation of one is byte-identical to a standalone server.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.accessserver.auth import Permission, Role, User
+from repro.api.errors import (
+    AuthenticationApiError,
+    ConflictApiError,
+    NotFoundApiError,
+    PermissionApiError,
+    SessionApiError,
+    UnknownOperationApiError,
+    ValidationApiError,
+    VersionApiError,
+    map_exception,
+)
+from repro.api.router import ApiRouter
+from repro.api.schemas import (
+    API_VERSION,
+    API_VERSION_V2,
+    PUSH_FRAME_END,
+    SUPPORTED_VERSIONS,
+    ApiRequest,
+    ApiResponse,
+    ObsMetricsView,
+    ShardListView,
+    ShardRef,
+    ShardView,
+    SubscriptionAck,
+    SubscriptionRef,
+)
+from repro.federation import merge as fed_merge
+from repro.federation.placement import (
+    PlacementDirectory,
+    ShardState,
+    lane_of_job,
+    rendezvous_shard,
+)
+from repro.federation.shard import FederationShard
+from repro.obs import Observability
+
+__all__ = ["FederationRouter"]
+
+#: Ops scattered to every attached shard and merged deterministically.
+_SCATTER_OPS = frozenset(
+    {
+        "fleet.list",
+        "server.status",
+        "job.list",
+        "approvals.list",
+        "analytics.report",
+        "analytics.timeseries",
+        "obs.metrics",
+    }
+)
+
+#: Ops routed to the lane that minted the referenced job id.
+_JOB_OPS = frozenset(
+    {"job.status", "job.cancel", "job.results", "job.approve", "job.reject"}
+)
+
+
+class _RouterCore:
+    """What the gateway sees behind ``router.server``: telemetry only."""
+
+    def __init__(self, obs: Observability) -> None:
+        self.obs = obs
+
+
+class _FedSession:
+    """One federated login: the per-shard bearer tokens behind one token."""
+
+    __slots__ = ("username", "tokens")
+
+    def __init__(self, username: str, tokens: Dict[str, str]) -> None:
+        self.username = username
+        self.tokens = tokens
+
+
+class _FedSubscription:
+    """One federated push stream multiplexing per-shard legs.
+
+    ``seq`` is the federated cursor: every leg frame advances it by the
+    frame's ``dropped + 1``, so a consumer summing ``dropped`` over the
+    frames it received can reconcile against the federated seq exactly as
+    it would against a single server's.
+    """
+
+    __slots__ = (
+        "router",
+        "fed_id",
+        "owner_token",
+        "username",
+        "push",
+        "watch",
+        "legs",
+        "seq",
+        "lock",
+        "closed",
+    )
+
+    def __init__(
+        self,
+        router: "FederationRouter",
+        fed_id: int,
+        owner_token: Optional[object],
+        username: str,
+        push: Callable[[dict], None],
+        watch: bool = False,
+    ) -> None:
+        self.router = router
+        self.fed_id = fed_id
+        self.owner_token = owner_token
+        self.username = username
+        self.push = push
+        self.watch = watch
+        #: shard id -> that shard's subscription id for our leg.
+        self.legs: Dict[str, int] = {}
+        self.seq = 0
+        self.lock = threading.Lock()
+        self.closed = False
+
+    def leg_push(self, shard_id: str) -> Callable[[dict], None]:
+        def _push(frame: dict) -> None:
+            self.router._forward_frame(self, shard_id, frame)
+
+        return _push
+
+
+class FederationRouter:
+    """N shards behind one ApiRouter-shaped endpoint.
+
+    Parameters
+    ----------
+    shards:
+        The lane-ordered shard set (index ``k`` must hold lane ``k``).
+        The lane count is fixed for the federation's lifetime — job-id
+        residue classes cannot be renumbered once ids are minted.
+    shard_factory:
+        Optional ``(shard_id, index, lane_count) -> FederationShard``
+        used by ``shard.add`` to rebuild a detached shard (recovering
+        from its journal) during a rolling restart.
+    """
+
+    def __init__(
+        self,
+        shards: List[FederationShard],
+        shard_factory: Optional[Callable[[str, int, int], FederationShard]] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a federation needs at least one shard")
+        for index, shard in enumerate(shards):
+            if shard.index != index:
+                raise ValueError(
+                    f"shard {shard.shard_id!r} holds lane {shard.index}, "
+                    f"but was passed at position {index}"
+                )
+        self._lanes: List[FederationShard] = list(shards)
+        self._lane_count = len(shards)
+        self._shard_factory = shard_factory
+        self._directory = PlacementDirectory()
+        for shard in self._lanes:
+            self._directory.learn_shard(shard.shard_id, shard.server)
+        self._sessions: Dict[str, _FedSession] = {}
+        self._subscriptions: Dict[int, _FedSubscription] = {}
+        self._subscriptions_lock = threading.Lock()
+        self._next_subscription_id = 1
+        self.obs = Observability()
+        self._core = _RouterCore(self.obs)
+        self._requests_total = self.obs.registry.counter(
+            "federation_requests_total",
+            "Federated API requests by operation and serving mode",
+            labelnames=("op", "mode"),
+        )
+        #: shard.* op -> (handler, read_only)
+        self._fed_ops: Dict[str, Tuple[Callable, bool]] = {
+            "shard.list": (self._op_shard_list, True),
+            "shard.add": (self._op_shard_add, False),
+            "shard.drain": (self._op_shard_drain, False),
+            "shard.remove": (self._op_shard_remove, False),
+        }
+
+    # -- ApiRouter duck-type surface -----------------------------------------
+    @property
+    def server(self):
+        return self._core
+
+    @property
+    def shards(self) -> List[FederationShard]:
+        return list(self._lanes)
+
+    def is_read_only(self, op_name: object) -> bool:
+        if isinstance(op_name, str) and op_name in self._fed_ops:
+            return self._fed_ops[op_name][1]
+        return self._lanes[0].router.is_read_only(op_name)
+
+    def operations(self, version: str = API_VERSION) -> Dict[str, Optional[Permission]]:
+        ops = self._lanes[0].router.operations(version)
+        if version >= API_VERSION_V2:
+            for name in self._fed_ops:
+                ops[name] = Permission.MANAGE_VANTAGE_POINTS
+        return ops
+
+    def cancel_owner(self, owner: Optional[object]) -> int:
+        with self._subscriptions_lock:
+            doomed = [
+                fed_id
+                for fed_id, sub in self._subscriptions.items()
+                if sub.owner_token is owner
+            ]
+        cancelled = sum(
+            1 for fed_id in doomed if self._cancel_fed_subscription(fed_id)
+        )
+        # Pass-through subscriptions were opened directly on a shard router
+        # under the same owner token; tear those down too.
+        for shard in self._attached():
+            cancelled += shard.router.cancel_owner(owner)
+        return cancelled
+
+    def close_all_subscriptions(self) -> int:
+        with self._subscriptions_lock:
+            doomed = list(self._subscriptions)
+        closed = sum(
+            1 for fed_id in doomed if self._cancel_fed_subscription(fed_id)
+        )
+        for shard in self._attached():
+            closed += shard.router.close_all_subscriptions()
+        return closed
+
+    def active_subscriptions(self) -> List[int]:
+        with self._subscriptions_lock:
+            fed = set(self._subscriptions)
+        for shard in self._attached():
+            fed.update(shard.router.active_subscriptions())
+        return sorted(fed)
+
+    # -- shard bookkeeping ----------------------------------------------------
+    def _attached(self) -> List[FederationShard]:
+        """Shards still participating (active or draining), lane order."""
+        return [s for s in self._lanes if s.state is not ShardState.DETACHED]
+
+    def _scatter_set(self) -> List[FederationShard]:
+        """Attached shards in sorted-shard-id order (the merge order)."""
+        return sorted(self._attached(), key=lambda s: s.shard_id)
+
+    def _active(self) -> List[FederationShard]:
+        return [s for s in self._lanes if s.state is ShardState.ACTIVE]
+
+    def _shard_by_id(self, shard_id: str) -> Optional[FederationShard]:
+        for shard in self._lanes:
+            if shard.shard_id == shard_id:
+                return shard
+        return None
+
+    def _lane_shard(self, job_id: int) -> FederationShard:
+        shard = self._lanes[lane_of_job(job_id, self._lane_count)]
+        if shard.state is ShardState.DETACHED:
+            raise ConflictApiError(
+                f"job {job_id} lives on shard {shard.shard_id!r}, which is "
+                "detached; re-attach it with shard.add",
+                details={"job_id": job_id, "shard_id": shard.shard_id},
+            )
+        return shard
+
+    def _reference_shard(self) -> FederationShard:
+        attached = self._scatter_set()
+        if not attached:
+            raise ConflictApiError("every shard of this federation is detached")
+        return attached[0]
+
+    # -- session fan-out ------------------------------------------------------
+    def _request_for_shard(self, request: dict, shard_id: str) -> dict:
+        """Rewrite the envelope's federated bearer token to the shard's own.
+
+        Unknown tokens pass through untouched: either the caller holds a
+        raw shard token from a pass-through era (the shard resolves it) or
+        the token is stale (the shard answers ``auth.session_expired`` and
+        the client re-logins, which re-broadcasts).  A *known* federated
+        session missing this shard's token — the shard restarted and its
+        in-memory sessions died — is forwarded stale on purpose for the
+        same re-login effect.
+        """
+        session = request.get("session")
+        if isinstance(session, str):
+            fed = self._sessions.get(session)
+            if fed is not None:
+                token = fed.tokens.get(shard_id)
+                if token is not None:
+                    rewritten = dict(request)
+                    rewritten["session"] = token
+                    return rewritten
+        return request
+
+    def _caller_username(self, envelope: ApiRequest) -> str:
+        if envelope.auth is not None:
+            return envelope.auth.username
+        if envelope.session is not None:
+            fed = self._sessions.get(envelope.session)
+            if fed is not None:
+                return fed.username
+            for shard in self._scatter_set():
+                try:
+                    session = shard.server.sessions.resolve(
+                        envelope.session, shard.server.context.now
+                    )
+                    return session.username
+                except Exception:
+                    continue
+        return ""
+
+    def _resolve_user(self, envelope: ApiRequest, secure: bool) -> User:
+        """Authenticate a federation-handled op against the reference shard."""
+        shard = self._reference_shard()
+        server = shard.server
+        if envelope.session is not None:
+            if envelope.version != API_VERSION_V2:
+                raise VersionApiError(
+                    "bearer session tokens require API version 2.0",
+                    details={"version": envelope.version},
+                )
+            token = envelope.session
+            fed = self._sessions.get(token)
+            if fed is not None:
+                token = fed.tokens.get(shard.shard_id)
+                if token is None:
+                    raise SessionApiError(
+                        f"shard {shard.shard_id!r} restarted since this "
+                        "session was issued; log in again"
+                    )
+            return server.sessions.resolve(
+                token, server.context.now, over_https=secure
+            )
+        if envelope.auth is None:
+            raise AuthenticationApiError(
+                "operation requires credentials", details={"op": envelope.op}
+            )
+        return server.users.authenticate(
+            envelope.auth.username, envelope.auth.token, over_https=secure
+        )
+
+    # -- entry point ----------------------------------------------------------
+    def handle(
+        self,
+        request: dict,
+        push: Optional[Callable[[dict], None]] = None,
+        owner: Optional[object] = None,
+        secure: bool = True,
+    ) -> dict:
+        """Execute one wire request; never raises (same contract as ApiRouter)."""
+        request_id = request.get("request_id") if isinstance(request, dict) else 0
+        if not isinstance(request_id, int) or isinstance(request_id, bool):
+            request_id = 0
+        version = API_VERSION
+        try:
+            envelope = ApiRequest.from_wire(request)
+            if envelope.version not in SUPPORTED_VERSIONS:
+                raise VersionApiError(
+                    f"API version {envelope.version!r} is not supported",
+                    details={"supported_versions": list(SUPPORTED_VERSIONS)},
+                )
+            version = envelope.version
+            op = envelope.op
+            if op in self._fed_ops:
+                if envelope.version != API_VERSION_V2:
+                    raise VersionApiError(
+                        f"operation {op!r} requires API version "
+                        f"{API_VERSION_V2}; negotiate a v2 envelope",
+                        details={"operation": op, "min_version": API_VERSION_V2},
+                    )
+                handler = self._fed_ops[op][0]
+                self._count(op, "admin")
+                payload = handler(envelope, secure)
+                return ApiResponse(
+                    ok=True, version=version, request_id=request_id, payload=payload
+                ).to_wire()
+            return self._dispatch(request, envelope, push, owner, secure)
+        except Exception as exc:  # noqa: BLE001 - boundary translation
+            error = map_exception(exc)
+            return ApiResponse(
+                ok=False,
+                version=version,
+                request_id=request_id,
+                error=error.to_wire(),
+            ).to_wire()
+
+    def _count(self, op: str, mode: str) -> None:
+        if self.obs.registry.enabled:
+            self._requests_total.labels(op, mode).inc()
+
+    def _dispatch(
+        self,
+        request: dict,
+        envelope: ApiRequest,
+        push: Optional[Callable[[dict], None]],
+        owner: Optional[object],
+        secure: bool,
+    ) -> dict:
+        attached = self._scatter_set()
+        if not attached:
+            raise ConflictApiError("every shard of this federation is detached")
+        op = envelope.op
+        if self._lane_count == 1:
+            # Federation of one: the shard's response *is* the federated
+            # response, byte for byte — including streams.  Only the true
+            # single-lane case qualifies — a multi-lane federation drained
+            # down to one shard must keep routing so detached lanes answer
+            # ``resource.conflict`` ("re-attach me"), not a false not-found.
+            self._count(op, "passthrough")
+            shard = attached[0]
+            return shard.router.handle(
+                self._request_for_shard(request, shard.shard_id),
+                push=push,
+                owner=owner,
+                secure=secure,
+            )
+        if op == "auth.login":
+            self._count(op, "broadcast")
+            return self._broadcast_login(request, envelope, secure)
+        if op == "auth.logout":
+            self._count(op, "broadcast")
+            return self._broadcast_logout(request, envelope, secure)
+        if op == "user.create":
+            self._count(op, "broadcast")
+            return self._broadcast_create_user(request, secure)
+        if op in _SCATTER_OPS:
+            self._count(op, "scatter")
+            return self._scatter(request, envelope, secure)
+        if op == "obs.trace":
+            self._count(op, "scatter")
+            return self._route_obs_trace(request, envelope, secure)
+        if op in _JOB_OPS:
+            self._count(op, "routed")
+            return self._route_to_job(request, envelope, secure)
+        if op == "job.submit":
+            self._count(op, "routed")
+            return self._route_submit(request, envelope, secure)
+        if op == "session.reserve":
+            self._count(op, "routed")
+            return self._route_reserve(request, secure)
+        if op == "vantage-point.register":
+            self._count(op, "routed")
+            return self._route_register(request, secure)
+        if op in ("credits.balance", "credits.grant"):
+            self._count(op, "routed")
+            return self._route_credits(request, envelope, secure)
+        if op == "job.watch":
+            self._count(op, "stream")
+            return self._open_watch(request, envelope, push, owner, secure)
+        if op == "events.subscribe":
+            self._count(op, "stream")
+            return self._open_events(request, envelope, push, owner, secure)
+        if op == "subscription.cancel":
+            self._count(op, "routed")
+            return self._cancel_subscription_op(request, envelope, secure)
+        raise UnknownOperationApiError(
+            f"unknown operation {op!r}",
+            details={"operations": sorted(self.operations(API_VERSION_V2))},
+        )
+
+    # -- forwarding helpers ----------------------------------------------------
+    def _forward(
+        self,
+        request: dict,
+        shard: FederationShard,
+        secure: bool,
+        push: Optional[Callable[[dict], None]] = None,
+        owner: Optional[object] = None,
+    ) -> dict:
+        return shard.router.handle(
+            self._request_for_shard(request, shard.shard_id),
+            push=push,
+            owner=owner,
+            secure=secure,
+        )
+
+    def _scatter_responses(
+        self, request: dict, secure: bool
+    ) -> List[Tuple[str, dict]]:
+        return [
+            (shard.shard_id, self._forward(request, shard, secure))
+            for shard in self._scatter_set()
+        ]
+
+    @staticmethod
+    def _first_error(responses: List[Tuple[str, dict]]) -> Optional[dict]:
+        for _, response in responses:
+            if not response.get("ok"):
+                return response
+        return None
+
+    # -- scattered reads -------------------------------------------------------
+    def _scatter(self, request: dict, envelope: ApiRequest, secure: bool) -> dict:
+        op = envelope.op
+        scattered = request
+        offset, limit = 0, None
+        if op == "job.list" and isinstance(envelope.payload, dict):
+            # Pagination must window the *merged* id-ordered list, so the
+            # shards are asked for their full filtered sets.
+            offset = envelope.payload.get("offset", 0)
+            limit = envelope.payload.get("limit")
+            stripped = {
+                key: value
+                for key, value in envelope.payload.items()
+                if key not in ("offset", "limit")
+            }
+            scattered = dict(request)
+            scattered["payload"] = stripped
+        responses = self._scatter_responses(scattered, secure)
+        error = self._first_error(responses)
+        if error is not None:
+            return error
+        payloads = [(shard_id, resp["payload"]) for shard_id, resp in responses]
+        if op == "fleet.list":
+            merged = fed_merge.merge_fleet(payloads)
+        elif op == "server.status":
+            merged = fed_merge.merge_status(payloads, envelope.version)
+        elif op == "job.list":
+            merged = fed_merge.merge_job_list(payloads, offset=offset, limit=limit)
+        elif op == "approvals.list":
+            merged = fed_merge.merge_approvals(payloads)
+        elif op == "analytics.report":
+            merged = fed_merge.merge_report(payloads)
+        elif op == "analytics.timeseries":
+            merged = fed_merge.merge_timeseries(payloads)
+        else:  # obs.metrics
+            merged = self._merge_metrics(envelope, payloads)
+        return ApiResponse(
+            ok=True,
+            version=envelope.version,
+            request_id=envelope.request_id,
+            payload=merged,
+        ).to_wire()
+
+    def _merge_metrics(
+        self, envelope: ApiRequest, payloads: List[Tuple[str, dict]]
+    ) -> dict:
+        from repro.obs.metrics import merge_snapshots
+
+        prefix = None
+        if isinstance(envelope.payload, dict):
+            prefix = envelope.payload.get("prefix")
+        snapshots = {
+            shard_id: ObsMetricsView.from_wire(payload).to_snapshot()
+            for shard_id, payload in payloads
+        }
+        merged = merge_snapshots(
+            snapshots, extra=self.obs.registry.snapshot(), label="shard"
+        )
+        return ObsMetricsView.from_snapshot(merged, prefix=prefix).to_wire()
+
+    def _route_obs_trace(
+        self, request: dict, envelope: ApiRequest, secure: bool
+    ) -> dict:
+        payload = envelope.payload if isinstance(envelope.payload, dict) else {}
+        job_id = payload.get("job_id")
+        if isinstance(job_id, int) and not isinstance(job_id, bool) and job_id >= 1:
+            return self._forward(request, self._lane_shard(job_id), secure)
+        # Trace ids are globally unique (uuid-based): the one shard that
+        # recorded the trace answers; every miss is a not-found.
+        responses = self._scatter_responses(request, secure)
+        for _, response in responses:
+            if response.get("ok"):
+                return response
+        return responses[0][1]
+
+    # -- routed job ops --------------------------------------------------------
+    def _route_to_job(self, request: dict, envelope: ApiRequest, secure: bool) -> dict:
+        payload = envelope.payload if isinstance(envelope.payload, dict) else {}
+        job_id = payload.get("job_id")
+        if not isinstance(job_id, int) or isinstance(job_id, bool) or job_id < 1:
+            # Malformed refs go to the reference shard for the exact
+            # validation error a standalone server would emit.
+            return self._forward(request, self._reference_shard(), secure)
+        return self._forward(request, self._lane_shard(job_id), secure)
+
+    def _route_submit(self, request: dict, envelope: ApiRequest, secure: bool) -> dict:
+        payload = envelope.payload if isinstance(envelope.payload, dict) else {}
+        constraints = payload.get("constraints")
+        constraints = constraints if isinstance(constraints, dict) else {}
+        vantage_point = constraints.get("vantage_point")
+        device_serial = constraints.get("device_serial")
+        idempotency_key = payload.get("idempotency_key")
+        if not isinstance(idempotency_key, str):
+            idempotency_key = None
+        owner = payload.get("owner")
+        if not isinstance(owner, str) or not owner:
+            owner = self._caller_username(envelope)
+        target: Optional[FederationShard] = None
+        sticky = self._directory.shard_for_submission(owner, idempotency_key)
+        if sticky is not None:
+            # A resubmission must reach the shard holding the original
+            # job, even mid-drain — that is the whole point of the key.
+            target = self._shard_by_id(sticky)
+            if target is not None and target.state is ShardState.DETACHED:
+                raise ConflictApiError(
+                    f"the original submission lives on detached shard "
+                    f"{sticky!r}; re-attach it with shard.add",
+                    details={"shard_id": sticky},
+                )
+        if target is None:
+            home = self._directory.shard_for_constraints(
+                vantage_point if isinstance(vantage_point, str) else None,
+                device_serial if isinstance(device_serial, str) else None,
+            )
+            if home is not None:
+                shard = self._shard_by_id(home)
+                if shard is not None and shard.state is ShardState.ACTIVE:
+                    target = shard
+                elif shard is not None:
+                    raise ConflictApiError(
+                        f"the constrained hardware lives on shard "
+                        f"{home!r}, which is {shard.state.value} and not "
+                        "taking new jobs",
+                        details={"shard_id": home, "state": shard.state.value},
+                    )
+        if target is None:
+            active = self._active()
+            if not active:
+                raise ConflictApiError(
+                    "no active shard is taking new jobs; re-attach or wait "
+                    "for a drain to finish"
+                )
+            key = None
+            for candidate in (vantage_point, device_serial, owner):
+                if isinstance(candidate, str) and candidate:
+                    key = candidate
+                    break
+            chosen = rendezvous_shard(key or "", [s.shard_id for s in active])
+            target = self._shard_by_id(chosen)
+        response = self._forward(request, target, secure)
+        if response.get("ok"):
+            self._directory.record_submission(
+                owner, idempotency_key, target.shard_id
+            )
+        return response
+
+    def _route_reserve(self, request: dict, secure: bool) -> dict:
+        payload = request.get("payload")
+        payload = payload if isinstance(payload, dict) else {}
+        vantage_point = payload.get("vantage_point")
+        home = None
+        if isinstance(vantage_point, str):
+            home = self._directory.vantage_points.get(vantage_point)
+        if home is None:
+            return self._forward(request, self._reference_shard(), secure)
+        shard = self._shard_by_id(home)
+        if shard is None or shard.state is ShardState.DETACHED:
+            raise ConflictApiError(
+                f"vantage point {vantage_point!r} lives on a detached shard",
+                details={"vantage_point": vantage_point, "shard_id": home},
+            )
+        return self._forward(request, shard, secure)
+
+    def _route_register(self, request: dict, secure: bool) -> dict:
+        payload = request.get("payload")
+        payload = payload if isinstance(payload, dict) else {}
+        name = payload.get("name")
+        if isinstance(name, str) and name in self._directory.vantage_points:
+            # Conflict-check federation-wide before placing: rendezvous
+            # would otherwise happily register a duplicate name on a
+            # different shard.
+            raise ConflictApiError(
+                f"a vantage point named {name!r} is already registered",
+                details={"name": name},
+            )
+        active = self._active()
+        if not active:
+            raise ConflictApiError("no active shard can take new hardware")
+        chosen = rendezvous_shard(
+            name if isinstance(name, str) else "",
+            [s.shard_id for s in active],
+        )
+        shard = self._shard_by_id(chosen)
+        response = self._forward(request, shard, secure)
+        if response.get("ok"):
+            self._directory.learn_shard(shard.shard_id, shard.server)
+        return response
+
+    def _route_credits(
+        self, request: dict, envelope: ApiRequest, secure: bool
+    ) -> dict:
+        payload = envelope.payload if isinstance(envelope.payload, dict) else {}
+        owner = payload.get("owner")
+        if not isinstance(owner, str) or not owner:
+            owner = self._caller_username(envelope)
+        # Rendezvous over the *full* lane set: an account's home shard must
+        # not move when another shard drains, or balances would appear to
+        # reset.  A detached home refuses rather than silently re-homing.
+        home_id = rendezvous_shard(owner, [s.shard_id for s in self._lanes])
+        shard = self._shard_by_id(home_id)
+        if shard.state is ShardState.DETACHED:
+            raise ConflictApiError(
+                f"the credit account for {owner!r} lives on detached shard "
+                f"{home_id!r}; re-attach it with shard.add",
+                details={"owner": owner, "shard_id": home_id},
+            )
+        return self._forward(request, shard, secure)
+
+    # -- broadcast ops ---------------------------------------------------------
+    def _broadcast_login(
+        self, request: dict, envelope: ApiRequest, secure: bool
+    ) -> dict:
+        responses = self._scatter_responses(request, secure)
+        tokens: Dict[str, str] = {}
+        home_response: Optional[dict] = None
+        for shard_id, response in responses:
+            if response.get("ok"):
+                tokens[shard_id] = response["payload"]["session_token"]
+                if home_response is None:
+                    home_response = response
+        if home_response is None:
+            return responses[0][1]
+        username = str(home_response["payload"].get("username", ""))
+        fed_token = uuid.uuid4().hex
+        self._sessions[fed_token] = _FedSession(username, tokens)
+        merged = dict(home_response)
+        merged_payload = dict(home_response["payload"])
+        merged_payload["session_token"] = fed_token
+        merged["payload"] = merged_payload
+        return merged
+
+    def _broadcast_logout(
+        self, request: dict, envelope: ApiRequest, secure: bool
+    ) -> dict:
+        fed = (
+            self._sessions.pop(envelope.session, None)
+            if envelope.session is not None
+            else None
+        )
+        if fed is None:
+            # Not a federated token: let the reference shard produce the
+            # standalone behaviour (including the revoked=false case).
+            return self._forward(request, self._reference_shard(), secure)
+        revoked = False
+        for shard in self._scatter_set():
+            token = fed.tokens.get(shard.shard_id)
+            if token is None:
+                continue
+            rewritten = dict(request)
+            rewritten["session"] = token
+            response = shard.router.handle(rewritten, secure=secure)
+            if response.get("ok") and response["payload"].get("revoked"):
+                revoked = True
+        return ApiResponse(
+            ok=True,
+            version=envelope.version,
+            request_id=envelope.request_id,
+            payload={"revoked": revoked},
+        ).to_wire()
+
+    def _broadcast_create_user(self, request: dict, secure: bool) -> dict:
+        """Create the account on every shard so credentials work fleet-wide.
+
+        Succeeds if at least one shard accepted; shards answering
+        ``resource.conflict`` already hold the account (a retry after a
+        partial failure), which is the idempotent outcome we want.
+        """
+        responses = self._scatter_responses(request, secure)
+        for _, response in responses:
+            if response.get("ok"):
+                return response
+        return responses[0][1]
+
+    # -- streams ---------------------------------------------------------------
+    def _new_fed_subscription(
+        self,
+        owner: Optional[object],
+        username: str,
+        push: Callable[[dict], None],
+        watch: bool,
+    ) -> _FedSubscription:
+        with self._subscriptions_lock:
+            fed_id = self._next_subscription_id
+            self._next_subscription_id += 1
+            sub = _FedSubscription(self, fed_id, owner, username, push, watch=watch)
+            self._subscriptions[fed_id] = sub
+        return sub
+
+    def _forward_frame(
+        self, sub: _FedSubscription, shard_id: str, frame: dict
+    ) -> None:
+        deliver_failed = False
+        ended = False
+        with sub.lock:
+            if sub.closed:
+                return
+            dropped = frame.get("dropped", 0)
+            sub.seq += dropped + 1
+            out = dict(frame)
+            out["subscription_id"] = sub.fed_id
+            out["seq"] = sub.seq
+            try:
+                sub.push(out)
+            except Exception:
+                deliver_failed = True
+            else:
+                if sub.watch and frame.get("frame") == PUSH_FRAME_END:
+                    # The shard already closed its own leg after the end
+                    # frame; only the federated bookkeeping remains.
+                    ended = True
+                    sub.closed = True
+        if deliver_failed:
+            self._cancel_fed_subscription(sub.fed_id)
+        elif ended:
+            with self._subscriptions_lock:
+                self._subscriptions.pop(sub.fed_id, None)
+
+    def _cancel_fed_subscription(self, fed_id: int) -> bool:
+        with self._subscriptions_lock:
+            sub = self._subscriptions.pop(fed_id, None)
+        if sub is None:
+            return False
+        with sub.lock:
+            sub.closed = True
+            legs = dict(sub.legs)
+            sub.legs.clear()
+        for shard_id, leg_id in legs.items():
+            shard = self._shard_by_id(shard_id)
+            if shard is not None:
+                shard.router.cancel_subscription(leg_id)
+        return True
+
+    def _drop_shard_legs(self, shard_id: str) -> None:
+        """Forget a detaching shard's legs (its router closes them itself)."""
+        with self._subscriptions_lock:
+            subs = list(self._subscriptions.values())
+        for sub in subs:
+            with sub.lock:
+                sub.legs.pop(shard_id, None)
+
+    def _open_watch(
+        self,
+        request: dict,
+        envelope: ApiRequest,
+        push: Optional[Callable[[dict], None]],
+        owner: Optional[object],
+        secure: bool,
+    ) -> dict:
+        if push is None:
+            raise ValidationApiError(
+                "this transport cannot carry server pushes; use a streaming-"
+                "capable transport (gateway connection or in-process client)"
+            )
+        payload = envelope.payload if isinstance(envelope.payload, dict) else {}
+        job_id = payload.get("job_id")
+        if not isinstance(job_id, int) or isinstance(job_id, bool) or job_id < 1:
+            return self._forward(request, self._reference_shard(), secure)
+        shard = self._lane_shard(job_id)
+        sub = self._new_fed_subscription(
+            owner, self._caller_username(envelope), push, watch=True
+        )
+        response = self._forward(
+            request, shard, secure, push=sub.leg_push(shard.shard_id), owner=sub
+        )
+        if not response.get("ok"):
+            self._cancel_fed_subscription(sub.fed_id)
+            return response
+        leg_id = response["payload"]["subscription_id"]
+        still_open = True
+        with sub.lock:
+            if sub.closed:
+                # Terminal job: the end frame arrived inside handle().
+                still_open = False
+            else:
+                sub.legs[shard.shard_id] = leg_id
+        if not still_open:
+            with self._subscriptions_lock:
+                self._subscriptions.pop(sub.fed_id, None)
+        rewritten = dict(response)
+        rewritten_payload = dict(response["payload"])
+        rewritten_payload["subscription_id"] = sub.fed_id
+        rewritten["payload"] = rewritten_payload
+        return rewritten
+
+    def _open_events(
+        self,
+        request: dict,
+        envelope: ApiRequest,
+        push: Optional[Callable[[dict], None]],
+        owner: Optional[object],
+        secure: bool,
+    ) -> dict:
+        if push is None:
+            raise ValidationApiError(
+                "this transport cannot carry server pushes; use a streaming-"
+                "capable transport (gateway connection or in-process client)"
+            )
+        sub = self._new_fed_subscription(
+            owner, self._caller_username(envelope), push, watch=False
+        )
+        opened: List[Tuple[FederationShard, int]] = []
+        for shard in self._scatter_set():
+            response = self._forward(
+                request, shard, secure, push=sub.leg_push(shard.shard_id), owner=sub
+            )
+            if not response.get("ok"):
+                self._cancel_fed_subscription(sub.fed_id)
+                return response
+            opened.append((shard, response["payload"]["subscription_id"]))
+        with sub.lock:
+            for shard, leg_id in opened:
+                sub.legs[shard.shard_id] = leg_id
+        return ApiResponse(
+            ok=True,
+            version=envelope.version,
+            request_id=envelope.request_id,
+            payload=SubscriptionAck(subscription_id=sub.fed_id).to_wire(),
+        ).to_wire()
+
+    def _cancel_subscription_op(
+        self, request: dict, envelope: ApiRequest, secure: bool
+    ) -> dict:
+        ref = SubscriptionRef.from_wire(
+            envelope.payload if isinstance(envelope.payload, dict) else {}
+        )
+        with self._subscriptions_lock:
+            sub = self._subscriptions.get(ref.subscription_id)
+        if sub is None:
+            # Not federated: a pass-through-era shard subscription, or
+            # simply unknown — the shards decide, with their own checks.
+            responses = self._scatter_responses(request, secure)
+            for _, response in responses:
+                if response.get("ok") and response["payload"].get("cancelled"):
+                    return response
+            return responses[0][1]
+        user = self._resolve_user(envelope, secure)
+        self._reference_shard().server.users.authorize(
+            user, Permission.VIEW_RESULTS
+        )
+        if sub.username != user.username and user.role is not Role.ADMIN:
+            raise PermissionApiError(
+                "only the subscriber or an admin may cancel a subscription"
+            )
+        cancelled = self._cancel_fed_subscription(ref.subscription_id)
+        return ApiResponse(
+            ok=True,
+            version=envelope.version,
+            request_id=envelope.request_id,
+            payload={"cancelled": cancelled},
+        ).to_wire()
+
+    # -- shard admin plane -----------------------------------------------------
+    def _require_admin(self, envelope: ApiRequest, secure: bool) -> User:
+        user = self._resolve_user(envelope, secure)
+        self._reference_shard().server.users.authorize(
+            user, Permission.MANAGE_VANTAGE_POINTS
+        )
+        return user
+
+    def _shard_view(self, shard: FederationShard) -> ShardView:
+        vantage_points = sorted(
+            name
+            for name, home in self._directory.vantage_points.items()
+            if home == shard.shard_id
+        )
+        queued = running = pending = 0
+        if shard.state is not ShardState.DETACHED:
+            from repro.accessserver.jobs import JobStatus
+
+            server = shard.server
+            queued = server.scheduler.queue_length()
+            running = len(server.scheduler.jobs(JobStatus.RUNNING))
+            pending = len(server.pending_approval())
+        return ShardView(
+            shard_id=shard.shard_id,
+            state=shard.state.value,
+            vantage_points=vantage_points,
+            queued_jobs=queued,
+            running_jobs=running,
+            pending_approval=pending,
+        )
+
+    def _op_shard_list(self, envelope: ApiRequest, secure: bool) -> dict:
+        self._require_admin(envelope, secure)
+        shards = sorted(self._lanes, key=lambda s: s.shard_id)
+        return ShardListView(
+            shards=[self._shard_view(shard) for shard in shards]
+        ).to_wire()
+
+    def _op_shard_drain(self, envelope: ApiRequest, secure: bool) -> dict:
+        self._require_admin(envelope, secure)
+        ref = ShardRef.from_wire(
+            envelope.payload if isinstance(envelope.payload, dict) else {}
+        )
+        shard = self._shard_by_id(ref.shard_id)
+        if shard is None:
+            raise NotFoundApiError(
+                f"unknown shard {ref.shard_id!r}",
+                details={"shards": [s.shard_id for s in self._lanes]},
+            )
+        if shard.state is ShardState.DETACHED:
+            raise ConflictApiError(
+                f"shard {ref.shard_id!r} is detached; nothing to drain"
+            )
+        if len(self._attached()) == 1:
+            raise ConflictApiError(
+                "refusing to drain the last attached shard; the federation "
+                "would serve nothing"
+            )
+        # Draining: new placements stop immediately (the placement paths
+        # only consider ACTIVE shards), then the in-flight work settles so
+        # watches receive their end frames before any detach.
+        shard.state = ShardState.DRAINING
+        shard.settle()
+        shard.sync()
+        return self._shard_view(shard).to_wire()
+
+    def _op_shard_remove(self, envelope: ApiRequest, secure: bool) -> dict:
+        self._require_admin(envelope, secure)
+        ref = ShardRef.from_wire(
+            envelope.payload if isinstance(envelope.payload, dict) else {}
+        )
+        shard = self._shard_by_id(ref.shard_id)
+        if shard is None:
+            raise NotFoundApiError(f"unknown shard {ref.shard_id!r}")
+        if shard.state is ShardState.ACTIVE:
+            raise ConflictApiError(
+                f"shard {ref.shard_id!r} is still active; drain it first "
+                "(shard.drain) so in-flight jobs settle",
+                details={"shard_id": ref.shard_id},
+            )
+        if shard.state is ShardState.DETACHED:
+            raise ConflictApiError(f"shard {ref.shard_id!r} is already detached")
+        shard.sync()
+        shard.router.close_all_subscriptions()
+        self._drop_shard_legs(shard.shard_id)
+        shard.state = ShardState.DETACHED
+        # Directory entries survive on purpose: the shard's hardware and
+        # sticky submissions still *belong* to its lane, and a re-attach
+        # under the same id finds them waiting.
+        return self._shard_view(shard).to_wire()
+
+    def _op_shard_add(self, envelope: ApiRequest, secure: bool) -> dict:
+        self._require_admin(envelope, secure)
+        ref = ShardRef.from_wire(
+            envelope.payload if isinstance(envelope.payload, dict) else {}
+        )
+        shard = self._shard_by_id(ref.shard_id)
+        if shard is None:
+            raise ConflictApiError(
+                f"unknown shard {ref.shard_id!r}: the lane space is fixed at "
+                "federation creation; shard.add re-attaches a detached lane",
+                details={"shards": [s.shard_id for s in self._lanes]},
+            )
+        if shard.state is not ShardState.DETACHED:
+            raise ConflictApiError(
+                f"shard {ref.shard_id!r} is already attached "
+                f"({shard.state.value})"
+            )
+        if self._shard_factory is None:
+            raise ConflictApiError(
+                "this federation has no shard factory configured; restart "
+                "the router with one to support wire-driven re-attach"
+            )
+        rebuilt = self._shard_factory(ref.shard_id, shard.index, self._lane_count)
+        if rebuilt.shard_id != ref.shard_id or rebuilt.index != shard.index:
+            raise ConflictApiError(
+                "shard factory returned a shard for the wrong lane",
+                details={
+                    "expected": {"shard_id": ref.shard_id, "index": shard.index},
+                    "got": {"shard_id": rebuilt.shard_id, "index": rebuilt.index},
+                },
+            )
+        rebuilt.state = ShardState.ACTIVE
+        self._lanes[shard.index] = rebuilt
+        self._directory.learn_shard(rebuilt.shard_id, rebuilt.server)
+        return self._shard_view(rebuilt).to_wire()

@@ -43,6 +43,7 @@ __all__ = [
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "merge_snapshots",
     "render_snapshot",
 ]
 
@@ -470,6 +471,61 @@ class MetricsRegistry:
             "gauges": gauges,
             "histograms": histograms,
         }
+
+
+def merge_snapshots(
+    shard_snapshots: Dict[str, Dict[str, object]],
+    extra: Optional[Dict[str, object]] = None,
+    label: str = "shard",
+) -> Dict[str, object]:
+    """Merge per-shard :meth:`MetricsRegistry.snapshot` dicts into one view.
+
+    Each shard's samples keep their identity: every sample gains a
+    ``label`` (default ``"shard"``) entry carrying the shard id, so two
+    shards' ``jobs_submitted_total`` stay distinct series rather than
+    being summed into an unattributable blob — federation surfaces, it
+    does not launder.  ``extra`` (the router's own registry snapshot, no
+    shard label) is appended last.  Output ordering is deterministic:
+    family name, then shard id, then the shard's own child order — so the
+    merged ``obs.metrics`` response is byte-stable across calls.
+    """
+    merged: Dict[str, List[Dict[str, object]]] = {
+        "counters": [],
+        "gauges": [],
+        "histograms": [],
+    }
+    generated_at = 0.0
+    enabled = False
+    sources = [
+        (shard_id, shard_snapshots[shard_id]) for shard_id in sorted(shard_snapshots)
+    ]
+    if extra is not None:
+        sources.append((None, extra))
+    for kind in ("counters", "gauges", "histograms"):
+        samples: List[Tuple[str, Dict[str, object]]] = []
+        for shard_id, snapshot in sources:
+            for sample in snapshot.get(kind) or []:
+                labels = dict(sample.get("labels") or {})
+                if shard_id is not None:
+                    labels[label] = shard_id
+                stamped = dict(sample)
+                stamped["labels"] = labels
+                samples.append((str(stamped.get("name", "")), stamped))
+        # Stable sort on family name alone: within one family, samples stay
+        # in source order (shards sorted by id, each shard's own child
+        # order), which is the deterministic grouping the docstring promises.
+        samples.sort(key=lambda item: item[0])
+        merged[kind] = [sample for _, sample in samples]
+    for _, snapshot in sources:
+        generated_at = max(generated_at, float(snapshot.get("generated_at") or 0.0))
+        enabled = enabled or bool(snapshot.get("enabled"))
+    return {
+        "generated_at": generated_at,
+        "enabled": enabled,
+        "counters": merged["counters"],
+        "gauges": merged["gauges"],
+        "histograms": merged["histograms"],
+    }
 
 
 def _labels_dict_text(labels: Dict[str, str]) -> str:

@@ -1,0 +1,190 @@
+"""Reconnect-and-resend must never double-submit a job.
+
+:meth:`JsonLinesTransport.send` transparently reconnects and *resends*
+once when the gateway connection dies mid-call — a rolling restart, a
+drain, a flaky link.  If the first copy already landed server-side, the
+resend would enqueue a duplicate job.  The SDK therefore stamps every v2
+submission on a reconnecting transport with a generated idempotency key,
+so the resend collapses onto the original job.
+"""
+
+import pytest
+
+from repro.api import ApiGateway, ApiRouter, BatteryLabClient, JsonLinesTransport
+from repro.api.client import InProcessTransport
+from repro.core.platform import build_default_platform
+
+
+@pytest.fixture()
+def platform():
+    return build_default_platform(seed=29, browsers=("chrome",))
+
+
+@pytest.fixture()
+def router(platform):
+    return ApiRouter(platform.access_server)
+
+
+class _SpyTransport(JsonLinesTransport):
+    """Records every wire request the client sends."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.sent = []
+
+    def send(self, request):
+        self.sent.append(request)
+        return super().send(request)
+
+
+class _CountingRouter:
+    """Counts how many ``job.submit`` calls actually reach the router."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.submit_calls = 0
+
+    def handle(self, request, push=None, owner=None, secure=True):
+        if request.get("op") == "job.submit":
+            self.submit_calls += 1
+        return self._inner.handle(
+            request, push=push, owner=owner, secure=secure
+        )
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class _DropResponseOnceTransport(JsonLinesTransport):
+    """Loses the first ``job.submit`` response after the server acted.
+
+    The request crosses the wire and the gateway's answer is read off the
+    socket — proof the submit was fully processed — then discarded, and
+    the read surfaces as the connection dying.  That is exactly what a
+    mid-call gateway drop looks like to :meth:`JsonLinesTransport.send`,
+    which reconnects and resends the same envelope.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._drop_next_response = False
+        self.drops = 0
+
+    def send(self, request):
+        if request.get("op") == "job.submit" and not self.drops:
+            self._drop_next_response = True
+        return super().send(request)
+
+    def _read_response(self):
+        response = super()._read_response()
+        if self._drop_next_response:
+            self._drop_next_response = False
+            self.drops += 1
+            raise OSError(104, "simulated mid-call connection reset")
+        return response
+
+
+class TestAutoIdempotencyKey:
+    def test_v2_submission_over_the_wire_carries_a_generated_key(self, router):
+        gateway = ApiGateway(router)
+        gateway.start()
+        host, port = gateway.address
+        transport = _SpyTransport(host, port, timeout_s=10.0)
+        try:
+            with BatteryLabClient(
+                transport, "experimenter", "experimenter-token"
+            ) as client:
+                client.login()
+                client.submit_job("keyed", "noop")
+            submits = [r for r in transport.sent if r["op"] == "job.submit"]
+            assert len(submits) == 1
+            key = submits[0]["payload"].get("idempotency_key")
+            assert isinstance(key, str) and len(key) == 32
+        finally:
+            gateway.stop()
+
+    def test_v1_submission_stays_keyless(self, router):
+        # The frozen v1 wire form must not grow a field just because the
+        # transport can reconnect.
+        gateway = ApiGateway(router)
+        gateway.start()
+        host, port = gateway.address
+        transport = _SpyTransport(host, port, timeout_s=10.0)
+        try:
+            with BatteryLabClient(
+                transport, "experimenter", "experimenter-token"
+            ) as client:
+                client.submit_job("v1-plain", "noop")
+            submits = [r for r in transport.sent if r["op"] == "job.submit"]
+            assert "idempotency_key" not in submits[0]["payload"]
+        finally:
+            gateway.stop()
+
+    def test_in_process_transport_stays_keyless(self, platform, router):
+        # InProcessTransport never resends, so even a v2 session submits
+        # byte-identically to the goldens — no generated key.
+        transport = InProcessTransport(router)
+        sent = []
+        original = transport.send
+        transport.send = lambda request: (sent.append(request), original(request))[1]
+        with BatteryLabClient(
+            transport, "experimenter", "experimenter-token"
+        ) as client:
+            client.login()
+            client.submit_job("local", "noop")
+        submits = [r for r in sent if r["op"] == "job.submit"]
+        assert "idempotency_key" not in submits[0]["payload"]
+
+
+class TestMidCallGatewayDrop:
+    def test_killed_gateway_mid_call_leaves_exactly_one_job(self, platform, router):
+        """Regression: the gateway processes a submit but the connection
+        dies before the response lands.  The transport reconnects and
+        resends; the generated key must collapse the second copy onto
+        the first — exactly one job exists afterwards."""
+        counter = _CountingRouter(router)
+        gateway = ApiGateway(counter)
+        gateway.start()
+        host, port = gateway.address
+        transport = _DropResponseOnceTransport(host, port, timeout_s=10.0)
+        try:
+            with BatteryLabClient(
+                transport, "experimenter", "experimenter-token"
+            ) as client:
+                client.login()
+                view = client.submit_job("survives-the-drop", "noop")
+                # The response to the first copy was lost mid-call...
+                assert transport.drops == 1
+                # ...so the request crossed the wire twice...
+                assert counter.submit_calls == 2
+                # ...but the second landed on the original job.
+                jobs = client.list_jobs()
+                assert [j.job_id for j in jobs] == [view.job_id]
+            server_jobs = platform.access_server.scheduler.jobs()
+            assert len(server_jobs) == 1
+        finally:
+            gateway.stop()
+
+    def test_duplicate_delivery_returns_the_original_view(self, router):
+        """Belt and braces: replay the exact captured submit envelope (what
+        a resend puts on the wire) and assert the response names the same
+        job both times."""
+        gateway = ApiGateway(router)
+        gateway.start()
+        host, port = gateway.address
+        transport = _SpyTransport(host, port, timeout_s=10.0)
+        try:
+            with BatteryLabClient(
+                transport, "experimenter", "experimenter-token"
+            ) as client:
+                client.login()
+                first = client.submit_job("replayed", "noop")
+                submit = next(
+                    r for r in transport.sent if r["op"] == "job.submit"
+                )
+                replay = transport.send(dict(submit))
+                assert replay["ok"]
+                assert replay["payload"]["job_id"] == first.job_id
+                assert len(client.list_jobs()) == 1
+        finally:
+            gateway.stop()
