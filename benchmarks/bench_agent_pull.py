@@ -1,0 +1,163 @@
+"""Agent-pull benchmark: poll→claim→report round-trips and multi-claims.
+
+Measures the server-side cost of the agent-pull execution plane:
+
+* **round-trips** — one full ``agent.poll`` → ``agent.claim`` →
+  ``agent.report`` cycle per queued job, driven through the in-process
+  client.  Run once with a single agent identity and once spread over 8
+  registered agents, so growth in the registry/lease bookkeeping shows up
+  as a retention ratio, not just a wall-clock delta;
+* **multi-device claims** — ``agent.claim`` on ``device_count=4`` jobs,
+  where the server must check and hold every slot all-or-nothing under
+  one lease.
+
+Results land in ``BENCH_agent_pull.json`` at the repository root; CI
+trend-gates the wall-clock rates (50% bands, like the other requests/s
+benchmarks) and this script enforces absolute sanity floors when run
+standalone.  Run with
+``PYTHONPATH=src python benchmarks/bench_agent_pull.py`` or under
+pytest-benchmark via
+``PYTHONPATH=src python -m pytest benchmarks/bench_agent_pull.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.platform import build_default_platform
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_agent_pull.json"
+
+ROUNDTRIP_JOBS = 200
+MULTI_CLAIMS = 50
+MULTI_DEVICE_COUNT = 4
+
+#: Absolute sanity floors — an in-process agent plane slower than this is
+#: a code regression, not hardware variance.
+MIN_ROUNDTRIPS_PER_S = 50.0
+MIN_MULTI_CLAIMS_PER_S = 25.0
+
+
+def _platform_with_devices(device_count: int):
+    platform = build_default_platform(seed=11, browsers=("chrome",), analytics=False)
+    admin = platform.client(username="admin")
+    admin.register_vantage_point(
+        "bench-node", "Bench University", device_count=device_count
+    )
+    return platform
+
+
+def _bench_roundtrips(agent_count: int) -> Dict[str, object]:
+    platform = _platform_with_devices(4)
+    client = platform.client()
+    agent_ids = [f"bench-agent-{index}" for index in range(agent_count)]
+    for agent_id in agent_ids:
+        client.agent_register(agent_id, connectors=["fake"])
+    for index in range(ROUNDTRIP_JOBS):
+        client.submit_job(
+            f"pull-{index}", "noop", execution="agent", connector="fake"
+        )
+
+    started = time.perf_counter()
+    settled = 0
+    while settled < ROUNDTRIP_JOBS:
+        agent_id = agent_ids[settled % agent_count]
+        offers = client.agent_poll(agent_id, limit=1).offers
+        assert offers, f"queue dried up after {settled} round-trips"
+        lease = client.agent_claim(agent_id, offers[0].job_id)
+        client.agent_report(lease.lease_id, agent_id, "completed")
+        settled += 1
+    elapsed = time.perf_counter() - started
+    return {
+        "agents": agent_count,
+        "roundtrips": ROUNDTRIP_JOBS,
+        "roundtrips_per_s": round(ROUNDTRIP_JOBS / elapsed, 1),
+    }
+
+
+def _bench_multi_claims() -> Dict[str, object]:
+    platform = _platform_with_devices(MULTI_DEVICE_COUNT)
+    client = platform.client()
+    client.agent_register("bench-multi", connectors=["fake", "multi"])
+    for index in range(MULTI_CLAIMS):
+        client.submit_job(
+            f"multi-{index}",
+            "noop",
+            execution="agent",
+            connector="multi",
+            device_count=MULTI_DEVICE_COUNT,
+        )
+
+    started = time.perf_counter()
+    for _ in range(MULTI_CLAIMS):
+        offers = client.agent_poll("bench-multi", limit=1).offers
+        lease = client.agent_claim("bench-multi", offers[0].job_id)
+        assert len(lease.devices) == MULTI_DEVICE_COUNT
+        client.agent_report(lease.lease_id, "bench-multi", "completed")
+    elapsed = time.perf_counter() - started
+    return {
+        "multi_claims": MULTI_CLAIMS,
+        "device_count": MULTI_DEVICE_COUNT,
+        "multi_claims_per_s": round(MULTI_CLAIMS / elapsed, 1),
+    }
+
+
+def run_agent_pull_benchmark() -> Dict[str, object]:
+    rows: List[Dict[str, object]] = [
+        _bench_roundtrips(1),
+        _bench_roundtrips(8),
+        _bench_multi_claims(),
+    ]
+    result: Dict[str, object] = {"benchmark": "agent_pull", "rows": rows}
+    result["roundtrips_per_s_1agent"] = rows[0]["roundtrips_per_s"]
+    result["roundtrips_per_s_8agent"] = rows[1]["roundtrips_per_s"]
+    result["multi_claims_per_s"] = rows[2]["multi_claims_per_s"]
+    # Normalized shape check: 8 registered agents must not make each
+    # round-trip meaningfully slower than a lone agent's (the offer scan
+    # and lease maps are per-job, not per-agent).
+    result["roundtrip_retention_8v1"] = round(
+        result["roundtrips_per_s_8agent"] / result["roundtrips_per_s_1agent"], 4
+    )
+    result["min_roundtrips_per_s"] = MIN_ROUNDTRIPS_PER_S
+    result["min_multi_claims_per_s"] = MIN_MULTI_CLAIMS_PER_S
+    return result
+
+
+def write_result(result: Dict[str, object]) -> None:
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+
+def _enforce_floors(result: Dict[str, object]) -> None:
+    for metric in ("roundtrips_per_s_1agent", "roundtrips_per_s_8agent"):
+        if result[metric] < MIN_ROUNDTRIPS_PER_S:
+            raise SystemExit(
+                f"{metric} sustained {result[metric]} round-trips/s; "
+                f"floor is {MIN_ROUNDTRIPS_PER_S}"
+            )
+    if result["multi_claims_per_s"] < MIN_MULTI_CLAIMS_PER_S:
+        raise SystemExit(
+            f"multi-device claims sustained {result['multi_claims_per_s']}/s; "
+            f"floor is {MIN_MULTI_CLAIMS_PER_S}"
+        )
+
+
+def test_agent_pull(benchmark):
+    from conftest import report, run_once
+
+    result = run_once(benchmark, run_agent_pull_benchmark)
+    write_result(result)
+    report(benchmark, "Agent pull — round-trips and multi-device claims", result["rows"])
+    assert result["roundtrips_per_s_1agent"] >= MIN_ROUNDTRIPS_PER_S
+    assert result["roundtrips_per_s_8agent"] >= MIN_ROUNDTRIPS_PER_S
+    assert result["multi_claims_per_s"] >= MIN_MULTI_CLAIMS_PER_S
+
+
+if __name__ == "__main__":
+    outcome = run_agent_pull_benchmark()
+    write_result(outcome)
+    print(json.dumps(outcome, indent=2))
+    _enforce_floors(outcome)

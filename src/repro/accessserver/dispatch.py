@@ -569,6 +569,8 @@ class DispatchEngine:
         """First policy-ordered queued job that can run right now, if any."""
         cpu_cache: Dict[str, float] = {}
         for job in self._policy.order(self.queue.jobs(), self._stats(now)):
+            if job.spec.execution != "push":
+                continue
             slot, _ = self._find_slot(job, now, controller_cpu, cpu_cache)
             if slot is not None:
                 return job, slot.vantage_point, slot.device_serial
@@ -597,6 +599,11 @@ class DispatchEngine:
                 break
             if self.slots.free_count == 0:
                 break
+            if job.spec.execution != "push":
+                # Agent-pull jobs wait in the queue (keeping their FIFO
+                # position) until a daemon claims them; the push executor
+                # must never place them.
+                continue
             bucket = ConstraintQueue.bucket_key(job)
             if bucket in dead_buckets:
                 continue

@@ -45,6 +45,14 @@ class JobConstraints:
         Optional constraint: only dispatch while the controller CPU is low.
     max_controller_cpu_percent:
         Threshold used when ``require_low_controller_cpu`` is set.
+    device_count:
+        Number of device slots the job needs simultaneously.  ``1`` is the
+        classic single-device job; larger values are multi-device jobs that
+        only agent-pull execution can claim (all-or-nothing, through the
+        ``multi`` connector).
+    connector:
+        Device connector type the job demands of the executing agent
+        (``None`` = any connector).  Only meaningful for agent-pull jobs.
     """
 
     vantage_point: Optional[str] = None
@@ -52,6 +60,8 @@ class JobConstraints:
     connectivity: Optional[str] = None
     require_low_controller_cpu: bool = False
     max_controller_cpu_percent: float = 50.0
+    device_count: int = 1
+    connector: Optional[str] = None
 
 
 @dataclass
@@ -62,6 +72,11 @@ class JobSpec:
     ``"priority"`` policy (see :mod:`repro.accessserver.policies`): higher
     values dispatch first, ties keep submission order.  The FIFO and
     fair-share policies ignore it.
+
+    ``execution`` selects who runs the payload: ``"push"`` (default) keeps
+    the server-side executor dispatching onto device slots; ``"agent"``
+    parks the job for a vantage-point daemon to pull via
+    ``agent.poll``/``agent.claim`` — push dispatch skips it entirely.
     """
 
     name: str
@@ -73,6 +88,7 @@ class JobSpec:
     timeout_s: float = 3600.0
     is_pipeline_change: bool = False
     log_retention_days: float = 7.0
+    execution: str = "push"
 
 
 @dataclass

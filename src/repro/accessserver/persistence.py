@@ -186,23 +186,33 @@ def _json_safe(value: object) -> object:
 
 def serialize_spec(spec: JobSpec) -> Dict[str, object]:
     constraints = spec.constraints
-    return {
+    serialized_constraints: Dict[str, object] = {
+        "vantage_point": constraints.vantage_point,
+        "device_serial": constraints.device_serial,
+        "connectivity": constraints.connectivity,
+        "require_low_controller_cpu": constraints.require_low_controller_cpu,
+        "max_controller_cpu_percent": constraints.max_controller_cpu_percent,
+    }
+    # Agent-pull fields are elided at their defaults so every journal and
+    # snapshot written before they existed replays byte-identically.
+    if constraints.device_count != 1:
+        serialized_constraints["device_count"] = constraints.device_count
+    if constraints.connector is not None:
+        serialized_constraints["connector"] = constraints.connector
+    serialized: Dict[str, object] = {
         "name": spec.name,
         "owner": spec.owner,
         "payload": payload_name(spec.run),
         "description": spec.description,
-        "constraints": {
-            "vantage_point": constraints.vantage_point,
-            "device_serial": constraints.device_serial,
-            "connectivity": constraints.connectivity,
-            "require_low_controller_cpu": constraints.require_low_controller_cpu,
-            "max_controller_cpu_percent": constraints.max_controller_cpu_percent,
-        },
+        "constraints": serialized_constraints,
         "priority": spec.priority,
         "timeout_s": spec.timeout_s,
         "is_pipeline_change": spec.is_pipeline_change,
         "log_retention_days": spec.log_retention_days,
     }
+    if spec.execution != "push":
+        serialized["execution"] = spec.execution
+    return serialized
 
 
 def deserialize_spec(data: Dict[str, object]) -> JobSpec:
@@ -216,6 +226,7 @@ def deserialize_spec(data: Dict[str, object]) -> JobSpec:
         timeout_s=data.get("timeout_s", 3600.0),
         is_pipeline_change=data.get("is_pipeline_change", False),
         log_retention_days=data.get("log_retention_days", 7.0),
+        execution=data.get("execution", "push"),
     )
 
 
@@ -568,6 +579,12 @@ def build_snapshot(server: "AccessServer", sequence: int) -> Dict[str, object]:
         snapshot["shard_id"] = server.shard_id
         snapshot["shard_index"] = server.shard_index
         snapshot["shard_count"] = server.shard_count
+    agents = server.agents.agents()
+    if agents:
+        # Registered edge daemons persist like user accounts; the key is
+        # omitted when no agent ever registered so pre-agent snapshot
+        # bytes are unchanged.
+        snapshot["agents"] = [record.to_record() for record in agents]
     return snapshot
 
 
@@ -592,6 +609,7 @@ class _ReplayState:
         self.credit: Optional[Dict[str, object]] = None
         self.users: Dict[str, Dict[str, object]] = {}
         self.idempotency: Dict[Tuple[str, str], int] = {}
+        self.agents: Dict[str, Dict[str, object]] = {}
         self.sequence = 0
         self.events_replayed = 0
         self._next_seq = 0.0
@@ -631,6 +649,8 @@ class _ReplayState:
             self.reservations[data["reservation_id"]] = data
         for data in snapshot.get("users", ()):
             self.users[data["username"]] = dict(data)
+        for data in snapshot.get("agents", ()):
+            self.agents[data["agent_id"]] = dict(data)
         for owner, key, job_id in snapshot.get("idempotency", ()):
             self.idempotency[(owner, key)] = job_id
         credit = snapshot.get("credit")
@@ -746,6 +766,9 @@ class _ReplayState:
     def _apply_user_created(self, data: Dict[str, object]) -> None:
         self.users[data["username"]] = dict(data)
 
+    def _apply_agent_registered(self, data: Dict[str, object]) -> None:
+        self.agents[data["agent_id"]] = dict(data)
+
     # -- credits ------------------------------------------------------------
     def _apply_credit_enabled(self, data: Dict[str, object]) -> None:
         self.credit = {
@@ -793,6 +816,7 @@ class RecoveryReport:
     reservations_restored: int = 0
     credit_accounts_restored: int = 0
     users_restored: int = 0
+    agents_restored: int = 0
     idempotency_keys_restored: int = 0
     missing_vantage_points: List[str] = field(default_factory=list)
     missing_payloads: List[str] = field(default_factory=list)
@@ -882,6 +906,10 @@ def recover_into(server: "AccessServer", backend: StorageBackend) -> RecoveryRep
             enabled=data.get("enabled", True),
         )
         report.users_restored += 1
+
+    for agent_id in sorted(state.agents):
+        server.agents.restore(state.agents[agent_id])
+        report.agents_restored += 1
 
     for (owner, key), job_id in state.idempotency.items():
         if job_id in state.jobs:
@@ -1130,6 +1158,9 @@ class PersistenceManager:
 
     def on_user_created(self, user) -> None:
         self._append("user.created", serialize_user(user))
+
+    def on_agent_registered(self, record) -> None:
+        self._append("agent.registered", record.to_record())
 
     def on_job_rejected(self, job: Job) -> None:
         # The cancellation itself is journaled via the dispatch.cancelled

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.accessserver.agents import AgentError, AgentLease, AgentManager, AgentRecord
 from repro.accessserver.auth import (
     Permission,
     Role,
@@ -148,6 +149,8 @@ class AccessServer(Entity):
         )
         self._declare_metrics()
         self.testers = TesterPool()
+        #: Pull-execution state: registered edge daemons + their leases.
+        self.agents = AgentManager()
         self.ssh_key = SshKeyPair.generate("batterylab-access-server", self.random)
         self._vantage_points: Dict[str, VantagePointRecord] = {}
         self._pending_approval: List[Job] = []
@@ -215,12 +218,35 @@ class AccessServer(Entity):
         self._g_orphans = registry.gauge(
             "orphaned_jobs", "Queued jobs pinned to an unregistered vantage point."
         ).labels()
+        self._m_agent_polls = registry.counter(
+            "agent_polls_total",
+            "agent.poll requests answered, by outcome.",
+            labelnames=("outcome",),
+        )
+        self._m_agent_poll_children: Dict[str, object] = {}
+        self._m_agent_claims = registry.counter(
+            "agent_claims_total", "Leases granted to pulling agents."
+        ).labels()
+        self._m_agent_reports = registry.counter(
+            "agent_reports_total",
+            "agent.report settlements, by terminal status.",
+            labelnames=("status",),
+        )
+        self._m_agent_report_children: Dict[str, object] = {}
+        self._m_lease_expired = registry.counter(
+            "agent_lease_expirations_total",
+            "Leases reaped after their holder went silent.",
+        ).labels()
+        self._g_leases = registry.gauge(
+            "agent_leases_active", "Currently granted agent leases."
+        ).labels()
         self._seen_queue_buckets: set = set()
         registry.add_collect_hook(self._collect_metrics)
 
     def _collect_metrics(self) -> None:
         """Scrape-time gauges: queue depth per constraint bucket, orphan count."""
         self._g_orphans.set(float(len(self.orphaned_jobs())))
+        self._g_leases.set(float(len(self.agents.leases())))
         sizes = self.scheduler.engine.queue.bucket_sizes()
         live = set()
         for key, depth in sizes.items():
@@ -649,6 +675,10 @@ class AccessServer(Entity):
         """
         executed: List[Job] = []
         obs_on = self.obs.registry.enabled
+        if self.agents.leases():
+            # A dead agent must never strand a job or its devices: every
+            # dispatch wave starts by reaping expired leases.
+            self.expire_agent_leases()
         while len(executed) < max_jobs:
             decision_t0 = time.perf_counter()
             assignments = self.scheduler.dispatch_batch(
@@ -882,6 +912,371 @@ class AccessServer(Entity):
                     ),
                 ],
             )
+
+    # -- agent-pull execution ------------------------------------------------------------------
+    # The inverse of run_pending_jobs: vantage-point daemons *pull* jobs
+    # whose spec says ``execution="agent"`` via poll -> claim -> report.
+    # A claim drives the very same dispatch-engine assign the push path
+    # uses (so journals and analytics see the identical ``job.assigned``
+    # record), holds the slots under a renewable lease, and a report
+    # performs the push path's settle bookkeeping.  Lease expiry reuses
+    # ``DispatchEngine.requeue`` — the preserve-position requeue crash
+    # recovery also relies on — so a dead agent never strands a job and
+    # the requeue journal record is byte-identical to a wave requeue.
+    def register_agent(
+        self,
+        user: User,
+        agent_id: str,
+        vantage_point: Optional[str] = None,
+        connectors: Optional[List[str]] = None,
+        tags: Optional[Dict[str, str]] = None,
+    ) -> AgentRecord:
+        """Register (or refresh) an edge daemon's identity and capabilities.
+
+        Only the first registration is journaled — like user accounts, the
+        identity is durable while capability refreshes are cheap and
+        idempotent.  A named vantage point must exist; an agent without one
+        serves any vantage point's devices.
+        """
+        self.users.authorize(user, Permission.RUN_JOB)
+        if vantage_point is not None:
+            self.vantage_point(vantage_point)
+        record, created = self.agents.register(
+            agent_id,
+            self.context.now,
+            vantage_point=vantage_point,
+            connectors=connectors,
+            tags=tags,
+        )
+        if created and self._persistence is not None:
+            self._persistence.on_agent_registered(record)
+        self.log(
+            "agent registered",
+            agent=agent_id,
+            vantage_point=vantage_point,
+            connectors=list(record.connectors),
+        )
+        return record
+
+    def _agent_candidate_slots(
+        self, job: Job, record: AgentRecord
+    ) -> List[Tuple[str, str]]:
+        """Free slots this agent could run ``job`` on, in deterministic order.
+
+        Honours the job's vantage-point/device-serial constraints and the
+        agent's own vantage-point binding.  A job whose lease just expired
+        counts its still-marked-busy slots as available — poll is read-only
+        and may not reap the lease itself; the claim path expires it first.
+        """
+        constraints = job.spec.constraints
+        target_vp = constraints.vantage_point or record.vantage_point
+        if (
+            constraints.vantage_point is not None
+            and record.vantage_point is not None
+            and constraints.vantage_point != record.vantage_point
+        ):
+            return []
+        engine = self.scheduler.engine
+        slots = [
+            (slot.vantage_point, slot.device_serial)
+            for slot in engine.slots.iter_free(target_vp, constraints.device_serial)
+        ]
+        lease = self.agents.lease_for_job(job.job_id)
+        if lease is not None and lease.expired(self.context.now):
+            slots = list(lease.devices) + [d for d in slots if d not in lease.devices]
+        return slots
+
+    def _agent_job_matches(self, job: Job, record: AgentRecord) -> bool:
+        if job.spec.execution != "agent":
+            return False
+        constraints = job.spec.constraints
+        if constraints.connector is not None and constraints.connector not in record.connectors:
+            return False
+        if constraints.device_count > 1 and "multi" not in record.connectors:
+            return False
+        return len(self._agent_candidate_slots(job, record)) >= constraints.device_count
+
+    def agent_offers(self, user: User, agent_id: str, limit: int = 10) -> List[Job]:
+        """Queued agent-mode jobs this agent could claim right now (FIFO order).
+
+        Read-only — safe for the gateway's lock-free path.  Jobs held by an
+        *expired* lease are offered too: the claim (a mutating op) reaps the
+        lease before assigning, so a dead agent's job is re-claimable the
+        moment any live agent polls.
+        """
+        self.users.authorize(user, Permission.RUN_JOB)
+        record = self.agents.get(agent_id)
+        offers: List[Job] = []
+        now = self.context.now
+        for job in self.scheduler.engine.queue.jobs():
+            if len(offers) >= limit:
+                break
+            if job.status is JobStatus.QUEUED and self._agent_job_matches(job, record):
+                offers.append(job)
+        if len(offers) < limit:
+            for lease in self.agents.leases():
+                if len(offers) >= limit:
+                    break
+                if not lease.expired(now):
+                    continue
+                try:
+                    job = self.scheduler.job(lease.job_id)
+                except Exception:
+                    continue
+                if job.status is JobStatus.RUNNING and self._agent_job_matches(job, record):
+                    offers.append(job)
+        outcome = "offered" if offers else "empty"
+        if self.obs.registry.enabled:
+            child = self._m_agent_poll_children.get(outcome)
+            if child is None:
+                child = self._m_agent_polls.labels(outcome=outcome)
+                self._m_agent_poll_children[outcome] = child
+            child.inc()
+        return offers
+
+    def expire_agent_leases(self) -> int:
+        """Reap expired leases: free every held slot and requeue the jobs.
+
+        The requeue re-enters the constraint-bucketed queue at the job's
+        *original* FIFO position (``preserve_position=True`` inside
+        ``DispatchEngine.requeue``), mirroring crash recovery's in-flight
+        re-queue semantics, and emits the same ``dispatch.requeued`` bus
+        record the wave executor's lapsed-admission path does — so the
+        journal cannot tell a lease expiry from any other requeue.
+        """
+        reaped = 0
+        engine = self.scheduler.engine
+        for lease in self.agents.expired(self.context.now):
+            self.agents.release(lease.lease_id)
+            reaped += 1
+            try:
+                job = self.scheduler.job(lease.job_id)
+            except Exception:
+                job = None
+            if job is not None and job.status is JobStatus.RUNNING:
+                engine.end_execution(job)
+                # Child slots first: requeue() only frees the primary slot
+                # recorded on the job itself.
+                for vantage_point, serial in lease.devices[1:]:
+                    slot = engine.slots.slot(vantage_point, serial)
+                    if slot is not None and slot.busy_job_id == job.job_id:
+                        engine.slots.mark_free(vantage_point, serial)
+                engine.requeue(job)
+                self._schedule_dispatch_tick()
+            if self.obs.registry.enabled:
+                self._m_lease_expired.inc()
+            self.log(
+                "agent lease expired",
+                lease=lease.lease_id,
+                agent=lease.agent_id,
+                job_id=lease.job_id,
+            )
+        return reaped
+
+    def agent_claim(
+        self,
+        user: User,
+        agent_id: str,
+        job_id: int,
+        ttl_s: float = 30.0,
+    ) -> Tuple[AgentLease, Job]:
+        """Atomically lease one job — and *all* its device slots — to an agent.
+
+        Multi-device jobs (``constraints.device_count > 1``) are
+        all-or-nothing: either every slot is free and the whole family is
+        marked busy under one lease, or the claim fails having touched
+        nothing.  The primary slot goes through the dispatch engine's
+        ``assign`` (same ``dispatch.assigned`` record as push dispatch);
+        the child slots are held directly on the slot index.
+        """
+        started = time.perf_counter()
+        self.users.authorize(user, Permission.RUN_JOB)
+        if ttl_s <= 0:
+            raise AgentError("lease ttl_s must be positive")
+        self.expire_agent_leases()
+        record = self.agents.get(agent_id)
+        job = self.scheduler.job(job_id)
+        if job.spec.execution != "agent":
+            raise AgentError(
+                f"job {job_id} is push-dispatched; only execution='agent' "
+                "jobs can be claimed"
+            )
+        if job.status is not JobStatus.QUEUED:
+            raise AgentError(
+                f"job {job_id} is {job.status.value}, not claimable"
+            )
+        if not self._agent_job_matches(job, record):
+            raise AgentError(
+                f"agent {agent_id!r} does not match job {job_id} "
+                "(connector, vantage point or free-device constraints)"
+            )
+        need = job.spec.constraints.device_count
+        devices = self._agent_candidate_slots(job, record)[:need]
+        if len(devices) < need:
+            raise AgentError(
+                f"job {job_id} needs {need} free devices; only "
+                f"{len(devices)} available — claim is all-or-nothing"
+            )
+        now = self.context.now
+        primary_vp, primary_serial = devices[0]
+        self.scheduler.assign(job, primary_vp, primary_serial, now)
+        for vantage_point, serial in devices[1:]:
+            self.scheduler.engine.slots.mark_busy(vantage_point, serial, job.job_id)
+        job.mark_execution_started(now)
+        self.scheduler.engine.begin_execution(job)
+        lease = self.agents.grant(
+            agent_id,
+            job_id,
+            devices,
+            ttl_s,
+            now,
+            claim_elapsed_s=time.perf_counter() - started,
+        )
+        if self.obs.registry.enabled:
+            self._m_agent_claims.inc()
+        self.log(
+            "job leased",
+            job_id=job_id,
+            agent=agent_id,
+            lease=lease.lease_id,
+            devices=len(devices),
+        )
+        return lease, job
+
+    def agent_heartbeat(self, lease_id: str) -> AgentLease:
+        """Renew a lease for another TTL; expired leases are gone for good."""
+        self.expire_agent_leases()
+        return self.agents.renew(lease_id, self.context.now)
+
+    def agent_report(
+        self,
+        lease_id: str,
+        status: str,
+        result: object = None,
+        error: Optional[str] = None,
+        children: Optional[List[Dict[str, object]]] = None,
+    ) -> Tuple[Job, bool]:
+        """Settle a leased job from its agent's report; idempotent on retry.
+
+        Returns ``(job, duplicate)``.  A report against a lease that
+        already settled — the agent crashed after upload but before
+        recording the server's ack — answers the same job with
+        ``duplicate=True`` and changes nothing, which is the exactly-once
+        contract the daemon's outbox replay relies on.  Child results of a
+        multi-device job are published as ``dispatch.child_result`` records
+        *before* the terminal transition, so they roll up into the
+        parent's ``job.watch`` stream ahead of its end frame.
+        """
+        settle_t0 = time.perf_counter()
+        self.expire_agent_leases()
+        lease = self.agents.lease(lease_id)
+        if lease is None:
+            settled_job = self.agents.settled_job(lease_id)
+            if settled_job is not None:
+                return self.scheduler.job(settled_job), True
+            raise AgentError(
+                f"unknown or expired lease {lease_id!r}; the job was "
+                "requeued and the result must be discarded"
+            )
+        job = self.scheduler.job(lease.job_id)
+        now = self.context.now
+        for child in children or []:
+            self.events.publish(
+                "dispatch.child_result",
+                job_id=job.job_id,
+                device_serial=child.get("device_serial"),
+                status=child.get("status"),
+                output=child.get("output", ""),
+                owner=job.spec.owner,
+            )
+        if job.status is JobStatus.RUNNING:
+            if status == "completed":
+                job.mark_completed(now, result)
+                self.log("job completed", job=job.spec.name)
+            else:
+                job.mark_failed(now, error or "agent reported failure")
+                self.log("job failed", job=job.spec.name, error=error)
+        else:
+            self.log(
+                "agent report after cancellation",
+                job=job.spec.name,
+                status=job.status.value,
+            )
+        engine = self.scheduler.engine
+        engine.end_execution(job)
+        self.scheduler.release(job)
+        for vantage_point, serial in lease.devices[1:]:
+            slot = engine.slots.slot(vantage_point, serial)
+            if slot is not None and slot.busy_job_id == job.job_id:
+                engine.slots.mark_free(vantage_point, serial)
+        if self._credit_policy is not None:
+            owner = job.spec.owner
+            owner_is_admin = (
+                owner in self.users.usernames()
+                and self.users.get(owner).role is Role.ADMIN
+            )
+            if not owner_is_admin:
+                account = self._credit_account_for(owner)
+                consumed_hours = (now - lease.granted_at) / 3600.0
+                consumed_hours = min(consumed_hours, account.balance_device_hours)
+                self._credit_policy.settle(
+                    owner, consumed_hours, now, note=f"job {job.job_id}"
+                )
+        if job.status in (JobStatus.COMPLETED, JobStatus.FAILED):
+            if self._persistence is not None:
+                self._persistence.on_job_finished(job)
+            self.events.publish(
+                "job.finished",
+                job_id=job.job_id,
+                status=job.status.value,
+                finished_at=job.finished_at,
+            )
+        self.agents.settle(lease_id)
+        settle_elapsed = time.perf_counter() - settle_t0
+        if self.obs.registry.enabled:
+            terminal = job.status.value
+            child = self._m_agent_report_children.get(terminal)
+            if child is None:
+                child = self._m_agent_reports.labels(status=terminal)
+                self._m_agent_report_children[terminal] = child
+            child.inc()
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.record_phases(
+                job.job_id,
+                [
+                    (
+                        "agent.claim",
+                        lease.granted_at,
+                        lease.granted_at,
+                        lease.claim_elapsed_s,
+                        "ok",
+                        {
+                            "job_id": job.job_id,
+                            "agent": lease.agent_id,
+                            "devices": len(lease.devices),
+                        },
+                    ),
+                    (
+                        "agent.run",
+                        lease.granted_at,
+                        now,
+                        now - lease.granted_at,
+                        "error" if job.status is JobStatus.FAILED else "ok",
+                        {"job_id": job.job_id, "agent": lease.agent_id},
+                    ),
+                    (
+                        "agent.report",
+                        now,
+                        now,
+                        settle_elapsed,
+                        "ok",
+                        {"job_id": job.job_id, "status_after": job.status.value},
+                    ),
+                ],
+            )
+        self._schedule_dispatch_tick()
+        return job, False
 
     # -- parallel wave execution ---------------------------------------------------------------
     @property

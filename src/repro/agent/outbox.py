@@ -1,0 +1,171 @@
+"""The daemon's journal-backed outbox: crash-safe exactly-once uploads.
+
+Every step of a claimed job's life on the agent side is appended to one
+JSONL file *before* the daemon acts on it — claim, each finished phase, the
+computed result, the server's upload ack.  After a ``kill -9`` at any
+offset, replaying the file tells a fresh daemon exactly where to resume:
+
+* ``claim`` without ``result`` — re-run the phases that have no ``phase``
+  record yet (finished phases are **never** re-executed);
+* ``result`` without ``uploaded`` — upload again; the server's settled-
+  lease memory answers ``duplicate`` if the first upload actually landed,
+  which is what makes the retry exactly-once rather than at-least-once;
+* ``uploaded`` / ``discarded`` — nothing to do.
+
+The reader is torn-tail tolerant: a crash mid-append leaves a partial last
+line, which is ignored (its operation simply never happened).  Tests drive
+the crash points deterministically through ``plan_crash``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+__all__ = ["Outbox", "SimulatedCrash"]
+
+
+class SimulatedCrash(BaseException):
+    """Raised by a planned crash point; a stand-in for ``kill -9``.
+
+    Derives from ``BaseException`` so ordinary ``except Exception`` error
+    handling inside the daemon cannot swallow it — exactly like a real
+    SIGKILL, nothing between the crash point and the test harness runs.
+    """
+
+
+class Outbox:
+    """Append-only JSONL journal of one agent's claimed work."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._writes = 0
+        self._crash_at: Optional[int] = None
+        self._crash_mode = "after"
+        self._heal_torn_tail()
+
+    def _heal_torn_tail(self) -> None:
+        """Terminate a torn last line so new appends start on a fresh line.
+
+        A crash mid-append leaves a partial line with no newline; without
+        this, the restarted daemon's first append would concatenate onto
+        the fragment and corrupt its own record.  The fragment itself
+        stays ignored by :meth:`records` (it parses as garbage).
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                last = handle.read(1)
+        except (OSError, ValueError):  # missing or empty file
+            return
+        if last != b"\n":
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    # -- fault injection ------------------------------------------------------
+    def plan_crash(self, at_write: int, mode: str = "after") -> None:
+        """Simulate ``kill -9`` at the ``at_write``-th append (0-based).
+
+        ``mode``:
+
+        * ``"before"`` — crash without writing anything;
+        * ``"after"``  — write the full record, then crash (the ack/record
+          is durable but the daemon never saw it succeed);
+        * ``"torn"``   — write half the line with no newline, then crash
+          (exercises the reader's torn-tail tolerance).
+        """
+        if mode not in ("before", "after", "torn"):
+            raise ValueError(f"unknown crash mode {mode!r}")
+        self._crash_at = at_write
+        self._crash_mode = mode
+
+    # -- writing --------------------------------------------------------------
+    def append(self, kind: str, **data: object) -> Dict[str, object]:
+        record = {"kind": kind, **data}
+        line = json.dumps(record, sort_keys=True)
+        crash_here = self._writes == self._crash_at
+        self._writes += 1
+        if crash_here and self._crash_mode == "before":
+            raise SimulatedCrash(f"before write {self._writes - 1} ({kind})")
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if crash_here and self._crash_mode == "torn":
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise SimulatedCrash(f"torn write {self._writes - 1} ({kind})")
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        if crash_here:
+            raise SimulatedCrash(f"after write {self._writes - 1} ({kind})")
+        return record
+
+    # -- reading --------------------------------------------------------------
+    def records(self) -> List[Dict[str, object]]:
+        """Every durable record, oldest first; a torn tail is dropped."""
+        if not os.path.exists(self.path):
+            return []
+        records: List[Dict[str, object]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    # Torn line from a crash mid-append: the operation it
+                    # described never completed.  Skip it — after a restart
+                    # heals the tail, valid records continue on the next
+                    # line.
+                    continue
+                if isinstance(record, dict) and "kind" in record:
+                    records.append(record)
+        return records
+
+    def lease_states(self) -> Dict[str, Dict[str, object]]:
+        """Fold the journal into per-lease resume state.
+
+        Returns ``lease_id -> {"claim": record, "phases": [phase records],
+        "result": record | None, "uploaded": bool, "discarded": bool}``.
+        """
+        states: Dict[str, Dict[str, object]] = {}
+        for record in self.records():
+            lease_id = record.get("lease_id")
+            if not isinstance(lease_id, str):
+                continue
+            state = states.setdefault(
+                lease_id,
+                {
+                    "claim": None,
+                    "phases": [],
+                    "result": None,
+                    "uploaded": False,
+                    "discarded": False,
+                },
+            )
+            kind = record["kind"]
+            if kind == "claim":
+                state["claim"] = record
+            elif kind == "phase":
+                state["phases"].append(record)
+            elif kind == "result":
+                state["result"] = record
+            elif kind == "uploaded":
+                state["uploaded"] = True
+            elif kind == "discarded":
+                state["discarded"] = True
+        return states
+
+    def pending(self) -> List[str]:
+        """Lease ids with unfinished work, in first-seen order."""
+        return [
+            lease_id
+            for lease_id, state in self.lease_states().items()
+            if state["claim"] is not None
+            and not state["uploaded"]
+            and not state["discarded"]
+        ]

@@ -53,6 +53,10 @@ from repro.api.schemas import (
     API_VERSION,
     API_VERSION_V2,
     PUSH_FRAME_END,
+    AgentLeaseView,
+    AgentPollView,
+    AgentReportView,
+    AgentView,
     AnalyticsReportView,
     AnalyticsTimeseriesView,
     ApiPush,
@@ -553,6 +557,9 @@ class BatteryLabClient:
         require_low_controller_cpu: bool = False,
         max_controller_cpu_percent: float = 50.0,
         idempotency_key: Optional[str] = None,
+        device_count: int = 1,
+        connector: Optional[str] = None,
+        execution: str = "push",
     ) -> JobView:
         """Submit one job; returns its :class:`~repro.api.schemas.JobView`.
 
@@ -582,6 +589,8 @@ class BatteryLabClient:
             connectivity=connectivity,
             require_low_controller_cpu=require_low_controller_cpu,
             max_controller_cpu_percent=max_controller_cpu_percent,
+            device_count=device_count,
+            connector=connector,
         )
         body = {
             "name": name,
@@ -597,6 +606,11 @@ class BatteryLabClient:
         version = None
         if idempotency_key is not None:
             body["idempotency_key"] = idempotency_key
+            version = API_VERSION_V2
+        if execution != "push":
+            # Agent-pull is a v2 concept; the field is elided otherwise so
+            # v1 servers and goldens never see it.
+            body["execution"] = execution
             version = API_VERSION_V2
         wire = self._call("job.submit", body, version)
         return JobView.from_wire(wire)
@@ -685,6 +699,86 @@ class BatteryLabClient:
             "subscription.cancel", {"subscription_id": subscription_id}, API_VERSION_V2
         )
         return bool(wire.get("cancelled", False))
+
+    # -- agent-pull execution (v2) --------------------------------------------
+    def agent_register(
+        self,
+        agent_id: str,
+        vantage_point: Optional[str] = None,
+        connectors: Optional[List[str]] = None,
+        tags: Optional[Dict[str, str]] = None,
+    ) -> AgentView:
+        """Register (or refresh) an edge daemon's identity (v2, idempotent)."""
+        wire = self._call(
+            "agent.register",
+            {
+                "agent_id": agent_id,
+                "vantage_point": vantage_point,
+                "connectors": list(connectors or []),
+                "tags": dict(tags or {}),
+            },
+            API_VERSION_V2,
+        )
+        return AgentView.from_wire(wire)
+
+    def agent_poll(
+        self, agent_id: str, wait_s: float = 0.0, limit: int = 10
+    ) -> AgentPollView:
+        """Claimable jobs for ``agent_id``; ``wait_s > 0`` long-polls (v2).
+
+        The server clamps the wait to its own ceiling; on the in-process
+        transport keep ``wait_s=0`` — nothing can mutate state while this
+        thread is parked.
+        """
+        wire = self._call(
+            "agent.poll",
+            {"agent_id": agent_id, "wait_s": wait_s, "limit": limit},
+            API_VERSION_V2,
+        )
+        return AgentPollView.from_wire(wire)
+
+    def agent_claim(
+        self, agent_id: str, job_id: int, ttl_s: float = 30.0
+    ) -> AgentLeaseView:
+        """Atomically claim one offered job and all its device slots (v2)."""
+        wire = self._call(
+            "agent.claim",
+            {"agent_id": agent_id, "job_id": job_id, "ttl_s": ttl_s},
+            API_VERSION_V2,
+        )
+        return AgentLeaseView.from_wire(wire)
+
+    def agent_heartbeat(self, lease_id: str, agent_id: str) -> AgentLeaseView:
+        """Renew a lease before its TTL lapses (v2)."""
+        wire = self._call(
+            "agent.heartbeat",
+            {"lease_id": lease_id, "agent_id": agent_id},
+            API_VERSION_V2,
+        )
+        return AgentLeaseView.from_wire(wire)
+
+    def agent_report(
+        self,
+        lease_id: str,
+        agent_id: str,
+        status: str,
+        result: object = None,
+        error: Optional[str] = None,
+        children: Optional[List[dict]] = None,
+    ) -> AgentReportView:
+        """Upload a claimed job's terminal outcome (v2, idempotent on retry)."""
+        body: dict = {
+            "lease_id": lease_id,
+            "agent_id": agent_id,
+            "status": status,
+            "children": list(children or []),
+        }
+        if result is not None:
+            body["result"] = result
+        if error is not None:
+            body["error"] = error
+        wire = self._call("agent.report", body, API_VERSION_V2)
+        return AgentReportView.from_wire(wire)
 
     # -- admin control plane (v2) -------------------------------------------
     def register_vantage_point(

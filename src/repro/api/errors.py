@@ -217,6 +217,12 @@ def map_exception(exc: BaseException) -> ApiError:
         return ConflictApiError(message)
     if isinstance(exc, JobError):
         return ConflictApiError(message)
+    from repro.accessserver.agents import AgentError
+
+    if isinstance(exc, AgentError):
+        if "unknown" in message:
+            return NotFoundApiError(message)
+        return ConflictApiError(message)
     if isinstance(exc, (PolicyError, ValueError, TypeError, KeyError)):
         return ValidationApiError(message)
     return InternalApiError(f"{type(exc).__name__}: {message}")

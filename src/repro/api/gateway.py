@@ -823,15 +823,19 @@ class ApiGateway:
     def _inline_eligible(self, items) -> bool:
         """A burst may run on the loop thread iff every request is read-only
         (dispatched lock-free, so the loop cannot block behind a slow
-        mutating op) and the burst is small enough not to starve other
-        connections."""
+        mutating op), none of it can *park* (a blocking long-poll such as
+        ``agent.poll`` on the loop thread would freeze every connection),
+        and the burst is small enough not to starve other connections."""
         if len(items) > self.INLINE_BATCH_MAX:
             return False
         is_read_only = getattr(self._router, "is_read_only", None)
         if is_read_only is None:
             return False
+        is_blocking = getattr(self._router, "is_blocking", None)
         return all(
-            error is None and is_read_only(request.get("op"))
+            error is None
+            and is_read_only(request.get("op"))
+            and not (is_blocking is not None and is_blocking(request.get("op")))
             for request, error in items
         )
 

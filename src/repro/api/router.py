@@ -85,9 +85,10 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.accessserver.agents import AgentError
 from repro.accessserver.auth import Permission, Role, User
 from repro.accessserver.jobs import JobSpec, JobStatus
-from repro.accessserver.persistence import get_payload
+from repro.accessserver.persistence import get_payload, payload_name
 from repro.api.errors import (
     AuthenticationApiError,
     NotFoundApiError,
@@ -103,6 +104,15 @@ from repro.api.schemas import (
     PUSH_FRAME_END,
     PUSH_FRAME_EVENT,
     SUPPORTED_VERSIONS,
+    AgentClaimRequest,
+    AgentHeartbeatRequest,
+    AgentLeaseView,
+    AgentPollRequest,
+    AgentPollView,
+    AgentRegisterRequest,
+    AgentReportRequest,
+    AgentReportView,
+    AgentView,
     AnalyticsReportRequest,
     AnalyticsReportView,
     AnalyticsTimeseriesRequest,
@@ -118,6 +128,7 @@ from repro.api.schemas import (
     FleetView,
     GrantCreditsRequest,
     JobListRequest,
+    JobOfferView,
     JobRef,
     JobResultsView,
     JobView,
@@ -145,6 +156,14 @@ from repro.obs import SPAN_TOPIC, component_logger, log_slow_op
 
 #: Job states a ``job.watch`` subscription terminates on.
 _TERMINAL_STATUSES = (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.CANCELLED)
+
+#: Server-side ceiling on an ``agent.poll`` long-poll.  Parked polls hold a
+#: gateway worker thread, so the server bounds how long any one caller may
+#: occupy it regardless of the requested ``wait_s``.
+MAX_POLL_WAIT_S = 30.0
+
+#: How often a parked poll re-checks for claimable work (real seconds).
+_POLL_RECHECK_S = 0.05
 
 
 def _push_safe(value: object) -> object:
@@ -180,6 +199,9 @@ class _Op:
     authenticate: bool = True
     streaming: bool = False
     read_only: bool = False
+    # Read-only but may *park* (long-poll): must never run inline on the
+    # gateway's selector loop, only on a worker thread.
+    blocking: bool = False
 
 
 class _Subscription:
@@ -283,6 +305,11 @@ class ApiRouter:
         self._server = server
         self._subscriptions: Dict[int, _Subscription] = {}
         self._bus_callbacks: Dict[int, Callable] = {}
+        # Parked agent.poll long-polls: poll id -> (wake event, owner token).
+        # Setting the event wakes the poll early so shutdown and drain are
+        # never held hostage by a full poll timeout.
+        self._parked_polls: Dict[int, Tuple[threading.Event, Optional[object]]] = {}
+        self._next_poll_id = 1
         self._subscriptions_lock = threading.Lock()
         self._analytics_replay_lock = threading.Lock()
         self._next_subscription_id = 1
@@ -403,6 +430,34 @@ class ApiRouter:
                 Permission.VIEW_RESULTS,
                 min_version=API_VERSION_V2,
             ),
+            # -- v2: agent-pull execution ------------------------------------
+            "agent.register": _Op(
+                self._op_agent_register,
+                Permission.RUN_JOB,
+                min_version=API_VERSION_V2,
+            ),
+            "agent.poll": _Op(
+                self._op_agent_poll,
+                Permission.RUN_JOB,
+                min_version=API_VERSION_V2,
+                read_only=True,
+                blocking=True,
+            ),
+            "agent.claim": _Op(
+                self._op_agent_claim,
+                Permission.RUN_JOB,
+                min_version=API_VERSION_V2,
+            ),
+            "agent.heartbeat": _Op(
+                self._op_agent_heartbeat,
+                Permission.RUN_JOB,
+                min_version=API_VERSION_V2,
+            ),
+            "agent.report": _Op(
+                self._op_agent_report,
+                Permission.RUN_JOB,
+                min_version=API_VERSION_V2,
+            ),
         }
 
     @property
@@ -419,6 +474,16 @@ class ApiRouter:
         """
         op = self._ops.get(op_name) if isinstance(op_name, str) else None
         return op is not None and op.read_only
+
+    def is_blocking(self, op_name: object) -> bool:
+        """Whether ``op_name`` may park the calling thread (long-poll).
+
+        The gateway's inline-read fast path runs eligible bursts on the
+        selector loop itself; a blocking op there would freeze every
+        connection, so blocking ops always go to a worker thread.
+        """
+        op = self._ops.get(op_name) if isinstance(op_name, str) else None
+        return op is not None and op.blocking
 
     def operations(self, version: str = API_VERSION) -> Dict[str, Optional[Permission]]:
         """The routable operation names (for ``version``) and their permissions.
@@ -559,7 +624,9 @@ class ApiRouter:
             self._op_metrics[key] = children
         children[0].observe(elapsed_s)
         children[1].inc()
-        if elapsed_s >= obs.slow_op_threshold_s:
+        # Blocking ops (long-polls) spend their wait parked by design; the
+        # slow-op health warning is for ops that should have been fast.
+        if elapsed_s >= obs.slow_op_threshold_s and not self.is_blocking(op_name):
             log_slow_op(
                 self._log, op_name, elapsed_s, obs.slow_op_threshold_s, trace_id
             )
@@ -647,13 +714,46 @@ class ApiRouter:
                 for sub_id, sub in self._subscriptions.items()
                 if sub.owner_token is owner
             ]
+            for event, poll_owner in self._parked_polls.values():
+                if poll_owner is owner:
+                    event.set()
         return sum(1 for sub_id in doomed if self.cancel_subscription(sub_id))
 
     def close_all_subscriptions(self) -> int:
-        """Close every live subscription (gateway shutdown)."""
+        """Close every live subscription (gateway shutdown).
+
+        Also wakes every parked ``agent.poll`` so shutdown never waits out
+        a long-poll; the return value stays the subscription count.
+        """
+        self.cancel_parked_polls()
         with self._subscriptions_lock:
             doomed = list(self._subscriptions)
         return sum(1 for sub_id in doomed if self.cancel_subscription(sub_id))
+
+    # -- parked long-polls ----------------------------------------------------
+    def _park_poll(self, owner: Optional[object]) -> Tuple[int, threading.Event]:
+        event = threading.Event()
+        with self._subscriptions_lock:
+            poll_id = self._next_poll_id
+            self._next_poll_id += 1
+            self._parked_polls[poll_id] = (event, owner)
+        return poll_id, event
+
+    def _unpark_poll(self, poll_id: int) -> None:
+        with self._subscriptions_lock:
+            self._parked_polls.pop(poll_id, None)
+
+    def cancel_parked_polls(self) -> int:
+        """Wake every parked ``agent.poll`` now (shutdown, shard drain)."""
+        with self._subscriptions_lock:
+            parked = list(self._parked_polls.values())
+        for event, _owner in parked:
+            event.set()
+        return len(parked)
+
+    def parked_polls(self) -> int:
+        with self._subscriptions_lock:
+            return len(self._parked_polls)
 
     def active_subscriptions(self) -> List[int]:
         with self._subscriptions_lock:
@@ -672,6 +772,7 @@ class ApiRouter:
 
     def _vantage_point_view(self, record) -> VantagePointView:
         scheduler = self._server.scheduler
+        held = self._server.agents.held_devices()
         return VantagePointView(
             name=record.name,
             institution=record.institution,
@@ -679,7 +780,9 @@ class ApiRouter:
             approved=record.approved,
             devices=[
                 DeviceView(
-                    serial=serial, busy=scheduler.device_busy(record.name, serial)
+                    serial=serial,
+                    busy=scheduler.device_busy(record.name, serial),
+                    held_by=held.get((record.name, serial)),
                 )
                 for serial in record.controller.list_devices()
             ],
@@ -697,6 +800,11 @@ class ApiRouter:
                 "with register_payload() first",
                 details={"payload": request.payload},
             )
+        if request.execution not in ("push", "agent"):
+            raise ValidationApiError(
+                f"unknown execution mode {request.execution!r}",
+                details={"execution_modes": ["push", "agent"]},
+            )
         spec = JobSpec(
             name=request.name,
             owner=owner,
@@ -707,6 +815,7 @@ class ApiRouter:
             timeout_s=request.timeout_s,
             is_pipeline_change=request.is_pipeline_change,
             log_retention_days=request.log_retention_days,
+            execution=request.execution,
         )
         job = self._server.submit_job(
             ctx.user,
@@ -1063,3 +1172,125 @@ class ApiRouter:
                     "only the subscriber or an admin may cancel a subscription"
                 )
         return {"cancelled": self.cancel_subscription(ref.subscription_id)}
+
+    # -- v2 handlers: agent-pull execution ------------------------------------
+    def _offer_view(self, job) -> JobOfferView:
+        constraints = job.spec.constraints
+        return JobOfferView(
+            job_id=job.job_id,
+            name=job.spec.name,
+            owner=job.spec.owner,
+            priority=job.spec.priority,
+            device_count=constraints.device_count,
+            connector=constraints.connector,
+            vantage_point=constraints.vantage_point,
+        )
+
+    def _op_agent_register(self, ctx: RequestContext, payload: dict) -> dict:
+        request = AgentRegisterRequest.from_wire(payload)
+        for key, value in request.tags.items():
+            if not isinstance(key, str) or not isinstance(value, str):
+                raise ValidationApiError("tags must map strings to strings")
+        try:
+            self._server.agents.get(request.agent_id)
+            created = False
+        except AgentError:
+            created = True
+        record = self._server.register_agent(
+            ctx.user,
+            request.agent_id,
+            vantage_point=request.vantage_point,
+            connectors=request.connectors,
+            tags=request.tags,
+        )
+        return AgentView.from_record(record, created=created).to_wire()
+
+    def _op_agent_poll(self, ctx: RequestContext, payload: dict) -> dict:
+        request = AgentPollRequest.from_wire(payload)
+        if request.limit < 1:
+            raise ValidationApiError("limit must be at least 1")
+        offers = self._server.agent_offers(
+            ctx.user, request.agent_id, limit=request.limit
+        )
+        wait_s = min(max(request.wait_s, 0.0), MAX_POLL_WAIT_S)
+        if not offers and wait_s > 0.0:
+            # Park: hold the worker thread, waking every _POLL_RECHECK_S to
+            # re-check for claimable work (offers appear through mutations
+            # this read-only op never sees directly).  The registered event
+            # lets shutdown/drain cut the wait short.
+            poll_id, cancelled = self._park_poll(ctx.owner_token)
+            try:
+                deadline = time.monotonic() + wait_s
+                while not offers:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or cancelled.wait(
+                        min(_POLL_RECHECK_S, remaining)
+                    ):
+                        break
+                    offers = self._server.agent_offers(
+                        ctx.user, request.agent_id, limit=request.limit
+                    )
+            finally:
+                self._unpark_poll(poll_id)
+        return AgentPollView(
+            offers=[self._offer_view(job) for job in offers]
+        ).to_wire()
+
+    def _op_agent_claim(self, ctx: RequestContext, payload: dict) -> dict:
+        request = AgentClaimRequest.from_wire(payload)
+        lease, job = self._server.agent_claim(
+            ctx.user, request.agent_id, request.job_id, ttl_s=request.ttl_s
+        )
+        return AgentLeaseView.from_lease(
+            lease, job=job, payload=payload_name(job.spec.run)
+        ).to_wire()
+
+    def _op_agent_heartbeat(self, ctx: RequestContext, payload: dict) -> dict:
+        request = AgentHeartbeatRequest.from_wire(payload)
+        lease = self._server.agent_heartbeat(request.lease_id)
+        if lease.agent_id != request.agent_id:
+            raise PermissionApiError(
+                f"lease {request.lease_id!r} belongs to {lease.agent_id!r}",
+                details={"lease_id": request.lease_id},
+            )
+        try:
+            job = self._server.scheduler.job(lease.job_id)
+        except Exception:
+            job = None
+        return AgentLeaseView.from_lease(
+            lease,
+            job=job,
+            payload=payload_name(job.spec.run) if job is not None else None,
+        ).to_wire()
+
+    def _op_agent_report(self, ctx: RequestContext, payload: dict) -> dict:
+        request = AgentReportRequest.from_wire(payload)
+        if request.status not in ("completed", "failed"):
+            raise ValidationApiError(
+                f"report status must be 'completed' or 'failed', "
+                f"not {request.status!r}"
+            )
+        existing = self._server.agents.lease(request.lease_id)
+        if existing is not None and existing.agent_id != request.agent_id:
+            raise PermissionApiError(
+                f"lease {request.lease_id!r} belongs to {existing.agent_id!r}",
+                details={"lease_id": request.lease_id},
+            )
+        job, duplicate = self._server.agent_report(
+            request.lease_id,
+            request.status,
+            result=request.result,
+            error=request.error,
+            children=[
+                {
+                    "device_serial": child.device_serial,
+                    "status": child.status,
+                    "vantage_point": child.vantage_point,
+                    "output": child.output or "",
+                }
+                for child in request.children
+            ],
+        )
+        return AgentReportView(
+            job=JobView.from_job(job), duplicate=duplicate
+        ).to_wire()

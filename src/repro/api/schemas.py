@@ -379,13 +379,21 @@ class WireModel:
 
 @dataclass
 class JobConstraintsV1(WireModel):
-    """Wire form of :class:`repro.accessserver.jobs.JobConstraints`."""
+    """Wire form of :class:`repro.accessserver.jobs.JobConstraints`.
+
+    ``device_count`` / ``connector`` (v2, agent-pull) are elided at their
+    defaults so every v1 golden wire form stays byte-identical.
+    """
+
+    _ELIDE_WHEN_DEFAULT = ("device_count", "connector")
 
     vantage_point: Optional[str] = None
     device_serial: Optional[str] = None
     connectivity: Optional[str] = None
     require_low_controller_cpu: bool = False
     max_controller_cpu_percent: float = 50.0
+    device_count: int = 1
+    connector: Optional[str] = None
 
     def to_domain(self):
         from repro.accessserver.jobs import JobConstraints
@@ -396,6 +404,8 @@ class JobConstraintsV1(WireModel):
             connectivity=self.connectivity,
             require_low_controller_cpu=self.require_low_controller_cpu,
             max_controller_cpu_percent=self.max_controller_cpu_percent,
+            device_count=self.device_count,
+            connector=self.connector,
         )
 
     @classmethod
@@ -406,6 +416,8 @@ class JobConstraintsV1(WireModel):
             connectivity=constraints.connectivity,
             require_low_controller_cpu=constraints.require_low_controller_cpu,
             max_controller_cpu_percent=constraints.max_controller_cpu_percent,
+            device_count=constraints.device_count,
+            connector=constraints.connector,
         )
 
 
@@ -422,11 +434,13 @@ class SubmitJobRequest(WireModel):
 
     ``idempotency_key`` (v2) makes retries safe over flaky transports:
     resubmitting the same ``(owner, key)`` pair returns the original job's
-    view instead of enqueueing a duplicate.  Elided from the wire when
-    unset, so v1 clients and goldens are untouched.
+    view instead of enqueueing a duplicate.  ``execution`` (v2) selects
+    push (server executor) or ``"agent"`` (parked for daemon pull).  Both
+    are elided from the wire at their defaults, so v1 clients and goldens
+    are untouched.
     """
 
-    _ELIDE_WHEN_DEFAULT = ("idempotency_key",)
+    _ELIDE_WHEN_DEFAULT = ("idempotency_key", "execution")
 
     name: str
     payload: str
@@ -438,6 +452,7 @@ class SubmitJobRequest(WireModel):
     log_retention_days: float = 7.0
     constraints: JobConstraintsV1 = field(default_factory=JobConstraintsV1)
     idempotency_key: Optional[str] = None
+    execution: str = "push"
 
 
 @dataclass
@@ -601,10 +616,18 @@ class CreditQuery(WireModel):
 
 @dataclass
 class DeviceView(WireModel):
-    """One test device slot as seen by the dispatcher."""
+    """One test device slot as seen by the dispatcher.
+
+    ``held_by`` (v2, elided when unset) names the agent whose lease holds
+    this slot, so ``fleet`` output distinguishes agent-held devices from
+    push-dispatched ones.
+    """
+
+    _ELIDE_WHEN_DEFAULT = ("held_by",)
 
     serial: str
     busy: bool = False
+    held_by: Optional[str] = None
 
 
 @dataclass
@@ -1215,3 +1238,189 @@ class ShardListView(WireModel):
     """``shard.list`` response: every shard in deterministic id order."""
 
     shards: List[ShardView] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Platform API v2: agent-pull execution
+# (agent.register / agent.poll / agent.claim / agent.heartbeat / agent.report)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AgentRegisterRequest(WireModel):
+    """``agent.register``: a vantage-point daemon announces itself.
+
+    Idempotent — daemons re-register on every start to refresh their
+    connector inventory and tags; only the first registration is journaled.
+    """
+
+    agent_id: str
+    vantage_point: Optional[str] = None
+    connectors: List[str] = field(default_factory=list)
+    tags: dict = field(default_factory=dict)
+
+
+@dataclass
+class AgentView(WireModel):
+    """``agent.register`` response: the registry's view of one daemon."""
+
+    agent_id: str
+    vantage_point: Optional[str] = None
+    connectors: List[str] = field(default_factory=list)
+    tags: dict = field(default_factory=dict)
+    registered_at: float = 0.0
+    created: bool = False
+
+    @classmethod
+    def from_record(cls, record, created: bool = False) -> "AgentView":
+        return cls(
+            agent_id=record.agent_id,
+            vantage_point=record.vantage_point,
+            connectors=list(record.connectors),
+            tags=dict(sorted(record.tags.items())),
+            registered_at=record.registered_at,
+            created=created,
+        )
+
+
+@dataclass
+class AgentPollRequest(WireModel):
+    """``agent.poll``: ask for claimable jobs, optionally long-polling.
+
+    ``wait_s > 0`` parks the request server-side until an offer appears or
+    the wait elapses (the server clamps the wait to its own maximum); the
+    op is read-only, so a parked poll never blocks mutations.
+    """
+
+    agent_id: str
+    wait_s: float = 0.0
+    limit: int = 10
+
+
+@dataclass
+class JobOfferView(WireModel):
+    """One claimable job inside an ``agent.poll`` response."""
+
+    job_id: int
+    name: str
+    owner: str
+    priority: float = 0.0
+    device_count: int = 1
+    connector: Optional[str] = None
+    vantage_point: Optional[str] = None
+
+
+@dataclass
+class AgentPollView(WireModel):
+    """``agent.poll`` response: claimable jobs in dispatch order."""
+
+    offers: List[JobOfferView] = field(default_factory=list)
+
+
+@dataclass
+class AgentClaimRequest(WireModel):
+    """``agent.claim``: atomically claim one offered job and its devices.
+
+    Multi-device jobs claim all ``device_count`` slots or fail with
+    ``agent.claim_conflict`` — never a partial hold.
+    """
+
+    agent_id: str
+    job_id: int
+    ttl_s: float = 30.0
+
+
+@dataclass
+class DeviceAssignmentView(WireModel):
+    """One ``(vantage_point, device_serial)`` slot held by a lease."""
+
+    vantage_point: str
+    device_serial: str
+
+
+@dataclass
+class AgentLeaseView(WireModel):
+    """``agent.claim`` / ``agent.heartbeat`` response: the live lease.
+
+    ``devices[0]`` is the primary slot the job is assigned to; the rest
+    are child slots reserved for the ``multi`` connector's children.
+    """
+
+    lease_id: str
+    agent_id: str
+    job_id: int
+    devices: List[DeviceAssignmentView] = field(default_factory=list)
+    ttl_s: float = 30.0
+    expires_at: float = 0.0
+    payload: Optional[str] = None
+    job_name: str = ""
+    owner: str = ""
+    timeout_s: float = 3600.0
+
+    @classmethod
+    def from_lease(cls, lease, job=None, payload: Optional[str] = None) -> "AgentLeaseView":
+        return cls(
+            lease_id=lease.lease_id,
+            agent_id=lease.agent_id,
+            job_id=lease.job_id,
+            devices=[
+                DeviceAssignmentView(vantage_point=vp, device_serial=serial)
+                for vp, serial in lease.devices
+            ],
+            ttl_s=lease.ttl_s,
+            expires_at=lease.expires_at,
+            payload=payload,
+            job_name=job.spec.name if job is not None else "",
+            owner=job.spec.owner if job is not None else "",
+            timeout_s=job.spec.timeout_s if job is not None else 3600.0,
+        )
+
+
+@dataclass
+class AgentHeartbeatRequest(WireModel):
+    """``agent.heartbeat``: renew a lease before its TTL lapses.
+
+    ``agent_id`` rides along so a federation router can route the renewal
+    to the shard that granted the lease.
+    """
+
+    lease_id: str
+    agent_id: str
+
+
+@dataclass
+class ChildResultView(WireModel):
+    """One child device's outcome inside a multi-device report."""
+
+    device_serial: str
+    status: str
+    vantage_point: Optional[str] = None
+    output: Optional[str] = None
+
+
+@dataclass
+class AgentReportRequest(WireModel):
+    """``agent.report``: upload a claimed job's terminal outcome.
+
+    Reports are idempotent: re-reporting a recently settled lease returns
+    the finished job with ``duplicate`` set instead of double-settling —
+    this is what makes the daemon's journal-backed outbox exactly-once.
+    """
+
+    lease_id: str
+    agent_id: str
+    status: str
+    result: object = None
+    error: Optional[str] = None
+    children: List[ChildResultView] = field(default_factory=list)
+
+
+@dataclass
+class AgentReportView(WireModel):
+    """``agent.report`` response; ``duplicate`` (elided when false) marks
+    an idempotent replay of an already-settled report."""
+
+    _ELIDE_WHEN_DEFAULT = ("duplicate",)
+
+    job: JobView
+    duplicate: bool = False

@@ -187,6 +187,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--device", default=None, help="pin the job to one device serial")
     submit.add_argument(
+        "--execution",
+        default="push",
+        choices=("push", "agent"),
+        help="'agent' keeps the job out of push dispatch so a pulling "
+        "agent daemon claims it (default: push)",
+    )
+    submit.add_argument(
+        "--connector",
+        default=None,
+        help="with --execution agent: device connector type the job needs "
+        "(default: fake)",
+    )
+    submit.add_argument(
+        "--device-count",
+        type=int,
+        default=1,
+        help="with --execution agent: device slots the job claims "
+        "all-or-nothing under one lease (default: 1)",
+    )
+    submit.add_argument(
         "--no-run",
         action="store_true",
         help="leave the job queued instead of draining the queue before exiting "
@@ -311,6 +331,90 @@ def build_parser() -> argparse.ArgumentParser:
         "--prefix",
         default=None,
         help="only families whose name starts with PREFIX (e.g. gateway_)",
+    )
+
+    agent = sub.add_parser(
+        "agent",
+        help="run a vantage-point agent daemon: long-poll the server for "
+        "matching jobs, execute them through a device connector, report "
+        "results (exactly-once via a local outbox journal)",
+    )
+    agent.add_argument(
+        "--gateway",
+        default=None,
+        metavar="HOST:PORT",
+        help="pull work from a live gateway instead of a local --state-dir "
+        "platform",
+    )
+    agent.add_argument(
+        "--cert-dir",
+        default=None,
+        metavar="DIR",
+        help="with --gateway: trust the platform wildcard material under "
+        "DIR and connect over TLS (pair of 'serve --tls --cert-dir')",
+    )
+    agent.add_argument(
+        "--username",
+        default="experimenter",
+        help="account the agent authenticates as (needs run_job)",
+    )
+    agent.add_argument(
+        "--token",
+        default=None,
+        help="account token (defaults to the bootstrap '<username>-token')",
+    )
+    agent.add_argument(
+        "--agent-id",
+        default=None,
+        help="stable agent identity (default: agent-<hostname>)",
+    )
+    agent.add_argument(
+        "--connector",
+        default="fake",
+        help="device connector type to execute jobs with "
+        "(noprovision/fake/multi, or any registered type)",
+    )
+    agent.add_argument(
+        "--vantage-point",
+        default=None,
+        help="bind the agent to one vantage point's devices",
+    )
+    agent.add_argument(
+        "--tags",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="capability tag on the agent record (repeatable)",
+    )
+    agent.add_argument(
+        "--outbox",
+        default=None,
+        metavar="FILE",
+        help="journal path backing crash recovery and exactly-once uploads "
+        "(default: ./<agent-id>-outbox.jsonl)",
+    )
+    agent.add_argument(
+        "--poll-wait-s",
+        type=float,
+        default=2.0,
+        help="server-side long-poll wait per cycle (default: 2)",
+    )
+    agent.add_argument(
+        "--lease-ttl-s",
+        type=float,
+        default=30.0,
+        help="claim lease TTL; renewed between connector phases (default: 30)",
+    )
+    agent.add_argument(
+        "--once",
+        action="store_true",
+        help="run a single poll→claim→execute→report cycle and exit",
+    )
+    agent.add_argument(
+        "--duration-s",
+        type=float,
+        default=None,
+        help="stop after this many wall-clock seconds (default: run until ^C)",
     )
 
     serve = sub.add_parser(
@@ -438,6 +542,13 @@ def _frame_row(frame) -> dict:
 def _cmd_submit(args) -> str:
     platform = _ops_platform(args)
     client = platform.client()
+    extra = {}
+    if args.execution == "agent":
+        extra = {
+            "execution": "agent",
+            "connector": args.connector or "fake",
+            "device_count": args.device_count,
+        }
     view = client.submit_job(
         args.name,
         args.payload,
@@ -445,9 +556,16 @@ def _cmd_submit(args) -> str:
         timeout_s=args.timeout,
         vantage_point=args.vantage_point,
         device_serial=args.device,
+        **extra,
     )
     sections = [format_table([_job_row(view)], title="Submitted (Platform API v1)")]
-    if not args.no_run:
+    if args.execution == "agent":
+        # Push dispatch will never take this job; it waits for an agent.
+        sections.append(
+            f"queued for agent pull (connector: {extra['connector']}, "
+            f"devices: {extra['device_count']}) — run 'repro agent' to claim it"
+        )
+    elif not args.no_run:
         # Subscribe before dispatching, then stream the dispatch.* events —
         # the v2 replacement for polling job.status in a loop.
         watch = client.watch_job(view.job_id)
@@ -532,6 +650,7 @@ def _cmd_fleet(args) -> str:
             "dns_name": vp.dns_name,
             "device": device.serial,
             "busy": device.busy,
+            "held_by": device.held_by or "-",
         }
         for vp in fleet.vantage_points
         for device in vp.devices
@@ -763,6 +882,68 @@ def _cmd_metrics(args) -> str:
             f" prefix {args.prefix!r}" if args.prefix else ""
         )
     return text.rstrip("\n")
+
+
+def _cmd_agent(args) -> str:
+    import socket
+    import time as wall
+
+    from repro.agent import AgentDaemon
+    from repro.api.errors import TransportApiError
+
+    tags = {}
+    for item in args.tags or ():
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit("--tags expects KEY=VALUE")
+        tags[key] = value
+    agent_id = args.agent_id or f"agent-{socket.gethostname()}"
+    outbox = args.outbox or f"{agent_id}-outbox.jsonl"
+    client = _remote_or_local_client(args)
+    daemon = AgentDaemon(
+        client,
+        agent_id,
+        outbox,
+        connector=args.connector,
+        vantage_point=args.vantage_point,
+        tags=tags,
+        lease_ttl_s=args.lease_ttl_s,
+    )
+    lines = []
+    completed = []
+    with client:
+        view = daemon.register()
+        lines.append(
+            f"agent {view.agent_id} registered "
+            f"(connectors: {', '.join(view.connectors)}; outbox: {outbox})"
+        )
+        resumed = daemon.resume()
+        if resumed:
+            lines.append(f"resumed from outbox; settled jobs: {resumed}")
+        deadline = (
+            wall.monotonic() + args.duration_s if args.duration_s is not None else None
+        )
+        try:
+            while True:
+                try:
+                    job_id = daemon.run_once(wait_s=args.poll_wait_s)
+                except TransportApiError:
+                    wall.sleep(1.0)
+                    continue
+                if job_id is not None:
+                    completed.append(job_id)
+                if args.once:
+                    break
+                if deadline is not None and wall.monotonic() >= deadline:
+                    break
+                if job_id is None and args.poll_wait_s <= 0:
+                    wall.sleep(0.2)
+        except KeyboardInterrupt:
+            lines.append("interrupted; draining")
+    lines.append(
+        f"settled jobs: {completed}" if completed else "no jobs settled"
+    )
+    return "\n".join(lines)
 
 
 def _cmd_serve(args) -> str:
@@ -1059,6 +1240,7 @@ _COMMANDS = {
     "register-vp": _cmd_register_vp,
     "report": _cmd_report,
     "metrics": _cmd_metrics,
+    "agent": _cmd_agent,
     "serve": _cmd_serve,
     "federate": _cmd_federate,
 }

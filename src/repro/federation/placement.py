@@ -95,6 +95,8 @@ class PlacementDirectory:
         self.devices: Dict[str, str] = {}
         #: (owner, idempotency_key) -> shard id of the original submission.
         self.submissions: Dict[Tuple[str, str], str] = {}
+        #: agent id -> shard id it registered with (its leases live there).
+        self.agents: Dict[str, str] = {}
 
     def learn_shard(self, shard_id: str, server) -> None:
         """Record every vantage point and device ``server`` currently hosts."""

@@ -104,6 +104,13 @@ _JOB_OPS = frozenset(
     {"job.status", "job.cancel", "job.results", "job.approve", "job.reject"}
 )
 
+#: Agent-plane ops routed to the agent's learned home shard.  Leases are
+#: shard-local state, so everything an agent does after registering must
+#: keep landing on the shard that granted its leases.
+_AGENT_OPS = frozenset(
+    {"agent.poll", "agent.claim", "agent.heartbeat", "agent.report"}
+)
+
 
 class _RouterCore:
     """What the gateway sees behind ``router.server``: telemetry only."""
@@ -238,6 +245,11 @@ class FederationRouter:
         if isinstance(op_name, str) and op_name in self._fed_ops:
             return self._fed_ops[op_name][1]
         return self._lanes[0].router.is_read_only(op_name)
+
+    def is_blocking(self, op_name: object) -> bool:
+        if isinstance(op_name, str) and op_name in self._fed_ops:
+            return False
+        return self._lanes[0].router.is_blocking(op_name)
 
     def operations(self, version: str = API_VERSION) -> Dict[str, Optional[Permission]]:
         ops = self._lanes[0].router.operations(version)
@@ -488,6 +500,12 @@ class FederationRouter:
         if op in ("credits.balance", "credits.grant"):
             self._count(op, "routed")
             return self._route_credits(request, envelope, secure)
+        if op == "agent.register":
+            self._count(op, "routed")
+            return self._route_agent_register(request, envelope, secure)
+        if op in _AGENT_OPS:
+            self._count(op, "routed")
+            return self._route_agent(request, envelope, secure)
         if op == "job.watch":
             self._count(op, "stream")
             return self._open_watch(request, envelope, push, owner, secure)
@@ -738,6 +756,68 @@ class FederationRouter:
                 f"the credit account for {owner!r} lives on detached shard "
                 f"{home_id!r}; re-attach it with shard.add",
                 details={"owner": owner, "shard_id": home_id},
+            )
+        return self._forward(request, shard, secure)
+
+    # -- routed agent ops ------------------------------------------------------
+    def _route_agent_register(
+        self, request: dict, envelope: ApiRequest, secure: bool
+    ) -> dict:
+        """Place an agent on one shard and remember the choice.
+
+        A vantage-point binding pins the agent to the shard hosting that
+        hardware (its jobs can only be claimable there); otherwise a
+        re-registration goes home to its learned shard, and a brand-new
+        unbound agent is placed by rendezvous over the active shards.
+        """
+        payload = envelope.payload if isinstance(envelope.payload, dict) else {}
+        agent_id = payload.get("agent_id")
+        agent_id = agent_id if isinstance(agent_id, str) else ""
+        vantage_point = payload.get("vantage_point")
+        home = self._directory.agents.get(agent_id)
+        if isinstance(vantage_point, str):
+            vp_home = self._directory.vantage_points.get(vantage_point)
+            if vp_home is not None:
+                home = vp_home
+        target: Optional[FederationShard] = None
+        if home is not None:
+            target = self._shard_by_id(home)
+            if target is not None and target.state is ShardState.DETACHED:
+                raise ConflictApiError(
+                    f"agent {agent_id!r} belongs on detached shard "
+                    f"{home!r}; re-attach it with shard.add",
+                    details={"agent_id": agent_id, "shard_id": home},
+                )
+        if target is None:
+            active = self._active()
+            if not active:
+                raise ConflictApiError("no active shard can take new agents")
+            target = self._shard_by_id(
+                rendezvous_shard(agent_id, [s.shard_id for s in active])
+            )
+        response = self._forward(request, target, secure)
+        if response.get("ok"):
+            self._directory.agents[agent_id] = target.shard_id
+        return response
+
+    def _route_agent(self, request: dict, envelope: ApiRequest, secure: bool) -> dict:
+        payload = envelope.payload if isinstance(envelope.payload, dict) else {}
+        agent_id = payload.get("agent_id")
+        home = (
+            self._directory.agents.get(agent_id)
+            if isinstance(agent_id, str)
+            else None
+        )
+        if home is None:
+            # Unknown agent: the reference shard emits the standalone
+            # "unknown agent ...; register it first" not-found.
+            return self._forward(request, self._reference_shard(), secure)
+        shard = self._shard_by_id(home)
+        if shard is None or shard.state is ShardState.DETACHED:
+            raise ConflictApiError(
+                f"agent {agent_id!r} belongs on detached shard {home!r}; "
+                "re-attach it with shard.add",
+                details={"agent_id": agent_id, "shard_id": home},
             )
         return self._forward(request, shard, secure)
 
@@ -1044,8 +1124,11 @@ class FederationRouter:
             )
         # Draining: new placements stop immediately (the placement paths
         # only consider ACTIVE shards), then the in-flight work settles so
-        # watches receive their end frames before any detach.
+        # watches receive their end frames before any detach.  Parked
+        # agent long-polls are woken now — a drain must not sit behind a
+        # poll deadline (watches stay open; they get their end frames).
         shard.state = ShardState.DRAINING
+        shard.router.cancel_parked_polls()
         shard.settle()
         shard.sync()
         return self._shard_view(shard).to_wire()

@@ -1,0 +1,396 @@
+"""The edge daemon: connectors, the outbox journal, and kill -9 recovery.
+
+The heart of this module is the crash matrix: ``kill -9`` the daemon (via
+the outbox's planned :class:`SimulatedCrash`) at every interesting journal
+offset, start a fresh daemon over the same outbox file, and prove that the
+job is neither lost nor double-executed and that its result uploads exactly
+once — the agent-pull subsystem's core durability claim.
+"""
+
+import pytest
+
+from repro.accessserver.persistence import register_payload
+from repro.agent import (
+    CONNECTOR_PHASES,
+    AgentDaemon,
+    ConnectorContext,
+    ConnectorError,
+    DeviceConnector,
+    FakeConnector,
+    MultiConnector,
+    NoProvisionConnector,
+    Outbox,
+    SimulatedCrash,
+    connector_types,
+    create_connector,
+)
+from repro.core.platform import build_default_platform
+
+#: Executions of the counting payload, keyed by test-chosen label.  The
+#: crash matrix asserts exactly-once *payload execution* with this.
+_RUNS = {}
+
+
+def _counting_payload(job):
+    _RUNS["count-me"] = _RUNS.get("count-me", 0) + 1
+    job.log("counted")
+    return _RUNS["count-me"]
+
+
+register_payload("count-me", _counting_payload)
+
+
+def make_context(**overrides):
+    base = dict(
+        job_id=1,
+        job_name="unit",
+        owner="experimenter",
+        payload=None,
+        vantage_point="node1",
+        device_serial="node1-dev00",
+        credentials={"username": "agent-user", "owner": "experimenter"},
+    )
+    base.update(overrides)
+    return ConnectorContext(**base)
+
+
+class TestConnectors:
+    def test_registry_lists_builtins(self):
+        assert {"fake", "noprovision", "multi"} <= set(connector_types())
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ConnectorError):
+            create_connector("starlink")
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(ConnectorError):
+            FakeConnector().run_phase("reboot", make_context())
+
+    def test_fake_runs_all_phases_ok(self):
+        results = FakeConnector({"result": 42}).run(make_context())
+        assert [(r.phase, r.status) for r in results] == [
+            ("provision", "ok"),
+            ("test", "ok"),
+            ("cleanup", "ok"),
+        ]
+
+    def test_fake_resolves_registered_payload(self):
+        _RUNS.pop("count-me", None)
+        ctx = make_context(payload="count-me")
+        results = FakeConnector().run(ctx)
+        assert ctx.result == 1
+        # The payload's job.log() output was captured, not printed.
+        test_result = results[1]
+        assert "counted" in test_result.output
+
+    def test_fake_falls_back_to_configured_result(self):
+        ctx = make_context(payload=None)
+        FakeConnector({"result": {"rssi": -70}}).run(ctx)
+        assert ctx.result == {"rssi": -70}
+
+    def test_fail_phase_injection_never_skips_cleanup(self):
+        results = FakeConnector({"fail_phase": "test"}).run(make_context())
+        by_phase = {r.phase: r for r in results}
+        assert by_phase["test"].status == "failed"
+        assert "injected test failure" in by_phase["test"].output
+        assert by_phase["cleanup"].status == "ok"
+
+    def test_noprovision_skips_only_provision(self):
+        results = NoProvisionConnector().run(make_context())
+        assert [(r.phase, r.status) for r in results] == [
+            ("provision", "skipped"),
+            ("test", "ok"),
+            ("cleanup", "ok"),
+        ]
+
+    def test_unimplemented_phase_is_recorded_as_skipped(self):
+        class CleanupOnly(DeviceConnector):
+            def cleanup(self, ctx):
+                return "done"
+
+        results = CleanupOnly().run(make_context())
+        assert [r.status for r in results] == ["skipped", "skipped", "ok"]
+
+    def test_output_capture_combines_prints_and_return(self):
+        class Chatty(DeviceConnector):
+            def test(self, ctx):
+                print("line one")
+                return "and the return"
+
+        result = Chatty().run_phase("test", make_context())
+        assert result.output == "line one\nand the return"
+
+    def test_multi_children_inherit_credentials(self):
+        ctx = make_context(
+            extra_devices=[("node2", "node2-dev00"), ("node2", "node2-dev01")]
+        )
+        MultiConnector().run(ctx)
+        assert [c["device_serial"] for c in ctx.children] == [
+            "node1-dev00",
+            "node2-dev00",
+            "node2-dev01",
+        ]
+        assert all(
+            c["credentials"] == {"username": "agent-user", "owner": "experimenter"}
+            for c in ctx.children
+        )
+        assert ctx.result == {
+            "children": {
+                "node1-dev00": "completed",
+                "node2-dev00": "completed",
+                "node2-dev01": "completed",
+            }
+        }
+
+    def test_multi_child_failure_fails_the_parent_test_phase(self):
+        ctx = make_context(extra_devices=[("node2", "node2-dev00")])
+        results = MultiConnector({"child_config": {"fail_phase": "test"}}).run(ctx)
+        by_phase = {r.phase: r for r in results}
+        assert by_phase["test"].status == "failed"
+        assert by_phase["cleanup"].status == "ok"
+        assert {c["status"] for c in ctx.children} == {"failed"}
+
+
+class TestOutbox:
+    def test_records_roundtrip_in_order(self, tmp_path):
+        outbox = Outbox(str(tmp_path / "o.jsonl"))
+        outbox.append("claim", lease_id="lease-1", job_id=7)
+        outbox.append("phase", lease_id="lease-1", phase="provision", status="ok")
+        kinds = [r["kind"] for r in outbox.records()]
+        assert kinds == ["claim", "phase"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert Outbox(str(tmp_path / "never-written.jsonl")).records() == []
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        outbox = Outbox(str(tmp_path / "o.jsonl"))
+        outbox.append("claim", lease_id="lease-1", job_id=7)
+        outbox.plan_crash(1, mode="torn")
+        with pytest.raises(SimulatedCrash):
+            outbox.append("result", lease_id="lease-1", status="completed")
+        fresh = Outbox(outbox.path)
+        assert [r["kind"] for r in fresh.records()] == ["claim"]
+        assert fresh.lease_states()["lease-1"]["result"] is None
+
+    def test_append_after_torn_tail_starts_a_fresh_line(self, tmp_path):
+        """Reopening an outbox with a torn tail must not let the next
+        append concatenate onto the fragment and corrupt itself."""
+        outbox = Outbox(str(tmp_path / "o.jsonl"))
+        outbox.append("claim", lease_id="lease-1", job_id=7)
+        outbox.plan_crash(1, mode="torn")
+        with pytest.raises(SimulatedCrash):
+            outbox.append("result", lease_id="lease-1", status="completed")
+        fresh = Outbox(outbox.path)
+        fresh.append("result", lease_id="lease-1", status="completed")
+        fresh.append("uploaded", lease_id="lease-1", duplicate=False)
+        kinds = [r["kind"] for r in fresh.records()]
+        assert kinds == ["claim", "result", "uploaded"]
+        assert fresh.lease_states()["lease-1"]["uploaded"] is True
+
+    def test_lease_states_fold(self, tmp_path):
+        outbox = Outbox(str(tmp_path / "o.jsonl"))
+        outbox.append("claim", lease_id="lease-1", job_id=7)
+        outbox.append("phase", lease_id="lease-1", phase="provision", status="ok")
+        outbox.append("phase", lease_id="lease-1", phase="test", status="ok")
+        outbox.append("result", lease_id="lease-1", status="completed")
+        outbox.append("claim", lease_id="lease-2", job_id=8)
+        states = outbox.lease_states()
+        assert len(states["lease-1"]["phases"]) == 2
+        assert states["lease-1"]["result"]["status"] == "completed"
+        assert states["lease-1"]["uploaded"] is False
+        assert states["lease-2"]["claim"]["job_id"] == 8
+
+    def test_pending_is_first_seen_order_and_excludes_settled(self, tmp_path):
+        outbox = Outbox(str(tmp_path / "o.jsonl"))
+        outbox.append("claim", lease_id="lease-1", job_id=7)
+        outbox.append("claim", lease_id="lease-2", job_id=8)
+        outbox.append("claim", lease_id="lease-3", job_id=9)
+        outbox.append("result", lease_id="lease-1", status="completed")
+        outbox.append("uploaded", lease_id="lease-1", duplicate=False)
+        outbox.append("discarded", lease_id="lease-3", reason="expired")
+        assert outbox.pending() == ["lease-2"]
+
+
+@pytest.fixture()
+def platform():
+    return build_default_platform(seed=11, browsers=("chrome",))
+
+
+def start_daemon(platform, tmp_path, name="edge-1", **kwargs):
+    kwargs.setdefault("connector", "fake")
+    daemon = AgentDaemon(
+        platform.client(), name, tmp_path / f"{name}.jsonl", **kwargs
+    )
+    daemon.register()
+    return daemon
+
+
+class TestDaemonHappyPath:
+    def test_full_cycle_journal_shape(self, platform, tmp_path):
+        _RUNS.pop("count-me", None)
+        client = platform.client()
+        job = client.submit_job(
+            "cycle", "count-me", execution="agent", connector="fake"
+        )
+        daemon = start_daemon(platform, tmp_path)
+        assert daemon.run_once() == job.job_id
+        kinds = [r["kind"] for r in daemon.outbox.records()]
+        assert kinds == ["claim", "phase", "phase", "phase", "result", "uploaded"]
+        assert _RUNS["count-me"] == 1
+        assert client.job_status(job.job_id).status == "completed"
+        assert client.job_results(job.job_id).result == 1
+
+    def test_run_once_with_empty_queue_returns_none(self, platform, tmp_path):
+        daemon = start_daemon(platform, tmp_path)
+        assert daemon.run_once() is None
+        assert daemon.outbox.records() == []
+
+    def test_failed_phase_reports_job_failed(self, platform, tmp_path):
+        client = platform.client()
+        job = client.submit_job("doomed", "noop", execution="agent", connector="fake")
+        daemon = start_daemon(
+            platform, tmp_path, connector_config={"fail_phase": "provision"}
+        )
+        daemon.run_once()
+        view = client.job_status(job.job_id)
+        assert view.status == "failed"
+        assert "provision: " in view.error
+        # Cleanup still ran and was journaled before the failure uploaded.
+        phases = [
+            (r["phase"], r["status"])
+            for r in daemon.outbox.records()
+            if r["kind"] == "phase"
+        ]
+        assert ("cleanup", "ok") in phases
+
+
+class TestCrashMatrix:
+    """kill -9 at every interesting outbox offset, then recover.
+
+    Offsets for a single-device job (0-based appends):
+    0=claim, 1=phase:provision, 2=phase:test, 3=phase:cleanup, 4=result,
+    5=uploaded.  After each crash a *fresh* daemon over the same outbox
+    file must settle the job with the payload having run exactly once.
+    """
+
+    def _crashing_run(self, platform, tmp_path, at_write, mode):
+        _RUNS.pop("count-me", None)
+        client = platform.client()
+        job = client.submit_job(
+            "crashy", "count-me", execution="agent", connector="fake"
+        )
+        outbox = Outbox(str(tmp_path / "shared.jsonl"))
+        outbox.plan_crash(at_write, mode=mode)
+        daemon = AgentDaemon(platform.client(), "edge-1", outbox)
+        daemon.register()
+        with pytest.raises(SimulatedCrash):
+            daemon.run_once()
+        return job
+
+    def _recover(self, platform, tmp_path):
+        fresh = AgentDaemon(platform.client(), "edge-1", tmp_path / "shared.jsonl")
+        fresh.register()
+        settled = fresh.resume()
+        return fresh, settled
+
+    @pytest.mark.parametrize(
+        ("at_write", "mode", "runs_before_crash"),
+        [
+            (0, "after", 0),  # claim durable, no phase ran yet
+            (1, "after", 0),  # provision journaled; test never ran
+            (2, "after", 1),  # test journaled WITH its computed result
+            (3, "after", 1),  # all phases journaled, result record missing
+            (4, "before", 1),  # died entering the result append
+            (4, "torn", 1),  # result append torn mid-line
+            (4, "after", 1),  # result durable, upload never sent
+        ],
+    )
+    def test_resume_settles_exactly_once(
+        self, platform, tmp_path, at_write, mode, runs_before_crash
+    ):
+        job = self._crashing_run(platform, tmp_path, at_write, mode)
+        assert _RUNS.get("count-me", 0) == runs_before_crash
+        fresh, settled = self._recover(platform, tmp_path)
+        assert settled == [job.job_id]
+        # The payload ran exactly once across crash + recovery.
+        assert _RUNS["count-me"] == 1
+        client = platform.client()
+        assert client.job_status(job.job_id).status == "completed"
+        assert client.job_results(job.job_id).result == 1
+        states = fresh.outbox.lease_states()
+        (state,) = states.values()
+        assert state["uploaded"] is True
+        # Recovery leaves nothing pending; a second resume is a no-op.
+        assert fresh.resume() == []
+
+    def test_crash_after_upload_ack_lost_is_duplicate(self, platform, tmp_path):
+        """Crash between the server ack'ing the report and the daemon
+        journaling that ack: the retry must land as a duplicate, not a
+        second settlement."""
+        job = self._crashing_run(platform, tmp_path, 5, "before")
+        # The server already settled the job from the first upload.
+        client = platform.client()
+        assert client.job_status(job.job_id).status == "completed"
+        fresh, settled = self._recover(platform, tmp_path)
+        assert settled == [job.job_id]
+        assert _RUNS["count-me"] == 1
+        uploaded = [
+            r for r in fresh.outbox.records() if r["kind"] == "uploaded"
+        ]
+        assert [r["duplicate"] for r in uploaded] == [True]
+        assert client.job_results(job.job_id).result == 1
+
+    def test_crash_before_claim_journaled_heals_via_lease_expiry(
+        self, platform, tmp_path
+    ):
+        """Worst case: the server granted the lease but the daemon died
+        before journaling it.  The outbox knows nothing, so the lease must
+        simply expire; the requeued job then runs normally — once."""
+        job = self._crashing_run(platform, tmp_path, 0, "before")
+        assert _RUNS.get("count-me", 0) == 0
+        fresh, settled = self._recover(platform, tmp_path)
+        assert settled == []  # the outbox is empty — nothing to resume
+        assert fresh.run_once() is None  # job still leased to the dead run
+        platform.context.run_for(31.0)
+        assert fresh.run_once() == job.job_id
+        assert _RUNS["count-me"] == 1
+        assert platform.client().job_status(job.job_id).status == "completed"
+
+    def test_lease_expired_while_down_discards_and_yields(
+        self, platform, tmp_path
+    ):
+        """Daemon dies mid-run and stays down past the lease TTL: on
+        restart it must discard the stale work (the server already
+        requeued the job) and let the next claim win."""
+        job = self._crashing_run(platform, tmp_path, 1, "after")
+        platform.context.run_for(31.0)
+        fresh, settled = self._recover(platform, tmp_path)
+        assert settled == []
+        (state,) = fresh.outbox.lease_states().values()
+        assert state["discarded"] is True
+        assert state["uploaded"] is False
+        # The job went back to the queue and a normal cycle completes it.
+        assert fresh.run_once() == job.job_id
+        assert platform.client().job_status(job.job_id).status == "completed"
+        assert _RUNS["count-me"] == 1  # provision crashed before the test phase
+
+    def test_test_phase_record_journals_its_computed_result(
+        self, platform, tmp_path
+    ):
+        """The test phase's outbox record carries the computed result: a
+        crash between that record and the ``result`` append must not lose
+        it, because the phase is marked done and never re-runs."""
+        job = self._crashing_run(platform, tmp_path, 2, "after")
+        outbox = Outbox(str(tmp_path / "shared.jsonl"))
+        test_records = [
+            r
+            for r in outbox.records()
+            if r["kind"] == "phase" and r["phase"] == "test"
+        ]
+        assert [r["result"] for r in test_records] == [1]
+        fresh, settled = self._recover(platform, tmp_path)
+        assert settled == [job.job_id]
+        # Resume restored the journaled value instead of re-running: the
+        # counter did not advance and the upload carried result 1.
+        assert _RUNS["count-me"] == 1
+        assert platform.client().job_results(job.job_id).result == 1

@@ -1,0 +1,428 @@
+"""Agent-pull execution: registry, offers, leases, reports, persistence.
+
+Server-side coverage of the agent plane introduced with API v2's
+``agent.*`` ops: agent registration (journaled and snapshotted like
+users), the ``execution="agent"`` mode that keeps jobs out of push
+dispatch, matching/offer rules, all-or-nothing multi-device claims,
+lease expiry requeueing at the job's original FIFO position (byte-parity
+with crash-requeue), duplicate-report idempotency, and ``fleet`` marking
+agent-held devices.
+"""
+
+import json
+
+import pytest
+
+from repro.accessserver.agents import AgentError
+from repro.accessserver.auth import Role
+from repro.accessserver.jobs import JobStatus
+from repro.accessserver.persistence import serialize_job
+from repro.api.errors import (
+    ConflictApiError,
+    NotFoundApiError,
+    PermissionApiError,
+    ValidationApiError,
+)
+from repro.core.platform import build_default_platform
+
+
+@pytest.fixture()
+def platform():
+    return build_default_platform(seed=11, browsers=("chrome",))
+
+
+@pytest.fixture()
+def client(platform):
+    return platform.client()
+
+
+@pytest.fixture()
+def admin(platform):
+    return platform.client(username="admin")
+
+
+def submit_agent_job(client, name="pull-me", **kwargs):
+    kwargs.setdefault("execution", "agent")
+    kwargs.setdefault("connector", "fake")
+    return client.submit_job(name, "noop", **kwargs)
+
+
+class TestAgentRegistry:
+    def test_register_is_idempotent_and_refreshes(self, client):
+        first = client.agent_register(
+            "edge-1", connectors=["fake"], tags={"rack": "a"}
+        )
+        assert first.created is True
+        assert first.connectors == ["fake"]
+        again = client.agent_register(
+            "edge-1", connectors=["fake", "multi"], tags={"rack": "b"}
+        )
+        assert again.created is False
+        assert again.connectors == ["fake", "multi"]
+        assert again.tags == {"rack": "b"}
+
+    def test_register_unknown_vantage_point_rejected(self, client):
+        with pytest.raises(NotFoundApiError):
+            client.agent_register("edge-x", vantage_point="nowhere")
+
+    def test_tester_role_cannot_register(self, platform):
+        platform.access_server.users.add_user("tester1", Role.TESTER, "tester-token")
+        tester = platform.client(username="tester1", token="tester-token")
+        with pytest.raises(PermissionApiError):
+            tester.agent_register("sneaky-agent")
+
+    def test_poll_before_register_is_not_found(self, client):
+        with pytest.raises(NotFoundApiError):
+            client.agent_poll("ghost")
+
+    def test_agents_survive_restart(self, tmp_path):
+        durable = build_default_platform(
+            seed=11, browsers=("chrome",), state_dir=str(tmp_path)
+        )
+        durable.client().agent_register(
+            "edge-1", vantage_point="node1", connectors=["fake"], tags={"rack": "a"}
+        )
+        rebuilt = build_default_platform(
+            seed=11, browsers=("chrome",), state_dir=str(tmp_path)
+        )
+        assert rebuilt.persistence.last_recovery.agents_restored == 1
+        record = rebuilt.access_server.agents.get("edge-1")
+        assert record.vantage_point == "node1"
+        assert record.connectors == ("fake",)
+        assert record.tags == {"rack": "a"}
+        # Registration stays idempotent across the restart.
+        assert rebuilt.client().agent_register("edge-1").created is False
+
+    def test_snapshot_omits_agents_key_when_none(self, platform):
+        from repro.accessserver.persistence import build_snapshot
+
+        assert "agents" not in build_snapshot(platform.access_server, 0)
+        platform.client().agent_register("edge-1")
+        snapshot = build_snapshot(platform.access_server, 0)
+        assert [a["agent_id"] for a in snapshot["agents"]] == ["edge-1"]
+
+
+class TestOffersAndDispatchExclusion:
+    def test_agent_jobs_skip_push_dispatch(self, platform, client):
+        job = submit_agent_job(client)
+        platform.run_queue()
+        assert client.job_status(job.job_id).status == "queued"
+
+    def test_push_jobs_not_offered_to_agents(self, platform, client):
+        client.submit_job("push-job", "noop")
+        client.agent_register("edge-1", connectors=["fake"])
+        assert client.agent_poll("edge-1").offers == []
+
+    def test_offer_carries_the_job_shape(self, client):
+        job = submit_agent_job(client, name="shaped", priority=2.0)
+        client.agent_register("edge-1", connectors=["fake"])
+        offers = client.agent_poll("edge-1").offers
+        assert [(o.job_id, o.name, o.owner) for o in offers] == [
+            (job.job_id, "shaped", "experimenter")
+        ]
+        assert offers[0].priority == 2.0
+        assert offers[0].device_count == 1
+        assert offers[0].connector == "fake"
+
+    def test_connector_mismatch_is_not_offered(self, client):
+        submit_agent_job(client, connector="usb-c")
+        client.agent_register("edge-1", connectors=["fake"])
+        assert client.agent_poll("edge-1").offers == []
+
+    def test_vantage_point_binding_filters_offers(self, admin, client):
+        admin.register_vantage_point("node2", "Example University")
+        submit_agent_job(client, vantage_point="node2")
+        client.agent_register("edge-1", vantage_point="node1", connectors=["fake"])
+        client.agent_register("edge-2", vantage_point="node2", connectors=["fake"])
+        assert client.agent_poll("edge-1").offers == []
+        assert len(client.agent_poll("edge-2").offers) == 1
+
+    def test_multi_device_job_needs_multi_connector(self, admin, client):
+        admin.register_vantage_point("node2", "Example University", device_count=2)
+        submit_agent_job(client, connector="fake", device_count=2)
+        client.agent_register("solo", connectors=["fake"])
+        assert client.agent_poll("solo").offers == []
+        client.agent_register("fanout", connectors=["fake", "multi"])
+        assert len(client.agent_poll("fanout").offers) == 1
+
+    def test_poll_limit_validated(self, client):
+        client.agent_register("edge-1")
+        with pytest.raises(ValidationApiError):
+            client.agent_poll("edge-1", limit=0)
+
+    def test_submit_rejects_unknown_execution_mode(self, client):
+        with pytest.raises(ValidationApiError):
+            client.submit_job("bad", "noop", execution="teleport")
+
+
+class TestClaimLifecycle:
+    def test_claim_runs_job_and_report_completes(self, platform, client):
+        job = submit_agent_job(client)
+        client.agent_register("edge-1", connectors=["fake"])
+        lease = client.agent_claim("edge-1", job.job_id)
+        assert lease.job_id == job.job_id
+        assert lease.payload == "noop"
+        assert [d.vantage_point for d in lease.devices] == ["node1"]
+        assert client.job_status(job.job_id).status == "running"
+        report = client.agent_report(
+            lease.lease_id, "edge-1", "completed", result={"ok": True}
+        )
+        assert report.job.status == "completed"
+        assert report.duplicate is False
+        assert client.job_results(job.job_id).result == {"ok": True}
+
+    def test_duplicate_report_is_idempotent(self, client):
+        job = submit_agent_job(client)
+        client.agent_register("edge-1", connectors=["fake"])
+        lease = client.agent_claim("edge-1", job.job_id)
+        client.agent_report(lease.lease_id, "edge-1", "completed", result=1)
+        again = client.agent_report(lease.lease_id, "edge-1", "completed", result=2)
+        assert again.duplicate is True
+        # The first upload won; the retry changed nothing.
+        assert client.job_results(job.job_id).result == 1
+
+    def test_claim_is_exclusive(self, client):
+        job = submit_agent_job(client)
+        client.agent_register("edge-1", connectors=["fake"])
+        client.agent_register("edge-2", connectors=["fake"])
+        client.agent_claim("edge-1", job.job_id)
+        with pytest.raises(ConflictApiError):
+            client.agent_claim("edge-2", job.job_id)
+
+    def test_heartbeat_renews_and_guards_ownership(self, platform, client):
+        job = submit_agent_job(client)
+        client.agent_register("edge-1", connectors=["fake"])
+        client.agent_register("edge-2", connectors=["fake"])
+        lease = client.agent_claim("edge-1", job.job_id, ttl_s=30.0)
+        platform.context.run_for(20.0)
+        renewed = client.agent_heartbeat(lease.lease_id, "edge-1")
+        assert renewed.expires_at == pytest.approx(platform.context.now + 30.0)
+        with pytest.raises(PermissionApiError):
+            client.agent_heartbeat(lease.lease_id, "edge-2")
+
+    def test_report_failure_marks_job_failed(self, client):
+        job = submit_agent_job(client)
+        client.agent_register("edge-1", connectors=["fake"])
+        lease = client.agent_claim("edge-1", job.job_id)
+        client.agent_report(
+            lease.lease_id, "edge-1", "failed", error="device caught fire"
+        )
+        view = client.job_status(job.job_id)
+        assert view.status == "failed"
+        assert view.error == "device caught fire"
+
+    def test_report_settles_credits_for_lease_time(self, platform, client):
+        ledger = platform.access_server.enable_credit_system(
+            initial_grant_device_hours=10.0
+        )
+        job = submit_agent_job(client)
+        before = ledger.balance("experimenter")
+        client.agent_register("edge-1", connectors=["fake"])
+        lease = client.agent_claim("edge-1", job.job_id, ttl_s=7200.0)
+        platform.context.run_for(3600.0)
+        client.agent_report(lease.lease_id, "edge-1", "completed")
+        assert ledger.balance("experimenter") == pytest.approx(before - 1.0)
+
+    def test_fleet_marks_agent_held_devices(self, client):
+        job = submit_agent_job(client)
+        client.agent_register("edge-1", connectors=["fake"])
+        lease = client.agent_claim("edge-1", job.job_id)
+        held = {
+            device.serial: device.held_by
+            for vp in client.fleet().vantage_points
+            for device in vp.devices
+            if device.held_by
+        }
+        assert held == {"node1-dev00": "edge-1"}
+        client.agent_report(lease.lease_id, "edge-1", "completed")
+        assert all(
+            device.held_by is None
+            for vp in client.fleet().vantage_points
+            for device in vp.devices
+        )
+
+
+class TestLeaseExpiry:
+    def test_expired_lease_requeues_at_original_fifo_position(
+        self, platform, client
+    ):
+        first = submit_agent_job(client, name="first")
+        submit_agent_job(client, name="second")
+        client.agent_register("edge-1", connectors=["fake"])
+        client.agent_claim("edge-1", first.job_id, ttl_s=10.0)
+        platform.context.run_for(11.0)
+        assert platform.access_server.expire_agent_leases() == 1
+        queue = platform.access_server.scheduler.engine.queue.jobs()
+        # Original FIFO position, not the tail — mirroring crash-requeue.
+        assert [job.spec.name for job in queue] == ["first", "second"]
+        assert client.job_status(first.job_id).status == "queued"
+
+    def test_expired_lease_job_offered_again_and_claimable(
+        self, platform, client
+    ):
+        job = submit_agent_job(client)
+        client.agent_register("edge-1", connectors=["fake"])
+        client.agent_register("edge-2", connectors=["fake"])
+        client.agent_claim("edge-1", job.job_id, ttl_s=10.0)
+        platform.context.run_for(11.0)
+        # Poll is read-only: it may not reap the lease, but it must see
+        # through it — the expired claim's devices count as available.
+        offers = client.agent_poll("edge-2").offers
+        assert [o.job_id for o in offers] == [job.job_id]
+        lease2 = client.agent_claim("edge-2", job.job_id)
+        report = client.agent_report(lease2.lease_id, "edge-2", "completed")
+        assert report.job.status == "completed"
+
+    def test_late_report_after_expiry_is_rejected(self, platform, client):
+        job = submit_agent_job(client)
+        client.agent_register("edge-1", connectors=["fake"])
+        lease = client.agent_claim("edge-1", job.job_id, ttl_s=10.0)
+        platform.context.run_for(11.0)
+        with pytest.raises(NotFoundApiError):
+            client.agent_report(lease.lease_id, "edge-1", "completed")
+        assert client.job_status(job.job_id).status == "queued"
+
+    def test_lease_requeue_byte_parity_with_crash_requeue(self, tmp_path):
+        """Satellite: the lease-expiry path must leave the job in exactly
+        the state crash-recovery's in-flight requeue produces — same
+        serialized job bytes, same queue order."""
+
+        def claimed_pair(state_dir):
+            p = build_default_platform(
+                seed=11, browsers=("chrome",), state_dir=str(state_dir)
+            )
+            c = p.client()
+            first = submit_agent_job(c, name="first")
+            submit_agent_job(c, name="second")
+            c.agent_register("edge-1", connectors=["fake"])
+            c.agent_claim("edge-1", first.job_id, ttl_s=10.0)
+            return p
+
+        # Path A: the *server* dies mid-lease; recovery requeues in-flight.
+        claimed_pair(tmp_path / "crash")
+        crashed = build_default_platform(
+            seed=11, browsers=("chrome",), state_dir=str(tmp_path / "crash")
+        )
+        assert crashed.persistence.last_recovery.jobs_requeued_in_flight == 1
+
+        # Path B: the *agent* dies; the lease expires and is reaped.
+        leased = claimed_pair(tmp_path / "lease")
+        leased.context.run_for(11.0)
+        assert leased.access_server.expire_agent_leases() == 1
+
+        def queue_bytes(p):
+            queue = p.access_server.scheduler.engine.queue.jobs()
+            lines = []
+            for seq, job in enumerate(queue):
+                state = serialize_job(job, seq)
+                # Job ids are minted by a process-global allocator, so the
+                # two platforms disagree on them by construction; identity
+                # aside, the serialized state must match byte for byte.
+                state["job_id"] = 0
+                lines.append(json.dumps(state, sort_keys=True))
+            return lines
+
+        crash_bytes = queue_bytes(crashed)
+        lease_bytes = queue_bytes(leased)
+        assert crash_bytes == lease_bytes
+        assert len(crash_bytes) == 2
+
+
+class TestMultiDeviceClaims:
+    def test_all_or_nothing_when_devices_short(self, admin, client):
+        admin.register_vantage_point("node2", "Example University", device_count=2)
+        client.agent_register("fanout", connectors=["fake", "multi"])
+        # 3 devices exist; occupy one so only 2 remain free.
+        blocker = submit_agent_job(client, name="blocker")
+        client.agent_claim("fanout", blocker.job_id)
+        big = submit_agent_job(client, name="big", device_count=3)
+        assert client.agent_poll("fanout").offers == []
+        with pytest.raises(ConflictApiError):
+            client.agent_claim("fanout", big.job_id)
+        # Nothing was held by the failed claim.
+        held = [
+            device.serial
+            for vp in client.fleet().vantage_points
+            for device in vp.devices
+            if device.busy or device.held_by
+        ]
+        assert len(held) == 1  # only the blocker's device
+
+    def test_multi_claim_holds_every_device_under_one_lease(
+        self, admin, client
+    ):
+        admin.register_vantage_point("node2", "Example University", device_count=2)
+        job = submit_agent_job(client, device_count=3, connector="multi")
+        client.agent_register("fanout", connectors=["multi"])
+        lease = client.agent_claim("fanout", job.job_id)
+        assert len(lease.devices) == 3
+        held = {
+            device.held_by
+            for vp in client.fleet().vantage_points
+            for device in vp.devices
+        }
+        assert held == {"fanout"}
+        client.agent_report(lease.lease_id, "fanout", "completed")
+        assert client.job_status(job.job_id).status == "completed"
+
+    def test_expiry_releases_all_devices_of_a_multi_lease(
+        self, platform, admin, client
+    ):
+        admin.register_vantage_point("node2", "Example University", device_count=2)
+        job = submit_agent_job(client, device_count=3, connector="multi")
+        client.agent_register("fanout", connectors=["multi"])
+        client.agent_claim("fanout", job.job_id, ttl_s=10.0)
+        platform.context.run_for(11.0)
+        assert platform.access_server.expire_agent_leases() == 1
+        free = [
+            device.serial
+            for vp in client.fleet().vantage_points
+            for device in vp.devices
+            if not device.busy and device.held_by is None
+        ]
+        assert len(free) == 3
+        assert client.job_status(job.job_id).status == "queued"
+
+    def test_child_results_roll_into_job_watch(self, client):
+        job = submit_agent_job(client)
+        watch = client.watch_job(job.job_id)
+        client.agent_register("edge-1", connectors=["fake"])
+        lease = client.agent_claim("edge-1", job.job_id)
+        client.agent_report(
+            lease.lease_id,
+            "edge-1",
+            "completed",
+            children=[
+                {"device_serial": "node1-dev00", "status": "completed", "output": "ok"}
+            ],
+        )
+        frames = list(watch)
+        child_frames = [
+            f for f in frames if f.topic == "dispatch.child_result"
+        ]
+        assert [f.payload["device_serial"] for f in child_frames] == ["node1-dev00"]
+        assert child_frames[0].payload["status"] == "completed"
+        assert watch.final is not None and watch.final.status == "completed"
+
+
+class TestAgentManagerUnit:
+    def test_settled_lease_memory_is_bounded(self, platform):
+        from repro.accessserver.agents import SETTLED_LEASE_MEMORY, AgentManager
+
+        manager = AgentManager()
+        manager.register("a", 0.0)
+        for index in range(SETTLED_LEASE_MEMORY + 10):
+            lease = manager.grant("a", job_id=index + 1, devices=[("vp", "d")], ttl_s=1.0, now=0.0)
+            manager.settle(lease.lease_id)
+        assert len(manager._settled) == SETTLED_LEASE_MEMORY
+        # The oldest settlements were evicted; the newest are remembered.
+        assert manager.settled_job(lease.lease_id) == lease.job_id
+
+    def test_unknown_agent_errors(self):
+        from repro.accessserver.agents import AgentManager
+
+        manager = AgentManager()
+        with pytest.raises(AgentError):
+            manager.get("ghost")
+        with pytest.raises(AgentError):
+            manager.renew("lease-1", 0.0)

@@ -261,6 +261,47 @@ class TestGatewayStreaming:
         assert gateway._router.active_subscriptions() == []
         client.close()
 
+    def test_stop_with_parked_agent_poll_does_not_hang(self, platform):
+        """Regression: ApiGateway.stop() must wake parked ``agent.poll``
+        long-polls promptly — an agent waiting out a 30 s poll deadline
+        cannot hold shutdown hostage (companion to the blocked-watcher
+        test above)."""
+        gateway = self._serve(platform)
+        host, port = gateway.address
+        client = BatteryLabClient(
+            JsonLinesTransport(host, port, timeout_s=30.0),
+            "experimenter",
+            "experimenter-token",
+        )
+        client.agent_register("parked-agent", connectors=["fake"])
+        outcome = {}
+
+        def parked_poller():
+            try:
+                # No matching work exists: server-side this parks for 20 s
+                # unless stop() wakes it.
+                outcome["offers"] = client.agent_poll(
+                    "parked-agent", wait_s=20.0
+                ).offers
+            except TransportApiError as exc:
+                outcome["error"] = str(exc)
+
+        poller = threading.Thread(target=parked_poller)
+        poller.start()
+        time.sleep(0.3)  # let the poll park server-side
+        assert gateway._router.parked_polls() == 1
+        started = time.perf_counter()
+        gateway.stop()
+        elapsed = time.perf_counter() - started
+        poller.join(timeout=5.0)
+        assert elapsed < 2.0, f"stop() took {elapsed:.2f}s with a parked poll"
+        assert not poller.is_alive()
+        # The woken poll either answered empty before the socket died or
+        # the reader saw a typed transport error — never a hang.
+        assert outcome.get("offers") == [] or "error" in outcome
+        assert gateway._router.parked_polls() == 0
+        client.close()
+
     def test_connection_death_cancels_its_subscriptions(self, platform):
         gateway = self._serve(platform)
         router = gateway._router

@@ -8,12 +8,14 @@ jobs and leaves the merged analytics report identical.
 """
 
 import os
+import threading
+import time
 
 import pytest
 
 from repro.api import ApiRouter
 from repro.api.client import BatteryLabClient, InProcessTransport
-from repro.api.errors import ConflictApiError, PermissionApiError
+from repro.api.errors import ConflictApiError, NotFoundApiError, PermissionApiError
 from repro.core.platform import build_default_platform
 from repro.federation import (
     FederationRouter,
@@ -734,3 +736,103 @@ class TestFederatedSessions:
             # The account must exist on each shard for fan-out auth.
             user = shard.server.users.authenticate("dave", "dave-token", over_https=True)
             assert user.username == "dave"
+
+
+class TestFederatedAgents:
+    """Agents attach to any shard; their leases live where they registered.
+
+    Registration places the agent — pinned to the shard hosting its bound
+    vantage point, or by rendezvous when unbound — and every subsequent
+    ``agent.*`` op routes to that sticky home, because leases are
+    shard-local state.
+    """
+
+    def test_vantage_point_binding_pins_the_home_shard(self, fed2):
+        router, shards = fed2
+        client = fed_client(router, "experimenter")
+        view = client.agent_register("pinned", vantage_point="shard-1-node1")
+        assert view.created is True
+        assert router._directory.agents["pinned"] == "shard-1"
+        assert shards[1].server.agents.get("pinned").vantage_point == "shard-1-node1"
+        assert "pinned" not in [
+            a.agent_id for a in shards[0].server.agents.agents()
+        ]
+
+    def test_unbound_agent_placed_by_rendezvous_and_sticky(self, fed2):
+        router, shards = fed2
+        client = fed_client(router, "experimenter")
+        first = client.agent_register("roamer", connectors=["fake"])
+        home = router._directory.agents["roamer"]
+        assert home == rendezvous_shard("roamer", ["shard-0", "shard-1"])
+        # Re-registration refreshes in place on the same shard.
+        again = client.agent_register("roamer", connectors=["fake", "multi"])
+        assert first.created is True and again.created is False
+        assert router._directory.agents["roamer"] == home
+
+    def test_agent_cycle_routes_to_the_home_shard(self, fed2):
+        router, shards = fed2
+        client = fed_client(router, "experimenter")
+        client.agent_register(
+            "worker", vantage_point="shard-1-node1", connectors=["fake"]
+        )
+        job = client.submit_job(
+            "pulled",
+            "noop",
+            vantage_point="shard-1-node1",
+            execution="agent",
+            connector="fake",
+        )
+        offers = client.agent_poll("worker").offers
+        assert [o.job_id for o in offers] == [job.job_id]
+        lease = client.agent_claim("worker", job.job_id)
+        client.agent_heartbeat(lease.lease_id, "worker")
+        report = client.agent_report(lease.lease_id, "worker", "completed", result=7)
+        assert report.job.status == "completed"
+        assert client.job_results(job.job_id).result == 7
+        # The lease lived (and settled) on the home shard only.
+        assert shards[1].server.agents.settled_job(lease.lease_id) == job.job_id
+
+    def test_unknown_agent_poll_is_not_found(self, fed2):
+        router, _ = fed2
+        client = fed_client(router, "experimenter")
+        with pytest.raises(NotFoundApiError):
+            client.agent_poll("stranger")
+
+    def test_detached_home_answers_conflict(self, fed2):
+        router, _ = fed2
+        client = fed_client(router, "experimenter")
+        client.agent_register("stranded", vantage_point="shard-1-node1")
+        admin_call(router, "shard.drain", {"shard_id": "shard-1"})
+        admin_call(router, "shard.remove", {"shard_id": "shard-1"})
+        with pytest.raises(ConflictApiError):
+            client.agent_poll("stranded")
+        with pytest.raises(ConflictApiError):
+            client.agent_register("stranded")
+
+    def test_drain_wakes_parked_agent_polls(self, fed2):
+        """A shard drain must not sit behind a long-poll deadline: parked
+        ``agent.poll`` requests are cancelled as the drain begins."""
+        router, shards = fed2
+        client = fed_client(router, "experimenter")
+        client.agent_register("sleeper", vantage_point="shard-1-node1")
+        outcome = {}
+
+        def parked_poll():
+            with fed_client(router, "experimenter") as poller:
+                outcome["offers"] = poller.agent_poll("sleeper", wait_s=20.0).offers
+
+        thread = threading.Thread(target=parked_poll)
+        thread.start()
+        deadline = time.time() + 2.0
+        while shards[1].router.parked_polls() == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        assert shards[1].router.parked_polls() == 1
+        started = time.perf_counter()
+        response = admin_call(router, "shard.drain", {"shard_id": "shard-1"})
+        elapsed = time.perf_counter() - started
+        thread.join(timeout=5.0)
+        assert response["ok"]
+        assert elapsed < 2.0, f"drain took {elapsed:.2f}s behind a parked poll"
+        assert not thread.is_alive()
+        assert outcome["offers"] == []
+        assert shards[1].router.parked_polls() == 0
