@@ -1,0 +1,122 @@
+"""Chaos soak benchmark: 100k jobs through a scripted fault storm.
+
+The PR-10 acceptance run, repeatable: the kitchen-sink scenario (device
+deaths, a PDU power cycle, an agent-plane partition, and a kill -9 of
+the federation shard's journal mid-run) over a 100 000-job soak on the
+simulated clock, with push dispatch and a pull-mode agent daemon both
+live.  Every invariant in the catalogue must come back green — the
+benchmark *fails* on any violation, so CI gates correctness here as
+well as throughput.
+
+Reported metrics:
+
+* ``jobs_per_s`` — terminal jobs per wall-clock second across the whole
+  soak (submission, dispatch, agent round-trips, faults, recovery and
+  drain included).  Wall-clock, so CI trend-gates it with the wide 50%
+  band like the other requests/s benchmarks;
+* ``completed`` / ``failed`` — the split the fault plane produced;
+* ``server_crashes`` / ``crash_reruns`` — the recovery story actually
+  exercised.
+
+Results land in ``BENCH_chaos_soak.json`` at the repository root.  Run
+with ``PYTHONPATH=src python benchmarks/bench_chaos_soak.py`` or under
+pytest-benchmark via
+``PYTHONPATH=src python -m pytest benchmarks/bench_chaos_soak.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.chaos import SoakConfig, SoakHarness
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_chaos_soak.json"
+
+SOAK_JOBS = 100_000
+SOAK_SEED = 7
+SCENARIO = "kitchen-sink"
+
+#: Absolute sanity floor — a soak slower than this is a code regression
+#: (e.g. the checkpoint interval or outbox re-folding going quadratic
+#: again), not hardware variance.
+MIN_JOBS_PER_S = 100.0
+
+
+def run_chaos_soak_benchmark() -> Dict[str, object]:
+    config = SoakConfig(
+        jobs=SOAK_JOBS,
+        seed=SOAK_SEED,
+        scenario=SCENARIO,
+        agents=1,
+        agent_job_fraction=0.1,
+    )
+    result = SoakHarness(config).run()
+    print(result.summary())
+    # Correctness is part of the benchmark's contract: a fast soak that
+    # lost a job or double-ran a payload is a failure, not a result.
+    result.report.raise_on_failure()
+    metrics = result.metrics
+    return {
+        "benchmark": "chaos_soak",
+        "scenario": SCENARIO,
+        "seed": SOAK_SEED,
+        "jobs": SOAK_JOBS,
+        "jobs_per_s": metrics["jobs_per_s"],
+        "completed": metrics["completed"],
+        "failed": metrics["failed"],
+        "server_crashes": metrics["server_crashes"],
+        "agent_crashes": metrics["agent_crashes"],
+        "crash_reruns": metrics["crash_reruns"],
+        "dropped_requests": metrics["dropped_requests"],
+        "faults_fired": metrics["faults_fired"],
+        "wall_s": metrics["wall_s"],
+        "invariants_ok": result.ok,
+        "min_jobs_per_s": MIN_JOBS_PER_S,
+    }
+
+
+def write_result(result: Dict[str, object]) -> None:
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+
+def _enforce_floors(result: Dict[str, object]) -> None:
+    if not result["invariants_ok"]:
+        raise SystemExit("chaos soak finished with invariant violations")
+    if result["jobs_per_s"] < MIN_JOBS_PER_S:
+        raise SystemExit(
+            f"chaos soak sustained {result['jobs_per_s']} jobs/s; "
+            f"floor is {MIN_JOBS_PER_S}"
+        )
+
+
+def test_chaos_soak(benchmark):
+    from conftest import report, run_once
+
+    result = run_once(benchmark, run_chaos_soak_benchmark)
+    write_result(result)
+    report(
+        benchmark,
+        "Chaos soak — 100k jobs through the kitchen-sink scenario",
+        [
+            {
+                "jobs": result["jobs"],
+                "jobs_per_s": result["jobs_per_s"],
+                "completed": result["completed"],
+                "failed": result["failed"],
+                "server_crashes": result["server_crashes"],
+                "crash_reruns": result["crash_reruns"],
+            }
+        ],
+    )
+    assert result["invariants_ok"]
+    assert result["jobs_per_s"] >= MIN_JOBS_PER_S
+
+
+if __name__ == "__main__":
+    outcome = run_chaos_soak_benchmark()
+    write_result(outcome)
+    print(json.dumps(outcome, indent=2))
+    _enforce_floors(outcome)

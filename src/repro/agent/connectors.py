@@ -126,6 +126,8 @@ class _AgentJobContext:
     def __init__(self, ctx: ConnectorContext) -> None:
         self._ctx = ctx
         self.api = None
+        self.job_id = ctx.job_id
+        self.vantage_point = ctx.vantage_point
         self.device_serial = ctx.device_serial
         self.now = 0.0
         self.artifacts: Dict[str, object] = {}
@@ -250,7 +252,9 @@ class FakeConnector(DeviceConnector):
 
     def _maybe_fail(self, phase: str) -> None:
         if self.config.get("fail_phase") == phase:
-            raise RuntimeError(f"injected {phase} failure")
+            from repro.chaos.faults import InjectedFault
+
+            raise InjectedFault(f"injected {phase} failure")
 
     def provision(self, ctx: ConnectorContext) -> str:
         self._maybe_fail("provision")

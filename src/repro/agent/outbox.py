@@ -21,18 +21,11 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List
+
+from repro.chaos.faults import CrashPlan, SimulatedCrash
 
 __all__ = ["Outbox", "SimulatedCrash"]
-
-
-class SimulatedCrash(BaseException):
-    """Raised by a planned crash point; a stand-in for ``kill -9``.
-
-    Derives from ``BaseException`` so ordinary ``except Exception`` error
-    handling inside the daemon cannot swallow it — exactly like a real
-    SIGKILL, nothing between the crash point and the test harness runs.
-    """
 
 
 class Outbox:
@@ -40,9 +33,7 @@ class Outbox:
 
     def __init__(self, path: str) -> None:
         self.path = path
-        self._writes = 0
-        self._crash_at: Optional[int] = None
-        self._crash_mode = "after"
+        self._crash = CrashPlan()
         self._heal_torn_tail()
 
     def _heal_torn_tail(self) -> None:
@@ -65,11 +56,20 @@ class Outbox:
                 handle.flush()
                 os.fsync(handle.fileno())
 
+    @property
+    def writes(self) -> int:
+        """Appends made through this outbox instance (crash-plan offsets are
+        relative to its construction, so ``plan_crash(writes + n)`` targets
+        the ``n``-th append from now)."""
+        return self._crash.writes
+
     # -- fault injection ------------------------------------------------------
     def plan_crash(self, at_write: int, mode: str = "after") -> None:
         """Simulate ``kill -9`` at the ``at_write``-th append (0-based).
 
-        ``mode``:
+        Delegates to the platform-wide crash planner
+        (:class:`repro.chaos.faults.CrashPlan`), so the outbox speaks the
+        same fault vocabulary as the server journal.  ``mode``:
 
         * ``"before"`` — crash without writing anything;
         * ``"after"``  — write the full record, then crash (the ack/record
@@ -77,30 +77,24 @@ class Outbox:
         * ``"torn"``   — write half the line with no newline, then crash
           (exercises the reader's torn-tail tolerance).
         """
-        if mode not in ("before", "after", "torn"):
-            raise ValueError(f"unknown crash mode {mode!r}")
-        self._crash_at = at_write
-        self._crash_mode = mode
+        self._crash.arm(at_write, mode)
 
     # -- writing --------------------------------------------------------------
     def append(self, kind: str, **data: object) -> Dict[str, object]:
         record = {"kind": kind, **data}
         line = json.dumps(record, sort_keys=True)
-        crash_here = self._writes == self._crash_at
-        self._writes += 1
-        if crash_here and self._crash_mode == "before":
-            raise SimulatedCrash(f"before write {self._writes - 1} ({kind})")
-        with open(self.path, "a", encoding="utf-8") as handle:
-            if crash_here and self._crash_mode == "torn":
-                handle.write(line[: max(1, len(line) // 2)])
+
+        def _write(text: str) -> None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(text)
                 handle.flush()
                 os.fsync(handle.fileno())
-                raise SimulatedCrash(f"torn write {self._writes - 1} ({kind})")
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        if crash_here:
-            raise SimulatedCrash(f"after write {self._writes - 1} ({kind})")
+
+        self._crash.intercept(
+            kind,
+            lambda: _write(line + "\n"),
+            lambda: _write(line[: max(1, len(line) // 2)]),
+        )
         return record
 
     # -- reading --------------------------------------------------------------

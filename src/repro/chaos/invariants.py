@@ -1,0 +1,301 @@
+"""The invariant catalogue: the platform's global contracts, checked.
+
+Each check is a pure function from observable state to a
+:class:`CheckResult`; a :class:`InvariantReport` aggregates them and can
+raise :class:`InvariantViolation` with every failure's detail.  The
+catalogue covers the contracts the rest of the test suite proves
+point-wise, restated as whole-run assertions a chaos soak can run after
+(or during) any scenario:
+
+``no_lost_jobs``
+    Every job the submitter was ever acked reaches a terminal status once
+    the run drains — faults may fail jobs, they may never *lose* one.
+``no_double_execution``
+    No payload runs twice within one process epoch.  Jobs in flight when a
+    process was crash-killed may legitimately re-run after recovery (the
+    journal records completion *after* the payload, exactly like a real
+    ``kill -9``); those re-runs are counted, not flagged.
+``recovery_byte_identical``
+    Recovering the same durable state twice yields byte-identical
+    platforms: same queue order, same job statuses, same canonical
+    analytics report.
+``credit_conservation``
+    Per account, the transaction history sums exactly to the balance —
+    credits are minted and burned only through recorded transactions.
+``analytics_live_equals_replay``
+    The live-folded analytics report equals a cold replay of the journal,
+    byte for byte.
+``push_seq_gap_equals_dropped``
+    On a push stream, sequence-number gaps equal the ``dropped`` counts
+    the gateway declared — back-pressure loses frames loudly or not at all.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "InvariantViolation",
+    "CheckResult",
+    "InvariantReport",
+    "check_no_lost_jobs",
+    "check_no_double_execution",
+    "check_recovery_byte_identical",
+    "check_credit_conservation",
+    "check_analytics_live_equals_replay",
+    "check_push_contract",
+]
+
+#: Statuses a drained run may leave a job in.
+TERMINAL_STATUSES = frozenset({"completed", "failed", "cancelled"})
+
+
+class InvariantViolation(AssertionError):
+    """At least one platform contract did not hold."""
+
+
+@dataclass
+class CheckResult:
+    """One invariant's verdict."""
+
+    name: str
+    ok: bool
+    details: str = ""
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def line(self) -> str:
+        mark = "PASS" if self.ok else "FAIL"
+        return f"{mark}  {self.name}" + (f" — {self.details}" if self.details else "")
+
+
+class InvariantReport:
+    """The verdicts of one run, in catalogue order."""
+
+    def __init__(self, checks: Optional[Iterable[CheckResult]] = None) -> None:
+        self.checks: List[CheckResult] = list(checks or ())
+
+    def add(self, check: CheckResult) -> CheckResult:
+        self.checks.append(check)
+        return check
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def failures(self) -> List[CheckResult]:
+        return [check for check in self.checks if not check.ok]
+
+    def summary(self) -> str:
+        return "\n".join(check.line() for check in self.checks)
+
+    def raise_on_failure(self) -> None:
+        if not self.ok:
+            raise InvariantViolation(
+                "invariant violation(s):\n"
+                + "\n".join(check.line() for check in self.failures())
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "checks": [
+                {"name": c.name, "ok": c.ok, "details": c.details} for c in self.checks
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+
+def _all_jobs(servers) -> Dict[int, object]:
+    jobs: Dict[int, object] = {}
+    for server in servers:
+        for job in server.scheduler.jobs():
+            jobs[job.job_id] = job
+    return jobs
+
+
+def check_no_lost_jobs(servers, submitted_ids: Iterable[int]) -> CheckResult:
+    """Every acked job id exists somewhere and reached a terminal status."""
+    servers = list(servers)
+    jobs = _all_jobs(servers)
+    missing = sorted(job_id for job_id in submitted_ids if job_id not in jobs)
+    stuck = sorted(
+        job_id
+        for job_id in submitted_ids
+        if job_id in jobs and jobs[job_id].status.value not in TERMINAL_STATUSES
+    )
+    ok = not missing and not stuck
+    details = ""
+    if missing:
+        details += f"{len(missing)} job(s) vanished (e.g. {missing[:5]})"
+    if stuck:
+        details += ("; " if details else "") + (
+            f"{len(stuck)} job(s) non-terminal after drain (e.g. "
+            f"{[(j, jobs[j].status.value) for j in stuck[:5]]})"
+        )
+    if ok:
+        details = f"{len(jobs)} job(s) accounted for"
+    return CheckResult("no_lost_jobs", ok, details, {"missing": missing, "stuck": stuck})
+
+
+def check_no_double_execution(ledger) -> CheckResult:
+    """No payload ran twice within one process epoch (see
+    :class:`~repro.chaos.faults.ExecutionLedger`)."""
+    doubled = ledger.double_executions()
+    reruns = ledger.crash_reruns()
+    ok = not doubled
+    if ok:
+        details = (
+            f"{len(ledger.executed_jobs())} job(s) executed exactly once per epoch"
+            + (f"; {reruns} legitimate crash re-run(s)" if reruns else "")
+        )
+    else:
+        sample = sorted(doubled.items())[:5]
+        details = f"{len(doubled)} job(s) double-executed within an epoch (e.g. {sample})"
+    return CheckResult(
+        "no_double_execution", ok, details, {"doubled": doubled, "crash_reruns": reruns}
+    )
+
+
+def _recovery_fingerprint(platform) -> Dict[str, object]:
+    """The canonical byte-comparable state of one recovered platform."""
+    from repro.analytics import AnalyticsEngine
+
+    server = platform.access_server
+    backend = server.persistence.backend
+    backend.sync()
+    return {
+        "queue": [job.job_id for job in server.scheduler.engine.queue.jobs()],
+        "statuses": {
+            job.job_id: job.status.value for job in server.scheduler.jobs()
+        },
+        "report": AnalyticsEngine.from_backend(backend).report_json(),
+    }
+
+
+def _clone_backend(backend):
+    """An independent copy of a backend's durable state.
+
+    File-backed state is copied to a fresh directory (the moral equivalent
+    of restoring a disk image onto another machine); in-memory backends
+    are deep-copied.  :class:`~repro.chaos.injectors.CrashingBackend`
+    wrappers are unwrapped first — the crash plan is not durable state.
+    """
+    inner = getattr(backend, "inner", backend)
+    state_dir = getattr(inner, "state_dir", None)
+    if state_dir is not None:
+        import shutil
+        import tempfile
+
+        from repro.accessserver.persistence import FileBackend
+
+        inner.sync()
+        dest = Path(tempfile.mkdtemp(prefix="chaos-recovery-")) / "state"
+        shutil.copytree(state_dir, dest)
+        return FileBackend(dest)
+    return copy.deepcopy(inner)
+
+
+def check_recovery_byte_identical(backend, platform_factory) -> CheckResult:
+    """Recover the same durable state twice; the results must be identical.
+
+    ``platform_factory(backend)`` must build a *fresh* platform recovered
+    from the given backend.  The durable state is cloned per recovery so
+    neither attach (which checkpoints) can disturb the other.
+    """
+    first = _recovery_fingerprint(platform_factory(_clone_backend(backend)))
+    second = _recovery_fingerprint(platform_factory(_clone_backend(backend)))
+    ok = first == second
+    if ok:
+        details = (
+            f"two recoveries agree on {len(first['statuses'])} job(s), "
+            f"queue of {len(first['queue'])} and the analytics report"
+        )
+    else:
+        diverged = sorted(
+            key for key in first if first[key] != second[key]
+        )
+        details = f"recoveries diverged on {diverged}"
+    return CheckResult("recovery_byte_identical", ok, details)
+
+
+def check_credit_conservation(ledger) -> CheckResult:
+    """Each account's transactions sum exactly to its balance."""
+    drifting: List[tuple] = []
+    accounts = 0
+    for account in ledger.accounts():
+        accounts += 1
+        total = sum(txn.amount_device_hours for txn in account.transactions)
+        if abs(total - account.balance_device_hours) > 1e-6:
+            drifting.append((account.owner, total, account.balance_device_hours))
+    ok = not drifting
+    details = (
+        f"{accounts} account(s) reconcile"
+        if ok
+        else f"ledger drift on {drifting[:5]}"
+    )
+    return CheckResult("credit_conservation", ok, details, {"drifting": drifting})
+
+
+def check_analytics_live_equals_replay(server) -> CheckResult:
+    """The live engine's report equals a cold journal replay, byte for byte."""
+    from repro.analytics import AnalyticsEngine
+
+    if server.analytics is None or server.persistence is None:
+        return CheckResult(
+            "analytics_live_equals_replay",
+            False,
+            "analytics or persistence not enabled on this server",
+        )
+    server.persistence.backend.sync()
+    live = server.analytics.report_json()
+    replayed = AnalyticsEngine.from_backend(server.persistence.backend).report_json()
+    ok = live == replayed
+    details = (
+        f"{server.analytics.records_folded} record(s), reports identical"
+        if ok
+        else "live report differs from cold replay"
+    )
+    return CheckResult("analytics_live_equals_replay", ok, details)
+
+
+def check_push_contract(frames: Sequence[dict]) -> CheckResult:
+    """Sequence gaps on a push stream must equal the declared drops.
+
+    ``frames`` are the wire-form push frames of *one* subscription, in
+    arrival order; each carries ``seq`` and a cumulative-per-gap
+    ``dropped`` count (frames following a drop window declare how many
+    were shed).
+    """
+    gaps = 0
+    declared = 0
+    last_seq: Optional[int] = None
+    out_of_order: List[tuple] = []
+    for frame in frames:
+        seq = int(frame.get("seq", 0))
+        if last_seq is not None:
+            if seq <= last_seq:
+                out_of_order.append((last_seq, seq))
+            else:
+                gaps += seq - last_seq - 1
+        declared += int(frame.get("dropped", 0) or 0)
+        last_seq = seq
+    ok = not out_of_order and gaps == declared
+    if ok:
+        details = f"{len(frames)} frame(s), {gaps} gap(s) all declared"
+    elif out_of_order:
+        details = f"sequence went backwards at {out_of_order[:3]}"
+    else:
+        details = f"{gaps} frame(s) missing but only {declared} declared dropped"
+    return CheckResult(
+        "push_seq_gap_equals_dropped",
+        ok,
+        details,
+        {"gaps": gaps, "declared": declared},
+    )

@@ -497,6 +497,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop after this many wall-clock seconds (default: run until ^C)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a chaos soak: scripted faults against a live platform, "
+        "then check every invariant (exit 1 on violation)",
+    )
+    chaos.add_argument(
+        "--scenario",
+        default="kitchen-sink",
+        metavar="NAME|@FILE",
+        help="canned scenario name, @path to a scenario JSON script, or "
+        "'none' for a fault-free baseline (default: kitchen-sink)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=10_000, help="jobs to submit (default: 10000)"
+    )
+    chaos.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="jobs per one-second submission wave (default: jobs/100, min 50)",
+    )
+    chaos.add_argument(
+        "--agents", type=int, default=1, help="pull-mode agent daemons (default: 1)"
+    )
+    chaos.add_argument(
+        "--vantage-points", type=int, default=2, help="vantage points (default: 2)"
+    )
+    chaos.add_argument(
+        "--devices", type=int, default=2, help="devices per vantage point (default: 2)"
+    )
+    chaos.add_argument(
+        "--credits",
+        action="store_true",
+        help="enable the credit system and check ledger conservation too",
+    )
+    chaos.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the canned scenario names and exit",
+    )
     return parser
 
 
@@ -1219,6 +1260,49 @@ def _cmd_dispatch_bench(args) -> str:
     return format_table(rows, title="Batch dispatch throughput (synthetic fleet)")
 
 
+def _cmd_chaos(args) -> str:
+    """Run one chaos soak and render its metrics + invariant verdicts.
+
+    The seed every random choice drew from is printed so any run can be
+    reproduced exactly with ``--seed``.  A failed invariant raises
+    :class:`~repro.chaos.invariants.InvariantViolation` (an
+    ``AssertionError``), which :func:`main` turns into exit code 1.
+    """
+    from repro.chaos import (
+        SoakConfig,
+        SoakHarness,
+        Scenario,
+        canned_scenario_names,
+    )
+
+    if args.list_scenarios:
+        return "\n".join(canned_scenario_names())
+    scenario = args.scenario
+    if scenario == "none":
+        scenario = None
+    elif scenario.startswith("@"):
+        with open(scenario[1:], "r", encoding="utf-8") as handle:
+            scenario = Scenario.from_json(handle.read())
+    batch = args.batch if args.batch is not None else max(50, args.jobs // 100)
+    config = SoakConfig(
+        jobs=args.jobs,
+        seed=args.seed,
+        batch=batch,
+        agents=args.agents,
+        vantage_points=args.vantage_points,
+        devices_per_vp=args.devices,
+        scenario=scenario,
+        state_dir=args.state_dir if not args.no_persistence else None,
+        credits=args.credits,
+    )
+    result = SoakHarness(config).run()
+    if not result.ok:
+        # Show the metrics before the violation lands as exit code 1.
+        print(result.summary())
+        result.report.raise_on_failure()
+    return result.summary()
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "locations": _cmd_locations,
@@ -1243,6 +1327,7 @@ _COMMANDS = {
     "agent": _cmd_agent,
     "serve": _cmd_serve,
     "federate": _cmd_federate,
+    "chaos": _cmd_chaos,
 }
 
 
@@ -1268,6 +1353,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # the stable code and message, not a traceback.
         print(f"error [{error.code}]: {error.message}", file=sys.stderr)
         return 1
+    except AssertionError as violation:
+        # A chaos run's invariant violation: the metrics were already
+        # printed; the verdicts land on stderr with a failing exit code.
+        print(str(violation), file=sys.stderr)
+        return 1
+    except ValueError as error:
+        # Bad operator input (unknown scenario name, malformed scenario
+        # file, invalid soak sizing): a clean message, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -1,0 +1,236 @@
+"""The invariant catalogue: every check's pass path AND its fail path.
+
+An invariant checker that cannot fail is worse than none — each test
+class here drives its check green against a healthy platform, then
+manufactures the specific wreckage the check exists to catch and asserts
+the verdict flips with an actionable detail line.
+"""
+
+import pytest
+
+from repro.accessserver.persistence import FileBackend
+from repro.chaos.faults import ExecutionLedger
+from repro.chaos.injectors import CrashingBackend
+from repro.chaos.invariants import (
+    CheckResult,
+    InvariantReport,
+    InvariantViolation,
+    check_analytics_live_equals_replay,
+    check_credit_conservation,
+    check_no_double_execution,
+    check_no_lost_jobs,
+    check_push_contract,
+    check_recovery_byte_identical,
+)
+from repro.core.platform import build_default_platform
+
+
+@pytest.fixture()
+def platform():
+    return build_default_platform(seed=31, browsers=("chrome",))
+
+
+def finished_job(platform, name="done"):
+    view = platform.client().submit_job(name, "noop")
+    platform.run_queue()
+    return view
+
+
+class TestInvariantReport:
+    def test_aggregates_in_order_and_raises_with_failures_only(self):
+        report = InvariantReport()
+        report.add(CheckResult("a", True, "fine"))
+        report.add(CheckResult("b", False, "broken"))
+        report.add(CheckResult("c", False, "also broken"))
+        assert not report.ok
+        assert [c.name for c in report.failures()] == ["b", "c"]
+        assert "PASS  a — fine" in report.summary()
+        with pytest.raises(InvariantViolation) as excinfo:
+            report.raise_on_failure()
+        message = str(excinfo.value)
+        assert "FAIL  b — broken" in message
+        assert "a" not in message.split("FAIL")[0].replace(
+            "invariant violation(s):", ""
+        ).strip()
+
+    def test_ok_report_raises_nothing_and_serialises(self):
+        report = InvariantReport([CheckResult("a", True)])
+        report.raise_on_failure()
+        assert report.to_dict() == {
+            "ok": True,
+            "checks": [{"name": "a", "ok": True, "details": ""}],
+        }
+
+    def test_violation_is_an_assertion_error(self):
+        # The CLI maps AssertionError to exit code 1; keep the lineage.
+        assert issubclass(InvariantViolation, AssertionError)
+
+
+class TestNoLostJobs:
+    def test_terminal_jobs_pass(self, platform):
+        view = finished_job(platform)
+        check = check_no_lost_jobs([platform.access_server], [view.job_id])
+        assert check.ok
+        assert "accounted for" in check.details
+
+    def test_vanished_id_fails(self, platform):
+        view = finished_job(platform)
+        check = check_no_lost_jobs([platform.access_server], [view.job_id, 9999])
+        assert not check.ok
+        assert "vanished" in check.details
+        assert check.data["missing"] == [9999]
+
+    def test_non_terminal_after_drain_fails(self, platform):
+        view = platform.client().submit_job("stuck", "noop")  # never dispatched
+        check = check_no_lost_jobs([platform.access_server], [view.job_id])
+        assert not check.ok
+        assert "non-terminal" in check.details
+        assert check.data["stuck"] == [view.job_id]
+
+
+class TestNoDoubleExecution:
+    def test_clean_ledger_passes_and_counts_crash_reruns(self):
+        ledger = ExecutionLedger()
+        ledger.record(1)
+        ledger.begin_epoch()
+        ledger.record(1)
+        check = check_no_double_execution(ledger)
+        assert check.ok
+        assert "1 legitimate crash re-run(s)" in check.details
+
+    def test_same_epoch_repeat_fails(self):
+        ledger = ExecutionLedger()
+        ledger.record(1)
+        ledger.record(1)
+        check = check_no_double_execution(ledger)
+        assert not check.ok
+        assert "double-executed" in check.details
+
+
+class TestCreditConservation:
+    def test_transaction_history_reconciles(self, platform):
+        ledger = platform.access_server.enable_credit_system()
+        finished_job(platform)
+        check = check_credit_conservation(ledger)
+        assert check.ok
+        assert "reconcile" in check.details
+
+    def test_tampered_balance_is_ledger_drift(self, platform):
+        ledger = platform.access_server.enable_credit_system()
+        finished_job(platform)
+        account = next(iter(ledger.accounts()))
+        account.balance_device_hours += 1.0  # credits minted off the books
+        check = check_credit_conservation(ledger)
+        assert not check.ok
+        assert "drift" in check.details
+        assert check.data["drifting"][0][0] == account.owner
+
+
+class TestAnalyticsLiveEqualsReplay:
+    def test_live_report_matches_cold_replay(self, tmp_path):
+        platform = build_default_platform(
+            seed=31, browsers=("chrome",), state_dir=str(tmp_path)
+        )
+        platform.access_server.enable_analytics()
+        finished_job(platform)
+        check = check_analytics_live_equals_replay(platform.access_server)
+        assert check.ok
+        assert "reports identical" in check.details
+
+    def test_missing_analytics_or_persistence_fails_loudly(self, platform):
+        check = check_analytics_live_equals_replay(platform.access_server)
+        assert not check.ok
+        assert "not enabled" in check.details
+
+
+class TestRecoveryByteIdentical:
+    def _factory(self, tmp_path):
+        def build(backend):
+            platform = build_default_platform(
+                seed=31, browsers=("chrome",), persistence=False
+            )
+            platform.access_server.enable_analytics()
+            platform.access_server.enable_persistence(backend, recover=True)
+            return platform
+
+        return build
+
+    def test_double_recovery_agrees(self, tmp_path):
+        platform = build_default_platform(
+            seed=31, browsers=("chrome",), persistence=False
+        )
+        backend = CrashingBackend(FileBackend(tmp_path / "state"))
+        platform.access_server.enable_analytics()
+        platform.access_server.enable_persistence(backend, recover=False)
+        finished_job(platform)
+        platform.client().submit_job("queued", "noop")
+        check = check_recovery_byte_identical(backend, self._factory(tmp_path))
+        assert check.ok
+        assert "two recoveries agree" in check.details
+
+    def test_unwraps_the_crashing_proxy_and_leaves_state_untouched(self, tmp_path):
+        platform = build_default_platform(
+            seed=31, browsers=("chrome",), persistence=False
+        )
+        backend = CrashingBackend(FileBackend(tmp_path / "state"))
+        platform.access_server.enable_analytics()
+        platform.access_server.enable_persistence(backend, recover=False)
+        finished_job(platform)
+        before = backend.inner.journal_path.read_bytes()
+        check_recovery_byte_identical(backend, self._factory(tmp_path))
+        # Each recovery ran on a *clone*: the live journal did not grow.
+        backend.inner.sync()
+        assert backend.inner.journal_path.read_bytes() == before
+
+
+class TestPushContract:
+    def test_contiguous_stream_passes(self):
+        frames = [{"seq": s} for s in (1, 2, 3, 4)]
+        check = check_push_contract(frames)
+        assert check.ok
+        assert check.data == {"gaps": 0, "declared": 0}
+
+    def test_gaps_covered_by_declared_drops_pass(self):
+        frames = [{"seq": 1}, {"seq": 2}, {"seq": 5, "dropped": 2}, {"seq": 6}]
+        check = check_push_contract(frames)
+        assert check.ok
+        assert check.data == {"gaps": 2, "declared": 2}
+
+    def test_undeclared_gap_fails(self):
+        frames = [{"seq": 1}, {"seq": 4}]
+        check = check_push_contract(frames)
+        assert not check.ok
+        assert "2 frame(s) missing but only 0 declared" in check.details
+
+    def test_sequence_regression_fails(self):
+        frames = [{"seq": 2}, {"seq": 1}]
+        check = check_push_contract(frames)
+        assert not check.ok
+        assert "backwards" in check.details
+
+    def test_real_gateway_drops_satisfy_the_contract(self, platform):
+        """Flood a bounded in-process push queue; the frames that survive
+        must declare every gap — the backpressure contract, re-checked by
+        the chaos catalogue instead of the point tests."""
+        from repro.api import ApiRouter
+
+        router = ApiRouter(platform.access_server)
+        received = []
+        sub = router.handle(
+            {
+                "op": "events.subscribe",
+                "version": "2.0",
+                "request_id": 1,
+                "auth": {"username": "admin", "token": "admin-token"},
+                "payload": {"topic_prefix": "job."},
+            },
+            push=received.append,
+        )
+        assert sub["ok"] is True, sub
+        client = platform.client()
+        for index in range(5):
+            client.submit_job(f"burst-{index}", "noop")
+        frames = [f for f in received if f.get("frame") == "event"]
+        assert len(frames) == 5
+        check = check_push_contract(frames)
+        assert check.ok, check.details

@@ -1,0 +1,171 @@
+"""The chaos scenario DSL: validation, round-trips, builder, canned scripts.
+
+A scenario must behave like a config file: strict validation with useful
+errors, byte-stable JSON round-trips (so scripts can live in files and
+ride ``repro chaos --scenario @file``), and canned scenarios whose every
+randomised choice draws only from the seed they are given.
+"""
+
+import pytest
+
+from repro.chaos.scenario import (
+    FAULT_KINDS,
+    FaultEvent,
+    Scenario,
+    ScenarioBuilder,
+    ScenarioError,
+    canned_scenario,
+    canned_scenario_names,
+)
+
+DEVICES = [
+    ("node1", "node1-dev00"),
+    ("node1", "node1-dev01"),
+    ("node2", "node2-dev00"),
+    ("node2", "node2-dev01"),
+]
+
+
+class TestFaultEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown fault kind"):
+            FaultEvent(at=1.0, kind="device.explode")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ScenarioError, match="non-negative"):
+            FaultEvent(at=-0.1, kind="power.off")
+
+    def test_unknown_params_rejected_with_the_accepted_set(self):
+        with pytest.raises(ScenarioError, match=r"takes \['jobs'\]"):
+            FaultEvent(at=0.0, kind="device.kill", params={"count": 3})
+
+    def test_every_kind_accepts_its_declared_params(self):
+        defaults = {
+            "jobs": 1, "hang_s": 1.0, "delay_s": 1.0, "off_s": 1.0,
+            "duration_s": 1.0, "at_append": 0, "mode": "after",
+        }
+        for kind, names in FAULT_KINDS.items():
+            FaultEvent(at=0.0, kind=kind, params={n: defaults[n] for n in names})
+
+    def test_from_dict_requires_shape(self):
+        with pytest.raises(ScenarioError):
+            FaultEvent.from_dict(["not", "an", "object"])
+        with pytest.raises(ScenarioError, match="numeric 'at'"):
+            FaultEvent.from_dict({"kind": "power.off"})
+        with pytest.raises(ScenarioError, match="must be objects"):
+            FaultEvent.from_dict({"at": 1, "kind": "power.off", "target": []})
+
+
+class TestScenarioRoundTrip:
+    def _sample(self):
+        builder = ScenarioBuilder("sample")
+        builder.at(5.0).kill_device("node1", "node1-dev00", jobs=2)
+        builder.at(2.0).power_cycle("node2", off_s=3.0)
+        builder.at(9.0).crash_server(at_append=17, mode="torn")
+        return builder.build()
+
+    def test_events_are_time_ordered_regardless_of_authoring_order(self):
+        scenario = self._sample()
+        assert [e.at for e in scenario] == [2.0, 5.0, 9.0]
+        assert scenario.horizon == 9.0
+        assert len(scenario) == 3
+
+    def test_json_round_trip_is_lossless(self):
+        scenario = self._sample()
+        back = Scenario.from_json(scenario.to_json())
+        assert back.name == scenario.name
+        assert [e.to_dict() for e in back] == [e.to_dict() for e in scenario]
+        # And stable: a second trip produces the same bytes.
+        assert back.to_json() == scenario.to_json()
+
+    def test_invalid_json_and_shapes_rejected(self):
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            Scenario.from_json("{nope")
+        with pytest.raises(ScenarioError, match="must be an object"):
+            Scenario.from_dict([])
+        with pytest.raises(ScenarioError, match="must be a list"):
+            Scenario.from_dict({"events": {}})
+
+    def test_empty_scenario_has_zero_horizon(self):
+        assert Scenario("calm", []).horizon == 0.0
+
+
+class TestScenarioBuilder:
+    def test_after_advances_relative_to_the_cursor(self):
+        builder = ScenarioBuilder("relative")
+        builder.at(10.0).power_off("node1")
+        builder.after(5.0).power_on("node1")
+        assert [e.at for e in builder.build()] == [10.0, 15.0]
+
+    def test_partition_with_duration_schedules_its_own_heal(self):
+        builder = ScenarioBuilder("window")
+        builder.at(4.0).partition("agents", duration_s=6.0)
+        builder.after(1.0).power_off("node1")  # cursor stayed at the start
+        events = list(builder.build())
+        assert [(e.at, e.kind) for e in events] == [
+            (4.0, "partition.start"),
+            (5.0, "power.off"),
+            (10.0, "partition.heal"),
+        ]
+        assert events[2].target == {"link": "agents"}
+
+    def test_negative_cursor_rejected(self):
+        with pytest.raises(ScenarioError):
+            ScenarioBuilder("x").at(-1.0)
+
+    def test_crash_verbs_carry_offsets_and_targets(self):
+        builder = ScenarioBuilder("crashes")
+        builder.at(1.0).crash_server(at_append=3, mode="before", shard="shard-1")
+        builder.at(2.0).crash_agent("edge-1", at_append=4)
+        server, agent = list(builder.build())
+        assert server.target == {"shard": "shard-1"}
+        assert server.params == {"at_append": 3, "mode": "before"}
+        assert agent.target == {"agent_id": "edge-1"}
+        assert agent.params == {"at_append": 4, "mode": "after"}
+
+
+class TestCannedScenarios:
+    def test_names_are_stable(self):
+        assert canned_scenario_names() == [
+            "crash-recovery",
+            "device-flaky",
+            "kitchen-sink",
+            "partition",
+            "power-cycle",
+        ]
+
+    def test_same_seed_same_script(self):
+        for name in canned_scenario_names():
+            first = canned_scenario(name, seed=13, horizon_s=100.0, devices=DEVICES)
+            again = canned_scenario(name, seed=13, horizon_s=100.0, devices=DEVICES)
+            assert first.to_json() == again.to_json(), name
+
+    def test_events_scale_inside_the_horizon(self):
+        for name in canned_scenario_names():
+            scenario = canned_scenario(name, seed=7, horizon_s=50.0, devices=DEVICES)
+            assert len(scenario) >= 1, name
+            assert all(0.0 <= e.at <= 50.0 for e in scenario), name
+
+    def test_kitchen_sink_mixes_every_fault_family(self):
+        scenario = canned_scenario("kitchen-sink", 7, 200.0, DEVICES)
+        families = {e.kind.split(".")[0] for e in scenario}
+        assert families == {"device", "power", "partition", "crash"}
+
+    def test_unknown_name_and_bad_horizon_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown canned scenario"):
+            canned_scenario("nope", 7, 10.0, DEVICES)
+        with pytest.raises(ScenarioError, match="horizon_s"):
+            canned_scenario("partition", 7, 0.0, DEVICES)
+        with pytest.raises(ScenarioError, match="at least one device"):
+            canned_scenario("device-flaky", 7, 10.0, [])
+
+    def test_schedule_registers_every_event_on_a_scheduler(self):
+        from repro.simulation.events import EventScheduler
+
+        scenario = canned_scenario("device-flaky", 7, 30.0, DEVICES)
+        scheduler = EventScheduler()
+        fired = []
+        count = scenario.schedule(scheduler, fired.append)
+        assert count == len(scenario)
+        scheduler.run_for(31.0)
+        assert [e.kind for e in fired] == [e.kind for e in scenario]
